@@ -1,0 +1,35 @@
+//! Regenerates Figure 4: cumulative return vs trading day for every model
+//! on all three markets (CSV per market; OLMAR included here even though
+//! the paper drops it from the plot for poor performance).
+
+use cit_bench::{panels, run_model, save_series, Scale};
+
+const MODELS: [&str; 12] = [
+    "CRP", "ONS", "UP", "EG", "EIIE", "A2C", "DDPG", "PPO", "SARL", "DeepTrader", "CIT", "Market",
+];
+
+fn main() {
+    let (scale, seed) = Scale::from_args();
+    let ps = panels(scale);
+    println!("Figure 4 — accumulative return during the test period (scale {scale:?})\n");
+    for p in &ps {
+        let mut curves = Vec::new();
+        for model in MODELS {
+            eprintln!("running {model} on {} ...", p.name());
+            let res = run_model(model, p, scale, seed);
+            curves.push((model.to_string(), res.wealth.clone()));
+        }
+        save_series(&format!("fig4_{}.csv", p.name()), &curves);
+        // Terminal summary: final wealth ranking.
+        let mut finals: Vec<(String, f64)> = curves
+            .iter()
+            .map(|(n, c)| (n.clone(), *c.last().expect("non-empty curve")))
+            .collect();
+        finals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        println!("{} final wealth ranking:", p.name());
+        for (name, w) in finals {
+            println!("  {name:<12} {w:.3}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates Figure 7: accumulative return of the actor with different
+//! neural-network bodies — ours (TCN + spatial attention), ours (GRU),
+//! plain GRU and plain MLP.
+
+use cit_bench::{cit_config, env_config, panels, save_series, Scale};
+use cit_core::{ActorBody, CrossInsightTrader};
+use cit_market::run_test_period;
+
+fn main() {
+    let (scale, seed) = Scale::from_args();
+    let ps = panels(scale);
+    let bodies = [
+        ActorBody::TcnAttention,
+        ActorBody::GruAttention,
+        ActorBody::GruOnly,
+        ActorBody::MlpOnly,
+    ];
+    println!("Figure 7 — actor network ablation (scale {scale:?}, seed {seed})\n");
+
+    for p in &ps {
+        let mut curves = Vec::new();
+        println!("{}:", p.name());
+        for body in bodies {
+            eprintln!("running {} on {} ...", body.label(), p.name());
+            let mut cfg = cit_config(scale, seed);
+            cfg.actor_body = body;
+            let mut trader = CrossInsightTrader::new(p, cfg);
+            trader.train(p);
+            let res = run_test_period(p, env_config(scale), &mut trader);
+            println!(
+                "  {:<12} AR {:>6.3}  SR {:>6.2}  CR {:>6.2}",
+                body.label(),
+                res.metrics.ar,
+                res.metrics.sr,
+                res.metrics.cr
+            );
+            curves.push((body.label().to_string(), res.wealth.clone()));
+        }
+        save_series(&format!("fig7_{}.csv", p.name()), &curves);
+        println!();
+    }
+}

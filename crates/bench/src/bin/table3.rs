@@ -1,0 +1,51 @@
+//! Regenerates Table III: AR / SR / CR of every model on all three markets,
+//! and the equity-curve series behind Figure 4 (saved to CSV as a side
+//! product; the dedicated `fig4` binary only re-plots them).
+
+use cit_bench::{panels, print_metric_table, run_model, save_series, Scale};
+
+const MODELS: [&str; 13] = [
+    "OLMAR", "CRP", "ONS", "UP", "EG", // online learning
+    "EIIE", "A2C", "DDPG", "PPO", "SARL", "DeepTrader", "CIT", // deep RL
+    "Market",
+];
+
+fn main() {
+    let (scale, seed) = Scale::from_args();
+    let ps = panels(scale);
+    let market_names: Vec<&str> = ps.iter().map(|p| p.name()).collect();
+    println!("Table III — performance comparison (scale {scale:?}, seed {seed})\n");
+
+    let mut rows = Vec::new();
+    let mut curves_per_market: Vec<Vec<(String, Vec<f64>)>> = vec![Vec::new(); ps.len()];
+    for model in MODELS {
+        let mut metrics = Vec::new();
+        for (mi, p) in ps.iter().enumerate() {
+            eprintln!("running {model} on {} ...", p.name());
+            let res = run_model(model, p, scale, seed);
+            metrics.push(res.metrics);
+            curves_per_market[mi].push((model.to_string(), res.wealth.clone()));
+        }
+        rows.push((model.to_string(), metrics));
+    }
+    print_metric_table(&market_names, &rows);
+
+    for (p, curves) in ps.iter().zip(&curves_per_market) {
+        save_series(&format!("fig4_{}.csv", p.name()), curves);
+    }
+    // Machine-readable metrics dump for EXPERIMENTS.md.
+    let json: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|(name, ms)| {
+            serde_json::json!({
+                "model": name,
+                "metrics": ms.iter().zip(&market_names).map(|(m, mk)| serde_json::json!({
+                    "market": mk, "ar": m.ar, "sr": m.sr, "cr": m.cr, "mdd": m.mdd,
+                })).collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    let path = cit_bench::out_dir().join("table3.json");
+    cit_market::save(&path, &serde_json::to_string_pretty(&json).expect("serialise")).expect("write");
+    println!("wrote {}", path.display());
+}

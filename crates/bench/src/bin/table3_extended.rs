@@ -1,0 +1,51 @@
+//! Extension of Table III with every related-work online method the paper
+//! surveys (Anticor, PAMR, CWMR, RMR, CORN), buy-and-hold, the hindsight
+//! BCRP upper bound, plus the extended risk report (Sortino / VaR / ES /
+//! turnover / concentration) for the headline models.
+
+use cit_bench::{env_config, panels, print_metric_table, run_model, Scale};
+use cit_market::risk::risk_report;
+use cit_market::run_test_period;
+use cit_online::all_strategies;
+
+fn main() {
+    let (scale, seed) = Scale::from_args();
+    let ps = panels(scale);
+    let market_names: Vec<&str> = ps.iter().map(|p| p.name()).collect();
+    println!("Extended Table III — all online methods + risk report (scale {scale:?})\n");
+
+    // All online methods (cheap — no training).
+    let mut rows = Vec::new();
+    let strategy_names: Vec<String> =
+        all_strategies().iter().map(|s| s.name()).collect();
+    for name in &strategy_names {
+        let mut metrics = Vec::new();
+        for p in &ps {
+            // Recreate per market: strategies are stateful.
+            let mut s = all_strategies()
+                .into_iter()
+                .find(|s| s.name() == *name)
+                .expect("known strategy");
+            let res = run_test_period(p, env_config(scale), s.as_mut());
+            metrics.push(res.metrics);
+        }
+        rows.push((name.clone(), metrics));
+    }
+    print_metric_table(&market_names, &rows);
+
+    // Extended risk report for the headline learned models on market 0.
+    println!("\nExtended risk report ({}):", ps[0].name());
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "model", "Sortino", "VaR95", "ES95", "turnover", "concentr"
+    );
+    for model in ["CIT", "EIIE", "A2C", "CRP"] {
+        eprintln!("running {model} ...");
+        let res = run_model(model, &ps[0], scale, seed);
+        let rep = risk_report(&res.daily_returns, &res.weights);
+        println!(
+            "{:<12} {:>9.2} {:>9.4} {:>9.4} {:>9.3} {:>9.3}",
+            model, rep.sortino, rep.var95, rep.es95, rep.turnover, rep.concentration
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table IV: performance versus the number of horizon-specific
+//! policies (A2C = no horizon policies, then 2–5 policies).
+
+use cit_bench::{cit_config, env_config, panels, print_metric_table, run_model, Scale};
+use cit_core::CrossInsightTrader;
+use cit_market::run_test_period;
+
+fn main() {
+    let (scale, seed) = Scale::from_args();
+    let ps = panels(scale);
+    let market_names: Vec<&str> = ps.iter().map(|p| p.name()).collect();
+    println!("Table IV — number of horizon-specific policies (scale {scale:?}, seed {seed})\n");
+
+    let mut rows = Vec::new();
+
+    // A2C row: the degenerate single-policy case.
+    let mut a2c_metrics = Vec::new();
+    for p in &ps {
+        eprintln!("running A2C on {} ...", p.name());
+        a2c_metrics.push(run_model("A2C", p, scale, seed).metrics);
+    }
+    rows.push(("A2C".to_string(), a2c_metrics));
+
+    let policy_counts: &[usize] = match scale {
+        Scale::Smoke => &[2, 3],
+        Scale::Paper => &[2, 3, 4, 5],
+    };
+    for &n in policy_counts {
+        let mut metrics = Vec::new();
+        for p in &ps {
+            eprintln!("running CIT({n} policies) on {} ...", p.name());
+            let mut cfg = cit_config(scale, seed);
+            cfg.num_policies = n;
+            let mut trader = CrossInsightTrader::new(p, cfg);
+            trader.train(p);
+            let res = run_test_period(p, env_config(scale), &mut trader);
+            metrics.push(res.metrics);
+        }
+        rows.push((format!("{n} policies"), metrics));
+    }
+    print_metric_table(&market_names, &rows);
+}

@@ -1,0 +1,267 @@
+//! # cit-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper
+//! (see DESIGN.md §4 for the experiment index) plus criterion
+//! micro-benchmarks. Each binary accepts `--scale smoke|paper` and
+//! `--seed <u64>`, prints the paper-style table to stdout and writes CSV
+//! series under `results/`.
+
+#![deny(missing_docs)]
+
+use cit_core::{CitConfig, CrossInsightTrader};
+use cit_market::{
+    market_result, run_test_period, AssetPanel, BacktestResult, EnvConfig, MarketPreset,
+};
+use cit_online::{Crp, Eg, Olmar, Ons, UniversalPortfolio};
+use cit_rl::{A2c, Ddpg, DdpgConfig, DeepTrader, Eiie, MetaTrader, MetaTraderConfig, Ppo, PpoConfig, RlConfig, Sarl};
+use std::path::PathBuf;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny panels and step counts: finishes in seconds, for CI.
+    Smoke,
+    /// The scale recorded in EXPERIMENTS.md (markets shrunk 4× in assets
+    /// and 2× in days relative to the paper; see DESIGN.md §2).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale` and `--seed` from command-line arguments
+    /// (defaults: paper, 42).
+    pub fn from_args() -> (Scale, u64) {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = Scale::Paper;
+        let mut seed = 42u64;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" if i + 1 < args.len() => {
+                    scale = match args[i + 1].as_str() {
+                        "smoke" => Scale::Smoke,
+                        "paper" => Scale::Paper,
+                        other => panic!("unknown scale {other}; use smoke|paper"),
+                    };
+                    i += 2;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    seed = args[i + 1].parse().expect("--seed takes a u64");
+                    i += 2;
+                }
+                other => panic!("unknown argument {other}; supported: --scale, --seed"),
+            }
+        }
+        (scale, seed)
+    }
+}
+
+/// Generates the three market panels at the given scale.
+pub fn panels(scale: Scale) -> Vec<AssetPanel> {
+    MarketPreset::ALL
+        .iter()
+        .map(|p| match scale {
+            Scale::Smoke => p.scaled(10, 24).generate(),
+            Scale::Paper => p.scaled(4, 2).generate(),
+        })
+        .collect()
+}
+
+/// The environment configuration used by all experiments.
+pub fn env_config(scale: Scale) -> EnvConfig {
+    EnvConfig { window: window(scale), transaction_cost: 1e-3 }
+}
+
+/// Look-back window per scale.
+pub fn window(_scale: Scale) -> usize {
+    16
+}
+
+/// Base RL config per scale.
+pub fn rl_config(scale: Scale, seed: u64) -> RlConfig {
+    match scale {
+        Scale::Smoke => {
+            RlConfig { total_steps: 300, window: window(scale), seed, ..RlConfig::smoke(seed) }
+        }
+        Scale::Paper => RlConfig {
+            total_steps: 2_500,
+            window: window(scale),
+            gamma: 0.9,
+            lr: 5e-4,
+            seed,
+            ..RlConfig::default()
+        },
+    }
+}
+
+/// CIT config per scale (with the paper's best `n = 5` policies at paper
+/// scale).
+pub fn cit_config(scale: Scale, seed: u64) -> CitConfig {
+    match scale {
+        Scale::Smoke => CitConfig { window: window(scale), seed, ..CitConfig::smoke(seed) },
+        Scale::Paper => CitConfig {
+            num_policies: 5,
+            window: window(scale),
+            total_steps: 5_000,
+            lr: 1e-3,
+            gamma: 0.3,
+            action_temperature: 4.0,
+            init_log_std: -2.0,
+            seed,
+            ..CitConfig::default()
+        },
+    }
+}
+
+/// Trains + backtests one named model on a panel. Known names:
+/// OLMAR, CRP, ONS, UP, EG, EIIE, A2C, DDPG, PPO, SARL, DeepTrader, CIT,
+/// Market.
+pub fn run_model(name: &str, panel: &AssetPanel, scale: Scale, seed: u64) -> BacktestResult {
+    let env = env_config(scale);
+    let rl = rl_config(scale, seed);
+    match name {
+        "OLMAR" => run_test_period(panel, env, &mut Olmar::default()),
+        "CRP" => run_test_period(panel, env, &mut Crp),
+        "ONS" => run_test_period(panel, env, &mut Ons::default()),
+        "UP" => run_test_period(panel, env, &mut UniversalPortfolio::default()),
+        "EG" => run_test_period(panel, env, &mut Eg::default()),
+        "EIIE" => {
+            let mut agent = Eiie::new(panel, rl);
+            agent.train(panel);
+            run_test_period(panel, env, &mut agent)
+        }
+        "A2C" => {
+            let mut agent = A2c::new(panel, rl);
+            agent.train(panel);
+            run_test_period(panel, env, &mut agent)
+        }
+        "DDPG" => {
+            let mut agent = Ddpg::new(panel, DdpgConfig { base: rl, ..Default::default() });
+            agent.train(panel);
+            run_test_period(panel, env, &mut agent)
+        }
+        "PPO" => {
+            let mut agent = Ppo::new(panel, PpoConfig { base: rl, ..Default::default() });
+            agent.train(panel);
+            run_test_period(panel, env, &mut agent)
+        }
+        "SARL" => {
+            let mut agent = Sarl::new(panel, rl);
+            agent.train(panel);
+            run_test_period(panel, env, &mut agent)
+        }
+        "DeepTrader" => {
+            let mut agent = DeepTrader::new(panel, rl);
+            agent.train(panel);
+            run_test_period(panel, env, &mut agent)
+        }
+        "CIT" => {
+            let mut trader = CrossInsightTrader::new(panel, cit_config(scale, seed));
+            trader.train(panel);
+            run_test_period(panel, env, &mut trader)
+        }
+        "MetaTrader" => {
+            let mut agent =
+                MetaTrader::new(panel, MetaTraderConfig { base: rl, ..Default::default() });
+            agent.train(panel);
+            run_test_period(panel, env, &mut agent)
+        }
+        "Market" => market_result(panel, panel.test_start(), panel.num_days()),
+        other => panic!("unknown model {other}"),
+    }
+}
+
+/// Runs one model across several seeds and returns per-seed metrics plus
+/// the mean and standard deviation of each metric — the paper averages over
+/// 5 random initialisations.
+pub fn run_model_seeds(
+    name: &str,
+    panel: &AssetPanel,
+    scale: Scale,
+    seeds: &[u64],
+) -> (Vec<cit_market::Metrics>, cit_market::Metrics, cit_market::Metrics) {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let per_seed: Vec<cit_market::Metrics> =
+        seeds.iter().map(|&s| run_model(name, panel, scale, s).metrics).collect();
+    let n = per_seed.len() as f64;
+    let mean = cit_market::Metrics {
+        ar: per_seed.iter().map(|m| m.ar).sum::<f64>() / n,
+        sr: per_seed.iter().map(|m| m.sr).sum::<f64>() / n,
+        mdd: per_seed.iter().map(|m| m.mdd).sum::<f64>() / n,
+        cr: per_seed.iter().map(|m| m.cr).sum::<f64>() / n,
+    };
+    let var = |f: fn(&cit_market::Metrics) -> f64, mu: f64| {
+        (per_seed.iter().map(|m| (f(m) - mu) * (f(m) - mu)).sum::<f64>() / n).sqrt()
+    };
+    let std = cit_market::Metrics {
+        ar: var(|m| m.ar, mean.ar),
+        sr: var(|m| m.sr, mean.sr),
+        mdd: var(|m| m.mdd, mean.mdd),
+        cr: var(|m| m.cr, mean.cr),
+    };
+    (per_seed, mean, std)
+}
+
+/// Prints a paper-style metrics table: one row per model, AR/SR/CR columns
+/// per market.
+pub fn print_metric_table(markets: &[&str], rows: &[(String, Vec<cit_market::Metrics>)]) {
+    print!("{:<12}", "Model");
+    for m in markets {
+        print!(" | {m:^23}");
+    }
+    println!();
+    print!("{:<12}", "");
+    for _ in markets {
+        print!(" | {:>7} {:>7} {:>7}", "AR", "SR", "CR");
+    }
+    println!();
+    println!("{}", "-".repeat(12 + markets.len() * 26));
+    for (name, metrics) in rows {
+        print!("{name:<12}");
+        for met in metrics {
+            print!(" | {:>7.2} {:>7.2} {:>7.2}", met.ar, met.sr, met.cr);
+        }
+        println!();
+    }
+}
+
+/// The output directory for experiment CSVs.
+pub fn out_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+/// Writes labelled series to `results/<file>` and reports the path.
+pub fn save_series(file: &str, series: &[(String, Vec<f64>)]) {
+    let path = out_dir().join(file);
+    let csv = cit_market::series_to_csv(series);
+    cit_market::save(&path, &csv).expect("write results CSV");
+    println!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_have_preset_structure() {
+        let ps = panels(Scale::Smoke);
+        assert_eq!(ps.len(), 3);
+        assert!(ps[0].num_assets() >= ps[1].num_assets());
+        assert!(ps[1].num_assets() >= ps[2].num_assets());
+    }
+
+    #[test]
+    fn online_models_run_at_smoke_scale() {
+        let p = &panels(Scale::Smoke)[2];
+        for name in ["OLMAR", "CRP", "ONS", "UP", "EG", "Market"] {
+            let r = run_model(name, p, Scale::Smoke, 1);
+            assert!(r.metrics.mdd <= 1.0, "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        let p = &panels(Scale::Smoke)[2];
+        let _ = run_model("nope", p, Scale::Smoke, 1);
+    }
+}

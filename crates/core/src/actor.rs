@@ -1,0 +1,240 @@
+//! Actors of the cross-insight trader (paper Section IV-B, Figure 3).
+//!
+//! Every actor is a *body* that abstracts the `[m, d, z]` price window into
+//! a feature vector, followed by a head that concatenates actor-specific
+//! extras (agent ID + previous action for horizon policies; the
+//! pre-decisions for the cross-insight policy) and emits the Gaussian mean
+//! over pre-softmax portfolio scores. Body variants implement the paper's
+//! Figure 7 ablation.
+
+use crate::config::{ActorBody, CitConfig};
+use cit_market::NUM_FEATURES;
+use cit_nn::{Activation, Ctx, GaussianHead, Gru, Linear, Mlp, ParamStore, SpatialAttention, Tcn};
+use cit_tensor::{Tensor, Var};
+use rand::Rng;
+
+enum Body {
+    TcnAttention { tcn: Tcn, att: SpatialAttention },
+    GruAttention { gru: Gru, att: SpatialAttention },
+    GruOnly { gru: Gru },
+    MlpOnly { mlp: Mlp },
+}
+
+/// One actor network (horizon-specific or cross-insight).
+pub struct CitActor {
+    body: Body,
+    head1: Linear,
+    head2: Linear,
+    /// The Gaussian exploration head (public for sampling).
+    pub head: GaussianHead,
+    num_assets: usize,
+    window: usize,
+    extra_dim: usize,
+}
+
+impl CitActor {
+    /// Builds an actor.
+    ///
+    /// `extra_dim` is the length of the auxiliary vector concatenated to the
+    /// body features (agent one-hot + previous action, or pre-decisions).
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        cfg: &CitConfig,
+        num_assets: usize,
+        extra_dim: usize,
+    ) -> Self {
+        let m = num_assets;
+        let (body, body_dim) = match cfg.actor_body {
+            ActorBody::TcnAttention => {
+                let tcn = Tcn::new(
+                    store,
+                    rng,
+                    &format!("{name}.tcn"),
+                    NUM_FEATURES,
+                    cfg.hidden,
+                    cfg.kernel,
+                    cfg.tcn_levels,
+                );
+                let att = SpatialAttention::new(
+                    store,
+                    rng,
+                    &format!("{name}.att"),
+                    m,
+                    cfg.hidden,
+                    cfg.window,
+                );
+                (Body::TcnAttention { tcn, att }, m * cfg.hidden)
+            }
+            ActorBody::GruAttention => {
+                let gru =
+                    Gru::new(store, rng, &format!("{name}.gru"), NUM_FEATURES, cfg.hidden);
+                let att =
+                    SpatialAttention::new(store, rng, &format!("{name}.att"), m, cfg.hidden, 1);
+                (Body::GruAttention { gru, att }, m * cfg.hidden)
+            }
+            ActorBody::GruOnly => {
+                let gru = Gru::new(
+                    store,
+                    rng,
+                    &format!("{name}.gru"),
+                    m * NUM_FEATURES,
+                    cfg.head_hidden,
+                );
+                (Body::GruOnly { gru }, cfg.head_hidden)
+            }
+            ActorBody::MlpOnly => {
+                let mlp = Mlp::new(
+                    store,
+                    rng,
+                    &format!("{name}.mlp"),
+                    &[m * NUM_FEATURES * cfg.window, cfg.head_hidden, cfg.head_hidden],
+                    Activation::Relu,
+                );
+                (Body::MlpOnly { mlp }, cfg.head_hidden)
+            }
+        };
+        let head1 =
+            Linear::new(store, rng, &format!("{name}.head1"), body_dim + extra_dim, cfg.head_hidden);
+        let head2 = Linear::new(store, rng, &format!("{name}.head2"), cfg.head_hidden, m);
+        let head = GaussianHead::new(store, name, m, cfg.init_log_std);
+        CitActor { body, head1, head2, head, num_assets: m, window: cfg.window, extra_dim }
+    }
+
+    /// Body feature extraction: `[m, d, z]` window → flat feature `Var`.
+    fn body_features(&self, ctx: &mut Ctx<'_>, window: &Tensor) -> Var {
+        let m = self.num_assets;
+        match &self.body {
+            Body::TcnAttention { tcn, att } => {
+                let x = ctx.input(window.clone());
+                let h = tcn.forward(ctx, x);
+                let h = att.forward(ctx, h);
+                let last = ctx.g.select_last_time(h);
+                let f = tcn.hidden();
+                ctx.g.reshape(last, &[m * f])
+            }
+            Body::GruAttention { gru, att } => {
+                let h = gru.forward_window(ctx, window); // [m, f]
+                let f = gru.hidden();
+                let h3 = ctx.g.reshape(h, &[m, f, 1]);
+                let mixed = att.forward(ctx, h3);
+                let last = ctx.g.select_last_time(mixed);
+                ctx.g.reshape(last, &[m * f])
+            }
+            Body::GruOnly { gru } => {
+                let seq = window.reshaped(&[1, m * NUM_FEATURES, self.window]);
+                let h = gru.forward_window(ctx, &seq); // [1, hidden]
+                let hid = gru.hidden();
+                ctx.g.reshape(h, &[hid])
+            }
+            Body::MlpOnly { mlp } => {
+                let flat = ctx.input(window.reshaped(&[m * NUM_FEATURES * self.window]));
+                mlp.forward_vec(ctx, flat)
+            }
+        }
+    }
+
+    /// Full forward pass producing the Gaussian mean `μ ∈ R^m`.
+    ///
+    /// # Panics
+    /// Panics when `extra` does not match the configured extra dimension.
+    pub fn mean(&self, ctx: &mut Ctx<'_>, window: &Tensor, extra: &[f32]) -> Var {
+        assert_eq!(extra.len(), self.extra_dim, "extra dim mismatch");
+        let feat = self.body_features(ctx, window);
+        let extra_in = ctx.input(Tensor::vector(extra));
+        let joint = ctx.g.concat(&[feat, extra_in]);
+        let h = self.head1.forward_vec(ctx, joint);
+        let h = ctx.g.relu(h);
+        self.head2.forward_vec(ctx, h)
+    }
+
+    /// Convenience: the numeric mean outside any gradient context.
+    pub fn mean_numeric(&self, store: &ParamStore, window: &Tensor, extra: &[f32]) -> Tensor {
+        let mut ctx = Ctx::new(store);
+        let mv = self.mean(&mut ctx, window, extra);
+        ctx.g.value(mv).clone()
+    }
+}
+
+/// One-hot agent ID of length `n`.
+pub fn one_hot(k: usize, n: usize) -> Vec<f32> {
+    let mut v = vec![0.0f32; n];
+    v[k] = 1.0;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::SynthConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn window(m: usize, z: usize) -> Tensor {
+        let p = SynthConfig { num_assets: m, num_days: 120, test_start: 90, ..Default::default() }
+            .generate();
+        crate::decomposition::raw_window(&p, 80, z)
+    }
+
+    fn actor_of(body: ActorBody, m: usize, extra: usize) -> (ParamStore, CitActor, CitConfig) {
+        let mut cfg = CitConfig::smoke(1);
+        cfg.actor_body = body;
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let actor = CitActor::new(&mut store, &mut rng, "a", &cfg, m, extra);
+        (store, actor, cfg)
+    }
+
+    #[test]
+    fn all_bodies_produce_mean_of_m() {
+        for body in [
+            ActorBody::TcnAttention,
+            ActorBody::GruAttention,
+            ActorBody::GruOnly,
+            ActorBody::MlpOnly,
+        ] {
+            let (store, actor, cfg) = actor_of(body, 3, 5);
+            let w = window(3, cfg.window);
+            let mean = actor.mean_numeric(&store, &w, &[0.0, 1.0, 0.0, 0.5, 0.5]);
+            assert_eq!(mean.shape(), &[3], "{body:?}");
+            assert!(mean.all_finite(), "{body:?}");
+        }
+    }
+
+    #[test]
+    fn extra_vector_changes_output() {
+        let (store, actor, cfg) = actor_of(ActorBody::TcnAttention, 3, 2);
+        let w = window(3, cfg.window);
+        let a = actor.mean_numeric(&store, &w, &[1.0, 0.0]);
+        let b = actor.mean_numeric(&store, &w, &[0.0, 1.0]);
+        assert_ne!(a.data(), b.data(), "agent ID must influence the policy");
+    }
+
+    #[test]
+    fn gradients_flow_through_full_actor() {
+        let (store, actor, cfg) = actor_of(ActorBody::TcnAttention, 3, 2);
+        let w = window(3, cfg.window);
+        let mut ctx = Ctx::new(&store);
+        let mean = actor.mean(&mut ctx, &w, &[1.0, 0.0]);
+        let latent = Tensor::vector(&[0.1, 0.2, -0.1]);
+        let lp = actor.head.log_prob(&mut ctx, mean, &latent);
+        let loss = ctx.g.neg(lp);
+        let grads = ctx.backward(loss);
+        assert!(grads.len() > 10, "expected gradients on most actor params, got {}", grads.len());
+        assert!(grads.iter().all(|(_, g)| g.all_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "extra dim")]
+    fn wrong_extra_dim_panics() {
+        let (store, actor, cfg) = actor_of(ActorBody::MlpOnly, 3, 2);
+        let w = window(3, cfg.window);
+        let _ = actor.mean_numeric(&store, &w, &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_works() {
+        assert_eq!(one_hot(1, 3), vec![0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Configuration of the cross-insight trader and its ablation variants.
+
+/// The actor body architecture (paper Section V-C2 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActorBody {
+    /// The paper's design: TCN + spatial attention + residual ("ours").
+    TcnAttention,
+    /// TCN replaced by a GRU, attention kept ("ours (GRU)").
+    GruAttention,
+    /// A plain GRU over the flattened window ("GRU").
+    GruOnly,
+    /// A plain MLP over the flattened window ("MLP").
+    MlpOnly,
+}
+
+impl ActorBody {
+    /// Display label matching Figure 7.
+    pub fn label(self) -> &'static str {
+        match self {
+            ActorBody::TcnAttention => "ours",
+            ActorBody::GruAttention => "ours (GRU)",
+            ActorBody::GruOnly => "GRU",
+            ActorBody::MlpOnly => "MLP",
+        }
+    }
+}
+
+/// How the critic evaluates the policies (paper Section V-C3 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CriticMode {
+    /// Centralised critic + counterfactual per-policy advantages (ours).
+    Counterfactual,
+    /// Centralised critic, every policy optimised with the same Q-value.
+    SharedQ,
+    /// One decentralised critic per policy ("Dec-critic").
+    Decentralized,
+}
+
+impl CriticMode {
+    /// Display label matching Figure 8.
+    pub fn label(self) -> &'static str {
+        match self {
+            CriticMode::Counterfactual => "counterfactual",
+            CriticMode::SharedQ => "shared-Q",
+            CriticMode::Decentralized => "Dec-critic",
+        }
+    }
+}
+
+/// Full configuration of a cross-insight trader.
+#[derive(Debug, Clone, Copy)]
+pub struct CitConfig {
+    /// Number of horizon-specific policies `n` (paper best: 5).
+    pub num_policies: usize,
+    /// Look-back window `z`.
+    pub window: usize,
+    /// TCN hidden width `f`.
+    pub hidden: usize,
+    /// TCN residual levels (dilations 1, 2, 4, …).
+    pub tcn_levels: usize,
+    /// Convolution kernel width.
+    pub kernel: usize,
+    /// Head hidden width.
+    pub head_hidden: usize,
+    /// Critic hidden width.
+    pub critic_hidden: usize,
+    /// Adam learning rate (paper: 1e-4).
+    pub lr: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Discount γ.
+    pub gamma: f64,
+    /// TD(λ) mixing coefficient.
+    pub lambda: f64,
+    /// n-step horizon `N` (paper: 5).
+    pub nstep: usize,
+    /// Steps per rollout before an update.
+    pub rollout: usize,
+    /// Total training environment steps (paper: 50 000).
+    pub total_steps: usize,
+    /// Initial Gaussian log-std of every policy.
+    pub init_log_std: f32,
+    /// Entropy bonus coefficient.
+    pub entropy_coef: f32,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+    /// Proportional transaction cost.
+    pub transaction_cost: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Softmax temperature applied to latent scores when forming portfolio
+    /// weights: `a = softmax(τ·u)`. τ > 1 lets policies express
+    /// concentrated portfolios with modest latent magnitudes.
+    pub action_temperature: f32,
+    /// Actor body variant.
+    pub actor_body: ActorBody,
+    /// Critic variant.
+    pub critic_mode: CriticMode,
+}
+
+impl Default for CitConfig {
+    fn default() -> Self {
+        CitConfig {
+            num_policies: 5,
+            window: 32,
+            hidden: 8,
+            tcn_levels: 2,
+            kernel: 3,
+            head_hidden: 32,
+            critic_hidden: 64,
+            lr: 3e-4,
+            weight_decay: 1e-5,
+            gamma: 0.9,
+            lambda: 0.9,
+            nstep: 5,
+            rollout: 32,
+            total_steps: 3_000,
+            init_log_std: -1.0,
+            entropy_coef: 1e-3,
+            grad_clip: 5.0,
+            transaction_cost: 1e-3,
+            seed: 0,
+            action_temperature: 4.0,
+            actor_body: ActorBody::TcnAttention,
+            critic_mode: CriticMode::Counterfactual,
+        }
+    }
+}
+
+impl CitConfig {
+    /// A tiny configuration for smoke tests.
+    pub fn smoke(seed: u64) -> Self {
+        CitConfig {
+            num_policies: 2,
+            window: 16,
+            hidden: 4,
+            tcn_levels: 1,
+            head_hidden: 8,
+            critic_hidden: 16,
+            rollout: 16,
+            total_steps: 200,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// First usable decision day (window plus feature look-back).
+    pub fn min_start(&self) -> usize {
+        self.window.max(cit_rl::features::FEAT_LOOKBACK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_structure() {
+        let c = CitConfig::default();
+        assert_eq!(c.num_policies, 5);
+        assert_eq!(c.nstep, 5);
+        assert_eq!(c.actor_body, ActorBody::TcnAttention);
+        assert_eq!(c.critic_mode, CriticMode::Counterfactual);
+    }
+
+    #[test]
+    fn labels_are_paper_labels() {
+        assert_eq!(ActorBody::TcnAttention.label(), "ours");
+        assert_eq!(ActorBody::GruAttention.label(), "ours (GRU)");
+        assert_eq!(CriticMode::Decentralized.label(), "Dec-critic");
+    }
+}

@@ -1,0 +1,280 @@
+//! The critic (paper Section IV-B3) and its ablation variants.
+//!
+//! The centralised critic is a two-layer fully-connected network whose
+//! input `x` contains the market state (per-asset technical features of the
+//! raw price series), the pre-decisions of every horizon policy, the trade
+//! action of the cross-insight policy, and the policy IDs. The Dec-critic
+//! variant gives every policy its own critic seeing only that policy's
+//! action.
+
+use crate::config::{CitConfig, CriticMode};
+use cit_market::AssetPanel;
+use cit_nn::{Activation, Ctx, Mlp, ParamStore};
+use cit_rl::features::{asset_features, FEAT_DIM};
+use cit_tensor::{Tensor, Var};
+use rand::Rng;
+
+/// Market-state part of the critic input: per-asset technical features.
+pub fn market_state(panel: &AssetPanel, t: usize) -> Vec<f32> {
+    let m = panel.num_assets();
+    let mut out = Vec::with_capacity(m * FEAT_DIM);
+    for i in 0..m {
+        out.extend(asset_features(panel, t, i).iter().map(|&v| v as f32));
+    }
+    out
+}
+
+/// The centralised critic.
+pub struct CentralCritic {
+    mlp: Mlp,
+    num_assets: usize,
+    num_policies: usize,
+}
+
+impl CentralCritic {
+    /// Input dimension: `m·F + n·m + m + n`.
+    pub fn input_dim(m: usize, n: usize) -> usize {
+        m * FEAT_DIM + n * m + m + n
+    }
+
+    /// Builds the critic network.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        cfg: &CitConfig,
+        num_assets: usize,
+    ) -> Self {
+        let dim = Self::input_dim(num_assets, cfg.num_policies);
+        let mlp = Mlp::new(
+            store,
+            rng,
+            "critic",
+            &[dim, cfg.critic_hidden, cfg.critic_hidden / 2, 1],
+            Activation::Relu,
+        );
+        CentralCritic { mlp, num_assets, num_policies: cfg.num_policies }
+    }
+
+    /// Assembles the critic input `x` from market state, pre-decisions,
+    /// the executed trade action and the (constant) policy IDs.
+    pub fn input_vector(
+        &self,
+        market: &[f32],
+        pre_actions: &[Vec<f64>],
+        final_action: &[f64],
+    ) -> Vec<f32> {
+        let (m, n) = (self.num_assets, self.num_policies);
+        assert_eq!(market.len(), m * FEAT_DIM, "market state dim");
+        assert_eq!(pre_actions.len(), n, "pre-decision count");
+        let mut x = Vec::with_capacity(Self::input_dim(m, n));
+        x.extend_from_slice(market);
+        for a in pre_actions {
+            assert_eq!(a.len(), m, "pre-decision dim");
+            x.extend(a.iter().map(|&v| v as f32));
+        }
+        assert_eq!(final_action.len(), m, "final action dim");
+        x.extend(final_action.iter().map(|&v| v as f32));
+        // Policy IDs, normalised to (0, 1].
+        x.extend((0..n).map(|k| (k + 1) as f32 / n as f32));
+        x
+    }
+
+    /// Differentiable Q-value node.
+    pub fn q(&self, ctx: &mut Ctx<'_>, x: &[f32]) -> Var {
+        let input = ctx.input(Tensor::vector(x));
+        self.mlp.forward_vec(ctx, input)
+    }
+
+    /// Numeric Q-value outside any gradient context.
+    pub fn q_numeric(&self, store: &ParamStore, x: &[f32]) -> f64 {
+        let mut ctx = Ctx::new(store);
+        let q = self.q(&mut ctx, x);
+        ctx.g.value(q).data()[0] as f64
+    }
+}
+
+/// Decentralised critics: one per horizon policy plus one for the
+/// cross-insight policy, each seeing only the market state and its own
+/// policy's action.
+pub struct DecCritics {
+    mlps: Vec<Mlp>,
+    num_assets: usize,
+}
+
+impl DecCritics {
+    /// Input dimension per critic: `m·F + m`.
+    pub fn input_dim(m: usize) -> usize {
+        m * FEAT_DIM + m
+    }
+
+    /// Builds `n + 1` critics (index `n` belongs to the cross policy).
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        cfg: &CitConfig,
+        num_assets: usize,
+    ) -> Self {
+        let dim = Self::input_dim(num_assets);
+        let mlps = (0..=cfg.num_policies)
+            .map(|k| {
+                Mlp::new(
+                    store,
+                    rng,
+                    &format!("dec_critic{k}"),
+                    &[dim, cfg.critic_hidden, 1],
+                    Activation::Relu,
+                )
+            })
+            .collect();
+        DecCritics { mlps, num_assets }
+    }
+
+    /// Input of critic `k` given the market state and that policy's action.
+    pub fn input_vector(&self, market: &[f32], action: &[f64]) -> Vec<f32> {
+        assert_eq!(action.len(), self.num_assets, "action dim");
+        let mut x = Vec::with_capacity(market.len() + action.len());
+        x.extend_from_slice(market);
+        x.extend(action.iter().map(|&v| v as f32));
+        x
+    }
+
+    /// Number of critics.
+    pub fn len(&self) -> usize {
+        self.mlps.len()
+    }
+
+    /// `true` when no critic exists (never for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.mlps.is_empty()
+    }
+
+    /// Differentiable Q-value of critic `k`.
+    pub fn q(&self, ctx: &mut Ctx<'_>, k: usize, x: &[f32]) -> Var {
+        let input = ctx.input(Tensor::vector(x));
+        self.mlps[k].forward_vec(ctx, input)
+    }
+
+    /// Numeric Q-value of critic `k`.
+    pub fn q_numeric(&self, store: &ParamStore, k: usize, x: &[f32]) -> f64 {
+        let mut ctx = Ctx::new(store);
+        let q = self.q(&mut ctx, k, x);
+        ctx.g.value(q).data()[0] as f64
+    }
+}
+
+/// The critic assembly selected by [`CriticMode`].
+pub enum CriticNet {
+    /// Centralised (used by both Counterfactual and SharedQ modes).
+    Central(CentralCritic),
+    /// One critic per policy.
+    Dec(DecCritics),
+}
+
+impl CriticNet {
+    /// Builds the critic(s) for the configured mode.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        cfg: &CitConfig,
+        num_assets: usize,
+    ) -> Self {
+        match cfg.critic_mode {
+            CriticMode::Counterfactual | CriticMode::SharedQ => {
+                CriticNet::Central(CentralCritic::new(store, rng, cfg, num_assets))
+            }
+            CriticMode::Decentralized => {
+                CriticNet::Dec(DecCritics::new(store, rng, cfg, num_assets))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::SynthConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (AssetPanel, CitConfig) {
+        let p = SynthConfig { num_assets: 3, num_days: 120, test_start: 90, ..Default::default() }
+            .generate();
+        (p, CitConfig::smoke(3))
+    }
+
+    #[test]
+    fn central_critic_io() {
+        let (p, cfg) = setup();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let critic = CentralCritic::new(&mut store, &mut rng, &cfg, 3);
+        let market = market_state(&p, 60);
+        let pre = vec![vec![1.0 / 3.0; 3]; cfg.num_policies];
+        let x = critic.input_vector(&market, &pre, &[0.5, 0.3, 0.2]);
+        assert_eq!(x.len(), CentralCritic::input_dim(3, cfg.num_policies));
+        let q = critic.q_numeric(&store, &x);
+        assert!(q.is_finite());
+    }
+
+    #[test]
+    fn q_depends_on_action() {
+        let (p, cfg) = setup();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let critic = CentralCritic::new(&mut store, &mut rng, &cfg, 3);
+        let market = market_state(&p, 60);
+        let pre = vec![vec![1.0 / 3.0; 3]; cfg.num_policies];
+        let xa = critic.input_vector(&market, &pre, &[1.0, 0.0, 0.0]);
+        let xb = critic.input_vector(&market, &pre, &[0.0, 0.0, 1.0]);
+        assert_ne!(critic.q_numeric(&store, &xa), critic.q_numeric(&store, &xb));
+    }
+
+    #[test]
+    fn counterfactual_swap_changes_q() {
+        // Replacing one policy's pre-decision must change the Q input — the
+        // mechanism the counterfactual baseline relies on.
+        let (p, cfg) = setup();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let critic = CentralCritic::new(&mut store, &mut rng, &cfg, 3);
+        let market = market_state(&p, 60);
+        let mut pre = vec![vec![1.0 / 3.0; 3]; cfg.num_policies];
+        let x1 = critic.input_vector(&market, &pre, &[0.4, 0.3, 0.3]);
+        pre[0] = vec![0.9, 0.05, 0.05];
+        let x2 = critic.input_vector(&market, &pre, &[0.4, 0.3, 0.3]);
+        assert_ne!(critic.q_numeric(&store, &x1), critic.q_numeric(&store, &x2));
+    }
+
+    #[test]
+    fn dec_critics_have_n_plus_one_members() {
+        let (_p, cfg) = setup();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let dec = DecCritics::new(&mut store, &mut rng, &cfg, 3);
+        assert_eq!(dec.len(), cfg.num_policies + 1);
+    }
+
+    #[test]
+    fn critic_trains_toward_target() {
+        let (p, cfg) = setup();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let critic = CentralCritic::new(&mut store, &mut rng, &cfg, 3);
+        let market = market_state(&p, 60);
+        let pre = vec![vec![1.0 / 3.0; 3]; cfg.num_policies];
+        let x = critic.input_vector(&market, &pre, &[0.5, 0.3, 0.2]);
+        let mut opt = cit_nn::Adam::new(1e-2, 0.0);
+        for _ in 0..200 {
+            let mut ctx = Ctx::new(&store);
+            let q = critic.q(&mut ctx, &x);
+            let y = ctx.input(Tensor::vector(&[0.7]));
+            let d = ctx.g.sub(q, y);
+            let sq = ctx.g.mul(d, d);
+            let loss = ctx.g.sum_all(sq);
+            let grads = ctx.backward(loss);
+            store.apply_grads(grads);
+            opt.step(&mut store);
+        }
+        assert!((critic.q_numeric(&store, &x) - 0.7).abs() < 0.05);
+    }
+}

@@ -1,0 +1,116 @@
+//! Horizon-specific observation windows (paper Section IV-A).
+//!
+//! The normalised OHLC window of each asset/feature series is split with
+//! the multi-level Haar DWT into `n` frequency bands; band `k` is the input
+//! `P^k` of horizon policy `k` (k = 0 → longest horizon). By linearity the
+//! bands sum to the raw window, so no information is lost or duplicated.
+
+use cit_dwt::horizon_scales;
+use cit_market::{AssetPanel, NUM_FEATURES};
+use cit_tensor::Tensor;
+
+/// The raw normalised window as a `[m, d, z]` tensor (the cross-insight
+/// policy's price input).
+pub fn raw_window(panel: &AssetPanel, t: usize, z: usize) -> Tensor {
+    let m = panel.num_assets();
+    let flat = panel.normalized_window(t, z);
+    let data: Vec<f32> = flat.into_iter().map(|v| v as f32).collect();
+    Tensor::from_vec(&[m, NUM_FEATURES, z], data)
+}
+
+/// The `n` horizon-specific windows `P^1..P^n` for day `t`, each `[m, d, z]`.
+///
+/// Index 0 carries the lowest-frequency (long-term) band, index `n-1` the
+/// highest-frequency (short-term) band.
+pub fn horizon_windows(panel: &AssetPanel, t: usize, z: usize, n: usize) -> Vec<Tensor> {
+    assert!(n >= 1, "need at least one horizon");
+    let m = panel.num_assets();
+    let flat = panel.normalized_window(t, z);
+    let mut out = vec![Tensor::zeros(&[m, NUM_FEATURES, z]); n];
+    for i in 0..m {
+        for f in 0..NUM_FEATURES {
+            let base = (i * NUM_FEATURES + f) * z;
+            let series: Vec<f64> = flat[base..base + z].to_vec();
+            let scales = horizon_scales(&series, n);
+            for (k, scale) in scales.iter().enumerate() {
+                for (s, &v) in scale.iter().enumerate() {
+                    out[k].set3(i, f, s, v as f32);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::SynthConfig;
+
+    fn panel() -> AssetPanel {
+        SynthConfig { num_assets: 3, num_days: 120, test_start: 90, ..Default::default() }.generate()
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let p = panel();
+        let raw = raw_window(&p, 60, 16);
+        assert_eq!(raw.shape(), &[3, 4, 16]);
+        let scales = horizon_windows(&p, 60, 16, 3);
+        assert_eq!(scales.len(), 3);
+        for s in &scales {
+            assert_eq!(s.shape(), &[3, 4, 16]);
+        }
+    }
+
+    #[test]
+    fn bands_sum_to_raw_window() {
+        let p = panel();
+        let raw = raw_window(&p, 60, 16);
+        let scales = horizon_windows(&p, 60, 16, 4);
+        for i in 0..3 {
+            for f in 0..4 {
+                for s in 0..16 {
+                    let sum: f32 = scales.iter().map(|sc| sc.at3(i, f, s)).sum();
+                    assert!(
+                        (sum - raw.at3(i, f, s)).abs() < 1e-4,
+                        "band partition broken at ({i},{f},{s})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_horizon_equals_raw() {
+        let p = panel();
+        let raw = raw_window(&p, 50, 16);
+        let one = horizon_windows(&p, 50, 16, 1);
+        for i in 0..3 {
+            for f in 0..4 {
+                for s in 0..16 {
+                    assert!((one[0].at3(i, f, s) - raw.at3(i, f, s)).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_band_is_smoother_than_short_band() {
+        let p = panel();
+        let scales = horizon_windows(&p, 80, 32, 3);
+        let tv = |t: &Tensor, i: usize, f: usize| -> f32 {
+            (1..32).map(|s| (t.at3(i, f, s) - t.at3(i, f, s - 1)).abs()).sum()
+        };
+        // Averaged over assets/features the long-horizon band must vary less.
+        let mut tv_long = 0.0;
+        let mut tv_short = 0.0;
+        for i in 0..3 {
+            for f in 0..4 {
+                tv_long += tv(&scales[0], i, f);
+                tv_short += tv(&scales[2], i, f);
+            }
+        }
+        assert!(tv_long < tv_short, "long band rougher than short band: {tv_long} vs {tv_short}");
+    }
+}

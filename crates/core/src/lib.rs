@@ -1,0 +1,34 @@
+//! # cit-core
+//!
+//! The Cross-Insight Trader (ICDE 2024): a two-step RL portfolio manager
+//! that (1) learns `n` horizon-specific policies, each fed one DWT
+//! frequency band of the price window, and (2) fuses their pre-decisions
+//! through a cross-insight policy, with a centralised critic and a
+//! COMA-style counterfactual advantage for every horizon policy.
+//!
+//! ```no_run
+//! use cit_core::{CitConfig, CrossInsightTrader};
+//! use cit_market::{run_test_period, EnvConfig, MarketPreset};
+//!
+//! let panel = MarketPreset::Hk.scaled(9, 24).generate();
+//! let mut trader = CrossInsightTrader::new(&panel, CitConfig::default());
+//! trader.train(&panel);
+//! let result = run_test_period(&panel, EnvConfig::default(), &mut trader);
+//! println!("CIT: AR {:.3} SR {:.2}", result.metrics.ar, result.metrics.sr);
+//! ```
+
+#![deny(missing_docs)]
+
+mod actor;
+mod config;
+mod critic;
+mod decomposition;
+mod eval;
+mod trainer;
+
+pub use actor::{one_hot, CitActor};
+pub use config::{ActorBody, CitConfig, CriticMode};
+pub use critic::{market_state, CentralCritic, CriticNet, DecCritics};
+pub use decomposition::{horizon_windows, raw_window};
+pub use eval::{per_policy_curves, PolicyCurves};
+pub use trainer::{CrossInsightTrader, Decision};

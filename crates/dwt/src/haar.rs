@@ -1,0 +1,202 @@
+//! Single- and multi-level Haar discrete wavelet transform.
+//!
+//! The Haar analysis filters are
+//! `a[i] = (x[2i] + x[2i+1]) / √2` (low-pass) and
+//! `d[i] = (x[2i] - x[2i+1]) / √2` (high-pass); synthesis inverts them
+//! exactly. Odd-length signals are extended by repeating the final sample;
+//! the original length is remembered so reconstruction is exact.
+
+const SQRT2: f64 = std::f64::consts::SQRT_2;
+
+/// One analysis step: returns `(approximation, detail)` coefficients.
+pub fn haar_step(x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut padded;
+    let x = if x.len() % 2 == 1 {
+        padded = Vec::with_capacity(x.len() + 1);
+        padded.extend_from_slice(x);
+        padded.push(*x.last().expect("non-empty signal"));
+        &padded[..]
+    } else {
+        x
+    };
+    let half = x.len() / 2;
+    let mut a = Vec::with_capacity(half);
+    let mut d = Vec::with_capacity(half);
+    for i in 0..half {
+        a.push((x[2 * i] + x[2 * i + 1]) / SQRT2);
+        d.push((x[2 * i] - x[2 * i + 1]) / SQRT2);
+    }
+    (a, d)
+}
+
+/// One synthesis step: rebuilds the signal of length `out_len` from
+/// approximation and detail coefficients.
+///
+/// # Panics
+/// Panics if the coefficient vectors differ in length or `out_len` exceeds
+/// twice their length.
+pub fn haar_inverse_step(a: &[f64], d: &[f64], out_len: usize) -> Vec<f64> {
+    assert_eq!(a.len(), d.len(), "haar_inverse_step: coefficient length mismatch");
+    assert!(out_len <= 2 * a.len(), "haar_inverse_step: out_len too large");
+    let mut x = Vec::with_capacity(2 * a.len());
+    for i in 0..a.len() {
+        x.push((a[i] + d[i]) / SQRT2);
+        x.push((a[i] - d[i]) / SQRT2);
+    }
+    x.truncate(out_len);
+    x
+}
+
+/// A multi-level Haar decomposition.
+///
+/// `details[0]` holds the level-1 (highest-frequency) coefficients and
+/// `details.last()` the coarsest detail band; `approx` is the remaining
+/// low-frequency approximation. `lengths[l]` is the signal length that
+/// entered analysis level `l`, needed for exact reconstruction of
+/// odd-length signals.
+#[derive(Debug, Clone)]
+pub struct WaveletPyramid {
+    /// Detail coefficients per level, finest first.
+    pub details: Vec<Vec<f64>>,
+    /// Coarsest approximation coefficients.
+    pub approx: Vec<f64>,
+    /// Input length at each analysis level.
+    pub lengths: Vec<usize>,
+}
+
+impl WaveletPyramid {
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Returns a copy with every band zeroed except the selected ones.
+    ///
+    /// `keep_approx` keeps the coarse approximation; `keep_detail` is the
+    /// set of detail level indices (0 = finest) to keep.
+    pub fn masked(&self, keep_approx: bool, keep_detail: &[usize]) -> WaveletPyramid {
+        let mut out = self.clone();
+        if !keep_approx {
+            out.approx.iter_mut().for_each(|v| *v = 0.0);
+        }
+        for (l, d) in out.details.iter_mut().enumerate() {
+            if !keep_detail.contains(&l) {
+                d.iter_mut().for_each(|v| *v = 0.0);
+            }
+        }
+        out
+    }
+}
+
+/// Multi-level analysis of `x`.
+///
+/// # Panics
+/// Panics when `levels == 0` or the signal is empty or too short for the
+/// requested depth (each level needs at least 2 samples).
+pub fn decompose(x: &[f64], levels: usize) -> WaveletPyramid {
+    assert!(levels >= 1, "decompose: need at least one level");
+    assert!(!x.is_empty(), "decompose: empty signal");
+    let mut details = Vec::with_capacity(levels);
+    let mut lengths = Vec::with_capacity(levels);
+    let mut current = x.to_vec();
+    for _ in 0..levels {
+        assert!(current.len() >= 2, "decompose: signal too short for {levels} levels");
+        lengths.push(current.len());
+        let (a, d) = haar_step(&current);
+        details.push(d);
+        current = a;
+    }
+    WaveletPyramid { details, approx: current, lengths }
+}
+
+/// Multi-level synthesis: exact inverse of [`decompose`].
+pub fn reconstruct(p: &WaveletPyramid) -> Vec<f64> {
+    let mut current = p.approx.clone();
+    for l in (0..p.details.len()).rev() {
+        current = haar_inverse_step(&current, &p.details[l], p.lengths[l]);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn single_step_known_values() {
+        let (a, d) = haar_step(&[1.0, 3.0, 2.0, 4.0]);
+        assert_close(&a, &[4.0 / SQRT2, 6.0 / SQRT2], 1e-12);
+        assert_close(&d, &[-2.0 / SQRT2, -2.0 / SQRT2], 1e-12);
+    }
+
+    #[test]
+    fn step_roundtrip_even() {
+        let x = [1.0, -2.0, 3.5, 0.25, 7.0, -1.0];
+        let (a, d) = haar_step(&x);
+        let back = haar_inverse_step(&a, &d, x.len());
+        assert_close(&back, &x, 1e-12);
+    }
+
+    #[test]
+    fn step_roundtrip_odd() {
+        let x = [1.0, 2.0, 3.0];
+        let (a, d) = haar_step(&x);
+        let back = haar_inverse_step(&a, &d, x.len());
+        assert_close(&back, &x, 1e-12);
+    }
+
+    #[test]
+    fn multilevel_roundtrip() {
+        let x: Vec<f64> = (0..37).map(|i| (i as f64 * 0.7).sin() + 0.1 * i as f64).collect();
+        for levels in 1..=4 {
+            let p = decompose(&x, levels);
+            let back = reconstruct(&p);
+            assert_close(&back, &x, 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_signal_has_no_detail() {
+        let x = vec![5.0; 16];
+        let p = decompose(&x, 3);
+        for d in &p.details {
+            assert!(d.iter().all(|v| v.abs() < 1e-12), "constant signal leaked detail energy");
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved() {
+        // Orthonormal Haar preserves the squared norm (even lengths).
+        let x: Vec<f64> = (0..32).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let p = decompose(&x, 4);
+        let coeff_energy: f64 = p.approx.iter().map(|v| v * v).sum::<f64>()
+            + p.details.iter().flat_map(|d| d.iter()).map(|v| v * v).sum::<f64>();
+        let sig_energy: f64 = x.iter().map(|v| v * v).sum();
+        assert!((coeff_energy - sig_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masking_zeroes_bands() {
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let p = decompose(&x, 2);
+        let only_approx = p.masked(true, &[]);
+        assert!(only_approx.details.iter().all(|d| d.iter().all(|v| *v == 0.0)));
+        let only_fine = p.masked(false, &[0]);
+        assert!(only_fine.approx.iter().all(|v| *v == 0.0));
+        assert_eq!(only_fine.details[0], p.details[0]);
+        assert!(only_fine.details[1].iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn too_many_levels_panics() {
+        let _ = decompose(&[1.0, 2.0], 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Horizon decomposition (paper Section IV-A).
+//!
+//! A price window is split into `n` sub-series, one per investment horizon:
+//! scale 0 reconstructs only the coarsest approximation (the long-term
+//! trend) and scale `n-1` only the level-1 detail band (the shortest-term
+//! fluctuations). Because the wavelet transform is linear, the `n`
+//! sub-series sum exactly back to the original window — each horizon policy
+//! sees a disjoint frequency band of the same signal.
+
+use crate::haar::{decompose, reconstruct};
+
+/// Splits `x` into `n_scales` frequency bands, longest horizon first.
+///
+/// For `n_scales == 1` the original series is returned unchanged. Otherwise
+/// an `(n_scales − 1)`-level Haar decomposition is taken and band `k`
+/// reconstructs: the approximation (k = 0), or detail level
+/// `n_scales − 1 − k` (k ≥ 1), so the last band is the finest detail.
+///
+/// # Panics
+/// Panics if `n_scales == 0` or the signal is too short for the implied
+/// decomposition depth.
+pub fn horizon_scales(x: &[f64], n_scales: usize) -> Vec<Vec<f64>> {
+    assert!(n_scales >= 1, "horizon_scales: need at least one scale");
+    if n_scales == 1 {
+        return vec![x.to_vec()];
+    }
+    let levels = n_scales - 1;
+    let pyramid = decompose(x, levels);
+    let mut out = Vec::with_capacity(n_scales);
+    // Band 0: approximation only — the long-term horizon.
+    out.push(reconstruct(&pyramid.masked(true, &[])));
+    // Bands 1..n: detail levels from coarsest to finest.
+    for k in 1..n_scales {
+        let detail_level = n_scales - 1 - k; // n-1 → coarsest .. 0 → finest
+        out.push(reconstruct(&pyramid.masked(false, &[detail_level])));
+    }
+    out
+}
+
+/// Smooths `x` by dropping the `drop_finest` highest-frequency bands of a
+/// `levels`-level decomposition — the classic wavelet-denoising
+/// pre-processing step ([11]–[13] in the paper).
+pub fn wavelet_smooth(x: &[f64], levels: usize, drop_finest: usize) -> Vec<f64> {
+    let pyramid = decompose(x, levels);
+    let keep: Vec<usize> = (drop_finest..levels).collect();
+    reconstruct(&pyramid.masked(true, &keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                0.05 * t + (t * 0.1).sin() + 0.3 * (t * 1.3).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scales_sum_to_original() {
+        let x = signal(64);
+        for n in 1..=4 {
+            let scales = horizon_scales(&x, n);
+            assert_eq!(scales.len(), n);
+            for t in 0..x.len() {
+                let sum: f64 = scales.iter().map(|s| s[t]).sum();
+                assert!((sum - x[t]).abs() < 1e-9, "n={n} t={t}: {sum} vs {}", x[t]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_scale_is_identity() {
+        let x = signal(16);
+        let scales = horizon_scales(&x, 1);
+        assert_eq!(scales[0], x);
+    }
+
+    #[test]
+    fn long_horizon_band_is_smoother() {
+        // Total variation of the approximation band must be lower than that
+        // of the finest detail band for a noisy signal.
+        let x = signal(128);
+        let scales = horizon_scales(&x, 3);
+        let tv = |s: &[f64]| s.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>();
+        assert!(
+            tv(&scales[0]) < tv(&scales[2]) + tv(&scales[0]) * 0.5,
+            "long-horizon band should be smooth"
+        );
+        // The long-horizon band carries the trend: its mean tracks the
+        // signal mean while detail bands are near zero-mean.
+        let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean(&scales[0]) - mean(&x)).abs() < 1e-9);
+        assert!(mean(&scales[2]).abs() < 0.2);
+    }
+
+    #[test]
+    fn detail_bands_have_near_zero_mean() {
+        let x = signal(64);
+        let scales = horizon_scales(&x, 4);
+        for (k, s) in scales.iter().enumerate().skip(1) {
+            let mean = s.iter().sum::<f64>() / s.len() as f64;
+            assert!(mean.abs() < 0.5, "band {k} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn smooth_reduces_variation() {
+        let x: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.05).sin() + if i % 2 == 0 { 0.4 } else { -0.4 })
+            .collect();
+        let smoothed = wavelet_smooth(&x, 3, 1);
+        let tv = |s: &[f64]| s.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>();
+        assert!(tv(&smoothed) < tv(&x), "smoothing should lower total variation");
+        assert_eq!(smoothed.len(), x.len());
+    }
+
+    #[test]
+    fn smooth_with_zero_dropped_is_identity() {
+        let x = signal(32);
+        let same = wavelet_smooth(&x, 2, 0);
+        for (a, b) in same.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

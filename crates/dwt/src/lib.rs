@@ -1,0 +1,22 @@
+//! # cit-dwt
+//!
+//! Multi-level Haar discrete wavelet transform (DWT) and the horizon
+//! decomposition of paper Section IV-A: a price window is split into `n`
+//! disjoint frequency bands — long-term trend through short-term
+//! fluctuation — and each band feeds one horizon-specific policy.
+//!
+//! ```
+//! let window: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin() + i as f64 * 0.01).collect();
+//! let scales = cit_dwt::horizon_scales(&window, 3);
+//! // The bands sum back to the original signal exactly.
+//! let recon: f64 = scales.iter().map(|s| s[10]).sum();
+//! assert!((recon - window[10]).abs() < 1e-9);
+//! ```
+
+#![deny(missing_docs)]
+
+mod haar;
+mod horizon;
+
+pub use haar::{decompose, haar_inverse_step, haar_step, reconstruct, WaveletPyramid};
+pub use horizon::{horizon_scales, wavelet_smooth};

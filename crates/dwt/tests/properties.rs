@@ -1,0 +1,66 @@
+//! Property-based invariants of the wavelet transform.
+
+use cit_dwt::{decompose, horizon_scales, reconstruct, wavelet_smooth};
+use proptest::prelude::*;
+
+fn arb_signal() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, 8..128)
+}
+
+proptest! {
+    #[test]
+    fn perfect_reconstruction(x in arb_signal(), levels in 1usize..4) {
+        let p = decompose(&x, levels);
+        let back = reconstruct(&p);
+        prop_assert_eq!(back.len(), x.len());
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((a - b).abs() < 1e-8, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn horizon_bands_partition_signal(x in arb_signal(), n in 1usize..5) {
+        let scales = horizon_scales(&x, n);
+        prop_assert_eq!(scales.len(), n);
+        for s in &scales {
+            prop_assert_eq!(s.len(), x.len());
+        }
+        for t in 0..x.len() {
+            let sum: f64 = scales.iter().map(|s| s[t]).sum();
+            prop_assert!((sum - x[t]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn smoothing_never_changes_length(x in arb_signal(), drop in 0usize..3) {
+        let s = wavelet_smooth(&x, 3, drop);
+        prop_assert_eq!(s.len(), x.len());
+    }
+
+    #[test]
+    fn decomposition_is_linear(x in proptest::collection::vec(-50.0f64..50.0, 16..64), c in -3.0f64..3.0) {
+        // decompose(c·x) == c·decompose(x)
+        let scaled: Vec<f64> = x.iter().map(|v| c * v).collect();
+        let pa = decompose(&x, 2);
+        let pb = decompose(&scaled, 2);
+        for (da, db) in pa.details.iter().zip(&pb.details) {
+            for (a, b) in da.iter().zip(db) {
+                prop_assert!((c * a - b).abs() < 1e-7);
+            }
+        }
+        for (a, b) in pa.approx.iter().zip(&pb.approx) {
+            prop_assert!((c * a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn approx_band_preserves_mean_for_pow2(exp in 3u32..7, offset in -10.0f64..10.0) {
+        // For power-of-two lengths the approximation band has exactly the
+        // same mean as the input (Haar averages pairs).
+        let n = 1usize << exp;
+        let x: Vec<f64> = (0..n).map(|i| offset + (i as f64 * 0.37).sin()).collect();
+        let scales = horizon_scales(&x, 3);
+        let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        prop_assert!((mean(&scales[0]) - mean(&x)).abs() < 1e-8);
+    }
+}

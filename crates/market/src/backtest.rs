@@ -1,0 +1,215 @@
+//! Backtesting harness shared by every strategy in the workspace.
+
+use crate::env::{project_to_simplex, EnvConfig};
+use crate::metrics::{compute, Metrics};
+use crate::panel::AssetPanel;
+
+/// Everything a strategy may look at when deciding the portfolio for the
+/// *next* day: history up to and including day `t`, never beyond.
+pub struct DecisionContext<'a> {
+    /// The full panel (look only at days ≤ `t`!).
+    pub panel: &'a AssetPanel,
+    /// The current day index.
+    pub t: usize,
+    /// Weights currently held (after price drift).
+    pub prev_weights: &'a [f64],
+    /// The backtest's look-back window length.
+    pub window: usize,
+}
+
+/// A portfolio-selection strategy.
+pub trait Strategy {
+    /// Display name used in result tables.
+    fn name(&self) -> String;
+
+    /// Called once before a backtest with the asset count.
+    fn reset(&mut self, _num_assets: usize) {}
+
+    /// Returns the target portfolio for day `t+1`; will be projected onto
+    /// the simplex by the harness.
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64>;
+}
+
+/// Output of [`run_backtest`].
+#[derive(Debug, Clone)]
+pub struct BacktestResult {
+    /// Strategy name.
+    pub name: String,
+    /// Wealth after each day, starting at 1.0.
+    pub wealth: Vec<f64>,
+    /// Daily simple returns (net of costs).
+    pub daily_returns: Vec<f64>,
+    /// The weight vector used each day.
+    pub weights: Vec<Vec<f64>>,
+    /// Summary metrics.
+    pub metrics: Metrics,
+}
+
+/// Runs `strategy` over `[start, end)` of the panel with the given
+/// environment configuration, returning the wealth curve and metrics.
+///
+/// # Panics
+/// Panics on invalid spans (see [`crate::env::PortfolioEnv::new`]).
+pub fn run_backtest(
+    panel: &AssetPanel,
+    cfg: EnvConfig,
+    start: usize,
+    end: usize,
+    strategy: &mut dyn Strategy,
+) -> BacktestResult {
+    assert!(start + 1 < end && end <= panel.num_days(), "invalid backtest span");
+    let m = panel.num_assets();
+    strategy.reset(m);
+
+    let mut wealth = 1.0f64;
+    let mut curve = vec![1.0f64];
+    let mut daily = Vec::with_capacity(end - start - 1);
+    let mut weights_hist = Vec::with_capacity(end - start - 1);
+    let mut held = vec![1.0 / m as f64; m];
+
+    for t in start..end - 1 {
+        let ctx = DecisionContext { panel, t, prev_weights: &held, window: cfg.window };
+        let target = project_to_simplex(&strategy.decide(&ctx));
+        let turnover: f64 = target.iter().zip(&held).map(|(a, b)| (a - b).abs()).sum();
+        let cost_factor = 1.0 - cfg.transaction_cost * turnover;
+        let rel = panel.price_relatives(t + 1);
+        let growth: f64 = target.iter().zip(&rel).map(|(w, r)| w * r).sum();
+        let net = (growth * cost_factor).max(1e-9);
+        wealth *= net;
+        curve.push(wealth);
+        daily.push(net - 1.0);
+        // Drift.
+        let mut drifted: Vec<f64> = target.iter().zip(&rel).map(|(w, r)| w * r).collect();
+        let norm: f64 = drifted.iter().sum();
+        if norm > 0.0 {
+            drifted.iter_mut().for_each(|w| *w /= norm);
+        }
+        held = drifted;
+        weights_hist.push(target);
+    }
+
+    let metrics = compute(&curve, &daily);
+    BacktestResult { name: strategy.name(), wealth: curve, daily_returns: daily, weights: weights_hist, metrics }
+}
+
+/// Runs a backtest over the panel's test period.
+pub fn run_test_period(
+    panel: &AssetPanel,
+    cfg: EnvConfig,
+    strategy: &mut dyn Strategy,
+) -> BacktestResult {
+    run_backtest(panel, cfg, panel.test_start(), panel.num_days(), strategy)
+}
+
+/// The uniform buy-and-rebalance benchmark ("Market" uses the index; this
+/// is CRP with uniform weights, also handy in tests).
+pub struct UniformStrategy;
+
+impl Strategy for UniformStrategy {
+    fn name(&self) -> String {
+        "Uniform".to_string()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        vec![1.0 / ctx.panel.num_assets() as f64; ctx.panel.num_assets()]
+    }
+}
+
+/// The market index expressed as a [`BacktestResult`] so it can sit in the
+/// same tables as strategies (buy equal amounts on day `start`, never
+/// rebalance).
+pub fn market_result(panel: &AssetPanel, start: usize, end: usize) -> BacktestResult {
+    assert!(start + 1 < end && end <= panel.num_days(), "invalid span");
+    let m = panel.num_assets();
+    let base = panel.closes(start);
+    let mut curve = Vec::with_capacity(end - start);
+    for t in start..end {
+        let closes = panel.closes(t);
+        let v = closes.iter().zip(&base).map(|(c, b)| c / b).sum::<f64>() / m as f64;
+        curve.push(v);
+    }
+    let daily: Vec<f64> = curve.windows(2).map(|w| w[1] / w[0] - 1.0).collect();
+    let metrics = compute(&curve, &daily);
+    BacktestResult {
+        name: "Market".to_string(),
+        wealth: curve,
+        daily_returns: daily,
+        weights: Vec::new(),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    fn panel() -> AssetPanel {
+        SynthConfig { num_assets: 5, num_days: 200, test_start: 150, ..Default::default() }.generate()
+    }
+
+    #[test]
+    fn uniform_backtest_runs() {
+        let p = panel();
+        let cfg = EnvConfig { window: 10, transaction_cost: 1e-3 };
+        let res = run_test_period(&p, cfg, &mut UniformStrategy);
+        assert_eq!(res.wealth.len(), p.num_days() - p.test_start());
+        assert_eq!(res.daily_returns.len(), res.wealth.len() - 1);
+        assert!(res.metrics.mdd >= 0.0 && res.metrics.mdd <= 1.0);
+    }
+
+    #[test]
+    fn weights_recorded_are_simplex() {
+        let p = panel();
+        let cfg = EnvConfig { window: 10, transaction_cost: 0.0 };
+        let res = run_backtest(&p, cfg, 20, 60, &mut UniformStrategy);
+        for w in &res.weights {
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn market_result_matches_index_shape() {
+        let p = panel();
+        let res = market_result(&p, p.test_start(), p.num_days());
+        assert!((res.wealth[0] - 1.0).abs() < 1e-12);
+        assert_eq!(res.wealth.len(), p.num_days() - p.test_start());
+    }
+
+    #[test]
+    fn wealth_consistent_with_daily_returns() {
+        let p = panel();
+        let cfg = EnvConfig { window: 10, transaction_cost: 1e-3 };
+        let res = run_backtest(&p, cfg, 30, 80, &mut UniformStrategy);
+        let mut w = 1.0;
+        for (i, r) in res.daily_returns.iter().enumerate() {
+            w *= 1.0 + r;
+            assert!((w - res.wealth[i + 1]).abs() < 1e-9);
+        }
+    }
+
+    /// A deliberately bad strategy should not crash the harness — outputs
+    /// get projected to the simplex.
+    struct BadStrategy;
+    impl Strategy for BadStrategy {
+        fn name(&self) -> String {
+            "Bad".to_string()
+        }
+        fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+            vec![f64::NAN; ctx.panel.num_assets()]
+        }
+    }
+
+    #[test]
+    fn nan_actions_fall_back_to_uniform() {
+        let p = panel();
+        let cfg = EnvConfig { window: 10, transaction_cost: 0.0 };
+        let bad = run_backtest(&p, cfg, 20, 50, &mut BadStrategy);
+        let uni = run_backtest(&p, cfg, 20, 50, &mut UniformStrategy);
+        for (a, b) in bad.wealth.iter().zip(&uni.wealth) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

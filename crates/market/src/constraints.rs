@@ -1,0 +1,274 @@
+//! Portfolio constraints: per-asset weight caps and group (sector)
+//! exposure limits, enforced by iterative redistribution on the simplex.
+//! A [`ConstrainedStrategy`] wrapper applies them to any inner
+//! [`Strategy`], so a risk office can cap what a learned policy may do.
+
+use crate::backtest::{DecisionContext, Strategy};
+use crate::env::project_to_simplex;
+
+/// Declarative constraints on a long-only portfolio.
+#[derive(Debug, Clone, Default)]
+pub struct PortfolioConstraints {
+    /// Maximum weight of any single asset (`None` = uncapped).
+    pub max_weight: Option<f64>,
+    /// Minimum weight of any single asset (useful to force diversification).
+    pub min_weight: Option<f64>,
+    /// Asset-index groups with a maximum combined exposure.
+    pub group_caps: Vec<(Vec<usize>, f64)>,
+}
+
+impl PortfolioConstraints {
+    /// A cap-only constraint set.
+    pub fn with_max_weight(cap: f64) -> Self {
+        PortfolioConstraints { max_weight: Some(cap), ..Default::default() }
+    }
+
+    /// `true` when `w` satisfies every constraint within `tol`.
+    pub fn is_satisfied(&self, w: &[f64], tol: f64) -> bool {
+        if let Some(cap) = self.max_weight {
+            if w.iter().any(|&x| x > cap + tol) {
+                return false;
+            }
+        }
+        if let Some(floor) = self.min_weight {
+            if w.iter().any(|&x| x < floor - tol) {
+                return false;
+            }
+        }
+        for (group, cap) in &self.group_caps {
+            let exposure: f64 = group.iter().map(|&i| w[i]).sum();
+            if exposure > cap + tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Feasibility check: caps must admit a simplex point.
+    ///
+    /// # Panics
+    /// Panics if the constraints cannot be satisfied by any portfolio of
+    /// `m` assets (e.g. `max_weight · m < 1`).
+    pub fn assert_feasible(&self, m: usize) {
+        if let Some(cap) = self.max_weight {
+            assert!(cap * m as f64 >= 1.0 - 1e-9, "max_weight {cap} infeasible for {m} assets");
+        }
+        if let Some(floor) = self.min_weight {
+            assert!(floor * m as f64 <= 1.0 + 1e-9, "min_weight {floor} infeasible for {m} assets");
+        }
+        if let (Some(cap), Some(floor)) = (self.max_weight, self.min_weight) {
+            assert!(cap >= floor, "max_weight below min_weight");
+        }
+    }
+
+    /// Projects `w` onto the constraint set (approximately): clamp, then
+    /// redistribute the excess to unconstrained assets, iterating until
+    /// stable. Falls back to the closest feasible uniform-ish portfolio.
+    pub fn apply(&self, w: &[f64]) -> Vec<f64> {
+        let m = w.len();
+        self.assert_feasible(m);
+        let mut out = project_to_simplex(w);
+        for _ in 0..32 {
+            let mut changed = false;
+
+            // Per-asset caps and floors.
+            if let Some(cap) = self.max_weight {
+                let excess: f64 = out.iter().map(|&x| (x - cap).max(0.0)).sum();
+                if excess > 1e-12 {
+                    changed = true;
+                    let headroom: f64 =
+                        out.iter().map(|&x| if x < cap { cap - x } else { 0.0 }).sum();
+                    let mut next = out.clone();
+                    for x in next.iter_mut() {
+                        if *x > cap {
+                            *x = cap;
+                        }
+                    }
+                    if headroom > 1e-12 {
+                        for x in next.iter_mut() {
+                            if *x < cap {
+                                *x += excess * (cap - *x) / headroom;
+                            }
+                        }
+                    }
+                    out = next;
+                }
+            }
+            if let Some(floor) = self.min_weight {
+                let deficit: f64 = out.iter().map(|&x| (floor - x).max(0.0)).sum();
+                if deficit > 1e-12 {
+                    changed = true;
+                    let surplus: f64 =
+                        out.iter().map(|&x| (x - floor).max(0.0)).sum();
+                    let mut next = out.clone();
+                    for x in next.iter_mut() {
+                        if *x < floor {
+                            *x = floor;
+                        }
+                    }
+                    if surplus > 1e-12 {
+                        for x in next.iter_mut() {
+                            if *x > floor {
+                                *x -= deficit * (*x - floor) / surplus;
+                            }
+                        }
+                    }
+                    out = next;
+                }
+            }
+
+            // Group caps: scale the group down, spread excess outside it.
+            for (group, cap) in &self.group_caps {
+                let exposure: f64 = group.iter().map(|&i| out[i]).sum();
+                if exposure > cap + 1e-12 {
+                    changed = true;
+                    let scale = cap / exposure;
+                    let freed = exposure - cap;
+                    let outside: Vec<usize> =
+                        (0..m).filter(|i| !group.contains(i)).collect();
+                    let outside_mass: f64 = outside.iter().map(|&i| out[i]).sum();
+                    for &i in group {
+                        out[i] *= scale;
+                    }
+                    if outside.is_empty() {
+                        continue;
+                    }
+                    for &i in &outside {
+                        if outside_mass > 1e-12 {
+                            out[i] += freed * out[i] / outside_mass;
+                        } else {
+                            out[i] += freed / outside.len() as f64;
+                        }
+                    }
+                }
+            }
+
+            // Renormalise drift.
+            let sum: f64 = out.iter().sum();
+            if (sum - 1.0).abs() > 1e-12 && sum > 0.0 {
+                out.iter_mut().for_each(|x| *x /= sum);
+            }
+            if !changed {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Wraps a strategy and forces its output through the constraints.
+pub struct ConstrainedStrategy<S: Strategy> {
+    inner: S,
+    constraints: PortfolioConstraints,
+}
+
+impl<S: Strategy> ConstrainedStrategy<S> {
+    /// Wraps `inner` with `constraints`.
+    pub fn new(inner: S, constraints: PortfolioConstraints) -> Self {
+        ConstrainedStrategy { inner, constraints }
+    }
+}
+
+impl<S: Strategy> Strategy for ConstrainedStrategy<S> {
+    fn name(&self) -> String {
+        format!("{}+caps", self.inner.name())
+    }
+
+    fn reset(&mut self, m: usize) {
+        self.constraints.assert_feasible(m);
+        self.inner.reset(m);
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let raw = self.inner.decide(ctx);
+        self.constraints.apply(&raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backtest::run_backtest;
+    use crate::env::EnvConfig;
+    use crate::synth::SynthConfig;
+
+    #[test]
+    fn cap_is_enforced() {
+        let c = PortfolioConstraints::with_max_weight(0.4);
+        let w = c.apply(&[0.9, 0.05, 0.05]);
+        assert!(c.is_satisfied(&w, 1e-9), "{w:?}");
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w[0] <= 0.4 + 1e-9);
+    }
+
+    #[test]
+    fn floor_is_enforced() {
+        let c = PortfolioConstraints { min_weight: Some(0.1), ..Default::default() };
+        let w = c.apply(&[1.0, 0.0, 0.0]);
+        assert!(c.is_satisfied(&w, 1e-9), "{w:?}");
+        assert!(w.iter().all(|&x| x >= 0.1 - 1e-9));
+    }
+
+    #[test]
+    fn group_cap_is_enforced() {
+        let c = PortfolioConstraints {
+            group_caps: vec![(vec![0, 1], 0.5)],
+            ..Default::default()
+        };
+        let w = c.apply(&[0.5, 0.4, 0.1]);
+        assert!(c.is_satisfied(&w, 1e-6), "{w:?}");
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w[0] + w[1] <= 0.5 + 1e-6);
+    }
+
+    #[test]
+    fn feasible_input_is_untouched() {
+        let c = PortfolioConstraints::with_max_weight(0.6);
+        let input = [0.5, 0.3, 0.2];
+        let w = c.apply(&input);
+        for (a, b) in w.iter().zip(&input) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_cap_panics() {
+        let c = PortfolioConstraints::with_max_weight(0.2);
+        let _ = c.apply(&[0.5, 0.5]); // 2 assets · 0.2 < 1
+    }
+
+    #[test]
+    fn constrained_strategy_caps_a_concentrated_policy() {
+        struct AllIn;
+        impl Strategy for AllIn {
+            fn name(&self) -> String {
+                "AllIn".to_string()
+            }
+            fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+                let m = ctx.panel.num_assets();
+                let mut w = vec![0.0; m];
+                w[0] = 1.0;
+                w
+            }
+        }
+        let p = SynthConfig { num_assets: 4, num_days: 120, test_start: 90, ..Default::default() }
+            .generate();
+        let mut capped =
+            ConstrainedStrategy::new(AllIn, PortfolioConstraints::with_max_weight(0.5));
+        let res = run_backtest(&p, EnvConfig::default(), 40, 80, &mut capped);
+        assert_eq!(res.name, "AllIn+caps");
+        for w in &res.weights {
+            assert!(w[0] <= 0.5 + 1e-6, "cap violated: {w:?}");
+        }
+    }
+
+    #[test]
+    fn cap_at_uniform_yields_uniform() {
+        let c = PortfolioConstraints::with_max_weight(0.25);
+        let w = c.apply(&[1.0, 0.0, 0.0, 0.0]);
+        for x in &w {
+            assert!((x - 0.25).abs() < 1e-6, "{w:?}");
+        }
+    }
+}

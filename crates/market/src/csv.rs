@@ -1,0 +1,203 @@
+//! Minimal CSV import/export so real market data (e.g. Yahoo-Finance
+//! exports) can replace the synthetic generator, and experiment outputs
+//! (equity curves, per-day series for the paper's figures) can be saved.
+
+use crate::panel::{AssetPanel, NUM_FEATURES};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Errors raised by CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the CSV content.
+    Malformed(String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::Malformed(m) => write!(f, "malformed csv: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Serialises a panel to CSV with header
+/// `day,asset,open,high,low,close` (long format).
+pub fn panel_to_csv(panel: &AssetPanel) -> String {
+    let mut out = String::with_capacity(panel.num_days() * panel.num_assets() * 32);
+    out.push_str("day,asset,open,high,low,close\n");
+    for t in 0..panel.num_days() {
+        for i in 0..panel.num_assets() {
+            let _ = writeln!(
+                out,
+                "{t},{},{:.6},{:.6},{:.6},{:.6}",
+                panel.asset_names()[i],
+                panel.price(t, i, crate::panel::Feature::Open),
+                panel.price(t, i, crate::panel::Feature::High),
+                panel.price(t, i, crate::panel::Feature::Low),
+                panel.price(t, i, crate::panel::Feature::Close),
+            );
+        }
+    }
+    out
+}
+
+/// Parses the long-format CSV produced by [`panel_to_csv`].
+///
+/// Days must be contiguous from 0 and every day must list the same assets
+/// in the same order.
+pub fn panel_from_csv(name: &str, csv: &str, test_start: usize) -> Result<AssetPanel, CsvError> {
+    let mut lines = csv.lines();
+    let header = lines.next().ok_or_else(|| CsvError::Malformed("empty file".into()))?;
+    if header.trim() != "day,asset,open,high,low,close" {
+        return Err(CsvError::Malformed(format!("unexpected header: {header}")));
+    }
+    let mut rows: Vec<(usize, String, [f64; 4])> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 6 {
+            return Err(CsvError::Malformed(format!("line {}: expected 6 fields", lineno + 2)));
+        }
+        let day: usize = parts[0]
+            .parse()
+            .map_err(|_| CsvError::Malformed(format!("line {}: bad day", lineno + 2)))?;
+        let mut vals = [0.0f64; 4];
+        for (k, v) in parts[2..].iter().enumerate() {
+            vals[k] = v
+                .parse()
+                .map_err(|_| CsvError::Malformed(format!("line {}: bad price", lineno + 2)))?;
+        }
+        rows.push((day, parts[1].to_string(), vals));
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Malformed("no data rows".into()));
+    }
+    let num_days = rows.iter().map(|r| r.0).max().expect("non-empty") + 1;
+    let assets: Vec<String> = {
+        let mut seen = Vec::new();
+        for r in rows.iter().filter(|r| r.0 == 0) {
+            seen.push(r.1.clone());
+        }
+        seen
+    };
+    let m = assets.len();
+    if m == 0 {
+        return Err(CsvError::Malformed("no assets on day 0".into()));
+    }
+    if rows.len() != num_days * m {
+        return Err(CsvError::Malformed(format!(
+            "expected {} rows ({} days × {} assets), found {}",
+            num_days * m,
+            num_days,
+            m,
+            rows.len()
+        )));
+    }
+    let mut data = vec![0.0f64; num_days * m * NUM_FEATURES];
+    for (day, asset, vals) in rows {
+        let i = assets
+            .iter()
+            .position(|a| *a == asset)
+            .ok_or_else(|| CsvError::Malformed(format!("asset {asset} missing from day 0")))?;
+        let idx = (day * m + i) * NUM_FEATURES;
+        data[idx..idx + 4].copy_from_slice(&vals);
+    }
+    let mut panel = AssetPanel::new(name, num_days, m, data, test_start);
+    panel.set_asset_names(assets);
+    Ok(panel)
+}
+
+/// Writes labelled series (e.g. equity curves for the paper's figures) as a
+/// wide CSV: first column `day`, one column per series. Series are padded
+/// with empty cells when lengths differ.
+pub fn series_to_csv(series: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    out.push_str("day");
+    for (name, _) in series {
+        let _ = write!(out, ",{name}");
+    }
+    out.push('\n');
+    let max_len = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for t in 0..max_len {
+        let _ = write!(out, "{t}");
+        for (_, s) in series {
+            match s.get(t) {
+                Some(v) => {
+                    let _ = write!(out, ",{v:.6}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Saves a string to a file, creating parent directories.
+pub fn save(path: impl AsRef<Path>, content: &str) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    #[test]
+    fn panel_csv_roundtrip() {
+        let p =
+            SynthConfig { num_assets: 3, num_days: 10, test_start: 7, ..Default::default() }.generate();
+        let csv = panel_to_csv(&p);
+        let back = panel_from_csv("rt", &csv, 7).expect("roundtrip parse");
+        assert_eq!(back.num_days(), 10);
+        assert_eq!(back.num_assets(), 3);
+        for t in 0..10 {
+            for i in 0..3 {
+                assert!((back.close(t, i) - p.close(t, i)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            panel_from_csv("x", "a,b,c\n", 0),
+            Err(CsvError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_rows() {
+        let csv = "day,asset,open,high,low,close\n0,A,1,1,1,1\n1,A,1,1,1,1\n1,B,1,1,1,1\n";
+        assert!(matches!(panel_from_csv("x", csv, 0), Err(CsvError::Malformed(_))));
+    }
+
+    #[test]
+    fn series_csv_pads_unequal_lengths() {
+        let csv = series_to_csv(&[
+            ("a".to_string(), vec![1.0, 2.0]),
+            ("b".to_string(), vec![1.0]),
+        ]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "day,a,b");
+        assert!(lines[2].ends_with(','), "missing value should be empty cell: {}", lines[2]);
+    }
+}

@@ -1,0 +1,311 @@
+//! The portfolio-management MDP (paper Section III).
+//!
+//! State: a feature window over the `z` most recent days. Action: a
+//! portfolio vector on the simplex. Reward: log return of the portfolio
+//! value net of transaction costs. The market is exogenous — actions do not
+//! affect price transitions (`s_{t+1} ~ Z(s_t)`), matching the paper's
+//! assumption.
+
+use crate::panel::AssetPanel;
+
+/// Configuration of a [`PortfolioEnv`].
+#[derive(Debug, Clone, Copy)]
+pub struct EnvConfig {
+    /// Look-back window length `z`.
+    pub window: usize,
+    /// Proportional transaction cost per unit of turnover (e.g. 0.001).
+    pub transaction_cost: f64,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig { window: 32, transaction_cost: 1e-3 }
+    }
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Log return of portfolio value, net of costs (the paper's `r_t`).
+    pub reward: f64,
+    /// Simple (arithmetic) net return this day.
+    pub simple_return: f64,
+    /// `true` when the episode has consumed the final day.
+    pub done: bool,
+}
+
+/// A sequential portfolio-management environment over a span of days of an
+/// [`AssetPanel`].
+pub struct PortfolioEnv<'a> {
+    panel: &'a AssetPanel,
+    cfg: EnvConfig,
+    start: usize,
+    end: usize,
+    t: usize,
+    wealth: f64,
+    weights: Vec<f64>,
+    wealth_curve: Vec<f64>,
+}
+
+impl<'a> PortfolioEnv<'a> {
+    /// Creates an environment running from day `start` to `end` (exclusive).
+    ///
+    /// Decisions are made on each day `t ∈ [start, end−1)` and realised on
+    /// `t+1`. `start` must leave at least `window` days of history.
+    ///
+    /// # Panics
+    /// Panics when the span is too short or exceeds the panel.
+    pub fn new(panel: &'a AssetPanel, cfg: EnvConfig, start: usize, end: usize) -> Self {
+        assert!(start + 1 >= cfg.window, "start leaves insufficient history for the window");
+        assert!(end <= panel.num_days(), "end beyond panel");
+        assert!(start + 1 < end, "span must contain at least one step");
+        let m = panel.num_assets();
+        let mut env = PortfolioEnv {
+            panel,
+            cfg,
+            start,
+            end,
+            t: start,
+            wealth: 1.0,
+            weights: vec![1.0 / m as f64; m],
+            wealth_curve: Vec::new(),
+        };
+        env.reset();
+        env
+    }
+
+    /// Convenience: an environment over the panel's test period.
+    pub fn test_period(panel: &'a AssetPanel, cfg: EnvConfig) -> Self {
+        Self::new(panel, cfg, panel.test_start(), panel.num_days())
+    }
+
+    /// Convenience: an environment over the panel's training period.
+    pub fn train_period(panel: &'a AssetPanel, cfg: EnvConfig) -> Self {
+        Self::new(panel, cfg, cfg.window.max(1) - 1 + 1, panel.test_start())
+    }
+
+    /// Resets wealth, weights and the clock.
+    pub fn reset(&mut self) {
+        let m = self.panel.num_assets();
+        self.t = self.start;
+        self.wealth = 1.0;
+        // The paper initialises the portfolio by average assignment.
+        self.weights = vec![1.0 / m as f64; m];
+        self.wealth_curve = vec![1.0];
+    }
+
+    /// The current decision day.
+    pub fn current_day(&self) -> usize {
+        self.t
+    }
+
+    /// Days remaining until the episode ends.
+    pub fn remaining_steps(&self) -> usize {
+        (self.end - 1).saturating_sub(self.t)
+    }
+
+    /// Current wealth (starts at 1.0).
+    pub fn wealth(&self) -> f64 {
+        self.wealth
+    }
+
+    /// Portfolio weights currently held (post-drift from last step).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Wealth recorded after every step (first element 1.0).
+    pub fn wealth_curve(&self) -> &[f64] {
+        &self.wealth_curve
+    }
+
+    /// The underlying panel.
+    pub fn panel(&self) -> &AssetPanel {
+        self.panel
+    }
+
+    /// Environment configuration.
+    pub fn config(&self) -> EnvConfig {
+        self.cfg
+    }
+
+    /// The normalised `[m, d, z]` observation for the current day.
+    pub fn observation(&self) -> Vec<f64> {
+        self.panel.normalized_window(self.t, self.cfg.window)
+    }
+
+    /// Rebalances to `action` (projected onto the simplex defensively),
+    /// advances one day and returns the realised reward.
+    ///
+    /// # Panics
+    /// Panics if called after the episode finished or the action length
+    /// mismatches the asset count.
+    pub fn step(&mut self, action: &[f64]) -> StepResult {
+        assert!(self.t + 1 < self.end, "step after episode end");
+        let m = self.panel.num_assets();
+        assert_eq!(action.len(), m, "action length {} vs assets {m}", action.len());
+        let target = project_to_simplex(action);
+
+        // Transaction cost on turnover vs current (drifted) weights.
+        let turnover: f64 =
+            target.iter().zip(&self.weights).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        let cost_factor = 1.0 - self.cfg.transaction_cost * turnover;
+
+        // Realise next-day growth.
+        let rel = self.panel.price_relatives(self.t + 1);
+        let growth: f64 = target.iter().zip(&rel).map(|(w, r)| w * r).sum();
+        let net = (growth * cost_factor).max(1e-9);
+        self.wealth *= net;
+        self.wealth_curve.push(self.wealth);
+
+        // Weights drift with prices.
+        let mut drifted: Vec<f64> = target.iter().zip(&rel).map(|(w, r)| w * r).collect();
+        let norm: f64 = drifted.iter().sum();
+        if norm > 0.0 {
+            drifted.iter_mut().for_each(|w| *w /= norm);
+        }
+        self.weights = drifted;
+
+        self.t += 1;
+        StepResult {
+            reward: net.ln(),
+            simple_return: net - 1.0,
+            done: self.t + 1 >= self.end,
+        }
+    }
+}
+
+/// Projects an arbitrary vector onto the probability simplex by clamping
+/// negatives to zero and renormalising; falls back to uniform weights when
+/// everything is non-positive or non-finite.
+pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
+    let m = v.len();
+    let mut w: Vec<f64> = v.iter().map(|&x| if x.is_finite() && x > 0.0 { x } else { 0.0 }).collect();
+    let sum: f64 = w.iter().sum();
+    if sum <= 0.0 {
+        return vec![1.0 / m as f64; m];
+    }
+    w.iter_mut().for_each(|x| *x /= sum);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    fn panel() -> AssetPanel {
+        SynthConfig { num_assets: 4, num_days: 120, test_start: 90, ..Default::default() }.generate()
+    }
+
+    #[test]
+    fn episode_walks_to_end() {
+        let p = panel();
+        let cfg = EnvConfig { window: 10, transaction_cost: 0.0 };
+        let mut env = PortfolioEnv::new(&p, cfg, 20, 40);
+        let mut steps = 0;
+        loop {
+            let m = p.num_assets();
+            let r = env.step(&vec![1.0 / m as f64; m]);
+            steps += 1;
+            if r.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 19);
+        assert_eq!(env.wealth_curve().len(), 20);
+    }
+
+    #[test]
+    fn uniform_weights_track_index_without_costs() {
+        let p = panel();
+        let cfg = EnvConfig { window: 5, transaction_cost: 0.0 };
+        let mut env = PortfolioEnv::new(&p, cfg, 10, 30);
+        let m = p.num_assets();
+        let uniform = vec![1.0 / m as f64; m];
+        let mut wealth_check = 1.0;
+        for t in 10..29 {
+            let r = env.step(&uniform);
+            let rel = p.price_relatives(t + 1);
+            let expect: f64 = rel.iter().sum::<f64>() / m as f64;
+            wealth_check *= expect;
+            assert!((r.simple_return - (expect - 1.0)).abs() < 1e-12);
+        }
+        assert!((env.wealth() - wealth_check).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transaction_costs_reduce_wealth() {
+        let p = panel();
+        let free = EnvConfig { window: 5, transaction_cost: 0.0 };
+        let costly = EnvConfig { window: 5, transaction_cost: 0.01 };
+        let m = p.num_assets();
+        // Alternate concentrated positions to force turnover.
+        let run = |cfg: EnvConfig| {
+            let mut env = PortfolioEnv::new(&p, cfg, 10, 40);
+            for t in 0.. {
+                let mut a = vec![0.0; m];
+                a[t % m] = 1.0;
+                if env.step(&a).done {
+                    break;
+                }
+            }
+            env.wealth()
+        };
+        assert!(run(costly) < run(free));
+    }
+
+    #[test]
+    fn reward_is_log_of_net_growth() {
+        let p = panel();
+        let cfg = EnvConfig { window: 5, transaction_cost: 0.0 };
+        let mut env = PortfolioEnv::new(&p, cfg, 10, 15);
+        let m = p.num_assets();
+        let r = env.step(&vec![1.0 / m as f64; m]);
+        assert!((r.reward - (1.0 + r.simple_return).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observation_shape() {
+        let p = panel();
+        let cfg = EnvConfig { window: 8, transaction_cost: 0.0 };
+        let env = PortfolioEnv::new(&p, cfg, 20, 40);
+        assert_eq!(env.observation().len(), 4 * 4 * 8); // m·d·z
+    }
+
+    #[test]
+    fn simplex_projection_properties() {
+        let w = project_to_simplex(&[0.2, -1.0, 0.8, f64::NAN]);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[3], 0.0);
+        let uniform = project_to_simplex(&[-1.0, -2.0]);
+        assert_eq!(uniform, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let p = panel();
+        let cfg = EnvConfig { window: 5, transaction_cost: 0.0 };
+        let mut env = PortfolioEnv::new(&p, cfg, 10, 30);
+        let m = p.num_assets();
+        env.step(&vec![1.0 / m as f64; m]);
+        env.reset();
+        assert_eq!(env.wealth(), 1.0);
+        assert_eq!(env.current_day(), 10);
+        assert_eq!(env.wealth_curve(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "after episode end")]
+    fn stepping_past_end_panics() {
+        let p = panel();
+        let cfg = EnvConfig { window: 5, transaction_cost: 0.0 };
+        let mut env = PortfolioEnv::new(&p, cfg, 10, 12);
+        let m = p.num_assets();
+        let uniform = vec![1.0 / m as f64; m];
+        let r = env.step(&uniform);
+        assert!(r.done);
+        let _ = env.step(&uniform);
+    }
+}

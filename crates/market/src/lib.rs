@@ -1,0 +1,42 @@
+//! # cit-market
+//!
+//! The market substrate of the Cross-Insight Trader reproduction: asset
+//! panels (OHLC, train/test split), a synthetic *fractal* market generator
+//! with regime switching (the data substitution described in DESIGN.md),
+//! the portfolio-management MDP environment, a strategy-agnostic
+//! backtester, the paper's evaluation metrics (AR / SR / MDD / CR) and CSV
+//! import/export.
+//!
+//! ```
+//! use cit_market::{EnvConfig, MarketPreset, UniformStrategy, run_test_period};
+//!
+//! let panel = MarketPreset::Hk.scaled(9, 24).generate();
+//! let result = run_test_period(&panel, EnvConfig::default(), &mut UniformStrategy);
+//! assert!(result.metrics.mdd >= 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod backtest;
+mod constraints;
+mod csv;
+mod env;
+pub mod metrics;
+mod panel;
+mod presets;
+pub mod risk;
+mod synth;
+mod walkforward;
+
+pub use backtest::{
+    market_result, run_backtest, run_test_period, BacktestResult, DecisionContext, Strategy,
+    UniformStrategy,
+};
+pub use constraints::{ConstrainedStrategy, PortfolioConstraints};
+pub use csv::{panel_from_csv, panel_to_csv, save, series_to_csv, CsvError};
+pub use env::{project_to_simplex, EnvConfig, PortfolioEnv, StepResult};
+pub use metrics::Metrics;
+pub use panel::{AssetPanel, Feature, NUM_FEATURES};
+pub use presets::MarketPreset;
+pub use synth::{Regime, RegimeSegment, SynthConfig};
+pub use walkforward::{folds, walk_forward, Fold, WalkForwardConfig, WalkForwardResult};

@@ -1,0 +1,160 @@
+//! Evaluation metrics of the paper (Section V-A): accumulative return,
+//! Sharpe ratio, maximum drawdown and Calmar ratio.
+
+/// Trading days per year, used for annualisation.
+pub const TRADING_DAYS: f64 = 252.0;
+
+/// Performance summary of one backtest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Accumulative return: final wealth / initial wealth − 1.
+    pub ar: f64,
+    /// Annualised Sharpe ratio `E(r)/σ(r)·√252` of daily returns.
+    pub sr: f64,
+    /// Maximum drawdown of the wealth curve, in `[0, 1]`.
+    pub mdd: f64,
+    /// Calmar ratio: annualised return / maximum drawdown.
+    pub cr: f64,
+}
+
+/// Accumulative return of a wealth curve normalised to the first element.
+pub fn accumulative_return(wealth: &[f64]) -> f64 {
+    assert!(wealth.len() >= 2, "wealth curve too short");
+    wealth.last().expect("non-empty") / wealth[0] - 1.0
+}
+
+/// Annualised Sharpe ratio of a daily-return series (risk-free rate 0).
+///
+/// Returns 0 for a constant series.
+pub fn sharpe_ratio(daily_returns: &[f64]) -> f64 {
+    if daily_returns.len() < 2 {
+        return 0.0;
+    }
+    let n = daily_returns.len() as f64;
+    let mean = daily_returns.iter().sum::<f64>() / n;
+    let var = daily_returns.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / (n - 1.0);
+    // Guard against numerically-zero variance of constant series.
+    if var <= 1e-18 {
+        return 0.0;
+    }
+    mean / var.sqrt() * TRADING_DAYS.sqrt()
+}
+
+/// Maximum drawdown of a wealth curve: `max_t (peak_t − w_t) / peak_t`.
+pub fn max_drawdown(wealth: &[f64]) -> f64 {
+    let mut peak = f64::MIN;
+    let mut mdd = 0.0f64;
+    for &w in wealth {
+        peak = peak.max(w);
+        if peak > 0.0 {
+            mdd = mdd.max((peak - w) / peak);
+        }
+    }
+    mdd
+}
+
+/// Annualised return of a wealth curve.
+pub fn annualized_return(wealth: &[f64]) -> f64 {
+    assert!(wealth.len() >= 2, "wealth curve too short");
+    let total = wealth.last().expect("non-empty") / wealth[0];
+    let years = (wealth.len() - 1) as f64 / TRADING_DAYS;
+    if total <= 0.0 {
+        return -1.0;
+    }
+    total.powf(1.0 / years) - 1.0
+}
+
+/// Calmar ratio: annualised return over maximum drawdown. Falls back to the
+/// sign of the annualised return scaled large when drawdown is ~0.
+pub fn calmar_ratio(wealth: &[f64]) -> f64 {
+    let ann = annualized_return(wealth);
+    let mdd = max_drawdown(wealth);
+    if mdd < 1e-9 {
+        return if ann >= 0.0 { ann / 1e-9 } else { ann / 1e-9 };
+    }
+    ann / mdd
+}
+
+/// Computes all metrics from a wealth curve and its daily returns.
+pub fn compute(wealth: &[f64], daily_returns: &[f64]) -> Metrics {
+    Metrics {
+        ar: accumulative_return(wealth),
+        sr: sharpe_ratio(daily_returns),
+        mdd: max_drawdown(wealth),
+        cr: calmar_ratio(wealth),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ar_simple() {
+        assert!((accumulative_return(&[1.0, 1.1, 1.31]) - 0.31).abs() < 1e-12);
+        assert!((accumulative_return(&[2.0, 1.0]) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharpe_zero_for_constant_returns() {
+        assert_eq!(sharpe_ratio(&[0.01; 10]), 0.0);
+        assert_eq!(sharpe_ratio(&[0.01]), 0.0);
+    }
+
+    #[test]
+    fn sharpe_positive_for_positive_drift() {
+        let rets: Vec<f64> = (0..100).map(|i| 0.001 + 0.002 * ((i % 3) as f64 - 1.0)).collect();
+        assert!(sharpe_ratio(&rets) > 0.0);
+    }
+
+    #[test]
+    fn sharpe_sign_flips_with_drift() {
+        let up: Vec<f64> = (0..50).map(|i| 0.002 + 0.001 * ((i % 2) as f64)).collect();
+        let down: Vec<f64> = up.iter().map(|r| -r).collect();
+        assert!(sharpe_ratio(&up) > 0.0);
+        assert!(sharpe_ratio(&down) < 0.0);
+    }
+
+    #[test]
+    fn mdd_known_curve() {
+        // Peak 2.0 then trough 1.0 → 50% drawdown.
+        let w = [1.0, 2.0, 1.5, 1.0, 1.8];
+        assert!((max_drawdown(&w) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mdd_monotone_curve_is_zero() {
+        assert_eq!(max_drawdown(&[1.0, 1.1, 1.2, 1.3]), 0.0);
+    }
+
+    #[test]
+    fn mdd_bounded() {
+        let w = [1.0, 0.0001, 2.0, 0.5];
+        let m = max_drawdown(&w);
+        assert!((0.0..=1.0).contains(&m));
+    }
+
+    #[test]
+    fn annualized_return_one_year_identity() {
+        // 253 points = 252 daily steps = exactly one year.
+        let w: Vec<f64> = (0..253).map(|i| 1.0 + 0.2 * i as f64 / 252.0).collect();
+        assert!((annualized_return(&w) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calmar_sign_matches_return() {
+        let up = [1.0, 0.95, 1.3];
+        assert!(calmar_ratio(&up) > 0.0);
+        let down = [1.0, 0.9, 0.8];
+        assert!(calmar_ratio(&down) < 0.0);
+    }
+
+    #[test]
+    fn compute_bundles_consistently() {
+        let wealth = [1.0, 1.02, 0.99, 1.05];
+        let rets = [0.02, -0.0294117, 0.0606060];
+        let m = compute(&wealth, &rets);
+        assert!((m.ar - 0.05).abs() < 1e-9);
+        assert_eq!(m.mdd, max_drawdown(&wealth));
+    }
+}

@@ -1,0 +1,157 @@
+//! Synthetic analogues of the paper's three datasets (Table II).
+//!
+//! | Dataset | Assets | Train days | Test days | Note |
+//! |---------|--------|------------|-----------|------|
+//! | U.S.    | 80     | ~2895      | ~630      | bear regime inside test |
+//! | H.K.    | 45     | ~2895      | ~252      | |
+//! | China   | 34     | ~2895      | ~252      | |
+//!
+//! `scaled(f)` shrinks a preset by factor `f` for smoke tests and CI.
+
+use crate::synth::{Regime, RegimeSegment, SynthConfig};
+
+/// The three markets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarketPreset {
+    /// U.S. market: 80 assets, long test window with a bear segment
+    /// (mirrors the 2020–2022 test period including the 2022 bear market).
+    Us,
+    /// Hong Kong market: 45 assets, one-year test window.
+    Hk,
+    /// China (Shanghai) market: 34 assets, one-year test window.
+    China,
+}
+
+impl MarketPreset {
+    /// All presets, in paper order.
+    pub const ALL: [MarketPreset; 3] = [MarketPreset::Us, MarketPreset::Hk, MarketPreset::China];
+
+    /// Display label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MarketPreset::Us => "U.S. market",
+            MarketPreset::Hk => "H.K. market",
+            MarketPreset::China => "China market",
+        }
+    }
+
+    /// The full-scale configuration.
+    pub fn config(self) -> SynthConfig {
+        match self {
+            MarketPreset::Us => SynthConfig {
+                name: "US".into(),
+                num_assets: 80,
+                num_days: 2895 + 630,
+                test_start: 2895,
+                num_sectors: 10,
+                // Bull training history, then a test period whose tail is a
+                // pronounced bear market (the paper's post-2022 segment).
+                regimes: vec![
+                    RegimeSegment { regime: Regime::Bull, days: 2600 },
+                    RegimeSegment { regime: Regime::Bear, days: 180 },
+                    RegimeSegment { regime: Regime::Bull, days: 115 + 330 },
+                    RegimeSegment { regime: Regime::Bear, days: 300 },
+                ],
+                seed: 11_080,
+                ..SynthConfig::default()
+            },
+            MarketPreset::Hk => SynthConfig {
+                name: "HK".into(),
+                num_assets: 45,
+                num_days: 2895 + 252,
+                test_start: 2895,
+                num_sectors: 8,
+                regimes: vec![
+                    RegimeSegment { regime: Regime::Bull, days: 1500 },
+                    RegimeSegment { regime: Regime::Bear, days: 200 },
+                    RegimeSegment { regime: Regime::Bull, days: 1195 },
+                    RegimeSegment { regime: Regime::Bull, days: 252 },
+                ],
+                bull_drift: 3e-4,
+                seed: 22_045,
+                ..SynthConfig::default()
+            },
+            MarketPreset::China => SynthConfig {
+                name: "CN".into(),
+                num_assets: 34,
+                num_days: 2895 + 252,
+                test_start: 2895,
+                num_sectors: 6,
+                regimes: vec![
+                    RegimeSegment { regime: Regime::Bull, days: 1200 },
+                    RegimeSegment { regime: Regime::Bear, days: 250 },
+                    RegimeSegment { regime: Regime::Bull, days: 1445 },
+                    RegimeSegment { regime: Regime::Bull, days: 252 },
+                ],
+                bull_drift: 3.5e-4,
+                asset_cycle_amp: 0.04,
+                seed: 33_034,
+                ..SynthConfig::default()
+            },
+        }
+    }
+
+    /// A scaled-down configuration: asset count divided by `shrink_assets`
+    /// and day counts divided by `shrink_days` (minimums keep the panel
+    /// usable). Intended for smoke tests and CI.
+    pub fn scaled(self, shrink_assets: usize, shrink_days: usize) -> SynthConfig {
+        let full = self.config();
+        let num_assets = (full.num_assets / shrink_assets.max(1)).max(3);
+        let train = (full.test_start / shrink_days.max(1)).max(120);
+        let test = ((full.num_days - full.test_start) / shrink_days.max(1)).max(60);
+        let regimes = full
+            .regimes
+            .iter()
+            .map(|s| RegimeSegment { regime: s.regime, days: (s.days / shrink_days.max(1)).max(20) })
+            .collect();
+        SynthConfig {
+            num_assets,
+            num_days: train + test,
+            test_start: train,
+            regimes,
+            ..full
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_statistics() {
+        let us = MarketPreset::Us.config();
+        assert_eq!(us.num_assets, 80);
+        assert_eq!(us.num_days - us.test_start, 630);
+        let hk = MarketPreset::Hk.config();
+        assert_eq!(hk.num_assets, 45);
+        assert_eq!(hk.num_days - hk.test_start, 252);
+        let cn = MarketPreset::China.config();
+        assert_eq!(cn.num_assets, 34);
+    }
+
+    #[test]
+    fn us_test_period_contains_bear() {
+        let us = MarketPreset::Us.config();
+        let has_bear =
+            (us.test_start..us.num_days).any(|t| us.regime_on(t) == Regime::Bear);
+        assert!(has_bear, "the U.S. test window must contain a bear regime");
+    }
+
+    #[test]
+    fn scaled_preserves_structure() {
+        let s = MarketPreset::Us.scaled(8, 10);
+        assert!(s.num_assets >= 3);
+        assert!(s.test_start >= 120);
+        assert!(s.num_days > s.test_start);
+        let p = s.generate();
+        assert_eq!(p.num_assets(), s.num_assets);
+    }
+
+    #[test]
+    fn presets_generate_distinct_markets() {
+        let a = MarketPreset::Hk.scaled(5, 12).generate();
+        let b = MarketPreset::China.scaled(5, 12).generate();
+        assert_ne!(a.close(10, 0), b.close(10, 0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Extended risk analytics beyond the paper's AR/SR/CR: Sortino ratio,
+//! downside deviation, historical value-at-risk / expected shortfall,
+//! turnover statistics and rolling drawdown curves. These support the
+//! "risk of price slumps" discussion in Section V-A and give downstream
+//! users a production-grade risk report.
+
+use crate::metrics::TRADING_DAYS;
+
+/// Downside deviation of daily returns below a minimum acceptable return
+/// (MAR, default 0): `sqrt(E[min(r − mar, 0)²])`.
+pub fn downside_deviation(daily_returns: &[f64], mar: f64) -> f64 {
+    if daily_returns.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = daily_returns
+        .iter()
+        .map(|r| {
+            let d = (r - mar).min(0.0);
+            d * d
+        })
+        .sum();
+    (sum / daily_returns.len() as f64).sqrt()
+}
+
+/// Annualised Sortino ratio: mean excess return over downside deviation.
+///
+/// Returns 0 when there is no downside volatility.
+pub fn sortino_ratio(daily_returns: &[f64], mar: f64) -> f64 {
+    if daily_returns.len() < 2 {
+        return 0.0;
+    }
+    let mean = daily_returns.iter().sum::<f64>() / daily_returns.len() as f64;
+    let dd = downside_deviation(daily_returns, mar);
+    if dd < 1e-12 {
+        return 0.0;
+    }
+    (mean - mar) / dd * TRADING_DAYS.sqrt()
+}
+
+/// Historical value-at-risk at confidence `alpha` (e.g. 0.95): the loss
+/// threshold exceeded on only `(1−alpha)` of days, reported as a positive
+/// number. Returns 0 for empty input.
+pub fn value_at_risk(daily_returns: &[f64], alpha: f64) -> f64 {
+    assert!((0.5..1.0).contains(&alpha), "VaR confidence must be in [0.5, 1)");
+    if daily_returns.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = daily_returns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite returns"));
+    let idx = ((1.0 - alpha) * sorted.len() as f64).floor() as usize;
+    let idx = idx.min(sorted.len() - 1);
+    (-sorted[idx]).max(0.0)
+}
+
+/// Expected shortfall (CVaR) at confidence `alpha`: mean loss on the worst
+/// `(1−alpha)` fraction of days, as a positive number.
+pub fn expected_shortfall(daily_returns: &[f64], alpha: f64) -> f64 {
+    assert!((0.5..1.0).contains(&alpha), "ES confidence must be in [0.5, 1)");
+    if daily_returns.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = daily_returns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite returns"));
+    let k = (((1.0 - alpha) * sorted.len() as f64).ceil() as usize).max(1);
+    let tail: f64 = sorted[..k].iter().sum();
+    (-(tail / k as f64)).max(0.0)
+}
+
+/// Average daily turnover `Σ_i |w_t,i − w_{t−1},i|` of a weight history.
+///
+/// Returns 0 with fewer than two weight vectors.
+pub fn average_turnover(weights: &[Vec<f64>]) -> f64 {
+    if weights.len() < 2 {
+        return 0.0;
+    }
+    let total: f64 = weights
+        .windows(2)
+        .map(|w| w[0].iter().zip(&w[1]).map(|(a, b)| (a - b).abs()).sum::<f64>())
+        .sum();
+    total / (weights.len() - 1) as f64
+}
+
+/// Herfindahl concentration index of the average portfolio: `Σ w̄_i²`,
+/// ranging from `1/m` (uniform) to 1 (single asset).
+pub fn concentration(weights: &[Vec<f64>]) -> f64 {
+    if weights.is_empty() {
+        return 0.0;
+    }
+    let m = weights[0].len();
+    let mut avg = vec![0.0f64; m];
+    for w in weights {
+        for (a, &x) in avg.iter_mut().zip(w) {
+            *a += x / weights.len() as f64;
+        }
+    }
+    avg.iter().map(|x| x * x).sum()
+}
+
+/// The running drawdown series of a wealth curve (same length, values in
+/// `[0, 1]`).
+pub fn drawdown_curve(wealth: &[f64]) -> Vec<f64> {
+    let mut peak = f64::MIN;
+    wealth
+        .iter()
+        .map(|&w| {
+            peak = peak.max(w);
+            if peak > 0.0 {
+                (peak - w) / peak
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// A bundled extended risk report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RiskReport {
+    /// Annualised Sortino ratio (MAR 0).
+    pub sortino: f64,
+    /// Downside deviation of daily returns.
+    pub downside_dev: f64,
+    /// 95% historical value-at-risk (positive = loss).
+    pub var95: f64,
+    /// 95% expected shortfall (positive = loss).
+    pub es95: f64,
+    /// Average daily turnover.
+    pub turnover: f64,
+    /// Herfindahl concentration of the average portfolio.
+    pub concentration: f64,
+}
+
+/// Computes the full report from a backtest's return and weight history.
+pub fn risk_report(daily_returns: &[f64], weights: &[Vec<f64>]) -> RiskReport {
+    RiskReport {
+        sortino: sortino_ratio(daily_returns, 0.0),
+        downside_dev: downside_deviation(daily_returns, 0.0),
+        var95: value_at_risk(daily_returns, 0.95),
+        es95: expected_shortfall(daily_returns, 0.95),
+        turnover: average_turnover(weights),
+        concentration: concentration(weights),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downside_deviation_ignores_gains() {
+        let up_only = [0.01, 0.02, 0.005];
+        assert_eq!(downside_deviation(&up_only, 0.0), 0.0);
+        let mixed = [0.01, -0.02, 0.01, -0.02];
+        let dd = downside_deviation(&mixed, 0.0);
+        assert!((dd - (0.0008f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sortino_positive_for_up_drift() {
+        let rets = [0.01, -0.005, 0.012, -0.004, 0.011];
+        assert!(sortino_ratio(&rets, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn sortino_zero_without_downside() {
+        assert_eq!(sortino_ratio(&[0.01, 0.02, 0.03], 0.0), 0.0);
+    }
+
+    #[test]
+    fn var_es_ordering_and_sign() {
+        // 100 returns: one catastrophic day.
+        let mut rets = vec![0.001f64; 99];
+        rets.push(-0.30);
+        let var = value_at_risk(&rets, 0.95);
+        let es = expected_shortfall(&rets, 0.95);
+        assert!(es >= var, "ES must dominate VaR: {es} vs {var}");
+        assert!(es > 0.0);
+    }
+
+    #[test]
+    fn var_of_all_gains_is_zero() {
+        let rets = vec![0.01f64; 50];
+        assert_eq!(value_at_risk(&rets, 0.95), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn var_rejects_bad_alpha() {
+        let _ = value_at_risk(&[0.0], 0.3);
+    }
+
+    #[test]
+    fn turnover_of_constant_weights_is_zero() {
+        let w = vec![vec![0.5, 0.5]; 10];
+        assert_eq!(average_turnover(&w), 0.0);
+    }
+
+    #[test]
+    fn turnover_of_full_flip_is_two() {
+        let w = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!((average_turnover(&w) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentration_bounds() {
+        let uniform = vec![vec![0.25; 4]; 5];
+        assert!((concentration(&uniform) - 0.25).abs() < 1e-12);
+        let single = vec![vec![1.0, 0.0, 0.0, 0.0]; 5];
+        assert!((concentration(&single) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drawdown_curve_matches_known_path() {
+        let w = [1.0, 2.0, 1.0, 2.0, 4.0, 2.0];
+        let dd = drawdown_curve(&w);
+        assert_eq!(dd[0], 0.0);
+        assert_eq!(dd[1], 0.0);
+        assert!((dd[2] - 0.5).abs() < 1e-12);
+        assert_eq!(dd[4], 0.0);
+        assert!((dd[5] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn risk_report_bundles() {
+        let rets = [0.01, -0.02, 0.015, -0.01];
+        let weights = vec![vec![0.6, 0.4], vec![0.5, 0.5], vec![0.7, 0.3]];
+        let rep = risk_report(&rets, &weights);
+        assert!(rep.var95 > 0.0);
+        assert!(rep.turnover > 0.0);
+        assert!(rep.concentration > 0.5 - 0.2);
+    }
+}

@@ -1,0 +1,315 @@
+//! Synthetic fractal market generator.
+//!
+//! Substitutes for the paper's Yahoo-Finance data (see DESIGN.md §2). The
+//! generator embodies the fractal market hypothesis the paper builds on:
+//! every asset's log price is a sum of components living at *distinct time
+//! scales* — a regime-driven market trend, slow sector cycles, mid-frequency
+//! asset cycles and high-frequency noise — so wavelet-split policies can
+//! specialise on genuine horizon-specific structure.
+
+use crate::panel::{AssetPanel, NUM_FEATURES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Market regime for a span of days.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Regime {
+    /// Rising drift, normal volatility.
+    Bull,
+    /// Falling drift, elevated volatility.
+    Bear,
+}
+
+/// A scheduled regime segment: the regime holds for `days` days.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RegimeSegment {
+    /// Which regime.
+    pub regime: Regime,
+    /// Segment length in days.
+    pub days: usize,
+}
+
+/// Configuration of the synthetic market.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Dataset label.
+    pub name: String,
+    /// Number of assets `m`.
+    pub num_assets: usize,
+    /// Total days `T` (train + test).
+    pub num_days: usize,
+    /// First day of the test period.
+    pub test_start: usize,
+    /// Number of sector groups.
+    pub num_sectors: usize,
+    /// Deterministic regime schedule; cycled/truncated to `num_days`.
+    pub regimes: Vec<RegimeSegment>,
+    /// Daily market drift in a bull regime (log scale).
+    pub bull_drift: f64,
+    /// Daily market drift in a bear regime (log scale).
+    pub bear_drift: f64,
+    /// Daily market volatility in a bull regime.
+    pub market_vol: f64,
+    /// Volatility multiplier applied in bear regimes.
+    pub bear_vol_mult: f64,
+    /// Amplitude of the slow sector cycle (log scale).
+    pub sector_cycle_amp: f64,
+    /// Period of the slow sector cycle in days.
+    pub sector_cycle_period: f64,
+    /// Amplitude of the per-asset mid-frequency cycle.
+    pub asset_cycle_amp: f64,
+    /// Period range of per-asset cycles (uniformly drawn).
+    pub asset_cycle_period: (f64, f64),
+    /// Std of idiosyncratic daily noise.
+    pub idio_vol: f64,
+    /// Intraday range scale for synthesising OHLC from closes.
+    pub intraday_range: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            name: "synthetic".to_string(),
+            num_assets: 16,
+            num_days: 1000,
+            test_start: 750,
+            num_sectors: 4,
+            regimes: vec![
+                RegimeSegment { regime: Regime::Bull, days: 400 },
+                RegimeSegment { regime: Regime::Bear, days: 120 },
+                RegimeSegment { regime: Regime::Bull, days: 480 },
+            ],
+            bull_drift: 4e-4,
+            bear_drift: -9e-4,
+            market_vol: 0.009,
+            bear_vol_mult: 2.0,
+            sector_cycle_amp: 0.05,
+            sector_cycle_period: 180.0,
+            asset_cycle_amp: 0.03,
+            asset_cycle_period: (15.0, 60.0),
+            idio_vol: 0.012,
+            intraday_range: 0.006,
+            seed: 20240101,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// The regime in force on day `t` (schedule cycled when exhausted).
+    pub fn regime_on(&self, t: usize) -> Regime {
+        let total: usize = self.regimes.iter().map(|s| s.days).sum();
+        assert!(total > 0, "regime schedule must cover at least one day");
+        let mut day = t % total;
+        for seg in &self.regimes {
+            if day < seg.days {
+                return seg.regime;
+            }
+            day -= seg.days;
+        }
+        unreachable!("regime schedule exhausted")
+    }
+
+    /// Generates the panel.
+    ///
+    /// # Panics
+    /// Panics on inconsistent configuration (zero assets/days, empty regime
+    /// schedule, `test_start` out of range).
+    pub fn generate(&self) -> AssetPanel {
+        assert!(self.num_assets >= 1 && self.num_days >= 2);
+        assert!(self.test_start < self.num_days, "test_start out of range");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let m = self.num_assets;
+        let t_total = self.num_days;
+
+        // Per-asset structure.
+        let betas: Vec<f64> = (0..m).map(|_| 0.6 + 0.8 * rng.random::<f64>()).collect();
+        let sectors: Vec<usize> = (0..m).map(|i| i % self.num_sectors.max(1)).collect();
+        let sector_gamma: Vec<f64> = (0..m).map(|_| 0.5 + rng.random::<f64>()).collect();
+        let cycle_period: Vec<f64> = (0..m)
+            .map(|_| rng.random_range(self.asset_cycle_period.0..self.asset_cycle_period.1))
+            .collect();
+        let cycle_phase: Vec<f64> =
+            (0..m).map(|_| rng.random_range(0.0..std::f64::consts::TAU)).collect();
+        let sector_phase: Vec<f64> = (0..self.num_sectors.max(1))
+            .map(|_| rng.random_range(0.0..std::f64::consts::TAU))
+            .collect();
+
+        // Market log-level path.
+        let mut market = vec![0.0f64; t_total];
+        let mut level = 0.0;
+        for t in 0..t_total {
+            let (drift, vol) = match self.regime_on(t) {
+                Regime::Bull => (self.bull_drift, self.market_vol),
+                Regime::Bear => (self.bear_drift, self.market_vol * self.bear_vol_mult),
+            };
+            level += drift + vol * cit_rand_normal(&mut rng);
+            market[t] = level;
+        }
+
+        // Per-asset close paths.
+        let mut closes = vec![0.0f64; t_total * m];
+        for i in 0..m {
+            let base = (3.0 + rng.random::<f64>() * 1.5).exp(); // price ~ e^3..e^4.5
+            let mut idio = 0.0;
+            for t in 0..t_total {
+                idio += self.idio_vol * cit_rand_normal(&mut rng);
+                // Mean-revert the idiosyncratic walk slightly so assets do
+                // not wander arbitrarily far from the market.
+                idio *= 0.999;
+                let tf = t as f64;
+                let sector_term = self.sector_cycle_amp
+                    * (std::f64::consts::TAU * tf / self.sector_cycle_period
+                        + sector_phase[sectors[i]])
+                        .sin()
+                    * sector_gamma[i];
+                let cycle_term = self.asset_cycle_amp
+                    * (std::f64::consts::TAU * tf / cycle_period[i] + cycle_phase[i]).sin();
+                let log_price = betas[i] * market[t] + sector_term + cycle_term + idio;
+                closes[t * m + i] = base * log_price.exp();
+            }
+        }
+
+        // Synthesise OHLC from closes.
+        let mut data = vec![0.0f64; t_total * m * NUM_FEATURES];
+        for t in 0..t_total {
+            for i in 0..m {
+                let close = closes[t * m + i];
+                let prev_close = if t == 0 { close } else { closes[(t - 1) * m + i] };
+                let gap = 1.0 + self.intraday_range * 0.5 * cit_rand_normal(&mut rng);
+                let open = (prev_close * gap).max(close * 0.5);
+                let span = self.intraday_range * (1.0 + cit_rand_normal(&mut rng).abs());
+                let high = open.max(close) * (1.0 + span * 0.5);
+                let low = (open.min(close) * (1.0 - span * 0.5)).max(1e-6);
+                let idx = (t * m + i) * NUM_FEATURES;
+                data[idx] = open;
+                data[idx + 1] = high;
+                data[idx + 2] = low;
+                data[idx + 3] = close;
+            }
+        }
+        AssetPanel::new(self.name.clone(), t_total, m, data, self.test_start)
+    }
+}
+
+fn cit_rand_normal(rng: &mut StdRng) -> f64 {
+    // Box–Muller; kept local so the market crate does not depend on
+    // cit-tensor just for a sampler.
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::panel::Feature;
+
+    #[test]
+    fn generates_valid_panel() {
+        let cfg = SynthConfig { num_assets: 5, num_days: 300, test_start: 200, ..Default::default() };
+        let p = cfg.generate();
+        assert_eq!(p.num_assets(), 5);
+        assert_eq!(p.num_days(), 300);
+        for t in 0..300 {
+            for i in 0..5 {
+                let (o, h, l, c) = (
+                    p.price(t, i, Feature::Open),
+                    p.price(t, i, Feature::High),
+                    p.price(t, i, Feature::Low),
+                    p.price(t, i, Feature::Close),
+                );
+                assert!(h >= o.max(c) - 1e-9, "high below open/close at t={t} i={i}");
+                assert!(l <= o.min(c) + 1e-9, "low above open/close at t={t} i={i}");
+                assert!(l > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = SynthConfig { num_days: 100, test_start: 80, ..Default::default() };
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.close(50, 3), b.close(50, 3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = SynthConfig { num_days: 100, test_start: 80, ..Default::default() };
+        let other = SynthConfig { seed: 999, ..base.clone() };
+        assert_ne!(base.generate().close(50, 0), other.generate().close(50, 0));
+    }
+
+    #[test]
+    fn bear_regime_depresses_index() {
+        // All-bear market should end lower than all-bull, same seed.
+        let bull = SynthConfig {
+            num_days: 400,
+            test_start: 300,
+            regimes: vec![RegimeSegment { regime: Regime::Bull, days: 400 }],
+            ..Default::default()
+        };
+        let bear = SynthConfig {
+            regimes: vec![RegimeSegment { regime: Regime::Bear, days: 400 }],
+            ..bull.clone()
+        };
+        let ib = bull.generate().index_curve();
+        let ir = bear.generate().index_curve();
+        assert!(
+            ib.last().unwrap() > ir.last().unwrap(),
+            "bull index {} should beat bear index {}",
+            ib.last().unwrap(),
+            ir.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn regime_schedule_cycles() {
+        let cfg = SynthConfig {
+            regimes: vec![
+                RegimeSegment { regime: Regime::Bull, days: 10 },
+                RegimeSegment { regime: Regime::Bear, days: 5 },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(cfg.regime_on(0), Regime::Bull);
+        assert_eq!(cfg.regime_on(9), Regime::Bull);
+        assert_eq!(cfg.regime_on(10), Regime::Bear);
+        assert_eq!(cfg.regime_on(14), Regime::Bear);
+        assert_eq!(cfg.regime_on(15), Regime::Bull); // cycled
+    }
+
+    #[test]
+    fn assets_share_market_factor() {
+        // Average pairwise correlation of daily returns should be clearly
+        // positive thanks to the common market factor.
+        let cfg = SynthConfig { num_assets: 8, num_days: 500, test_start: 400, ..Default::default() };
+        let p = cfg.generate();
+        let rets: Vec<Vec<f64>> = (0..8)
+            .map(|i| (1..500).map(|t| (p.close(t, i) / p.close(t - 1, i)).ln()).collect())
+            .collect();
+        let corr = |a: &[f64], b: &[f64]| {
+            let n = a.len() as f64;
+            let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+            let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+            let (va, vb) = (
+                a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n,
+                b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n,
+            );
+            cov / (va.sqrt() * vb.sqrt())
+        };
+        let mut sum = 0.0;
+        let mut cnt = 0;
+        for i in 0..8 {
+            for j in i + 1..8 {
+                sum += corr(&rets[i], &rets[j]);
+                cnt += 1;
+            }
+        }
+        let avg = sum / cnt as f64;
+        assert!(avg > 0.1, "average pairwise correlation too low: {avg}");
+    }
+}

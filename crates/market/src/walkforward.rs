@@ -1,0 +1,177 @@
+//! Walk-forward evaluation: retrain-and-roll backtesting across
+//! consecutive out-of-sample folds — the validation protocol serious
+//! portfolio-management deployments use on top of the paper's single
+//! train/test split.
+
+use crate::backtest::{run_backtest, BacktestResult, Strategy};
+use crate::env::EnvConfig;
+use crate::metrics::{compute, Metrics};
+use crate::panel::AssetPanel;
+
+/// Configuration of a walk-forward evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkForwardConfig {
+    /// Days of history available to the trainer in each fold.
+    pub train_days: usize,
+    /// Out-of-sample days traded per fold.
+    pub test_days: usize,
+    /// Environment settings shared by all folds.
+    pub env: EnvConfig,
+}
+
+/// One fold's span: train on `[train_start, test_start)`, trade on
+/// `[test_start, test_end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fold {
+    /// First training day.
+    pub train_start: usize,
+    /// First traded day (= end of training data).
+    pub test_start: usize,
+    /// End of the traded span (exclusive).
+    pub test_end: usize,
+}
+
+/// Enumerates the folds a panel supports under `cfg`, walking forward by
+/// `test_days` each time.
+pub fn folds(panel: &AssetPanel, cfg: &WalkForwardConfig) -> Vec<Fold> {
+    let mut out = Vec::new();
+    let mut test_start = cfg.train_days;
+    while test_start + 2 <= panel.num_days() {
+        let test_end = (test_start + cfg.test_days).min(panel.num_days());
+        if test_end <= test_start + 1 {
+            break;
+        }
+        out.push(Fold {
+            train_start: test_start.saturating_sub(cfg.train_days),
+            test_start,
+            test_end,
+        });
+        test_start = test_end;
+    }
+    out
+}
+
+/// Result of a walk-forward run: the stitched out-of-sample wealth curve
+/// and per-fold results.
+pub struct WalkForwardResult {
+    /// Wealth compounded across all folds (starts at 1.0).
+    pub wealth: Vec<f64>,
+    /// All out-of-sample daily returns in order.
+    pub daily_returns: Vec<f64>,
+    /// Metrics over the stitched curve.
+    pub metrics: Metrics,
+    /// Each fold's standalone result.
+    pub fold_results: Vec<BacktestResult>,
+}
+
+/// Runs a walk-forward evaluation.
+///
+/// `make_strategy` is invoked once per fold with the panel and the fold
+/// (so learned strategies can retrain on `[train_start, test_start)`);
+/// the returned strategy then trades the fold's test span.
+///
+/// # Panics
+/// Panics when the panel is too short for a single fold.
+pub fn walk_forward(
+    panel: &AssetPanel,
+    cfg: &WalkForwardConfig,
+    mut make_strategy: impl FnMut(&AssetPanel, &Fold) -> Box<dyn Strategy>,
+) -> WalkForwardResult {
+    let folds = folds(panel, cfg);
+    assert!(!folds.is_empty(), "panel too short for walk-forward evaluation");
+
+    let mut wealth = vec![1.0f64];
+    let mut daily = Vec::new();
+    let mut fold_results = Vec::new();
+    for fold in &folds {
+        let mut strategy = make_strategy(panel, fold);
+        let res = run_backtest(panel, cfg.env, fold.test_start, fold.test_end, strategy.as_mut());
+        let scale = *wealth.last().expect("non-empty");
+        wealth.extend(res.wealth.iter().skip(1).map(|w| w * scale));
+        daily.extend_from_slice(&res.daily_returns);
+        fold_results.push(res);
+    }
+    let metrics = compute(&wealth, &daily);
+    WalkForwardResult { wealth, daily_returns: daily, metrics, fold_results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backtest::UniformStrategy;
+    use crate::synth::SynthConfig;
+
+    fn panel() -> AssetPanel {
+        SynthConfig { num_assets: 4, num_days: 400, test_start: 300, ..Default::default() }.generate()
+    }
+
+    fn cfg() -> WalkForwardConfig {
+        WalkForwardConfig {
+            train_days: 100,
+            test_days: 50,
+            env: EnvConfig { window: 16, transaction_cost: 0.0 },
+        }
+    }
+
+    #[test]
+    fn folds_tile_the_panel() {
+        let p = panel();
+        let fs = folds(&p, &cfg());
+        assert_eq!(fs.len(), 6); // (400-100)/50
+        assert_eq!(fs[0].test_start, 100);
+        for w in fs.windows(2) {
+            assert_eq!(w[0].test_end, w[1].test_start, "folds must be contiguous");
+        }
+        assert_eq!(fs.last().expect("folds").test_end, 400);
+    }
+
+    #[test]
+    fn stitched_wealth_compounds_folds() {
+        let p = panel();
+        let res = walk_forward(&p, &cfg(), |_, _| Box::new(UniformStrategy));
+        // Stitched length: 1 + Σ (fold lengths − 1)
+        let expected: usize =
+            1 + res.fold_results.iter().map(|r| r.wealth.len() - 1).sum::<usize>();
+        assert_eq!(res.wealth.len(), expected);
+        // Final wealth = product of fold finals.
+        let product: f64 =
+            res.fold_results.iter().map(|r| r.wealth.last().expect("curve")).product();
+        assert!((res.wealth.last().expect("curve") - product).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daily_returns_consistent_with_wealth() {
+        let p = panel();
+        let res = walk_forward(&p, &cfg(), |_, _| Box::new(UniformStrategy));
+        let mut w = 1.0;
+        for (i, r) in res.daily_returns.iter().enumerate() {
+            w *= 1.0 + r;
+            assert!((w - res.wealth[i + 1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn strategy_factory_sees_each_fold() {
+        let p = panel();
+        let mut seen = Vec::new();
+        let _ = walk_forward(&p, &cfg(), |_, fold| {
+            seen.push(*fold);
+            Box::new(UniformStrategy)
+        });
+        assert_eq!(seen.len(), 6);
+        assert!(seen.iter().all(|f| f.test_start - f.train_start <= 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn too_short_panel_panics() {
+        let p = SynthConfig { num_assets: 2, num_days: 50, test_start: 40, ..Default::default() }
+            .generate();
+        let bad = WalkForwardConfig {
+            train_days: 60,
+            test_days: 20,
+            env: EnvConfig::default(),
+        };
+        let _ = walk_forward(&p, &bad, |_, _| Box::new(UniformStrategy));
+    }
+}

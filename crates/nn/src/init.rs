@@ -1,0 +1,61 @@
+//! Weight initialisation schemes.
+
+use cit_tensor::{rand_util, Tensor};
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: `U(-l, l)` with
+/// `l = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rng: &mut impl Rng, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    let mut t = Tensor::zeros(shape);
+    rand_util::fill_uniform(rng, t.data_mut(), limit);
+    t
+}
+
+/// Kaiming/He normal initialisation: `N(0, 2/fan_in)`.
+pub fn kaiming_normal(rng: &mut impl Rng, shape: &[usize], fan_in: usize) -> Tensor {
+    let std = (2.0f32 / fan_in.max(1) as f32).sqrt();
+    let mut t = Tensor::zeros(shape);
+    rand_util::fill_normal(rng, t.data_mut(), std);
+    t
+}
+
+/// Small uniform initialisation, for output heads that should start near
+/// the uniform portfolio.
+pub fn small_uniform(rng: &mut impl Rng, shape: &[usize], limit: f32) -> Tensor {
+    let mut t = Tensor::zeros(shape);
+    rand_util::fill_uniform(rng, t.data_mut(), limit);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform(&mut rng, &[8, 8], 8, 8);
+        let limit = (6.0f32 / 16.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= limit));
+        assert!(t.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let wide = kaiming_normal(&mut rng, &[1000], 1000);
+        let narrow = kaiming_normal(&mut rng, &[1000], 4);
+        let var = |t: &Tensor| t.sq_norm() / t.numel() as f32;
+        assert!(var(&wide) < var(&narrow));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(9), &[4, 4], 4, 4);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(9), &[4, 4], 4, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,155 @@
+//! ASTGCN-style spatial attention over assets (paper Eq. 4–5).
+//!
+//! Given TCN features `H ∈ R^{m×f×z}` the layer computes an asset–asset
+//! correlation matrix
+//! `S = V_s ⊙ σ( ((H·w1) W2) (w3·H)ᵀ + b_s )`,
+//! normalises it row-wise with softmax (Eq. 5), and returns the residual
+//! mixture `H' = S·H + H` (Section IV-B2).
+
+use crate::init::xavier_uniform;
+use crate::param::{Ctx, ParamId, ParamStore};
+use cit_tensor::{Tensor, Var};
+use rand::Rng;
+
+/// Spatial attention parameters for `m` assets, `f` features, `z` time steps.
+#[derive(Debug, Clone)]
+pub struct SpatialAttention {
+    w1: ParamId, // [z]   time contraction on the left branch
+    w2: ParamId, // [f,z] feature-to-time projection
+    w3: ParamId, // [f]   feature contraction on the right branch
+    vs: ParamId, // [m,m] output gate
+    bs: ParamId, // [m,m] bias
+    m: usize,
+    f: usize,
+    z: usize,
+}
+
+impl SpatialAttention {
+    /// Registers the five attention tensors.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        m: usize,
+        f: usize,
+        z: usize,
+    ) -> Self {
+        let w1 = store.add(format!("{name}.w1"), xavier_uniform(rng, &[z], z, 1));
+        let w2 = store.add(format!("{name}.w2"), xavier_uniform(rng, &[f, z], f, z));
+        let w3 = store.add(format!("{name}.w3"), xavier_uniform(rng, &[f], f, 1));
+        let vs = store.add(format!("{name}.vs"), xavier_uniform(rng, &[m, m], m, m));
+        let bs = store.add(format!("{name}.bs"), Tensor::zeros(&[m, m]));
+        SpatialAttention { w1, w2, w3, vs, bs, m, f, z }
+    }
+
+    /// Number of assets the layer was sized for.
+    pub fn num_assets(&self) -> usize {
+        self.m
+    }
+
+    /// Computes the row-normalised attention matrix `S ∈ R^{m×m}`.
+    pub fn attention_matrix(&self, ctx: &mut Ctx<'_>, h: Var) -> Var {
+        let hv = ctx.g.value(h).shape().to_vec();
+        assert_eq!(hv, vec![self.m, self.f, self.z], "SpatialAttention input shape {hv:?}");
+        let w1 = ctx.param(self.w1);
+        let w2 = ctx.param(self.w2);
+        let w3 = ctx.param(self.w3);
+        let vs = ctx.param(self.vs);
+        let bs = ctx.param(self.bs);
+
+        let left = ctx.g.dot_last(h, w1); // [m,f]
+        let lw = ctx.g.matmul(left, w2); // [m,z]
+        let right = ctx.g.dot_mid(h, w3); // [m,z]
+        let right_t = ctx.g.transpose2(right); // [z,m]
+        let pre = ctx.g.matmul(lw, right_t); // [m,m]
+        let pre_b = ctx.g.add(pre, bs);
+        let sig = ctx.g.sigmoid(pre_b);
+        let gated = ctx.g.mul(vs, sig);
+        ctx.g.softmax_last(gated) // row-normalised (Eq. 5)
+    }
+
+    /// Full layer: `H' = S·H + H`.
+    pub fn forward(&self, ctx: &mut Ctx<'_>, h: Var) -> Var {
+        let s = self.attention_matrix(ctx, h);
+        let mixed = ctx.g.contract_first(s, h);
+        ctx.g.add(mixed, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(m: usize, f: usize, z: usize) -> (ParamStore, SpatialAttention) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let att = SpatialAttention::new(&mut store, &mut rng, "att", m, f, z);
+        (store, att)
+    }
+
+    #[test]
+    fn attention_rows_are_simplex() {
+        let (store, att) = layer(4, 3, 5);
+        let mut ctx = Ctx::new(&store);
+        let mut h = Tensor::zeros(&[4, 3, 5]);
+        let mut rng = StdRng::seed_from_u64(3);
+        cit_tensor::rand_util::fill_uniform(&mut rng, h.data_mut(), 1.0);
+        let hv = ctx.input(h);
+        let s = att.attention_matrix(&mut ctx, hv);
+        let sv = ctx.g.value(s);
+        assert_eq!(sv.shape(), &[4, 4]);
+        for r in 0..4 {
+            let sum: f32 = (0..4).map(|c| sv.at2(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+            assert!((0..4).all(|c| sv.at2(r, c) >= 0.0));
+        }
+    }
+
+    #[test]
+    fn forward_preserves_shape() {
+        let (store, att) = layer(5, 4, 6);
+        let mut ctx = Ctx::new(&store);
+        let hv = ctx.input(Tensor::ones(&[5, 4, 6]));
+        let out = att.forward(&mut ctx, hv);
+        assert_eq!(ctx.g.value(out).shape(), &[5, 4, 6]);
+    }
+
+    #[test]
+    fn residual_dominates_with_uniform_attention() {
+        // With uniform rows, S·H averages assets; output = mean + H.
+        let (store, att) = layer(3, 1, 2);
+        let mut ctx = Ctx::new(&store);
+        let h = Tensor::from_vec(&[3, 1, 2], vec![1., 1., 2., 2., 3., 3.]);
+        let hv = ctx.input(h);
+        let out = att.forward(&mut ctx, hv);
+        let ov = ctx.g.value(out);
+        // Every output equals (weighted mean over assets) + original; with
+        // arbitrary weights we can still assert the residual lower bound:
+        // out_i >= min_j h_j + h_i  -> here out for asset 2 >= 1 + 3 = 4... too
+        // strong if weights concentrate; instead assert bounds of the mix:
+        for i in 0..3 {
+            for t in 0..2 {
+                let v = ov.at3(i, 0, t);
+                let orig = [1.0f32, 2.0, 3.0][i];
+                assert!(v >= orig + 1.0 - 1e-5 && v <= orig + 3.0 + 1e-5, "mix out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_reach_all_attention_params() {
+        let (store, att) = layer(3, 2, 4);
+        let mut ctx = Ctx::new(&store);
+        let mut h = Tensor::zeros(&[3, 2, 4]);
+        let mut rng = StdRng::seed_from_u64(4);
+        cit_tensor::rand_util::fill_uniform(&mut rng, h.data_mut(), 1.0);
+        let hv = ctx.input(h);
+        let out = att.forward(&mut ctx, hv);
+        let sq = ctx.g.mul(out, out);
+        let loss = ctx.g.sum_all(sq);
+        let grads = ctx.backward(loss);
+        assert_eq!(grads.len(), 5, "w1, w2, w3, vs, bs must all receive gradients");
+    }
+}

@@ -1,0 +1,190 @@
+//! Diagonal-Gaussian policy head.
+//!
+//! Portfolio actions live on the simplex, so the policy samples a latent
+//! vector `u ~ N(μ(s), σ²)` and maps it through a softmax:
+//! `a = softmax(u)`. Log-probabilities are computed on `u` (the latent
+//! Gaussian), which is the quantity the score-function gradient needs. The
+//! counterfactual mechanism's *default action* (paper Eq. 8) is
+//! `softmax(μ)` — the deterministic action at the Gaussian mean.
+
+use crate::param::{Ctx, ParamId, ParamStore};
+use cit_tensor::{rand_util, softmax_last_tensor, Tensor, Var};
+use rand::Rng;
+
+/// Learnable state-independent log standard deviation, one per action dim.
+#[derive(Debug, Clone)]
+pub struct GaussianHead {
+    log_std: ParamId,
+    dim: usize,
+}
+
+/// A sample drawn from the head: the latent `u`, the resulting simplex
+/// action, and the log-probability of `u` under the current Gaussian.
+#[derive(Debug, Clone)]
+pub struct GaussianSample {
+    /// Latent pre-softmax sample `u`.
+    pub latent: Tensor,
+    /// `softmax(u)` — a valid portfolio vector.
+    pub action: Tensor,
+    /// `log N(u; μ, σ)` evaluated at sampling time (scalar).
+    pub log_prob: f32,
+}
+
+impl GaussianHead {
+    /// Creates a head of dimension `dim` with initial std `exp(init_log_std)`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, init_log_std: f32) -> Self {
+        let log_std = store.add(format!("{name}.log_std"), Tensor::full(&[dim], init_log_std));
+        GaussianHead { log_std, dim }
+    }
+
+    /// Action dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Current standard deviations (plain tensors, outside any graph).
+    pub fn std(&self, store: &ParamStore) -> Tensor {
+        store.value(self.log_std).map(f32::exp)
+    }
+
+    /// Samples `u ~ N(μ, σ)` and returns latent, simplex action and log-prob.
+    ///
+    /// `mean` is the μ tensor produced by an actor network (read out of its
+    /// graph); sampling happens outside the graph.
+    pub fn sample(&self, store: &ParamStore, mean: &Tensor, rng: &mut impl Rng) -> GaussianSample {
+        assert_eq!(mean.numel(), self.dim, "GaussianHead dim mismatch");
+        let std = self.std(store);
+        let mut latent = Tensor::zeros(&[self.dim]);
+        for i in 0..self.dim {
+            latent.data_mut()[i] =
+                rand_util::normal_with(rng, mean.data()[i] as f64, std.data()[i] as f64) as f32;
+        }
+        let action = softmax_last_tensor(&latent);
+        let log_prob = log_prob_scalar(mean, &std, &latent);
+        GaussianSample { latent, action, log_prob }
+    }
+
+    /// Deterministic action at the Gaussian mean: `softmax(μ)` — the
+    /// counterfactual *default action* of paper Eq. 8, also used at
+    /// evaluation time.
+    pub fn mean_action(&self, mean: &Tensor) -> Tensor {
+        softmax_last_tensor(mean)
+    }
+
+    /// Builds the differentiable log-probability node
+    /// `log N(u; μ, σ) = Σ_i [−½((u_i−μ_i)/σ_i)² − log σ_i] − d/2·log 2π`
+    /// where `μ` is a graph var and `u` a constant.
+    pub fn log_prob(&self, ctx: &mut Ctx<'_>, mean: Var, latent: &Tensor) -> Var {
+        let log_std = ctx.param(self.log_std);
+        let u = ctx.input(latent.clone());
+        let diff = ctx.g.sub(u, mean);
+        let neg_log_std = ctx.g.neg(log_std);
+        let inv_std = ctx.g.exp(neg_log_std);
+        let z = ctx.g.mul(diff, inv_std);
+        let zsq = ctx.g.mul(z, z);
+        let half = ctx.g.scale(zsq, -0.5);
+        let with_norm = ctx.g.sub(half, log_std);
+        let summed = ctx.g.sum_all(with_norm);
+        let const_term = -0.5 * self.dim as f32 * (2.0 * std::f32::consts::PI).ln();
+        ctx.g.add_scalar(summed, const_term)
+    }
+}
+
+/// Plain-number log-density of a diagonal Gaussian (used at sample time and
+/// by PPO's stored old log-probs).
+pub fn log_prob_scalar(mean: &Tensor, std: &Tensor, u: &Tensor) -> f32 {
+    let d = mean.numel();
+    let mut lp = -0.5 * d as f32 * (2.0 * std::f32::consts::PI).ln();
+    for i in 0..d {
+        let s = std.data()[i];
+        let z = (u.data()[i] - mean.data()[i]) / s;
+        lp += -0.5 * z * z - s.ln();
+    }
+    lp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_action_is_simplex() {
+        let mut store = ParamStore::new();
+        let head = GaussianHead::new(&mut store, "pi", 6, -1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean = Tensor::vector(&[0.1, -0.2, 0.3, 0.0, 0.5, -0.1]);
+        let s = head.sample(&store, &mean, &mut rng);
+        let sum: f32 = s.action.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(s.action.data().iter().all(|&x| x >= 0.0));
+        assert!(s.log_prob.is_finite());
+    }
+
+    #[test]
+    fn graph_log_prob_matches_scalar() {
+        let mut store = ParamStore::new();
+        let head = GaussianHead::new(&mut store, "pi", 4, -0.5);
+        let mean = Tensor::vector(&[0.2, -0.1, 0.4, 0.0]);
+        let latent = Tensor::vector(&[0.3, 0.1, 0.2, -0.2]);
+        let std = head.std(&store);
+        let expected = log_prob_scalar(&mean, &std, &latent);
+
+        let mut ctx = Ctx::new(&store);
+        let mv = ctx.input(mean.clone());
+        let lp = head.log_prob(&mut ctx, mv, &latent);
+        assert!((ctx.g.value(lp).item() - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn log_prob_highest_at_mean() {
+        let mean = Tensor::vector(&[0.5, -0.5]);
+        let std = Tensor::vector(&[0.3, 0.3]);
+        let at_mean = log_prob_scalar(&mean, &std, &mean);
+        let off = log_prob_scalar(&mean, &std, &Tensor::vector(&[1.0, 0.0]));
+        assert!(at_mean > off);
+    }
+
+    #[test]
+    fn log_prob_gradient_moves_mean_toward_sample() {
+        // Maximising log π(u | μ) should pull μ toward u.
+        let mut store = ParamStore::new();
+        let head = GaussianHead::new(&mut store, "pi", 2, -1.0);
+        let mean_id = store.add("mu", Tensor::vector(&[0.0, 0.0]));
+        let latent = Tensor::vector(&[1.0, -1.0]);
+
+        let mut ctx = Ctx::new(&store);
+        let mv = ctx.param(mean_id);
+        let lp = head.log_prob(&mut ctx, mv, &latent);
+        let neg = ctx.g.neg(lp); // minimise −logπ
+        let grads = ctx.backward(neg);
+        let g_mu = grads.iter().find(|(id, _)| *id == mean_id).expect("mean grad").1.clone();
+        // Descending −logπ ⇒ μ moves along −g, which must point toward u.
+        assert!(g_mu.data()[0] < 0.0, "μ₀ should increase toward +1");
+        assert!(g_mu.data()[1] > 0.0, "μ₁ should decrease toward −1");
+    }
+
+    #[test]
+    fn mean_action_matches_softmax() {
+        let mut store = ParamStore::new();
+        let head = GaussianHead::new(&mut store, "pi", 3, 0.0);
+        let mean = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let a = head.mean_action(&mean);
+        let sm = softmax_last_tensor(&mean);
+        assert_eq!(a, sm);
+    }
+
+    #[test]
+    fn sampling_with_tiny_std_concentrates_at_mean() {
+        let mut store = ParamStore::new();
+        let head = GaussianHead::new(&mut store, "pi", 3, -8.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean = Tensor::vector(&[2.0, 0.0, -2.0]);
+        let s = head.sample(&store, &mean, &mut rng);
+        let det = head.mean_action(&mean);
+        for (a, b) in s.action.data().iter().zip(det.data()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+}

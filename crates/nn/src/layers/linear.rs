@@ -1,0 +1,224 @@
+//! Fully-connected layers and multi-layer perceptrons.
+
+use crate::init::xavier_uniform;
+use crate::param::{Ctx, ParamId, ParamStore};
+use cit_tensor::{Tensor, Var};
+use rand::Rng;
+
+/// Activation applied between MLP layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// No nonlinearity.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation in graph `ctx`.
+    pub fn apply(self, ctx: &mut Ctx<'_>, x: Var) -> Var {
+        match self {
+            Activation::Relu => ctx.g.relu(x),
+            Activation::Tanh => ctx.g.tanh(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// A dense layer `y = x·W + b` operating on `[N, in] -> [N, out]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers the layer's parameters into `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let w = store.add(
+            format!("{name}.w"),
+            xavier_uniform(rng, &[in_dim, out_dim], in_dim, out_dim),
+        );
+        let b = store.add(format!("{name}.b"), Tensor::zeros(&[out_dim]));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass: `x [N, in] -> [N, out]`.
+    pub fn forward(&self, ctx: &mut Ctx<'_>, x: Var) -> Var {
+        let w = ctx.param(self.w);
+        let b = ctx.param(self.b);
+        let xw = ctx.g.matmul(x, w);
+        ctx.g.add_bias(xw, b)
+    }
+
+    /// Forward for a single feature vector: `x [in] -> [out]`.
+    pub fn forward_vec(&self, ctx: &mut Ctx<'_>, x: Var) -> Var {
+        let x2 = ctx.g.reshape(x, &[1, self.in_dim]);
+        let y = self.forward(ctx, x2);
+        ctx.g.reshape(y, &[self.out_dim])
+    }
+}
+
+/// A feed-forward stack of [`Linear`] layers with a shared hidden
+/// activation and an identity output.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[64, 32, 1]` from an
+    /// input of `dims[0]` to an output of `dims.last()`.
+    ///
+    /// # Panics
+    /// Panics when fewer than two widths are given.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut impl Rng,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least input and output widths");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.l{i}"), w[0], w[1]))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Forward pass on `[N, in]`.
+    pub fn forward(&self, ctx: &mut Ctx<'_>, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(ctx, h);
+            if i < last {
+                h = self.activation.apply(ctx, h);
+            }
+        }
+        h
+    }
+
+    /// Forward for a single vector `[in] -> [out]`.
+    pub fn forward_vec(&self, ctx: &mut Ctx<'_>, x: Var) -> Var {
+        let x2 = ctx.g.reshape(x, &[1, self.in_dim()]);
+        let y = self.forward(ctx, x2);
+        ctx.g.reshape(y, &[self.out_dim()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new(&mut store, &mut rng, "lin", 3, 5);
+        let mut ctx = Ctx::new(&store);
+        let x = ctx.input(Tensor::zeros(&[4, 3]));
+        let y = l.forward(&mut ctx, x);
+        assert_eq!(ctx.g.value(y).shape(), &[4, 5]);
+    }
+
+    #[test]
+    fn linear_zero_weights_give_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let l = Linear::new(&mut store, &mut rng, "lin", 2, 2);
+        // zero the weight, set bias
+        for id in store.ids().collect::<Vec<_>>() {
+            if store.name(id).ends_with(".w") {
+                *store.value_mut(id) = Tensor::zeros(&[2, 2]);
+            } else {
+                *store.value_mut(id) = Tensor::vector(&[1.5, -0.5]);
+            }
+        }
+        let mut ctx = Ctx::new(&store);
+        let x = ctx.input(Tensor::from_vec(&[1, 2], vec![9.0, 9.0]));
+        let y = l.forward(&mut ctx, x);
+        assert_eq!(ctx.g.value(y).data(), &[1.5, -0.5]);
+    }
+
+    #[test]
+    fn mlp_learns_linear_map_one_step_reduces_loss() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&mut store, &mut rng, "mlp", &[2, 8, 1], Activation::Tanh);
+
+        let loss_of = |store: &ParamStore| -> f32 {
+            let mut ctx = Ctx::new(store);
+            let x = ctx.input(Tensor::from_vec(&[1, 2], vec![1.0, -1.0]));
+            let y = mlp.forward(&mut ctx, x);
+            let target = ctx.input(Tensor::from_vec(&[1, 1], vec![0.7]));
+            let d = ctx.g.sub(y, target);
+            let sq = ctx.g.mul(d, d);
+            let l = ctx.g.sum_all(sq);
+            ctx.g.value(l).item()
+        };
+
+        let before = loss_of(&store);
+        // One plain SGD step.
+        let mut ctx = Ctx::new(&store);
+        let x = ctx.input(Tensor::from_vec(&[1, 2], vec![1.0, -1.0]));
+        let y = mlp.forward(&mut ctx, x);
+        let target = ctx.input(Tensor::from_vec(&[1, 1], vec![0.7]));
+        let d = ctx.g.sub(y, target);
+        let sq = ctx.g.mul(d, d);
+        let l = ctx.g.sum_all(sq);
+        let grads = ctx.backward(l);
+        for (id, g) in grads {
+            let upd = store.value(id).zip_map(&g, |p, gi| p - 0.05 * gi);
+            *store.value_mut(id) = upd;
+        }
+        let after = loss_of(&store);
+        assert!(after < before, "loss did not decrease: {before} -> {after}");
+    }
+
+    #[test]
+    fn mlp_dims() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &[7, 5, 3], Activation::Relu);
+        assert_eq!(mlp.in_dim(), 7);
+        assert_eq!(mlp.out_dim(), 3);
+        // 2 layers: 7*5+5 + 5*3+3 = 58 params
+        assert_eq!(store.num_elements(), 58);
+    }
+}

@@ -1,0 +1,16 @@
+//! Network building blocks: dense layers, temporal convolutions, GRUs,
+//! spatial attention and the Gaussian policy head.
+
+mod attention;
+mod conv;
+mod gaussian;
+mod gru;
+mod linear;
+mod lstm;
+
+pub use attention::SpatialAttention;
+pub use conv::{Conv1dLayer, Tcn, TcnBlock};
+pub use gaussian::{log_prob_scalar, GaussianHead, GaussianSample};
+pub use gru::Gru;
+pub use linear::{Activation, Linear, Mlp};
+pub use lstm::Lstm;

@@ -1,0 +1,43 @@
+//! # cit-nn
+//!
+//! Neural-network building blocks on top of [`cit_tensor`]: a central
+//! [`ParamStore`], the forward-pass [`Ctx`], layers (dense, causal TCN,
+//! GRU, ASTGCN-style spatial attention, Gaussian policy head) and
+//! optimisers (SGD, AdamW-style Adam).
+//!
+//! ```
+//! use cit_nn::{Activation, Adam, Ctx, Mlp, ParamStore};
+//! use cit_tensor::Tensor;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut store = ParamStore::new();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mlp = Mlp::new(&mut store, &mut rng, "net", &[4, 16, 1], Activation::Relu);
+//! let mut opt = Adam::new(1e-3, 0.0);
+//!
+//! let mut ctx = Ctx::new(&store);
+//! let x = ctx.input(Tensor::zeros(&[1, 4]));
+//! let y = mlp.forward(&mut ctx, x);
+//! let loss = ctx.g.mean_all(y);
+//! let grads = ctx.backward(loss);
+//! for (id, g) in grads {
+//!     store.accumulate_grad(id, &g);
+//! }
+//! opt.step(&mut store);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod init;
+mod layers;
+mod optim;
+mod param;
+pub mod serialize;
+
+pub use layers::{
+    log_prob_scalar, Activation, Conv1dLayer, GaussianHead, GaussianSample, Gru, Linear, Lstm, Mlp,
+    SpatialAttention, Tcn, TcnBlock,
+};
+pub use optim::{Adam, Sgd};
+pub use param::{Ctx, ParamId, ParamStore};

@@ -1,0 +1,178 @@
+//! Gradient-descent optimisers over a [`ParamStore`].
+
+use crate::param::{ParamId, ParamStore};
+use cit_tensor::Tensor;
+
+/// Plain stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser with learning rate `lr` and momentum
+    /// coefficient `momentum` (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Applies one update from the accumulated gradients, then zeroes them.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.velocity.resize_with(store.len(), || None);
+        let ids: Vec<ParamId> = store.ids().collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            let g = store.grad(id).clone();
+            let update = if self.momentum > 0.0 {
+                let v = match &self.velocity[i] {
+                    Some(prev) => prev.zip_map(&g, |vp, gi| self.momentum * vp + gi),
+                    None => g.clone(),
+                };
+                self.velocity[i] = Some(v.clone());
+                v
+            } else {
+                g
+            };
+            let lr = self.lr;
+            let new = store.value(id).zip_map(&update, |p, u| p - lr * u);
+            *store.value_mut(id) = new;
+        }
+        store.zero_grads();
+    }
+}
+
+/// Adam with decoupled weight decay (AdamW-style), matching the paper's
+/// "Adam optimizer … with the weight decay regulariser".
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: i32,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with standard β₁=0.9, β₂=0.999.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Overrides the learning rate (simple schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update from the accumulated gradients, then zeroes them.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        self.m.resize_with(store.len(), || None);
+        self.v.resize_with(store.len(), || None);
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        let ids: Vec<ParamId> = store.ids().collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            let g = store.grad(id);
+            let m = match &self.m[i] {
+                Some(prev) => prev.zip_map(g, |mp, gi| self.beta1 * mp + (1.0 - self.beta1) * gi),
+                None => g.scale(1.0 - self.beta1),
+            };
+            let v = match &self.v[i] {
+                Some(prev) => {
+                    prev.zip_map(g, |vp, gi| self.beta2 * vp + (1.0 - self.beta2) * gi * gi)
+                }
+                None => g.map(|gi| (1.0 - self.beta2) * gi * gi),
+            };
+            let (lr, eps, wd) = (self.lr, self.eps, self.weight_decay);
+            let step = m.zip_map(&v, |mi, vi| {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                lr * mhat / (vhat.sqrt() + eps)
+            });
+            let new = store.value(id).zip_map(&step, |p, s| p - s - lr * wd * p);
+            *store.value_mut(id) = new;
+            self.m[i] = Some(m);
+            self.v[i] = Some(v);
+        }
+        store.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Ctx;
+
+    /// Minimise f(w) = (w - 3)² with the given optimiser-step closure.
+    fn converges(mut step: impl FnMut(&mut ParamStore), store: &mut ParamStore, id: ParamId) -> f32 {
+        for _ in 0..400 {
+            let mut ctx = Ctx::new(store);
+            let w = ctx.param(id);
+            let d = ctx.g.add_scalar(w, -3.0);
+            let sq = ctx.g.mul(d, d);
+            let loss = ctx.g.sum_all(sq);
+            for (pid, g) in ctx.backward(loss) {
+                store.accumulate_grad(pid, &g);
+            }
+            step(store);
+        }
+        store.value(id).data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::vector(&[0.0]));
+        let mut opt = Sgd::new(0.05, 0.0);
+        let w = converges(|s| opt.step(s), &mut store, id);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::vector(&[0.0]));
+        let mut opt = Sgd::new(0.02, 0.9);
+        let w = converges(|s| opt.step(s), &mut store, id);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::vector(&[0.0]));
+        let mut opt = Adam::new(0.05, 0.0);
+        let w = converges(|s| opt.step(s), &mut store, id);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_weight_decay_shrinks_unused_params() {
+        let mut store = ParamStore::new();
+        let used = store.add("used", Tensor::vector(&[1.0]));
+        let unused = store.add("unused", Tensor::vector(&[1.0]));
+        let mut opt = Adam::new(0.01, 0.1);
+        for _ in 0..50 {
+            // Gradient only on `used`.
+            store.accumulate_grad(used, &Tensor::vector(&[0.1]));
+            opt.step(&mut store);
+        }
+        assert!(store.value(unused).data()[0] < 1.0, "weight decay should shrink the unused param");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::vector(&[0.0]));
+        store.accumulate_grad(id, &Tensor::vector(&[1.0]));
+        Adam::new(0.01, 0.0).step(&mut store);
+        assert_eq!(store.grad(id).data(), &[0.0]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Central parameter storage and the forward-pass context.
+//!
+//! Parameters live in a [`ParamStore`] (values + accumulated gradients);
+//! each forward pass builds a fresh [`Ctx`] that injects parameters into the
+//! autodiff [`Graph`] as differentiable leaves. A parameter injected twice
+//! in one pass maps to the same graph node, so gradient contributions from
+//! shared weights accumulate correctly.
+
+use cit_tensor::{Graph, Tensor, Var};
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+#[derive(Clone)]
+struct ParamEntry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// Owns all trainable tensors of one or more modules.
+///
+/// Cloning deep-copies values and gradients — used for target networks
+/// (DDPG) whose layers share the original [`ParamId`]s because parameters
+/// were registered in identical order.
+#[derive(Default, Clone)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its id.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.shape());
+        self.entries.push(ParamEntry { name: name.into(), value, grad });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not elements).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no parameter is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar elements across all parameters.
+    pub fn num_elements(&self) -> usize {
+        self.entries.iter().map(|e| e.value.numel()).sum()
+    }
+
+    /// The name a parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable value access (used by optimisers and tests).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Adds `g` into the stored gradient of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Tensor) {
+        self.entries[id.0].grad.add_assign(g);
+    }
+
+    /// Resets every gradient to zero.
+    pub fn zero_grads(&mut self) {
+        for e in &mut self.entries {
+            e.grad = Tensor::zeros(e.value.shape());
+        }
+    }
+
+    /// Iterates over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.entries.iter().map(|e| e.grad.sq_norm()).sum::<f32>().sqrt()
+    }
+
+    /// Scales all gradients so the global norm does not exceed `max_norm`.
+    ///
+    /// Returns the norm before clipping.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for e in &mut self.entries {
+                e.grad.scale_assign(s);
+            }
+        }
+        norm
+    }
+
+    /// `true` when every parameter value is finite.
+    pub fn all_finite(&self) -> bool {
+        self.entries.iter().all(|e| e.value.all_finite())
+    }
+
+    /// Copies all parameter values from `other` (shapes must match).
+    ///
+    /// Used for target networks (DDPG) and snapshotting.
+    pub fn copy_values_from(&mut self, other: &ParamStore) {
+        assert_eq!(self.len(), other.len(), "copy_values_from: store size mismatch");
+        for (dst, src) in self.entries.iter_mut().zip(&other.entries) {
+            assert_eq!(dst.value.shape(), src.value.shape(), "param shape mismatch");
+            dst.value = src.value.clone();
+        }
+    }
+
+    /// Polyak averaging: `self = (1-τ)·self + τ·other`.
+    pub fn soft_update_from(&mut self, other: &ParamStore, tau: f32) {
+        assert_eq!(self.len(), other.len(), "soft_update_from: store size mismatch");
+        for (dst, src) in self.entries.iter_mut().zip(&other.entries) {
+            dst.value = dst.value.zip_map(&src.value, |a, b| (1.0 - tau) * a + tau * b);
+        }
+    }
+}
+
+/// A forward-pass context pairing a [`Graph`] with lazily injected
+/// parameters from a [`ParamStore`].
+pub struct Ctx<'a> {
+    /// The underlying autodiff graph; callers use it directly for math ops.
+    pub g: Graph,
+    store: &'a ParamStore,
+    bindings: Vec<Option<Var>>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Starts a forward pass against `store`.
+    pub fn new(store: &'a ParamStore) -> Self {
+        Ctx { g: Graph::new(), store, bindings: vec![None; store.len()] }
+    }
+
+    /// Injects (or reuses) a parameter as a differentiable graph leaf.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        if let Some(v) = self.bindings[id.0] {
+            return v;
+        }
+        let v = self.g.param_leaf(self.store.value(id).clone());
+        self.bindings[id.0] = Some(v);
+        v
+    }
+
+    /// Injects a constant input tensor.
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.g.input(t)
+    }
+
+    /// Runs backward from `loss` and returns `(ParamId, gradient)` pairs
+    /// for every parameter that received a gradient.
+    ///
+    /// Apply them with [`ParamStore::accumulate_grad`] — the two-step dance
+    /// keeps the forward pass borrowing the store immutably.
+    pub fn backward(&self, loss: Var) -> Vec<(ParamId, Tensor)> {
+        let grads = self.g.backward(loss);
+        let mut out = Vec::new();
+        for (i, b) in self.bindings.iter().enumerate() {
+            if let Some(v) = b {
+                if let Some(g) = grads.wrt(*v) {
+                    out.push((ParamId(i), g.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ParamStore {
+    /// Accumulates a batch of `(id, gradient)` pairs, typically the output
+    /// of [`Ctx::backward`] once the forward-pass borrow has ended.
+    pub fn apply_grads(&mut self, grads: Vec<(ParamId, Tensor)>) {
+        for (id, g) in grads {
+            self.accumulate_grad(id, &g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_roundtrip() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::vector(&[1.0, 2.0]));
+        assert_eq!(store.value(id).data(), &[1.0, 2.0]);
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.num_elements(), 2);
+    }
+
+    #[test]
+    fn shared_param_injected_once() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::vector(&[3.0]));
+        let mut ctx = Ctx::new(&store);
+        let a = ctx.param(id);
+        let b = ctx.param(id);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backward_accumulates_shared_use() {
+        // loss = w + w ⇒ dloss/dw = 2
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::vector(&[5.0]));
+        let grads = {
+            let mut ctx = Ctx::new(&store);
+            let w = ctx.param(id);
+            let y = ctx.g.add(w, w);
+            let loss = ctx.g.sum_all(y);
+            ctx.backward(loss)
+        };
+        store.apply_grads(grads);
+        assert_eq!(store.grad(id).data(), &[2.0]);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::vector(&[1.0]));
+        store.accumulate_grad(id, &Tensor::vector(&[4.0]));
+        assert_eq!(store.grad(id).data(), &[4.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(id).data(), &[0.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::vector(&[0.0, 0.0]));
+        store.accumulate_grad(id, &Tensor::vector(&[3.0, 4.0])); // norm 5
+        let before = store.clip_grad_norm(1.0);
+        assert!((before - 5.0).abs() < 1e-6);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_noop_below_threshold() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::vector(&[0.3]));
+        store.accumulate_grad(id, &Tensor::vector(&[0.3]));
+        store.clip_grad_norm(1.0);
+        assert_eq!(store.grad(id).data(), &[0.3]);
+    }
+
+    #[test]
+    fn soft_update_moves_towards_source() {
+        let mut a = ParamStore::new();
+        let ida = a.add("w", Tensor::vector(&[0.0]));
+        let mut b = ParamStore::new();
+        b.add("w", Tensor::vector(&[10.0]));
+        a.soft_update_from(&b, 0.1);
+        assert!((a.value(ida).data()[0] - 1.0).abs() < 1e-6);
+    }
+}

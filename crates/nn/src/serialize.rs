@@ -1,0 +1,252 @@
+//! Checkpointing: save and restore every parameter of a [`ParamStore`] in
+//! a small, versioned, human-inspectable text format, so trained traders
+//! can be persisted and reloaded without retraining.
+//!
+//! Format (line-oriented):
+//! ```text
+//! cit-params v1
+//! <name>\t<dim0,dim1,...>\t<v0 v1 v2 ...>
+//! ```
+
+use crate::param::{ParamId, ParamStore};
+use cit_tensor::Tensor;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Errors raised while loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Header/format mismatch or corrupt data.
+    Malformed(String),
+    /// Checkpoint does not match the store's registered parameters.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+const HEADER: &str = "cit-params v1";
+
+/// Serialises every parameter of `store`.
+pub fn to_string(store: &ParamStore) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for id in store.ids() {
+        let value = store.value(id);
+        let dims: Vec<String> = value.shape().iter().map(|d| d.to_string()).collect();
+        let _ = write!(out, "{}\t{}\t", store.name(id), dims.join(","));
+        for (i, v) in value.data().iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            // `{:e}` keeps full f32 precision compactly.
+            let _ = write!(out, "{v:e}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Restores parameter values into `store`.
+///
+/// The checkpoint must contain exactly the parameters the store registered
+/// (same names, same shapes, same order) — i.e. the model must be
+/// constructed with the same architecture before loading.
+pub fn from_string(store: &mut ParamStore, text: &str) -> Result<(), CheckpointError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| CheckpointError::Malformed("empty file".into()))?;
+    if header.trim() != HEADER {
+        return Err(CheckpointError::Malformed(format!("unexpected header: {header}")));
+    }
+    let ids: Vec<ParamId> = store.ids().collect();
+    let mut loaded = 0usize;
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let name = parts
+            .next()
+            .ok_or_else(|| CheckpointError::Malformed(format!("line {}: no name", lineno + 2)))?;
+        let dims = parts
+            .next()
+            .ok_or_else(|| CheckpointError::Malformed(format!("line {}: no shape", lineno + 2)))?;
+        let values = parts
+            .next()
+            .ok_or_else(|| CheckpointError::Malformed(format!("line {}: no values", lineno + 2)))?;
+
+        if loaded >= ids.len() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint has more parameters than the store ({})",
+                ids.len()
+            )));
+        }
+        let id = ids[loaded];
+        if store.name(id) != name {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter {} expected {}, checkpoint has {name}",
+                loaded,
+                store.name(id)
+            )));
+        }
+        let shape: Vec<usize> = if dims.is_empty() {
+            Vec::new()
+        } else {
+            dims.split(',')
+                .map(|d| {
+                    d.parse::<usize>().map_err(|_| {
+                        CheckpointError::Malformed(format!("line {}: bad shape", lineno + 2))
+                    })
+                })
+                .collect::<Result<_, _>>()?
+        };
+        if shape != store.value(id).shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "{name}: shape {:?} vs registered {:?}",
+                shape,
+                store.value(id).shape()
+            )));
+        }
+        let data: Vec<f32> = values
+            .split(' ')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse::<f32>().map_err(|_| {
+                    CheckpointError::Malformed(format!("line {}: bad value {s}", lineno + 2))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(CheckpointError::Mismatch(format!(
+                "{name}: {} values for shape {:?}",
+                data.len(),
+                shape
+            )));
+        }
+        *store.value_mut(id) = Tensor::from_vec(&shape, data);
+        loaded += 1;
+    }
+    if loaded != ids.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {loaded} parameters, store registered {}",
+            ids.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Saves a checkpoint to a file (creating parent directories).
+pub fn save(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, to_string(store))?;
+    Ok(())
+}
+
+/// Loads a checkpoint from a file into `store`.
+pub fn load(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let text = std::fs::read_to_string(path)?;
+    from_string(store, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Mlp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn store_with_mlp(seed: u64) -> ParamStore {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _ = Mlp::new(&mut store, &mut rng, "net", &[3, 5, 2], Activation::Relu);
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let src = store_with_mlp(1);
+        let text = to_string(&src);
+        let mut dst = store_with_mlp(2); // different init
+        from_string(&mut dst, &text).expect("load");
+        for (a, b) in src.ids().zip(dst.ids()) {
+            assert_eq!(src.value(a), dst.value(b));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let mut dst = store_with_mlp(1);
+        assert!(matches!(
+            from_string(&mut dst, "nope\n"),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let src = store_with_mlp(1);
+        let text = to_string(&src);
+        let mut other = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = Mlp::new(&mut other, &mut rng, "net", &[4, 5, 2], Activation::Relu);
+        assert!(matches!(from_string(&mut other, &text), Err(CheckpointError::Mismatch(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_checkpoint() {
+        let src = store_with_mlp(1);
+        let text = to_string(&src);
+        let truncated: String =
+            text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let mut dst = store_with_mlp(1);
+        assert!(matches!(from_string(&mut dst, &truncated), Err(CheckpointError::Mismatch(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("cit_nn_ckpt_test");
+        let path = dir.join("model.ckpt");
+        let src = store_with_mlp(5);
+        save(&src, &path).expect("save");
+        let mut dst = store_with_mlp(6);
+        load(&mut dst, &path).expect("load");
+        for (a, b) in src.ids().zip(dst.ids()) {
+            assert_eq!(src.value(a), dst.value(b));
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn scalar_and_rank0_shapes_roundtrip() {
+        let mut src = ParamStore::new();
+        src.add("s", Tensor::scalar(2.5));
+        let text = to_string(&src);
+        let mut dst = ParamStore::new();
+        dst.add("s", Tensor::scalar(0.0));
+        from_string(&mut dst, &text).expect("load scalar");
+        let id = dst.ids().next().expect("one param");
+        assert_eq!(dst.value(id).item(), 2.5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Anticor (Borodin, El-Yaniv & Gogan 2003): statistical arbitrage on
+//! lagged cross-correlation and negative autocorrelation.
+
+use crate::util::mean;
+use cit_market::{DecisionContext, Strategy};
+
+/// The Anticor weight-transfer strategy.
+///
+/// Two consecutive windows of log price relatives are compared; wealth is
+/// moved from asset `i` to asset `j` when `i` outperformed `j` in the most
+/// recent window *and* the lagged cross-correlation `corr(LX1_i, LX2_j)` is
+/// positive, reinforced by negative autocorrelations.
+#[derive(Debug, Clone)]
+pub struct Anticor {
+    /// Window length `w`.
+    pub window: usize,
+    weights: Vec<f64>,
+}
+
+impl Anticor {
+    /// Creates Anticor with window length `window`.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "Anticor needs window >= 2");
+        Anticor { window, weights: Vec::new() }
+    }
+}
+
+impl Default for Anticor {
+    fn default() -> Self {
+        Anticor::new(5)
+    }
+}
+
+impl Strategy for Anticor {
+    fn name(&self) -> String {
+        "Anticor".to_string()
+    }
+
+    fn reset(&mut self, m: usize) {
+        self.weights = vec![1.0 / m as f64; m];
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.panel.num_assets();
+        if self.weights.len() != m {
+            self.reset(m);
+        }
+        let w = self.window;
+        if ctx.t < 2 * w {
+            return self.weights.clone();
+        }
+
+        // Log relatives for the two windows: LX1 covers [t-2w+1, t-w],
+        // LX2 covers [t-w+1, t].
+        let log_rel = |day: usize, i: usize| -> f64 {
+            (ctx.panel.close(day, i) / ctx.panel.close(day - 1, i)).ln()
+        };
+        let lx1: Vec<Vec<f64>> =
+            (0..m).map(|i| (ctx.t - 2 * w + 1..=ctx.t - w).map(|d| log_rel(d, i)).collect()).collect();
+        let lx2: Vec<Vec<f64>> =
+            (0..m).map(|i| (ctx.t - w + 1..=ctx.t).map(|d| log_rel(d, i)).collect()).collect();
+
+        let mu1: Vec<f64> = lx1.iter().map(|c| mean(c)).collect();
+        let mu2: Vec<f64> = lx2.iter().map(|c| mean(c)).collect();
+        let sd = |col: &[f64], mu: f64| {
+            (col.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / (w as f64 - 1.0)).sqrt()
+        };
+        let s1: Vec<f64> = lx1.iter().zip(&mu1).map(|(c, &mu)| sd(c, mu)).collect();
+        let s2: Vec<f64> = lx2.iter().zip(&mu2).map(|(c, &mu)| sd(c, mu)).collect();
+
+        // Lagged cross-correlation matrix.
+        let mut mcor = vec![0.0f64; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                if s1[i] > 1e-12 && s2[j] > 1e-12 {
+                    let cov: f64 = lx1[i]
+                        .iter()
+                        .zip(&lx2[j])
+                        .map(|(a, b)| (a - mu1[i]) * (b - mu2[j]))
+                        .sum::<f64>()
+                        / (w as f64 - 1.0);
+                    mcor[i * m + j] = cov / (s1[i] * s2[j]);
+                }
+            }
+        }
+
+        // Claims: move wealth i→j when i beat j recently and they are
+        // positively cross-correlated.
+        let mut claims = vec![0.0f64; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                if i != j && mu2[i] >= mu2[j] && mcor[i * m + j] > 0.0 {
+                    let mut claim = mcor[i * m + j];
+                    claim += (-mcor[i * m + i]).max(0.0);
+                    claim += (-mcor[j * m + j]).max(0.0);
+                    claims[i * m + j] = claim;
+                }
+            }
+        }
+
+        // Execute transfers proportionally to claims.
+        let mut new_w = self.weights.clone();
+        for i in 0..m {
+            let total_claim: f64 = (0..m).map(|j| claims[i * m + j]).sum();
+            if total_claim > 1e-12 {
+                for j in 0..m {
+                    let transfer = self.weights[i] * claims[i * m + j] / total_claim;
+                    new_w[i] -= transfer;
+                    new_w[j] += transfer;
+                }
+            }
+        }
+        // Numerical cleanup.
+        let sum: f64 = new_w.iter().sum();
+        if sum > 0.0 {
+            new_w.iter_mut().for_each(|x| *x = (*x / sum).max(0.0));
+            let s2: f64 = new_w.iter().sum();
+            new_w.iter_mut().for_each(|x| *x /= s2);
+        }
+        self.weights = new_w;
+        self.weights.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::{run_backtest, AssetPanel, EnvConfig, SynthConfig};
+
+    #[test]
+    fn anticor_outputs_simplex() {
+        let p = SynthConfig { num_assets: 5, num_days: 150, test_start: 100, ..Default::default() }
+            .generate();
+        let res = run_backtest(&p, EnvConfig::default(), 40, 100, &mut Anticor::default());
+        for w in &res.weights {
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn no_trading_before_two_windows() {
+        let p = SynthConfig { num_assets: 3, num_days: 60, test_start: 40, ..Default::default() }
+            .generate();
+        let mut a = Anticor::new(5);
+        a.reset(3);
+        let ctx = cit_market::DecisionContext { panel: &p, t: 8, prev_weights: &[0.4, 0.3, 0.3], window: 5 };
+        let w = a.decide(&ctx);
+        assert!(w.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-12), "too early to trade: {w:?}");
+    }
+
+    #[test]
+    fn transfers_conserve_wealth() {
+        // Alternating leaders market to force transfers.
+        let days = 60;
+        let mut data = Vec::new();
+        for t in 0..days {
+            for i in 0..3 {
+                let cycle = ((t / 5 + i) % 3) as f64;
+                let c = 100.0 * (1.0 + 0.03 * cycle);
+                data.extend_from_slice(&[c, c * 1.001, c * 0.999, c]);
+            }
+        }
+        let p = AssetPanel::new("cyc", days, 3, data, 50);
+        let res = run_backtest(&p, EnvConfig { window: 5, transaction_cost: 0.0 }, 20, 50, &mut Anticor::default());
+        for w in &res.weights {
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Benchmark-type strategies: constant rebalanced portfolios (CRP),
+//! buy-and-hold (BAH) and the exponential-gradient update (EG).
+
+use crate::util::dot;
+use cit_market::{DecisionContext, Strategy};
+
+/// Uniform constant rebalanced portfolio (Cover & Gluss): rebalance to
+/// `1/m` every day.
+#[derive(Debug, Default, Clone)]
+pub struct Crp;
+
+impl Strategy for Crp {
+    fn name(&self) -> String {
+        "CRP".to_string()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.panel.num_assets();
+        vec![1.0 / m as f64; m]
+    }
+}
+
+/// Buy and hold: invest uniformly on day one, then let weights drift.
+#[derive(Debug, Default, Clone)]
+pub struct BuyAndHold {
+    started: bool,
+}
+
+impl Strategy for BuyAndHold {
+    fn name(&self) -> String {
+        "BAH".to_string()
+    }
+
+    fn reset(&mut self, _m: usize) {
+        self.started = false;
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        if !self.started {
+            self.started = true;
+            let m = ctx.panel.num_assets();
+            return vec![1.0 / m as f64; m];
+        }
+        ctx.prev_weights.to_vec()
+    }
+}
+
+/// Exponential gradient (Helmbold et al. 1998):
+/// `w_{t+1,i} ∝ w_{t,i} · exp(η · x_{t,i} / (w_t · x_t))`.
+#[derive(Debug, Clone)]
+pub struct Eg {
+    /// Learning rate η (paper default 0.05).
+    pub eta: f64,
+    weights: Vec<f64>,
+}
+
+impl Eg {
+    /// Creates EG with learning rate `eta`.
+    pub fn new(eta: f64) -> Self {
+        Eg { eta, weights: Vec::new() }
+    }
+}
+
+impl Default for Eg {
+    fn default() -> Self {
+        Eg::new(0.05)
+    }
+}
+
+impl Strategy for Eg {
+    fn name(&self) -> String {
+        "EG".to_string()
+    }
+
+    fn reset(&mut self, m: usize) {
+        self.weights = vec![1.0 / m as f64; m];
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        if self.weights.len() != ctx.panel.num_assets() {
+            self.reset(ctx.panel.num_assets());
+        }
+        if ctx.t >= 1 {
+            let x = ctx.panel.price_relatives(ctx.t);
+            let denom = dot(&self.weights, &x).max(1e-12);
+            for (w, xi) in self.weights.iter_mut().zip(&x) {
+                *w *= (self.eta * xi / denom).exp();
+            }
+            let sum: f64 = self.weights.iter().sum();
+            self.weights.iter_mut().for_each(|w| *w /= sum);
+        }
+        self.weights.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::{run_backtest, EnvConfig, SynthConfig};
+
+    fn panel() -> cit_market::AssetPanel {
+        SynthConfig { num_assets: 4, num_days: 150, test_start: 100, ..Default::default() }.generate()
+    }
+
+    #[test]
+    fn crp_always_uniform() {
+        let p = panel();
+        let res = run_backtest(&p, EnvConfig::default(), 40, 80, &mut Crp);
+        for w in &res.weights {
+            assert!(w.iter().all(|&x| (x - 0.25).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn bah_weights_drift_with_prices() {
+        let p = panel();
+        let res = run_backtest(&p, EnvConfig { window: 10, transaction_cost: 0.0 }, 40, 80, &mut BuyAndHold::default());
+        // After the first day the target should follow drifted weights, so
+        // turnover (and hence deviation from uniform) appears.
+        let last = res.weights.last().expect("weights recorded");
+        let drifted = last.iter().any(|&w| (w - 0.25).abs() > 1e-6);
+        assert!(drifted, "BAH weights should drift away from uniform");
+    }
+
+    #[test]
+    fn bah_matches_market_index_without_costs() {
+        let p = panel();
+        let res = run_backtest(
+            &p,
+            EnvConfig { window: 10, transaction_cost: 0.0 },
+            40,
+            90,
+            &mut BuyAndHold::default(),
+        );
+        let idx = cit_market::market_result(&p, 40, 90);
+        for (a, b) in res.wealth.iter().zip(&idx.wealth) {
+            assert!((a - b).abs() < 1e-9, "BAH must replicate the index: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn eg_tilts_toward_recent_winner() {
+        let p = panel();
+        let mut eg = Eg::new(0.5); // large η to make the tilt visible
+        let res = run_backtest(&p, EnvConfig { window: 10, transaction_cost: 0.0 }, 40, 45, &mut eg);
+        // Find the best asset on day 41 (used for the decision at t=41).
+        let x = p.price_relatives(41);
+        let best = (0..4).max_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap()).unwrap();
+        let w = &res.weights[1]; // decision taken at t = 41
+        let maxw = (0..4).max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap()).unwrap();
+        assert_eq!(best, maxw, "EG should overweight the best recent asset");
+    }
+
+    #[test]
+    fn eg_weights_stay_simplex() {
+        let p = panel();
+        let res = run_backtest(&p, EnvConfig::default(), 40, 90, &mut Eg::default());
+        for w in &res.weights {
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! # cit-online
+//!
+//! Online portfolio-selection baselines from the paper's Table III:
+//! OLMAR, CRP, ONS, UP and EG, plus the related methods its Related-Work
+//! section surveys (Anticor, PAMR, CWMR, RMR) and buy-and-hold. All
+//! implement [`cit_market::Strategy`] and slot straight into the
+//! backtester.
+//!
+//! ```
+//! use cit_market::{run_test_period, EnvConfig, MarketPreset};
+//! use cit_online::Olmar;
+//!
+//! let panel = MarketPreset::China.scaled(8, 24).generate();
+//! let result = run_test_period(&panel, EnvConfig::default(), &mut Olmar::default());
+//! println!("OLMAR AR = {:.3}", result.metrics.ar);
+//! ```
+
+#![deny(missing_docs)]
+
+mod anticor;
+mod benchmark;
+mod newton;
+mod pattern;
+mod reversion;
+pub mod util;
+
+pub use anticor::Anticor;
+pub use benchmark::{BuyAndHold, Crp, Eg};
+pub use newton::{Ons, UniversalPortfolio};
+pub use pattern::{Bcrp, Corn};
+pub use reversion::{Cwmr, Olmar, Pamr, Rmr};
+
+use cit_market::Strategy;
+
+/// The five online baselines reported in the paper's Table III, in paper
+/// order, with the paper's default hyper-parameters.
+pub fn table3_baselines() -> Vec<Box<dyn Strategy>> {
+    vec![
+        Box::new(Olmar::default()),
+        Box::new(Crp),
+        Box::new(Ons::default()),
+        Box::new(UniversalPortfolio::default()),
+        Box::new(Eg::default()),
+    ]
+}
+
+/// Every online strategy in this crate (the Table III five plus the
+/// related-work methods), for extended comparisons.
+pub fn all_strategies() -> Vec<Box<dyn Strategy>> {
+    vec![
+        Box::new(Olmar::default()),
+        Box::new(Crp),
+        Box::new(Ons::default()),
+        Box::new(UniversalPortfolio::default()),
+        Box::new(Eg::default()),
+        Box::new(Anticor::default()),
+        Box::new(Pamr::default()),
+        Box::new(Cwmr::default()),
+        Box::new(Rmr::default()),
+        Box::new(Corn::default()),
+        Box::new(Bcrp::default()),
+        Box::new(BuyAndHold::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factories_cover_expected_names() {
+        let names: Vec<String> = table3_baselines().iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["OLMAR", "CRP", "ONS", "UP", "EG"]);
+        assert_eq!(all_strategies().len(), 12);
+    }
+}

@@ -1,0 +1,262 @@
+//! Follow-the-leader style methods: online Newton step (ONS) and Cover's
+//! universal portfolios (UP, Monte-Carlo approximation).
+
+use crate::util::{dot, simplex_projection};
+use cit_market::{DecisionContext, Strategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Online Newton step (Agarwal et al. 2006).
+///
+/// Maintains `A_t = Σ ∇ℓ ∇ℓᵀ + I` and takes the Newton-style step
+/// `p ← Π( p + (1/β) A_t⁻¹ ∇log(p·x) )`, mixed with the uniform portfolio
+/// by `δ`. The generalised (A-norm) projection of the original paper is
+/// replaced by an exact Euclidean simplex projection, which preserves the
+/// algorithm's qualitative behaviour.
+#[derive(Debug, Clone)]
+pub struct Ons {
+    /// Inverse step-size β.
+    pub beta: f64,
+    /// Uniform mixing coefficient δ.
+    pub delta: f64,
+    weights: Vec<f64>,
+    a: Vec<f64>, // m×m matrix, row-major
+}
+
+impl Ons {
+    /// Creates ONS with the standard β = 2, δ = 1/8.
+    pub fn new(beta: f64, delta: f64) -> Self {
+        Ons { beta, delta, weights: Vec::new(), a: Vec::new() }
+    }
+}
+
+impl Default for Ons {
+    fn default() -> Self {
+        Ons::new(2.0, 0.125)
+    }
+}
+
+impl Strategy for Ons {
+    fn name(&self) -> String {
+        "ONS".to_string()
+    }
+
+    fn reset(&mut self, m: usize) {
+        self.weights = vec![1.0 / m as f64; m];
+        self.a = vec![0.0; m * m];
+        for i in 0..m {
+            self.a[i * m + i] = 1.0;
+        }
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.panel.num_assets();
+        if self.weights.len() != m {
+            self.reset(m);
+        }
+        if ctx.t >= 1 {
+            let x = ctx.panel.price_relatives(ctx.t);
+            let px = dot(&self.weights, &x).max(1e-12);
+            // Gradient of log wealth wrt p.
+            let grad: Vec<f64> = x.iter().map(|xi| xi / px).collect();
+            // Rank-one update of A.
+            for i in 0..m {
+                for j in 0..m {
+                    self.a[i * m + j] += grad[i] * grad[j];
+                }
+            }
+            // Solve A·d = grad by Gauss-Seidel-lite (A is SPD and well
+            // conditioned thanks to the +I start); a handful of conjugate
+            // gradient iterations is plenty at these sizes.
+            let d = solve_spd(&self.a, &grad, m);
+            let mut target: Vec<f64> = self
+                .weights
+                .iter()
+                .zip(&d)
+                .map(|(w, di)| w + di / self.beta)
+                .collect();
+            target = simplex_projection(&target);
+            // Mix with uniform for regret guarantees.
+            for t in target.iter_mut() {
+                *t = (1.0 - self.delta) * *t + self.delta / m as f64;
+            }
+            self.weights = target;
+        }
+        self.weights.clone()
+    }
+}
+
+/// Conjugate-gradient solve of `A x = b` for a symmetric positive-definite
+/// `A` (row-major `m×m`).
+fn solve_spd(a: &[f64], b: &[f64], m: usize) -> Vec<f64> {
+    let matvec = |v: &[f64]| -> Vec<f64> {
+        (0..m).map(|i| (0..m).map(|j| a[i * m + j] * v[j]).sum()).collect()
+    };
+    let mut x = vec![0.0f64; m];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut rs = dot(&r, &r);
+    for _ in 0..(2 * m).max(16) {
+        if rs < 1e-18 {
+            break;
+        }
+        let ap = matvec(&p);
+        let alpha = rs / dot(&p, &ap).max(1e-18);
+        for i in 0..m {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new = dot(&r, &r);
+        let beta = rs_new / rs;
+        for i in 0..m {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs = rs_new;
+    }
+    x
+}
+
+/// Cover's universal portfolio, approximated by Monte-Carlo sampling of
+/// CRP managers from a Dirichlet(1,…,1) prior: the played portfolio is the
+/// wealth-weighted average of the samples.
+#[derive(Debug, Clone)]
+pub struct UniversalPortfolio {
+    /// Number of sampled CRP managers.
+    pub num_samples: usize,
+    seed: u64,
+    samples: Vec<Vec<f64>>,
+    wealth: Vec<f64>,
+}
+
+impl UniversalPortfolio {
+    /// Creates UP with `num_samples` sampled managers.
+    pub fn new(num_samples: usize, seed: u64) -> Self {
+        UniversalPortfolio { num_samples, seed, samples: Vec::new(), wealth: Vec::new() }
+    }
+}
+
+impl Default for UniversalPortfolio {
+    fn default() -> Self {
+        UniversalPortfolio::new(256, 7)
+    }
+}
+
+impl Strategy for UniversalPortfolio {
+    fn name(&self) -> String {
+        "UP".to_string()
+    }
+
+    fn reset(&mut self, m: usize) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.samples = (0..self.num_samples)
+            .map(|_| {
+                // Dirichlet(1) == normalised exponentials.
+                let e: Vec<f64> =
+                    (0..m).map(|_| -rng.random::<f64>().max(1e-12).ln()).collect();
+                let s: f64 = e.iter().sum();
+                e.into_iter().map(|v| v / s).collect()
+            })
+            .collect();
+        self.wealth = vec![1.0; self.num_samples];
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.panel.num_assets();
+        if self.samples.is_empty() || self.samples[0].len() != m {
+            self.reset(m);
+        }
+        if ctx.t >= 1 {
+            let x = ctx.panel.price_relatives(ctx.t);
+            for (w, b) in self.wealth.iter_mut().zip(&self.samples) {
+                *w *= dot(b, &x).max(1e-12);
+            }
+        }
+        let total: f64 = self.wealth.iter().sum();
+        let mut target = vec![0.0f64; m];
+        for (w, b) in self.wealth.iter().zip(&self.samples) {
+            for i in 0..m {
+                target[i] += w / total * b[i];
+            }
+        }
+        target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::{run_backtest, EnvConfig, SynthConfig};
+
+    fn panel() -> cit_market::AssetPanel {
+        SynthConfig { num_assets: 4, num_days: 150, test_start: 100, ..Default::default() }.generate()
+    }
+
+    #[test]
+    fn solve_spd_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = solve_spd(&a, &[3.0, -2.0], 2);
+        assert!((x[0] - 3.0).abs() < 1e-9 && (x[1] + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_spd_general() {
+        // A = [[2,1],[1,3]], b = [1, 2] ⇒ x = [0.2, 0.6]
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let x = solve_spd(&a, &[1.0, 2.0], 2);
+        assert!((x[0] - 0.2).abs() < 1e-8 && (x[1] - 0.6).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ons_outputs_valid_weights() {
+        let p = panel();
+        let res = run_backtest(&p, EnvConfig::default(), 40, 90, &mut Ons::default());
+        for w in &res.weights {
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn ons_mixes_with_uniform() {
+        // δ-mixing bounds every weight below by δ/m.
+        let p = panel();
+        let mut ons = Ons::default();
+        let res = run_backtest(&p, EnvConfig::default(), 40, 90, &mut ons);
+        let floor = 0.125 / 4.0 - 1e-9;
+        for w in res.weights.iter().skip(1) {
+            assert!(w.iter().all(|&x| x >= floor), "weight below δ/m floor: {w:?}");
+        }
+    }
+
+    #[test]
+    fn up_converges_to_best_manager_on_rigged_market() {
+        // Asset 0 trends strongly upward: UP's wealth-weighting must tilt
+        // the played portfolio toward managers heavy in asset 0.
+        let mut data = Vec::new();
+        let days = 120;
+        for t in 0..days {
+            for i in 0..3 {
+                let growth: f64 = if i == 0 { 1.03 } else { 0.99 };
+                let c = 100.0 * growth.powi(t as i32);
+                data.extend_from_slice(&[c, c * 1.001, c * 0.999, c]);
+            }
+        }
+        let p = cit_market::AssetPanel::new("rigged", days, 3, data, 100);
+        let mut up = UniversalPortfolio::new(128, 3);
+        let res = run_backtest(&p, EnvConfig { window: 5, transaction_cost: 0.0 }, 10, 110, &mut up);
+        let w = res.weights.last().expect("weights");
+        // Cover's UP concentrates slowly; require asset 0 to dominate and
+        // carry clearly more than the uniform share.
+        let max_idx = (0..3).max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap()).unwrap();
+        assert_eq!(max_idx, 0, "UP should favour the winning asset, got {w:?}");
+        assert!(w[0] > 0.45, "UP tilt too weak, got {w:?}");
+    }
+
+    #[test]
+    fn up_deterministic_given_seed() {
+        let p = panel();
+        let r1 = run_backtest(&p, EnvConfig::default(), 40, 70, &mut UniversalPortfolio::new(64, 9));
+        let r2 = run_backtest(&p, EnvConfig::default(), 40, 70, &mut UniversalPortfolio::new(64, 9));
+        assert_eq!(r1.wealth, r2.wealth);
+    }
+}

@@ -1,0 +1,240 @@
+//! Pattern-matching and hindsight strategies: CORN (correlation-driven
+//! nonparametric learning) and BCRP (best constant rebalanced portfolio in
+//! hindsight — an upper-bound benchmark, not a causal strategy).
+
+use crate::util::{dot, simplex_projection};
+use cit_market::{DecisionContext, Strategy};
+
+/// CORN (Li, Hoi & Gopalkrishnan 2011): find past windows whose market
+/// behaviour correlates with the current window above a threshold, then
+/// choose the portfolio that would have maximised log-wealth on the days
+/// that followed those similar windows (approximated by projected gradient
+/// ascent on the simplex).
+#[derive(Debug, Clone)]
+pub struct Corn {
+    /// Window length used for similarity matching.
+    pub window: usize,
+    /// Correlation threshold ρ.
+    pub rho: f64,
+    /// Gradient-ascent iterations for the inner log-optimal problem.
+    pub opt_iters: usize,
+}
+
+impl Corn {
+    /// Creates CORN with window `window` and correlation threshold `rho`.
+    pub fn new(window: usize, rho: f64) -> Self {
+        assert!(window >= 2, "CORN needs window >= 2");
+        Corn { window, rho, opt_iters: 60 }
+    }
+
+    /// Market-vector for a window: concatenated price relatives of all
+    /// assets over `window` days ending at `t`.
+    fn market_window(ctx: &DecisionContext<'_>, t: usize, window: usize) -> Vec<f64> {
+        let m = ctx.panel.num_assets();
+        let mut out = Vec::with_capacity(window * m);
+        for day in t + 1 - window..=t {
+            out.extend(ctx.panel.price_relatives(day));
+        }
+        out
+    }
+
+    fn correlation(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len() as f64;
+        let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            cov += (x - ma) * (y - mb);
+            va += (x - ma) * (x - ma);
+            vb += (y - mb) * (y - mb);
+        }
+        if va < 1e-18 || vb < 1e-18 {
+            return 0.0;
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    /// Log-optimal portfolio over the matched next-day relatives via
+    /// Cover's multiplicative fixed-point iteration
+    /// `b_i ← b_i · E[x_i / (b·x)]`, which preserves the simplex and
+    /// converges to the growth-optimal portfolio.
+    fn log_optimal(&self, samples: &[Vec<f64>], m: usize) -> Vec<f64> {
+        log_optimal_portfolio(samples, m, self.opt_iters)
+    }
+}
+
+/// Cover's multiplicative update toward the growth-optimal portfolio.
+fn log_optimal_portfolio(samples: &[Vec<f64>], m: usize, iters: usize) -> Vec<f64> {
+    let mut b = vec![1.0 / m as f64; m];
+    for _ in 0..iters {
+        let mut factor = vec![0.0f64; m];
+        for x in samples {
+            let bx = dot(&b, x).max(1e-9);
+            for (f, xi) in factor.iter_mut().zip(x) {
+                *f += xi / bx / samples.len() as f64;
+            }
+        }
+        for (bi, f) in b.iter_mut().zip(&factor) {
+            *bi *= f;
+        }
+        let sum: f64 = b.iter().sum();
+        if sum <= 0.0 {
+            return vec![1.0 / m as f64; m];
+        }
+        b.iter_mut().for_each(|x| *x /= sum);
+    }
+    simplex_projection(&b)
+}
+
+impl Default for Corn {
+    fn default() -> Self {
+        Corn::new(5, 0.2)
+    }
+}
+
+impl Strategy for Corn {
+    fn name(&self) -> String {
+        "CORN".to_string()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.panel.num_assets();
+        let w = self.window;
+        // Need the current window plus at least one historical candidate.
+        if ctx.t < 2 * w + 1 {
+            return vec![1.0 / m as f64; m];
+        }
+        let current = Self::market_window(ctx, ctx.t, w);
+        let mut matches: Vec<Vec<f64>> = Vec::new();
+        for past_end in w..ctx.t - w {
+            let hist = Self::market_window(ctx, past_end, w);
+            if Self::correlation(&current, &hist) >= self.rho {
+                matches.push(ctx.panel.price_relatives(past_end + 1));
+            }
+        }
+        if matches.is_empty() {
+            return vec![1.0 / m as f64; m];
+        }
+        self.log_optimal(&matches, m)
+    }
+}
+
+/// Best constant rebalanced portfolio *in hindsight* over all data up to
+/// `t` — the benchmark UP is proven to track asymptotically. Causal in the
+/// sense that it only looks backwards, but primarily useful as a reference
+/// row.
+#[derive(Debug, Clone)]
+pub struct Bcrp {
+    /// Gradient-ascent iterations.
+    pub opt_iters: usize,
+}
+
+impl Default for Bcrp {
+    fn default() -> Self {
+        Bcrp { opt_iters: 400 }
+    }
+}
+
+impl Strategy for Bcrp {
+    fn name(&self) -> String {
+        "BCRP".to_string()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.panel.num_assets();
+        if ctx.t < 2 {
+            return vec![1.0 / m as f64; m];
+        }
+        let samples: Vec<Vec<f64>> =
+            (1..=ctx.t).map(|day| ctx.panel.price_relatives(day)).collect();
+        log_optimal_portfolio(&samples, m, self.opt_iters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::{run_backtest, AssetPanel, EnvConfig, SynthConfig};
+
+    fn rigged_panel() -> AssetPanel {
+        let days = 120;
+        let mut data = Vec::new();
+        for t in 0..days {
+            for i in 0..3 {
+                let g: f64 = if i == 0 { 1.02 } else { 0.995 };
+                let c = 100.0 * g.powi(t as i32);
+                data.extend_from_slice(&[c, c * 1.001, c * 0.999, c]);
+            }
+        }
+        AssetPanel::new("rigged", days, 3, data, 100)
+    }
+
+    #[test]
+    fn bcrp_finds_the_hindsight_winner() {
+        let p = rigged_panel();
+        let mut bcrp = Bcrp::default();
+        let ctx = cit_market::DecisionContext {
+            panel: &p,
+            t: 99,
+            prev_weights: &[1.0 / 3.0; 3],
+            window: 5,
+        };
+        let b = bcrp.decide(&ctx);
+        assert!(b[0] > 0.9, "BCRP must concentrate on the dominant asset: {b:?}");
+    }
+
+    #[test]
+    fn corn_defaults_to_uniform_without_matches() {
+        let p = rigged_panel();
+        let mut corn = Corn::new(5, 1.1); // impossible threshold
+        let ctx = cit_market::DecisionContext {
+            panel: &p,
+            t: 60,
+            prev_weights: &[1.0 / 3.0; 3],
+            window: 5,
+        };
+        let w = corn.decide(&ctx);
+        assert!(w.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn corn_exploits_persistent_pattern() {
+        // On a strongly monotone market every past window correlates with
+        // the current one, so CORN's log-optimal step should pick asset 0.
+        let p = rigged_panel();
+        let mut corn = Corn::new(5, 0.0);
+        let ctx = cit_market::DecisionContext {
+            panel: &p,
+            t: 80,
+            prev_weights: &[1.0 / 3.0; 3],
+            window: 5,
+        };
+        let w = corn.decide(&ctx);
+        assert!(w[0] > 0.5, "CORN should favour the persistent winner: {w:?}");
+    }
+
+    #[test]
+    fn both_stay_on_simplex_in_backtests() {
+        let p = SynthConfig { num_assets: 4, num_days: 150, test_start: 120, ..Default::default() }
+            .generate();
+        for strat in [&mut Corn::default() as &mut dyn Strategy, &mut Bcrp::default()] {
+            let res = run_backtest(&p, EnvConfig::default(), 40, 100, strat);
+            for w in &res.weights {
+                assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+                assert!(w.iter().all(|&x| x >= -1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_helper_is_sane() {
+        let a = [1.0, 2.0, 3.0];
+        let up = [2.0, 4.0, 6.0];
+        let down = [3.0, 2.0, 1.0];
+        assert!((Corn::correlation(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((Corn::correlation(&a, &down) + 1.0).abs() < 1e-12);
+        let flat = [5.0, 5.0, 5.0];
+        assert_eq!(Corn::correlation(&a, &flat), 0.0);
+    }
+}

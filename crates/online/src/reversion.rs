@@ -1,0 +1,410 @@
+//! Mean-reversion strategies: OLMAR, PAMR, CWMR and RMR.
+
+use crate::util::{dot, l1_median, mean, simplex_projection, sq_norm};
+use cit_market::{DecisionContext, Strategy};
+
+/// On-line moving average reversion (Li & Hoi 2012).
+///
+/// Predicts next price relatives from a `w`-day moving average,
+/// `x̃_{t+1,i} = MA_w(p_i) / p_{t,i}`, and takes a passive-aggressive step
+/// toward portfolios with `b·x̃ ≥ ε`.
+#[derive(Debug, Clone)]
+pub struct Olmar {
+    /// Reversion threshold ε (paper default 10).
+    pub epsilon: f64,
+    /// Moving-average window `w` (paper default 5).
+    pub ma_window: usize,
+    weights: Vec<f64>,
+}
+
+impl Olmar {
+    /// Creates OLMAR with the given threshold and window.
+    pub fn new(epsilon: f64, ma_window: usize) -> Self {
+        assert!(ma_window >= 2, "OLMAR needs a window of at least 2");
+        Olmar { epsilon, ma_window, weights: Vec::new() }
+    }
+}
+
+impl Default for Olmar {
+    fn default() -> Self {
+        Olmar::new(10.0, 5)
+    }
+}
+
+impl Strategy for Olmar {
+    fn name(&self) -> String {
+        "OLMAR".to_string()
+    }
+
+    fn reset(&mut self, m: usize) {
+        self.weights = vec![1.0 / m as f64; m];
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.panel.num_assets();
+        if self.weights.len() != m {
+            self.reset(m);
+        }
+        if ctx.t + 1 >= self.ma_window {
+            // Predicted relatives from the moving average.
+            let xt: Vec<f64> = (0..m)
+                .map(|i| {
+                    let window = ctx.panel.close_window(ctx.t, i, self.ma_window);
+                    let current = *window.last().expect("non-empty window");
+                    mean(&window) / current
+                })
+                .collect();
+            let xbar = mean(&xt);
+            let denom = sq_norm(&xt.iter().map(|x| x - xbar).collect::<Vec<_>>());
+            let lambda = if denom > 1e-12 {
+                ((self.epsilon - dot(&self.weights, &xt)) / denom).max(0.0)
+            } else {
+                0.0
+            };
+            let target: Vec<f64> = self
+                .weights
+                .iter()
+                .zip(&xt)
+                .map(|(w, x)| w + lambda * (x - xbar))
+                .collect();
+            self.weights = simplex_projection(&target);
+        }
+        self.weights.clone()
+    }
+}
+
+/// Passive-aggressive mean reversion (Li et al. 2012).
+///
+/// Suffers a loss when yesterday's winners were held
+/// (`ℓ = max(0, b·x_t − ε)`) and moves *against* recent performance.
+#[derive(Debug, Clone)]
+pub struct Pamr {
+    /// Sensitivity threshold ε (paper default 0.5).
+    pub epsilon: f64,
+    weights: Vec<f64>,
+}
+
+impl Pamr {
+    /// Creates PAMR with threshold `epsilon`.
+    pub fn new(epsilon: f64) -> Self {
+        Pamr { epsilon, weights: Vec::new() }
+    }
+}
+
+impl Default for Pamr {
+    fn default() -> Self {
+        Pamr::new(0.5)
+    }
+}
+
+impl Strategy for Pamr {
+    fn name(&self) -> String {
+        "PAMR".to_string()
+    }
+
+    fn reset(&mut self, m: usize) {
+        self.weights = vec![1.0 / m as f64; m];
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.panel.num_assets();
+        if self.weights.len() != m {
+            self.reset(m);
+        }
+        if ctx.t >= 1 {
+            let x = ctx.panel.price_relatives(ctx.t);
+            let loss = (dot(&self.weights, &x) - self.epsilon).max(0.0);
+            if loss > 0.0 {
+                let xbar = mean(&x);
+                let centered: Vec<f64> = x.iter().map(|xi| xi - xbar).collect();
+                let denom = sq_norm(&centered);
+                if denom > 1e-12 {
+                    let tau = loss / denom;
+                    let target: Vec<f64> = self
+                        .weights
+                        .iter()
+                        .zip(&centered)
+                        .map(|(w, c)| w - tau * c)
+                        .collect();
+                    self.weights = simplex_projection(&target);
+                }
+            }
+        }
+        self.weights.clone()
+    }
+}
+
+/// Confidence-weighted mean reversion (Li et al. 2013), diagonal-covariance
+/// variant.
+///
+/// Maintains a Gaussian belief `N(μ, diag(σ²))` over portfolios and, when
+/// the reversion constraint is violated in expectation, shifts `μ` against
+/// recent returns with a step scaled by per-asset confidence, then shrinks
+/// the variances (growing confidence).
+#[derive(Debug, Clone)]
+pub struct Cwmr {
+    /// Confidence parameter φ (≈ Φ⁻¹ of the confidence level).
+    pub phi: f64,
+    /// Reversion threshold ε.
+    pub epsilon: f64,
+    mu: Vec<f64>,
+    sigma: Vec<f64>, // diagonal of Σ
+}
+
+impl Cwmr {
+    /// Creates CWMR with confidence `phi` and threshold `epsilon`.
+    pub fn new(phi: f64, epsilon: f64) -> Self {
+        Cwmr { phi, epsilon, mu: Vec::new(), sigma: Vec::new() }
+    }
+}
+
+impl Default for Cwmr {
+    fn default() -> Self {
+        Cwmr::new(2.0, 0.5)
+    }
+}
+
+impl Strategy for Cwmr {
+    fn name(&self) -> String {
+        "CWMR".to_string()
+    }
+
+    fn reset(&mut self, m: usize) {
+        self.mu = vec![1.0 / m as f64; m];
+        self.sigma = vec![1.0 / (m * m) as f64; m];
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.panel.num_assets();
+        if self.mu.len() != m {
+            self.reset(m);
+        }
+        if ctx.t >= 1 {
+            let x = ctx.panel.price_relatives(ctx.t);
+            let mean_ret = dot(&self.mu, &x);
+            // Variance of the portfolio return under the diagonal belief.
+            let var: f64 = self.sigma.iter().zip(&x).map(|(s, xi)| s * xi * xi).sum();
+            // Constraint: Pr[b·x ≤ ε] ≥ confidence ⇔ mean + φ·√var ≤ ε.
+            let violation = mean_ret + self.phi * var.sqrt() - self.epsilon;
+            if violation > 0.0 {
+                let denom = (var + 1e-12).sqrt() * self.phi + 1e-12;
+                let lambda = (violation / denom).min(10.0);
+                let xbar = mean(&x);
+                // Mean update scaled by per-asset confidence (σ²ᵢ).
+                let target: Vec<f64> = self
+                    .mu
+                    .iter()
+                    .zip(&x)
+                    .zip(&self.sigma)
+                    .map(|((mu, xi), s)| mu - lambda * s * (xi - xbar) / (var + 1e-12).sqrt())
+                    .collect();
+                self.mu = simplex_projection(&target);
+                // Confidence grows where the constraint was informative.
+                for (s, xi) in self.sigma.iter_mut().zip(&x) {
+                    *s = (*s / (1.0 + lambda * self.phi * xi * xi * *s)).max(1e-10);
+                }
+            }
+        }
+        self.mu.clone()
+    }
+}
+
+/// Robust median reversion (Huang et al. 2013): OLMAR with the moving
+/// average replaced by the outlier-robust L1-median of the price window.
+#[derive(Debug, Clone)]
+pub struct Rmr {
+    /// Reversion threshold ε.
+    pub epsilon: f64,
+    /// Price window length.
+    pub window: usize,
+    /// Weiszfeld iterations for the L1-median.
+    pub median_iters: usize,
+    weights: Vec<f64>,
+}
+
+impl Rmr {
+    /// Creates RMR with the given threshold and window.
+    pub fn new(epsilon: f64, window: usize) -> Self {
+        assert!(window >= 2, "RMR needs a window of at least 2");
+        Rmr { epsilon, window, median_iters: 40, weights: Vec::new() }
+    }
+}
+
+impl Default for Rmr {
+    fn default() -> Self {
+        Rmr::new(10.0, 5)
+    }
+}
+
+impl Strategy for Rmr {
+    fn name(&self) -> String {
+        "RMR".to_string()
+    }
+
+    fn reset(&mut self, m: usize) {
+        self.weights = vec![1.0 / m as f64; m];
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        let m = ctx.panel.num_assets();
+        if self.weights.len() != m {
+            self.reset(m);
+        }
+        if ctx.t + 1 >= self.window {
+            // L1-median of the joint price vectors in the window.
+            let points: Vec<Vec<f64>> = (ctx.t + 1 - self.window..=ctx.t)
+                .map(|day| ctx.panel.closes(day))
+                .collect();
+            let med = l1_median(&points, self.median_iters);
+            let current = ctx.panel.closes(ctx.t);
+            let xt: Vec<f64> =
+                med.iter().zip(&current).map(|(md, c)| md / c.max(1e-12)).collect();
+            let xbar = mean(&xt);
+            let centered: Vec<f64> = xt.iter().map(|x| x - xbar).collect();
+            let denom = sq_norm(&centered);
+            let lambda = if denom > 1e-12 {
+                ((self.epsilon - dot(&self.weights, &xt)) / denom).max(0.0)
+            } else {
+                0.0
+            };
+            let target: Vec<f64> = self
+                .weights
+                .iter()
+                .zip(&centered)
+                .map(|(w, c)| w + lambda * c)
+                .collect();
+            self.weights = simplex_projection(&target);
+        }
+        self.weights.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::{run_backtest, AssetPanel, EnvConfig, SynthConfig};
+
+    fn panel() -> AssetPanel {
+        SynthConfig { num_assets: 4, num_days: 150, test_start: 100, ..Default::default() }.generate()
+    }
+
+    fn assert_simplex_run(strategy: &mut dyn Strategy) {
+        let p = panel();
+        let res = run_backtest(&p, EnvConfig::default(), 40, 90, strategy);
+        for w in &res.weights {
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6, "{w:?}");
+            assert!(w.iter().all(|&x| x >= -1e-9), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn olmar_simplex() {
+        assert_simplex_run(&mut Olmar::default());
+    }
+
+    #[test]
+    fn pamr_simplex() {
+        assert_simplex_run(&mut Pamr::default());
+    }
+
+    #[test]
+    fn cwmr_simplex() {
+        assert_simplex_run(&mut Cwmr::default());
+    }
+
+    #[test]
+    fn rmr_simplex() {
+        assert_simplex_run(&mut Rmr::default());
+    }
+
+    /// A strongly mean-reverting two-asset market: prices oscillate.
+    fn oscillating_panel() -> AssetPanel {
+        let days = 100;
+        let mut data = Vec::new();
+        for t in 0..days {
+            for i in 0..2 {
+                let phase = if i == 0 { 0.0 } else { std::f64::consts::PI };
+                // Frequency near π ⇒ strongly negative lag-1 autocorrelation,
+                // i.e. genuine one-day mean reversion for PAMR to harvest.
+                let c = 100.0 * (1.0 + 0.05 * ((t as f64) * 2.8 + phase).sin());
+                data.extend_from_slice(&[c, c * 1.001, c * 0.999, c]);
+            }
+        }
+        AssetPanel::new("osc", days, 2, data, 80)
+    }
+
+    #[test]
+    fn pamr_profits_from_mean_reversion() {
+        let p = oscillating_panel();
+        let cfg = EnvConfig { window: 5, transaction_cost: 0.0 };
+        let pamr = run_backtest(&p, cfg, 10, 90, &mut Pamr::default());
+        let crp = run_backtest(&p, cfg, 10, 90, &mut crate::benchmark::Crp);
+        assert!(
+            pamr.wealth.last().unwrap() > crp.wealth.last().unwrap(),
+            "PAMR should beat CRP on an oscillating market: {} vs {}",
+            pamr.wealth.last().unwrap(),
+            crp.wealth.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn olmar_bets_on_reversion() {
+        // After a sharp one-day drop in asset 0 (others flat), OLMAR's MA
+        // prediction for asset 0 exceeds 1 → overweight it.
+        let days = 30;
+        let mut data = Vec::new();
+        for t in 0..days {
+            for i in 0..2 {
+                let c = if i == 0 && t == 19 { 70.0 } else { 100.0 };
+                data.extend_from_slice(&[c, c * 1.001, c * 0.999, c]);
+            }
+        }
+        let p = AssetPanel::new("drop", days, 2, data, 25);
+        // ε = 10 (the paper's default) keeps the constraint active, so the
+        // update always pushes toward the higher predicted relative.
+        let mut olmar = Olmar::new(10.0, 5);
+        // Decide at t = 19 (the crash day) for day 20.
+        let ctx = cit_market::DecisionContext { panel: &p, t: 19, prev_weights: &[0.5, 0.5], window: 5 };
+        olmar.reset(2);
+        let w = olmar.decide(&ctx);
+        assert!(w[0] > 0.5, "OLMAR should overweight the crashed asset, got {w:?}");
+    }
+
+    #[test]
+    fn rmr_resists_price_outlier() {
+        // One wild outlier day: RMR's median prediction moves far less than
+        // OLMAR's mean prediction, so its portfolio stays closer to uniform.
+        let days = 30;
+        let mut data = Vec::new();
+        for t in 0..days {
+            for i in 0..2 {
+                let c = if i == 0 && t == 18 { 500.0 } else { 100.0 };
+                data.extend_from_slice(&[c, c * 1.001, c * 0.999, c]);
+            }
+        }
+        let p = AssetPanel::new("outlier", days, 2, data, 25);
+        let ctx = cit_market::DecisionContext { panel: &p, t: 20, prev_weights: &[0.5, 0.5], window: 5 };
+        let mut rmr = Rmr::new(1.05, 5);
+        rmr.reset(2);
+        let w_rmr = rmr.decide(&ctx);
+        let mut olmar = Olmar::new(1.05, 5);
+        olmar.reset(2);
+        let w_olmar = olmar.decide(&ctx);
+        let dev = |w: &[f64]| (w[0] - 0.5).abs();
+        assert!(
+            dev(&w_rmr) <= dev(&w_olmar) + 1e-9,
+            "RMR {w_rmr:?} should be at most as tilted as OLMAR {w_olmar:?}"
+        );
+    }
+
+    #[test]
+    fn cwmr_confidence_shrinks() {
+        let p = panel();
+        let mut cwmr = Cwmr::default();
+        cwmr.reset(4);
+        let s0: f64 = cwmr.sigma.iter().sum();
+        let _ = run_backtest(&p, EnvConfig::default(), 40, 90, &mut cwmr);
+        let s1: f64 = cwmr.sigma.iter().sum();
+        assert!(s1 <= s0, "CWMR variance should shrink over time: {s0} -> {s1}");
+    }
+}

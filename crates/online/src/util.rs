@@ -1,0 +1,151 @@
+//! Shared numerics for online portfolio selection: exact Euclidean simplex
+//! projection and small vector helpers.
+
+/// Projects `v` onto the probability simplex in Euclidean norm using the
+/// sort-based algorithm of Duchi et al. (2008).
+pub fn simplex_projection(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    assert!(n > 0, "simplex_projection on empty vector");
+    let mut u: Vec<f64> = v.iter().map(|x| if x.is_finite() { *x } else { 0.0 }).collect();
+    u.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+    let mut css = 0.0;
+    let mut rho = 0usize;
+    let mut theta = 0.0;
+    for (i, &ui) in u.iter().enumerate() {
+        css += ui;
+        let k = (i + 1) as f64;
+        let t = (css - 1.0) / k;
+        if ui - t > 0.0 {
+            rho = i + 1;
+            theta = t;
+        }
+    }
+    if rho == 0 {
+        return vec![1.0 / n as f64; n];
+    }
+    v.iter()
+        .map(|&x| {
+            let x = if x.is_finite() { x } else { 0.0 };
+            (x - theta).max(0.0)
+        })
+        .collect()
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean norm.
+pub fn sq_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum()
+}
+
+/// L1-median of a set of price vectors via Weiszfeld iterations — the
+/// robust location estimator RMR builds on.
+pub fn l1_median(points: &[Vec<f64>], iters: usize) -> Vec<f64> {
+    assert!(!points.is_empty(), "l1_median of no points");
+    let dim = points[0].len();
+    // Start from the coordinate-wise mean.
+    let mut mu: Vec<f64> = (0..dim).map(|d| mean(&points.iter().map(|p| p[d]).collect::<Vec<_>>())).collect();
+    for _ in 0..iters {
+        let mut num = vec![0.0f64; dim];
+        let mut den = 0.0f64;
+        for p in points {
+            let dist = p.iter().zip(&mu).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            if dist < 1e-12 {
+                // Point coincides with current estimate — done.
+                return mu;
+            }
+            let w = 1.0 / dist;
+            for d in 0..dim {
+                num[d] += w * p[d];
+            }
+            den += w;
+        }
+        for d in 0..dim {
+            mu[d] = num[d] / den;
+        }
+    }
+    mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_simplex(w: &[f64]) -> bool {
+        w.iter().all(|&x| x >= -1e-12) && (w.iter().sum::<f64>() - 1.0).abs() < 1e-9
+    }
+
+    #[test]
+    fn projection_of_simplex_point_is_identity() {
+        let v = [0.2, 0.3, 0.5];
+        let p = simplex_projection(&v);
+        for (a, b) in p.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_yields_simplex() {
+        let cases: [&[f64]; 4] = [
+            &[1.0, 2.0, 3.0],
+            &[-5.0, 0.1, 0.2],
+            &[0.0, 0.0],
+            &[10.0, -10.0, 0.5, 0.5],
+        ];
+        for v in cases {
+            let p = simplex_projection(v);
+            assert!(is_simplex(&p), "not simplex: {p:?} from {v:?}");
+        }
+    }
+
+    #[test]
+    fn projection_handles_nan() {
+        let p = simplex_projection(&[f64::NAN, 1.0, 1.0]);
+        assert!(is_simplex(&p));
+    }
+
+    #[test]
+    fn projection_preserves_order() {
+        let p = simplex_projection(&[3.0, 1.0, 2.0]);
+        assert!(p[0] >= p[2] && p[2] >= p[1]);
+    }
+
+    #[test]
+    fn l1_median_of_symmetric_points_is_center() {
+        let pts = vec![
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, -1.0],
+        ];
+        let m = l1_median(&pts, 100);
+        assert!(m[0].abs() < 1e-6 && m[1].abs() < 1e-6, "median {m:?}");
+    }
+
+    #[test]
+    fn l1_median_resists_outlier() {
+        // Mean is dragged by the outlier; the L1-median barely moves.
+        let pts = vec![
+            vec![1.0],
+            vec![1.1],
+            vec![0.9],
+            vec![1.05],
+            vec![100.0], // outlier
+        ];
+        let m = l1_median(&pts, 200);
+        assert!(m[0] < 2.0, "median {m:?} should ignore the outlier");
+    }
+}

@@ -1,0 +1,118 @@
+//! Shared hyper-parameters for the deep-RL baselines and trainers.
+
+/// Hyper-parameters shared by every RL trainer in the workspace. Paper
+/// defaults (Section V-A): Adam with lr 1e-4 and weight decay, n-step
+/// return parameter 5; the remaining values are standard.
+#[derive(Debug, Clone, Copy)]
+pub struct RlConfig {
+    /// Hidden width of policy/value networks.
+    pub hidden: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// TD(λ) mixing coefficient.
+    pub lambda: f64,
+    /// n-step return horizon `N` (paper: 5).
+    pub nstep: usize,
+    /// Steps per rollout before an update.
+    pub rollout: usize,
+    /// Total environment steps of training.
+    pub total_steps: usize,
+    /// Initial Gaussian log standard deviation.
+    pub init_log_std: f32,
+    /// Entropy bonus coefficient.
+    pub entropy_coef: f32,
+    /// Gradient clip (global norm).
+    pub grad_clip: f32,
+    /// Look-back window `z` for windowed policies.
+    pub window: usize,
+    /// Proportional transaction cost.
+    pub transaction_cost: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RlConfig {
+    fn default() -> Self {
+        RlConfig {
+            hidden: 64,
+            lr: 3e-4,
+            weight_decay: 1e-5,
+            gamma: 0.99,
+            lambda: 0.9,
+            nstep: 5,
+            rollout: 32,
+            total_steps: 4_000,
+            init_log_std: -1.0,
+            entropy_coef: 1e-3,
+            grad_clip: 5.0,
+            window: 32,
+            transaction_cost: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+impl RlConfig {
+    /// A tiny configuration for smoke tests.
+    pub fn smoke(seed: u64) -> Self {
+        RlConfig {
+            hidden: 16,
+            total_steps: 300,
+            rollout: 16,
+            window: 16,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The first training day given feature/window look-back requirements.
+    pub fn min_start(&self) -> usize {
+        self.window.max(crate::features::FEAT_LOOKBACK)
+    }
+}
+
+/// Per-update diagnostics emitted by trainers.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean reward per environment step for each optimisation update.
+    pub update_rewards: Vec<f64>,
+    /// Total environment steps executed.
+    pub steps: usize,
+}
+
+impl TrainReport {
+    /// Mean reward over the final quarter of training (a stability proxy).
+    pub fn final_mean_reward(&self) -> f64 {
+        let n = self.update_rewards.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let tail = &self.update_rewards[n - (n / 4).max(1)..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = RlConfig::default();
+        assert!(c.gamma < 1.0 && c.gamma > 0.9);
+        assert_eq!(c.nstep, 5);
+        assert!(c.min_start() >= 21);
+    }
+
+    #[test]
+    fn final_mean_reward_uses_tail() {
+        let r = TrainReport { update_rewards: vec![0.0, 0.0, 0.0, 1.0], steps: 4 };
+        assert_eq!(r.final_mean_reward(), 1.0);
+        let empty = TrainReport { update_rewards: vec![], steps: 0 };
+        assert_eq!(empty.final_mean_reward(), 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! DeepTrader-lite (Wang et al., AAAI 2021): risk–return-balanced
+//! portfolio management with market-condition embedding.
+//!
+//! The original combines an asset scoring unit with a market scoring unit
+//! whose output modulates long/short exposure. In this long-only lite
+//! variant the market unit outputs a risk appetite ρ ∈ (0,1) that
+//! interpolates between the concentrated score portfolio (risk-on) and the
+//! uniform portfolio (risk-off):
+//! `w = ρ·softmax(scores) + (1−ρ)·uniform`.
+//! Both units train jointly by maximising expected log return, like EIIE.
+
+use crate::config::{RlConfig, TrainReport};
+use crate::features::{asset_features, market_features, FEAT_DIM};
+use cit_market::{AssetPanel, DecisionContext, Strategy};
+use cit_nn::{Activation, Adam, Ctx, Mlp, ParamStore};
+use cit_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The DeepTrader-lite agent.
+pub struct DeepTrader {
+    cfg: RlConfig,
+    num_assets: usize,
+    store: ParamStore,
+    /// Shared per-asset scoring network over technical features.
+    scorer: Mlp,
+    /// Market-condition unit producing the risk appetite.
+    market: Mlp,
+    rng: StdRng,
+}
+
+impl DeepTrader {
+    /// Creates a DeepTrader-lite agent.
+    pub fn new(panel: &AssetPanel, cfg: RlConfig) -> Self {
+        let m = panel.num_assets();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let scorer = Mlp::new(
+            &mut store,
+            &mut rng,
+            "dt.scorer",
+            &[FEAT_DIM, cfg.hidden, 1],
+            Activation::Tanh,
+        );
+        let market = Mlp::new(
+            &mut store,
+            &mut rng,
+            "dt.market",
+            &[FEAT_DIM, cfg.hidden, 1],
+            Activation::Tanh,
+        );
+        DeepTrader { cfg, num_assets: m, store, scorer, market, rng }
+    }
+
+    fn feature_matrix(&self, panel: &AssetPanel, t: usize) -> Tensor {
+        let m = self.num_assets;
+        let mut out = Tensor::zeros(&[m, FEAT_DIM]);
+        for i in 0..m {
+            let f = asset_features(panel, t, i);
+            for (j, v) in f.iter().enumerate() {
+                out.set2(i, j, *v as f32);
+            }
+        }
+        out
+    }
+
+    /// Builds the differentiable portfolio for day `t`:
+    /// `ρ·softmax(scores) + (1−ρ)/m`.
+    fn weights_var(&self, ctx: &mut Ctx<'_>, panel: &AssetPanel, t: usize) -> Var {
+        let m = self.num_assets;
+        // Asset scores.
+        let feats = ctx.input(self.feature_matrix(panel, t));
+        let scores2 = self.scorer.forward(ctx, feats); // [m,1]
+        let scores = ctx.g.reshape(scores2, &[m]);
+        let conc = ctx.g.softmax_last(scores);
+        // Market risk appetite.
+        let mf: Vec<f32> = market_features(panel, t).iter().map(|&v| v as f32).collect();
+        let mf_in = ctx.input(Tensor::vector(&mf));
+        let rho_raw = self.market.forward_vec(ctx, mf_in); // [1]
+        let rho = ctx.g.sigmoid(rho_raw); // (0,1)
+        // Broadcast ρ to m dims: ones[m,1] · ρ[1,1] → [m,1] → [m].
+        let ones = ctx.input(Tensor::ones(&[m, 1]));
+        let rho11 = ctx.g.reshape(rho, &[1, 1]);
+        let rho_m2 = ctx.g.matmul(ones, rho11);
+        let rho_m = ctx.g.reshape(rho_m2, &[m]);
+        let risk_on = ctx.g.mul(conc, rho_m);
+        // (1-ρ)/m term.
+        let neg_rho = ctx.g.neg(rho_m);
+        let one_minus = ctx.g.add_scalar(neg_rho, 1.0);
+        let risk_off = ctx.g.scale(one_minus, 1.0 / m as f32);
+        ctx.g.add(risk_on, risk_off)
+    }
+
+    /// The current risk appetite ρ at day `t` (diagnostic).
+    pub fn risk_appetite(&self, panel: &AssetPanel, t: usize) -> f64 {
+        let mut ctx = Ctx::new(&self.store);
+        let mf: Vec<f32> = market_features(panel, t).iter().map(|&v| v as f32).collect();
+        let mf_in = ctx.input(Tensor::vector(&mf));
+        let rho_raw = self.market.forward_vec(&mut ctx, mf_in);
+        let rho = ctx.g.sigmoid(rho_raw);
+        ctx.g.value(rho).data()[0] as f64
+    }
+
+    /// Deterministic evaluation action.
+    pub fn act(&self, panel: &AssetPanel, t: usize) -> Vec<f64> {
+        let mut ctx = Ctx::new(&self.store);
+        let w = self.weights_var(&mut ctx, panel, t);
+        ctx.g.value(w).data().iter().map(|&v| v as f64).collect()
+    }
+
+    /// Trains by maximising mean log return over random mini-batches.
+    pub fn train(&mut self, panel: &AssetPanel) -> TrainReport {
+        let start = self.cfg.min_start();
+        let end = panel.test_start() - 1;
+        assert!(start + 2 < end, "training period too short");
+        let batch = 16usize;
+        let updates = (self.cfg.total_steps / batch).max(1);
+        let mut opt = Adam::new(self.cfg.lr, self.cfg.weight_decay);
+        let mut update_rewards = Vec::new();
+
+        for _ in 0..updates {
+            let days: Vec<usize> =
+                (0..batch).map(|_| self.rng.random_range(start..end)).collect();
+            let mut ctx = Ctx::new(&self.store);
+            let mut total: Option<Var> = None;
+            let mut batch_reward = 0.0f64;
+            for &t in &days {
+                let w = self.weights_var(&mut ctx, panel, t);
+                let rel: Vec<f32> =
+                    panel.price_relatives(t + 1).iter().map(|&v| v as f32).collect();
+                let x = ctx.input(Tensor::vector(&rel));
+                let growth_vec = ctx.g.mul(w, x);
+                let growth = ctx.g.sum_all(growth_vec);
+                let logret = ctx.g.ln(growth);
+                batch_reward += ctx.g.value(logret).item() as f64;
+                let neg = ctx.g.scale(logret, -1.0 / batch as f32);
+                total = Some(match total {
+                    Some(acc) => ctx.g.add(acc, neg),
+                    None => neg,
+                });
+            }
+            let loss = total.expect("non-empty batch");
+            let grads = ctx.backward(loss);
+            self.store.apply_grads(grads);
+            self.store.clip_grad_norm(self.cfg.grad_clip);
+            opt.step(&mut self.store);
+            update_rewards.push(batch_reward / batch as f64);
+        }
+        TrainReport { update_rewards, steps: updates * batch }
+    }
+}
+
+impl Strategy for DeepTrader {
+    fn name(&self) -> String {
+        "DeepTrader".to_string()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        self.act(ctx.panel, ctx.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::SynthConfig;
+
+    #[test]
+    fn weights_are_simplex_and_bounded_by_rho() {
+        let p = SynthConfig { num_assets: 4, num_days: 200, test_start: 160, ..Default::default() }
+            .generate();
+        let agent = DeepTrader::new(&p, RlConfig::smoke(41));
+        let a = agent.act(&p, 100);
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-5);
+        let rho = agent.risk_appetite(&p, 100);
+        // Every weight ≥ (1−ρ)/m — the uniform floor of the risk-off leg.
+        let floor = (1.0 - rho) / 4.0 - 1e-6;
+        assert!(a.iter().all(|&x| x >= floor), "{a:?} vs floor {floor}");
+    }
+
+    #[test]
+    fn trains_toward_winner() {
+        let days = 320;
+        let mut data = Vec::new();
+        for t in 0..days {
+            for i in 0..3 {
+                let g: f64 = if i == 0 { 1.01 } else { 0.997 };
+                let c = 100.0 * g.powi(t as i32);
+                data.extend_from_slice(&[c, c * 1.002, c * 0.998, c]);
+            }
+        }
+        let p = cit_market::AssetPanel::new("mom", days, 3, data, 280);
+        let mut cfg = RlConfig::smoke(42);
+        cfg.total_steps = 1600;
+        cfg.lr = 3e-3;
+        let mut agent = DeepTrader::new(&p, cfg);
+        agent.train(&p);
+        let a = agent.act(&p, 290);
+        let max_idx = (0..3).max_by(|&x, &y| a[x].partial_cmp(&a[y]).unwrap()).unwrap();
+        assert_eq!(max_idx, 0, "DeepTrader should favour the winner, got {a:?}");
+    }
+
+    #[test]
+    fn risk_appetite_in_unit_interval() {
+        let p = SynthConfig { num_assets: 3, num_days: 150, test_start: 120, ..Default::default() }
+            .generate();
+        let agent = DeepTrader::new(&p, RlConfig::smoke(43));
+        for t in [30, 60, 100] {
+            let rho = agent.risk_appetite(&p, t);
+            assert!((0.0..=1.0).contains(&rho));
+        }
+    }
+}

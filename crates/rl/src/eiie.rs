@@ -1,0 +1,263 @@
+//! EIIE (Jiang, Xu & Liang 2017): ensemble of identical independent
+//! evaluators. A small convolutional network is applied to every asset's
+//! price-relative window with *shared weights*, producing one score per
+//! asset; softmax over scores gives the portfolio. Trained, as in the
+//! original, by directly maximising the expected log return over sampled
+//! mini-batches (the reward is differentiable in the weights).
+
+use crate::config::{RlConfig, TrainReport};
+use cit_market::{AssetPanel, DecisionContext, Feature, Strategy};
+use cit_nn::{Adam, Conv1dLayer, Ctx, Gru, Linear, Lstm, ParamStore};
+use cit_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which identical-independent-evaluator network EIIE uses — the original
+/// paper builds all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EiieBody {
+    /// Two causal convolutions (the paper's best variant).
+    Cnn,
+    /// A basic recurrent network (GRU stands in for the vanilla RNN).
+    Rnn,
+    /// A long short-term memory network.
+    Lstm,
+}
+
+enum Evaluator {
+    Cnn { conv1: Conv1dLayer, conv2: Conv1dLayer },
+    Rnn { gru: Gru },
+    Lstm { lstm: Lstm },
+}
+
+/// The EIIE agent.
+pub struct Eiie {
+    cfg: RlConfig,
+    num_assets: usize,
+    store: ParamStore,
+    evaluator: Evaluator,
+    head: Linear,
+    rng: StdRng,
+}
+
+impl Eiie {
+    /// Number of input channels: close/high/low relatives.
+    const CHANNELS: usize = 3;
+
+    /// Creates an EIIE agent with the CNN evaluator (the default in the
+    /// original work and in Table III).
+    pub fn new(panel: &AssetPanel, cfg: RlConfig) -> Self {
+        Self::with_body(panel, cfg, EiieBody::Cnn)
+    }
+
+    /// Creates an EIIE agent with the chosen evaluator network.
+    pub fn with_body(panel: &AssetPanel, cfg: RlConfig, body: EiieBody) -> Self {
+        let m = panel.num_assets();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let hidden = cfg.hidden.min(16);
+        let evaluator = match body {
+            EiieBody::Cnn => Evaluator::Cnn {
+                conv1: Conv1dLayer::new(
+                    &mut store,
+                    &mut rng,
+                    "eiie.conv1",
+                    Self::CHANNELS,
+                    hidden,
+                    3,
+                    1,
+                ),
+                conv2: Conv1dLayer::new(&mut store, &mut rng, "eiie.conv2", hidden, hidden, 3, 2),
+            },
+            EiieBody::Rnn => Evaluator::Rnn {
+                gru: Gru::new(&mut store, &mut rng, "eiie.gru", Self::CHANNELS, hidden),
+            },
+            EiieBody::Lstm => Evaluator::Lstm {
+                lstm: Lstm::new(&mut store, &mut rng, "eiie.lstm", Self::CHANNELS, hidden),
+            },
+        };
+        let head = Linear::new(&mut store, &mut rng, "eiie.head", hidden, 1);
+        Eiie { cfg, num_assets: m, store, evaluator, head, rng }
+    }
+
+    /// The `[m, 3, z]` input: close/high/low divided by the current close.
+    fn window_tensor(&self, panel: &AssetPanel, t: usize) -> Tensor {
+        let (m, z) = (self.num_assets, self.cfg.window);
+        let mut out = Tensor::zeros(&[m, Self::CHANNELS, z]);
+        for i in 0..m {
+            let anchor = panel.close(t, i);
+            for (c, f) in [Feature::Close, Feature::High, Feature::Low].iter().enumerate() {
+                for s in 0..z {
+                    let day = t + 1 - z + s;
+                    out.set3(i, c, s, (panel.price(day, i, *f) / anchor - 1.0) as f32);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the differentiable portfolio vector for day `t` inside `ctx`.
+    fn weights_var(&self, ctx: &mut Ctx<'_>, panel: &AssetPanel, t: usize) -> cit_tensor::Var {
+        let window = self.window_tensor(panel, t);
+        let pooled = match &self.evaluator {
+            Evaluator::Cnn { conv1, conv2 } => {
+                let x = ctx.input(window);
+                let h = conv1.forward(ctx, x);
+                let h = ctx.g.relu(h);
+                let h = conv2.forward(ctx, h);
+                let h = ctx.g.relu(h);
+                ctx.g.select_last_time(h) // [m, hidden]
+            }
+            Evaluator::Rnn { gru } => gru.forward_window(ctx, &window),
+            Evaluator::Lstm { lstm } => lstm.forward_window(ctx, &window),
+        };
+        let scores2 = self.head.forward(ctx, pooled); // [m, 1]
+        let scores = ctx.g.reshape(scores2, &[self.num_assets]);
+        ctx.g.softmax_last(scores)
+    }
+
+    /// Deterministic evaluation action.
+    pub fn act(&self, panel: &AssetPanel, t: usize) -> Vec<f64> {
+        let mut ctx = Ctx::new(&self.store);
+        let w = self.weights_var(&mut ctx, panel, t);
+        ctx.g.value(w).data().iter().map(|&v| v as f64).collect()
+    }
+
+    /// Trains by maximising mean log return over random mini-batches of
+    /// training days.
+    pub fn train(&mut self, panel: &AssetPanel) -> TrainReport {
+        let start = self.cfg.min_start();
+        let end = panel.test_start() - 1; // need t+1 for the realised return
+        assert!(start + 2 < end, "training period too short");
+        let batch = 16usize;
+        let updates = (self.cfg.total_steps / batch).max(1);
+        let mut opt = Adam::new(self.cfg.lr, self.cfg.weight_decay);
+        let mut update_rewards = Vec::new();
+
+        for _ in 0..updates {
+            let days: Vec<usize> =
+                (0..batch).map(|_| self.rng.random_range(start..end)).collect();
+            let mut ctx = Ctx::new(&self.store);
+            let mut total: Option<cit_tensor::Var> = None;
+            let mut batch_reward = 0.0f64;
+            for &t in &days {
+                let w = self.weights_var(&mut ctx, panel, t);
+                let rel: Vec<f32> =
+                    panel.price_relatives(t + 1).iter().map(|&v| v as f32).collect();
+                let x = ctx.input(Tensor::vector(&rel));
+                let growth_vec = ctx.g.mul(w, x);
+                let growth = ctx.g.sum_all(growth_vec);
+                let logret = ctx.g.ln(growth);
+                batch_reward += ctx.g.value(logret).item() as f64;
+                let neg = ctx.g.scale(logret, -1.0 / batch as f32);
+                total = Some(match total {
+                    Some(acc) => ctx.g.add(acc, neg),
+                    None => neg,
+                });
+            }
+            let loss = total.expect("non-empty batch");
+            let grads = ctx.backward(loss);
+            self.store.apply_grads(grads);
+            self.store.clip_grad_norm(self.cfg.grad_clip);
+            opt.step(&mut self.store);
+            update_rewards.push(batch_reward / batch as f64);
+        }
+        TrainReport { update_rewards, steps: updates * batch }
+    }
+}
+
+impl Strategy for Eiie {
+    fn name(&self) -> String {
+        "EIIE".to_string()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        self.act(ctx.panel, ctx.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::SynthConfig;
+
+    #[test]
+    fn eiie_acts_on_simplex() {
+        let p = SynthConfig { num_assets: 4, num_days: 200, test_start: 160, ..Default::default() }
+            .generate();
+        let agent = Eiie::new(&p, RlConfig::smoke(21));
+        let a = agent.act(&p, 100);
+        assert_eq!(a.len(), 4);
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn eiie_improves_log_return_on_momentum_market() {
+        // Persistent winner: asset 0. Direct log-return maximisation should
+        // tilt toward it quickly.
+        let days = 320;
+        let mut data = Vec::new();
+        for t in 0..days {
+            for i in 0..3 {
+                let g: f64 = if i == 0 { 1.01 } else { 0.997 };
+                let c = 100.0 * g.powi(t as i32);
+                data.extend_from_slice(&[c, c * 1.002, c * 0.998, c]);
+            }
+        }
+        let p = AssetPanel::new("mom", days, 3, data, 280);
+        let mut cfg = RlConfig::smoke(22);
+        cfg.total_steps = 1600;
+        cfg.lr = 3e-3;
+        let mut agent = Eiie::new(&p, cfg);
+        let rep = agent.train(&p);
+        let a = agent.act(&p, 290);
+        assert!(a[0] > 0.6, "EIIE should pick the persistent winner, got {a:?}");
+        let first = rep.update_rewards.first().copied().unwrap_or(0.0);
+        let last = rep.final_mean_reward();
+        assert!(last >= first, "training reward should not degrade: {first} -> {last}");
+    }
+
+    #[test]
+    fn all_evaluator_bodies_act_on_simplex() {
+        let p = SynthConfig { num_assets: 4, num_days: 200, test_start: 160, ..Default::default() }
+            .generate();
+        for body in [EiieBody::Cnn, EiieBody::Rnn, EiieBody::Lstm] {
+            let agent = Eiie::with_body(&p, RlConfig::smoke(24), body);
+            let a = agent.act(&p, 100);
+            assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-5, "{body:?}: {a:?}");
+            assert!(a.iter().all(|x| x.is_finite()), "{body:?}");
+        }
+    }
+
+    #[test]
+    fn recurrent_bodies_train_briefly() {
+        let p = SynthConfig { num_assets: 3, num_days: 200, test_start: 160, ..Default::default() }
+            .generate();
+        for body in [EiieBody::Rnn, EiieBody::Lstm] {
+            let mut cfg = RlConfig::smoke(25);
+            cfg.total_steps = 160;
+            let mut agent = Eiie::with_body(&p, cfg, body);
+            let rep = agent.train(&p);
+            assert!(rep.steps >= 160, "{body:?}");
+            let a = agent.act(&p, 120);
+            assert!(a.iter().all(|x| x.is_finite()), "{body:?}");
+        }
+    }
+
+    #[test]
+    fn eiie_weight_sharing_is_asset_symmetric() {
+        // With identical windows for every asset, scores must be identical.
+        let days = 60;
+        let mut data = Vec::new();
+        for t in 0..days {
+            for _ in 0..3 {
+                let c = 100.0 + (t as f64 * 0.8).sin();
+                data.extend_from_slice(&[c, c * 1.001, c * 0.999, c]);
+            }
+        }
+        let p = AssetPanel::new("sym", days, 3, data, 50);
+        let agent = Eiie::new(&p, RlConfig::smoke(23));
+        let a = agent.act(&p, 40);
+        assert!((a[0] - a[1]).abs() < 1e-6 && (a[1] - a[2]).abs() < 1e-6, "{a:?}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Compact per-asset technical features for baseline RL states
+//! (FinRL-style state construction: recent returns, moving-average ratios,
+//! volatility and range statistics).
+
+use cit_market::{AssetPanel, Feature};
+
+/// Number of per-asset features produced by [`asset_features`].
+pub const FEAT_DIM: usize = 8;
+
+/// Minimum history (days) required before features are well-defined.
+pub const FEAT_LOOKBACK: usize = 21;
+
+/// Technical features of asset `i` at day `t`:
+/// log returns over 1/5/20 days, MA5 and MA20 ratios, 10-day volatility,
+/// 5-day average high-low range, and a 10-day up-day fraction.
+///
+/// # Panics
+/// Panics when `t < FEAT_LOOKBACK - 1`.
+pub fn asset_features(panel: &AssetPanel, t: usize, i: usize) -> [f64; FEAT_DIM] {
+    assert!(t + 1 >= FEAT_LOOKBACK, "asset_features needs {FEAT_LOOKBACK} days of history");
+    let c = |day: usize| panel.close(day, i);
+    let p = c(t);
+    let logret = |lag: usize| (p / c(t - lag)).ln();
+    let ma = |n: usize| (0..n).map(|k| c(t - k)).sum::<f64>() / n as f64;
+    let vol10 = {
+        let rets: Vec<f64> = (0..10).map(|k| (c(t - k) / c(t - k - 1)).ln()).collect();
+        let m = rets.iter().sum::<f64>() / 10.0;
+        (rets.iter().map(|r| (r - m) * (r - m)).sum::<f64>() / 9.0).sqrt()
+    };
+    let range5 = (0..5)
+        .map(|k| {
+            let h = panel.price(t - k, i, Feature::High);
+            let l = panel.price(t - k, i, Feature::Low);
+            (h - l) / c(t - k)
+        })
+        .sum::<f64>()
+        / 5.0;
+    let updays = (0..10).filter(|&k| c(t - k) > c(t - k - 1)).count() as f64 / 10.0 - 0.5;
+    [
+        logret(1),
+        logret(5),
+        logret(20),
+        ma(5) / p - 1.0,
+        ma(20) / p - 1.0,
+        vol10,
+        range5,
+        updays,
+    ]
+}
+
+/// Cross-sectional market summary: the mean of each per-asset feature.
+pub fn market_features(panel: &AssetPanel, t: usize) -> [f64; FEAT_DIM] {
+    let m = panel.num_assets();
+    let mut out = [0.0f64; FEAT_DIM];
+    for i in 0..m {
+        let f = asset_features(panel, t, i);
+        for (o, v) in out.iter_mut().zip(f.iter()) {
+            *o += v / m as f64;
+        }
+    }
+    out
+}
+
+/// The default baseline RL state: all per-asset features concatenated with
+/// the previously held weights. Length `m · FEAT_DIM + m`.
+pub fn state_vector(panel: &AssetPanel, t: usize, prev_weights: &[f64]) -> Vec<f64> {
+    let m = panel.num_assets();
+    assert_eq!(prev_weights.len(), m, "prev_weights length mismatch");
+    let mut out = Vec::with_capacity(m * FEAT_DIM + m);
+    for i in 0..m {
+        out.extend_from_slice(&asset_features(panel, t, i));
+    }
+    out.extend_from_slice(prev_weights);
+    out
+}
+
+/// Dimension of [`state_vector`] for `m` assets.
+pub fn state_dim(m: usize) -> usize {
+    m * FEAT_DIM + m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::SynthConfig;
+
+    fn panel() -> AssetPanel {
+        SynthConfig { num_assets: 3, num_days: 120, test_start: 90, ..Default::default() }.generate()
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let p = panel();
+        for t in [20, 50, 119] {
+            for i in 0..3 {
+                let f = asset_features(&p, t, i);
+                assert!(f.iter().all(|v| v.is_finite()), "non-finite feature at t={t} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_vector_dimensions() {
+        let p = panel();
+        let prev = vec![1.0 / 3.0; 3];
+        let s = state_vector(&p, 30, &prev);
+        assert_eq!(s.len(), state_dim(3));
+        // Prev weights occupy the tail.
+        assert!((s[s.len() - 1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_prices_give_zero_returns() {
+        let days = 40;
+        let mut data = Vec::new();
+        for _ in 0..days {
+            data.extend_from_slice(&[100.0, 100.5, 99.5, 100.0]);
+        }
+        let p = AssetPanel::new("flat", days, 1, data, 30);
+        let f = asset_features(&p, 30, 0);
+        assert!(f[0].abs() < 1e-12); // 1-day return
+        assert!(f[3].abs() < 1e-12); // MA5 ratio
+        assert!(f[5].abs() < 1e-12); // vol
+    }
+
+    #[test]
+    fn uptrend_has_positive_momentum_features() {
+        let days = 40;
+        let mut data = Vec::new();
+        for t in 0..days {
+            let c = 100.0 * 1.01f64.powi(t as i32);
+            data.extend_from_slice(&[c, c * 1.001, c * 0.999, c]);
+        }
+        let p = AssetPanel::new("up", days, 1, data, 30);
+        let f = asset_features(&p, 30, 0);
+        assert!(f[0] > 0.0 && f[1] > 0.0 && f[2] > 0.0);
+        assert!(f[3] < 0.0, "MA5 below price in an uptrend");
+        assert!((f[7] - 0.5).abs() < 1e-12, "all up-days");
+    }
+
+    #[test]
+    fn market_features_average_assets() {
+        let p = panel();
+        let mf = market_features(&p, 40);
+        let manual: f64 =
+            (0..3).map(|i| asset_features(&p, 40, i)[0]).sum::<f64>() / 3.0;
+        assert!((mf[0] - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "history")]
+    fn early_day_panics() {
+        let p = panel();
+        let _ = asset_features(&p, 5, 0);
+    }
+}

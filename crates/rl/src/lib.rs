@@ -1,0 +1,44 @@
+//! # cit-rl
+//!
+//! Deep-RL portfolio baselines from the paper's Table III — A2C, PPO, DDPG
+//! (FinRL-style), EIIE, SARL-lite and DeepTrader-lite — plus the rollout
+//! machinery they share: technical-feature states, TD(λ) n-step return
+//! targets (paper Eq. 6–7) and pluggable state builders.
+//!
+//! Every agent implements [`cit_market::Strategy`], so a trained agent
+//! drops straight into the backtester:
+//!
+//! ```no_run
+//! use cit_market::{run_test_period, EnvConfig, MarketPreset};
+//! use cit_rl::{A2c, RlConfig};
+//!
+//! let panel = MarketPreset::China.scaled(8, 24).generate();
+//! let mut agent = A2c::new(&panel, RlConfig::smoke(0));
+//! agent.train(&panel);
+//! let result = run_test_period(&panel, EnvConfig::default(), &mut agent);
+//! println!("A2C Sharpe = {:.2}", result.metrics.sr);
+//! ```
+
+#![deny(missing_docs)]
+
+mod a2c;
+mod config;
+mod ddpg;
+mod deeptrader;
+mod eiie;
+pub mod features;
+mod metatrader;
+mod ppo;
+pub mod returns;
+mod sarl;
+mod state;
+
+pub use a2c::{normalize_advantages, A2c};
+pub use config::{RlConfig, TrainReport};
+pub use ddpg::{Ddpg, DdpgConfig};
+pub use deeptrader::DeepTrader;
+pub use eiie::{Eiie, EiieBody};
+pub use metatrader::{MetaTrader, MetaTraderConfig};
+pub use ppo::{Ppo, PpoConfig};
+pub use sarl::{MovementPredictor, Sarl, SarlState};
+pub use state::{DefaultState, StateBuilder};

@@ -1,0 +1,193 @@
+//! MetaTrader-lite (Niu, Li & Li, CIKM 2022) — the paper's closest
+//! related work (§II-B): learn a *set* of diversified base policies, then
+//! a meta-policy that routes capital to the base policy best suited to the
+//! current market state.
+//!
+//! This lite variant diversifies base A2C policies by seed and look-back
+//! window, and the meta step selects per day among them with a
+//! recent-performance score (an exponentially-weighted bandit over the
+//! base policies' realised returns) — capturing MetaTrader's
+//! policy-integration idea without its imitation-learning stage. Contrast
+//! with the cross-insight trader, which blends *horizon-specific* policies
+//! through a learned fusion network instead of picking one.
+
+use crate::a2c::A2c;
+use crate::config::{RlConfig, TrainReport};
+use crate::state::DefaultState;
+use cit_market::{AssetPanel, DecisionContext, Strategy};
+
+/// MetaTrader-lite configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MetaTraderConfig {
+    /// Shared RL hyper-parameters for the base policies.
+    pub base: RlConfig,
+    /// Number of diversified base policies.
+    pub num_policies: usize,
+    /// Exponential decay of the performance score (per day).
+    pub score_decay: f64,
+}
+
+impl Default for MetaTraderConfig {
+    fn default() -> Self {
+        MetaTraderConfig { base: RlConfig::default(), num_policies: 3, score_decay: 0.9 }
+    }
+}
+
+/// The MetaTrader-lite agent.
+pub struct MetaTrader {
+    cfg: MetaTraderConfig,
+    policies: Vec<A2c<DefaultState>>,
+    /// Exponentially-weighted realised-return score per base policy.
+    scores: Vec<f64>,
+    /// Day of the last score update (so scores only update once per day).
+    last_scored_day: Option<usize>,
+}
+
+impl MetaTrader {
+    /// Builds `num_policies` diversified base agents (different seeds and
+    /// look-back windows).
+    pub fn new(panel: &AssetPanel, cfg: MetaTraderConfig) -> Self {
+        assert!(cfg.num_policies >= 1, "need at least one base policy");
+        let policies = (0..cfg.num_policies)
+            .map(|k| {
+                let mut base = cfg.base;
+                base.seed = cfg.base.seed.wrapping_add(1000 * k as u64 + 1);
+                // Diversify horizons: alternate look-back windows.
+                base.window = (cfg.base.window / (k + 1)).max(8);
+                A2c::with_state(panel, base, DefaultState, &format!("base{k}"))
+            })
+            .collect();
+        MetaTrader {
+            scores: vec![0.0; cfg.num_policies],
+            cfg,
+            policies,
+            last_scored_day: None,
+        }
+    }
+
+    /// Trains every base policy.
+    pub fn train(&mut self, panel: &AssetPanel) -> Vec<TrainReport> {
+        self.policies.iter_mut().map(|p| p.train(panel)).collect()
+    }
+
+    /// The index of the currently preferred base policy.
+    pub fn leader(&self) -> usize {
+        self.scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Current per-policy scores (diagnostic).
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    fn update_scores(&mut self, panel: &AssetPanel, t: usize, prev: &[f64]) {
+        // Score each base policy by the return its action would have
+        // realised yesterday (t−1 → t), exponentially discounted.
+        if t == 0 {
+            return;
+        }
+        if self.last_scored_day == Some(t) {
+            return;
+        }
+        self.last_scored_day = Some(t);
+        let rel = panel.price_relatives(t);
+        for (k, policy) in self.policies.iter().enumerate() {
+            let a = policy.act(panel, t - 1, prev);
+            let growth: f64 = a.iter().zip(&rel).map(|(w, r)| w * r).sum();
+            self.scores[k] =
+                self.cfg.score_decay * self.scores[k] + (1.0 - self.cfg.score_decay) * (growth - 1.0);
+        }
+    }
+}
+
+impl Strategy for MetaTrader {
+    fn name(&self) -> String {
+        "MetaTrader".to_string()
+    }
+
+    fn reset(&mut self, _m: usize) {
+        self.scores.iter_mut().for_each(|s| *s = 0.0);
+        self.last_scored_day = None;
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        self.update_scores(ctx.panel, ctx.t, ctx.prev_weights);
+        let leader = self.leader();
+        self.policies[leader].act(ctx.panel, ctx.t, ctx.prev_weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::{run_test_period, EnvConfig, SynthConfig};
+
+    fn panel() -> AssetPanel {
+        SynthConfig { num_assets: 3, num_days: 260, test_start: 200, ..Default::default() }.generate()
+    }
+
+    fn smoke_cfg(seed: u64) -> MetaTraderConfig {
+        MetaTraderConfig {
+            base: RlConfig { total_steps: 120, window: 16, ..RlConfig::smoke(seed) },
+            num_policies: 3,
+            score_decay: 0.9,
+        }
+    }
+
+    #[test]
+    fn trains_all_base_policies() {
+        let p = panel();
+        let mut mt = MetaTrader::new(&p, smoke_cfg(1));
+        let reports = mt.train(&p);
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.steps >= 120));
+    }
+
+    #[test]
+    fn backtest_is_valid_and_scores_move() {
+        let p = panel();
+        let mut mt = MetaTrader::new(&p, smoke_cfg(2));
+        mt.train(&p);
+        let res = run_test_period(&p, EnvConfig { window: 16, transaction_cost: 1e-3 }, &mut mt);
+        assert!(res.wealth.iter().all(|w| *w > 0.0));
+        assert!(
+            mt.scores().iter().any(|s| s.abs() > 0.0),
+            "scores should update during the backtest"
+        );
+    }
+
+    #[test]
+    fn leader_tracks_best_scorer() {
+        let p = panel();
+        let mut mt = MetaTrader::new(&p, smoke_cfg(3));
+        mt.scores = vec![-0.1, 0.3, 0.0];
+        assert_eq!(mt.leader(), 1);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let p = panel();
+        let mut mt = MetaTrader::new(&p, smoke_cfg(4));
+        mt.scores = vec![1.0, 2.0, 3.0];
+        mt.last_scored_day = Some(42);
+        Strategy::reset(&mut mt, 3);
+        assert!(mt.scores.iter().all(|s| *s == 0.0));
+        assert_eq!(mt.last_scored_day, None);
+    }
+
+    #[test]
+    fn base_policies_are_diversified() {
+        let p = panel();
+        let mt = MetaTrader::new(&p, smoke_cfg(5));
+        // Different seeds/windows ⇒ different actions on the same state.
+        let a = mt.policies[0].act(&p, 150, &[1.0 / 3.0; 3]);
+        let b = mt.policies[1].act(&p, 150, &[1.0 / 3.0; 3]);
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-9, "base policies should differ: {a:?} vs {b:?}");
+    }
+}

@@ -1,0 +1,263 @@
+//! Proximal policy optimisation (Schulman et al. 2017) with the clipped
+//! surrogate objective, on the same Gaussian-softmax portfolio policy as
+//! [`crate::a2c::A2c`].
+
+use crate::config::{RlConfig, TrainReport};
+use crate::returns::lambda_targets;
+use crate::state::{DefaultState, StateBuilder};
+use cit_market::{AssetPanel, DecisionContext, EnvConfig, PortfolioEnv, Strategy};
+use cit_nn::{Activation, Adam, Ctx, GaussianHead, Mlp, ParamStore};
+use cit_tensor::{Graph, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// PPO-specific knobs on top of [`RlConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct PpoConfig {
+    /// Shared RL hyper-parameters.
+    pub base: RlConfig,
+    /// Clipping radius ε.
+    pub clip: f32,
+    /// Optimisation epochs per collected rollout.
+    pub epochs: usize,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig { base: RlConfig::default(), clip: 0.2, epochs: 4 }
+    }
+}
+
+/// A PPO agent.
+pub struct Ppo<S: StateBuilder> {
+    cfg: PpoConfig,
+    state: S,
+    num_assets: usize,
+    store: ParamStore,
+    policy: Mlp,
+    value: Mlp,
+    head: GaussianHead,
+    rng: StdRng,
+}
+
+impl Ppo<DefaultState> {
+    /// Creates a PPO agent with the default state.
+    pub fn new(panel: &AssetPanel, cfg: PpoConfig) -> Self {
+        let m = panel.num_assets();
+        let state = DefaultState;
+        let dim = state.dim(m);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.base.seed);
+        let policy = Mlp::new(
+            &mut store,
+            &mut rng,
+            "policy",
+            &[dim, cfg.base.hidden, cfg.base.hidden, m],
+            Activation::Tanh,
+        );
+        let value =
+            Mlp::new(&mut store, &mut rng, "value", &[dim, cfg.base.hidden, 1], Activation::Tanh);
+        let head = GaussianHead::new(&mut store, "policy", m, cfg.base.init_log_std);
+        Ppo { cfg, state, num_assets: m, store, policy, value, head, rng }
+    }
+}
+
+/// `clamp(x, lo, hi)` from ReLU primitives: `lo + relu(x−lo) − relu(x−hi)`.
+fn clamp_var(g: &mut Graph, x: Var, lo: f32, hi: f32) -> Var {
+    let a = g.add_scalar(x, -lo);
+    let ra = g.relu(a);
+    let b = g.add_scalar(x, -hi);
+    let rb = g.relu(b);
+    let lo_plus = g.add_scalar(ra, lo);
+    g.sub(lo_plus, rb)
+}
+
+/// `min(a, b) = b − relu(b − a)` from ReLU primitives.
+fn min_var(g: &mut Graph, a: Var, b: Var) -> Var {
+    let d = g.sub(b, a);
+    let r = g.relu(d);
+    g.sub(b, r)
+}
+
+impl<S: StateBuilder> Ppo<S> {
+    fn policy_mean(&self, s: &[f64]) -> Tensor {
+        let mut ctx = Ctx::new(&self.store);
+        let input = ctx.input(Tensor::vector(&s.iter().map(|v| *v as f32).collect::<Vec<_>>()));
+        let out = self.policy.forward_vec(&mut ctx, input);
+        ctx.g.value(out).clone()
+    }
+
+    fn value_of(&self, s: &[f64]) -> f64 {
+        let mut ctx = Ctx::new(&self.store);
+        let input = ctx.input(Tensor::vector(&s.iter().map(|v| *v as f32).collect::<Vec<_>>()));
+        let out = self.value.forward_vec(&mut ctx, input);
+        ctx.g.value(out).data()[0] as f64
+    }
+
+    /// Number of assets the agent was sized for.
+    pub fn num_assets(&self) -> usize {
+        self.num_assets
+    }
+
+    /// Deterministic evaluation action.
+    pub fn act(&self, panel: &AssetPanel, t: usize, prev: &[f64]) -> Vec<f64> {
+        let s = self.state.build(panel, t, prev);
+        let mean = self.policy_mean(&s);
+        self.head.mean_action(&mean).data().iter().map(|&v| v as f64).collect()
+    }
+
+    /// Trains on the panel's training period.
+    pub fn train(&mut self, panel: &AssetPanel) -> TrainReport {
+        let base = self.cfg.base;
+        let env_cfg = EnvConfig { window: base.window, transaction_cost: base.transaction_cost };
+        let start = base.min_start().max(self.state.min_history());
+        let end = panel.test_start();
+        assert!(start + 2 < end, "training period too short");
+        let mut env = PortfolioEnv::new(panel, env_cfg, start, end);
+        let mut opt = Adam::new(base.lr, base.weight_decay);
+        let mut steps = 0usize;
+        let mut update_rewards = Vec::new();
+
+        while steps < base.total_steps {
+            // ---- Collect ----
+            let mut states = Vec::new();
+            let mut latents: Vec<Tensor> = Vec::new();
+            let mut logp_old = Vec::new();
+            let mut rewards = Vec::new();
+            for _ in 0..base.rollout {
+                let s = self.state.build(panel, env.current_day(), env.weights());
+                let mean = self.policy_mean(&s);
+                let sample = self.head.sample(&self.store, &mean, &mut self.rng);
+                let action: Vec<f64> = sample.action.data().iter().map(|&v| v as f64).collect();
+                let res = env.step(&action);
+                states.push(s);
+                logp_old.push(sample.log_prob);
+                latents.push(sample.latent);
+                rewards.push(res.reward);
+                steps += 1;
+                if res.done {
+                    env.reset();
+                    break;
+                }
+            }
+            if states.is_empty() {
+                continue;
+            }
+            let mut values: Vec<f64> = states.iter().map(|s| self.value_of(s)).collect();
+            let s_next = self.state.build(panel, env.current_day(), env.weights());
+            values.push(self.value_of(&s_next));
+            let targets = lambda_targets(&rewards, &values, base.gamma, base.lambda, base.nstep);
+            let mut advs: Vec<f64> = targets.iter().zip(&values).map(|(y, v)| y - v).collect();
+            crate::a2c::normalize_advantages(&mut advs);
+
+            // ---- Optimise for several epochs ----
+            for _ in 0..self.cfg.epochs {
+                let l = states.len() as f32;
+                let mut ctx = Ctx::new(&self.store);
+                let mut total: Option<Var> = None;
+                for (i, s) in states.iter().enumerate() {
+                    let input = ctx
+                        .input(Tensor::vector(&s.iter().map(|v| *v as f32).collect::<Vec<_>>()));
+                    let mean = self.policy.forward_vec(&mut ctx, input);
+                    let logp = self.head.log_prob(&mut ctx, mean, &latents[i]);
+                    let shifted = ctx.g.add_scalar(logp, -logp_old[i]);
+                    let ratio = ctx.g.exp(shifted);
+                    let adv = advs[i] as f32;
+                    let surr1 = ctx.g.scale(ratio, adv);
+                    let clipped = clamp_var(&mut ctx.g, ratio, 1.0 - self.cfg.clip, 1.0 + self.cfg.clip);
+                    let surr2 = ctx.g.scale(clipped, adv);
+                    let surr = min_var(&mut ctx.g, surr1, surr2);
+                    let actor = ctx.g.scale(surr, -1.0 / l);
+                    let v = self.value.forward_vec(&mut ctx, input);
+                    let y = ctx.input(Tensor::vector(&[targets[i] as f32]));
+                    let d = ctx.g.sub(v, y);
+                    let sq = ctx.g.mul(d, d);
+                    let critic = ctx.g.scale(sq, 0.5 / l);
+                    let critic_s = ctx.g.sum_all(critic);
+                    let actor_s = ctx.g.sum_all(actor);
+                    let term = ctx.g.add(actor_s, critic_s);
+                    total = Some(match total {
+                        Some(acc) => ctx.g.add(acc, term),
+                        None => term,
+                    });
+                }
+                let loss = total.expect("non-empty rollout");
+                let grads = ctx.backward(loss);
+                self.store.apply_grads(grads);
+                self.store.clip_grad_norm(base.grad_clip);
+                opt.step(&mut self.store);
+            }
+            update_rewards.push(rewards.iter().sum::<f64>() / rewards.len() as f64);
+        }
+        TrainReport { update_rewards, steps }
+    }
+}
+
+impl<S: StateBuilder> Strategy for Ppo<S> {
+    fn name(&self) -> String {
+        "PPO".to_string()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        self.act(ctx.panel, ctx.t, ctx.prev_weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::SynthConfig;
+
+    #[test]
+    fn clamp_and_min_primitives() {
+        let mut g = Graph::new();
+        let x = g.param_leaf(Tensor::vector(&[0.5, 1.5, 1.05]));
+        let c = clamp_var(&mut g, x, 0.8, 1.2);
+        let cv = g.value(c).data().to_vec();
+        assert!((cv[0] - 0.8).abs() < 1e-6);
+        assert!((cv[1] - 1.2).abs() < 1e-6);
+        assert!((cv[2] - 1.05).abs() < 1e-6);
+
+        let a = g.param_leaf(Tensor::vector(&[1.0, -2.0]));
+        let b = g.param_leaf(Tensor::vector(&[0.5, 3.0]));
+        let mn = min_var(&mut g, a, b);
+        assert_eq!(g.value(mn).data(), &[0.5, -2.0]);
+    }
+
+    #[test]
+    fn ppo_trains_and_acts() {
+        let p = SynthConfig { num_assets: 3, num_days: 260, test_start: 200, ..Default::default() }
+            .generate();
+        let mut cfg = PpoConfig::default();
+        cfg.base = RlConfig::smoke(5);
+        let mut agent = Ppo::new(&p, cfg);
+        let rep = agent.train(&p);
+        assert!(rep.steps >= cfg.base.total_steps);
+        let a = agent.act(&p, 150, &[1.0 / 3.0; 3]);
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-5);
+        assert!(a.iter().all(|x| x.is_finite() && *x >= 0.0));
+    }
+
+    #[test]
+    fn ppo_learns_dominant_asset() {
+        let days = 400;
+        let mut data = Vec::new();
+        for t in 0..days {
+            for i in 0..3 {
+                let g: f64 = if i == 0 { 1.01 } else { 0.997 };
+                let c = 100.0 * g.powi(t as i32);
+                data.extend_from_slice(&[c, c * 1.002, c * 0.998, c]);
+            }
+        }
+        let p = AssetPanel::new("rigged", days, 3, data, 350);
+        let mut cfg = PpoConfig::default();
+        cfg.base = RlConfig::smoke(6);
+        cfg.base.total_steps = 4_000;
+        cfg.base.lr = 1e-3;
+        cfg.base.gamma = 0.5;
+        let mut agent = Ppo::new(&p, cfg);
+        agent.train(&p);
+        let a = agent.act(&p, 360, &[1.0 / 3.0; 3]);
+        assert!(a[0] > 0.45, "PPO should overweight the winner, got {a:?}");
+    }
+}

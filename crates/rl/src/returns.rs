@@ -1,0 +1,144 @@
+//! Return targets: discounted Monte-Carlo returns and the TD(λ) mixture of
+//! n-step returns used by the paper's critic (Eq. 6–7).
+
+/// Discounted Monte-Carlo returns `G_t = Σ γ^k r_{t+k}`.
+pub fn discounted_returns(rewards: &[f64], gamma: f64) -> Vec<f64> {
+    let mut out = vec![0.0f64; rewards.len()];
+    let mut acc = 0.0;
+    for t in (0..rewards.len()).rev() {
+        acc = rewards[t] + gamma * acc;
+        out[t] = acc;
+    }
+    out
+}
+
+/// The n-step return `G_t^{(n)} = Σ_{l=0}^{n-1} γ^l r_{t+l} + γ^n V_{t+n}`
+/// (bootstrapping from `values`, which holds `V(s_t)` for every step plus
+/// one final bootstrap value).
+///
+/// When `t + n` runs past the trajectory the longest available return is
+/// used with the terminal bootstrap.
+pub fn nstep_return(rewards: &[f64], values: &[f64], gamma: f64, t: usize, n: usize) -> f64 {
+    assert_eq!(values.len(), rewards.len() + 1, "values must include a final bootstrap");
+    assert!(t < rewards.len(), "t out of range");
+    let horizon = (t + n).min(rewards.len());
+    let mut g = 0.0;
+    let mut disc = 1.0;
+    for l in t..horizon {
+        g += disc * rewards[l];
+        disc *= gamma;
+    }
+    g + disc * values[horizon]
+}
+
+/// TD(λ) mixture of n-step returns (paper Eq. 6):
+/// `y_t^{(λ)} = (1−λ) Σ_{n=1}^{N−1} λ^{n−1} G_t^{(n)} + λ^{N−1} G_t^{(N)}`,
+/// with `N = n_max` (the paper sets n-step return parameter to 5).
+pub fn lambda_targets(
+    rewards: &[f64],
+    values: &[f64],
+    gamma: f64,
+    lambda: f64,
+    n_max: usize,
+) -> Vec<f64> {
+    assert!(n_max >= 1, "lambda_targets: n_max must be >= 1");
+    assert_eq!(values.len(), rewards.len() + 1, "values must include a final bootstrap");
+    (0..rewards.len())
+        .map(|t| {
+            if n_max == 1 {
+                return nstep_return(rewards, values, gamma, t, 1);
+            }
+            let mut y = 0.0;
+            let mut lam_pow = 1.0;
+            for n in 1..n_max {
+                y += (1.0 - lambda) * lam_pow * nstep_return(rewards, values, gamma, t, n);
+                lam_pow *= lambda;
+            }
+            y + lam_pow * nstep_return(rewards, values, gamma, t, n_max)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discounted_simple() {
+        let g = discounted_returns(&[1.0, 1.0, 1.0], 0.5);
+        assert!((g[2] - 1.0).abs() < 1e-12);
+        assert!((g[1] - 1.5).abs() < 1e-12);
+        assert!((g[0] - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discounted_gamma_zero_is_identity() {
+        let r = [0.3, -0.1, 0.7];
+        assert_eq!(discounted_returns(&r, 0.0), r.to_vec());
+    }
+
+    #[test]
+    fn nstep_matches_hand_computation() {
+        let rewards = [1.0, 2.0, 3.0];
+        let values = [10.0, 20.0, 30.0, 40.0];
+        // G_0^{(2)} = r0 + γ r1 + γ² V(s2) = 1 + 0.9·2 + 0.81·30
+        let g = nstep_return(&rewards, &values, 0.9, 0, 2);
+        assert!((g - (1.0 + 1.8 + 0.81 * 30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nstep_truncates_at_episode_end() {
+        let rewards = [1.0, 2.0];
+        let values = [0.0, 0.0, 5.0];
+        // n = 10 from t=0 covers both rewards + terminal bootstrap.
+        let g = nstep_return(&rewards, &values, 1.0, 0, 10);
+        assert!((g - (1.0 + 2.0 + 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_zero_is_one_step_td() {
+        let rewards = [1.0, -1.0, 0.5];
+        let values = [0.1, 0.2, 0.3, 0.4];
+        let y = lambda_targets(&rewards, &values, 0.9, 0.0, 5);
+        for t in 0..3 {
+            let expected = nstep_return(&rewards, &values, 0.9, t, 1);
+            assert!((y[t] - expected).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn lambda_one_is_nmax_step_return() {
+        let rewards = [1.0, -1.0, 0.5, 0.2];
+        let values = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let y = lambda_targets(&rewards, &values, 0.95, 1.0, 3);
+        for t in 0..4 {
+            let expected = nstep_return(&rewards, &values, 0.95, t, 3);
+            assert!((y[t] - expected).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn lambda_mixture_between_extremes() {
+        let rewards = [1.0, 2.0, 3.0, 4.0];
+        let values = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y0 = lambda_targets(&rewards, &values, 0.9, 0.0, 5);
+        let y1 = lambda_targets(&rewards, &values, 0.9, 1.0, 5);
+        let ym = lambda_targets(&rewards, &values, 0.9, 0.5, 5);
+        for t in 0..4 {
+            let lo = y0[t].min(y1[t]) - 1e-9;
+            let hi = y0[t].max(y1[t]) + 1e-9;
+            assert!(ym[t] >= lo && ym[t] <= hi, "t={t}: {} not in [{lo},{hi}]", ym[t]);
+        }
+    }
+
+    #[test]
+    fn mixture_weights_sum_to_one() {
+        // With all n-step returns equal, the target must equal that value.
+        let rewards = [0.0, 0.0, 0.0];
+        let values = [7.0, 7.0, 7.0, 7.0];
+        let y = lambda_targets(&rewards, &values, 1.0, 0.7, 5);
+        for t in 0..3 {
+            assert!((y[t] - 7.0).abs() < 1e-12, "t={t}: {}", y[t]);
+        }
+    }
+}

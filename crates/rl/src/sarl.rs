@@ -1,0 +1,187 @@
+//! SARL-lite (Ye et al., AAAI 2020): state-augmented reinforcement
+//! learning. The original augments the RL state with an asset-movement
+//! prediction learned from auxiliary data (news/prices); this lite variant
+//! trains a shared logistic-regression movement predictor on the training
+//! period and appends its up-probabilities to the A2C state.
+
+use crate::a2c::A2c;
+use crate::config::{RlConfig, TrainReport};
+use crate::features::{asset_features, state_dim, state_vector, FEAT_DIM, FEAT_LOOKBACK};
+use crate::state::StateBuilder;
+use cit_market::{AssetPanel, DecisionContext, Strategy};
+
+/// A logistic-regression movement predictor shared across assets.
+#[derive(Debug, Clone)]
+pub struct MovementPredictor {
+    weights: [f64; FEAT_DIM],
+    bias: f64,
+}
+
+impl MovementPredictor {
+    /// Trains by SGD on (features at `t` → close up at `t+1`) pairs over
+    /// the panel's training period.
+    pub fn train(panel: &AssetPanel, epochs: usize, lr: f64) -> Self {
+        let mut w = [0.0f64; FEAT_DIM];
+        let mut b = 0.0f64;
+        let start = FEAT_LOOKBACK;
+        let end = panel.test_start() - 1;
+        assert!(start < end, "training period too short for the predictor");
+        for _ in 0..epochs {
+            for t in start..end {
+                for i in 0..panel.num_assets() {
+                    let f = asset_features(panel, t, i);
+                    let label =
+                        if panel.close(t + 1, i) > panel.close(t, i) { 1.0 } else { 0.0 };
+                    let z: f64 = w.iter().zip(f.iter()).map(|(a, b)| a * b).sum::<f64>() + b;
+                    let p = 1.0 / (1.0 + (-z).exp());
+                    let err = p - label;
+                    for (wk, fk) in w.iter_mut().zip(f.iter()) {
+                        *wk -= lr * err * fk;
+                    }
+                    b -= lr * err;
+                }
+            }
+        }
+        MovementPredictor { weights: w, bias: b }
+    }
+
+    /// Probability that asset `i` closes up tomorrow.
+    pub fn predict(&self, panel: &AssetPanel, t: usize, i: usize) -> f64 {
+        let f = asset_features(panel, t, i);
+        let z: f64 =
+            self.weights.iter().zip(f.iter()).map(|(a, b)| a * b).sum::<f64>() + self.bias;
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// In-sample directional accuracy over the training period.
+    pub fn train_accuracy(&self, panel: &AssetPanel) -> f64 {
+        let start = FEAT_LOOKBACK;
+        let end = panel.test_start() - 1;
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for t in start..end {
+            for i in 0..panel.num_assets() {
+                let up = panel.close(t + 1, i) > panel.close(t, i);
+                let pred = self.predict(panel, t, i) > 0.5;
+                correct += usize::from(up == pred);
+                total += 1;
+            }
+        }
+        correct as f64 / total as f64
+    }
+}
+
+/// State builder appending centred movement predictions to the default
+/// feature state.
+#[derive(Clone)]
+pub struct SarlState {
+    predictor: MovementPredictor,
+}
+
+impl StateBuilder for SarlState {
+    fn dim(&self, m: usize) -> usize {
+        state_dim(m) + m
+    }
+
+    fn build(&self, panel: &AssetPanel, t: usize, prev_weights: &[f64]) -> Vec<f64> {
+        let mut s = state_vector(panel, t, prev_weights);
+        for i in 0..panel.num_assets() {
+            s.push(self.predictor.predict(panel, t, i) - 0.5);
+        }
+        s
+    }
+}
+
+/// The SARL-lite agent: A2C over the augmented state.
+pub struct Sarl {
+    inner: A2c<SarlState>,
+}
+
+impl Sarl {
+    /// Trains the movement predictor, then wires up the augmented A2C.
+    pub fn new(panel: &AssetPanel, cfg: RlConfig) -> Self {
+        let predictor = MovementPredictor::train(panel, 2, 0.05);
+        let inner = A2c::with_state(panel, cfg, SarlState { predictor }, "SARL");
+        Sarl { inner }
+    }
+
+    /// Trains the RL component.
+    pub fn train(&mut self, panel: &AssetPanel) -> TrainReport {
+        self.inner.train(panel)
+    }
+
+    /// Deterministic evaluation action.
+    pub fn act(&self, panel: &AssetPanel, t: usize, prev: &[f64]) -> Vec<f64> {
+        self.inner.act(panel, t, prev)
+    }
+}
+
+impl Strategy for Sarl {
+    fn name(&self) -> String {
+        "SARL".to_string()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Vec<f64> {
+        self.act(ctx.panel, ctx.t, ctx.prev_weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::{AssetPanel, SynthConfig};
+
+    #[test]
+    fn predictor_beats_chance_on_momentum_market() {
+        // Persistent trends make direction linearly predictable from
+        // momentum features.
+        let days = 300;
+        let mut data = Vec::new();
+        for t in 0..days {
+            for i in 0..2 {
+                let g: f64 = if i == 0 { 1.01 } else { 0.992 };
+                let c = 100.0 * g.powi(t as i32);
+                data.extend_from_slice(&[c, c * 1.001, c * 0.999, c]);
+            }
+        }
+        let p = AssetPanel::new("trend", days, 2, data, 250);
+        let pred = MovementPredictor::train(&p, 3, 0.05);
+        let acc = pred.train_accuracy(&p);
+        assert!(acc > 0.9, "accuracy {acc} should be high on a deterministic market");
+    }
+
+    #[test]
+    fn predictions_lie_in_unit_interval() {
+        let p = SynthConfig { num_assets: 3, num_days: 200, test_start: 150, ..Default::default() }
+            .generate();
+        let pred = MovementPredictor::train(&p, 1, 0.05);
+        for t in [30, 80, 120] {
+            for i in 0..3 {
+                let pr = pred.predict(&p, t, i);
+                assert!((0.0..=1.0).contains(&pr));
+            }
+        }
+    }
+
+    #[test]
+    fn sarl_state_is_longer_than_default() {
+        let p = SynthConfig { num_assets: 3, num_days: 200, test_start: 150, ..Default::default() }
+            .generate();
+        let pred = MovementPredictor::train(&p, 1, 0.05);
+        let s = SarlState { predictor: pred };
+        assert_eq!(s.dim(3), state_dim(3) + 3);
+        let v = s.build(&p, 50, &[1.0 / 3.0; 3]);
+        assert_eq!(v.len(), s.dim(3));
+    }
+
+    #[test]
+    fn sarl_trains_and_acts() {
+        let p = SynthConfig { num_assets: 3, num_days: 260, test_start: 200, ..Default::default() }
+            .generate();
+        let mut agent = Sarl::new(&p, RlConfig::smoke(31));
+        let rep = agent.train(&p);
+        assert!(rep.steps >= 300);
+        let a = agent.act(&p, 150, &[1.0 / 3.0; 3]);
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,47 @@
+//! Pluggable state construction for baseline agents.
+
+use crate::features::{state_dim, state_vector, FEAT_LOOKBACK};
+use cit_market::AssetPanel;
+
+/// Builds the observation vector an agent sees at day `t`.
+pub trait StateBuilder {
+    /// Observation dimension for a panel with `m` assets.
+    fn dim(&self, m: usize) -> usize;
+
+    /// Builds the observation at day `t` (must only read days ≤ `t`).
+    fn build(&self, panel: &AssetPanel, t: usize, prev_weights: &[f64]) -> Vec<f64>;
+
+    /// Days of history required before `build` is valid.
+    fn min_history(&self) -> usize {
+        FEAT_LOOKBACK
+    }
+}
+
+/// The default state: per-asset technical features plus previous weights.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultState;
+
+impl StateBuilder for DefaultState {
+    fn dim(&self, m: usize) -> usize {
+        state_dim(m)
+    }
+
+    fn build(&self, panel: &AssetPanel, t: usize, prev_weights: &[f64]) -> Vec<f64> {
+        state_vector(panel, t, prev_weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_market::SynthConfig;
+
+    #[test]
+    fn default_state_matches_declared_dim() {
+        let p = SynthConfig { num_assets: 4, num_days: 80, test_start: 60, ..Default::default() }
+            .generate();
+        let b = DefaultState;
+        let s = b.build(&p, 30, &[0.25; 4]);
+        assert_eq!(s.len(), b.dim(4));
+    }
+}

@@ -1,0 +1,355 @@
+//! Reverse-mode sweep over a [`Graph`].
+//!
+//! Because the node arena is append-only, iterating node indices in reverse
+//! order visits every node after all of its consumers — exactly the
+//! topological order reverse-mode differentiation needs.
+
+use crate::graph::{Graph, Op, Var};
+use crate::tensor::Tensor;
+
+/// Gradients produced by [`Graph::backward`], indexed by [`Var`].
+pub struct Grads {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Grads {
+    /// The gradient of the loss with respect to `v`, or `None` when no
+    /// gradient flowed into `v` (constant inputs, unused parameters).
+    pub fn wrt(&self, v: Var) -> Option<&Tensor> {
+        self.grads[v.0].as_ref()
+    }
+
+    /// The gradient with respect to `v`, or a zero tensor of `shape`.
+    pub fn wrt_or_zeros(&self, v: Var, shape: &[usize]) -> Tensor {
+        self.grads[v.0].clone().unwrap_or_else(|| Tensor::zeros(shape))
+    }
+}
+
+impl Graph {
+    /// Runs reverse-mode differentiation from the scalar node `loss`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&self, loss: Var) -> Grads {
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward: loss must be scalar, got shape {:?}",
+            self.nodes[loss.0].value.shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::from_vec(
+            self.nodes[loss.0].value.shape(),
+            vec![1.0],
+        ));
+
+        for idx in (0..=loss.0).rev() {
+            if !self.nodes[idx].requires_grad {
+                continue;
+            }
+            let Some(g) = grads[idx].take() else { continue };
+            self.propagate(idx, &g, &mut grads);
+            grads[idx] = Some(g);
+        }
+        Grads { grads }
+    }
+
+    fn accumulate(&self, grads: &mut [Option<Tensor>], parent: usize, contribution: Tensor) {
+        if !self.nodes[parent].requires_grad {
+            return;
+        }
+        match &mut grads[parent] {
+            Some(existing) => existing.add_assign(&contribution),
+            slot @ None => *slot = Some(contribution),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn propagate(&self, idx: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        let val = |i: usize| &self.nodes[i].value;
+        match &self.nodes[idx].op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                self.accumulate(grads, *a, g.clone());
+                self.accumulate(grads, *b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(grads, *a, g.clone());
+                self.accumulate(grads, *b, g.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                self.accumulate(grads, *a, g.mul(val(*b)));
+                self.accumulate(grads, *b, g.mul(val(*a)));
+            }
+            Op::Div(a, b) => {
+                let bv = val(*b);
+                self.accumulate(grads, *a, g.zip_map(bv, |gi, bi| gi / bi));
+                let av = val(*a);
+                let mut gb = g.mul(av);
+                gb = gb.zip_map(bv, |x, bi| -x / (bi * bi));
+                self.accumulate(grads, *b, gb);
+            }
+            Op::Neg(a) => self.accumulate(grads, *a, g.map(|x| -x)),
+            Op::Scale(a, c) => self.accumulate(grads, *a, g.scale(*c)),
+            Op::AddScalar(a) => self.accumulate(grads, *a, g.clone()),
+            Op::AddBias(a, b) => {
+                self.accumulate(grads, *a, g.clone());
+                let (r, c) = (g.shape()[0], g.shape()[1]);
+                let mut gb = vec![0.0f32; c];
+                for i in 0..r {
+                    for (j, gbj) in gb.iter_mut().enumerate() {
+                        *gbj += g.at2(i, j);
+                    }
+                }
+                self.accumulate(grads, *b, Tensor::from_vec(&[c], gb));
+            }
+            Op::MatMul(a, b) => {
+                // dA = g · Bᵀ ; dB = Aᵀ · g
+                self.accumulate(grads, *a, g.matmul(&val(*b).transpose2()));
+                self.accumulate(grads, *b, val(*a).transpose2().matmul(g));
+            }
+            Op::Transpose2(a) => self.accumulate(grads, *a, g.transpose2()),
+            Op::Relu(a) => {
+                let gate = val(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                self.accumulate(grads, *a, g.mul(&gate));
+            }
+            Op::Tanh(a) => {
+                // y = tanh(x) ⇒ dy/dx = 1 - y²; reuse the cached output.
+                let y = &self.nodes[idx].value;
+                self.accumulate(grads, *a, g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi)));
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[idx].value;
+                self.accumulate(grads, *a, g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi)));
+            }
+            Op::Exp(a) => {
+                let y = &self.nodes[idx].value;
+                self.accumulate(grads, *a, g.mul(y));
+            }
+            Op::Ln(a) => {
+                let x = val(*a);
+                self.accumulate(grads, *a, g.zip_map(x, |gi, xi| gi / xi.max(1e-12)));
+            }
+            Op::SoftmaxLast(a) => {
+                let y = &self.nodes[idx].value;
+                let cols = *y.shape().last().expect("non-empty");
+                let rows = y.numel() / cols.max(1);
+                let mut gx = vec![0.0f32; y.numel()];
+                for r in 0..rows {
+                    let yr = &y.data()[r * cols..(r + 1) * cols];
+                    let gr = &g.data()[r * cols..(r + 1) * cols];
+                    let dot: f32 = yr.iter().zip(gr).map(|(&yi, &gi)| yi * gi).sum();
+                    for j in 0..cols {
+                        gx[r * cols + j] = yr[j] * (gr[j] - dot);
+                    }
+                }
+                self.accumulate(grads, *a, Tensor::from_vec(val(*a).shape(), gx));
+            }
+            Op::SumAll(a) => {
+                let s = g.item();
+                self.accumulate(grads, *a, Tensor::full(val(*a).shape(), s));
+            }
+            Op::MeanAll(a) => {
+                let n = val(*a).numel() as f32;
+                let s = g.item() / n;
+                self.accumulate(grads, *a, Tensor::full(val(*a).shape(), s));
+            }
+            Op::Concat(parts) => {
+                let mut offset = 0usize;
+                for &p in parts {
+                    let len = val(p).numel();
+                    let slice = g.data()[offset..offset + len].to_vec();
+                    self.accumulate(grads, p, Tensor::from_vec(&[len], slice));
+                    offset += len;
+                }
+            }
+            Op::Reshape(a) => {
+                let parent_shape = val(*a).shape().to_vec();
+                self.accumulate(grads, *a, g.reshaped(&parent_shape));
+            }
+            Op::Slice1(a, start) => {
+                let mut gx = Tensor::zeros(val(*a).shape());
+                let len = g.numel();
+                gx.data_mut()[*start..start + len].copy_from_slice(g.data());
+                self.accumulate(grads, *a, gx);
+            }
+            Op::Conv1d { x, w, b, dilation } => {
+                self.conv1d_backward(*x, *w, *b, *dilation, g, grads);
+            }
+            Op::ContractFirst(s, h) => {
+                let (sv, hv) = (val(*s), val(*h));
+                let (m, f, t) = (hv.shape()[0], hv.shape()[1], hv.shape()[2]);
+                let ft = f * t;
+                if self.nodes[*s].requires_grad {
+                    // dS[i,j] = Σ_{f,t} g[i,f,t] · H[j,f,t]
+                    let mut gs = vec![0.0f32; m * m];
+                    for i in 0..m {
+                        let gi = &g.data()[i * ft..(i + 1) * ft];
+                        for j in 0..m {
+                            let hj = &hv.data()[j * ft..(j + 1) * ft];
+                            gs[i * m + j] = gi.iter().zip(hj).map(|(&a, &b)| a * b).sum();
+                        }
+                    }
+                    self.accumulate(grads, *s, Tensor::from_vec(&[m, m], gs));
+                }
+                if self.nodes[*h].requires_grad {
+                    // dH[j,f,t] = Σ_i S[i,j] · g[i,f,t]
+                    let mut gh = vec![0.0f32; m * ft];
+                    for j in 0..m {
+                        let dst = &mut gh[j * ft..(j + 1) * ft];
+                        for i in 0..m {
+                            let sij = sv.at2(i, j);
+                            if sij == 0.0 {
+                                continue;
+                            }
+                            let gi = &g.data()[i * ft..(i + 1) * ft];
+                            for (d, &a) in dst.iter_mut().zip(gi) {
+                                *d += sij * a;
+                            }
+                        }
+                    }
+                    self.accumulate(grads, *h, Tensor::from_vec(&[m, f, t], gh));
+                }
+            }
+            Op::DotLast(h, w) => {
+                let (hv, wv) = (val(*h), val(*w));
+                let (m, f, t) = (hv.shape()[0], hv.shape()[1], hv.shape()[2]);
+                if self.nodes[*h].requires_grad {
+                    let mut gh = Tensor::zeros(&[m, f, t]);
+                    for i in 0..m {
+                        for j in 0..f {
+                            let gij = g.at2(i, j);
+                            for k in 0..t {
+                                gh.set3(i, j, k, gij * wv.data()[k]);
+                            }
+                        }
+                    }
+                    self.accumulate(grads, *h, gh);
+                }
+                if self.nodes[*w].requires_grad {
+                    let mut gw = vec![0.0f32; t];
+                    for i in 0..m {
+                        for j in 0..f {
+                            let gij = g.at2(i, j);
+                            for (k, gk) in gw.iter_mut().enumerate() {
+                                *gk += gij * hv.at3(i, j, k);
+                            }
+                        }
+                    }
+                    self.accumulate(grads, *w, Tensor::from_vec(&[t], gw));
+                }
+            }
+            Op::DotMid(h, w) => {
+                let (hv, wv) = (val(*h), val(*w));
+                let (m, f, t) = (hv.shape()[0], hv.shape()[1], hv.shape()[2]);
+                if self.nodes[*h].requires_grad {
+                    let mut gh = Tensor::zeros(&[m, f, t]);
+                    for i in 0..m {
+                        for k in 0..t {
+                            let gik = g.at2(i, k);
+                            for j in 0..f {
+                                gh.set3(i, j, k, gik * wv.data()[j]);
+                            }
+                        }
+                    }
+                    self.accumulate(grads, *h, gh);
+                }
+                if self.nodes[*w].requires_grad {
+                    let mut gw = vec![0.0f32; f];
+                    for i in 0..m {
+                        for k in 0..t {
+                            let gik = g.at2(i, k);
+                            for (j, gj) in gw.iter_mut().enumerate() {
+                                *gj += gik * hv.at3(i, j, k);
+                            }
+                        }
+                    }
+                    self.accumulate(grads, *w, Tensor::from_vec(&[f], gw));
+                }
+            }
+            Op::SelectLastTime(h) => {
+                let hv = val(*h);
+                let (m, f, t) = (hv.shape()[0], hv.shape()[1], hv.shape()[2]);
+                let mut gh = Tensor::zeros(&[m, f, t]);
+                for i in 0..m {
+                    for j in 0..f {
+                        gh.set3(i, j, t - 1, g.at2(i, j));
+                    }
+                }
+                self.accumulate(grads, *h, gh);
+            }
+        }
+    }
+
+    fn conv1d_backward(
+        &self,
+        x: usize,
+        w: usize,
+        b: usize,
+        dilation: usize,
+        g: &Tensor,
+        grads: &mut [Option<Tensor>],
+    ) {
+        let (xv, wv) = (&self.nodes[x].value, &self.nodes[w].value);
+        let (n, cin, l) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
+        let (cout, _, k) = (wv.shape()[0], wv.shape()[1], wv.shape()[2]);
+
+        if self.nodes[b].requires_grad {
+            let mut gb = vec![0.0f32; cout];
+            for ni in 0..n {
+                for (o, gbo) in gb.iter_mut().enumerate() {
+                    for t in 0..l {
+                        *gbo += g.at3(ni, o, t);
+                    }
+                }
+            }
+            self.accumulate(grads, b, Tensor::from_vec(&[cout], gb));
+        }
+        if self.nodes[w].requires_grad {
+            let mut gw = Tensor::zeros(&[cout, cin, k]);
+            for ni in 0..n {
+                for o in 0..cout {
+                    for t in 0..l {
+                        let go = g.at3(ni, o, t);
+                        if go == 0.0 {
+                            continue;
+                        }
+                        for i in 0..cin {
+                            for j in 0..k {
+                                let back = (k - 1 - j) * dilation;
+                                if back <= t {
+                                    let v = gw.at3(o, i, j) + go * xv.at3(ni, i, t - back);
+                                    gw.set3(o, i, j, v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            self.accumulate(grads, w, gw);
+        }
+        if self.nodes[x].requires_grad {
+            let mut gx = Tensor::zeros(&[n, cin, l]);
+            for ni in 0..n {
+                for o in 0..cout {
+                    for t in 0..l {
+                        let go = g.at3(ni, o, t);
+                        if go == 0.0 {
+                            continue;
+                        }
+                        for i in 0..cin {
+                            for j in 0..k {
+                                let back = (k - 1 - j) * dilation;
+                                if back <= t {
+                                    let v = gx.at3(ni, i, t - back) + go * wv.at3(o, i, j);
+                                    gx.set3(ni, i, t - back, v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            self.accumulate(grads, x, gx);
+        }
+    }
+}

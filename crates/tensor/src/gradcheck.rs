@@ -1,0 +1,82 @@
+//! Finite-difference gradient checking.
+//!
+//! Every differentiable operation in this workspace is validated against a
+//! central-difference approximation. The checker rebuilds the graph for each
+//! perturbed parameter, so it is O(#params) forward passes — only for tests.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Outcome of a gradient check: largest absolute and relative error seen.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_err: f32,
+    /// Largest relative difference (normalised by magnitude, floored at 1).
+    pub max_rel_err: f32,
+}
+
+/// Checks the analytic gradient of a scalar-valued function against central
+/// finite differences.
+///
+/// `f` receives a graph and the parameter leaves (one per entry of `params`)
+/// and must return the scalar loss `Var`. Returns a report with the worst
+/// errors over all parameter elements.
+pub fn gradcheck(
+    params: &[Tensor],
+    eps: f32,
+    f: impl Fn(&mut Graph, &[Var]) -> Var,
+) -> GradCheckReport {
+    // Analytic pass.
+    let mut g = Graph::new();
+    let vars: Vec<Var> = params.iter().map(|p| g.param_leaf(p.clone())).collect();
+    let loss = f(&mut g, &vars);
+    let grads = g.backward(loss);
+    let analytic: Vec<Tensor> =
+        vars.iter().zip(params).map(|(&v, p)| grads.wrt_or_zeros(v, p.shape())).collect();
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let mut g = Graph::new();
+        let vars: Vec<Var> = perturbed.iter().map(|p| g.param_leaf(p.clone())).collect();
+        let loss = f(&mut g, &vars);
+        g.value(loss).item()
+    };
+
+    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0 };
+    let mut work: Vec<Tensor> = params.to_vec();
+    for (pi, p) in params.iter().enumerate() {
+        for ei in 0..p.numel() {
+            work[pi].data_mut()[ei] = p.data()[ei] + eps;
+            let up = eval(&work);
+            work[pi].data_mut()[ei] = p.data()[ei] - eps;
+            let down = eval(&work);
+            work[pi].data_mut()[ei] = p.data()[ei];
+
+            let numeric = (up - down) / (2.0 * eps);
+            let a = analytic[pi].data()[ei];
+            let abs = (a - numeric).abs();
+            let rel = abs / a.abs().max(numeric.abs()).max(1.0);
+            report.max_abs_err = report.max_abs_err.max(abs);
+            report.max_rel_err = report.max_rel_err.max(rel);
+        }
+    }
+    report
+}
+
+/// Asserts that a gradient check passes with the given relative tolerance.
+///
+/// # Panics
+/// Panics (test-style) when the worst relative error exceeds `tol`.
+pub fn assert_gradcheck(
+    params: &[Tensor],
+    tol: f32,
+    f: impl Fn(&mut Graph, &[Var]) -> Var,
+) {
+    let report = gradcheck(params, 1e-3, f);
+    assert!(
+        report.max_rel_err <= tol,
+        "gradient check failed: max_rel_err = {}, max_abs_err = {} (tol {tol})",
+        report.max_rel_err,
+        report.max_abs_err
+    );
+}

@@ -1,0 +1,478 @@
+//! Define-by-run computation graph with reverse-mode automatic
+//! differentiation.
+//!
+//! The graph is rebuilt on every forward pass (dynamic graph, like PyTorch
+//! eager mode). Nodes are stored in an append-only arena, so creation order
+//! is already a topological order and the backward pass is a single reverse
+//! sweep — see [`crate::backward`].
+//!
+//! Only nodes transitively reachable from a differentiable leaf
+//! ([`Graph::param_leaf`]) track gradients; constant inputs
+//! ([`Graph::input`]) short-circuit the backward pass.
+
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+///
+/// `Var`s are cheap copyable indices and are only meaningful for the graph
+/// that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// The operation that produced a node, together with the parent indices
+/// needed by the backward pass.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// Constant or differentiable leaf.
+    Leaf,
+    /// Element-wise `a + b` (same shape).
+    Add(usize, usize),
+    /// Element-wise `a - b` (same shape).
+    Sub(usize, usize),
+    /// Element-wise `a * b` (same shape).
+    Mul(usize, usize),
+    /// Element-wise `a / b` (same shape).
+    Div(usize, usize),
+    /// `-a`.
+    Neg(usize),
+    /// `a * c` for a scalar constant `c`.
+    Scale(usize, f32),
+    /// `a + c` for a scalar constant `c` (the constant needs no backward
+    /// bookkeeping, so it is not stored).
+    AddScalar(usize),
+    /// `[r,c] + [c]` row-broadcast bias add.
+    AddBias(usize, usize),
+    /// Matrix product `[m,k] x [k,n]`.
+    MatMul(usize, usize),
+    /// Transpose of a 2-D tensor.
+    Transpose2(usize),
+    /// Rectified linear unit.
+    Relu(usize),
+    /// Hyperbolic tangent.
+    Tanh(usize),
+    /// Logistic sigmoid.
+    Sigmoid(usize),
+    /// Element-wise exponential.
+    Exp(usize),
+    /// Element-wise natural log (input must be positive).
+    Ln(usize),
+    /// Softmax along the last axis of a 1-D or 2-D tensor.
+    SoftmaxLast(usize),
+    /// Sum of all elements into a scalar.
+    SumAll(usize),
+    /// Mean of all elements into a scalar.
+    MeanAll(usize),
+    /// Concatenation of 1-D tensors.
+    Concat(Vec<usize>),
+    /// Shape change; stores the parent index (old shape read from parent).
+    Reshape(usize),
+    /// 1-D slice `a[start .. start+len]`; stores `(parent, start)`.
+    Slice1(usize, usize),
+    /// Causal dilated 1-D convolution: x `[N,Cin,L]`, w `[Cout,Cin,K]`,
+    /// b `[Cout]`, output `[N,Cout,L]`.
+    Conv1d { x: usize, w: usize, b: usize, dilation: usize },
+    /// `S [m,m]` contracted with `H [m,f,t]` over the first axis of `H`.
+    ContractFirst(usize, usize),
+    /// `H [m,f,t] · w [t] -> [m,f]`.
+    DotLast(usize, usize),
+    /// `H [m,f,t] · w [f] -> [m,t]`.
+    DotMid(usize, usize),
+    /// `H [m,f,t] -> [m,f]`, the last time slice.
+    SelectLastTime(usize),
+}
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub op: Op,
+    pub requires_grad: bool,
+}
+
+/// An append-only dynamic computation graph.
+///
+/// Typical usage:
+/// ```
+/// use cit_tensor::{Graph, Tensor};
+/// let mut g = Graph::new();
+/// let w = g.param_leaf(Tensor::from_vec(&[2, 1], vec![0.5, -0.5]));
+/// let x = g.input(Tensor::from_vec(&[1, 2], vec![1.0, 2.0]));
+/// let y = g.matmul(x, w);
+/// let loss = g.sum_all(y);
+/// let grads = g.backward(loss);
+/// assert_eq!(grads.wrt(w).unwrap().data(), &[1.0, 2.0]);
+/// ```
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::with_capacity(256) }
+    }
+
+    /// Number of nodes created so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no node has been created.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The value held by `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node { value, op, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, i: usize) -> bool {
+        self.nodes[i].requires_grad
+    }
+
+    /// A constant leaf: no gradient flows into it.
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf, false)
+    }
+
+    /// A differentiable leaf (parameter). Its gradient is available from
+    /// [`crate::backward::Grads::wrt`] after [`Graph::backward`].
+    pub fn param_leaf(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf, true)
+    }
+
+    /// Element-wise sum. Panics on shape mismatch.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(v, Op::Add(a.0, b.0), rg)
+    }
+
+    /// Element-wise difference. Panics on shape mismatch.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(v, Op::Sub(a.0, b.0), rg)
+    }
+
+    /// Element-wise product. Panics on shape mismatch.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value);
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(v, Op::Mul(a.0, b.0), rg)
+    }
+
+    /// Element-wise quotient. Panics on shape mismatch.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip_map(&self.nodes[b.0].value, |x, y| x / y);
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(v, Op::Div(a.0, b.0), rg)
+    }
+
+    /// Negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| -x);
+        let rg = self.rg(a.0);
+        self.push(v, Op::Neg(a.0), rg)
+    }
+
+    /// Multiplication by a scalar constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.nodes[a.0].value.scale(c);
+        let rg = self.rg(a.0);
+        self.push(v, Op::Scale(a.0, c), rg)
+    }
+
+    /// Addition of a scalar constant.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x + c);
+        let rg = self.rg(a.0);
+        self.push(v, Op::AddScalar(a.0), rg)
+    }
+
+    /// Row-broadcast bias add: `[r,c] + [c] -> [r,c]`.
+    pub fn add_bias(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(av.shape().len(), 2, "add_bias: lhs must be 2-D, got {:?}", av.shape());
+        assert_eq!(bv.shape().len(), 1, "add_bias: rhs must be 1-D, got {:?}", bv.shape());
+        let (r, c) = (av.shape()[0], av.shape()[1]);
+        assert_eq!(c, bv.shape()[0], "add_bias: cols {c} vs bias {:?}", bv.shape());
+        let mut out = av.clone();
+        for i in 0..r {
+            for j in 0..c {
+                let v = out.at2(i, j) + bv.data()[j];
+                out.set2(i, j, v);
+            }
+        }
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(out, Op::AddBias(a.0, b.0), rg)
+    }
+
+    /// Matrix product of 2-D tensors.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let rg = self.rg(a.0) || self.rg(b.0);
+        self.push(v, Op::MatMul(a.0, b.0), rg)
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transpose2(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.transpose2();
+        let rg = self.rg(a.0);
+        self.push(v, Op::Transpose2(a.0), rg)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let rg = self.rg(a.0);
+        self.push(v, Op::Relu(a.0), rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        let rg = self.rg(a.0);
+        self.push(v, Op::Tanh(a.0), rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let rg = self.rg(a.0);
+        self.push(v, Op::Sigmoid(a.0), rg)
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::exp);
+        let rg = self.rg(a.0);
+        self.push(v, Op::Exp(a.0), rg)
+    }
+
+    /// Element-wise natural logarithm. Inputs must be positive; a small
+    /// floor avoids `-inf` from numerically zero values.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(1e-12).ln());
+        let rg = self.rg(a.0);
+        self.push(v, Op::Ln(a.0), rg)
+    }
+
+    /// Numerically stable softmax along the last axis of a 1-D or 2-D
+    /// tensor.
+    pub fn softmax_last(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let v = softmax_last_tensor(av);
+        let rg = self.rg(a.0);
+        self.push(v, Op::SoftmaxLast(a.0), rg)
+    }
+
+    /// Sum of all elements into a scalar.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[a.0].value.sum());
+        let rg = self.rg(a.0);
+        self.push(v, Op::SumAll(a.0), rg)
+    }
+
+    /// Mean of all elements into a scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[a.0].value.mean());
+        let rg = self.rg(a.0);
+        self.push(v, Op::MeanAll(a.0), rg)
+    }
+
+    /// Concatenation of 1-D tensors into one 1-D tensor.
+    pub fn concat(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let mut data = Vec::new();
+        let mut rg = false;
+        for p in parts {
+            let t = &self.nodes[p.0].value;
+            assert_eq!(t.shape().len(), 1, "concat expects 1-D parts, got {:?}", t.shape());
+            data.extend_from_slice(t.data());
+            rg |= self.rg(p.0);
+        }
+        let v = Tensor::from_vec(&[data.len()], data);
+        self.push(v, Op::Concat(parts.iter().map(|p| p.0).collect()), rg)
+    }
+
+    /// Shape change preserving element count.
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let v = self.nodes[a.0].value.reshaped(shape);
+        let rg = self.rg(a.0);
+        self.push(v, Op::Reshape(a.0), rg)
+    }
+
+    /// 1-D slice `a[start .. start+len]`.
+    pub fn slice1(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.shape().len(), 1, "slice1 expects 1-D, got {:?}", av.shape());
+        assert!(start + len <= av.numel(), "slice1 out of range");
+        let v = Tensor::from_vec(&[len], av.data()[start..start + len].to_vec());
+        let rg = self.rg(a.0);
+        self.push(v, Op::Slice1(a.0, start), rg)
+    }
+
+    /// Causal dilated 1-D convolution.
+    ///
+    /// `x [N,Cin,L]`, `w [Cout,Cin,K]`, `b [Cout]` produce `[N,Cout,L]`;
+    /// position `t` only sees `x[.., t - j*dilation]` for `j < K`
+    /// (implicit zero padding on the left), so no future information leaks —
+    /// the property the TCN relies on.
+    pub fn conv1d(&mut self, x: Var, w: Var, b: Var, dilation: usize) -> Var {
+        let (xv, wv, bv) = (&self.nodes[x.0].value, &self.nodes[w.0].value, &self.nodes[b.0].value);
+        let v = conv1d_forward(xv, wv, bv, dilation);
+        let rg = self.rg(x.0) || self.rg(w.0) || self.rg(b.0);
+        self.push(v, Op::Conv1d { x: x.0, w: w.0, b: b.0, dilation }, rg)
+    }
+
+    /// Contraction `out[i,f,t] = Σ_j S[i,j] · H[j,f,t]`.
+    pub fn contract_first(&mut self, s: Var, h: Var) -> Var {
+        let (sv, hv) = (&self.nodes[s.0].value, &self.nodes[h.0].value);
+        assert_eq!(sv.shape().len(), 2, "contract_first: S must be 2-D");
+        assert_eq!(hv.shape().len(), 3, "contract_first: H must be 3-D");
+        let (m, m2) = (sv.shape()[0], sv.shape()[1]);
+        assert_eq!(m, m2, "contract_first: S must be square");
+        assert_eq!(m, hv.shape()[0], "contract_first: S {m} vs H {:?}", hv.shape());
+        let (f, t) = (hv.shape()[1], hv.shape()[2]);
+        let ft = f * t;
+        let mut out = vec![0.0f32; m * ft];
+        for i in 0..m {
+            for j in 0..m {
+                let sij = sv.at2(i, j);
+                if sij == 0.0 {
+                    continue;
+                }
+                let src = &hv.data()[j * ft..(j + 1) * ft];
+                let dst = &mut out[i * ft..(i + 1) * ft];
+                for (d, &h) in dst.iter_mut().zip(src) {
+                    *d += sij * h;
+                }
+            }
+        }
+        let rg = self.rg(s.0) || self.rg(h.0);
+        self.push(Tensor::from_vec(&[m, f, t], out), Op::ContractFirst(s.0, h.0), rg)
+    }
+
+    /// `H [m,f,t] · w [t] -> [m,f]`.
+    pub fn dot_last(&mut self, h: Var, w: Var) -> Var {
+        let (hv, wv) = (&self.nodes[h.0].value, &self.nodes[w.0].value);
+        assert_eq!(hv.shape().len(), 3, "dot_last: H must be 3-D");
+        assert_eq!(wv.shape().len(), 1, "dot_last: w must be 1-D");
+        let (m, f, t) = (hv.shape()[0], hv.shape()[1], hv.shape()[2]);
+        assert_eq!(t, wv.shape()[0], "dot_last: time {t} vs w {:?}", wv.shape());
+        let mut out = vec![0.0f32; m * f];
+        for i in 0..m {
+            for j in 0..f {
+                let mut acc = 0.0;
+                for k in 0..t {
+                    acc += hv.at3(i, j, k) * wv.data()[k];
+                }
+                out[i * f + j] = acc;
+            }
+        }
+        let rg = self.rg(h.0) || self.rg(w.0);
+        self.push(Tensor::from_vec(&[m, f], out), Op::DotLast(h.0, w.0), rg)
+    }
+
+    /// `H [m,f,t] · w [f] -> [m,t]`.
+    pub fn dot_mid(&mut self, h: Var, w: Var) -> Var {
+        let (hv, wv) = (&self.nodes[h.0].value, &self.nodes[w.0].value);
+        assert_eq!(hv.shape().len(), 3, "dot_mid: H must be 3-D");
+        assert_eq!(wv.shape().len(), 1, "dot_mid: w must be 1-D");
+        let (m, f, t) = (hv.shape()[0], hv.shape()[1], hv.shape()[2]);
+        assert_eq!(f, wv.shape()[0], "dot_mid: feat {f} vs w {:?}", wv.shape());
+        let mut out = vec![0.0f32; m * t];
+        for i in 0..m {
+            for k in 0..t {
+                let mut acc = 0.0;
+                for j in 0..f {
+                    acc += hv.at3(i, j, k) * wv.data()[j];
+                }
+                out[i * t + k] = acc;
+            }
+        }
+        let rg = self.rg(h.0) || self.rg(w.0);
+        self.push(Tensor::from_vec(&[m, t], out), Op::DotMid(h.0, w.0), rg)
+    }
+
+    /// Last time slice of `H [m,f,t]`, shape `[m,f]`.
+    pub fn select_last_time(&mut self, h: Var) -> Var {
+        let hv = &self.nodes[h.0].value;
+        assert_eq!(hv.shape().len(), 3, "select_last_time: H must be 3-D");
+        let (m, f, t) = (hv.shape()[0], hv.shape()[1], hv.shape()[2]);
+        let mut out = vec![0.0f32; m * f];
+        for i in 0..m {
+            for j in 0..f {
+                out[i * f + j] = hv.at3(i, j, t - 1);
+            }
+        }
+        let rg = self.rg(h.0);
+        self.push(Tensor::from_vec(&[m, f], out), Op::SelectLastTime(h.0), rg)
+    }
+}
+
+/// Softmax along the last axis of a 1-D or 2-D tensor, with max-shift for
+/// numerical stability. Shared with the backward pass and with plain-tensor
+/// callers (e.g. turning Gaussian samples into portfolio weights).
+pub fn softmax_last_tensor(t: &Tensor) -> Tensor {
+    let shape = t.shape();
+    assert!(
+        shape.len() == 1 || shape.len() == 2,
+        "softmax_last expects 1-D or 2-D, got {shape:?}"
+    );
+    let cols = *shape.last().expect("non-empty shape");
+    let rows = t.numel() / cols.max(1);
+    let mut out = vec![0.0f32; t.numel()];
+    for r in 0..rows {
+        let row = &t.data()[r * cols..(r + 1) * cols];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let mut denom = 0.0;
+        for (o, &x) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            let e = (x - max).exp();
+            *o = e;
+            denom += e;
+        }
+        for o in &mut out[r * cols..(r + 1) * cols] {
+            *o /= denom;
+        }
+    }
+    Tensor::from_vec(shape, out)
+}
+
+pub(crate) fn conv1d_forward(x: &Tensor, w: &Tensor, b: &Tensor, dilation: usize) -> Tensor {
+    assert_eq!(x.shape().len(), 3, "conv1d: x must be [N,Cin,L], got {:?}", x.shape());
+    assert_eq!(w.shape().len(), 3, "conv1d: w must be [Cout,Cin,K], got {:?}", w.shape());
+    assert_eq!(b.shape().len(), 1, "conv1d: b must be [Cout], got {:?}", b.shape());
+    assert!(dilation >= 1, "conv1d: dilation must be >= 1");
+    let (n, cin, l) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (cout, cin2, k) = (w.shape()[0], w.shape()[1], w.shape()[2]);
+    assert_eq!(cin, cin2, "conv1d: channels {cin} vs {cin2}");
+    assert_eq!(cout, b.shape()[0], "conv1d: bias {:?} vs Cout {cout}", b.shape());
+    let mut out = vec![0.0f32; n * cout * l];
+    for ni in 0..n {
+        for o in 0..cout {
+            let base = (ni * cout + o) * l;
+            for t in 0..l {
+                let mut acc = b.data()[o];
+                for i in 0..cin {
+                    for j in 0..k {
+                        // Tap j looks back (k-1-j)*dilation steps so that the
+                        // highest-index tap aligns with the current step.
+                        let back = (k - 1 - j) * dilation;
+                        if back <= t {
+                            acc += w.at3(o, i, j) * x.at3(ni, i, t - back);
+                        }
+                    }
+                }
+                out[base + t] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(&[n, cout, l], out)
+}

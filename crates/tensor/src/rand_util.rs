@@ -1,0 +1,79 @@
+//! Seeded random-number helpers shared across the workspace.
+//!
+//! `rand_distr` is deliberately not a dependency; the Gaussian sampler here
+//! is a plain Box–Muller transform, which is more than adequate for policy
+//! exploration noise and synthetic market generation.
+
+use rand::Rng;
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    // Guard against u1 == 0 which would send ln(u1) to -inf.
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal sample with the given mean and standard deviation.
+pub fn normal_with(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    mean + std * normal(rng)
+}
+
+/// Fills a buffer with i.i.d. `N(0, std²)` samples as `f32`.
+pub fn fill_normal(rng: &mut impl Rng, buf: &mut [f32], std: f32) {
+    for b in buf {
+        *b = (normal(rng) as f32) * std;
+    }
+}
+
+/// Fills a buffer with i.i.d. `U(-limit, limit)` samples.
+pub fn fill_uniform(rng: &mut impl Rng, buf: &mut [f32], limit: f32) {
+    for b in buf {
+        *b = rng.random_range(-limit..limit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal_with(&mut rng, 3.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0.0f32; 256];
+        fill_uniform(&mut rng, &mut buf, 0.1);
+        assert!(buf.iter().all(|x| x.abs() <= 0.1));
+        assert!(buf.iter().any(|x| *x != 0.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(normal(&mut a), normal(&mut b));
+        }
+    }
+}

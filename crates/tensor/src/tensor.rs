@@ -1,0 +1,375 @@
+//! Dense row-major `f32` tensor used both inside the autodiff graph and for
+//! plain numeric plumbing (optimiser state, environment bookkeeping).
+
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// Shapes are dynamic (rank 0–3 is what the library exercises; higher ranks
+/// work for element-wise operations). Shape mismatches are programming
+/// errors and panic with a descriptive message, mirroring the convention of
+/// mainstream array libraries.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{}, {}, ... {} elems]", self.data[0], self.data[1], self.data.len())
+        }
+    }
+}
+
+impl Tensor {
+    /// Builds a tensor from a shape and backing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            numel,
+            data.len(),
+            "Tensor::from_vec: shape {shape:?} needs {numel} elements, got {}",
+            data.len()
+        );
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; numel] }
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with a constant.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let numel: usize = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![value; numel] }
+    }
+
+    /// A rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: vec![], data: vec![value] }
+    }
+
+    /// A 1-D tensor from a slice.
+    pub fn vector(values: &[f32]) -> Self {
+        Tensor { shape: vec![values.len()], data: values.to_vec() }
+    }
+
+    /// The shape of the tensor.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the backing data (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor returning its backing data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The value of a rank-0 or single-element tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "Tensor::item on tensor with shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Element access for a 2-D tensor.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Element access for a 3-D tensor.
+    #[inline]
+    pub fn at3(&self, i: usize, j: usize, k: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        self.data[(i * self.shape[1] + j) * self.shape[2] + k]
+    }
+
+    /// Sets an element of a 2-D tensor.
+    #[inline]
+    pub fn set2(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert_eq!(self.shape.len(), 2);
+        let cols = self.shape[1];
+        self.data[r * cols + c] = v;
+    }
+
+    /// Sets an element of a 3-D tensor.
+    #[inline]
+    pub fn set3(&mut self, i: usize, j: usize, k: usize, v: f32) {
+        debug_assert_eq!(self.shape.len(), 3);
+        let (d1, d2) = (self.shape[1], self.shape[2]);
+        self.data[(i * d1 + j) * d2 + k] = v;
+    }
+
+    /// Returns a reshaped copy sharing no storage with `self`.
+    ///
+    /// # Panics
+    /// Panics if the new shape has a different element count.
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(shape, self.data.clone())
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Element-wise combination of two same-shape tensors.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip_map: shape mismatch {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// In-place element-wise accumulation: `self += other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "add_assign: shape mismatch {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaling: `self *= c`.
+    pub fn scale_assign(&mut self, c: f32) {
+        for a in &mut self.data {
+            *a *= c;
+        }
+    }
+
+    /// Element-wise sum of two tensors.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference of two tensors.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise product of two tensors.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Scales every element by `c`.
+    pub fn scale(&self, c: f32) -> Tensor {
+        self.map(|x| x * c)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Largest absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, x| m.max(x.abs()))
+    }
+
+    /// `true` when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Matrix product of two 2-D tensors: `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// # Panics
+    /// Panics if either operand is not 2-D or the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul: lhs must be 2-D, got {:?}", self.shape);
+        assert_eq!(other.shape.len(), 2, "matmul: rhs must be 2-D, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &other.data[p * n..(p + 1) * n];
+                let dst = &mut out[i * n..(i + 1) * n];
+                for (d, &b) in dst.iter_mut().zip(row) {
+                    *d += a * b;
+                }
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose2 on {:?}", self.shape);
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor { shape: vec![c, r], data: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.at2(1, 2), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_vec_bad_len_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros(&[3]).sum(), 0.0);
+        assert_eq!(Tensor::ones(&[4]).sum(), 4.0);
+        assert_eq!(Tensor::full(&[2, 2], 2.5).sum(), 10.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::vector(&[1., 2., 3.]);
+        let b = Tensor::vector(&[4., 5., 6.]);
+        assert_eq!(a.add(&b).data(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).data(), &[3., 3., 3.]);
+        assert_eq!(a.mul(&b).data(), &[4., 10., 18.]);
+        assert_eq!(a.scale(2.0).data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let id = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]);
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose2().transpose2(), a);
+        assert_eq!(a.transpose2().at2(2, 1), 6.0);
+    }
+
+    #[test]
+    fn stats() {
+        let a = Tensor::vector(&[-3., 1., 2.]);
+        assert_eq!(a.sum(), 0.0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.max_abs(), 3.0);
+        assert_eq!(a.sq_norm(), 14.0);
+        assert!(a.all_finite());
+    }
+
+    #[test]
+    fn nan_detection() {
+        let a = Tensor::vector(&[1.0, f32::NAN]);
+        assert!(!a.all_finite());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = a.reshaped(&[3, 2]);
+        assert_eq!(b.at2(2, 1), 6.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Tensor::vector(&[1., 1.]);
+        a.add_assign(&Tensor::vector(&[2., 3.]));
+        assert_eq!(a.data(), &[3., 4.]);
+    }
+}

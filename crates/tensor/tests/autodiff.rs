@@ -1,0 +1,387 @@
+//! Gradient checks for every differentiable op, plus property-based checks
+//! that analytic gradients agree with central finite differences on random
+//! inputs.
+
+use cit_tensor::gradcheck::assert_gradcheck;
+use cit_tensor::{Graph, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f32 = 3e-2; // f32 central differences are noisy; relative tolerance.
+
+fn randt(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tensor::zeros(shape);
+    cit_tensor::rand_util::fill_uniform(&mut rng, t.data_mut(), 0.9);
+    t
+}
+
+#[test]
+fn grad_add() {
+    assert_gradcheck(&[randt(&[3], 1), randt(&[3], 2)], TOL, |g, p| {
+        let y = g.add(p[0], p[1]);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_sub() {
+    assert_gradcheck(&[randt(&[4], 3), randt(&[4], 4)], TOL, |g, p| {
+        let y = g.sub(p[0], p[1]);
+        let y2 = g.mul(y, y);
+        g.sum_all(y2)
+    });
+}
+
+#[test]
+fn grad_mul() {
+    assert_gradcheck(&[randt(&[5], 5), randt(&[5], 6)], TOL, |g, p| {
+        let y = g.mul(p[0], p[1]);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_div() {
+    let mut denom = randt(&[4], 7);
+    for d in denom.data_mut() {
+        *d = d.abs() + 0.5; // keep away from zero
+    }
+    assert_gradcheck(&[randt(&[4], 8), denom], TOL, |g, p| {
+        let y = g.div(p[0], p[1]);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_neg_scale_addscalar() {
+    assert_gradcheck(&[randt(&[6], 9)], TOL, |g, p| {
+        let a = g.neg(p[0]);
+        let b = g.scale(a, 2.5);
+        let c = g.add_scalar(b, 1.0);
+        let sq = g.mul(c, c);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_add_bias() {
+    assert_gradcheck(&[randt(&[3, 4], 10), randt(&[4], 11)], TOL, |g, p| {
+        let y = g.add_bias(p[0], p[1]);
+        let y2 = g.mul(y, y);
+        g.sum_all(y2)
+    });
+}
+
+#[test]
+fn grad_matmul() {
+    assert_gradcheck(&[randt(&[3, 4], 12), randt(&[4, 2], 13)], TOL, |g, p| {
+        let y = g.matmul(p[0], p[1]);
+        let y2 = g.mul(y, y);
+        g.sum_all(y2)
+    });
+}
+
+#[test]
+fn grad_transpose() {
+    assert_gradcheck(&[randt(&[3, 4], 14)], TOL, |g, p| {
+        let y = g.transpose2(p[0]);
+        let y2 = g.mul(y, y);
+        g.sum_all(y2)
+    });
+}
+
+#[test]
+fn grad_relu() {
+    // Shift values away from the kink at zero.
+    let mut t = randt(&[8], 15);
+    for v in t.data_mut() {
+        if v.abs() < 0.05 {
+            *v += 0.2;
+        }
+    }
+    assert_gradcheck(&[t], TOL, |g, p| {
+        let y = g.relu(p[0]);
+        let y2 = g.mul(y, y);
+        g.sum_all(y2)
+    });
+}
+
+#[test]
+fn grad_tanh_sigmoid_exp() {
+    assert_gradcheck(&[randt(&[6], 16)], TOL, |g, p| {
+        let a = g.tanh(p[0]);
+        let b = g.sigmoid(a);
+        let c = g.exp(b);
+        g.sum_all(c)
+    });
+}
+
+#[test]
+fn grad_ln() {
+    let mut t = randt(&[5], 17);
+    for v in t.data_mut() {
+        *v = v.abs() + 0.5;
+    }
+    assert_gradcheck(&[t], TOL, |g, p| {
+        let y = g.ln(p[0]);
+        g.sum_all(y)
+    });
+}
+
+#[test]
+fn grad_softmax_1d() {
+    assert_gradcheck(&[randt(&[5], 18), randt(&[5], 19)], TOL, |g, p| {
+        let s = g.softmax_last(p[0]);
+        let weighted = g.mul(s, p[1]);
+        g.sum_all(weighted)
+    });
+}
+
+#[test]
+fn grad_softmax_2d_rows() {
+    assert_gradcheck(&[randt(&[3, 4], 20), randt(&[3, 4], 21)], TOL, |g, p| {
+        let s = g.softmax_last(p[0]);
+        let weighted = g.mul(s, p[1]);
+        g.sum_all(weighted)
+    });
+}
+
+#[test]
+fn grad_mean_all() {
+    assert_gradcheck(&[randt(&[7], 22)], TOL, |g, p| {
+        let sq = g.mul(p[0], p[0]);
+        g.mean_all(sq)
+    });
+}
+
+#[test]
+fn grad_concat_slice_reshape() {
+    assert_gradcheck(&[randt(&[3], 23), randt(&[4], 24)], TOL, |g, p| {
+        let c = g.concat(&[p[0], p[1]]);
+        let s = g.slice1(c, 1, 5);
+        let r = g.reshape(s, &[5]);
+        let sq = g.mul(r, r);
+        g.sum_all(sq)
+    });
+}
+
+#[test]
+fn grad_conv1d_all_inputs() {
+    // x [2,2,6], w [3,2,2], b [3]
+    assert_gradcheck(
+        &[randt(&[2, 2, 6], 25), randt(&[3, 2, 2], 26), randt(&[3], 27)],
+        TOL,
+        |g, p| {
+            let y = g.conv1d(p[0], p[1], p[2], 1);
+            let y2 = g.mul(y, y);
+            g.sum_all(y2)
+        },
+    );
+}
+
+#[test]
+fn grad_conv1d_dilated() {
+    assert_gradcheck(
+        &[randt(&[1, 2, 8], 28), randt(&[2, 2, 3], 29), randt(&[2], 30)],
+        TOL,
+        |g, p| {
+            let y = g.conv1d(p[0], p[1], p[2], 2);
+            let y2 = g.mul(y, y);
+            g.sum_all(y2)
+        },
+    );
+}
+
+#[test]
+fn grad_contract_first() {
+    assert_gradcheck(&[randt(&[3, 3], 31), randt(&[3, 2, 4], 32)], TOL, |g, p| {
+        let y = g.contract_first(p[0], p[1]);
+        let y2 = g.mul(y, y);
+        g.sum_all(y2)
+    });
+}
+
+#[test]
+fn grad_dot_last_and_mid() {
+    assert_gradcheck(
+        &[randt(&[3, 2, 4], 33), randt(&[4], 34), randt(&[2], 35)],
+        TOL,
+        |g, p| {
+            let a = g.dot_last(p[0], p[1]); // [3,2]
+            let b = g.dot_mid(p[0], p[2]); // [3,4]
+            let sa = g.sum_all(a);
+            let sb = g.sum_all(b);
+            let sb2 = g.mul(sb, sb);
+            g.add(sa, sb2)
+        },
+    );
+}
+
+#[test]
+fn grad_select_last_time() {
+    assert_gradcheck(&[randt(&[2, 3, 5], 36)], TOL, |g, p| {
+        let y = g.select_last_time(p[0]);
+        let y2 = g.mul(y, y);
+        g.sum_all(y2)
+    });
+}
+
+#[test]
+fn grad_composite_attention_like() {
+    // A miniature version of the spatial-attention computation exercising
+    // several ops chained together.
+    assert_gradcheck(
+        &[
+            randt(&[3, 2, 4], 37), // H
+            randt(&[4], 38),       // w1 (time)
+            randt(&[2], 39),       // w3 (feat)
+            randt(&[3, 3], 40),    // Vs
+            randt(&[3, 3], 41),    // bias
+        ],
+        TOL,
+        |g, p| {
+            let left = g.dot_last(p[0], p[1]); // [3,2]
+            let right = g.dot_mid(p[0], p[2]); // [3,4]
+            let right_t = g.transpose2(right); // [4,3]
+            let left_pad = g.reshape(left, &[3, 2]);
+            // Project left [3,2] to [3,4] by multiplying with a fixed matrix
+            // derived from parts of H — keep it simple: use matmul with w
+            // formed by reshaping p[0] is overkill; instead multiply
+            // left·leftᵀ to get [3,3] directly.
+            let left_t = g.transpose2(left_pad); // [2,3]
+            let ll = g.matmul(left_pad, left_t); // [3,3]
+            let rr = g.matmul(right, right_t); // [3,3] — wait shapes: [3,4]x[4,3]
+            let pre = g.add(ll, rr);
+            let pre_b = g.add(pre, p[4]);
+            let sig = g.sigmoid(pre_b);
+            let s = g.mul(p[3], sig);
+            let sm = g.softmax_last(s);
+            let h2 = g.contract_first(sm, p[0]);
+            let pooled = g.select_last_time(h2);
+            let sq = g.mul(pooled, pooled);
+            g.sum_all(sq)
+        },
+    );
+}
+
+#[test]
+fn no_grad_flows_into_inputs() {
+    let mut g = Graph::new();
+    let x = g.input(Tensor::vector(&[1.0, 2.0]));
+    let w = g.param_leaf(Tensor::vector(&[3.0, 4.0]));
+    let y = g.mul(x, w);
+    let loss = g.sum_all(y);
+    let grads = g.backward(loss);
+    assert!(grads.wrt(x).is_none(), "constant input must not receive a gradient");
+    assert_eq!(grads.wrt(w).unwrap().data(), &[1.0, 2.0]);
+}
+
+#[test]
+fn grad_accumulates_across_reuse() {
+    // y = w·w summed: dy/dw = 2w.
+    let mut g = Graph::new();
+    let w = g.param_leaf(Tensor::vector(&[2.0, -3.0]));
+    let y = g.mul(w, w);
+    let loss = g.sum_all(y);
+    let grads = g.backward(loss);
+    assert_eq!(grads.wrt(w).unwrap().data(), &[4.0, -6.0]);
+}
+
+#[test]
+fn backward_ignores_nodes_after_loss() {
+    let mut g = Graph::new();
+    let w = g.param_leaf(Tensor::vector(&[1.0]));
+    let loss = g.sum_all(w);
+    let _unused = g.scale(w, 100.0); // created after the loss node
+    let grads = g.backward(loss);
+    assert_eq!(grads.wrt(w).unwrap().data(), &[1.0]);
+}
+
+#[test]
+#[should_panic(expected = "scalar")]
+fn backward_requires_scalar_loss() {
+    let mut g = Graph::new();
+    let w = g.param_leaf(Tensor::vector(&[1.0, 2.0]));
+    let _ = g.backward(w);
+}
+
+#[test]
+fn softmax_rows_sum_to_one() {
+    let t = randt(&[4, 6], 50);
+    let s = cit_tensor::softmax_last_tensor(&t);
+    for r in 0..4 {
+        let sum: f32 = s.data()[r * 6..(r + 1) * 6].iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_matmul_grad_matches_fd(seed in 0u64..1000, m in 1usize..4, k in 1usize..4, n in 1usize..4) {
+        assert_gradcheck(&[randt(&[m, k], seed), randt(&[k, n], seed + 1)], TOL, |g, p| {
+            let y = g.matmul(p[0], p[1]);
+            let y2 = g.mul(y, y);
+            g.sum_all(y2)
+        });
+    }
+
+    #[test]
+    fn prop_softmax_grad_matches_fd(seed in 0u64..1000, n in 2usize..7) {
+        assert_gradcheck(&[randt(&[n], seed), randt(&[n], seed + 2)], TOL, |g, p| {
+            let s = g.softmax_last(p[0]);
+            let w = g.mul(s, p[1]);
+            g.sum_all(w)
+        });
+    }
+
+    #[test]
+    fn prop_conv_grad_matches_fd(seed in 0u64..500, l in 3usize..7, k in 1usize..3, dil in 1usize..3) {
+        assert_gradcheck(
+            &[randt(&[1, 2, l], seed), randt(&[2, 2, k], seed + 3), randt(&[2], seed + 4)],
+            TOL,
+            |g, p| {
+                let y = g.conv1d(p[0], p[1], p[2], dil);
+                let y2 = g.mul(y, y);
+                g.sum_all(y2)
+            },
+        );
+    }
+
+    #[test]
+    fn prop_softmax_is_simplex(seed in 0u64..1000, n in 1usize..10) {
+        let t = randt(&[n], seed);
+        let s = cit_tensor::softmax_last_tensor(&t);
+        let sum: f32 = s.data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5);
+        prop_assert!(s.data().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn prop_conv_is_causal(seed in 0u64..500, l in 4usize..9) {
+        // Changing a future input must not change earlier outputs.
+        let x = randt(&[1, 1, l], seed);
+        let w = randt(&[1, 1, 3], seed + 7);
+        let b = randt(&[1], seed + 8);
+        let run = |x: &Tensor| -> Vec<f32> {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let wv = g.input(w.clone());
+            let bv = g.input(b.clone());
+            let y = g.conv1d(xv, wv, bv, 1);
+            g.value(y).data().to_vec()
+        };
+        let base = run(&x);
+        let mut bumped = x.clone();
+        let last = l - 1;
+        bumped.data_mut()[last] += 5.0;
+        let changed = run(&bumped);
+        for t in 0..last {
+            prop_assert!((base[t] - changed[t]).abs() < 1e-6, "t={t} leaked future info");
+        }
+        prop_assert!((base[last] - changed[last]).abs() > 1e-6 || w.data()[2] == 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: generate a market, train a small cross-insight trader and
+//! compare it against the market index and a uniform-rebalance baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cross_insight_trader::core::{CitConfig, CrossInsightTrader};
+use cross_insight_trader::market::{
+    market_result, run_test_period, EnvConfig, MarketPreset, UniformStrategy,
+};
+
+fn main() {
+    // A shrunken H.K.-style market: 5 assets, ~1 year of test data.
+    let panel = MarketPreset::Hk.scaled(9, 12).generate();
+    println!(
+        "market: {} assets, {} train days, {} test days",
+        panel.num_assets(),
+        panel.test_start(),
+        panel.num_days() - panel.test_start()
+    );
+
+    // Train a compact cross-insight trader (3 horizons, small networks).
+    let cfg = CitConfig {
+        num_policies: 3,
+        window: 16,
+        total_steps: 1_500,
+        ..CitConfig::default()
+    };
+    let mut trader = CrossInsightTrader::new(&panel, cfg);
+    println!("training CIT ({} parameters) ...", trader.num_params());
+    let report = trader.train(&panel);
+    println!(
+        "trained {} env steps; final-quarter mean reward {:+.5}",
+        report.steps,
+        report.final_mean_reward()
+    );
+
+    // Backtest the test period.
+    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
+    let cit = run_test_period(&panel, env, &mut trader);
+    let uniform = run_test_period(&panel, env, &mut UniformStrategy);
+    let index = market_result(&panel, panel.test_start(), panel.num_days());
+
+    println!("\n{:<10} {:>8} {:>8} {:>8} {:>8}", "model", "AR", "SR", "CR", "MDD");
+    for r in [&cit, &uniform, &index] {
+        println!(
+            "{:<10} {:>8.3} {:>8.2} {:>8.2} {:>8.3}",
+            r.name, r.metrics.ar, r.metrics.sr, r.metrics.cr, r.metrics.mdd
+        );
+    }
+}

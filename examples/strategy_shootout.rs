@@ -1,0 +1,49 @@
+//! Strategy shootout: run every online portfolio-selection baseline plus a
+//! couple of cheap RL agents on one market and print a ranked table — the
+//! scenario the paper's Table III motivates, at laptop scale.
+//!
+//! ```sh
+//! cargo run --release --example strategy_shootout
+//! ```
+
+use cross_insight_trader::market::{
+    market_result, run_test_period, EnvConfig, MarketPreset,
+};
+use cross_insight_trader::online::all_strategies;
+use cross_insight_trader::rl::{A2c, Eiie, RlConfig};
+
+fn main() {
+    let panel = MarketPreset::China.scaled(6, 10).generate();
+    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
+    println!(
+        "market: {} assets, {} test days\n",
+        panel.num_assets(),
+        panel.num_days() - panel.test_start()
+    );
+
+    let mut results = Vec::new();
+
+    for mut strat in all_strategies() {
+        results.push(run_test_period(&panel, env, strat.as_mut()));
+    }
+
+    // Two inexpensive learned baselines for contrast.
+    let rl = RlConfig { window: 16, total_steps: 1_000, ..RlConfig::smoke(7) };
+    let mut eiie = Eiie::new(&panel, rl);
+    eiie.train(&panel);
+    results.push(run_test_period(&panel, env, &mut eiie));
+    let mut a2c = A2c::new(&panel, rl);
+    a2c.train(&panel);
+    results.push(run_test_period(&panel, env, &mut a2c));
+
+    results.push(market_result(&panel, panel.test_start(), panel.num_days()));
+
+    results.sort_by(|a, b| b.metrics.sr.partial_cmp(&a.metrics.sr).expect("finite SR"));
+    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "model", "AR", "SR", "CR", "MDD");
+    for r in &results {
+        println!(
+            "{:<12} {:>8.3} {:>8.2} {:>8.2} {:>8.3}",
+            r.name, r.metrics.ar, r.metrics.sr, r.metrics.cr, r.metrics.mdd
+        );
+    }
+}

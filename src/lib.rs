@@ -1,0 +1,40 @@
+//! # cross-insight-trader
+//!
+//! A Rust reproduction of *"Cross-Insight Trader: A Trading Approach
+//! Integrating Policies with Diverse Investment Horizons for Portfolio
+//! Management"* (ICDE 2024).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`tensor`] — dense tensors + reverse-mode autodiff,
+//! * [`nn`] — layers (TCN, GRU, spatial attention, Gaussian head) and
+//!   optimisers,
+//! * [`dwt`] — Haar wavelet transform and horizon decomposition,
+//! * [`market`] — panels, the synthetic fractal market, the portfolio MDP,
+//!   backtester and metrics,
+//! * [`online`] — online portfolio-selection baselines,
+//! * [`rl`] — deep-RL baselines (A2C, PPO, DDPG, EIIE, SARL, DeepTrader),
+//! * [`core`] — the cross-insight trader itself.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use cross_insight_trader::core::{CitConfig, CrossInsightTrader};
+//! use cross_insight_trader::market::{run_test_period, EnvConfig, MarketPreset};
+//!
+//! let panel = MarketPreset::Hk.scaled(9, 24).generate();
+//! let mut trader = CrossInsightTrader::new(&panel, CitConfig::smoke(0));
+//! trader.train(&panel);
+//! let result = run_test_period(&panel, EnvConfig::default(), &mut trader);
+//! println!("AR {:.3}  SR {:.2}  CR {:.2}", result.metrics.ar, result.metrics.sr, result.metrics.cr);
+//! ```
+
+#![deny(missing_docs)]
+
+pub use cit_core as core;
+pub use cit_dwt as dwt;
+pub use cit_market as market;
+pub use cit_nn as nn;
+pub use cit_online as online;
+pub use cit_rl as rl;
+pub use cit_tensor as tensor;
