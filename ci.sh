@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints (warnings are errors), full test suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "CI gate passed."

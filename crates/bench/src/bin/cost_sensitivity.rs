@@ -4,7 +4,7 @@
 //! strategies should degrade fastest — a design-choice ablation for the
 //! cost term of the environment.
 
-use cit_bench::{cit_config, panels, save_series, window, Scale};
+use cit_bench::{cit_config, experiment_telemetry, finish_run, panels, save_series, window, Scale};
 use cit_core::CrossInsightTrader;
 use cit_market::{run_test_period, EnvConfig};
 use cit_online::{Crp, Olmar};
@@ -13,21 +13,29 @@ const COSTS: [f64; 5] = [0.0, 5e-4, 1e-3, 2e-3, 5e-3];
 
 fn main() {
     let (scale, seed) = Scale::from_args();
+    let tel = experiment_telemetry("cost_sensitivity", scale, seed);
     let ps = panels(scale);
     println!("Cost sensitivity (scale {scale:?}, seed {seed})\n");
 
     for p in &ps {
-        eprintln!("training CIT on {} ...", p.name());
-        let mut trader = CrossInsightTrader::new(p, cit_config(scale, seed));
+        tel.progress(format!("training CIT on {} ...", p.name()));
+        let mut trader =
+            CrossInsightTrader::new(p, cit_config(scale, seed)).with_telemetry(tel.clone());
         trader.train(p);
 
         println!("{} — AR by transaction cost:", p.name());
-        println!("{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}", "model", "0bp", "5bp", "10bp", "20bp", "50bp");
+        println!(
+            "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "model", "0bp", "5bp", "10bp", "20bp", "50bp"
+        );
         let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
         for model in ["CIT", "CRP", "OLMAR"] {
             let mut ars = Vec::new();
             for &cost in &COSTS {
-                let env = EnvConfig { window: window(scale), transaction_cost: cost };
+                let env = EnvConfig {
+                    window: window(scale),
+                    transaction_cost: cost,
+                };
                 let res = match model {
                     "CIT" => run_test_period(p, env, &mut trader),
                     "CRP" => run_test_period(p, env, &mut Crp),
@@ -46,4 +54,5 @@ fn main() {
     }
     println!("(each column is a proportional cost in basis points; OLMAR's heavy");
     println!("turnover makes it the most cost-sensitive, CRP the least)");
+    finish_run(&tel);
 }

@@ -1,18 +1,23 @@
 //! Regenerates Figure 2: DWT horizon decomposition of a price series into
 //! long- and short-term bands (CSV series + terminal summary).
 
-use cit_bench::{panels, save_series, Scale};
-use cit_dwt::horizon_scales;
+use cit_bench::{experiment_telemetry, finish_run, panels, save_series, Scale};
+use cit_dwt::timed;
 
 fn main() {
-    let (scale, _seed) = Scale::from_args();
+    let (scale, seed) = Scale::from_args();
+    let tel = experiment_telemetry("fig2", scale, seed);
     let p = &panels(scale)[0];
     let t = p.num_days() - 1;
     let z = 128.min(p.num_days());
     let series = p.close_window(t, 0, z);
 
     for granularity in [2usize, 3] {
-        let bands = horizon_scales(&series, granularity);
+        tel.progress(format!(
+            "decomposing {} closes at granularity {granularity}",
+            p.name()
+        ));
+        let bands = timed::horizon_scales(&tel, &series, granularity);
         let mut out = vec![("price".to_string(), series.clone())];
         for (k, b) in bands.iter().enumerate() {
             let label = if k == 0 {
@@ -34,4 +39,5 @@ fn main() {
     }
     println!("\nLong-term bands vary slowly (trend); short-term bands capture fluctuations,");
     println!("mirroring Figure 2's low/high-frequency scales.");
+    finish_run(&tel);
 }

@@ -2,21 +2,33 @@
 //! on all three markets (CSV per market; OLMAR included here even though
 //! the paper drops it from the plot for poor performance).
 
-use cit_bench::{panels, run_model, save_series, Scale};
+use cit_bench::{experiment_telemetry, finish_run, panels, run_model_with, save_series, Scale};
 
 const MODELS: [&str; 12] = [
-    "CRP", "ONS", "UP", "EG", "EIIE", "A2C", "DDPG", "PPO", "SARL", "DeepTrader", "CIT", "Market",
+    "CRP",
+    "ONS",
+    "UP",
+    "EG",
+    "EIIE",
+    "A2C",
+    "DDPG",
+    "PPO",
+    "SARL",
+    "DeepTrader",
+    "CIT",
+    "Market",
 ];
 
 fn main() {
     let (scale, seed) = Scale::from_args();
+    let tel = experiment_telemetry("fig4", scale, seed);
     let ps = panels(scale);
     println!("Figure 4 — accumulative return during the test period (scale {scale:?})\n");
     for p in &ps {
         let mut curves = Vec::new();
         for model in MODELS {
-            eprintln!("running {model} on {} ...", p.name());
-            let res = run_model(model, p, scale, seed);
+            tel.progress(format!("running {model} on {} ...", p.name()));
+            let res = run_model_with(model, p, scale, seed, &tel);
             curves.push((model.to_string(), res.wealth.clone()));
         }
         save_series(&format!("fig4_{}.csv", p.name()), &curves);
@@ -32,4 +44,5 @@ fn main() {
         }
         println!();
     }
+    finish_run(&tel);
 }

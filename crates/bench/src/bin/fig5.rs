@@ -2,16 +2,17 @@
 //! fused cross-insight policy and the index on the H.K. market, using a
 //! 3-policy model (short / middle / long horizons) as in the paper.
 
-use cit_bench::{cit_config, panels, save_series, Scale};
+use cit_bench::{cit_config, experiment_telemetry, finish_run, panels, save_series, Scale};
 use cit_core::{per_policy_curves, CrossInsightTrader};
 
 fn main() {
     let (scale, seed) = Scale::from_args();
+    let tel = experiment_telemetry("fig5", scale, seed);
     let hk = &panels(scale)[1];
     let mut cfg = cit_config(scale, seed);
     cfg.num_policies = 3;
-    eprintln!("training 3-policy CIT on {} ...", hk.name());
-    let mut trader = CrossInsightTrader::new(hk, cfg);
+    tel.progress(format!("training 3-policy CIT on {} ...", hk.name()));
+    let mut trader = CrossInsightTrader::new(hk, cfg).with_telemetry(tel.clone());
     trader.train(hk);
 
     let curves = per_policy_curves(&mut trader, hk, hk.test_start(), hk.num_days(), 1e-3);
@@ -20,6 +21,10 @@ fn main() {
     println!("Figure 5 — per-policy cumulative return on H.K. (scale {scale:?})");
     println!("(policy 1 = long-term horizon, policy 3 = short-term horizon)\n");
     for (label, c) in &curves.wealth {
-        println!("  {label:<10} final wealth {:.3}", c.last().expect("non-empty"));
+        println!(
+            "  {label:<10} final wealth {:.3}",
+            c.last().expect("non-empty")
+        );
     }
+    finish_run(&tel);
 }

@@ -3,16 +3,17 @@
 //! mirrors the paper's observation — the short-horizon policy's daily
 //! returns are the most volatile.
 
-use cit_bench::{cit_config, panels, save_series, Scale};
+use cit_bench::{cit_config, experiment_telemetry, finish_run, panels, save_series, Scale};
 use cit_core::{per_policy_curves, CrossInsightTrader};
 
 fn main() {
     let (scale, seed) = Scale::from_args();
+    let tel = experiment_telemetry("fig6", scale, seed);
     let hk = &panels(scale)[1];
     let mut cfg = cit_config(scale, seed);
     cfg.num_policies = 3;
-    eprintln!("training 3-policy CIT on {} ...", hk.name());
-    let mut trader = CrossInsightTrader::new(hk, cfg);
+    tel.progress(format!("training 3-policy CIT on {} ...", hk.name()));
+    let mut trader = CrossInsightTrader::new(hk, cfg).with_telemetry(tel.clone());
     trader.train(hk);
 
     let curves = per_policy_curves(&mut trader, hk, hk.test_start(), hk.num_days(), 1e-3);
@@ -28,4 +29,5 @@ fn main() {
     }
     println!("\n(policy 1 = long-term .. policy 3 = short-term; the paper reports the");
     println!("short-term policy as the most volatile and least profitable)");
+    finish_run(&tel);
 }

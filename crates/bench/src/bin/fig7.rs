@@ -2,12 +2,15 @@
 //! neural-network bodies — ours (TCN + spatial attention), ours (GRU),
 //! plain GRU and plain MLP.
 
-use cit_bench::{cit_config, env_config, panels, save_series, Scale};
+use cit_bench::{
+    cit_config, env_config, experiment_telemetry, finish_run, panels, save_series, Scale,
+};
 use cit_core::{ActorBody, CrossInsightTrader};
-use cit_market::run_test_period;
+use cit_market::run_test_period_with;
 
 fn main() {
     let (scale, seed) = Scale::from_args();
+    let tel = experiment_telemetry("fig7", scale, seed);
     let ps = panels(scale);
     let bodies = [
         ActorBody::TcnAttention,
@@ -21,12 +24,12 @@ fn main() {
         let mut curves = Vec::new();
         println!("{}:", p.name());
         for body in bodies {
-            eprintln!("running {} on {} ...", body.label(), p.name());
+            tel.progress(format!("running {} on {} ...", body.label(), p.name()));
             let mut cfg = cit_config(scale, seed);
             cfg.actor_body = body;
-            let mut trader = CrossInsightTrader::new(p, cfg);
+            let mut trader = CrossInsightTrader::new(p, cfg).with_telemetry(tel.clone());
             trader.train(p);
-            let res = run_test_period(p, env_config(scale), &mut trader);
+            let res = run_test_period_with(p, env_config(scale), &mut trader, &tel);
             println!(
                 "  {:<12} AR {:>6.3}  SR {:>6.2}  CR {:>6.2}",
                 body.label(),
@@ -39,4 +42,5 @@ fn main() {
         save_series(&format!("fig7_{}.csv", p.name()), &curves);
         println!();
     }
+    finish_run(&tel);
 }

@@ -2,27 +2,33 @@
 //! critic versus the shared-Q and Dec-critic variants on all three
 //! markets.
 
-use cit_bench::{cit_config, env_config, panels, save_series, Scale};
+use cit_bench::{
+    cit_config, env_config, experiment_telemetry, finish_run, panels, save_series, Scale,
+};
 use cit_core::{CriticMode, CrossInsightTrader};
-use cit_market::run_test_period;
+use cit_market::run_test_period_with;
 
 fn main() {
     let (scale, seed) = Scale::from_args();
+    let tel = experiment_telemetry("fig8", scale, seed);
     let ps = panels(scale);
-    let modes =
-        [CriticMode::Counterfactual, CriticMode::SharedQ, CriticMode::Decentralized];
+    let modes = [
+        CriticMode::Counterfactual,
+        CriticMode::SharedQ,
+        CriticMode::Decentralized,
+    ];
     println!("Figure 8 — critic ablation learning curves (scale {scale:?}, seed {seed})\n");
 
     for p in &ps {
         let mut curves = Vec::new();
         println!("{}:", p.name());
         for mode in modes {
-            eprintln!("training {} on {} ...", mode.label(), p.name());
+            tel.progress(format!("training {} on {} ...", mode.label(), p.name()));
             let mut cfg = cit_config(scale, seed);
             cfg.critic_mode = mode;
-            let mut trader = CrossInsightTrader::new(p, cfg);
+            let mut trader = CrossInsightTrader::new(p, cfg).with_telemetry(tel.clone());
             let report = trader.train(p);
-            let res = run_test_period(p, env_config(scale), &mut trader);
+            let res = run_test_period_with(p, env_config(scale), &mut trader, &tel);
             println!(
                 "  {:<15} final-quarter train reward {:>9.5}   test AR {:>6.3}",
                 mode.label(),
@@ -36,4 +42,5 @@ fn main() {
     }
     println!("(curves are mean reward per update; the paper reports the counterfactual");
     println!("variant above shared-Q, with Dec-critic lowest)");
+    finish_run(&tel);
 }

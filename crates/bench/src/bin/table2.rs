@@ -1,9 +1,10 @@
 //! Regenerates Table II: statistics of the three (synthetic) datasets.
 
-use cit_bench::{panels, Scale};
+use cit_bench::{experiment_telemetry, finish_run, panels, Scale};
 
 fn main() {
-    let (scale, _seed) = Scale::from_args();
+    let (scale, seed) = Scale::from_args();
+    let tel = experiment_telemetry("table2", scale, seed);
     let ps = panels(scale);
     println!("Table II — statistics of datasets (scale {scale:?})\n");
     println!(
@@ -20,4 +21,5 @@ fn main() {
         );
     }
     println!("\nPaper reference: U.S. 80 assets, H.K. 45, China 34; train 2009-01..2020-06.");
+    finish_run(&tel);
 }

@@ -2,16 +2,31 @@
 //! and the equity-curve series behind Figure 4 (saved to CSV as a side
 //! product; the dedicated `fig4` binary only re-plots them).
 
-use cit_bench::{panels, print_metric_table, run_model, save_series, Scale};
+use cit_bench::{
+    experiment_telemetry, finish_run, panels, print_metric_table, run_model_with, save_series,
+    Scale,
+};
+use cit_telemetry::Record;
 
 const MODELS: [&str; 13] = [
-    "OLMAR", "CRP", "ONS", "UP", "EG", // online learning
-    "EIIE", "A2C", "DDPG", "PPO", "SARL", "DeepTrader", "CIT", // deep RL
+    "OLMAR",
+    "CRP",
+    "ONS",
+    "UP",
+    "EG", // online learning
+    "EIIE",
+    "A2C",
+    "DDPG",
+    "PPO",
+    "SARL",
+    "DeepTrader",
+    "CIT", // deep RL
     "Market",
 ];
 
 fn main() {
     let (scale, seed) = Scale::from_args();
+    let tel = experiment_telemetry("table3", scale, seed);
     let ps = panels(scale);
     let market_names: Vec<&str> = ps.iter().map(|p| p.name()).collect();
     println!("Table III — performance comparison (scale {scale:?}, seed {seed})\n");
@@ -21,8 +36,8 @@ fn main() {
     for model in MODELS {
         let mut metrics = Vec::new();
         for (mi, p) in ps.iter().enumerate() {
-            eprintln!("running {model} on {} ...", p.name());
-            let res = run_model(model, p, scale, seed);
+            tel.progress(format!("running {model} on {} ...", p.name()));
+            let res = run_model_with(model, p, scale, seed, &tel);
             metrics.push(res.metrics);
             curves_per_market[mi].push((model.to_string(), res.wealth.clone()));
         }
@@ -33,19 +48,24 @@ fn main() {
     for (p, curves) in ps.iter().zip(&curves_per_market) {
         save_series(&format!("fig4_{}.csv", p.name()), curves);
     }
-    // Machine-readable metrics dump for EXPERIMENTS.md.
-    let json: Vec<serde_json::Value> = rows
-        .iter()
-        .map(|(name, ms)| {
-            serde_json::json!({
-                "model": name,
-                "metrics": ms.iter().zip(&market_names).map(|(m, mk)| serde_json::json!({
-                    "market": mk, "ar": m.ar, "sr": m.sr, "cr": m.cr, "mdd": m.mdd,
-                })).collect::<Vec<_>>(),
-            })
-        })
-        .collect();
-    let path = cit_bench::out_dir().join("table3.json");
-    cit_market::save(&path, &serde_json::to_string_pretty(&json).expect("serialise")).expect("write");
+    // Machine-readable metrics dump for EXPERIMENTS.md: one flat JSON
+    // object per (model, market) pair.
+    let mut jsonl = String::new();
+    for (name, ms) in &rows {
+        for (m, mk) in ms.iter().zip(&market_names) {
+            let rec = Record::new("table3.metric")
+                .with("model", name.as_str())
+                .with("market", *mk)
+                .with("ar", m.ar)
+                .with("sr", m.sr)
+                .with("cr", m.cr)
+                .with("mdd", m.mdd);
+            jsonl.push_str(&rec.to_json());
+            jsonl.push('\n');
+        }
+    }
+    let path = cit_bench::out_dir().join("table3.jsonl");
+    cit_market::save(&path, &jsonl).expect("write");
     println!("wrote {}", path.display());
+    finish_run(&tel);
 }

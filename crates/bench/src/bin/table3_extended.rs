@@ -3,21 +3,23 @@
 //! BCRP upper bound, plus the extended risk report (Sortino / VaR / ES /
 //! turnover / concentration) for the headline models.
 
-use cit_bench::{env_config, panels, print_metric_table, run_model, Scale};
+use cit_bench::{
+    env_config, experiment_telemetry, finish_run, panels, print_metric_table, run_model_with, Scale,
+};
 use cit_market::risk::risk_report;
 use cit_market::run_test_period;
 use cit_online::all_strategies;
 
 fn main() {
     let (scale, seed) = Scale::from_args();
+    let tel = experiment_telemetry("table3_extended", scale, seed);
     let ps = panels(scale);
     let market_names: Vec<&str> = ps.iter().map(|p| p.name()).collect();
     println!("Extended Table III — all online methods + risk report (scale {scale:?})\n");
 
     // All online methods (cheap — no training).
     let mut rows = Vec::new();
-    let strategy_names: Vec<String> =
-        all_strategies().iter().map(|s| s.name()).collect();
+    let strategy_names: Vec<String> = all_strategies().iter().map(|s| s.name()).collect();
     for name in &strategy_names {
         let mut metrics = Vec::new();
         for p in &ps {
@@ -40,12 +42,13 @@ fn main() {
         "model", "Sortino", "VaR95", "ES95", "turnover", "concentr"
     );
     for model in ["CIT", "EIIE", "A2C", "CRP"] {
-        eprintln!("running {model} ...");
-        let res = run_model(model, &ps[0], scale, seed);
+        tel.progress(format!("running {model} ..."));
+        let res = run_model_with(model, &ps[0], scale, seed, &tel);
         let rep = risk_report(&res.daily_returns, &res.weights);
         println!(
             "{:<12} {:>9.2} {:>9.4} {:>9.4} {:>9.3} {:>9.3}",
             model, rep.sortino, rep.var95, rep.es95, rep.turnover, rep.concentration
         );
     }
+    finish_run(&tel);
 }

@@ -1,12 +1,16 @@
 //! Regenerates Table IV: performance versus the number of horizon-specific
 //! policies (A2C = no horizon policies, then 2–5 policies).
 
-use cit_bench::{cit_config, env_config, panels, print_metric_table, run_model, Scale};
+use cit_bench::{
+    cit_config, env_config, experiment_telemetry, finish_run, panels, print_metric_table,
+    run_model_with, Scale,
+};
 use cit_core::CrossInsightTrader;
-use cit_market::run_test_period;
+use cit_market::run_test_period_with;
 
 fn main() {
     let (scale, seed) = Scale::from_args();
+    let tel = experiment_telemetry("table4", scale, seed);
     let ps = panels(scale);
     let market_names: Vec<&str> = ps.iter().map(|p| p.name()).collect();
     println!("Table IV — number of horizon-specific policies (scale {scale:?}, seed {seed})\n");
@@ -16,8 +20,8 @@ fn main() {
     // A2C row: the degenerate single-policy case.
     let mut a2c_metrics = Vec::new();
     for p in &ps {
-        eprintln!("running A2C on {} ...", p.name());
-        a2c_metrics.push(run_model("A2C", p, scale, seed).metrics);
+        tel.progress(format!("running A2C on {} ...", p.name()));
+        a2c_metrics.push(run_model_with("A2C", p, scale, seed, &tel).metrics);
     }
     rows.push(("A2C".to_string(), a2c_metrics));
 
@@ -28,15 +32,16 @@ fn main() {
     for &n in policy_counts {
         let mut metrics = Vec::new();
         for p in &ps {
-            eprintln!("running CIT({n} policies) on {} ...", p.name());
+            tel.progress(format!("running CIT({n} policies) on {} ...", p.name()));
             let mut cfg = cit_config(scale, seed);
             cfg.num_policies = n;
-            let mut trader = CrossInsightTrader::new(p, cfg);
+            let mut trader = CrossInsightTrader::new(p, cfg).with_telemetry(tel.clone());
             trader.train(p);
-            let res = run_test_period(p, env_config(scale), &mut trader);
+            let res = run_test_period_with(p, env_config(scale), &mut trader, &tel);
             metrics.push(res.metrics);
         }
         rows.push((format!("{n} policies"), metrics));
     }
     print_metric_table(&market_names, &rows);
+    finish_run(&tel);
 }

@@ -10,11 +10,16 @@
 
 use cit_core::{CitConfig, CrossInsightTrader};
 use cit_market::{
-    market_result, run_test_period, AssetPanel, BacktestResult, EnvConfig, MarketPreset,
+    market_result, run_test_period_with, AssetPanel, BacktestResult, EnvConfig, MarketPreset,
 };
 use cit_online::{Crp, Eg, Olmar, Ons, UniversalPortfolio};
-use cit_rl::{A2c, Ddpg, DdpgConfig, DeepTrader, Eiie, MetaTrader, MetaTraderConfig, Ppo, PpoConfig, RlConfig, Sarl};
+use cit_rl::{
+    A2c, Ddpg, DdpgConfig, DeepTrader, Eiie, MetaTrader, MetaTraderConfig, Ppo, PpoConfig,
+    RlConfig, Sarl,
+};
+use cit_telemetry::{FilterSink, JsonlSink, MultiSink, Record, StderrSink, Telemetry};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +60,50 @@ impl Scale {
     }
 }
 
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Smoke => write!(f, "smoke"),
+            Scale::Paper => write!(f, "paper"),
+        }
+    }
+}
+
+/// The shared diagnostics handle of an experiment binary: progress lines
+/// go to stderr (pretty one-liners), while the full record stream — run
+/// manifest, per-update training diagnostics, per-step backtest records
+/// and span-timing snapshots — lands in `results/<experiment>_run.jsonl`.
+///
+/// Falls back to stderr-only when the JSONL file cannot be created.
+pub fn experiment_telemetry(experiment: &str, scale: Scale, seed: u64) -> Telemetry {
+    let stderr = Arc::new(FilterSink::new(Arc::new(StderrSink), &["progress", "run."]));
+    let path = out_dir().join(format!("{experiment}_run.jsonl"));
+    let tel = match JsonlSink::create(&path) {
+        Ok(jsonl) => Telemetry::new(Arc::new(MultiSink::new(vec![stderr, Arc::new(jsonl)]))),
+        Err(err) => {
+            eprintln!(
+                "warning: cannot write {}: {err}; stderr telemetry only",
+                path.display()
+            );
+            Telemetry::new(stderr)
+        }
+    };
+    tel.emit(
+        Record::new("run.start")
+            .with("experiment", experiment)
+            .with("scale", scale.to_string())
+            .with("seed", seed),
+    );
+    tel
+}
+
+/// Closes out an experiment run: emits a `run.end` marker, dumps every
+/// metric/span-histogram snapshot into the record stream and flushes.
+pub fn finish_run(telemetry: &Telemetry) {
+    telemetry.emit(Record::new("run.end"));
+    telemetry.report();
+}
+
 /// Generates the three market panels at the given scale.
 pub fn panels(scale: Scale) -> Vec<AssetPanel> {
     MarketPreset::ALL
@@ -68,7 +117,10 @@ pub fn panels(scale: Scale) -> Vec<AssetPanel> {
 
 /// The environment configuration used by all experiments.
 pub fn env_config(scale: Scale) -> EnvConfig {
-    EnvConfig { window: window(scale), transaction_cost: 1e-3 }
+    EnvConfig {
+        window: window(scale),
+        transaction_cost: 1e-3,
+    }
 }
 
 /// Look-back window per scale.
@@ -79,9 +131,12 @@ pub fn window(_scale: Scale) -> usize {
 /// Base RL config per scale.
 pub fn rl_config(scale: Scale, seed: u64) -> RlConfig {
     match scale {
-        Scale::Smoke => {
-            RlConfig { total_steps: 300, window: window(scale), seed, ..RlConfig::smoke(seed) }
-        }
+        Scale::Smoke => RlConfig {
+            total_steps: 300,
+            window: window(scale),
+            seed,
+            ..RlConfig::smoke(seed)
+        },
         Scale::Paper => RlConfig {
             total_steps: 2_500,
             window: window(scale),
@@ -97,7 +152,11 @@ pub fn rl_config(scale: Scale, seed: u64) -> RlConfig {
 /// scale).
 pub fn cit_config(scale: Scale, seed: u64) -> CitConfig {
     match scale {
-        Scale::Smoke => CitConfig { window: window(scale), seed, ..CitConfig::smoke(seed) },
+        Scale::Smoke => CitConfig {
+            window: window(scale),
+            seed,
+            ..CitConfig::smoke(seed)
+        },
         Scale::Paper => CitConfig {
             num_policies: 5,
             window: window(scale),
@@ -116,54 +175,88 @@ pub fn cit_config(scale: Scale, seed: u64) -> CitConfig {
 /// OLMAR, CRP, ONS, UP, EG, EIIE, A2C, DDPG, PPO, SARL, DeepTrader, CIT,
 /// Market.
 pub fn run_model(name: &str, panel: &AssetPanel, scale: Scale, seed: u64) -> BacktestResult {
+    run_model_with(name, panel, scale, seed, &Telemetry::disabled())
+}
+
+/// [`run_model`] with diagnostics: the trained CIT model emits per-update
+/// training records, and every backtest emits per-step portfolio records,
+/// into `telemetry`.
+pub fn run_model_with(
+    name: &str,
+    panel: &AssetPanel,
+    scale: Scale,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> BacktestResult {
     let env = env_config(scale);
     let rl = rl_config(scale, seed);
+    let tp = |strategy: &mut dyn cit_market::Strategy| {
+        run_test_period_with(panel, env, strategy, telemetry)
+    };
     match name {
-        "OLMAR" => run_test_period(panel, env, &mut Olmar::default()),
-        "CRP" => run_test_period(panel, env, &mut Crp),
-        "ONS" => run_test_period(panel, env, &mut Ons::default()),
-        "UP" => run_test_period(panel, env, &mut UniversalPortfolio::default()),
-        "EG" => run_test_period(panel, env, &mut Eg::default()),
+        "OLMAR" => tp(&mut Olmar::default()),
+        "CRP" => tp(&mut Crp),
+        "ONS" => tp(&mut Ons::default()),
+        "UP" => tp(&mut UniversalPortfolio::default()),
+        "EG" => tp(&mut Eg::default()),
         "EIIE" => {
             let mut agent = Eiie::new(panel, rl);
             agent.train(panel);
-            run_test_period(panel, env, &mut agent)
+            tp(&mut agent)
         }
         "A2C" => {
             let mut agent = A2c::new(panel, rl);
             agent.train(panel);
-            run_test_period(panel, env, &mut agent)
+            tp(&mut agent)
         }
         "DDPG" => {
-            let mut agent = Ddpg::new(panel, DdpgConfig { base: rl, ..Default::default() });
+            let mut agent = Ddpg::new(
+                panel,
+                DdpgConfig {
+                    base: rl,
+                    ..Default::default()
+                },
+            );
             agent.train(panel);
-            run_test_period(panel, env, &mut agent)
+            tp(&mut agent)
         }
         "PPO" => {
-            let mut agent = Ppo::new(panel, PpoConfig { base: rl, ..Default::default() });
+            let mut agent = Ppo::new(
+                panel,
+                PpoConfig {
+                    base: rl,
+                    ..Default::default()
+                },
+            );
             agent.train(panel);
-            run_test_period(panel, env, &mut agent)
+            tp(&mut agent)
         }
         "SARL" => {
             let mut agent = Sarl::new(panel, rl);
             agent.train(panel);
-            run_test_period(panel, env, &mut agent)
+            tp(&mut agent)
         }
         "DeepTrader" => {
             let mut agent = DeepTrader::new(panel, rl);
             agent.train(panel);
-            run_test_period(panel, env, &mut agent)
+            tp(&mut agent)
         }
         "CIT" => {
-            let mut trader = CrossInsightTrader::new(panel, cit_config(scale, seed));
+            let mut trader = CrossInsightTrader::new(panel, cit_config(scale, seed))
+                .with_telemetry(telemetry.clone());
             trader.train(panel);
-            run_test_period(panel, env, &mut trader)
+            tp(&mut trader)
         }
         "MetaTrader" => {
-            let mut agent =
-                MetaTrader::new(panel, MetaTraderConfig { base: rl, ..Default::default() });
+            let mut agent = MetaTrader::new(
+                panel,
+                MetaTraderConfig {
+                    base: rl,
+                    ..Default::default()
+                },
+            );
             agent.train(panel);
-            run_test_period(panel, env, &mut agent)
+            tp(&mut agent)
         }
         "Market" => market_result(panel, panel.test_start(), panel.num_days()),
         other => panic!("unknown model {other}"),
@@ -178,10 +271,16 @@ pub fn run_model_seeds(
     panel: &AssetPanel,
     scale: Scale,
     seeds: &[u64],
-) -> (Vec<cit_market::Metrics>, cit_market::Metrics, cit_market::Metrics) {
+) -> (
+    Vec<cit_market::Metrics>,
+    cit_market::Metrics,
+    cit_market::Metrics,
+) {
     assert!(!seeds.is_empty(), "need at least one seed");
-    let per_seed: Vec<cit_market::Metrics> =
-        seeds.iter().map(|&s| run_model(name, panel, scale, s).metrics).collect();
+    let per_seed: Vec<cit_market::Metrics> = seeds
+        .iter()
+        .map(|&s| run_model(name, panel, scale, s).metrics)
+        .collect();
     let n = per_seed.len() as f64;
     let mean = cit_market::Metrics {
         ar: per_seed.iter().map(|m| m.ar).sum::<f64>() / n,
@@ -190,7 +289,12 @@ pub fn run_model_seeds(
         cr: per_seed.iter().map(|m| m.cr).sum::<f64>() / n,
     };
     let var = |f: fn(&cit_market::Metrics) -> f64, mu: f64| {
-        (per_seed.iter().map(|m| (f(m) - mu) * (f(m) - mu)).sum::<f64>() / n).sqrt()
+        (per_seed
+            .iter()
+            .map(|m| (f(m) - mu) * (f(m) - mu))
+            .sum::<f64>()
+            / n)
+            .sqrt()
     };
     let std = cit_market::Metrics {
         ar: var(|m| m.ar, mean.ar),

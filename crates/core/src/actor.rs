@@ -68,8 +68,7 @@ impl CitActor {
                 (Body::TcnAttention { tcn, att }, m * cfg.hidden)
             }
             ActorBody::GruAttention => {
-                let gru =
-                    Gru::new(store, rng, &format!("{name}.gru"), NUM_FEATURES, cfg.hidden);
+                let gru = Gru::new(store, rng, &format!("{name}.gru"), NUM_FEATURES, cfg.hidden);
                 let att =
                     SpatialAttention::new(store, rng, &format!("{name}.att"), m, cfg.hidden, 1);
                 (Body::GruAttention { gru, att }, m * cfg.hidden)
@@ -89,17 +88,34 @@ impl CitActor {
                     store,
                     rng,
                     &format!("{name}.mlp"),
-                    &[m * NUM_FEATURES * cfg.window, cfg.head_hidden, cfg.head_hidden],
+                    &[
+                        m * NUM_FEATURES * cfg.window,
+                        cfg.head_hidden,
+                        cfg.head_hidden,
+                    ],
                     Activation::Relu,
                 );
                 (Body::MlpOnly { mlp }, cfg.head_hidden)
             }
         };
-        let head1 =
-            Linear::new(store, rng, &format!("{name}.head1"), body_dim + extra_dim, cfg.head_hidden);
+        let head1 = Linear::new(
+            store,
+            rng,
+            &format!("{name}.head1"),
+            body_dim + extra_dim,
+            cfg.head_hidden,
+        );
         let head2 = Linear::new(store, rng, &format!("{name}.head2"), cfg.head_hidden, m);
         let head = GaussianHead::new(store, name, m, cfg.init_log_std);
-        CitActor { body, head1, head2, head, num_assets: m, window: cfg.window, extra_dim }
+        CitActor {
+            body,
+            head1,
+            head2,
+            head,
+            num_assets: m,
+            window: cfg.window,
+            extra_dim,
+        }
     }
 
     /// Body feature extraction: `[m, d, z]` window → flat feature `Var`.
@@ -172,8 +188,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn window(m: usize, z: usize) -> Tensor {
-        let p = SynthConfig { num_assets: m, num_days: 120, test_start: 90, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: m,
+            num_days: 120,
+            test_start: 90,
+            ..Default::default()
+        }
+        .generate();
         crate::decomposition::raw_window(&p, 80, z)
     }
 
@@ -221,7 +242,11 @@ mod tests {
         let lp = actor.head.log_prob(&mut ctx, mean, &latent);
         let loss = ctx.g.neg(lp);
         let grads = ctx.backward(loss);
-        assert!(grads.len() > 10, "expected gradients on most actor params, got {}", grads.len());
+        assert!(
+            grads.len() > 10,
+            "expected gradients on most actor params, got {}",
+            grads.len()
+        );
         assert!(grads.iter().all(|(_, g)| g.all_finite()));
     }
 

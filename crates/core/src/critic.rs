@@ -52,7 +52,11 @@ impl CentralCritic {
             &[dim, cfg.critic_hidden, cfg.critic_hidden / 2, 1],
             Activation::Relu,
         );
-        CentralCritic { mlp, num_assets, num_policies: cfg.num_policies }
+        CentralCritic {
+            mlp,
+            num_assets,
+            num_policies: cfg.num_policies,
+        }
     }
 
     /// Assembles the critic input `x` from market state, pre-decisions,
@@ -197,8 +201,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (AssetPanel, CitConfig) {
-        let p = SynthConfig { num_assets: 3, num_days: 120, test_start: 90, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 120,
+            test_start: 90,
+            ..Default::default()
+        }
+        .generate();
         (p, CitConfig::smoke(3))
     }
 

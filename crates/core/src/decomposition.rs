@@ -48,7 +48,13 @@ mod tests {
     use cit_market::SynthConfig;
 
     fn panel() -> AssetPanel {
-        SynthConfig { num_assets: 3, num_days: 120, test_start: 90, ..Default::default() }.generate()
+        SynthConfig {
+            num_assets: 3,
+            num_days: 120,
+            test_start: 90,
+            ..Default::default()
+        }
+        .generate()
     }
 
     #[test]
@@ -100,7 +106,9 @@ mod tests {
         let p = panel();
         let scales = horizon_windows(&p, 80, 32, 3);
         let tv = |t: &Tensor, i: usize, f: usize| -> f32 {
-            (1..32).map(|s| (t.at3(i, f, s) - t.at3(i, f, s - 1)).abs()).sum()
+            (1..32)
+                .map(|s| (t.at3(i, f, s) - t.at3(i, f, s - 1)).abs())
+                .sum()
         };
         // Averaged over assets/features the long-horizon band must vary less.
         let mut tv_long = 0.0;
@@ -111,6 +119,9 @@ mod tests {
                 tv_short += tv(&scales[2], i, f);
             }
         }
-        assert!(tv_long < tv_short, "long band rougher than short band: {tv_long} vs {tv_short}");
+        assert!(
+            tv_long < tv_short,
+            "long band rougher than short band: {tv_long} vs {tv_short}"
+        );
     }
 }

@@ -46,15 +46,17 @@ pub fn per_policy_curves(
         let mut portfolios = pre;
         portfolios.push(fused);
         for (j, target) in portfolios.iter().enumerate() {
-            let turnover: f64 =
-                target.iter().zip(&held[j]).map(|(a, b)| (a - b).abs()).sum();
+            let turnover: f64 = target
+                .iter()
+                .zip(&held[j])
+                .map(|(a, b)| (a - b).abs())
+                .sum();
             let growth: f64 = target.iter().zip(&rel).map(|(w, r)| w * r).sum();
             let net = (growth * (1.0 - transaction_cost * turnover)).max(1e-9);
             wealth[j] *= net;
             curves[j].push(wealth[j]);
             daily[j].push(net - 1.0);
-            let mut drifted: Vec<f64> =
-                target.iter().zip(&rel).map(|(w, r)| w * r).collect();
+            let mut drifted: Vec<f64> = target.iter().zip(&rel).map(|(w, r)| w * r).collect();
             let norm: f64 = drifted.iter().sum();
             if norm > 0.0 {
                 drifted.iter_mut().for_each(|w| *w /= norm);
@@ -67,8 +69,11 @@ pub fn per_policy_curves(
         .iter()
         .enumerate()
         .map(|(j, c)| {
-            let label =
-                if j < n { format!("policy {}", j + 1) } else { "fused".to_string() };
+            let label = if j < n {
+                format!("policy {}", j + 1)
+            } else {
+                "fused".to_string()
+            };
             (label, c.clone())
         })
         .collect();
@@ -80,13 +85,19 @@ pub fn per_policy_curves(
         .into_iter()
         .enumerate()
         .map(|(j, d)| {
-            let label =
-                if j < n { format!("policy {}", j + 1) } else { "fused".to_string() };
+            let label = if j < n {
+                format!("policy {}", j + 1)
+            } else {
+                "fused".to_string()
+            };
             (label, d)
         })
         .collect();
 
-    PolicyCurves { wealth: labelled_wealth, daily_returns: labelled_daily }
+    PolicyCurves {
+        wealth: labelled_wealth,
+        daily_returns: labelled_daily,
+    }
 }
 
 #[cfg(test)]
@@ -97,8 +108,13 @@ mod tests {
 
     #[test]
     fn curves_have_expected_shape() {
-        let p = SynthConfig { num_assets: 3, num_days: 200, test_start: 150, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 200,
+            test_start: 150,
+            ..Default::default()
+        }
+        .generate();
         let mut cit = CrossInsightTrader::new(&p, CitConfig::smoke(8));
         let curves = per_policy_curves(&mut cit, &p, 150, 200, 1e-3);
         // 2 policies + fused + index
@@ -115,8 +131,13 @@ mod tests {
 
     #[test]
     fn policies_trade_differently() {
-        let p = SynthConfig { num_assets: 4, num_days: 200, test_start: 150, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 4,
+            num_days: 200,
+            test_start: 150,
+            ..Default::default()
+        }
+        .generate();
         let mut cit = CrossInsightTrader::new(&p, CitConfig::smoke(9));
         let curves = per_policy_curves(&mut cit, &p, 150, 200, 0.0);
         let a = &curves.wealth[0].1;

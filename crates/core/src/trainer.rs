@@ -9,6 +9,7 @@ use crate::decomposition::{horizon_windows, raw_window};
 use cit_market::{AssetPanel, DecisionContext, EnvConfig, PortfolioEnv, Strategy};
 use cit_nn::{Adam, Ctx, ParamStore};
 use cit_rl::{normalize_advantages, returns::lambda_targets, TrainReport};
+use cit_telemetry::{Record, Telemetry};
 use cit_tensor::{softmax_last_tensor, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,6 +47,7 @@ pub struct CrossInsightTrader {
     eval_prev: Vec<Vec<f64>>,
     /// Learning curve of the most recent [`CrossInsightTrader::train`] call.
     pub last_report: Option<TrainReport>,
+    telemetry: Telemetry,
 }
 
 impl CrossInsightTrader {
@@ -78,7 +80,26 @@ impl CrossInsightTrader {
             rng,
             eval_prev,
             last_report: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle: training then emits per-update
+    /// `train.update` / `train.advantage` records and span timings for
+    /// every phase; decisions time the DWT and actor forwards.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry handle in place.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle in force (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration in force.
@@ -102,9 +123,13 @@ impl CrossInsightTrader {
         stochastic: bool,
     ) -> Decision {
         let (n, z) = (self.cfg.num_policies, self.cfg.window);
-        let windows = horizon_windows(panel, t, z, n);
+        let windows = {
+            let _timer = self.telemetry.span("dwt.horizon_windows");
+            horizon_windows(panel, t, z, n)
+        };
         let raw = raw_window(panel, t, z);
 
+        let _forward_timer = self.telemetry.span("actor.forward");
         let mut pre_latents = Vec::with_capacity(n);
         let mut pre_means = Vec::with_capacity(n);
         let mut pre_actions = Vec::with_capacity(n);
@@ -114,7 +139,10 @@ impl CrossInsightTrader {
             extra.extend(prev_actions[k].iter().map(|&v| v as f32));
             let mean = self.horizon_actors[k].mean_numeric(&self.store, &windows[k], &extra);
             let latent = if stochastic {
-                self.horizon_actors[k].head.sample(&self.store, &mean, &mut self.rng).latent
+                self.horizon_actors[k]
+                    .head
+                    .sample(&self.store, &mean, &mut self.rng)
+                    .latent
             } else {
                 mean.clone()
             };
@@ -125,11 +153,18 @@ impl CrossInsightTrader {
             extras.push(extra);
         }
 
-        let cross_extra: Vec<f32> =
-            pre_actions.iter().flat_map(|a| a.iter().map(|&v| v as f32)).collect();
-        let cross_mean = self.cross_actor.mean_numeric(&self.store, &raw, &cross_extra);
+        let cross_extra: Vec<f32> = pre_actions
+            .iter()
+            .flat_map(|a| a.iter().map(|&v| v as f32))
+            .collect();
+        let cross_mean = self
+            .cross_actor
+            .mean_numeric(&self.store, &raw, &cross_extra);
         let cross_latent = if stochastic {
-            self.cross_actor.head.sample(&self.store, &cross_mean, &mut self.rng).latent
+            self.cross_actor
+                .head
+                .sample(&self.store, &cross_mean, &mut self.rng)
+                .latent
         } else {
             cross_mean
         };
@@ -194,7 +229,10 @@ impl CrossInsightTrader {
     pub fn train(&mut self, panel: &AssetPanel) -> TrainReport {
         let cfg = self.cfg;
         let (m, n) = (self.num_assets, cfg.num_policies);
-        let env_cfg = EnvConfig { window: cfg.window, transaction_cost: cfg.transaction_cost };
+        let env_cfg = EnvConfig {
+            window: cfg.window,
+            transaction_cost: cfg.transaction_cost,
+        };
         let start = cfg.min_start();
         let end = panel.test_start();
         assert!(start + 2 < end, "training period too short");
@@ -204,9 +242,15 @@ impl CrossInsightTrader {
         let mut prev_actions = vec![uniform.clone(); n];
         let mut steps = 0usize;
         let mut update_rewards = Vec::new();
+        let tel = self.telemetry.clone();
+        let step_counter = tel.counter("train.env_steps");
+        let update_counter = tel.counter("train.updates");
+        let mut update_idx = 0usize;
 
         while steps < cfg.total_steps {
+            let _update_timer = tel.span("train.update");
             // ---- Rollout ----
+            let rollout_timer = tel.span("train.rollout");
             let mut days = Vec::with_capacity(cfg.rollout);
             let mut decisions: Vec<Decision> = Vec::with_capacity(cfg.rollout);
             let mut rewards = Vec::with_capacity(cfg.rollout);
@@ -219,20 +263,22 @@ impl CrossInsightTrader {
                 decisions.push(d);
                 rewards.push(res.reward);
                 steps += 1;
+                step_counter.inc();
                 if res.done {
                     env.reset();
                     prev_actions = vec![uniform.clone(); n];
                     break;
                 }
             }
+            drop(rollout_timer);
             if decisions.is_empty() {
                 continue;
             }
             let len = decisions.len();
 
             // ---- Q estimates and λ-targets ----
-            let markets: Vec<Vec<f32>> =
-                days.iter().map(|&t| market_state(panel, t)).collect();
+            let target_timer = tel.span("train.targets");
+            let markets: Vec<Vec<f32>> = days.iter().map(|&t| market_state(panel, t)).collect();
             // qs[t][j]: value for optimisation target j at step t.
             let qs: Vec<Vec<f64>> = decisions
                 .iter()
@@ -256,10 +302,14 @@ impl CrossInsightTrader {
                 let series: Vec<f64> = qs.iter().map(|q| q[j]).collect();
                 let mut values = series;
                 values.push(boot_q[j]);
-                targets.push(lambda_targets(&rewards, &values, cfg.gamma, cfg.lambda, cfg.nstep));
+                targets.push(lambda_targets(
+                    &rewards, &values, cfg.gamma, cfg.lambda, cfg.nstep,
+                ));
             }
+            drop(target_timer);
 
             // ---- Advantages ----
+            let advantage_timer = tel.span("train.advantages");
             // Cross-insight policy: Q-weighted gradient (Eq. 3) with a
             // constant baseline (batch centring) for variance reduction.
             let mut adv_cross: Vec<f64> = (0..len).map(|t| qs[t][n]).collect();
@@ -276,27 +326,48 @@ impl CrossInsightTrader {
                     }
                     advs
                 }
-                CriticMode::SharedQ => {
-                    (0..n).map(|k| (0..len).map(|t| qs[t][k]).collect()).collect()
-                }
-                CriticMode::Decentralized => {
-                    (0..n).map(|k| (0..len).map(|t| qs[t][k]).collect()).collect()
-                }
+                CriticMode::SharedQ => (0..n)
+                    .map(|k| (0..len).map(|t| qs[t][k]).collect())
+                    .collect(),
+                CriticMode::Decentralized => (0..n)
+                    .map(|k| (0..len).map(|t| qs[t][k]).collect())
+                    .collect(),
             };
+            // Raw counterfactual advantages Â^k (Eq. 8) before batch
+            // normalisation — these are the per-horizon credit-assignment
+            // signals the paper's counterfactual mechanism produces.
+            if tel.is_enabled() {
+                for (k, adv) in adv_horizon.iter().enumerate() {
+                    let (mean, std) = mean_std(adv);
+                    tel.emit(
+                        Record::new("train.advantage")
+                            .with("update", update_idx)
+                            .with("horizon", k)
+                            .with("mean", mean)
+                            .with("std", std),
+                    );
+                }
+            }
             for adv in adv_horizon.iter_mut() {
                 normalize_advantages(adv);
             }
+            drop(advantage_timer);
 
             // ---- Joint loss ----
-            let mut ctx = Ctx::new(&self.store);
+            let graph_timer = tel.span("train.graph_build");
+            let mut ctx = Ctx::with_telemetry(&self.store, tel.clone());
             let linv = 1.0 / len as f32;
-            let mut total: Option<cit_tensor::Var> = None;
-            let add_term = |ctx: &mut Ctx<'_>, v: cit_tensor::Var, acc: &mut Option<cit_tensor::Var>| {
-                *acc = Some(match *acc {
-                    Some(a) => ctx.g.add(a, v),
-                    None => v,
-                });
-            };
+            // Actor and critic contributions are accumulated separately so
+            // their numeric values can be reported before being joined.
+            let mut actor_total: Option<cit_tensor::Var> = None;
+            let mut critic_total: Option<cit_tensor::Var> = None;
+            let add_term =
+                |ctx: &mut Ctx<'_>, v: cit_tensor::Var, acc: &mut Option<cit_tensor::Var>| {
+                    *acc = Some(match *acc {
+                        Some(a) => ctx.g.add(a, v),
+                        None => v,
+                    });
+                };
 
             for t in 0..len {
                 let d = &decisions[t];
@@ -308,17 +379,23 @@ impl CrossInsightTrader {
                 for k in 0..n {
                     let mean = self.horizon_actors[k].mean(&mut ctx, &windows[k], &d.extras[k]);
                     let logp =
-                        self.horizon_actors[k].head.log_prob(&mut ctx, mean, &d.pre_latents[k]);
+                        self.horizon_actors[k]
+                            .head
+                            .log_prob(&mut ctx, mean, &d.pre_latents[k]);
                     let term = ctx.g.scale(logp, -(adv_horizon[k][t] as f32) * linv);
-                    add_term(&mut ctx, term, &mut total);
+                    add_term(&mut ctx, term, &mut actor_total);
                 }
                 // Cross-insight actor (Eq. 3).
                 let mean = self.cross_actor.mean(&mut ctx, &raw, &d.cross_extra);
-                let logp = self.cross_actor.head.log_prob(&mut ctx, mean, &d.cross_latent);
+                let logp = self
+                    .cross_actor
+                    .head
+                    .log_prob(&mut ctx, mean, &d.cross_latent);
                 let term = ctx.g.scale(logp, -(adv_cross[t] as f32) * linv);
-                add_term(&mut ctx, term, &mut total);
+                add_term(&mut ctx, term, &mut actor_total);
 
                 // Critic regression (Eq. 6).
+                let _critic_timer = tel.span("critic.update");
                 match &self.critic {
                     CriticNet::Central(c) => {
                         let x = c.input_vector(&markets[t], &d.pre_actions, &d.final_action);
@@ -328,18 +405,18 @@ impl CrossInsightTrader {
                         let sq = ctx.g.mul(diff, diff);
                         let scaled = ctx.g.scale(sq, 0.5 * linv);
                         let s = ctx.g.sum_all(scaled);
-                        add_term(&mut ctx, s, &mut total);
+                        add_term(&mut ctx, s, &mut critic_total);
                     }
                     CriticNet::Dec(dc) => {
-                        for k in 0..n {
+                        for (k, target_k) in targets.iter().take(n).enumerate() {
                             let x = dc.input_vector(&markets[t], &d.pre_actions[k]);
                             let q = dc.q(&mut ctx, k, &x);
-                            let y = ctx.input(Tensor::vector(&[targets[k][t] as f32]));
+                            let y = ctx.input(Tensor::vector(&[target_k[t] as f32]));
                             let diff = ctx.g.sub(q, y);
                             let sq = ctx.g.mul(diff, diff);
                             let scaled = ctx.g.scale(sq, 0.5 * linv);
                             let s = ctx.g.sum_all(scaled);
-                            add_term(&mut ctx, s, &mut total);
+                            add_term(&mut ctx, s, &mut critic_total);
                         }
                         let x = dc.input_vector(&markets[t], &d.final_action);
                         let q = dc.q(&mut ctx, n, &x);
@@ -348,22 +425,89 @@ impl CrossInsightTrader {
                         let sq = ctx.g.mul(diff, diff);
                         let scaled = ctx.g.scale(sq, 0.5 * linv);
                         let s = ctx.g.sum_all(scaled);
-                        add_term(&mut ctx, s, &mut total);
+                        add_term(&mut ctx, s, &mut critic_total);
                     }
                 }
             }
 
-            let loss = total.expect("non-empty rollout");
+            let actor_var = actor_total.expect("non-empty rollout");
+            let critic_var = critic_total.expect("critic regression term present");
+            let loss = ctx.g.add(actor_var, critic_var);
+            drop(graph_timer);
+
             let grads = ctx.backward(loss);
+            // Forward values are cached in the graph; read the per-part
+            // losses before releasing the store borrow.
+            let (actor_loss, critic_loss) = if tel.is_enabled() {
+                (
+                    ctx.g.value(actor_var).data()[0] as f64,
+                    ctx.g.value(critic_var).data()[0] as f64,
+                )
+            } else {
+                (0.0, 0.0)
+            };
+
+            let opt_timer = tel.span("train.opt_step");
             self.store.apply_grads(grads);
             self.apply_entropy_bonus();
-            self.store.clip_grad_norm(cfg.grad_clip);
+            let grad_norm = self.store.clip_grad_norm(cfg.grad_clip);
             opt.step(&mut self.store);
-            update_rewards.push(rewards.iter().sum::<f64>() / rewards.len() as f64);
+            drop(opt_timer);
+
+            let mean_reward = rewards.iter().sum::<f64>() / rewards.len() as f64;
+            update_rewards.push(mean_reward);
+            update_counter.inc();
+            if tel.is_enabled() {
+                let (log_std_mean, entropy_mean) = self.gaussian_stats();
+                let (target_mean, target_std) = mean_std(&targets[n]);
+                tel.emit(
+                    Record::new("train.update")
+                        .with("update", update_idx)
+                        .with("steps", steps)
+                        .with("mean_reward", mean_reward)
+                        .with("actor_loss", actor_loss)
+                        .with("critic_loss", critic_loss)
+                        .with("grad_norm", grad_norm as f64)
+                        .with("td_target_mean", target_mean)
+                        .with("td_target_std", target_std)
+                        .with("log_std_mean", log_std_mean)
+                        .with("entropy", entropy_mean),
+                );
+            }
+            update_idx += 1;
         }
-        let report = TrainReport { update_rewards, steps };
+        tel.gauge("train.final_mean_reward")
+            .set(update_rewards.last().copied().unwrap_or(0.0));
+        let report = TrainReport {
+            update_rewards,
+            steps,
+        };
         self.last_report = Some(report.clone());
         report
+    }
+
+    /// Mean `log σ` across every Gaussian head, and the mean closed-form
+    /// policy entropy `Σ log σ_i + d/2·(1 + ln 2π)` per head.
+    fn gaussian_stats(&self) -> (f64, f64) {
+        let mut log_std_sum = 0.0f64;
+        let mut log_std_count = 0usize;
+        let mut entropies = Vec::new();
+        for pid in self.store.ids() {
+            if !self.store.name(pid).ends_with(".log_std") {
+                continue;
+            }
+            let vals = self.store.value(pid).data();
+            let sum: f64 = vals.iter().map(|&v| v as f64).sum();
+            let d = vals.len() as f64;
+            log_std_sum += sum;
+            log_std_count += vals.len();
+            entropies.push(sum + 0.5 * d * (1.0 + (2.0 * std::f64::consts::PI).ln()));
+        }
+        if log_std_count == 0 {
+            return (0.0, 0.0);
+        }
+        let entropy_mean = entropies.iter().sum::<f64>() / entropies.len() as f64;
+        (log_std_sum / log_std_count as f64, entropy_mean)
     }
 
     fn apply_entropy_bonus(&mut self) {
@@ -394,14 +538,20 @@ impl CrossInsightTrader {
     }
 
     /// Saves all trained parameters to `path` (see [`cit_nn::serialize`]).
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), cit_nn::serialize::CheckpointError> {
+    pub fn save(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), cit_nn::serialize::CheckpointError> {
         cit_nn::serialize::save(&self.store, path)
     }
 
     /// Restores parameters from a checkpoint written by
     /// [`CrossInsightTrader::save`]. The trader must be constructed with
     /// the same configuration and panel shape first.
-    pub fn load(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), cit_nn::serialize::CheckpointError> {
+    pub fn load(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), cit_nn::serialize::CheckpointError> {
         cit_nn::serialize::load(&mut self.store, path)
     }
 
@@ -412,11 +562,25 @@ impl CrossInsightTrader {
     }
 }
 
+/// Mean and population standard deviation of a sample.
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
 /// `softmax(τ·u)` — the latent-to-portfolio map shared by sampling,
 /// deterministic evaluation and the counterfactual default action.
 fn temperature_action(latent: &Tensor, temperature: f32) -> Vec<f64> {
     let scaled = latent.scale(temperature);
-    softmax_last_tensor(&scaled).data().iter().map(|&v| v as f64).collect()
+    softmax_last_tensor(&scaled)
+        .data()
+        .iter()
+        .map(|&v| v as f64)
+        .collect()
 }
 
 impl Strategy for CrossInsightTrader {
@@ -442,7 +606,13 @@ mod tests {
     use cit_market::SynthConfig;
 
     fn panel() -> AssetPanel {
-        SynthConfig { num_assets: 3, num_days: 220, test_start: 160, ..Default::default() }.generate()
+        SynthConfig {
+            num_assets: 3,
+            num_days: 220,
+            test_start: 160,
+            ..Default::default()
+        }
+        .generate()
     }
 
     #[test]
@@ -517,7 +687,10 @@ mod tests {
         cit.train(&p);
         let res = cit_market::run_test_period(
             &p,
-            EnvConfig { window: 16, transaction_cost: 1e-3 },
+            EnvConfig {
+                window: 16,
+                transaction_cost: 1e-3,
+            },
             &mut cit,
         );
         assert_eq!(res.wealth.len(), p.num_days() - p.test_start());
@@ -535,6 +708,70 @@ mod tests {
         assert!(max(&hot) > max(&cold), "hot {hot:?} vs cold {cold:?}");
         assert!((hot.iter().sum::<f64>() - 1.0).abs() < 1e-6);
         assert!((cold.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn telemetry_reports_losses_and_per_horizon_advantages() {
+        let p = panel();
+        let (tel, sink) = cit_telemetry::Telemetry::memory();
+        let mut cit = CrossInsightTrader::new(&p, CitConfig::smoke(8)).with_telemetry(tel.clone());
+        let rep = cit.train(&p);
+        assert!(rep.steps >= 200);
+
+        let updates = sink.by_kind("train.update");
+        assert_eq!(updates.len(), rep.update_rewards.len());
+        for u in &updates {
+            for key in [
+                "actor_loss",
+                "critic_loss",
+                "grad_norm",
+                "td_target_mean",
+                "entropy",
+            ] {
+                let v = u.get_f64(key).unwrap_or_else(|| panic!("missing {key}"));
+                assert!(v.is_finite(), "{key} not finite");
+            }
+            assert!(u.get_f64("grad_norm").unwrap() >= 0.0);
+        }
+
+        // One counterfactual-advantage record per horizon per update.
+        let n = cit.config().num_policies;
+        let advs = sink.by_kind("train.advantage");
+        assert_eq!(advs.len(), updates.len() * n);
+        for k in 0..n {
+            assert!(
+                advs.iter().any(|r| r.get_f64("horizon") == Some(k as f64)),
+                "no advantage record for horizon {k}"
+            );
+        }
+
+        // Hot-path spans fired.
+        for span in [
+            "train.update",
+            "nn.backward",
+            "dwt.horizon_windows",
+            "actor.forward",
+            "critic.update",
+        ] {
+            assert!(
+                tel.span_histogram(span).count() > 0,
+                "span {span} never recorded"
+            );
+        }
+        assert_eq!(tel.counter("train.updates").get() as usize, updates.len());
+    }
+
+    #[test]
+    fn disabled_telemetry_changes_nothing() {
+        // Training with and without telemetry must produce bit-identical
+        // learning curves (instrumentation must not touch the RNG or math).
+        let p = panel();
+        let mut plain = CrossInsightTrader::new(&p, CitConfig::smoke(9));
+        let (tel, _sink) = cit_telemetry::Telemetry::memory();
+        let mut instrumented = CrossInsightTrader::new(&p, CitConfig::smoke(9)).with_telemetry(tel);
+        let a = plain.train(&p);
+        let b = instrumented.train(&p);
+        assert_eq!(a.update_rewards, b.update_rewards);
     }
 
     #[test]

@@ -36,8 +36,15 @@ pub fn haar_step(x: &[f64]) -> (Vec<f64>, Vec<f64>) {
 /// Panics if the coefficient vectors differ in length or `out_len` exceeds
 /// twice their length.
 pub fn haar_inverse_step(a: &[f64], d: &[f64], out_len: usize) -> Vec<f64> {
-    assert_eq!(a.len(), d.len(), "haar_inverse_step: coefficient length mismatch");
-    assert!(out_len <= 2 * a.len(), "haar_inverse_step: out_len too large");
+    assert_eq!(
+        a.len(),
+        d.len(),
+        "haar_inverse_step: coefficient length mismatch"
+    );
+    assert!(
+        out_len <= 2 * a.len(),
+        "haar_inverse_step: out_len too large"
+    );
     let mut x = Vec::with_capacity(2 * a.len());
     for i in 0..a.len() {
         x.push((a[i] + d[i]) / SQRT2);
@@ -100,13 +107,20 @@ pub fn decompose(x: &[f64], levels: usize) -> WaveletPyramid {
     let mut lengths = Vec::with_capacity(levels);
     let mut current = x.to_vec();
     for _ in 0..levels {
-        assert!(current.len() >= 2, "decompose: signal too short for {levels} levels");
+        assert!(
+            current.len() >= 2,
+            "decompose: signal too short for {levels} levels"
+        );
         lengths.push(current.len());
         let (a, d) = haar_step(&current);
         details.push(d);
         current = a;
     }
-    WaveletPyramid { details, approx: current, lengths }
+    WaveletPyramid {
+        details,
+        approx: current,
+        lengths,
+    }
 }
 
 /// Multi-level synthesis: exact inverse of [`decompose`].
@@ -154,7 +168,9 @@ mod tests {
 
     #[test]
     fn multilevel_roundtrip() {
-        let x: Vec<f64> = (0..37).map(|i| (i as f64 * 0.7).sin() + 0.1 * i as f64).collect();
+        let x: Vec<f64> = (0..37)
+            .map(|i| (i as f64 * 0.7).sin() + 0.1 * i as f64)
+            .collect();
         for levels in 1..=4 {
             let p = decompose(&x, levels);
             let back = reconstruct(&p);
@@ -167,7 +183,10 @@ mod tests {
         let x = vec![5.0; 16];
         let p = decompose(&x, 3);
         for d in &p.details {
-            assert!(d.iter().all(|v| v.abs() < 1e-12), "constant signal leaked detail energy");
+            assert!(
+                d.iter().all(|v| v.abs() < 1e-12),
+                "constant signal leaked detail energy"
+            );
         }
     }
 
@@ -177,7 +196,11 @@ mod tests {
         let x: Vec<f64> = (0..32).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
         let p = decompose(&x, 4);
         let coeff_energy: f64 = p.approx.iter().map(|v| v * v).sum::<f64>()
-            + p.details.iter().flat_map(|d| d.iter()).map(|v| v * v).sum::<f64>();
+            + p.details
+                .iter()
+                .flat_map(|d| d.iter())
+                .map(|v| v * v)
+                .sum::<f64>();
         let sig_energy: f64 = x.iter().map(|v| v * v).sum();
         assert!((coeff_energy - sig_energy).abs() < 1e-9);
     }
@@ -187,7 +210,10 @@ mod tests {
         let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
         let p = decompose(&x, 2);
         let only_approx = p.masked(true, &[]);
-        assert!(only_approx.details.iter().all(|d| d.iter().all(|v| *v == 0.0)));
+        assert!(only_approx
+            .details
+            .iter()
+            .all(|d| d.iter().all(|v| *v == 0.0)));
         let only_fine = p.masked(false, &[0]);
         assert!(only_fine.approx.iter().all(|v| *v == 0.0));
         assert_eq!(only_fine.details[0], p.details[0]);

@@ -114,7 +114,10 @@ mod tests {
             .collect();
         let smoothed = wavelet_smooth(&x, 3, 1);
         let tv = |s: &[f64]| s.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>();
-        assert!(tv(&smoothed) < tv(&x), "smoothing should lower total variation");
+        assert!(
+            tv(&smoothed) < tv(&x),
+            "smoothing should lower total variation"
+        );
         assert_eq!(smoothed.len(), x.len());
     }
 

@@ -17,6 +17,7 @@
 
 mod haar;
 mod horizon;
+pub mod timed;
 
 pub use haar::{decompose, haar_inverse_step, haar_step, reconstruct, WaveletPyramid};
 pub use horizon::{horizon_scales, wavelet_smooth};

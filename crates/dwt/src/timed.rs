@@ -1,0 +1,63 @@
+//! Span-timed wrappers around the transform entry points.
+//!
+//! Each function behaves exactly like its plain counterpart but records
+//! the elapsed wall time into the caller's [`Telemetry`] span histograms
+//! (`span.dwt.*`). With disabled telemetry the wrappers are free — the
+//! inert span never reads the clock.
+
+use crate::haar::WaveletPyramid;
+use cit_telemetry::Telemetry;
+
+/// Timed [`crate::decompose`] (histogram `span.dwt.decompose`).
+pub fn decompose(tel: &Telemetry, x: &[f64], levels: usize) -> WaveletPyramid {
+    let _timer = tel.span("dwt.decompose");
+    crate::decompose(x, levels)
+}
+
+/// Timed [`crate::reconstruct`] (histogram `span.dwt.reconstruct`).
+pub fn reconstruct(tel: &Telemetry, p: &WaveletPyramid) -> Vec<f64> {
+    let _timer = tel.span("dwt.reconstruct");
+    crate::reconstruct(p)
+}
+
+/// Timed [`crate::horizon_scales`] (histogram `span.dwt.horizon_scales`).
+pub fn horizon_scales(tel: &Telemetry, x: &[f64], n: usize) -> Vec<Vec<f64>> {
+    let _timer = tel.span("dwt.horizon_scales");
+    crate::horizon_scales(x, n)
+}
+
+/// Timed [`crate::wavelet_smooth`] (histogram `span.dwt.wavelet_smooth`).
+pub fn wavelet_smooth(tel: &Telemetry, x: &[f64], levels: usize, drop: usize) -> Vec<f64> {
+    let _timer = tel.span("dwt.wavelet_smooth");
+    crate::wavelet_smooth(x, levels, drop)
+}
+
+#[cfg(test)]
+mod tests {
+    use cit_telemetry::Telemetry;
+
+    #[test]
+    fn timed_matches_plain_and_records() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let (tel, _sink) = Telemetry::memory();
+        let timed = super::horizon_scales(&tel, &x, 3);
+        assert_eq!(timed, crate::horizon_scales(&x, 3));
+        assert_eq!(tel.span_histogram("dwt.horizon_scales").count(), 1);
+
+        let p = super::decompose(&tel, &x, 2);
+        let back = super::reconstruct(&tel, &p);
+        assert_eq!(back.len(), x.len());
+        assert_eq!(tel.span_histogram("dwt.decompose").count(), 1);
+        assert_eq!(tel.span_histogram("dwt.reconstruct").count(), 1);
+
+        let s = super::wavelet_smooth(&tel, &x, 3, 1);
+        assert_eq!(s.len(), x.len());
+
+        // Disabled telemetry: results identical, nothing recorded.
+        let off = Telemetry::disabled();
+        assert_eq!(
+            super::horizon_scales(&off, &x, 3),
+            crate::horizon_scales(&x, 3)
+        );
+    }
+}

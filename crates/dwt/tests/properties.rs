@@ -1,66 +1,97 @@
-//! Property-based invariants of the wavelet transform.
+//! Property-style invariants of the wavelet transform, exercised over
+//! seeded pseudo-random inputs (deterministic loops instead of proptest,
+//! which is unavailable in the offline build environment).
 
 use cit_dwt::{decompose, horizon_scales, reconstruct, wavelet_smooth};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_signal() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-100.0f64..100.0, 8..128)
+fn signal(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.random_range(-100.0..100.0)).collect()
 }
 
-proptest! {
-    #[test]
-    fn perfect_reconstruction(x in arb_signal(), levels in 1usize..4) {
+#[test]
+fn perfect_reconstruction() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for case in 0..32 {
+        let len = rng.random_range(8usize..128);
+        let levels = rng.random_range(1usize..4);
+        let x = signal(&mut rng, len);
         let p = decompose(&x, levels);
         let back = reconstruct(&p);
-        prop_assert_eq!(back.len(), x.len());
+        assert_eq!(back.len(), x.len(), "case {case}");
         for (a, b) in back.iter().zip(&x) {
-            prop_assert!((a - b).abs() < 1e-8, "{} vs {}", a, b);
+            assert!((a - b).abs() < 1e-8, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn horizon_bands_partition_signal(x in arb_signal(), n in 1usize..5) {
+#[test]
+fn horizon_bands_partition_signal() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for case in 0..32 {
+        let len = rng.random_range(8usize..128);
+        let n = rng.random_range(1usize..5);
+        let x = signal(&mut rng, len);
         let scales = horizon_scales(&x, n);
-        prop_assert_eq!(scales.len(), n);
+        assert_eq!(scales.len(), n, "case {case}");
         for s in &scales {
-            prop_assert_eq!(s.len(), x.len());
+            assert_eq!(s.len(), x.len(), "case {case}");
         }
         for t in 0..x.len() {
             let sum: f64 = scales.iter().map(|s| s[t]).sum();
-            prop_assert!((sum - x[t]).abs() < 1e-8);
+            assert!((sum - x[t]).abs() < 1e-8, "case {case} t={t}");
         }
     }
+}
 
-    #[test]
-    fn smoothing_never_changes_length(x in arb_signal(), drop in 0usize..3) {
+#[test]
+fn smoothing_never_changes_length() {
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..24 {
+        let len = rng.random_range(8usize..128);
+        let drop = rng.random_range(0usize..3);
+        let x = signal(&mut rng, len);
         let s = wavelet_smooth(&x, 3, drop);
-        prop_assert_eq!(s.len(), x.len());
+        assert_eq!(s.len(), x.len());
     }
+}
 
-    #[test]
-    fn decomposition_is_linear(x in proptest::collection::vec(-50.0f64..50.0, 16..64), c in -3.0f64..3.0) {
-        // decompose(c·x) == c·decompose(x)
+#[test]
+fn decomposition_is_linear() {
+    // decompose(c·x) == c·decompose(x)
+    let mut rng = StdRng::seed_from_u64(14);
+    for case in 0..24 {
+        let len = rng.random_range(16usize..64);
+        let c: f64 = rng.random_range(-3.0..3.0);
+        let x: Vec<f64> = (0..len).map(|_| rng.random_range(-50.0..50.0)).collect();
         let scaled: Vec<f64> = x.iter().map(|v| c * v).collect();
         let pa = decompose(&x, 2);
         let pb = decompose(&scaled, 2);
         for (da, db) in pa.details.iter().zip(&pb.details) {
             for (a, b) in da.iter().zip(db) {
-                prop_assert!((c * a - b).abs() < 1e-7);
+                assert!((c * a - b).abs() < 1e-7, "case {case}");
             }
         }
         for (a, b) in pa.approx.iter().zip(&pb.approx) {
-            prop_assert!((c * a - b).abs() < 1e-7);
+            assert!((c * a - b).abs() < 1e-7, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn approx_band_preserves_mean_for_pow2(exp in 3u32..7, offset in -10.0f64..10.0) {
-        // For power-of-two lengths the approximation band has exactly the
-        // same mean as the input (Haar averages pairs).
-        let n = 1usize << exp;
-        let x: Vec<f64> = (0..n).map(|i| offset + (i as f64 * 0.37).sin()).collect();
-        let scales = horizon_scales(&x, 3);
-        let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
-        prop_assert!((mean(&scales[0]) - mean(&x)).abs() < 1e-8);
+#[test]
+fn approx_band_preserves_mean_for_pow2() {
+    // For power-of-two lengths the approximation band has exactly the
+    // same mean as the input (Haar averages pairs).
+    let mut rng = StdRng::seed_from_u64(15);
+    for exp in 3u32..7 {
+        for _ in 0..4 {
+            let offset = rng.random_range(-10.0..10.0);
+            let n = 1usize << exp;
+            let x: Vec<f64> = (0..n).map(|i| offset + (i as f64 * 0.37).sin()).collect();
+            let scales = horizon_scales(&x, 3);
+            let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+            assert!((mean(&scales[0]) - mean(&x)).abs() < 1e-8);
+        }
     }
 }

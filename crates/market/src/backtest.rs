@@ -1,8 +1,9 @@
 //! Backtesting harness shared by every strategy in the workspace.
 
-use crate::env::{project_to_simplex, EnvConfig};
+use crate::env::{project_to_simplex, weight_concentration, EnvConfig};
 use crate::metrics::{compute, Metrics};
 use crate::panel::AssetPanel;
+use cit_telemetry::{Record, Telemetry};
 
 /// Everything a strategy may look at when deciding the portfolio for the
 /// *next* day: history up to and including day `t`, never beyond.
@@ -57,19 +58,47 @@ pub fn run_backtest(
     end: usize,
     strategy: &mut dyn Strategy,
 ) -> BacktestResult {
-    assert!(start + 1 < end && end <= panel.num_days(), "invalid backtest span");
+    run_backtest_with(panel, cfg, start, end, strategy, &Telemetry::disabled())
+}
+
+/// [`run_backtest`] with diagnostics: emits one `backtest.step` record per
+/// day (reward, turnover, weight concentration, drawdown) plus a final
+/// `backtest.result` summary, and times each strategy decision under the
+/// `backtest.decide` span histogram.
+pub fn run_backtest_with(
+    panel: &AssetPanel,
+    cfg: EnvConfig,
+    start: usize,
+    end: usize,
+    strategy: &mut dyn Strategy,
+    telemetry: &Telemetry,
+) -> BacktestResult {
+    assert!(
+        start + 1 < end && end <= panel.num_days(),
+        "invalid backtest span"
+    );
     let m = panel.num_assets();
     strategy.reset(m);
 
     let mut wealth = 1.0f64;
+    let mut peak = 1.0f64;
     let mut curve = vec![1.0f64];
     let mut daily = Vec::with_capacity(end - start - 1);
     let mut weights_hist = Vec::with_capacity(end - start - 1);
     let mut held = vec![1.0 / m as f64; m];
 
     for t in start..end - 1 {
-        let ctx = DecisionContext { panel, t, prev_weights: &held, window: cfg.window };
-        let target = project_to_simplex(&strategy.decide(&ctx));
+        let ctx = DecisionContext {
+            panel,
+            t,
+            prev_weights: &held,
+            window: cfg.window,
+        };
+        let decided = {
+            let _timer = telemetry.span("backtest.decide");
+            strategy.decide(&ctx)
+        };
+        let target = project_to_simplex(&decided);
         let turnover: f64 = target.iter().zip(&held).map(|(a, b)| (a - b).abs()).sum();
         let cost_factor = 1.0 - cfg.transaction_cost * turnover;
         let rel = panel.price_relatives(t + 1);
@@ -78,6 +107,18 @@ pub fn run_backtest(
         wealth *= net;
         curve.push(wealth);
         daily.push(net - 1.0);
+        if telemetry.is_enabled() {
+            peak = peak.max(wealth);
+            telemetry.emit(
+                Record::new("backtest.step")
+                    .with("t", t)
+                    .with("reward", net.ln())
+                    .with("turnover", turnover)
+                    .with("wealth", wealth)
+                    .with("concentration", weight_concentration(&target))
+                    .with("drawdown", 1.0 - wealth / peak),
+            );
+        }
         // Drift.
         let mut drifted: Vec<f64> = target.iter().zip(&rel).map(|(w, r)| w * r).collect();
         let norm: f64 = drifted.iter().sum();
@@ -89,7 +130,24 @@ pub fn run_backtest(
     }
 
     let metrics = compute(&curve, &daily);
-    BacktestResult { name: strategy.name(), wealth: curve, daily_returns: daily, weights: weights_hist, metrics }
+    if telemetry.is_enabled() {
+        telemetry.emit(
+            Record::new("backtest.result")
+                .with("strategy", strategy.name())
+                .with("final_wealth", wealth)
+                .with("ar", metrics.ar)
+                .with("sr", metrics.sr)
+                .with("cr", metrics.cr)
+                .with("mdd", metrics.mdd),
+        );
+    }
+    BacktestResult {
+        name: strategy.name(),
+        wealth: curve,
+        daily_returns: daily,
+        weights: weights_hist,
+        metrics,
+    }
 }
 
 /// Runs a backtest over the panel's test period.
@@ -99,6 +157,24 @@ pub fn run_test_period(
     strategy: &mut dyn Strategy,
 ) -> BacktestResult {
     run_backtest(panel, cfg, panel.test_start(), panel.num_days(), strategy)
+}
+
+/// [`run_test_period`] with per-step diagnostics (see
+/// [`run_backtest_with`]).
+pub fn run_test_period_with(
+    panel: &AssetPanel,
+    cfg: EnvConfig,
+    strategy: &mut dyn Strategy,
+    telemetry: &Telemetry,
+) -> BacktestResult {
+    run_backtest_with(
+        panel,
+        cfg,
+        panel.test_start(),
+        panel.num_days(),
+        strategy,
+        telemetry,
+    )
 }
 
 /// The uniform buy-and-rebalance benchmark ("Market" uses the index; this
@@ -145,13 +221,22 @@ mod tests {
     use crate::synth::SynthConfig;
 
     fn panel() -> AssetPanel {
-        SynthConfig { num_assets: 5, num_days: 200, test_start: 150, ..Default::default() }.generate()
+        SynthConfig {
+            num_assets: 5,
+            num_days: 200,
+            test_start: 150,
+            ..Default::default()
+        }
+        .generate()
     }
 
     #[test]
     fn uniform_backtest_runs() {
         let p = panel();
-        let cfg = EnvConfig { window: 10, transaction_cost: 1e-3 };
+        let cfg = EnvConfig {
+            window: 10,
+            transaction_cost: 1e-3,
+        };
         let res = run_test_period(&p, cfg, &mut UniformStrategy);
         assert_eq!(res.wealth.len(), p.num_days() - p.test_start());
         assert_eq!(res.daily_returns.len(), res.wealth.len() - 1);
@@ -161,7 +246,10 @@ mod tests {
     #[test]
     fn weights_recorded_are_simplex() {
         let p = panel();
-        let cfg = EnvConfig { window: 10, transaction_cost: 0.0 };
+        let cfg = EnvConfig {
+            window: 10,
+            transaction_cost: 0.0,
+        };
         let res = run_backtest(&p, cfg, 20, 60, &mut UniformStrategy);
         for w in &res.weights {
             let sum: f64 = w.iter().sum();
@@ -181,7 +269,10 @@ mod tests {
     #[test]
     fn wealth_consistent_with_daily_returns() {
         let p = panel();
-        let cfg = EnvConfig { window: 10, transaction_cost: 1e-3 };
+        let cfg = EnvConfig {
+            window: 10,
+            transaction_cost: 1e-3,
+        };
         let res = run_backtest(&p, cfg, 30, 80, &mut UniformStrategy);
         let mut w = 1.0;
         for (i, r) in res.daily_returns.iter().enumerate() {
@@ -203,9 +294,33 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_emits_steps_and_summary() {
+        let p = panel();
+        let cfg = EnvConfig {
+            window: 10,
+            transaction_cost: 1e-3,
+        };
+        let (tel, sink) = Telemetry::memory();
+        let res = run_backtest_with(&p, cfg, 20, 60, &mut UniformStrategy, &tel);
+        let steps = sink.by_kind("backtest.step");
+        assert_eq!(steps.len(), res.daily_returns.len());
+        let summary = sink.by_kind("backtest.result");
+        assert_eq!(summary.len(), 1);
+        assert!((summary[0].get_f64("ar").unwrap() - res.metrics.ar).abs() < 1e-12);
+        // Every decision was timed.
+        assert_eq!(
+            tel.span_histogram("backtest.decide").count() as usize,
+            steps.len()
+        );
+    }
+
+    #[test]
     fn nan_actions_fall_back_to_uniform() {
         let p = panel();
-        let cfg = EnvConfig { window: 10, transaction_cost: 0.0 };
+        let cfg = EnvConfig {
+            window: 10,
+            transaction_cost: 0.0,
+        };
         let bad = run_backtest(&p, cfg, 20, 50, &mut BadStrategy);
         let uni = run_backtest(&p, cfg, 20, 50, &mut UniformStrategy);
         for (a, b) in bad.wealth.iter().zip(&uni.wealth) {

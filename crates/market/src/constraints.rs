@@ -20,7 +20,10 @@ pub struct PortfolioConstraints {
 impl PortfolioConstraints {
     /// A cap-only constraint set.
     pub fn with_max_weight(cap: f64) -> Self {
-        PortfolioConstraints { max_weight: Some(cap), ..Default::default() }
+        PortfolioConstraints {
+            max_weight: Some(cap),
+            ..Default::default()
+        }
     }
 
     /// `true` when `w` satisfies every constraint within `tol`.
@@ -51,10 +54,16 @@ impl PortfolioConstraints {
     /// `m` assets (e.g. `max_weight · m < 1`).
     pub fn assert_feasible(&self, m: usize) {
         if let Some(cap) = self.max_weight {
-            assert!(cap * m as f64 >= 1.0 - 1e-9, "max_weight {cap} infeasible for {m} assets");
+            assert!(
+                cap * m as f64 >= 1.0 - 1e-9,
+                "max_weight {cap} infeasible for {m} assets"
+            );
         }
         if let Some(floor) = self.min_weight {
-            assert!(floor * m as f64 <= 1.0 + 1e-9, "min_weight {floor} infeasible for {m} assets");
+            assert!(
+                floor * m as f64 <= 1.0 + 1e-9,
+                "min_weight {floor} infeasible for {m} assets"
+            );
         }
         if let (Some(cap), Some(floor)) = (self.max_weight, self.min_weight) {
             assert!(cap >= floor, "max_weight below min_weight");
@@ -76,8 +85,10 @@ impl PortfolioConstraints {
                 let excess: f64 = out.iter().map(|&x| (x - cap).max(0.0)).sum();
                 if excess > 1e-12 {
                     changed = true;
-                    let headroom: f64 =
-                        out.iter().map(|&x| if x < cap { cap - x } else { 0.0 }).sum();
+                    let headroom: f64 = out
+                        .iter()
+                        .map(|&x| if x < cap { cap - x } else { 0.0 })
+                        .sum();
                     let mut next = out.clone();
                     for x in next.iter_mut() {
                         if *x > cap {
@@ -98,8 +109,7 @@ impl PortfolioConstraints {
                 let deficit: f64 = out.iter().map(|&x| (floor - x).max(0.0)).sum();
                 if deficit > 1e-12 {
                     changed = true;
-                    let surplus: f64 =
-                        out.iter().map(|&x| (x - floor).max(0.0)).sum();
+                    let surplus: f64 = out.iter().map(|&x| (x - floor).max(0.0)).sum();
                     let mut next = out.clone();
                     for x in next.iter_mut() {
                         if *x < floor {
@@ -124,8 +134,7 @@ impl PortfolioConstraints {
                     changed = true;
                     let scale = cap / exposure;
                     let freed = exposure - cap;
-                    let outside: Vec<usize> =
-                        (0..m).filter(|i| !group.contains(i)).collect();
+                    let outside: Vec<usize> = (0..m).filter(|i| !group.contains(i)).collect();
                     let outside_mass: f64 = outside.iter().map(|&i| out[i]).sum();
                     for &i in group {
                         out[i] *= scale;
@@ -203,7 +212,10 @@ mod tests {
 
     #[test]
     fn floor_is_enforced() {
-        let c = PortfolioConstraints { min_weight: Some(0.1), ..Default::default() };
+        let c = PortfolioConstraints {
+            min_weight: Some(0.1),
+            ..Default::default()
+        };
         let w = c.apply(&[1.0, 0.0, 0.0]);
         assert!(c.is_satisfied(&w, 1e-9), "{w:?}");
         assert!(w.iter().all(|&x| x >= 0.1 - 1e-9));
@@ -252,8 +264,13 @@ mod tests {
                 w
             }
         }
-        let p = SynthConfig { num_assets: 4, num_days: 120, test_start: 90, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 4,
+            num_days: 120,
+            test_start: 90,
+            ..Default::default()
+        }
+        .generate();
         let mut capped =
             ConstrainedStrategy::new(AllIn, PortfolioConstraints::with_max_weight(0.5));
         let res = run_backtest(&p, EnvConfig::default(), 40, 80, &mut capped);

@@ -60,7 +60,9 @@ pub fn panel_to_csv(panel: &AssetPanel) -> String {
 /// in the same order.
 pub fn panel_from_csv(name: &str, csv: &str, test_start: usize) -> Result<AssetPanel, CsvError> {
     let mut lines = csv.lines();
-    let header = lines.next().ok_or_else(|| CsvError::Malformed("empty file".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::Malformed("empty file".into()))?;
     if header.trim() != "day,asset,open,high,low,close" {
         return Err(CsvError::Malformed(format!("unexpected header: {header}")));
     }
@@ -71,7 +73,10 @@ pub fn panel_from_csv(name: &str, csv: &str, test_start: usize) -> Result<AssetP
         }
         let parts: Vec<&str> = line.split(',').collect();
         if parts.len() != 6 {
-            return Err(CsvError::Malformed(format!("line {}: expected 6 fields", lineno + 2)));
+            return Err(CsvError::Malformed(format!(
+                "line {}: expected 6 fields",
+                lineno + 2
+            )));
         }
         let day: usize = parts[0]
             .parse()
@@ -163,8 +168,13 @@ mod tests {
 
     #[test]
     fn panel_csv_roundtrip() {
-        let p =
-            SynthConfig { num_assets: 3, num_days: 10, test_start: 7, ..Default::default() }.generate();
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 10,
+            test_start: 7,
+            ..Default::default()
+        }
+        .generate();
         let csv = panel_to_csv(&p);
         let back = panel_from_csv("rt", &csv, 7).expect("roundtrip parse");
         assert_eq!(back.num_days(), 10);
@@ -187,7 +197,10 @@ mod tests {
     #[test]
     fn rejects_missing_rows() {
         let csv = "day,asset,open,high,low,close\n0,A,1,1,1,1\n1,A,1,1,1,1\n1,B,1,1,1,1\n";
-        assert!(matches!(panel_from_csv("x", csv, 0), Err(CsvError::Malformed(_))));
+        assert!(matches!(
+            panel_from_csv("x", csv, 0),
+            Err(CsvError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -198,6 +211,10 @@ mod tests {
         ]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "day,a,b");
-        assert!(lines[2].ends_with(','), "missing value should be empty cell: {}", lines[2]);
+        assert!(
+            lines[2].ends_with(','),
+            "missing value should be empty cell: {}",
+            lines[2]
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! assumption.
 
 use crate::panel::AssetPanel;
+use cit_telemetry::{Record, Telemetry};
 
 /// Configuration of a [`PortfolioEnv`].
 #[derive(Debug, Clone, Copy)]
@@ -19,7 +20,10 @@ pub struct EnvConfig {
 
 impl Default for EnvConfig {
     fn default() -> Self {
-        EnvConfig { window: 32, transaction_cost: 1e-3 }
+        EnvConfig {
+            window: 32,
+            transaction_cost: 1e-3,
+        }
     }
 }
 
@@ -43,8 +47,10 @@ pub struct PortfolioEnv<'a> {
     end: usize,
     t: usize,
     wealth: f64,
+    peak_wealth: f64,
     weights: Vec<f64>,
     wealth_curve: Vec<f64>,
+    telemetry: Telemetry,
 }
 
 impl<'a> PortfolioEnv<'a> {
@@ -56,7 +62,10 @@ impl<'a> PortfolioEnv<'a> {
     /// # Panics
     /// Panics when the span is too short or exceeds the panel.
     pub fn new(panel: &'a AssetPanel, cfg: EnvConfig, start: usize, end: usize) -> Self {
-        assert!(start + 1 >= cfg.window, "start leaves insufficient history for the window");
+        assert!(
+            start + 1 >= cfg.window,
+            "start leaves insufficient history for the window"
+        );
         assert!(end <= panel.num_days(), "end beyond panel");
         assert!(start + 1 < end, "span must contain at least one step");
         let m = panel.num_assets();
@@ -67,11 +76,26 @@ impl<'a> PortfolioEnv<'a> {
             end,
             t: start,
             wealth: 1.0,
+            peak_wealth: 1.0,
             weights: vec![1.0 / m as f64; m],
             wealth_curve: Vec::new(),
+            telemetry: Telemetry::disabled(),
         };
         env.reset();
         env
+    }
+
+    /// Attaches a telemetry handle; every [`PortfolioEnv::step`] then
+    /// emits an `env.step` record (reward, turnover, weight concentration,
+    /// drawdown).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry handle in place.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Convenience: an environment over the panel's test period.
@@ -89,6 +113,7 @@ impl<'a> PortfolioEnv<'a> {
         let m = self.panel.num_assets();
         self.t = self.start;
         self.wealth = 1.0;
+        self.peak_wealth = 1.0;
         // The paper initialises the portfolio by average assignment.
         self.weights = vec![1.0 / m as f64; m];
         self.wealth_curve = vec![1.0];
@@ -143,12 +168,20 @@ impl<'a> PortfolioEnv<'a> {
     pub fn step(&mut self, action: &[f64]) -> StepResult {
         assert!(self.t + 1 < self.end, "step after episode end");
         let m = self.panel.num_assets();
-        assert_eq!(action.len(), m, "action length {} vs assets {m}", action.len());
+        assert_eq!(
+            action.len(),
+            m,
+            "action length {} vs assets {m}",
+            action.len()
+        );
         let target = project_to_simplex(action);
 
         // Transaction cost on turnover vs current (drifted) weights.
-        let turnover: f64 =
-            target.iter().zip(&self.weights).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        let turnover: f64 = target
+            .iter()
+            .zip(&self.weights)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>();
         let cost_factor = 1.0 - self.cfg.transaction_cost * turnover;
 
         // Realise next-day growth.
@@ -167,12 +200,31 @@ impl<'a> PortfolioEnv<'a> {
         self.weights = drifted;
 
         self.t += 1;
-        StepResult {
+        let result = StepResult {
             reward: net.ln(),
             simple_return: net - 1.0,
             done: self.t + 1 >= self.end,
+        };
+        if self.telemetry.is_enabled() {
+            self.peak_wealth = self.peak_wealth.max(self.wealth);
+            self.telemetry.emit(
+                Record::new("env.step")
+                    .with("t", self.t - 1)
+                    .with("reward", result.reward)
+                    .with("turnover", turnover)
+                    .with("wealth", self.wealth)
+                    .with("concentration", weight_concentration(&target))
+                    .with("drawdown", 1.0 - self.wealth / self.peak_wealth),
+            );
         }
+        result
     }
+}
+
+/// Herfindahl–Hirschman concentration of a portfolio: `Σ w_i²`, ranging
+/// from `1/m` (uniform) to 1 (single asset).
+pub fn weight_concentration(w: &[f64]) -> f64 {
+    w.iter().map(|x| x * x).sum()
 }
 
 /// Projects an arbitrary vector onto the probability simplex by clamping
@@ -180,7 +232,10 @@ impl<'a> PortfolioEnv<'a> {
 /// everything is non-positive or non-finite.
 pub fn project_to_simplex(v: &[f64]) -> Vec<f64> {
     let m = v.len();
-    let mut w: Vec<f64> = v.iter().map(|&x| if x.is_finite() && x > 0.0 { x } else { 0.0 }).collect();
+    let mut w: Vec<f64> = v
+        .iter()
+        .map(|&x| if x.is_finite() && x > 0.0 { x } else { 0.0 })
+        .collect();
     let sum: f64 = w.iter().sum();
     if sum <= 0.0 {
         return vec![1.0 / m as f64; m];
@@ -195,13 +250,22 @@ mod tests {
     use crate::synth::SynthConfig;
 
     fn panel() -> AssetPanel {
-        SynthConfig { num_assets: 4, num_days: 120, test_start: 90, ..Default::default() }.generate()
+        SynthConfig {
+            num_assets: 4,
+            num_days: 120,
+            test_start: 90,
+            ..Default::default()
+        }
+        .generate()
     }
 
     #[test]
     fn episode_walks_to_end() {
         let p = panel();
-        let cfg = EnvConfig { window: 10, transaction_cost: 0.0 };
+        let cfg = EnvConfig {
+            window: 10,
+            transaction_cost: 0.0,
+        };
         let mut env = PortfolioEnv::new(&p, cfg, 20, 40);
         let mut steps = 0;
         loop {
@@ -219,7 +283,10 @@ mod tests {
     #[test]
     fn uniform_weights_track_index_without_costs() {
         let p = panel();
-        let cfg = EnvConfig { window: 5, transaction_cost: 0.0 };
+        let cfg = EnvConfig {
+            window: 5,
+            transaction_cost: 0.0,
+        };
         let mut env = PortfolioEnv::new(&p, cfg, 10, 30);
         let m = p.num_assets();
         let uniform = vec![1.0 / m as f64; m];
@@ -237,8 +304,14 @@ mod tests {
     #[test]
     fn transaction_costs_reduce_wealth() {
         let p = panel();
-        let free = EnvConfig { window: 5, transaction_cost: 0.0 };
-        let costly = EnvConfig { window: 5, transaction_cost: 0.01 };
+        let free = EnvConfig {
+            window: 5,
+            transaction_cost: 0.0,
+        };
+        let costly = EnvConfig {
+            window: 5,
+            transaction_cost: 0.01,
+        };
         let m = p.num_assets();
         // Alternate concentrated positions to force turnover.
         let run = |cfg: EnvConfig| {
@@ -258,7 +331,10 @@ mod tests {
     #[test]
     fn reward_is_log_of_net_growth() {
         let p = panel();
-        let cfg = EnvConfig { window: 5, transaction_cost: 0.0 };
+        let cfg = EnvConfig {
+            window: 5,
+            transaction_cost: 0.0,
+        };
         let mut env = PortfolioEnv::new(&p, cfg, 10, 15);
         let m = p.num_assets();
         let r = env.step(&vec![1.0 / m as f64; m]);
@@ -268,7 +344,10 @@ mod tests {
     #[test]
     fn observation_shape() {
         let p = panel();
-        let cfg = EnvConfig { window: 8, transaction_cost: 0.0 };
+        let cfg = EnvConfig {
+            window: 8,
+            transaction_cost: 0.0,
+        };
         let env = PortfolioEnv::new(&p, cfg, 20, 40);
         assert_eq!(env.observation().len(), 4 * 4 * 8); // m·d·z
     }
@@ -286,7 +365,10 @@ mod tests {
     #[test]
     fn reset_restores_initial_state() {
         let p = panel();
-        let cfg = EnvConfig { window: 5, transaction_cost: 0.0 };
+        let cfg = EnvConfig {
+            window: 5,
+            transaction_cost: 0.0,
+        };
         let mut env = PortfolioEnv::new(&p, cfg, 10, 30);
         let m = p.num_assets();
         env.step(&vec![1.0 / m as f64; m]);
@@ -297,10 +379,44 @@ mod tests {
     }
 
     #[test]
+    fn concentration_bounds() {
+        assert!((weight_concentration(&[0.25; 4]) - 0.25).abs() < 1e-12);
+        assert!((weight_concentration(&[1.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_records_each_step() {
+        let p = panel();
+        let cfg = EnvConfig {
+            window: 5,
+            transaction_cost: 1e-3,
+        };
+        let (tel, sink) = Telemetry::memory();
+        let mut env = PortfolioEnv::new(&p, cfg, 10, 20).with_telemetry(tel);
+        let m = p.num_assets();
+        let mut steps = 0;
+        while !env.step(&vec![1.0 / m as f64; m]).done {
+            steps += 1;
+        }
+        steps += 1;
+        let records = sink.by_kind("env.step");
+        assert_eq!(records.len(), steps);
+        for r in &records {
+            let dd = r.get_f64("drawdown").unwrap();
+            assert!((0.0..=1.0).contains(&dd));
+            assert!(r.get_f64("turnover").unwrap() >= 0.0);
+            assert!(r.get_f64("concentration").unwrap() >= 1.0 / m as f64 - 1e-12);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "after episode end")]
     fn stepping_past_end_panics() {
         let p = panel();
-        let cfg = EnvConfig { window: 5, transaction_cost: 0.0 };
+        let cfg = EnvConfig {
+            window: 5,
+            transaction_cost: 0.0,
+        };
         let mut env = PortfolioEnv::new(&p, cfg, 10, 12);
         let m = p.num_assets();
         let uniform = vec![1.0 / m as f64; m];

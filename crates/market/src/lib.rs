@@ -29,12 +29,12 @@ mod synth;
 mod walkforward;
 
 pub use backtest::{
-    market_result, run_backtest, run_test_period, BacktestResult, DecisionContext, Strategy,
-    UniformStrategy,
+    market_result, run_backtest, run_backtest_with, run_test_period, run_test_period_with,
+    BacktestResult, DecisionContext, Strategy, UniformStrategy,
 };
 pub use constraints::{ConstrainedStrategy, PortfolioConstraints};
 pub use csv::{panel_from_csv, panel_to_csv, save, series_to_csv, CsvError};
-pub use env::{project_to_simplex, EnvConfig, PortfolioEnv, StepResult};
+pub use env::{project_to_simplex, weight_concentration, EnvConfig, PortfolioEnv, StepResult};
 pub use metrics::Metrics;
 pub use panel::{AssetPanel, Feature, NUM_FEATURES};
 pub use presets::MarketPreset;

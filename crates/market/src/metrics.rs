@@ -32,7 +32,11 @@ pub fn sharpe_ratio(daily_returns: &[f64]) -> f64 {
     }
     let n = daily_returns.len() as f64;
     let mean = daily_returns.iter().sum::<f64>() / n;
-    let var = daily_returns.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>() / (n - 1.0);
+    let var = daily_returns
+        .iter()
+        .map(|r| (r - mean) * (r - mean))
+        .sum::<f64>()
+        / (n - 1.0);
     // Guard against numerically-zero variance of constant series.
     if var <= 1e-18 {
         return 0.0;
@@ -70,7 +74,7 @@ pub fn calmar_ratio(wealth: &[f64]) -> f64 {
     let ann = annualized_return(wealth);
     let mdd = max_drawdown(wealth);
     if mdd < 1e-9 {
-        return if ann >= 0.0 { ann / 1e-9 } else { ann / 1e-9 };
+        return ann / 1e-9;
     }
     ann / mdd
 }
@@ -103,7 +107,9 @@ mod tests {
 
     #[test]
     fn sharpe_positive_for_positive_drift() {
-        let rets: Vec<f64> = (0..100).map(|i| 0.001 + 0.002 * ((i % 3) as f64 - 1.0)).collect();
+        let rets: Vec<f64> = (0..100)
+            .map(|i| 0.001 + 0.002 * ((i % 3) as f64 - 1.0))
+            .collect();
         assert!(sharpe_ratio(&rets) > 0.0);
     }
 

@@ -1,7 +1,5 @@
 //! The asset panel: OHLC price history for `m` assets over `T` days.
 
-use serde::{Deserialize, Serialize};
-
 /// Feature indices within a panel (the paper uses `d = 4` OHLC features).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Feature {
@@ -20,7 +18,7 @@ pub const NUM_FEATURES: usize = 4;
 
 /// A dense panel of daily OHLC prices: `data[(t, i, f)]` with `T` days,
 /// `m` assets and [`NUM_FEATURES`] features, plus a train/test split index.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AssetPanel {
     name: String,
     num_days: usize,
@@ -47,14 +45,25 @@ impl AssetPanel {
     ) -> Self {
         assert!(num_days >= 2, "panel needs at least two days");
         assert!(num_assets >= 1, "panel needs at least one asset");
-        assert_eq!(data.len(), num_days * num_assets * NUM_FEATURES, "panel buffer size mismatch");
+        assert_eq!(
+            data.len(),
+            num_days * num_assets * NUM_FEATURES,
+            "panel buffer size mismatch"
+        );
         assert!(
             data.iter().all(|p| p.is_finite() && *p > 0.0),
             "panel prices must be positive and finite"
         );
         assert!(test_start < num_days, "test_start out of range");
         let asset_names = (0..num_assets).map(|i| format!("A{i:03}")).collect();
-        AssetPanel { name: name.into(), num_days, num_assets, data, test_start, asset_names }
+        AssetPanel {
+            name: name.into(),
+            num_days,
+            num_assets,
+            data,
+            test_start,
+            asset_names,
+        }
     }
 
     /// Dataset label (e.g. "US", "HK", "CN").
@@ -114,12 +123,17 @@ impl AssetPanel {
     /// Panics when `t == 0`.
     pub fn price_relatives(&self, t: usize) -> Vec<f64> {
         assert!(t >= 1, "price_relatives needs t >= 1");
-        (0..self.num_assets).map(|i| self.close(t, i) / self.close(t - 1, i)).collect()
+        (0..self.num_assets)
+            .map(|i| self.close(t, i) / self.close(t - 1, i))
+            .collect()
     }
 
     /// Growth ratios `close(t)/close(t-1) − 1` (the paper's `x_t`).
     pub fn growth_ratios(&self, t: usize) -> Vec<f64> {
-        self.price_relatives(t).into_iter().map(|r| r - 1.0).collect()
+        self.price_relatives(t)
+            .into_iter()
+            .map(|r| r - 1.0)
+            .collect()
     }
 
     /// A normalised feature window for RL states: for each asset and OHLC
@@ -130,7 +144,10 @@ impl AssetPanel {
     /// # Panics
     /// Panics when fewer than `z` days of history exist at `t`.
     pub fn normalized_window(&self, t: usize, z: usize) -> Vec<f64> {
-        assert!(t + 1 >= z, "normalized_window: need {z} days of history at t={t}");
+        assert!(
+            t + 1 >= z,
+            "normalized_window: need {z} days of history at t={t}"
+        );
         assert!(t < self.num_days, "normalized_window: t out of range");
         let m = self.num_assets;
         let mut out = Vec::with_capacity(m * NUM_FEATURES * z);
@@ -148,7 +165,10 @@ impl AssetPanel {
 
     /// The closing-price series of asset `i` over `[t+1−z, t]`.
     pub fn close_window(&self, t: usize, i: usize, z: usize) -> Vec<f64> {
-        assert!(t + 1 >= z, "close_window: need {z} days of history at t={t}");
+        assert!(
+            t + 1 >= z,
+            "close_window: need {z} days of history at t={t}"
+        );
         (t + 1 - z..=t).map(|day| self.close(day, i)).collect()
     }
 
@@ -173,9 +193,8 @@ mod tests {
         // 3 days, 2 assets: closes asset0 = 10, 11, 12.1 ; asset1 = 20, 19, 19.
         let mut data = Vec::new();
         let closes = [[10.0, 20.0], [11.0, 19.0], [12.1, 19.0]];
-        for t in 0..3 {
-            for i in 0..2 {
-                let c = closes[t][i];
+        for day in &closes {
+            for &c in day {
                 data.extend_from_slice(&[c * 0.99, c * 1.01, c * 0.98, c]);
             }
         }

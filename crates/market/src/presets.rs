@@ -47,10 +47,22 @@ impl MarketPreset {
                 // Bull training history, then a test period whose tail is a
                 // pronounced bear market (the paper's post-2022 segment).
                 regimes: vec![
-                    RegimeSegment { regime: Regime::Bull, days: 2600 },
-                    RegimeSegment { regime: Regime::Bear, days: 180 },
-                    RegimeSegment { regime: Regime::Bull, days: 115 + 330 },
-                    RegimeSegment { regime: Regime::Bear, days: 300 },
+                    RegimeSegment {
+                        regime: Regime::Bull,
+                        days: 2600,
+                    },
+                    RegimeSegment {
+                        regime: Regime::Bear,
+                        days: 180,
+                    },
+                    RegimeSegment {
+                        regime: Regime::Bull,
+                        days: 115 + 330,
+                    },
+                    RegimeSegment {
+                        regime: Regime::Bear,
+                        days: 300,
+                    },
                 ],
                 seed: 11_080,
                 ..SynthConfig::default()
@@ -62,10 +74,22 @@ impl MarketPreset {
                 test_start: 2895,
                 num_sectors: 8,
                 regimes: vec![
-                    RegimeSegment { regime: Regime::Bull, days: 1500 },
-                    RegimeSegment { regime: Regime::Bear, days: 200 },
-                    RegimeSegment { regime: Regime::Bull, days: 1195 },
-                    RegimeSegment { regime: Regime::Bull, days: 252 },
+                    RegimeSegment {
+                        regime: Regime::Bull,
+                        days: 1500,
+                    },
+                    RegimeSegment {
+                        regime: Regime::Bear,
+                        days: 200,
+                    },
+                    RegimeSegment {
+                        regime: Regime::Bull,
+                        days: 1195,
+                    },
+                    RegimeSegment {
+                        regime: Regime::Bull,
+                        days: 252,
+                    },
                 ],
                 bull_drift: 3e-4,
                 seed: 22_045,
@@ -78,10 +102,22 @@ impl MarketPreset {
                 test_start: 2895,
                 num_sectors: 6,
                 regimes: vec![
-                    RegimeSegment { regime: Regime::Bull, days: 1200 },
-                    RegimeSegment { regime: Regime::Bear, days: 250 },
-                    RegimeSegment { regime: Regime::Bull, days: 1445 },
-                    RegimeSegment { regime: Regime::Bull, days: 252 },
+                    RegimeSegment {
+                        regime: Regime::Bull,
+                        days: 1200,
+                    },
+                    RegimeSegment {
+                        regime: Regime::Bear,
+                        days: 250,
+                    },
+                    RegimeSegment {
+                        regime: Regime::Bull,
+                        days: 1445,
+                    },
+                    RegimeSegment {
+                        regime: Regime::Bull,
+                        days: 252,
+                    },
                 ],
                 bull_drift: 3.5e-4,
                 asset_cycle_amp: 0.04,
@@ -102,7 +138,10 @@ impl MarketPreset {
         let regimes = full
             .regimes
             .iter()
-            .map(|s| RegimeSegment { regime: s.regime, days: (s.days / shrink_days.max(1)).max(20) })
+            .map(|s| RegimeSegment {
+                regime: s.regime,
+                days: (s.days / shrink_days.max(1)).max(20),
+            })
             .collect();
         SynthConfig {
             num_assets,
@@ -133,8 +172,7 @@ mod tests {
     #[test]
     fn us_test_period_contains_bear() {
         let us = MarketPreset::Us.config();
-        let has_bear =
-            (us.test_start..us.num_days).any(|t| us.regime_on(t) == Regime::Bear);
+        let has_bear = (us.test_start..us.num_days).any(|t| us.regime_on(t) == Regime::Bear);
         assert!(has_bear, "the U.S. test window must contain a bear regime");
     }
 

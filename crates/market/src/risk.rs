@@ -41,7 +41,10 @@ pub fn sortino_ratio(daily_returns: &[f64], mar: f64) -> f64 {
 /// threshold exceeded on only `(1−alpha)` of days, reported as a positive
 /// number. Returns 0 for empty input.
 pub fn value_at_risk(daily_returns: &[f64], alpha: f64) -> f64 {
-    assert!((0.5..1.0).contains(&alpha), "VaR confidence must be in [0.5, 1)");
+    assert!(
+        (0.5..1.0).contains(&alpha),
+        "VaR confidence must be in [0.5, 1)"
+    );
     if daily_returns.is_empty() {
         return 0.0;
     }
@@ -55,7 +58,10 @@ pub fn value_at_risk(daily_returns: &[f64], alpha: f64) -> f64 {
 /// Expected shortfall (CVaR) at confidence `alpha`: mean loss on the worst
 /// `(1−alpha)` fraction of days, as a positive number.
 pub fn expected_shortfall(daily_returns: &[f64], alpha: f64) -> f64 {
-    assert!((0.5..1.0).contains(&alpha), "ES confidence must be in [0.5, 1)");
+    assert!(
+        (0.5..1.0).contains(&alpha),
+        "ES confidence must be in [0.5, 1)"
+    );
     if daily_returns.is_empty() {
         return 0.0;
     }
@@ -75,7 +81,12 @@ pub fn average_turnover(weights: &[Vec<f64>]) -> f64 {
     }
     let total: f64 = weights
         .windows(2)
-        .map(|w| w[0].iter().zip(&w[1]).map(|(a, b)| (a - b).abs()).sum::<f64>())
+        .map(|w| {
+            w[0].iter()
+                .zip(&w[1])
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+        })
         .sum();
     total / (weights.len() - 1) as f64
 }

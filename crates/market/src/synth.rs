@@ -10,10 +10,9 @@
 use crate::panel::{AssetPanel, NUM_FEATURES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Market regime for a span of days.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Regime {
     /// Rising drift, normal volatility.
     Bull,
@@ -22,7 +21,7 @@ pub enum Regime {
 }
 
 /// A scheduled regime segment: the regime holds for `days` days.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RegimeSegment {
     /// Which regime.
     pub regime: Regime,
@@ -31,7 +30,7 @@ pub struct RegimeSegment {
 }
 
 /// Configuration of the synthetic market.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SynthConfig {
     /// Dataset label.
     pub name: String,
@@ -78,9 +77,18 @@ impl Default for SynthConfig {
             test_start: 750,
             num_sectors: 4,
             regimes: vec![
-                RegimeSegment { regime: Regime::Bull, days: 400 },
-                RegimeSegment { regime: Regime::Bear, days: 120 },
-                RegimeSegment { regime: Regime::Bull, days: 480 },
+                RegimeSegment {
+                    regime: Regime::Bull,
+                    days: 400,
+                },
+                RegimeSegment {
+                    regime: Regime::Bear,
+                    days: 120,
+                },
+                RegimeSegment {
+                    regime: Regime::Bull,
+                    days: 480,
+                },
             ],
             bull_drift: 4e-4,
             bear_drift: -9e-4,
@@ -131,8 +139,9 @@ impl SynthConfig {
         let cycle_period: Vec<f64> = (0..m)
             .map(|_| rng.random_range(self.asset_cycle_period.0..self.asset_cycle_period.1))
             .collect();
-        let cycle_phase: Vec<f64> =
-            (0..m).map(|_| rng.random_range(0.0..std::f64::consts::TAU)).collect();
+        let cycle_phase: Vec<f64> = (0..m)
+            .map(|_| rng.random_range(0.0..std::f64::consts::TAU))
+            .collect();
         let sector_phase: Vec<f64> = (0..self.num_sectors.max(1))
             .map(|_| rng.random_range(0.0..std::f64::consts::TAU))
             .collect();
@@ -140,13 +149,13 @@ impl SynthConfig {
         // Market log-level path.
         let mut market = vec![0.0f64; t_total];
         let mut level = 0.0;
-        for t in 0..t_total {
+        for (t, slot) in market.iter_mut().enumerate() {
             let (drift, vol) = match self.regime_on(t) {
                 Regime::Bull => (self.bull_drift, self.market_vol),
                 Regime::Bear => (self.bear_drift, self.market_vol * self.bear_vol_mult),
             };
             level += drift + vol * cit_rand_normal(&mut rng);
-            market[t] = level;
+            *slot = level;
         }
 
         // Per-asset close paths.
@@ -177,7 +186,11 @@ impl SynthConfig {
         for t in 0..t_total {
             for i in 0..m {
                 let close = closes[t * m + i];
-                let prev_close = if t == 0 { close } else { closes[(t - 1) * m + i] };
+                let prev_close = if t == 0 {
+                    close
+                } else {
+                    closes[(t - 1) * m + i]
+                };
                 let gap = 1.0 + self.intraday_range * 0.5 * cit_rand_normal(&mut rng);
                 let open = (prev_close * gap).max(close * 0.5);
                 let span = self.intraday_range * (1.0 + cit_rand_normal(&mut rng).abs());
@@ -209,7 +222,12 @@ mod tests {
 
     #[test]
     fn generates_valid_panel() {
-        let cfg = SynthConfig { num_assets: 5, num_days: 300, test_start: 200, ..Default::default() };
+        let cfg = SynthConfig {
+            num_assets: 5,
+            num_days: 300,
+            test_start: 200,
+            ..Default::default()
+        };
         let p = cfg.generate();
         assert_eq!(p.num_assets(), 5);
         assert_eq!(p.num_days(), 300);
@@ -230,7 +248,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let cfg = SynthConfig { num_days: 100, test_start: 80, ..Default::default() };
+        let cfg = SynthConfig {
+            num_days: 100,
+            test_start: 80,
+            ..Default::default()
+        };
         let a = cfg.generate();
         let b = cfg.generate();
         assert_eq!(a.close(50, 3), b.close(50, 3));
@@ -238,8 +260,15 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let base = SynthConfig { num_days: 100, test_start: 80, ..Default::default() };
-        let other = SynthConfig { seed: 999, ..base.clone() };
+        let base = SynthConfig {
+            num_days: 100,
+            test_start: 80,
+            ..Default::default()
+        };
+        let other = SynthConfig {
+            seed: 999,
+            ..base.clone()
+        };
         assert_ne!(base.generate().close(50, 0), other.generate().close(50, 0));
     }
 
@@ -249,11 +278,17 @@ mod tests {
         let bull = SynthConfig {
             num_days: 400,
             test_start: 300,
-            regimes: vec![RegimeSegment { regime: Regime::Bull, days: 400 }],
+            regimes: vec![RegimeSegment {
+                regime: Regime::Bull,
+                days: 400,
+            }],
             ..Default::default()
         };
         let bear = SynthConfig {
-            regimes: vec![RegimeSegment { regime: Regime::Bear, days: 400 }],
+            regimes: vec![RegimeSegment {
+                regime: Regime::Bear,
+                days: 400,
+            }],
             ..bull.clone()
         };
         let ib = bull.generate().index_curve();
@@ -270,8 +305,14 @@ mod tests {
     fn regime_schedule_cycles() {
         let cfg = SynthConfig {
             regimes: vec![
-                RegimeSegment { regime: Regime::Bull, days: 10 },
-                RegimeSegment { regime: Regime::Bear, days: 5 },
+                RegimeSegment {
+                    regime: Regime::Bull,
+                    days: 10,
+                },
+                RegimeSegment {
+                    regime: Regime::Bear,
+                    days: 5,
+                },
             ],
             ..Default::default()
         };
@@ -286,15 +327,29 @@ mod tests {
     fn assets_share_market_factor() {
         // Average pairwise correlation of daily returns should be clearly
         // positive thanks to the common market factor.
-        let cfg = SynthConfig { num_assets: 8, num_days: 500, test_start: 400, ..Default::default() };
+        let cfg = SynthConfig {
+            num_assets: 8,
+            num_days: 500,
+            test_start: 400,
+            ..Default::default()
+        };
         let p = cfg.generate();
         let rets: Vec<Vec<f64>> = (0..8)
-            .map(|i| (1..500).map(|t| (p.close(t, i) / p.close(t - 1, i)).ln()).collect())
+            .map(|i| {
+                (1..500)
+                    .map(|t| (p.close(t, i) / p.close(t - 1, i)).ln())
+                    .collect()
+            })
             .collect();
         let corr = |a: &[f64], b: &[f64]| {
             let n = a.len() as f64;
             let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
-            let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+            let cov: f64 = a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - ma) * (y - mb))
+                .sum::<f64>()
+                / n;
             let (va, vb) = (
                 a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / n,
                 b.iter().map(|y| (y - mb) * (y - mb)).sum::<f64>() / n,

@@ -78,21 +78,35 @@ pub fn walk_forward(
     mut make_strategy: impl FnMut(&AssetPanel, &Fold) -> Box<dyn Strategy>,
 ) -> WalkForwardResult {
     let folds = folds(panel, cfg);
-    assert!(!folds.is_empty(), "panel too short for walk-forward evaluation");
+    assert!(
+        !folds.is_empty(),
+        "panel too short for walk-forward evaluation"
+    );
 
     let mut wealth = vec![1.0f64];
     let mut daily = Vec::new();
     let mut fold_results = Vec::new();
     for fold in &folds {
         let mut strategy = make_strategy(panel, fold);
-        let res = run_backtest(panel, cfg.env, fold.test_start, fold.test_end, strategy.as_mut());
+        let res = run_backtest(
+            panel,
+            cfg.env,
+            fold.test_start,
+            fold.test_end,
+            strategy.as_mut(),
+        );
         let scale = *wealth.last().expect("non-empty");
         wealth.extend(res.wealth.iter().skip(1).map(|w| w * scale));
         daily.extend_from_slice(&res.daily_returns);
         fold_results.push(res);
     }
     let metrics = compute(&wealth, &daily);
-    WalkForwardResult { wealth, daily_returns: daily, metrics, fold_results }
+    WalkForwardResult {
+        wealth,
+        daily_returns: daily,
+        metrics,
+        fold_results,
+    }
 }
 
 #[cfg(test)]
@@ -102,14 +116,23 @@ mod tests {
     use crate::synth::SynthConfig;
 
     fn panel() -> AssetPanel {
-        SynthConfig { num_assets: 4, num_days: 400, test_start: 300, ..Default::default() }.generate()
+        SynthConfig {
+            num_assets: 4,
+            num_days: 400,
+            test_start: 300,
+            ..Default::default()
+        }
+        .generate()
     }
 
     fn cfg() -> WalkForwardConfig {
         WalkForwardConfig {
             train_days: 100,
             test_days: 50,
-            env: EnvConfig { window: 16, transaction_cost: 0.0 },
+            env: EnvConfig {
+                window: 16,
+                transaction_cost: 0.0,
+            },
         }
     }
 
@@ -130,12 +153,18 @@ mod tests {
         let p = panel();
         let res = walk_forward(&p, &cfg(), |_, _| Box::new(UniformStrategy));
         // Stitched length: 1 + Σ (fold lengths − 1)
-        let expected: usize =
-            1 + res.fold_results.iter().map(|r| r.wealth.len() - 1).sum::<usize>();
+        let expected: usize = 1 + res
+            .fold_results
+            .iter()
+            .map(|r| r.wealth.len() - 1)
+            .sum::<usize>();
         assert_eq!(res.wealth.len(), expected);
         // Final wealth = product of fold finals.
-        let product: f64 =
-            res.fold_results.iter().map(|r| r.wealth.last().expect("curve")).product();
+        let product: f64 = res
+            .fold_results
+            .iter()
+            .map(|r| r.wealth.last().expect("curve"))
+            .product();
         assert!((res.wealth.last().expect("curve") - product).abs() < 1e-9);
     }
 
@@ -165,8 +194,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "too short")]
     fn too_short_panel_panics() {
-        let p = SynthConfig { num_assets: 2, num_days: 50, test_start: 40, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 2,
+            num_days: 50,
+            test_start: 40,
+            ..Default::default()
+        }
+        .generate();
         let bad = WalkForwardConfig {
             train_days: 60,
             test_days: 20,

@@ -5,7 +5,12 @@ use rand::Rng;
 
 /// Xavier/Glorot uniform initialisation: `U(-l, l)` with
 /// `l = sqrt(6 / (fan_in + fan_out))`.
-pub fn xavier_uniform(rng: &mut impl Rng, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+pub fn xavier_uniform(
+    rng: &mut impl Rng,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
     let limit = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
     let mut t = Tensor::zeros(shape);
     rand_util::fill_uniform(rng, t.data_mut(), limit);

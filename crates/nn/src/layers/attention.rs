@@ -39,7 +39,16 @@ impl SpatialAttention {
         let w3 = store.add(format!("{name}.w3"), xavier_uniform(rng, &[f], f, 1));
         let vs = store.add(format!("{name}.vs"), xavier_uniform(rng, &[m, m], m, m));
         let bs = store.add(format!("{name}.bs"), Tensor::zeros(&[m, m]));
-        SpatialAttention { w1, w2, w3, vs, bs, m, f, z }
+        SpatialAttention {
+            w1,
+            w2,
+            w3,
+            vs,
+            bs,
+            m,
+            f,
+            z,
+        }
     }
 
     /// Number of assets the layer was sized for.
@@ -50,7 +59,11 @@ impl SpatialAttention {
     /// Computes the row-normalised attention matrix `S ∈ R^{m×m}`.
     pub fn attention_matrix(&self, ctx: &mut Ctx<'_>, h: Var) -> Var {
         let hv = ctx.g.value(h).shape().to_vec();
-        assert_eq!(hv, vec![self.m, self.f, self.z], "SpatialAttention input shape {hv:?}");
+        assert_eq!(
+            hv,
+            vec![self.m, self.f, self.z],
+            "SpatialAttention input shape {hv:?}"
+        );
         let w1 = ctx.param(self.w1);
         let w2 = ctx.param(self.w2);
         let w3 = ctx.param(self.w3);
@@ -70,6 +83,7 @@ impl SpatialAttention {
 
     /// Full layer: `H' = S·H + H`.
     pub fn forward(&self, ctx: &mut Ctx<'_>, h: Var) -> Var {
+        let _timer = ctx.span("nn.attention_forward");
         let s = self.attention_matrix(ctx, h);
         let mixed = ctx.g.contract_first(s, h);
         ctx.g.add(mixed, h)
@@ -133,7 +147,10 @@ mod tests {
             for t in 0..2 {
                 let v = ov.at3(i, 0, t);
                 let orig = [1.0f32, 2.0, 3.0][i];
-                assert!(v >= orig + 1.0 - 1e-5 && v <= orig + 3.0 + 1e-5, "mix out of range: {v}");
+                assert!(
+                    v >= orig + 1.0 - 1e-5 && v <= orig + 3.0 + 1e-5,
+                    "mix out of range: {v}"
+                );
             }
         }
     }
@@ -150,6 +167,10 @@ mod tests {
         let sq = ctx.g.mul(out, out);
         let loss = ctx.g.sum_all(sq);
         let grads = ctx.backward(loss);
-        assert_eq!(grads.len(), 5, "w1, w2, w3, vs, bs must all receive gradients");
+        assert_eq!(
+            grads.len(),
+            5,
+            "w1, w2, w3, vs, bs must all receive gradients"
+        );
     }
 }

@@ -35,7 +35,14 @@ impl Conv1dLayer {
             kaiming_normal(rng, &[out_channels, in_channels, kernel], fan_in),
         );
         let b = store.add(format!("{name}.b"), Tensor::zeros(&[out_channels]));
-        Conv1dLayer { w, b, dilation, in_channels, out_channels, kernel }
+        Conv1dLayer {
+            w,
+            b,
+            dilation,
+            in_channels,
+            out_channels,
+            kernel,
+        }
     }
 
     /// Output channel count.
@@ -100,7 +107,15 @@ impl TcnBlock {
             dilation,
         );
         let skip = (in_channels != out_channels).then(|| {
-            Conv1dLayer::new(store, rng, &format!("{name}.skip"), in_channels, out_channels, 1, 1)
+            Conv1dLayer::new(
+                store,
+                rng,
+                &format!("{name}.skip"),
+                in_channels,
+                out_channels,
+                1,
+                1,
+            )
         });
         TcnBlock { conv1, conv2, skip }
     }
@@ -166,6 +181,7 @@ impl Tcn {
 
     /// Forward pass `[N,Cin,L] -> [N,hidden,L]`.
     pub fn forward(&self, ctx: &mut Ctx<'_>, x: Var) -> Var {
+        let _timer = ctx.span("nn.tcn_forward");
         let mut h = x;
         for b in &self.blocks {
             h = b.forward(ctx, h);
@@ -254,7 +270,10 @@ mod tests {
     #[test]
     fn tcn_gradcheck_small() {
         // End-to-end gradient check through two stacked residual blocks.
-        let (mut store, mut rng) = setup();
+        // Seed chosen to keep ReLU pre-activations away from the kink,
+        // where finite differences are unreliable.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
         let _tcn = Tcn::new(&mut store, &mut rng, "t", 2, 3, 2, 2);
         let x = Tensor::from_vec(&[1, 2, 4], (0..8).map(|i| 0.1 * i as f32).collect());
 

@@ -33,7 +33,10 @@ pub struct GaussianSample {
 impl GaussianHead {
     /// Creates a head of dimension `dim` with initial std `exp(init_log_std)`.
     pub fn new(store: &mut ParamStore, name: &str, dim: usize, init_log_std: f32) -> Self {
-        let log_std = store.add(format!("{name}.log_std"), Tensor::full(&[dim], init_log_std));
+        let log_std = store.add(
+            format!("{name}.log_std"),
+            Tensor::full(&[dim], init_log_std),
+        );
         GaussianHead { log_std, dim }
     }
 
@@ -61,7 +64,11 @@ impl GaussianHead {
         }
         let action = softmax_last_tensor(&latent);
         let log_prob = log_prob_scalar(mean, &std, &latent);
-        GaussianSample { latent, action, log_prob }
+        GaussianSample {
+            latent,
+            action,
+            log_prob,
+        }
     }
 
     /// Deterministic action at the Gaussian mean: `softmax(μ)` — the
@@ -159,7 +166,12 @@ mod tests {
         let lp = head.log_prob(&mut ctx, mv, &latent);
         let neg = ctx.g.neg(lp); // minimise −logπ
         let grads = ctx.backward(neg);
-        let g_mu = grads.iter().find(|(id, _)| *id == mean_id).expect("mean grad").1.clone();
+        let g_mu = grads
+            .iter()
+            .find(|(id, _)| *id == mean_id)
+            .expect("mean grad")
+            .1
+            .clone();
         // Descending −logπ ⇒ μ moves along −g, which must point toward u.
         assert!(g_mu.data()[0] < 0.0, "μ₀ should increase toward +1");
         assert!(g_mu.data()[1] > 0.0, "μ₁ should decrease toward −1");

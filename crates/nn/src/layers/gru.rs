@@ -46,7 +46,19 @@ impl Gru {
         let bz = store.add(format!("{name}.bz"), Tensor::zeros(&[hidden]));
         let br = store.add(format!("{name}.br"), Tensor::zeros(&[hidden]));
         let bh = store.add(format!("{name}.bh"), Tensor::zeros(&[hidden]));
-        Gru { wz, uz, bz, wr, ur, br, wh, uh, bh, input_dim, hidden }
+        Gru {
+            wz,
+            uz,
+            bz,
+            wr,
+            ur,
+            br,
+            wh,
+            uh,
+            bh,
+            input_dim,
+            hidden,
+        }
     }
 
     /// Hidden width.
@@ -94,7 +106,11 @@ impl Gru {
     pub fn forward_window(&self, ctx: &mut Ctx<'_>, window: &Tensor) -> Var {
         assert_eq!(window.shape().len(), 3, "Gru window must be [N,d,L]");
         let (n, d, l) = (window.shape()[0], window.shape()[1], window.shape()[2]);
-        assert_eq!(d, self.input_dim, "Gru input dim {d} vs expected {}", self.input_dim);
+        assert_eq!(
+            d, self.input_dim,
+            "Gru input dim {d} vs expected {}",
+            self.input_dim
+        );
         let mut h = ctx.input(Tensor::zeros(&[n, self.hidden]));
         for t in 0..l {
             let mut slice = Tensor::zeros(&[n, d]);
@@ -154,8 +170,7 @@ mod tests {
         };
         let fwd = run(vec![1.0, 2.0, 3.0, 4.0]);
         let rev = run(vec![4.0, 3.0, 2.0, 1.0]);
-        let diff: f32 =
-            fwd.iter().zip(&rev).map(|(a, b)| (a - b).abs()).sum();
+        let diff: f32 = fwd.iter().zip(&rev).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-4, "GRU output should be order-sensitive");
     }
 
@@ -169,7 +184,11 @@ mod tests {
         let sq = ctx.g.mul(h, h);
         let loss = ctx.g.sum_all(sq);
         let grads = ctx.backward(loss);
-        assert_eq!(grads.len(), 9, "all nine GRU tensors should receive gradients");
+        assert_eq!(
+            grads.len(),
+            9,
+            "all nine GRU tensors should receive gradients"
+        );
         for (id, g) in grads {
             assert!(g.all_finite(), "non-finite grad for {}", store.name(id));
         }

@@ -50,7 +50,12 @@ impl Linear {
             xavier_uniform(rng, &[in_dim, out_dim], in_dim, out_dim),
         );
         let b = store.add(format!("{name}.b"), Tensor::zeros(&[out_dim]));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input feature dimension.
@@ -100,7 +105,10 @@ impl Mlp {
         dims: &[usize],
         activation: Activation,
     ) -> Self {
-        assert!(dims.len() >= 2, "Mlp needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "Mlp needs at least input and output widths"
+        );
         let layers = dims
             .windows(2)
             .enumerate()

@@ -53,7 +53,22 @@ impl Lstm {
         let wc = store.add(format!("{name}.wc"), xavier_uniform(rng, &[i, h], i, h));
         let uc = store.add(format!("{name}.uc"), xavier_uniform(rng, &[h, h], h, h));
         let bc = store.add(format!("{name}.bc"), Tensor::zeros(&[h]));
-        Lstm { wf, uf, bf, wi, ui, bi, wo, uo, bo, wc, uc, bc, input_dim, hidden }
+        Lstm {
+            wf,
+            uf,
+            bf,
+            wi,
+            ui,
+            bi,
+            wo,
+            uo,
+            bo,
+            wc,
+            uc,
+            bc,
+            input_dim,
+            hidden,
+        }
     }
 
     /// Hidden width.
@@ -61,15 +76,7 @@ impl Lstm {
         self.hidden
     }
 
-    fn gate(
-        &self,
-        ctx: &mut Ctx<'_>,
-        x: Var,
-        h: Var,
-        w: ParamId,
-        u: ParamId,
-        b: ParamId,
-    ) -> Var {
+    fn gate(&self, ctx: &mut Ctx<'_>, x: Var, h: Var, w: ParamId, u: ParamId, b: ParamId) -> Var {
         let wv = ctx.param(w);
         let uv = ctx.param(u);
         let bv = ctx.param(b);
@@ -103,7 +110,11 @@ impl Lstm {
     pub fn forward_window(&self, ctx: &mut Ctx<'_>, window: &Tensor) -> Var {
         assert_eq!(window.shape().len(), 3, "Lstm window must be [N,d,L]");
         let (n, d, l) = (window.shape()[0], window.shape()[1], window.shape()[2]);
-        assert_eq!(d, self.input_dim, "Lstm input dim {d} vs expected {}", self.input_dim);
+        assert_eq!(
+            d, self.input_dim,
+            "Lstm input dim {d} vs expected {}",
+            self.input_dim
+        );
         let mut h = ctx.input(Tensor::zeros(&[n, self.hidden]));
         let mut c = ctx.input(Tensor::zeros(&[n, self.hidden]));
         for t in 0..l {
@@ -143,7 +154,10 @@ mod tests {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(2);
         let _ = Lstm::new(&mut store, &mut rng, "l", 2, 3);
-        let bf = store.ids().find(|&id| store.name(id) == "l.bf").expect("bf");
+        let bf = store
+            .ids()
+            .find(|&id| store.name(id) == "l.bf")
+            .expect("bf");
         assert!(store.value(bf).data().iter().all(|&v| v == 1.0));
     }
 
@@ -174,7 +188,11 @@ mod tests {
         let sq = ctx.g.mul(h, h);
         let loss = ctx.g.sum_all(sq);
         let grads = ctx.backward(loss);
-        assert_eq!(grads.len(), 12, "all twelve LSTM tensors should receive gradients");
+        assert_eq!(
+            grads.len(),
+            12,
+            "all twelve LSTM tensors should receive gradients"
+        );
         assert!(grads.iter().all(|(_, g)| g.all_finite()));
     }
 

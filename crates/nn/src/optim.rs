@@ -14,7 +14,11 @@ impl Sgd {
     /// Creates an SGD optimiser with learning rate `lr` and momentum
     /// coefficient `momentum` (0 disables momentum).
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Applies one update from the accumulated gradients, then zeroes them.
@@ -57,7 +61,16 @@ pub struct Adam {
 impl Adam {
     /// Creates an Adam optimiser with standard β₁=0.9, β₂=0.999.
     pub fn new(lr: f32, weight_decay: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Current learning rate.
@@ -111,7 +124,11 @@ mod tests {
     use crate::param::Ctx;
 
     /// Minimise f(w) = (w - 3)² with the given optimiser-step closure.
-    fn converges(mut step: impl FnMut(&mut ParamStore), store: &mut ParamStore, id: ParamId) -> f32 {
+    fn converges(
+        mut step: impl FnMut(&mut ParamStore),
+        store: &mut ParamStore,
+        id: ParamId,
+    ) -> f32 {
         for _ in 0..400 {
             let mut ctx = Ctx::new(store);
             let w = ctx.param(id);
@@ -164,7 +181,10 @@ mod tests {
             store.accumulate_grad(used, &Tensor::vector(&[0.1]));
             opt.step(&mut store);
         }
-        assert!(store.value(unused).data()[0] < 1.0, "weight decay should shrink the unused param");
+        assert!(
+            store.value(unused).data()[0] < 1.0,
+            "weight decay should shrink the unused param"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! in one pass maps to the same graph node, so gradient contributions from
 //! shared weights accumulate correctly.
 
+use cit_telemetry::{Span, Telemetry};
 use cit_tensor::{Graph, Tensor, Var};
 
 /// Identifier of a parameter inside a [`ParamStore`].
@@ -38,7 +39,11 @@ impl ParamStore {
     /// Registers a parameter and returns its id.
     pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
         let grad = Tensor::zeros(value.shape());
-        self.entries.push(ParamEntry { name: name.into(), value, grad });
+        self.entries.push(ParamEntry {
+            name: name.into(),
+            value,
+            grad,
+        });
         ParamId(self.entries.len() - 1)
     }
 
@@ -96,7 +101,11 @@ impl ParamStore {
 
     /// Global L2 norm of all gradients.
     pub fn grad_norm(&self) -> f32 {
-        self.entries.iter().map(|e| e.grad.sq_norm()).sum::<f32>().sqrt()
+        self.entries
+            .iter()
+            .map(|e| e.grad.sq_norm())
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Scales all gradients so the global norm does not exceed `max_norm`.
@@ -122,7 +131,11 @@ impl ParamStore {
     ///
     /// Used for target networks (DDPG) and snapshotting.
     pub fn copy_values_from(&mut self, other: &ParamStore) {
-        assert_eq!(self.len(), other.len(), "copy_values_from: store size mismatch");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "copy_values_from: store size mismatch"
+        );
         for (dst, src) in self.entries.iter_mut().zip(&other.entries) {
             assert_eq!(dst.value.shape(), src.value.shape(), "param shape mismatch");
             dst.value = src.value.clone();
@@ -131,9 +144,15 @@ impl ParamStore {
 
     /// Polyak averaging: `self = (1-τ)·self + τ·other`.
     pub fn soft_update_from(&mut self, other: &ParamStore, tau: f32) {
-        assert_eq!(self.len(), other.len(), "soft_update_from: store size mismatch");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "soft_update_from: store size mismatch"
+        );
         for (dst, src) in self.entries.iter_mut().zip(&other.entries) {
-            dst.value = dst.value.zip_map(&src.value, |a, b| (1.0 - tau) * a + tau * b);
+            dst.value = dst
+                .value
+                .zip_map(&src.value, |a, b| (1.0 - tau) * a + tau * b);
         }
     }
 }
@@ -145,12 +164,30 @@ pub struct Ctx<'a> {
     pub g: Graph,
     store: &'a ParamStore,
     bindings: Vec<Option<Var>>,
+    telemetry: Telemetry,
 }
 
 impl<'a> Ctx<'a> {
-    /// Starts a forward pass against `store`.
+    /// Starts a forward pass against `store` (telemetry disabled).
     pub fn new(store: &'a ParamStore) -> Self {
-        Ctx { g: Graph::new(), store, bindings: vec![None; store.len()] }
+        Self::with_telemetry(store, Telemetry::disabled())
+    }
+
+    /// Starts a forward pass against `store`, timing layer forwards and
+    /// the backward pass through `telemetry` span histograms.
+    pub fn with_telemetry(store: &'a ParamStore, telemetry: Telemetry) -> Self {
+        Ctx {
+            g: Graph::new(),
+            store,
+            bindings: vec![None; store.len()],
+            telemetry,
+        }
+    }
+
+    /// Starts an RAII span timer named `span.<name>` (inert when the
+    /// context carries no telemetry). Layers use this to time forwards.
+    pub fn span(&self, name: &str) -> Span {
+        self.telemetry.span(name)
     }
 
     /// Injects (or reuses) a parameter as a differentiable graph leaf.
@@ -174,6 +211,7 @@ impl<'a> Ctx<'a> {
     /// Apply them with [`ParamStore::accumulate_grad`] — the two-step dance
     /// keeps the forward pass borrowing the store immutably.
     pub fn backward(&self, loss: Var) -> Vec<(ParamId, Tensor)> {
+        let _timer = self.telemetry.span("nn.backward");
         let grads = self.g.backward(loss);
         let mut out = Vec::new();
         for (i, b) in self.bindings.iter().enumerate() {

@@ -73,9 +73,13 @@ pub fn to_string(store: &ParamStore) -> String {
 /// constructed with the same architecture before loading.
 pub fn from_string(store: &mut ParamStore, text: &str) -> Result<(), CheckpointError> {
     let mut lines = text.lines();
-    let header = lines.next().ok_or_else(|| CheckpointError::Malformed("empty file".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| CheckpointError::Malformed("empty file".into()))?;
     if header.trim() != HEADER {
-        return Err(CheckpointError::Malformed(format!("unexpected header: {header}")));
+        return Err(CheckpointError::Malformed(format!(
+            "unexpected header: {header}"
+        )));
     }
     let ids: Vec<ParamId> = store.ids().collect();
     let mut loaded = 0usize;
@@ -211,17 +215,22 @@ mod tests {
         let mut other = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(3);
         let _ = Mlp::new(&mut other, &mut rng, "net", &[4, 5, 2], Activation::Relu);
-        assert!(matches!(from_string(&mut other, &text), Err(CheckpointError::Mismatch(_))));
+        assert!(matches!(
+            from_string(&mut other, &text),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 
     #[test]
     fn rejects_truncated_checkpoint() {
         let src = store_with_mlp(1);
         let text = to_string(&src);
-        let truncated: String =
-            text.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let truncated: String = text.lines().take(2).map(|l| format!("{l}\n")).collect();
         let mut dst = store_with_mlp(1);
-        assert!(matches!(from_string(&mut dst, &truncated), Err(CheckpointError::Mismatch(_))));
+        assert!(matches!(
+            from_string(&mut dst, &truncated),
+            Err(CheckpointError::Mismatch(_))
+        ));
     }
 
     #[test]

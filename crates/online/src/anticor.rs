@@ -21,7 +21,10 @@ impl Anticor {
     /// Creates Anticor with window length `window`.
     pub fn new(window: usize) -> Self {
         assert!(window >= 2, "Anticor needs window >= 2");
-        Anticor { window, weights: Vec::new() }
+        Anticor {
+            window,
+            weights: Vec::new(),
+        }
     }
 }
 
@@ -55,10 +58,16 @@ impl Strategy for Anticor {
         let log_rel = |day: usize, i: usize| -> f64 {
             (ctx.panel.close(day, i) / ctx.panel.close(day - 1, i)).ln()
         };
-        let lx1: Vec<Vec<f64>> =
-            (0..m).map(|i| (ctx.t - 2 * w + 1..=ctx.t - w).map(|d| log_rel(d, i)).collect()).collect();
-        let lx2: Vec<Vec<f64>> =
-            (0..m).map(|i| (ctx.t - w + 1..=ctx.t).map(|d| log_rel(d, i)).collect()).collect();
+        let lx1: Vec<Vec<f64>> = (0..m)
+            .map(|i| {
+                (ctx.t - 2 * w + 1..=ctx.t - w)
+                    .map(|d| log_rel(d, i))
+                    .collect()
+            })
+            .collect();
+        let lx2: Vec<Vec<f64>> = (0..m)
+            .map(|i| (ctx.t - w + 1..=ctx.t).map(|d| log_rel(d, i)).collect())
+            .collect();
 
         let mu1: Vec<f64> = lx1.iter().map(|c| mean(c)).collect();
         let mu2: Vec<f64> = lx2.iter().map(|c| mean(c)).collect();
@@ -129,8 +138,13 @@ mod tests {
 
     #[test]
     fn anticor_outputs_simplex() {
-        let p = SynthConfig { num_assets: 5, num_days: 150, test_start: 100, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 5,
+            num_days: 150,
+            test_start: 100,
+            ..Default::default()
+        }
+        .generate();
         let res = run_backtest(&p, EnvConfig::default(), 40, 100, &mut Anticor::default());
         for w in &res.weights {
             assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
@@ -140,13 +154,26 @@ mod tests {
 
     #[test]
     fn no_trading_before_two_windows() {
-        let p = SynthConfig { num_assets: 3, num_days: 60, test_start: 40, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 60,
+            test_start: 40,
+            ..Default::default()
+        }
+        .generate();
         let mut a = Anticor::new(5);
         a.reset(3);
-        let ctx = cit_market::DecisionContext { panel: &p, t: 8, prev_weights: &[0.4, 0.3, 0.3], window: 5 };
+        let ctx = cit_market::DecisionContext {
+            panel: &p,
+            t: 8,
+            prev_weights: &[0.4, 0.3, 0.3],
+            window: 5,
+        };
         let w = a.decide(&ctx);
-        assert!(w.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-12), "too early to trade: {w:?}");
+        assert!(
+            w.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-12),
+            "too early to trade: {w:?}"
+        );
     }
 
     #[test]
@@ -162,7 +189,16 @@ mod tests {
             }
         }
         let p = AssetPanel::new("cyc", days, 3, data, 50);
-        let res = run_backtest(&p, EnvConfig { window: 5, transaction_cost: 0.0 }, 20, 50, &mut Anticor::default());
+        let res = run_backtest(
+            &p,
+            EnvConfig {
+                window: 5,
+                transaction_cost: 0.0,
+            },
+            20,
+            50,
+            &mut Anticor::default(),
+        );
         for w in &res.weights {
             assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }

@@ -57,7 +57,10 @@ pub struct Eg {
 impl Eg {
     /// Creates EG with learning rate `eta`.
     pub fn new(eta: f64) -> Self {
-        Eg { eta, weights: Vec::new() }
+        Eg {
+            eta,
+            weights: Vec::new(),
+        }
     }
 }
 
@@ -99,7 +102,13 @@ mod tests {
     use cit_market::{run_backtest, EnvConfig, SynthConfig};
 
     fn panel() -> cit_market::AssetPanel {
-        SynthConfig { num_assets: 4, num_days: 150, test_start: 100, ..Default::default() }.generate()
+        SynthConfig {
+            num_assets: 4,
+            num_days: 150,
+            test_start: 100,
+            ..Default::default()
+        }
+        .generate()
     }
 
     #[test]
@@ -114,7 +123,16 @@ mod tests {
     #[test]
     fn bah_weights_drift_with_prices() {
         let p = panel();
-        let res = run_backtest(&p, EnvConfig { window: 10, transaction_cost: 0.0 }, 40, 80, &mut BuyAndHold::default());
+        let res = run_backtest(
+            &p,
+            EnvConfig {
+                window: 10,
+                transaction_cost: 0.0,
+            },
+            40,
+            80,
+            &mut BuyAndHold::default(),
+        );
         // After the first day the target should follow drifted weights, so
         // turnover (and hence deviation from uniform) appears.
         let last = res.weights.last().expect("weights recorded");
@@ -127,14 +145,20 @@ mod tests {
         let p = panel();
         let res = run_backtest(
             &p,
-            EnvConfig { window: 10, transaction_cost: 0.0 },
+            EnvConfig {
+                window: 10,
+                transaction_cost: 0.0,
+            },
             40,
             90,
             &mut BuyAndHold::default(),
         );
         let idx = cit_market::market_result(&p, 40, 90);
         for (a, b) in res.wealth.iter().zip(&idx.wealth) {
-            assert!((a - b).abs() < 1e-9, "BAH must replicate the index: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-9,
+                "BAH must replicate the index: {a} vs {b}"
+            );
         }
     }
 
@@ -142,12 +166,28 @@ mod tests {
     fn eg_tilts_toward_recent_winner() {
         let p = panel();
         let mut eg = Eg::new(0.5); // large η to make the tilt visible
-        let res = run_backtest(&p, EnvConfig { window: 10, transaction_cost: 0.0 }, 40, 45, &mut eg);
-        // Find the best asset on day 41 (used for the decision at t=41).
-        let x = p.price_relatives(41);
-        let best = (0..4).max_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap()).unwrap();
-        let w = &res.weights[1]; // decision taken at t = 41
-        let maxw = (0..4).max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap()).unwrap();
+        let res = run_backtest(
+            &p,
+            EnvConfig {
+                window: 10,
+                transaction_cost: 0.0,
+            },
+            40,
+            45,
+            &mut eg,
+        );
+        // The first decision (t = 40) applies exactly one multiplicative
+        // update from uniform weights, so its argmax must equal the best
+        // asset by the price relatives of day 40. (Later decisions mix
+        // several updates, so their argmax depends on the whole history.)
+        let x = p.price_relatives(40);
+        let best = (0..4)
+            .max_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap())
+            .unwrap();
+        let w = &res.weights[0]; // decision taken at t = 40
+        let maxw = (0..4)
+            .max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap())
+            .unwrap();
         assert_eq!(best, maxw, "EG should overweight the best recent asset");
     }
 

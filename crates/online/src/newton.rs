@@ -26,7 +26,12 @@ pub struct Ons {
 impl Ons {
     /// Creates ONS with the standard β = 2, δ = 1/8.
     pub fn new(beta: f64, delta: f64) -> Self {
-        Ons { beta, delta, weights: Vec::new(), a: Vec::new() }
+        Ons {
+            beta,
+            delta,
+            weights: Vec::new(),
+            a: Vec::new(),
+        }
     }
 }
 
@@ -90,7 +95,9 @@ impl Strategy for Ons {
 /// `A` (row-major `m×m`).
 fn solve_spd(a: &[f64], b: &[f64], m: usize) -> Vec<f64> {
     let matvec = |v: &[f64]| -> Vec<f64> {
-        (0..m).map(|i| (0..m).map(|j| a[i * m + j] * v[j]).sum()).collect()
+        (0..m)
+            .map(|i| (0..m).map(|j| a[i * m + j] * v[j]).sum())
+            .collect()
     };
     let mut x = vec![0.0f64; m];
     let mut r = b.to_vec();
@@ -131,7 +138,12 @@ pub struct UniversalPortfolio {
 impl UniversalPortfolio {
     /// Creates UP with `num_samples` sampled managers.
     pub fn new(num_samples: usize, seed: u64) -> Self {
-        UniversalPortfolio { num_samples, seed, samples: Vec::new(), wealth: Vec::new() }
+        UniversalPortfolio {
+            num_samples,
+            seed,
+            samples: Vec::new(),
+            wealth: Vec::new(),
+        }
     }
 }
 
@@ -151,8 +163,9 @@ impl Strategy for UniversalPortfolio {
         self.samples = (0..self.num_samples)
             .map(|_| {
                 // Dirichlet(1) == normalised exponentials.
-                let e: Vec<f64> =
-                    (0..m).map(|_| -rng.random::<f64>().max(1e-12).ln()).collect();
+                let e: Vec<f64> = (0..m)
+                    .map(|_| -rng.random::<f64>().max(1e-12).ln())
+                    .collect();
                 let s: f64 = e.iter().sum();
                 e.into_iter().map(|v| v / s).collect()
             })
@@ -188,7 +201,13 @@ mod tests {
     use cit_market::{run_backtest, EnvConfig, SynthConfig};
 
     fn panel() -> cit_market::AssetPanel {
-        SynthConfig { num_assets: 4, num_days: 150, test_start: 100, ..Default::default() }.generate()
+        SynthConfig {
+            num_assets: 4,
+            num_days: 150,
+            test_start: 100,
+            ..Default::default()
+        }
+        .generate()
     }
 
     #[test]
@@ -224,7 +243,10 @@ mod tests {
         let res = run_backtest(&p, EnvConfig::default(), 40, 90, &mut ons);
         let floor = 0.125 / 4.0 - 1e-9;
         for w in res.weights.iter().skip(1) {
-            assert!(w.iter().all(|&x| x >= floor), "weight below δ/m floor: {w:?}");
+            assert!(
+                w.iter().all(|&x| x >= floor),
+                "weight below δ/m floor: {w:?}"
+            );
         }
     }
 
@@ -243,11 +265,22 @@ mod tests {
         }
         let p = cit_market::AssetPanel::new("rigged", days, 3, data, 100);
         let mut up = UniversalPortfolio::new(128, 3);
-        let res = run_backtest(&p, EnvConfig { window: 5, transaction_cost: 0.0 }, 10, 110, &mut up);
+        let res = run_backtest(
+            &p,
+            EnvConfig {
+                window: 5,
+                transaction_cost: 0.0,
+            },
+            10,
+            110,
+            &mut up,
+        );
         let w = res.weights.last().expect("weights");
         // Cover's UP concentrates slowly; require asset 0 to dominate and
         // carry clearly more than the uniform share.
-        let max_idx = (0..3).max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap()).unwrap();
+        let max_idx = (0..3)
+            .max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap())
+            .unwrap();
         assert_eq!(max_idx, 0, "UP should favour the winning asset, got {w:?}");
         assert!(w[0] > 0.45, "UP tilt too weak, got {w:?}");
     }
@@ -255,8 +288,20 @@ mod tests {
     #[test]
     fn up_deterministic_given_seed() {
         let p = panel();
-        let r1 = run_backtest(&p, EnvConfig::default(), 40, 70, &mut UniversalPortfolio::new(64, 9));
-        let r2 = run_backtest(&p, EnvConfig::default(), 40, 70, &mut UniversalPortfolio::new(64, 9));
+        let r1 = run_backtest(
+            &p,
+            EnvConfig::default(),
+            40,
+            70,
+            &mut UniversalPortfolio::new(64, 9),
+        );
+        let r2 = run_backtest(
+            &p,
+            EnvConfig::default(),
+            40,
+            70,
+            &mut UniversalPortfolio::new(64, 9),
+        );
         assert_eq!(r1.wealth, r2.wealth);
     }
 }

@@ -24,7 +24,11 @@ impl Corn {
     /// Creates CORN with window `window` and correlation threshold `rho`.
     pub fn new(window: usize, rho: f64) -> Self {
         assert!(window >= 2, "CORN needs window >= 2");
-        Corn { window, rho, opt_iters: 60 }
+        Corn {
+            window,
+            rho,
+            opt_iters: 60,
+        }
     }
 
     /// Market-vector for a window: concatenated price relatives of all
@@ -146,8 +150,9 @@ impl Strategy for Bcrp {
         if ctx.t < 2 {
             return vec![1.0 / m as f64; m];
         }
-        let samples: Vec<Vec<f64>> =
-            (1..=ctx.t).map(|day| ctx.panel.price_relatives(day)).collect();
+        let samples: Vec<Vec<f64>> = (1..=ctx.t)
+            .map(|day| ctx.panel.price_relatives(day))
+            .collect();
         log_optimal_portfolio(&samples, m, self.opt_iters)
     }
 }
@@ -181,7 +186,10 @@ mod tests {
             window: 5,
         };
         let b = bcrp.decide(&ctx);
-        assert!(b[0] > 0.9, "BCRP must concentrate on the dominant asset: {b:?}");
+        assert!(
+            b[0] > 0.9,
+            "BCRP must concentrate on the dominant asset: {b:?}"
+        );
     }
 
     #[test]
@@ -211,14 +219,25 @@ mod tests {
             window: 5,
         };
         let w = corn.decide(&ctx);
-        assert!(w[0] > 0.5, "CORN should favour the persistent winner: {w:?}");
+        assert!(
+            w[0] > 0.5,
+            "CORN should favour the persistent winner: {w:?}"
+        );
     }
 
     #[test]
     fn both_stay_on_simplex_in_backtests() {
-        let p = SynthConfig { num_assets: 4, num_days: 150, test_start: 120, ..Default::default() }
-            .generate();
-        for strat in [&mut Corn::default() as &mut dyn Strategy, &mut Bcrp::default()] {
+        let p = SynthConfig {
+            num_assets: 4,
+            num_days: 150,
+            test_start: 120,
+            ..Default::default()
+        }
+        .generate();
+        for strat in [
+            &mut Corn::default() as &mut dyn Strategy,
+            &mut Bcrp::default(),
+        ] {
             let res = run_backtest(&p, EnvConfig::default(), 40, 100, strat);
             for w in &res.weights {
                 assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);

@@ -21,7 +21,11 @@ impl Olmar {
     /// Creates OLMAR with the given threshold and window.
     pub fn new(epsilon: f64, ma_window: usize) -> Self {
         assert!(ma_window >= 2, "OLMAR needs a window of at least 2");
-        Olmar { epsilon, ma_window, weights: Vec::new() }
+        Olmar {
+            epsilon,
+            ma_window,
+            weights: Vec::new(),
+        }
     }
 }
 
@@ -87,7 +91,10 @@ pub struct Pamr {
 impl Pamr {
     /// Creates PAMR with threshold `epsilon`.
     pub fn new(epsilon: f64) -> Self {
-        Pamr { epsilon, weights: Vec::new() }
+        Pamr {
+            epsilon,
+            weights: Vec::new(),
+        }
     }
 }
 
@@ -154,7 +161,12 @@ pub struct Cwmr {
 impl Cwmr {
     /// Creates CWMR with confidence `phi` and threshold `epsilon`.
     pub fn new(phi: f64, epsilon: f64) -> Self {
-        Cwmr { phi, epsilon, mu: Vec::new(), sigma: Vec::new() }
+        Cwmr {
+            phi,
+            epsilon,
+            mu: Vec::new(),
+            sigma: Vec::new(),
+        }
     }
 }
 
@@ -226,7 +238,12 @@ impl Rmr {
     /// Creates RMR with the given threshold and window.
     pub fn new(epsilon: f64, window: usize) -> Self {
         assert!(window >= 2, "RMR needs a window of at least 2");
-        Rmr { epsilon, window, median_iters: 40, weights: Vec::new() }
+        Rmr {
+            epsilon,
+            window,
+            median_iters: 40,
+            weights: Vec::new(),
+        }
     }
 }
 
@@ -257,8 +274,11 @@ impl Strategy for Rmr {
                 .collect();
             let med = l1_median(&points, self.median_iters);
             let current = ctx.panel.closes(ctx.t);
-            let xt: Vec<f64> =
-                med.iter().zip(&current).map(|(md, c)| md / c.max(1e-12)).collect();
+            let xt: Vec<f64> = med
+                .iter()
+                .zip(&current)
+                .map(|(md, c)| md / c.max(1e-12))
+                .collect();
             let xbar = mean(&xt);
             let centered: Vec<f64> = xt.iter().map(|x| x - xbar).collect();
             let denom = sq_norm(&centered);
@@ -285,7 +305,13 @@ mod tests {
     use cit_market::{run_backtest, AssetPanel, EnvConfig, SynthConfig};
 
     fn panel() -> AssetPanel {
-        SynthConfig { num_assets: 4, num_days: 150, test_start: 100, ..Default::default() }.generate()
+        SynthConfig {
+            num_assets: 4,
+            num_days: 150,
+            test_start: 100,
+            ..Default::default()
+        }
+        .generate()
     }
 
     fn assert_simplex_run(strategy: &mut dyn Strategy) {
@@ -336,7 +362,10 @@ mod tests {
     #[test]
     fn pamr_profits_from_mean_reversion() {
         let p = oscillating_panel();
-        let cfg = EnvConfig { window: 5, transaction_cost: 0.0 };
+        let cfg = EnvConfig {
+            window: 5,
+            transaction_cost: 0.0,
+        };
         let pamr = run_backtest(&p, cfg, 10, 90, &mut Pamr::default());
         let crp = run_backtest(&p, cfg, 10, 90, &mut crate::benchmark::Crp);
         assert!(
@@ -364,10 +393,18 @@ mod tests {
         // update always pushes toward the higher predicted relative.
         let mut olmar = Olmar::new(10.0, 5);
         // Decide at t = 19 (the crash day) for day 20.
-        let ctx = cit_market::DecisionContext { panel: &p, t: 19, prev_weights: &[0.5, 0.5], window: 5 };
+        let ctx = cit_market::DecisionContext {
+            panel: &p,
+            t: 19,
+            prev_weights: &[0.5, 0.5],
+            window: 5,
+        };
         olmar.reset(2);
         let w = olmar.decide(&ctx);
-        assert!(w[0] > 0.5, "OLMAR should overweight the crashed asset, got {w:?}");
+        assert!(
+            w[0] > 0.5,
+            "OLMAR should overweight the crashed asset, got {w:?}"
+        );
     }
 
     #[test]
@@ -383,7 +420,12 @@ mod tests {
             }
         }
         let p = AssetPanel::new("outlier", days, 2, data, 25);
-        let ctx = cit_market::DecisionContext { panel: &p, t: 20, prev_weights: &[0.5, 0.5], window: 5 };
+        let ctx = cit_market::DecisionContext {
+            panel: &p,
+            t: 20,
+            prev_weights: &[0.5, 0.5],
+            window: 5,
+        };
         let mut rmr = Rmr::new(1.05, 5);
         rmr.reset(2);
         let w_rmr = rmr.decide(&ctx);
@@ -405,6 +447,9 @@ mod tests {
         let s0: f64 = cwmr.sigma.iter().sum();
         let _ = run_backtest(&p, EnvConfig::default(), 40, 90, &mut cwmr);
         let s1: f64 = cwmr.sigma.iter().sum();
-        assert!(s1 <= s0, "CWMR variance should shrink over time: {s0} -> {s1}");
+        assert!(
+            s1 <= s0,
+            "CWMR variance should shrink over time: {s0} -> {s1}"
+        );
     }
 }

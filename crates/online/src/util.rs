@@ -6,7 +6,10 @@
 pub fn simplex_projection(v: &[f64]) -> Vec<f64> {
     let n = v.len();
     assert!(n > 0, "simplex_projection on empty vector");
-    let mut u: Vec<f64> = v.iter().map(|x| if x.is_finite() { *x } else { 0.0 }).collect();
+    let mut u: Vec<f64> = v
+        .iter()
+        .map(|x| if x.is_finite() { *x } else { 0.0 })
+        .collect();
     u.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
     let mut css = 0.0;
     let mut rho = 0usize;
@@ -57,12 +60,19 @@ pub fn l1_median(points: &[Vec<f64>], iters: usize) -> Vec<f64> {
     assert!(!points.is_empty(), "l1_median of no points");
     let dim = points[0].len();
     // Start from the coordinate-wise mean.
-    let mut mu: Vec<f64> = (0..dim).map(|d| mean(&points.iter().map(|p| p[d]).collect::<Vec<_>>())).collect();
+    let mut mu: Vec<f64> = (0..dim)
+        .map(|d| mean(&points.iter().map(|p| p[d]).collect::<Vec<_>>()))
+        .collect();
     for _ in 0..iters {
         let mut num = vec![0.0f64; dim];
         let mut den = 0.0f64;
         for p in points {
-            let dist = p.iter().zip(&mu).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            let dist = p
+                .iter()
+                .zip(&mu)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
             if dist < 1e-12 {
                 // Point coincides with current estimate — done.
                 return mu;

@@ -38,11 +38,32 @@ impl<S: StateBuilder> A2c<S> {
         let dim = state.dim(m);
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let policy =
-            Mlp::new(&mut store, &mut rng, "policy", &[dim, cfg.hidden, cfg.hidden, m], Activation::Tanh);
-        let value = Mlp::new(&mut store, &mut rng, "value", &[dim, cfg.hidden, 1], Activation::Tanh);
+        let policy = Mlp::new(
+            &mut store,
+            &mut rng,
+            "policy",
+            &[dim, cfg.hidden, cfg.hidden, m],
+            Activation::Tanh,
+        );
+        let value = Mlp::new(
+            &mut store,
+            &mut rng,
+            "value",
+            &[dim, cfg.hidden, 1],
+            Activation::Tanh,
+        );
         let head = GaussianHead::new(&mut store, "policy", m, cfg.init_log_std);
-        A2c { name: name.to_string(), cfg, state, num_assets: m, store, policy, value, head, rng }
+        A2c {
+            name: name.to_string(),
+            cfg,
+            state,
+            num_assets: m,
+            store,
+            policy,
+            value,
+            head,
+            rng,
+        }
     }
 
     /// Total trainable parameters.
@@ -52,14 +73,18 @@ impl<S: StateBuilder> A2c<S> {
 
     fn policy_mean(&self, s: &[f64]) -> Tensor {
         let mut ctx = Ctx::new(&self.store);
-        let input = ctx.input(Tensor::vector(&s.iter().map(|v| *v as f32).collect::<Vec<_>>()));
+        let input = ctx.input(Tensor::vector(
+            &s.iter().map(|v| *v as f32).collect::<Vec<_>>(),
+        ));
         let out = self.policy.forward_vec(&mut ctx, input);
         ctx.g.value(out).clone()
     }
 
     fn value_of(&self, s: &[f64]) -> f64 {
         let mut ctx = Ctx::new(&self.store);
-        let input = ctx.input(Tensor::vector(&s.iter().map(|v| *v as f32).collect::<Vec<_>>()));
+        let input = ctx.input(Tensor::vector(
+            &s.iter().map(|v| *v as f32).collect::<Vec<_>>(),
+        ));
         let out = self.value.forward_vec(&mut ctx, input);
         ctx.g.value(out).data()[0] as f64
     }
@@ -68,16 +93,26 @@ impl<S: StateBuilder> A2c<S> {
     pub fn act(&self, panel: &AssetPanel, t: usize, prev: &[f64]) -> Vec<f64> {
         let s = self.state.build(panel, t, prev);
         let mean = self.policy_mean(&s);
-        self.head.mean_action(&mean).data().iter().map(|&v| v as f64).collect()
+        self.head
+            .mean_action(&mean)
+            .data()
+            .iter()
+            .map(|&v| v as f64)
+            .collect()
     }
 
     /// Trains on the panel's training period and returns diagnostics.
     pub fn train(&mut self, panel: &AssetPanel) -> TrainReport {
-        let env_cfg =
-            EnvConfig { window: self.cfg.window, transaction_cost: self.cfg.transaction_cost };
+        let env_cfg = EnvConfig {
+            window: self.cfg.window,
+            transaction_cost: self.cfg.transaction_cost,
+        };
         let start = self.cfg.min_start().max(self.state.min_history());
         let end = panel.test_start();
-        assert!(start + 2 < end, "training period too short for look-back requirements");
+        assert!(
+            start + 2 < end,
+            "training period too short for look-back requirements"
+        );
         let mut env = PortfolioEnv::new(panel, env_cfg, start, end);
         let mut opt = Adam::new(self.cfg.lr, self.cfg.weight_decay);
         let mut steps = 0usize;
@@ -93,8 +128,7 @@ impl<S: StateBuilder> A2c<S> {
                 let s = self.state.build(panel, env.current_day(), env.weights());
                 let mean = self.policy_mean(&s);
                 let sample = self.head.sample(&self.store, &mean, &mut self.rng);
-                let action: Vec<f64> =
-                    sample.action.data().iter().map(|&v| v as f64).collect();
+                let action: Vec<f64> = sample.action.data().iter().map(|&v| v as f64).collect();
                 let res = env.step(&action);
                 states.push(s);
                 latents.push(sample.latent);
@@ -118,10 +152,14 @@ impl<S: StateBuilder> A2c<S> {
             let _ = truncated;
             let s_next = self.state.build(panel, env.current_day(), env.weights());
             values.push(self.value_of(&s_next));
-            let targets =
-                lambda_targets(&rewards, &values, self.cfg.gamma, self.cfg.lambda, self.cfg.nstep);
-            let mut advs: Vec<f64> =
-                targets.iter().zip(&values).map(|(y, v)| y - v).collect();
+            let targets = lambda_targets(
+                &rewards,
+                &values,
+                self.cfg.gamma,
+                self.cfg.lambda,
+                self.cfg.nstep,
+            );
+            let mut advs: Vec<f64> = targets.iter().zip(&values).map(|(y, v)| y - v).collect();
             normalize_advantages(&mut advs);
 
             // ---- Losses ----
@@ -129,8 +167,9 @@ impl<S: StateBuilder> A2c<S> {
             let mut ctx = Ctx::new(&self.store);
             let mut total: Option<cit_tensor::Var> = None;
             for (i, s) in states.iter().enumerate() {
-                let input = ctx
-                    .input(Tensor::vector(&s.iter().map(|v| *v as f32).collect::<Vec<_>>()));
+                let input = ctx.input(Tensor::vector(
+                    &s.iter().map(|v| *v as f32).collect::<Vec<_>>(),
+                ));
                 // Actor term: -logπ(u|s) · Â
                 let mean = self.policy.forward_vec(&mut ctx, input);
                 let logp = self.head.log_prob(&mut ctx, mean, &latents[i]);
@@ -157,7 +196,10 @@ impl<S: StateBuilder> A2c<S> {
             opt.step(&mut self.store);
             update_rewards.push(rewards.iter().sum::<f64>() / rewards.len() as f64);
         }
-        TrainReport { update_rewards, steps }
+        TrainReport {
+            update_rewards,
+            steps,
+        }
     }
 
     fn apply_entropy_bonus(&mut self) {
@@ -207,7 +249,13 @@ mod tests {
     use cit_market::SynthConfig;
 
     fn panel() -> AssetPanel {
-        SynthConfig { num_assets: 3, num_days: 260, test_start: 200, ..Default::default() }.generate()
+        SynthConfig {
+            num_assets: 3,
+            num_days: 260,
+            test_start: 200,
+            ..Default::default()
+        }
+        .generate()
     }
 
     #[test]
@@ -267,6 +315,9 @@ mod tests {
         let mut a2 = A2c::new(&p, RlConfig::smoke(7));
         a1.train(&p);
         a2.train(&p);
-        assert_eq!(a1.act(&p, 150, &[1.0 / 3.0; 3]), a2.act(&p, 150, &[1.0 / 3.0; 3]));
+        assert_eq!(
+            a1.act(&p, 150, &[1.0 / 3.0; 3]),
+            a2.act(&p, 150, &[1.0 / 3.0; 3])
+        );
     }
 }

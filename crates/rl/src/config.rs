@@ -110,9 +110,15 @@ mod tests {
 
     #[test]
     fn final_mean_reward_uses_tail() {
-        let r = TrainReport { update_rewards: vec![0.0, 0.0, 0.0, 1.0], steps: 4 };
+        let r = TrainReport {
+            update_rewards: vec![0.0, 0.0, 0.0, 1.0],
+            steps: 4,
+        };
         assert_eq!(r.final_mean_reward(), 1.0);
-        let empty = TrainReport { update_rewards: vec![], steps: 0 };
+        let empty = TrainReport {
+            update_rewards: vec![],
+            steps: 0,
+        };
         assert_eq!(empty.final_mean_reward(), 0.0);
     }
 }

@@ -107,7 +107,9 @@ impl Ddpg<DefaultState> {
 impl<S: StateBuilder> Ddpg<S> {
     fn scores(&self, store: &ParamStore, s: &[f64]) -> Tensor {
         let mut ctx = Ctx::new(store);
-        let input = ctx.input(Tensor::vector(&s.iter().map(|v| *v as f32).collect::<Vec<_>>()));
+        let input = ctx.input(Tensor::vector(
+            &s.iter().map(|v| *v as f32).collect::<Vec<_>>(),
+        ));
         let out = self.actor.forward_vec(&mut ctx, input);
         ctx.g.value(out).clone()
     }
@@ -130,7 +132,11 @@ impl<S: StateBuilder> Ddpg<S> {
     pub fn act(&self, panel: &AssetPanel, t: usize, prev: &[f64]) -> Vec<f64> {
         let s = self.state.build(panel, t, prev);
         let scores = self.scores(&self.store, &s);
-        softmax_last_tensor(&scores).data().iter().map(|&v| v as f64).collect()
+        softmax_last_tensor(&scores)
+            .data()
+            .iter()
+            .map(|&v| v as f64)
+            .collect()
     }
 
     fn push_transition(&mut self, tr: Transition) {
@@ -145,7 +151,10 @@ impl<S: StateBuilder> Ddpg<S> {
     /// Trains on the panel's training period.
     pub fn train(&mut self, panel: &AssetPanel) -> TrainReport {
         let base = self.cfg.base;
-        let env_cfg = EnvConfig { window: base.window, transaction_cost: base.transaction_cost };
+        let env_cfg = EnvConfig {
+            window: base.window,
+            transaction_cost: base.transaction_cost,
+        };
         let start = base.min_start().max(self.state.min_history());
         let end = panel.test_start();
         assert!(start + 2 < end, "training period too short");
@@ -161,8 +170,11 @@ impl<S: StateBuilder> Ddpg<S> {
             for v in scores.data_mut() {
                 *v += rand_util::normal(&mut self.rng) as f32 * self.cfg.explore_std as f32;
             }
-            let action: Vec<f64> =
-                softmax_last_tensor(&scores).data().iter().map(|&v| v as f64).collect();
+            let action: Vec<f64> = softmax_last_tensor(&scores)
+                .data()
+                .iter()
+                .map(|&v| v as f64)
+                .collect();
             let res = env.step(&action);
             if res.done {
                 env.reset();
@@ -180,20 +192,24 @@ impl<S: StateBuilder> Ddpg<S> {
             if self.buffer.len() >= self.cfg.warmup {
                 self.learn_batch(&mut opt);
             }
-            if steps % base.rollout == 0 {
+            if steps.is_multiple_of(base.rollout) {
                 update_rewards
                     .push(window_rewards.iter().sum::<f64>() / window_rewards.len() as f64);
                 window_rewards.clear();
             }
         }
-        TrainReport { update_rewards, steps }
+        TrainReport {
+            update_rewards,
+            steps,
+        }
     }
 
     fn learn_batch(&mut self, opt: &mut Adam) {
         let base = self.cfg.base;
         let n = self.cfg.batch.min(self.buffer.len());
-        let idxs: Vec<usize> =
-            (0..n).map(|_| self.rng.random_range(0..self.buffer.len())).collect();
+        let idxs: Vec<usize> = (0..n)
+            .map(|_| self.rng.random_range(0..self.buffer.len()))
+            .collect();
 
         // ---- Critic targets from the target networks (plain numbers) ----
         let mut ys = Vec::with_capacity(n);
@@ -231,8 +247,10 @@ impl<S: StateBuilder> Ddpg<S> {
         let loss = ctx.g.scale(loss, 1.0 / n as f32);
         let grads = ctx.backward(loss);
         // Critic gradients only.
-        let critic_grads: Vec<_> =
-            grads.into_iter().filter(|(id, _)| !self.actor_ids.contains(id)).collect();
+        let critic_grads: Vec<_> = grads
+            .into_iter()
+            .filter(|(id, _)| !self.actor_ids.contains(id))
+            .collect();
         self.store.apply_grads(critic_grads);
         self.store.clip_grad_norm(base.grad_clip);
         opt.step(&mut self.store);
@@ -260,8 +278,10 @@ impl<S: StateBuilder> Ddpg<S> {
         let loss = ctx.g.scale(loss, 1.0 / n as f32);
         let grads = ctx.backward(loss);
         // Actor gradients only — the critic stays fixed in this step.
-        let actor_grads: Vec<_> =
-            grads.into_iter().filter(|(id, _)| self.actor_ids.contains(id)).collect();
+        let actor_grads: Vec<_> = grads
+            .into_iter()
+            .filter(|(id, _)| self.actor_ids.contains(id))
+            .collect();
         self.store.apply_grads(actor_grads);
         self.store.clip_grad_norm(base.grad_clip);
         opt.step(&mut self.store);
@@ -288,12 +308,19 @@ mod tests {
 
     #[test]
     fn ddpg_trains_and_acts() {
-        let p = SynthConfig { num_assets: 3, num_days: 260, test_start: 200, ..Default::default() }
-            .generate();
-        let mut cfg = DdpgConfig::default();
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 260,
+            test_start: 200,
+            ..Default::default()
+        }
+        .generate();
+        let mut cfg = DdpgConfig {
+            warmup: 64,
+            ..Default::default()
+        };
         cfg.base = RlConfig::smoke(11);
         cfg.base.total_steps = 400;
-        cfg.warmup = 64;
         let mut agent = Ddpg::new(&p, cfg);
         let rep = agent.train(&p);
         assert!(rep.steps >= 400);
@@ -314,8 +341,10 @@ mod tests {
             }
         }
         let p = AssetPanel::new("rigged", days, 3, data, 320);
-        let mut cfg = DdpgConfig::default();
-        cfg.base = RlConfig::smoke(12);
+        let mut cfg = DdpgConfig {
+            base: RlConfig::smoke(12),
+            ..Default::default()
+        };
         cfg.base.total_steps = 3_000;
         cfg.base.lr = 1e-3;
         cfg.base.gamma = 0.5;
@@ -327,13 +356,21 @@ mod tests {
 
     #[test]
     fn replay_buffer_wraps() {
-        let p = SynthConfig { num_assets: 3, num_days: 260, test_start: 200, ..Default::default() }
-            .generate();
-        let mut cfg = DdpgConfig::default();
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 260,
+            test_start: 200,
+            ..Default::default()
+        }
+        .generate();
+        // warmup 1000 never triggers learning; we only test the buffer.
+        let mut cfg = DdpgConfig {
+            buffer: 64,
+            warmup: 1000,
+            ..Default::default()
+        };
         cfg.base = RlConfig::smoke(13);
         cfg.base.total_steps = 300;
-        cfg.buffer = 64;
-        cfg.warmup = 1000; // never learn; we only test the buffer
         let mut agent = Ddpg::new(&p, cfg);
         agent.train(&p);
         assert_eq!(agent.buffer.len(), 64);

@@ -49,7 +49,14 @@ impl DeepTrader {
             &[FEAT_DIM, cfg.hidden, 1],
             Activation::Tanh,
         );
-        DeepTrader { cfg, num_assets: m, store, scorer, market, rng }
+        DeepTrader {
+            cfg,
+            num_assets: m,
+            store,
+            scorer,
+            market,
+            rng,
+        }
     }
 
     fn feature_matrix(&self, panel: &AssetPanel, t: usize) -> Tensor {
@@ -74,11 +81,14 @@ impl DeepTrader {
         let scores = ctx.g.reshape(scores2, &[m]);
         let conc = ctx.g.softmax_last(scores);
         // Market risk appetite.
-        let mf: Vec<f32> = market_features(panel, t).iter().map(|&v| v as f32).collect();
+        let mf: Vec<f32> = market_features(panel, t)
+            .iter()
+            .map(|&v| v as f32)
+            .collect();
         let mf_in = ctx.input(Tensor::vector(&mf));
         let rho_raw = self.market.forward_vec(ctx, mf_in); // [1]
         let rho = ctx.g.sigmoid(rho_raw); // (0,1)
-        // Broadcast ρ to m dims: ones[m,1] · ρ[1,1] → [m,1] → [m].
+                                          // Broadcast ρ to m dims: ones[m,1] · ρ[1,1] → [m,1] → [m].
         let ones = ctx.input(Tensor::ones(&[m, 1]));
         let rho11 = ctx.g.reshape(rho, &[1, 1]);
         let rho_m2 = ctx.g.matmul(ones, rho11);
@@ -94,7 +104,10 @@ impl DeepTrader {
     /// The current risk appetite ρ at day `t` (diagnostic).
     pub fn risk_appetite(&self, panel: &AssetPanel, t: usize) -> f64 {
         let mut ctx = Ctx::new(&self.store);
-        let mf: Vec<f32> = market_features(panel, t).iter().map(|&v| v as f32).collect();
+        let mf: Vec<f32> = market_features(panel, t)
+            .iter()
+            .map(|&v| v as f32)
+            .collect();
         let mf_in = ctx.input(Tensor::vector(&mf));
         let rho_raw = self.market.forward_vec(&mut ctx, mf_in);
         let rho = ctx.g.sigmoid(rho_raw);
@@ -119,15 +132,19 @@ impl DeepTrader {
         let mut update_rewards = Vec::new();
 
         for _ in 0..updates {
-            let days: Vec<usize> =
-                (0..batch).map(|_| self.rng.random_range(start..end)).collect();
+            let days: Vec<usize> = (0..batch)
+                .map(|_| self.rng.random_range(start..end))
+                .collect();
             let mut ctx = Ctx::new(&self.store);
             let mut total: Option<Var> = None;
             let mut batch_reward = 0.0f64;
             for &t in &days {
                 let w = self.weights_var(&mut ctx, panel, t);
-                let rel: Vec<f32> =
-                    panel.price_relatives(t + 1).iter().map(|&v| v as f32).collect();
+                let rel: Vec<f32> = panel
+                    .price_relatives(t + 1)
+                    .iter()
+                    .map(|&v| v as f32)
+                    .collect();
                 let x = ctx.input(Tensor::vector(&rel));
                 let growth_vec = ctx.g.mul(w, x);
                 let growth = ctx.g.sum_all(growth_vec);
@@ -146,7 +163,10 @@ impl DeepTrader {
             opt.step(&mut self.store);
             update_rewards.push(batch_reward / batch as f64);
         }
-        TrainReport { update_rewards, steps: updates * batch }
+        TrainReport {
+            update_rewards,
+            steps: updates * batch,
+        }
     }
 }
 
@@ -167,8 +187,13 @@ mod tests {
 
     #[test]
     fn weights_are_simplex_and_bounded_by_rho() {
-        let p = SynthConfig { num_assets: 4, num_days: 200, test_start: 160, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 4,
+            num_days: 200,
+            test_start: 160,
+            ..Default::default()
+        }
+        .generate();
         let agent = DeepTrader::new(&p, RlConfig::smoke(41));
         let a = agent.act(&p, 100);
         assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-5);
@@ -196,14 +221,21 @@ mod tests {
         let mut agent = DeepTrader::new(&p, cfg);
         agent.train(&p);
         let a = agent.act(&p, 290);
-        let max_idx = (0..3).max_by(|&x, &y| a[x].partial_cmp(&a[y]).unwrap()).unwrap();
+        let max_idx = (0..3)
+            .max_by(|&x, &y| a[x].partial_cmp(&a[y]).unwrap())
+            .unwrap();
         assert_eq!(max_idx, 0, "DeepTrader should favour the winner, got {a:?}");
     }
 
     #[test]
     fn risk_appetite_in_unit_interval() {
-        let p = SynthConfig { num_assets: 3, num_days: 150, test_start: 120, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 150,
+            test_start: 120,
+            ..Default::default()
+        }
+        .generate();
         let agent = DeepTrader::new(&p, RlConfig::smoke(43));
         for t in [30, 60, 100] {
             let rho = agent.risk_appetite(&p, t);

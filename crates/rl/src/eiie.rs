@@ -25,9 +25,16 @@ pub enum EiieBody {
 }
 
 enum Evaluator {
-    Cnn { conv1: Conv1dLayer, conv2: Conv1dLayer },
-    Rnn { gru: Gru },
-    Lstm { lstm: Lstm },
+    Cnn {
+        conv1: Conv1dLayer,
+        conv2: Conv1dLayer,
+    },
+    Rnn {
+        gru: Gru,
+    },
+    Lstm {
+        lstm: Lstm,
+    },
 }
 
 /// The EIIE agent.
@@ -77,7 +84,14 @@ impl Eiie {
             },
         };
         let head = Linear::new(&mut store, &mut rng, "eiie.head", hidden, 1);
-        Eiie { cfg, num_assets: m, store, evaluator, head, rng }
+        Eiie {
+            cfg,
+            num_assets: m,
+            store,
+            evaluator,
+            head,
+            rng,
+        }
     }
 
     /// The `[m, 3, z]` input: close/high/low divided by the current close.
@@ -86,7 +100,10 @@ impl Eiie {
         let mut out = Tensor::zeros(&[m, Self::CHANNELS, z]);
         for i in 0..m {
             let anchor = panel.close(t, i);
-            for (c, f) in [Feature::Close, Feature::High, Feature::Low].iter().enumerate() {
+            for (c, f) in [Feature::Close, Feature::High, Feature::Low]
+                .iter()
+                .enumerate()
+            {
                 for s in 0..z {
                     let day = t + 1 - z + s;
                     out.set3(i, c, s, (panel.price(day, i, *f) / anchor - 1.0) as f32);
@@ -135,15 +152,19 @@ impl Eiie {
         let mut update_rewards = Vec::new();
 
         for _ in 0..updates {
-            let days: Vec<usize> =
-                (0..batch).map(|_| self.rng.random_range(start..end)).collect();
+            let days: Vec<usize> = (0..batch)
+                .map(|_| self.rng.random_range(start..end))
+                .collect();
             let mut ctx = Ctx::new(&self.store);
             let mut total: Option<cit_tensor::Var> = None;
             let mut batch_reward = 0.0f64;
             for &t in &days {
                 let w = self.weights_var(&mut ctx, panel, t);
-                let rel: Vec<f32> =
-                    panel.price_relatives(t + 1).iter().map(|&v| v as f32).collect();
+                let rel: Vec<f32> = panel
+                    .price_relatives(t + 1)
+                    .iter()
+                    .map(|&v| v as f32)
+                    .collect();
                 let x = ctx.input(Tensor::vector(&rel));
                 let growth_vec = ctx.g.mul(w, x);
                 let growth = ctx.g.sum_all(growth_vec);
@@ -162,7 +183,10 @@ impl Eiie {
             opt.step(&mut self.store);
             update_rewards.push(batch_reward / batch as f64);
         }
-        TrainReport { update_rewards, steps: updates * batch }
+        TrainReport {
+            update_rewards,
+            steps: updates * batch,
+        }
     }
 }
 
@@ -183,8 +207,13 @@ mod tests {
 
     #[test]
     fn eiie_acts_on_simplex() {
-        let p = SynthConfig { num_assets: 4, num_days: 200, test_start: 160, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 4,
+            num_days: 200,
+            test_start: 160,
+            ..Default::default()
+        }
+        .generate();
         let agent = Eiie::new(&p, RlConfig::smoke(21));
         let a = agent.act(&p, 100);
         assert_eq!(a.len(), 4);
@@ -211,28 +240,47 @@ mod tests {
         let mut agent = Eiie::new(&p, cfg);
         let rep = agent.train(&p);
         let a = agent.act(&p, 290);
-        assert!(a[0] > 0.6, "EIIE should pick the persistent winner, got {a:?}");
+        assert!(
+            a[0] > 0.6,
+            "EIIE should pick the persistent winner, got {a:?}"
+        );
         let first = rep.update_rewards.first().copied().unwrap_or(0.0);
         let last = rep.final_mean_reward();
-        assert!(last >= first, "training reward should not degrade: {first} -> {last}");
+        assert!(
+            last >= first,
+            "training reward should not degrade: {first} -> {last}"
+        );
     }
 
     #[test]
     fn all_evaluator_bodies_act_on_simplex() {
-        let p = SynthConfig { num_assets: 4, num_days: 200, test_start: 160, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 4,
+            num_days: 200,
+            test_start: 160,
+            ..Default::default()
+        }
+        .generate();
         for body in [EiieBody::Cnn, EiieBody::Rnn, EiieBody::Lstm] {
             let agent = Eiie::with_body(&p, RlConfig::smoke(24), body);
             let a = agent.act(&p, 100);
-            assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-5, "{body:?}: {a:?}");
+            assert!(
+                (a.iter().sum::<f64>() - 1.0).abs() < 1e-5,
+                "{body:?}: {a:?}"
+            );
             assert!(a.iter().all(|x| x.is_finite()), "{body:?}");
         }
     }
 
     #[test]
     fn recurrent_bodies_train_briefly() {
-        let p = SynthConfig { num_assets: 3, num_days: 200, test_start: 160, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 200,
+            test_start: 160,
+            ..Default::default()
+        }
+        .generate();
         for body in [EiieBody::Rnn, EiieBody::Lstm] {
             let mut cfg = RlConfig::smoke(25);
             cfg.total_steps = 160;
@@ -258,6 +306,9 @@ mod tests {
         let p = AssetPanel::new("sym", days, 3, data, 50);
         let agent = Eiie::new(&p, RlConfig::smoke(23));
         let a = agent.act(&p, 40);
-        assert!((a[0] - a[1]).abs() < 1e-6 && (a[1] - a[2]).abs() < 1e-6, "{a:?}");
+        assert!(
+            (a[0] - a[1]).abs() < 1e-6 && (a[1] - a[2]).abs() < 1e-6,
+            "{a:?}"
+        );
     }
 }

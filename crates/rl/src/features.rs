@@ -17,7 +17,10 @@ pub const FEAT_LOOKBACK: usize = 21;
 /// # Panics
 /// Panics when `t < FEAT_LOOKBACK - 1`.
 pub fn asset_features(panel: &AssetPanel, t: usize, i: usize) -> [f64; FEAT_DIM] {
-    assert!(t + 1 >= FEAT_LOOKBACK, "asset_features needs {FEAT_LOOKBACK} days of history");
+    assert!(
+        t + 1 >= FEAT_LOOKBACK,
+        "asset_features needs {FEAT_LOOKBACK} days of history"
+    );
     let c = |day: usize| panel.close(day, i);
     let p = c(t);
     let logret = |lag: usize| (p / c(t - lag)).ln();
@@ -85,7 +88,13 @@ mod tests {
     use cit_market::SynthConfig;
 
     fn panel() -> AssetPanel {
-        SynthConfig { num_assets: 3, num_days: 120, test_start: 90, ..Default::default() }.generate()
+        SynthConfig {
+            num_assets: 3,
+            num_days: 120,
+            test_start: 90,
+            ..Default::default()
+        }
+        .generate()
     }
 
     #[test]
@@ -94,7 +103,10 @@ mod tests {
         for t in [20, 50, 119] {
             for i in 0..3 {
                 let f = asset_features(&p, t, i);
-                assert!(f.iter().all(|v| v.is_finite()), "non-finite feature at t={t} i={i}");
+                assert!(
+                    f.iter().all(|v| v.is_finite()),
+                    "non-finite feature at t={t} i={i}"
+                );
             }
         }
     }
@@ -142,8 +154,7 @@ mod tests {
     fn market_features_average_assets() {
         let p = panel();
         let mf = market_features(&p, 40);
-        let manual: f64 =
-            (0..3).map(|i| asset_features(&p, 40, i)[0]).sum::<f64>() / 3.0;
+        let manual: f64 = (0..3).map(|i| asset_features(&p, 40, i)[0]).sum::<f64>() / 3.0;
         assert!((mf[0] - manual).abs() < 1e-12);
     }
 

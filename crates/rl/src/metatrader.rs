@@ -29,7 +29,11 @@ pub struct MetaTraderConfig {
 
 impl Default for MetaTraderConfig {
     fn default() -> Self {
-        MetaTraderConfig { base: RlConfig::default(), num_policies: 3, score_decay: 0.9 }
+        MetaTraderConfig {
+            base: RlConfig::default(),
+            num_policies: 3,
+            score_decay: 0.9,
+        }
     }
 }
 
@@ -99,8 +103,8 @@ impl MetaTrader {
         for (k, policy) in self.policies.iter().enumerate() {
             let a = policy.act(panel, t - 1, prev);
             let growth: f64 = a.iter().zip(&rel).map(|(w, r)| w * r).sum();
-            self.scores[k] =
-                self.cfg.score_decay * self.scores[k] + (1.0 - self.cfg.score_decay) * (growth - 1.0);
+            self.scores[k] = self.cfg.score_decay * self.scores[k]
+                + (1.0 - self.cfg.score_decay) * (growth - 1.0);
         }
     }
 }
@@ -128,12 +132,22 @@ mod tests {
     use cit_market::{run_test_period, EnvConfig, SynthConfig};
 
     fn panel() -> AssetPanel {
-        SynthConfig { num_assets: 3, num_days: 260, test_start: 200, ..Default::default() }.generate()
+        SynthConfig {
+            num_assets: 3,
+            num_days: 260,
+            test_start: 200,
+            ..Default::default()
+        }
+        .generate()
     }
 
     fn smoke_cfg(seed: u64) -> MetaTraderConfig {
         MetaTraderConfig {
-            base: RlConfig { total_steps: 120, window: 16, ..RlConfig::smoke(seed) },
+            base: RlConfig {
+                total_steps: 120,
+                window: 16,
+                ..RlConfig::smoke(seed)
+            },
             num_policies: 3,
             score_decay: 0.9,
         }
@@ -153,7 +167,14 @@ mod tests {
         let p = panel();
         let mut mt = MetaTrader::new(&p, smoke_cfg(2));
         mt.train(&p);
-        let res = run_test_period(&p, EnvConfig { window: 16, transaction_cost: 1e-3 }, &mut mt);
+        let res = run_test_period(
+            &p,
+            EnvConfig {
+                window: 16,
+                transaction_cost: 1e-3,
+            },
+            &mut mt,
+        );
         assert!(res.wealth.iter().all(|w| *w > 0.0));
         assert!(
             mt.scores().iter().any(|s| s.abs() > 0.0),

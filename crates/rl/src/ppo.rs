@@ -24,7 +24,11 @@ pub struct PpoConfig {
 
 impl Default for PpoConfig {
     fn default() -> Self {
-        PpoConfig { base: RlConfig::default(), clip: 0.2, epochs: 4 }
+        PpoConfig {
+            base: RlConfig::default(),
+            clip: 0.2,
+            epochs: 4,
+        }
     }
 }
 
@@ -55,10 +59,24 @@ impl Ppo<DefaultState> {
             &[dim, cfg.base.hidden, cfg.base.hidden, m],
             Activation::Tanh,
         );
-        let value =
-            Mlp::new(&mut store, &mut rng, "value", &[dim, cfg.base.hidden, 1], Activation::Tanh);
+        let value = Mlp::new(
+            &mut store,
+            &mut rng,
+            "value",
+            &[dim, cfg.base.hidden, 1],
+            Activation::Tanh,
+        );
         let head = GaussianHead::new(&mut store, "policy", m, cfg.base.init_log_std);
-        Ppo { cfg, state, num_assets: m, store, policy, value, head, rng }
+        Ppo {
+            cfg,
+            state,
+            num_assets: m,
+            store,
+            policy,
+            value,
+            head,
+            rng,
+        }
     }
 }
 
@@ -82,14 +100,18 @@ fn min_var(g: &mut Graph, a: Var, b: Var) -> Var {
 impl<S: StateBuilder> Ppo<S> {
     fn policy_mean(&self, s: &[f64]) -> Tensor {
         let mut ctx = Ctx::new(&self.store);
-        let input = ctx.input(Tensor::vector(&s.iter().map(|v| *v as f32).collect::<Vec<_>>()));
+        let input = ctx.input(Tensor::vector(
+            &s.iter().map(|v| *v as f32).collect::<Vec<_>>(),
+        ));
         let out = self.policy.forward_vec(&mut ctx, input);
         ctx.g.value(out).clone()
     }
 
     fn value_of(&self, s: &[f64]) -> f64 {
         let mut ctx = Ctx::new(&self.store);
-        let input = ctx.input(Tensor::vector(&s.iter().map(|v| *v as f32).collect::<Vec<_>>()));
+        let input = ctx.input(Tensor::vector(
+            &s.iter().map(|v| *v as f32).collect::<Vec<_>>(),
+        ));
         let out = self.value.forward_vec(&mut ctx, input);
         ctx.g.value(out).data()[0] as f64
     }
@@ -103,13 +125,21 @@ impl<S: StateBuilder> Ppo<S> {
     pub fn act(&self, panel: &AssetPanel, t: usize, prev: &[f64]) -> Vec<f64> {
         let s = self.state.build(panel, t, prev);
         let mean = self.policy_mean(&s);
-        self.head.mean_action(&mean).data().iter().map(|&v| v as f64).collect()
+        self.head
+            .mean_action(&mean)
+            .data()
+            .iter()
+            .map(|&v| v as f64)
+            .collect()
     }
 
     /// Trains on the panel's training period.
     pub fn train(&mut self, panel: &AssetPanel) -> TrainReport {
         let base = self.cfg.base;
-        let env_cfg = EnvConfig { window: base.window, transaction_cost: base.transaction_cost };
+        let env_cfg = EnvConfig {
+            window: base.window,
+            transaction_cost: base.transaction_cost,
+        };
         let start = base.min_start().max(self.state.min_history());
         let end = panel.test_start();
         assert!(start + 2 < end, "training period too short");
@@ -156,15 +186,17 @@ impl<S: StateBuilder> Ppo<S> {
                 let mut ctx = Ctx::new(&self.store);
                 let mut total: Option<Var> = None;
                 for (i, s) in states.iter().enumerate() {
-                    let input = ctx
-                        .input(Tensor::vector(&s.iter().map(|v| *v as f32).collect::<Vec<_>>()));
+                    let input = ctx.input(Tensor::vector(
+                        &s.iter().map(|v| *v as f32).collect::<Vec<_>>(),
+                    ));
                     let mean = self.policy.forward_vec(&mut ctx, input);
                     let logp = self.head.log_prob(&mut ctx, mean, &latents[i]);
                     let shifted = ctx.g.add_scalar(logp, -logp_old[i]);
                     let ratio = ctx.g.exp(shifted);
                     let adv = advs[i] as f32;
                     let surr1 = ctx.g.scale(ratio, adv);
-                    let clipped = clamp_var(&mut ctx.g, ratio, 1.0 - self.cfg.clip, 1.0 + self.cfg.clip);
+                    let clipped =
+                        clamp_var(&mut ctx.g, ratio, 1.0 - self.cfg.clip, 1.0 + self.cfg.clip);
                     let surr2 = ctx.g.scale(clipped, adv);
                     let surr = min_var(&mut ctx.g, surr1, surr2);
                     let actor = ctx.g.scale(surr, -1.0 / l);
@@ -189,7 +221,10 @@ impl<S: StateBuilder> Ppo<S> {
             }
             update_rewards.push(rewards.iter().sum::<f64>() / rewards.len() as f64);
         }
-        TrainReport { update_rewards, steps }
+        TrainReport {
+            update_rewards,
+            steps,
+        }
     }
 }
 
@@ -226,10 +261,17 @@ mod tests {
 
     #[test]
     fn ppo_trains_and_acts() {
-        let p = SynthConfig { num_assets: 3, num_days: 260, test_start: 200, ..Default::default() }
-            .generate();
-        let mut cfg = PpoConfig::default();
-        cfg.base = RlConfig::smoke(5);
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 260,
+            test_start: 200,
+            ..Default::default()
+        }
+        .generate();
+        let cfg = PpoConfig {
+            base: RlConfig::smoke(5),
+            ..Default::default()
+        };
         let mut agent = Ppo::new(&p, cfg);
         let rep = agent.train(&p);
         assert!(rep.steps >= cfg.base.total_steps);
@@ -250,8 +292,10 @@ mod tests {
             }
         }
         let p = AssetPanel::new("rigged", days, 3, data, 350);
-        let mut cfg = PpoConfig::default();
-        cfg.base = RlConfig::smoke(6);
+        let mut cfg = PpoConfig {
+            base: RlConfig::smoke(6),
+            ..Default::default()
+        };
         cfg.base.total_steps = 4_000;
         cfg.base.lr = 1e-3;
         cfg.base.gamma = 0.5;

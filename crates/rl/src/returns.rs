@@ -19,13 +19,17 @@ pub fn discounted_returns(rewards: &[f64], gamma: f64) -> Vec<f64> {
 /// When `t + n` runs past the trajectory the longest available return is
 /// used with the terminal bootstrap.
 pub fn nstep_return(rewards: &[f64], values: &[f64], gamma: f64, t: usize, n: usize) -> f64 {
-    assert_eq!(values.len(), rewards.len() + 1, "values must include a final bootstrap");
+    assert_eq!(
+        values.len(),
+        rewards.len() + 1,
+        "values must include a final bootstrap"
+    );
     assert!(t < rewards.len(), "t out of range");
     let horizon = (t + n).min(rewards.len());
     let mut g = 0.0;
     let mut disc = 1.0;
-    for l in t..horizon {
-        g += disc * rewards[l];
+    for &r in &rewards[t..horizon] {
+        g += disc * r;
         disc *= gamma;
     }
     g + disc * values[horizon]
@@ -42,7 +46,11 @@ pub fn lambda_targets(
     n_max: usize,
 ) -> Vec<f64> {
     assert!(n_max >= 1, "lambda_targets: n_max must be >= 1");
-    assert_eq!(values.len(), rewards.len() + 1, "values must include a final bootstrap");
+    assert_eq!(
+        values.len(),
+        rewards.len() + 1,
+        "values must include a final bootstrap"
+    );
     (0..rewards.len())
         .map(|t| {
             if n_max == 1 {
@@ -100,9 +108,9 @@ mod tests {
         let rewards = [1.0, -1.0, 0.5];
         let values = [0.1, 0.2, 0.3, 0.4];
         let y = lambda_targets(&rewards, &values, 0.9, 0.0, 5);
-        for t in 0..3 {
+        for (t, &yt) in y.iter().enumerate() {
             let expected = nstep_return(&rewards, &values, 0.9, t, 1);
-            assert!((y[t] - expected).abs() < 1e-12, "t={t}");
+            assert!((yt - expected).abs() < 1e-12, "t={t}");
         }
     }
 
@@ -111,9 +119,9 @@ mod tests {
         let rewards = [1.0, -1.0, 0.5, 0.2];
         let values = [0.1, 0.2, 0.3, 0.4, 0.5];
         let y = lambda_targets(&rewards, &values, 0.95, 1.0, 3);
-        for t in 0..4 {
+        for (t, &yt) in y.iter().enumerate() {
             let expected = nstep_return(&rewards, &values, 0.95, t, 3);
-            assert!((y[t] - expected).abs() < 1e-12, "t={t}");
+            assert!((yt - expected).abs() < 1e-12, "t={t}");
         }
     }
 
@@ -127,7 +135,11 @@ mod tests {
         for t in 0..4 {
             let lo = y0[t].min(y1[t]) - 1e-9;
             let hi = y0[t].max(y1[t]) + 1e-9;
-            assert!(ym[t] >= lo && ym[t] <= hi, "t={t}: {} not in [{lo},{hi}]", ym[t]);
+            assert!(
+                ym[t] >= lo && ym[t] <= hi,
+                "t={t}: {} not in [{lo},{hi}]",
+                ym[t]
+            );
         }
     }
 
@@ -137,8 +149,8 @@ mod tests {
         let rewards = [0.0, 0.0, 0.0];
         let values = [7.0, 7.0, 7.0, 7.0];
         let y = lambda_targets(&rewards, &values, 1.0, 0.7, 5);
-        for t in 0..3 {
-            assert!((y[t] - 7.0).abs() < 1e-12, "t={t}: {}", y[t]);
+        for (t, &yt) in y.iter().enumerate() {
+            assert!((yt - 7.0).abs() < 1e-12, "t={t}: {yt}");
         }
     }
 }

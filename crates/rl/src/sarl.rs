@@ -30,8 +30,11 @@ impl MovementPredictor {
             for t in start..end {
                 for i in 0..panel.num_assets() {
                     let f = asset_features(panel, t, i);
-                    let label =
-                        if panel.close(t + 1, i) > panel.close(t, i) { 1.0 } else { 0.0 };
+                    let label = if panel.close(t + 1, i) > panel.close(t, i) {
+                        1.0
+                    } else {
+                        0.0
+                    };
                     let z: f64 = w.iter().zip(f.iter()).map(|(a, b)| a * b).sum::<f64>() + b;
                     let p = 1.0 / (1.0 + (-z).exp());
                     let err = p - label;
@@ -42,14 +45,22 @@ impl MovementPredictor {
                 }
             }
         }
-        MovementPredictor { weights: w, bias: b }
+        MovementPredictor {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// Probability that asset `i` closes up tomorrow.
     pub fn predict(&self, panel: &AssetPanel, t: usize, i: usize) -> f64 {
         let f = asset_features(panel, t, i);
-        let z: f64 =
-            self.weights.iter().zip(f.iter()).map(|(a, b)| a * b).sum::<f64>() + self.bias;
+        let z: f64 = self
+            .weights
+            .iter()
+            .zip(f.iter())
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            + self.bias;
         1.0 / (1.0 + (-z).exp())
     }
 
@@ -147,13 +158,21 @@ mod tests {
         let p = AssetPanel::new("trend", days, 2, data, 250);
         let pred = MovementPredictor::train(&p, 3, 0.05);
         let acc = pred.train_accuracy(&p);
-        assert!(acc > 0.9, "accuracy {acc} should be high on a deterministic market");
+        assert!(
+            acc > 0.9,
+            "accuracy {acc} should be high on a deterministic market"
+        );
     }
 
     #[test]
     fn predictions_lie_in_unit_interval() {
-        let p = SynthConfig { num_assets: 3, num_days: 200, test_start: 150, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 200,
+            test_start: 150,
+            ..Default::default()
+        }
+        .generate();
         let pred = MovementPredictor::train(&p, 1, 0.05);
         for t in [30, 80, 120] {
             for i in 0..3 {
@@ -165,8 +184,13 @@ mod tests {
 
     #[test]
     fn sarl_state_is_longer_than_default() {
-        let p = SynthConfig { num_assets: 3, num_days: 200, test_start: 150, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 200,
+            test_start: 150,
+            ..Default::default()
+        }
+        .generate();
         let pred = MovementPredictor::train(&p, 1, 0.05);
         let s = SarlState { predictor: pred };
         assert_eq!(s.dim(3), state_dim(3) + 3);
@@ -176,8 +200,13 @@ mod tests {
 
     #[test]
     fn sarl_trains_and_acts() {
-        let p = SynthConfig { num_assets: 3, num_days: 260, test_start: 200, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 260,
+            test_start: 200,
+            ..Default::default()
+        }
+        .generate();
         let mut agent = Sarl::new(&p, RlConfig::smoke(31));
         let rep = agent.train(&p);
         assert!(rep.steps >= 300);

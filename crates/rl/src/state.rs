@@ -38,8 +38,13 @@ mod tests {
 
     #[test]
     fn default_state_matches_declared_dim() {
-        let p = SynthConfig { num_assets: 4, num_days: 80, test_start: 60, ..Default::default() }
-            .generate();
+        let p = SynthConfig {
+            num_assets: 4,
+            num_days: 80,
+            test_start: 60,
+            ..Default::default()
+        }
+        .generate();
         let b = DefaultState;
         let s = b.build(&p, 30, &[0.25; 4]);
         assert_eq!(s.len(), b.dim(4));

@@ -1,0 +1,294 @@
+//! # cit-telemetry
+//!
+//! Structured run-time diagnostics for the cross-insight-trader
+//! workspace: a registry of counters, gauges and fixed-bucket histograms
+//! with lock-free concurrent updates, RAII span timers for hot paths,
+//! and pluggable record sinks (no-op, stderr pretty-printer, JSONL file,
+//! in-memory for tests).
+//!
+//! Dependency-light by design (std only): the build environment resolves
+//! offline, so `tracing`/`metrics` are deliberately not used.
+//!
+//! A [`Telemetry`] value is a cheap clonable handle. The disabled handle
+//! ([`Telemetry::disabled`]) costs one `Option` branch per call site —
+//! library users who never opt in pay nothing measurable:
+//!
+//! ```
+//! use cit_telemetry::{Record, Telemetry};
+//!
+//! // Disabled: every call is a no-op.
+//! let off = Telemetry::disabled();
+//! off.emit(Record::new("train.update").with("loss", 0.5));
+//! assert_eq!(off.counter("updates").get(), 0);
+//!
+//! // Enabled with the in-memory sink (used by tests):
+//! let (tel, sink) = Telemetry::memory();
+//! tel.emit(Record::new("train.update").with("loss", 0.5));
+//! let c = tel.counter("updates");
+//! c.inc();
+//! {
+//!     let _span = tel.span("dwt.horizon_windows");
+//!     // ... timed work ...
+//! }
+//! assert_eq!(sink.by_kind("train.update").len(), 1);
+//! assert_eq!(c.get(), 1);
+//! assert_eq!(tel.span_histogram("dwt.horizon_windows").count(), 1);
+//! ```
+
+#![deny(missing_docs)]
+
+mod metrics;
+mod record;
+mod sink;
+mod span;
+mod value;
+
+pub use metrics::{duration_bounds, Counter, Gauge, Histogram};
+pub use record::Record;
+pub use sink::{FilterSink, JsonlSink, MemorySink, MultiSink, NoopSink, Sink, StderrSink};
+pub use span::Span;
+pub use value::Value;
+
+use metrics::HistogramCore;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+struct Inner {
+    sink: Arc<dyn Sink>,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// The telemetry handle passed through configs and constructors.
+///
+/// Cloning is cheap (one `Arc`). The default value is disabled.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The zero-cost disabled handle: all operations are no-ops.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle routing records to `sink`.
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                sink,
+                metrics: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Enabled, printing pretty one-liners to stderr.
+    pub fn stderr() -> Self {
+        Self::new(Arc::new(StderrSink))
+    }
+
+    /// Enabled, writing JSONL to `path` (truncating; parents created).
+    pub fn jsonl(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::new(Arc::new(JsonlSink::create(path)?)))
+    }
+
+    /// Enabled with an in-memory sink; returns the sink for inspection.
+    pub fn memory() -> (Self, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        (Self::new(sink.clone()), sink)
+    }
+
+    /// `true` when records and metrics are actually collected.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Routes a record to the sink (dropped when disabled).
+    pub fn emit(&self, record: Record) {
+        if let Some(inner) = &self.inner {
+            inner.sink.emit(&record);
+        }
+    }
+
+    /// Convenience: emits a `progress` record with a `msg` field — the
+    /// shared replacement for ad-hoc `eprintln!` progress lines.
+    pub fn progress(&self, msg: impl Into<String>) {
+        if self.is_enabled() {
+            self.emit(Record::new("progress").with("msg", msg.into()));
+        }
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+
+    /// Registers (or fetches) a counter. Hold the handle for hot paths —
+    /// updates through it are a single atomic add.
+    pub fn counter(&self, name: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::default();
+        };
+        let mut metrics = inner.metrics.lock().expect("metric registry poisoned");
+        let entry = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
+        match entry {
+            Metric::Counter(c) => Counter(Some(c.clone())),
+            _ => panic!("telemetry metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or fetches) a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::default();
+        };
+        let mut metrics = inner.metrics.lock().expect("metric registry poisoned");
+        let entry = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))));
+        match entry {
+            Metric::Gauge(g) => Gauge(Some(g.clone())),
+            _ => panic!("telemetry metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or fetches) a histogram with the given bucket upper
+    /// bounds (strictly increasing; an overflow bucket is appended).
+    /// Bounds are fixed by the first registration.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::default();
+        };
+        let mut metrics = inner.metrics.lock().expect("metric registry poisoned");
+        let entry = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCore::new(bounds.to_vec()))));
+        match entry {
+            Metric::Histogram(h) => Histogram(Some(h.clone())),
+            _ => panic!("telemetry metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Starts an RAII span timer recording into the duration histogram
+    /// `span.<name>` on drop. Inert (no clock read) when disabled.
+    pub fn span(&self, name: &str) -> Span {
+        if self.inner.is_none() {
+            return Span::noop();
+        }
+        Span::live(self.span_histogram(name))
+    }
+
+    /// The duration histogram behind [`Telemetry::span`] for `name`.
+    pub fn span_histogram(&self, name: &str) -> Histogram {
+        self.histogram(&format!("span.{name}"), &duration_bounds())
+    }
+
+    /// Snapshot records for every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<Record> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let metrics = inner.metrics.lock().expect("metric registry poisoned");
+        metrics
+            .iter()
+            .map(|(name, m)| match m {
+                Metric::Counter(c) => Record::new("metric.counter")
+                    .with("name", name.as_str())
+                    .with("value", Counter(Some(c.clone())).get()),
+                Metric::Gauge(g) => Record::new("metric.gauge")
+                    .with("name", name.as_str())
+                    .with("value", Gauge(Some(g.clone())).get()),
+                Metric::Histogram(h) => Histogram(Some(h.clone())).snapshot(name),
+            })
+            .collect()
+    }
+
+    /// Emits every metric snapshot to the sink and flushes — typically
+    /// called once at the end of a run to dump span timings.
+    pub fn report(&self) {
+        for r in self.snapshot() {
+            self.emit(r);
+        }
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_everything_is_noop() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.emit(Record::new("x"));
+        t.progress("hi");
+        let s = t.span("work");
+        assert!(!s.is_live());
+        drop(s);
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn counter_handles_share_state() {
+        let (t, _sink) = Telemetry::memory();
+        let a = t.counter("n");
+        let b = t.counter("n");
+        a.add(2);
+        b.inc();
+        assert_eq!(t.counter("n").get(), 3);
+    }
+
+    #[test]
+    fn span_records_into_named_histogram() {
+        let (t, _sink) = Telemetry::memory();
+        {
+            let _s = t.span("fwd");
+        }
+        {
+            let _s = t.span("fwd");
+        }
+        assert_eq!(t.span_histogram("fwd").count(), 2);
+    }
+
+    #[test]
+    fn report_emits_metric_records() {
+        let (t, sink) = Telemetry::memory();
+        t.counter("steps").add(5);
+        t.gauge("loss").set(0.25);
+        t.report();
+        let counters = sink.by_kind("metric.counter");
+        assert_eq!(counters.len(), 1);
+        assert_eq!(counters[0].get_f64("value"), Some(5.0));
+        let gauges = sink.by_kind("metric.gauge");
+        assert_eq!(gauges[0].get_f64("value"), Some(0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let (t, _sink) = Telemetry::memory();
+        t.counter("m");
+        t.gauge("m");
+    }
+}

@@ -1,0 +1,272 @@
+//! Counters, gauges and fixed-bucket histograms with lock-free updates.
+//!
+//! Handles are cheap `Arc` clones of atomic cells; a disabled
+//! [`crate::Telemetry`] hands out empty handles whose operations compile
+//! to a branch on `None`.
+
+use crate::record::Record;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge storing an `f64`.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (NaN when never set, 0-bits default decodes to 0.0).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |g| f64::from_bits(g.load(Ordering::Relaxed)))
+    }
+}
+
+/// Shared state of a fixed-bucket histogram.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Upper bounds of the first `bounds.len()` buckets; one overflow
+    /// bucket follows. A value `v` lands in the first bucket with
+    /// `v <= bound`.
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values as f64 bits, updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new(bounds: Vec<f64>) -> Self {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        HistogramCore {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loop to accumulate the f64 sum without a lock.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |h| f64::from_bits(h.sum_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Quantile estimate by linear interpolation inside the owning
+    /// bucket. `q` is clamped to `[0, 1]`. Returns 0 when empty. The
+    /// overflow bucket reports its lower bound (the largest finite
+    /// boundary).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let Some(h) = &self.0 else { return 0.0 };
+        let total = h.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * total as f64;
+        let mut cum = 0u64;
+        for (i, b) in h.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            let prev = cum;
+            cum += c;
+            if (cum as f64) >= rank {
+                if i == h.bounds.len() {
+                    // Overflow bucket: no finite upper bound.
+                    return h.bounds[h.bounds.len() - 1];
+                }
+                let lo = if i == 0 { 0.0 } else { h.bounds[i - 1] };
+                let hi = h.bounds[i];
+                let within = ((rank - prev as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + within * (hi - lo);
+            }
+        }
+        h.bounds[h.bounds.len() - 1]
+    }
+
+    /// Per-bucket counts, including the trailing overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0.as_ref().map_or_else(Vec::new, |h| {
+            h.buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect()
+        })
+    }
+
+    /// The configured bucket upper bounds.
+    pub fn bounds(&self) -> Vec<f64> {
+        self.0.as_ref().map_or_else(Vec::new, |h| h.bounds.clone())
+    }
+
+    /// A snapshot record (kind `metric.histogram`) used by
+    /// [`crate::Telemetry::report`].
+    pub fn snapshot(&self, name: &str) -> Record {
+        Record::new("metric.histogram")
+            .with("name", name)
+            .with("count", self.count())
+            .with("sum", self.sum())
+            .with("mean", self.mean())
+            .with("p50", self.quantile(0.5))
+            .with("p90", self.quantile(0.9))
+            .with("p99", self.quantile(0.99))
+    }
+}
+
+/// Log-spaced duration bounds in seconds (1 µs … 10 s), the default for
+/// span-timer histograms.
+pub fn duration_bounds() -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut v = 1e-6;
+    while v <= 10.0 + 1e-12 {
+        for m in [1.0, 2.5, 5.0] {
+            out.push(v * m);
+        }
+        v *= 10.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(bounds: &[f64]) -> Histogram {
+        Histogram(Some(Arc::new(HistogramCore::new(bounds.to_vec()))))
+    }
+
+    #[test]
+    fn bucketing_uses_upper_bounds() {
+        let h = hist(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.record(v);
+        }
+        // 0.5, 1.0 → bucket 0; 1.5 → bucket 1; 3.0 → bucket 2; 100 → overflow.
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 106.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let h = hist(&[10.0, 20.0, 30.0]);
+        for v in 1..=100 {
+            h.record(v as f64 * 0.3); // 0.3..30, uniform
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 15.0).abs() < 2.0, "p50 {p50}");
+        let p90 = h.quantile(0.9);
+        assert!((p90 - 27.0).abs() < 2.0, "p90 {p90}");
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::default();
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(3.0);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram::default();
+        h.record(1.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn duration_bounds_are_increasing() {
+        let b = duration_bounds();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert!(b[0] <= 1e-6 && *b.last().unwrap() >= 10.0);
+    }
+}

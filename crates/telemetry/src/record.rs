@@ -1,0 +1,111 @@
+//! Structured telemetry records.
+
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// One structured diagnostic event: a kind tag plus ordered key/value
+/// fields. Field order is preserved so JSONL output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// The record kind, e.g. `train.update` or `backtest.step`.
+    pub kind: String,
+    /// Ordered fields.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// Starts a record of the given kind.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Record {
+            kind: kind.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builder-style field append.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.push(key, value);
+        self
+    }
+
+    /// Appends a field in place.
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        self.fields.push((key.into(), value.into()));
+    }
+
+    /// Looks up a field by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Convenience: a numeric field as `f64`.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Value::as_f64)
+    }
+
+    /// One-line JSON object: `{"kind":"...","k":v,...}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64 + self.fields.len() * 16);
+        s.push_str("{\"kind\":");
+        Value::from(self.kind.as_str()).encode(&mut s);
+        for (k, v) in &self.fields {
+            s.push(',');
+            Value::from(k.as_str()).encode(&mut s);
+            s.push(':');
+            v.encode(&mut s);
+        }
+        s.push('}');
+        s
+    }
+
+    /// Human-readable one-liner: `[kind] k=v k=v`.
+    pub fn pretty(&self) -> String {
+        let mut s = format!("[{}]", self.kind);
+        for (k, v) in &self.fields {
+            match v {
+                Value::Str(text) => {
+                    // Quote only when needed to keep progress lines clean.
+                    if text.contains(' ') || text.is_empty() {
+                        let _ = write!(s, " {k}={text:?}");
+                    } else {
+                        let _ = write!(s, " {k}={text}");
+                    }
+                }
+                Value::Float(f) => {
+                    let _ = write!(s, " {k}={f:.6}");
+                }
+                other => {
+                    let _ = write!(s, " {k}={}", other.to_json());
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_preserves_field_order() {
+        let r = Record::new("t").with("b", 1u64).with("a", 2u64);
+        assert_eq!(r.to_json(), "{\"kind\":\"t\",\"b\":1,\"a\":2}");
+    }
+
+    #[test]
+    fn pretty_is_single_line() {
+        let r = Record::new("progress").with("msg", "running CIT on U.S.");
+        let p = r.pretty();
+        assert!(p.starts_with("[progress]"), "{p}");
+        assert!(!p.contains('\n'));
+    }
+
+    #[test]
+    fn get_finds_fields() {
+        let r = Record::new("x").with("loss", 0.25).with("step", 7usize);
+        assert_eq!(r.get_f64("loss"), Some(0.25));
+        assert_eq!(r.get("step").and_then(|v| v.as_i64()), Some(7));
+        assert!(r.get("missing").is_none());
+    }
+}

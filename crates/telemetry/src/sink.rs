@@ -1,0 +1,255 @@
+//! Pluggable record sinks.
+
+use crate::record::Record;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Consumes emitted [`Record`]s.
+pub trait Sink: Send + Sync {
+    /// Handles one record.
+    fn emit(&self, record: &Record);
+
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards everything.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn emit(&self, _record: &Record) {}
+}
+
+/// Pretty one-line-per-record printer to stderr — the shared format for
+/// experiment progress output.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, record: &Record) {
+        eprintln!("{}", record.pretty());
+    }
+
+    fn flush(&self) {
+        let _ = io::stderr().flush();
+    }
+}
+
+/// Writes one JSON object per line to any writer (typically a file).
+pub struct JsonlSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) a JSONL file, creating parent directories.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(Self::from_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// Wraps an arbitrary writer (used by tests for golden output).
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, record: &Record) {
+        let mut line = record.to_json();
+        line.push('\n');
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let _ = w.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Buffers records in memory — the test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<Record>>,
+}
+
+impl MemorySink {
+    /// An empty memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All records emitted so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Records of one kind.
+    pub fn by_kind(&self, kind: &str) -> Vec<Record> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.kind == kind)
+            .collect()
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("memory sink poisoned").len()
+    }
+
+    /// `true` when nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, record: &Record) {
+        self.records
+            .lock()
+            .expect("memory sink poisoned")
+            .push(record.clone());
+    }
+}
+
+/// Forwards only records whose kind starts with one of the allowed
+/// prefixes — e.g. a stderr sink limited to `progress` lines while the
+/// JSONL sink records everything.
+pub struct FilterSink {
+    inner: std::sync::Arc<dyn Sink>,
+    prefixes: Vec<String>,
+}
+
+impl FilterSink {
+    /// Wraps `inner`, passing through kinds matching any of `prefixes`.
+    pub fn new(inner: std::sync::Arc<dyn Sink>, prefixes: &[&str]) -> Self {
+        FilterSink {
+            inner,
+            prefixes: prefixes.iter().map(|p| p.to_string()).collect(),
+        }
+    }
+}
+
+impl Sink for FilterSink {
+    fn emit(&self, record: &Record) {
+        if self
+            .prefixes
+            .iter()
+            .any(|p| record.kind.starts_with(p.as_str()))
+        {
+            self.inner.emit(record);
+        }
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
+/// Fans records out to several sinks (e.g. stderr + JSONL).
+pub struct MultiSink {
+    sinks: Vec<std::sync::Arc<dyn Sink>>,
+}
+
+impl MultiSink {
+    /// Builds a fan-out over the given sinks.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Sink>>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl Sink for MultiSink {
+    fn emit(&self, record: &Record) {
+        for s in &self.sinks {
+            s.emit(record);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let sink = MemorySink::new();
+        sink.emit(&Record::new("a").with("i", 0usize));
+        sink.emit(&Record::new("b").with("i", 1usize));
+        let rs = sink.records();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].kind, "a");
+        assert_eq!(sink.by_kind("b").len(), 1);
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let multi = MultiSink::new(vec![a.clone(), b.clone()]);
+        multi.emit(&Record::new("x"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn filter_sink_passes_only_matching_kinds() {
+        let mem = Arc::new(MemorySink::new());
+        let filter = FilterSink::new(mem.clone(), &["progress", "run."]);
+        filter.emit(&Record::new("progress"));
+        filter.emit(&Record::new("run.start"));
+        filter.emit(&Record::new("train.update"));
+        assert_eq!(mem.len(), 2);
+        assert!(mem.by_kind("train.update").is_empty());
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_record() {
+        // Shared buffer observed through an Arc<Mutex<Vec<u8>>> writer.
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::from_writer(Box::new(Shared(buf.clone())));
+        sink.emit(&Record::new("r").with("v", 1.5));
+        sink.emit(&Record::new("r").with("v", 2usize));
+        sink.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text,
+            "{\"kind\":\"r\",\"v\":1.5}\n{\"kind\":\"r\",\"v\":2}\n"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! RAII span timers for hot paths.
+
+use crate::metrics::Histogram;
+use std::time::Instant;
+
+/// Times a scope and records the elapsed seconds into a duration
+/// histogram on drop. Obtained from [`crate::Telemetry::span`]; when
+/// telemetry is disabled the span is inert and never reads the clock.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl Span {
+    /// An inert span (disabled telemetry).
+    pub(crate) fn noop() -> Self {
+        Span { inner: None }
+    }
+
+    /// A live span recording into `hist` on drop.
+    pub(crate) fn live(hist: Histogram) -> Self {
+        Span {
+            inner: Some(SpanInner {
+                hist,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Whether this span actually measures time.
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Seconds elapsed so far (0 when inert).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map_or(0.0, |s| s.start.elapsed().as_secs_f64())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(s) = self.inner.take() {
+            s.hist.record(s.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{duration_bounds, HistogramCore};
+    use std::sync::Arc;
+
+    #[test]
+    fn live_span_records_on_drop() {
+        let hist = Histogram(Some(Arc::new(HistogramCore::new(duration_bounds()))));
+        {
+            let _s = Span::live(hist.clone());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(hist.count(), 1);
+        assert!(hist.sum() >= 0.002, "recorded {}", hist.sum());
+    }
+
+    #[test]
+    fn noop_span_records_nothing() {
+        let s = Span::noop();
+        assert!(!s.is_live());
+        assert_eq!(s.elapsed_secs(), 0.0);
+    }
+}

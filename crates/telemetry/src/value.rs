@@ -1,0 +1,207 @@
+//! A minimal JSON value model with a hand-rolled encoder.
+//!
+//! The build environment resolves dependencies offline, so `serde_json`
+//! is unavailable; the telemetry schema only needs scalars, strings and
+//! flat arrays, which this module covers completely. Encoding is
+//! deterministic (fields keep insertion order) so JSONL output can be
+//! golden-tested.
+
+use std::fmt::Write as _;
+
+/// A JSON-encodable value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (covers unsigned workspace uses too).
+    Int(i64),
+    /// A double-precision float; non-finite values encode as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A flat array of values.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Appends the JSON encoding of `self` to `out`.
+    pub fn encode(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // Always keep a decimal point or exponent so the
+                    // value round-trips as a float.
+                    let mut s = format!("{f}");
+                    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                        s.push_str(".0");
+                    }
+                    out.push_str(&s);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => encode_str(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.encode(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+
+    /// The JSON encoding as a fresh string.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.encode(&mut s);
+        s
+    }
+
+    /// The float content, if this value is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if this value is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+/// JSON string encoding with the escapes required by RFC 8259.
+fn encode_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<&[f64]> for Value {
+    fn from(v: &[f64]) -> Self {
+        Value::Array(v.iter().map(|&x| Value::Float(x)).collect())
+    }
+}
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::Array(v.into_iter().map(Value::Float).collect())
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_encode_as_json() {
+        assert_eq!(Value::Null.to_json(), "null");
+        assert_eq!(Value::Bool(true).to_json(), "true");
+        assert_eq!(Value::Int(-3).to_json(), "-3");
+        assert_eq!(Value::Float(0.5).to_json(), "0.5");
+        assert_eq!(Value::Float(2.0).to_json(), "2.0");
+        assert_eq!(Value::Float(f64::NAN).to_json(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(Value::from("a\"b\\c\nd").to_json(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Value::from("\u{1}").to_json(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_encode_in_order() {
+        let v = Value::Array(vec![Value::Int(1), Value::Float(2.5), Value::from("x")]);
+        assert_eq!(v.to_json(), "[1,2.5,\"x\"]");
+    }
+}

@@ -1,0 +1,87 @@
+//! Concurrency tests: metric handles are shared across threads and must
+//! not lose updates (counters / histograms use relaxed atomics, the f64
+//! sum a CAS loop, record emission a mutex-protected sink).
+
+use cit_telemetry::{Record, Telemetry};
+use std::thread;
+
+const THREADS: usize = 8;
+const PER_THREAD: usize = 10_000;
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let (tel, _sink) = Telemetry::memory();
+    let counter = tel.counter("hits");
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = counter.clone();
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), (THREADS * PER_THREAD) as u64);
+    // A freshly fetched handle observes the same shared cell.
+    assert_eq!(tel.counter("hits").get(), (THREADS * PER_THREAD) as u64);
+}
+
+#[test]
+fn concurrent_histogram_records_preserve_count_and_sum() {
+    let (tel, _sink) = Telemetry::memory();
+    let hist = tel.histogram("obs", &[0.25, 0.5, 0.75, 1.0]);
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = hist.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic values in (0, 1].
+                    let v = ((t * PER_THREAD + i) % 100 + 1) as f64 / 100.0;
+                    h.record(v);
+                }
+            });
+        }
+    });
+    let n = (THREADS * PER_THREAD) as u64;
+    assert_eq!(hist.count(), n);
+    assert_eq!(hist.bucket_counts().iter().sum::<u64>(), n);
+    // Each thread records the same multiset: 100 values summing to 50.5,
+    // repeated PER_THREAD/100 times.
+    let expected = THREADS as f64 * (PER_THREAD / 100) as f64 * 50.5;
+    assert!((hist.sum() - expected).abs() < 1e-6, "sum {}", hist.sum());
+}
+
+#[test]
+fn concurrent_registration_yields_one_metric() {
+    let (tel, _sink) = Telemetry::memory();
+    thread::scope(|s| {
+        for _ in 0..THREADS {
+            let t = tel.clone();
+            s.spawn(move || {
+                for _ in 0..1_000 {
+                    t.counter("shared").inc();
+                }
+            });
+        }
+    });
+    let snaps = tel.snapshot();
+    assert_eq!(snaps.len(), 1);
+    assert_eq!(snaps[0].get_f64("value"), Some((THREADS * 1_000) as f64));
+}
+
+#[test]
+fn concurrent_emits_keep_every_record() {
+    let (tel, sink) = Telemetry::memory();
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let tl = tel.clone();
+            s.spawn(move || {
+                for i in 0..1_000 {
+                    tl.emit(Record::new("evt").with("thread", t).with("i", i));
+                }
+            });
+        }
+    });
+    assert_eq!(sink.by_kind("evt").len(), THREADS * 1_000);
+}

@@ -21,7 +21,9 @@ impl Grads {
 
     /// The gradient with respect to `v`, or a zero tensor of `shape`.
     pub fn wrt_or_zeros(&self, v: Var, shape: &[usize]) -> Tensor {
-        self.grads[v.0].clone().unwrap_or_else(|| Tensor::zeros(shape))
+        self.grads[v.0]
+            .clone()
+            .unwrap_or_else(|| Tensor::zeros(shape))
     }
 }
 

@@ -32,8 +32,11 @@ pub fn gradcheck(
     let vars: Vec<Var> = params.iter().map(|p| g.param_leaf(p.clone())).collect();
     let loss = f(&mut g, &vars);
     let grads = g.backward(loss);
-    let analytic: Vec<Tensor> =
-        vars.iter().zip(params).map(|(&v, p)| grads.wrt_or_zeros(v, p.shape())).collect();
+    let analytic: Vec<Tensor> = vars
+        .iter()
+        .zip(params)
+        .map(|(&v, p)| grads.wrt_or_zeros(v, p.shape()))
+        .collect();
 
     let eval = |perturbed: &[Tensor]| -> f32 {
         let mut g = Graph::new();
@@ -42,7 +45,10 @@ pub fn gradcheck(
         g.value(loss).item()
     };
 
-    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0 };
+    let mut report = GradCheckReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+    };
     let mut work: Vec<Tensor> = params.to_vec();
     for (pi, p) in params.iter().enumerate() {
         for ei in 0..p.numel() {
@@ -67,11 +73,7 @@ pub fn gradcheck(
 ///
 /// # Panics
 /// Panics (test-style) when the worst relative error exceeds `tol`.
-pub fn assert_gradcheck(
-    params: &[Tensor],
-    tol: f32,
-    f: impl Fn(&mut Graph, &[Var]) -> Var,
-) {
+pub fn assert_gradcheck(params: &[Tensor], tol: f32, f: impl Fn(&mut Graph, &[Var]) -> Var) {
     let report = gradcheck(params, 1e-3, f);
     assert!(
         report.max_rel_err <= tol,

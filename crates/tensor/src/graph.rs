@@ -70,7 +70,12 @@ pub(crate) enum Op {
     Slice1(usize, usize),
     /// Causal dilated 1-D convolution: x `[N,Cin,L]`, w `[Cout,Cin,K]`,
     /// b `[Cout]`, output `[N,Cout,L]`.
-    Conv1d { x: usize, w: usize, b: usize, dilation: usize },
+    Conv1d {
+        x: usize,
+        w: usize,
+        b: usize,
+        dilation: usize,
+    },
     /// `S [m,m]` contracted with `H [m,f,t]` over the first axis of `H`.
     ContractFirst(usize, usize),
     /// `H [m,f,t] · w [t] -> [m,f]`.
@@ -108,7 +113,9 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(256) }
+        Graph {
+            nodes: Vec::with_capacity(256),
+        }
     }
 
     /// Number of nodes created so far.
@@ -127,7 +134,11 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
-        self.nodes.push(Node { value, op, requires_grad });
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -169,7 +180,9 @@ impl Graph {
 
     /// Element-wise quotient. Panics on shape mismatch.
     pub fn div(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip_map(&self.nodes[b.0].value, |x, y| x / y);
+        let v = self.nodes[a.0]
+            .value
+            .zip_map(&self.nodes[b.0].value, |x, y| x / y);
         let rg = self.rg(a.0) || self.rg(b.0);
         self.push(v, Op::Div(a.0, b.0), rg)
     }
@@ -198,10 +211,25 @@ impl Graph {
     /// Row-broadcast bias add: `[r,c] + [c] -> [r,c]`.
     pub fn add_bias(&mut self, a: Var, b: Var) -> Var {
         let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(av.shape().len(), 2, "add_bias: lhs must be 2-D, got {:?}", av.shape());
-        assert_eq!(bv.shape().len(), 1, "add_bias: rhs must be 1-D, got {:?}", bv.shape());
+        assert_eq!(
+            av.shape().len(),
+            2,
+            "add_bias: lhs must be 2-D, got {:?}",
+            av.shape()
+        );
+        assert_eq!(
+            bv.shape().len(),
+            1,
+            "add_bias: rhs must be 1-D, got {:?}",
+            bv.shape()
+        );
         let (r, c) = (av.shape()[0], av.shape()[1]);
-        assert_eq!(c, bv.shape()[0], "add_bias: cols {c} vs bias {:?}", bv.shape());
+        assert_eq!(
+            c,
+            bv.shape()[0],
+            "add_bias: cols {c} vs bias {:?}",
+            bv.shape()
+        );
         let mut out = av.clone();
         for i in 0..r {
             for j in 0..c {
@@ -293,7 +321,12 @@ impl Graph {
         let mut rg = false;
         for p in parts {
             let t = &self.nodes[p.0].value;
-            assert_eq!(t.shape().len(), 1, "concat expects 1-D parts, got {:?}", t.shape());
+            assert_eq!(
+                t.shape().len(),
+                1,
+                "concat expects 1-D parts, got {:?}",
+                t.shape()
+            );
             data.extend_from_slice(t.data());
             rg |= self.rg(p.0);
         }
@@ -311,7 +344,12 @@ impl Graph {
     /// 1-D slice `a[start .. start+len]`.
     pub fn slice1(&mut self, a: Var, start: usize, len: usize) -> Var {
         let av = &self.nodes[a.0].value;
-        assert_eq!(av.shape().len(), 1, "slice1 expects 1-D, got {:?}", av.shape());
+        assert_eq!(
+            av.shape().len(),
+            1,
+            "slice1 expects 1-D, got {:?}",
+            av.shape()
+        );
         assert!(start + len <= av.numel(), "slice1 out of range");
         let v = Tensor::from_vec(&[len], av.data()[start..start + len].to_vec());
         let rg = self.rg(a.0);
@@ -325,10 +363,23 @@ impl Graph {
     /// (implicit zero padding on the left), so no future information leaks —
     /// the property the TCN relies on.
     pub fn conv1d(&mut self, x: Var, w: Var, b: Var, dilation: usize) -> Var {
-        let (xv, wv, bv) = (&self.nodes[x.0].value, &self.nodes[w.0].value, &self.nodes[b.0].value);
+        let (xv, wv, bv) = (
+            &self.nodes[x.0].value,
+            &self.nodes[w.0].value,
+            &self.nodes[b.0].value,
+        );
         let v = conv1d_forward(xv, wv, bv, dilation);
         let rg = self.rg(x.0) || self.rg(w.0) || self.rg(b.0);
-        self.push(v, Op::Conv1d { x: x.0, w: w.0, b: b.0, dilation }, rg)
+        self.push(
+            v,
+            Op::Conv1d {
+                x: x.0,
+                w: w.0,
+                b: b.0,
+                dilation,
+            },
+            rg,
+        )
     }
 
     /// Contraction `out[i,f,t] = Σ_j S[i,j] · H[j,f,t]`.
@@ -338,7 +389,12 @@ impl Graph {
         assert_eq!(hv.shape().len(), 3, "contract_first: H must be 3-D");
         let (m, m2) = (sv.shape()[0], sv.shape()[1]);
         assert_eq!(m, m2, "contract_first: S must be square");
-        assert_eq!(m, hv.shape()[0], "contract_first: S {m} vs H {:?}", hv.shape());
+        assert_eq!(
+            m,
+            hv.shape()[0],
+            "contract_first: S {m} vs H {:?}",
+            hv.shape()
+        );
         let (f, t) = (hv.shape()[1], hv.shape()[2]);
         let ft = f * t;
         let mut out = vec![0.0f32; m * ft];
@@ -356,7 +412,11 @@ impl Graph {
             }
         }
         let rg = self.rg(s.0) || self.rg(h.0);
-        self.push(Tensor::from_vec(&[m, f, t], out), Op::ContractFirst(s.0, h.0), rg)
+        self.push(
+            Tensor::from_vec(&[m, f, t], out),
+            Op::ContractFirst(s.0, h.0),
+            rg,
+        )
     }
 
     /// `H [m,f,t] · w [t] -> [m,f]`.
@@ -446,14 +506,34 @@ pub fn softmax_last_tensor(t: &Tensor) -> Tensor {
 }
 
 pub(crate) fn conv1d_forward(x: &Tensor, w: &Tensor, b: &Tensor, dilation: usize) -> Tensor {
-    assert_eq!(x.shape().len(), 3, "conv1d: x must be [N,Cin,L], got {:?}", x.shape());
-    assert_eq!(w.shape().len(), 3, "conv1d: w must be [Cout,Cin,K], got {:?}", w.shape());
-    assert_eq!(b.shape().len(), 1, "conv1d: b must be [Cout], got {:?}", b.shape());
+    assert_eq!(
+        x.shape().len(),
+        3,
+        "conv1d: x must be [N,Cin,L], got {:?}",
+        x.shape()
+    );
+    assert_eq!(
+        w.shape().len(),
+        3,
+        "conv1d: w must be [Cout,Cin,K], got {:?}",
+        w.shape()
+    );
+    assert_eq!(
+        b.shape().len(),
+        1,
+        "conv1d: b must be [Cout], got {:?}",
+        b.shape()
+    );
     assert!(dilation >= 1, "conv1d: dilation must be >= 1");
     let (n, cin, l) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     let (cout, cin2, k) = (w.shape()[0], w.shape()[1], w.shape()[2]);
     assert_eq!(cin, cin2, "conv1d: channels {cin} vs {cin2}");
-    assert_eq!(cout, b.shape()[0], "conv1d: bias {:?} vs Cout {cout}", b.shape());
+    assert_eq!(
+        cout,
+        b.shape()[0],
+        "conv1d: bias {:?} vs Cout {cout}",
+        b.shape()
+    );
     let mut out = vec![0.0f32; n * cout * l];
     for ni in 0..n {
         for o in 0..cout {

@@ -27,8 +27,8 @@
 #![deny(missing_docs)]
 
 mod backward;
-mod graph;
 pub mod gradcheck;
+mod graph;
 pub mod rand_util;
 mod tensor;
 

@@ -21,7 +21,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{}, {}, ... {} elems]", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                " [{}, {}, ... {} elems]",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }
@@ -39,13 +45,19 @@ impl Tensor {
             "Tensor::from_vec: shape {shape:?} needs {numel} elements, got {}",
             data.len()
         );
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// A tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; numel] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel],
+        }
     }
 
     /// A tensor filled with ones.
@@ -56,17 +68,26 @@ impl Tensor {
     /// A tensor filled with a constant.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let numel: usize = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![value; numel] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; numel],
+        }
     }
 
     /// A rank-0 (scalar) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: vec![], data: vec![value] }
+        Tensor {
+            shape: vec![],
+            data: vec![value],
+        }
     }
 
     /// A 1-D tensor from a slice.
     pub fn vector(values: &[f32]) -> Self {
-        Tensor { shape: vec![values.len()], data: values.to_vec() }
+        Tensor {
+            shape: vec![values.len()],
+            data: values.to_vec(),
+        }
     }
 
     /// The shape of the tensor.
@@ -103,7 +124,12 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "Tensor::item on tensor with shape {:?}", self.shape);
+        assert_eq!(
+            self.numel(),
+            1,
+            "Tensor::item on tensor with shape {:?}",
+            self.shape
+        );
         self.data[0]
     }
 
@@ -147,7 +173,10 @@ impl Tensor {
 
     /// Element-wise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Element-wise combination of two same-shape tensors.
@@ -162,7 +191,12 @@ impl Tensor {
         );
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -242,8 +276,18 @@ impl Tensor {
     /// # Panics
     /// Panics if either operand is not 2-D or the inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape.len(), 2, "matmul: lhs must be 2-D, got {:?}", self.shape);
-        assert_eq!(other.shape.len(), 2, "matmul: rhs must be 2-D, got {:?}", other.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "matmul: lhs must be 2-D, got {:?}",
+            self.shape
+        );
+        assert_eq!(
+            other.shape.len(),
+            2,
+            "matmul: rhs must be 2-D, got {:?}",
+            other.shape
+        );
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
@@ -261,7 +305,10 @@ impl Tensor {
                 }
             }
         }
-        Tensor { shape: vec![m, n], data: out }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
     }
 
     /// Transpose of a 2-D tensor.
@@ -277,7 +324,10 @@ impl Tensor {
                 out[j * r + i] = self.data[i * c + j];
             }
         }
-        Tensor { shape: vec![c, r], data: out }
+        Tensor {
+            shape: vec![c, r],
+            data: out,
+        }
     }
 }
 

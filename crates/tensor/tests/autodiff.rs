@@ -4,9 +4,8 @@
 
 use cit_tensor::gradcheck::assert_gradcheck;
 use cit_tensor::{Graph, Tensor};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 const TOL: f32 = 3e-2; // f32 central differences are noisy; relative tolerance.
 
@@ -171,7 +170,11 @@ fn grad_concat_slice_reshape() {
 fn grad_conv1d_all_inputs() {
     // x [2,2,6], w [3,2,2], b [3]
     assert_gradcheck(
-        &[randt(&[2, 2, 6], 25), randt(&[3, 2, 2], 26), randt(&[3], 27)],
+        &[
+            randt(&[2, 2, 6], 25),
+            randt(&[3, 2, 2], 26),
+            randt(&[3], 27),
+        ],
         TOL,
         |g, p| {
             let y = g.conv1d(p[0], p[1], p[2], 1);
@@ -184,7 +187,11 @@ fn grad_conv1d_all_inputs() {
 #[test]
 fn grad_conv1d_dilated() {
     assert_gradcheck(
-        &[randt(&[1, 2, 8], 28), randt(&[2, 2, 3], 29), randt(&[2], 30)],
+        &[
+            randt(&[1, 2, 8], 28),
+            randt(&[2, 2, 3], 29),
+            randt(&[2], 30),
+        ],
         TOL,
         |g, p| {
             let y = g.conv1d(p[0], p[1], p[2], 2);
@@ -274,7 +281,10 @@ fn no_grad_flows_into_inputs() {
     let y = g.mul(x, w);
     let loss = g.sum_all(y);
     let grads = g.backward(loss);
-    assert!(grads.wrt(x).is_none(), "constant input must not receive a gradient");
+    assert!(
+        grads.wrt(x).is_none(),
+        "constant input must not receive a gradient"
+    );
     assert_eq!(grads.wrt(w).unwrap().data(), &[1.0, 2.0]);
 }
 
@@ -317,31 +327,61 @@ fn softmax_rows_sum_to_one() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+// Property-style sweeps over seeded random shapes (deterministic loops
+// instead of proptest, which is unavailable in the offline build
+// environment).
 
-    #[test]
-    fn prop_matmul_grad_matches_fd(seed in 0u64..1000, m in 1usize..4, k in 1usize..4, n in 1usize..4) {
-        assert_gradcheck(&[randt(&[m, k], seed), randt(&[k, n], seed + 1)], TOL, |g, p| {
-            let y = g.matmul(p[0], p[1]);
-            let y2 = g.mul(y, y);
-            g.sum_all(y2)
-        });
-    }
-
-    #[test]
-    fn prop_softmax_grad_matches_fd(seed in 0u64..1000, n in 2usize..7) {
-        assert_gradcheck(&[randt(&[n], seed), randt(&[n], seed + 2)], TOL, |g, p| {
-            let s = g.softmax_last(p[0]);
-            let w = g.mul(s, p[1]);
-            g.sum_all(w)
-        });
-    }
-
-    #[test]
-    fn prop_conv_grad_matches_fd(seed in 0u64..500, l in 3usize..7, k in 1usize..3, dil in 1usize..3) {
+#[test]
+fn prop_matmul_grad_matches_fd() {
+    let mut rng = StdRng::seed_from_u64(100);
+    for case in 0..24u64 {
+        let (m, k, n) = (
+            rng.random_range(1usize..4),
+            rng.random_range(1usize..4),
+            rng.random_range(1usize..4),
+        );
         assert_gradcheck(
-            &[randt(&[1, 2, l], seed), randt(&[2, 2, k], seed + 3), randt(&[2], seed + 4)],
+            &[randt(&[m, k], 2 * case), randt(&[k, n], 2 * case + 1)],
+            TOL,
+            |g, p| {
+                let y = g.matmul(p[0], p[1]);
+                let y2 = g.mul(y, y);
+                g.sum_all(y2)
+            },
+        );
+    }
+}
+
+#[test]
+fn prop_softmax_grad_matches_fd() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for case in 0..24u64 {
+        let n = rng.random_range(2usize..7);
+        assert_gradcheck(
+            &[randt(&[n], 60 + 2 * case), randt(&[n], 61 + 2 * case)],
+            TOL,
+            |g, p| {
+                let s = g.softmax_last(p[0]);
+                let w = g.mul(s, p[1]);
+                g.sum_all(w)
+            },
+        );
+    }
+}
+
+#[test]
+fn prop_conv_grad_matches_fd() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for case in 0..24u64 {
+        let l = rng.random_range(3usize..7);
+        let k = rng.random_range(1usize..3);
+        let dil = rng.random_range(1usize..3);
+        assert_gradcheck(
+            &[
+                randt(&[1, 2, l], 120 + 3 * case),
+                randt(&[2, 2, k], 121 + 3 * case),
+                randt(&[2], 122 + 3 * case),
+            ],
             TOL,
             |g, p| {
                 let y = g.conv1d(p[0], p[1], p[2], dil);
@@ -350,22 +390,30 @@ proptest! {
             },
         );
     }
+}
 
-    #[test]
-    fn prop_softmax_is_simplex(seed in 0u64..1000, n in 1usize..10) {
-        let t = randt(&[n], seed);
+#[test]
+fn prop_softmax_is_simplex() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for case in 0..24u64 {
+        let n = rng.random_range(1usize..10);
+        let t = randt(&[n], 200 + case);
         let s = cit_tensor::softmax_last_tensor(&t);
         let sum: f32 = s.data().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-5);
-        prop_assert!(s.data().iter().all(|&x| x >= 0.0));
+        assert!((sum - 1.0).abs() < 1e-5, "case {case}");
+        assert!(s.data().iter().all(|&x| x >= 0.0), "case {case}");
     }
+}
 
-    #[test]
-    fn prop_conv_is_causal(seed in 0u64..500, l in 4usize..9) {
-        // Changing a future input must not change earlier outputs.
-        let x = randt(&[1, 1, l], seed);
-        let w = randt(&[1, 1, 3], seed + 7);
-        let b = randt(&[1], seed + 8);
+#[test]
+fn prop_conv_is_causal() {
+    // Changing a future input must not change earlier outputs.
+    let mut rng = StdRng::seed_from_u64(104);
+    for case in 0..24u64 {
+        let l = rng.random_range(4usize..9);
+        let x = randt(&[1, 1, l], 300 + 3 * case);
+        let w = randt(&[1, 1, 3], 301 + 3 * case);
+        let b = randt(&[1], 302 + 3 * case);
         let run = |x: &Tensor| -> Vec<f32> {
             let mut g = Graph::new();
             let xv = g.input(x.clone());
@@ -380,8 +428,11 @@ proptest! {
         bumped.data_mut()[last] += 5.0;
         let changed = run(&bumped);
         for t in 0..last {
-            prop_assert!((base[t] - changed[t]).abs() < 1e-6, "t={t} leaked future info");
+            assert!(
+                (base[t] - changed[t]).abs() < 1e-6,
+                "t={t} leaked future info"
+            );
         }
-        prop_assert!((base[last] - changed[last]).abs() > 1e-6 || w.data()[2] == 0.0);
+        assert!((base[last] - changed[last]).abs() > 1e-6 || w.data()[2] == 0.0);
     }
 }

@@ -9,8 +9,7 @@
 
 use cross_insight_trader::core::{CitConfig, CrossInsightTrader};
 use cross_insight_trader::market::{
-    market_result, run_test_period, EnvConfig, Regime, RegimeSegment, SynthConfig,
-    UniformStrategy,
+    market_result, run_test_period, EnvConfig, Regime, RegimeSegment, SynthConfig, UniformStrategy,
 };
 
 fn main() {
@@ -21,14 +20,26 @@ fn main() {
         num_days: 700,
         test_start: 560,
         regimes: vec![
-            RegimeSegment { regime: Regime::Bull, days: 560 },
-            RegimeSegment { regime: Regime::Bear, days: 90 },
-            RegimeSegment { regime: Regime::Bull, days: 50 },
+            RegimeSegment {
+                regime: Regime::Bull,
+                days: 560,
+            },
+            RegimeSegment {
+                regime: Regime::Bear,
+                days: 90,
+            },
+            RegimeSegment {
+                regime: Regime::Bull,
+                days: 50,
+            },
         ],
         ..SynthConfig::default()
     };
     let panel = cfg.generate();
-    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
+    let env = EnvConfig {
+        window: 16,
+        transaction_cost: 1e-3,
+    };
     println!("test period: 90 bear days then 50 recovery days\n");
 
     let cit_cfg = CitConfig {
@@ -45,7 +56,10 @@ fn main() {
     let uniform = run_test_period(&panel, env, &mut UniformStrategy);
     let index = market_result(&panel, panel.test_start(), panel.num_days());
 
-    println!("\n{:<10} {:>8} {:>8} {:>8} {:>8}", "model", "AR", "SR", "CR", "MDD");
+    println!(
+        "\n{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "model", "AR", "SR", "CR", "MDD"
+    );
     for r in [&cit, &uniform, &index] {
         println!(
             "{:<10} {:>8.3} {:>8.2} {:>8.2} {:>8.3}",
@@ -54,9 +68,7 @@ fn main() {
     }
 
     // Where did each model bottom out during the bear leg?
-    let trough = |w: &[f64]| {
-        w.iter().cloned().fold(f64::MAX, f64::min)
-    };
+    let trough = |w: &[f64]| w.iter().cloned().fold(f64::MAX, f64::min);
     println!("\nlowest wealth during test:");
     println!("  CIT     {:.3}", trough(&cit.wealth));
     println!("  Uniform {:.3}", trough(&uniform.wealth));

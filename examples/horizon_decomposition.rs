@@ -33,7 +33,12 @@ fn main() {
         let bands = horizon_scales(&window, n);
         for (k, band) in bands.iter().enumerate() {
             let tv: f64 = band.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
-            println!("  policy {} | {} | total variation {:8.2}", k + 1, sparkline(band), tv);
+            println!(
+                "  policy {} | {} | total variation {:8.2}",
+                k + 1,
+                sparkline(band),
+                tv
+            );
         }
         // The bands partition the signal: their sum reproduces the prices.
         let recon: f64 = bands.iter().map(|b| b[40]).sum();

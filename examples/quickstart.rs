@@ -37,12 +37,18 @@ fn main() {
     );
 
     // Backtest the test period.
-    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
+    let env = EnvConfig {
+        window: 16,
+        transaction_cost: 1e-3,
+    };
     let cit = run_test_period(&panel, env, &mut trader);
     let uniform = run_test_period(&panel, env, &mut UniformStrategy);
     let index = market_result(&panel, panel.test_start(), panel.num_days());
 
-    println!("\n{:<10} {:>8} {:>8} {:>8} {:>8}", "model", "AR", "SR", "CR", "MDD");
+    println!(
+        "\n{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "model", "AR", "SR", "CR", "MDD"
+    );
     for r in [&cit, &uniform, &index] {
         println!(
             "{:<10} {:>8.3} {:>8.2} {:>8.2} {:>8.3}",

@@ -6,15 +6,16 @@
 //! cargo run --release --example strategy_shootout
 //! ```
 
-use cross_insight_trader::market::{
-    market_result, run_test_period, EnvConfig, MarketPreset,
-};
+use cross_insight_trader::market::{market_result, run_test_period, EnvConfig, MarketPreset};
 use cross_insight_trader::online::all_strategies;
 use cross_insight_trader::rl::{A2c, Eiie, RlConfig};
 
 fn main() {
     let panel = MarketPreset::China.scaled(6, 10).generate();
-    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
+    let env = EnvConfig {
+        window: 16,
+        transaction_cost: 1e-3,
+    };
     println!(
         "market: {} assets, {} test days\n",
         panel.num_assets(),
@@ -28,7 +29,11 @@ fn main() {
     }
 
     // Two inexpensive learned baselines for contrast.
-    let rl = RlConfig { window: 16, total_steps: 1_000, ..RlConfig::smoke(7) };
+    let rl = RlConfig {
+        window: 16,
+        total_steps: 1_000,
+        ..RlConfig::smoke(7)
+    };
     let mut eiie = Eiie::new(&panel, rl);
     eiie.train(&panel);
     results.push(run_test_period(&panel, env, &mut eiie));
@@ -39,7 +44,10 @@ fn main() {
     results.push(market_result(&panel, panel.test_start(), panel.num_days()));
 
     results.sort_by(|a, b| b.metrics.sr.partial_cmp(&a.metrics.sr).expect("finite SR"));
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "model", "AR", "SR", "CR", "MDD");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "model", "AR", "SR", "CR", "MDD"
+    );
     for r in &results {
         println!(
             "{:<12} {:>8.3} {:>8.2} {:>8.2} {:>8.3}",

@@ -9,8 +9,7 @@
 
 use cross_insight_trader::core::{CitConfig, CrossInsightTrader};
 use cross_insight_trader::market::{
-    risk::risk_report, walk_forward, EnvConfig, SynthConfig, UniformStrategy,
-    WalkForwardConfig,
+    risk::risk_report, walk_forward, EnvConfig, SynthConfig, UniformStrategy, WalkForwardConfig,
 };
 use cross_insight_trader::online::{Olmar, Rmr};
 
@@ -27,11 +26,21 @@ fn main() {
     let cfg = WalkForwardConfig {
         train_days: 240,
         test_days: 120,
-        env: EnvConfig { window: 16, transaction_cost: 1e-3 },
+        env: EnvConfig {
+            window: 16,
+            transaction_cost: 1e-3,
+        },
     };
 
-    println!("walk-forward: {} folds of {} test days\n", (720 - 240) / 120, 120);
-    println!("{:<10} {:>8} {:>8} {:>8} {:>9} {:>9}", "model", "AR", "SR", "MDD", "Sortino", "turnover");
+    println!(
+        "walk-forward: {} folds of {} test days\n",
+        (720 - 240) / 120,
+        120
+    );
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "model", "AR", "SR", "MDD", "Sortino", "turnover"
+    );
     type Factory = fn() -> Box<dyn cross_insight_trader::market::Strategy>;
     let models: [(&str, Factory); 3] = [
         ("Uniform", || Box::new(UniformStrategy)),
@@ -40,8 +49,11 @@ fn main() {
     ];
     for (name, make) in models {
         let res = walk_forward(&panel, &cfg, |_, _| make());
-        let weights: Vec<Vec<f64>> =
-            res.fold_results.iter().flat_map(|f| f.weights.clone()).collect();
+        let weights: Vec<Vec<f64>> = res
+            .fold_results
+            .iter()
+            .flat_map(|f| f.weights.clone())
+            .collect();
         let risk = risk_report(&res.daily_returns, &weights);
         println!(
             "{:<10} {:>8.3} {:>8.2} {:>8.3} {:>9.2} {:>9.3}",
@@ -51,7 +63,12 @@ fn main() {
 
     // Checkpoint round-trip: train once, save, reload into a fresh model.
     println!("\ncheckpoint round-trip:");
-    let cit_cfg = CitConfig { num_policies: 2, window: 16, total_steps: 400, ..CitConfig::smoke(3) };
+    let cit_cfg = CitConfig {
+        num_policies: 2,
+        window: 16,
+        total_steps: 400,
+        ..CitConfig::smoke(3)
+    };
     let mut trained = CrossInsightTrader::new(&panel, cit_cfg);
     trained.train(&panel);
     let path = std::env::temp_dir().join("cit_walkforward_demo.ckpt");
@@ -59,13 +76,26 @@ fn main() {
 
     let mut restored = CrossInsightTrader::new(&panel, cit_cfg);
     restored.load(&path).expect("load checkpoint");
-    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
+    let env = EnvConfig {
+        window: 16,
+        transaction_cost: 1e-3,
+    };
     let a = cross_insight_trader::market::run_test_period(&panel, env, &mut trained);
     let b = cross_insight_trader::market::run_test_period(&panel, env, &mut restored);
-    let drift: f64 =
-        a.wealth.iter().zip(&b.wealth).map(|(x, y)| (x - y).abs()).sum();
-    println!("  saved to {} — reload wealth drift: {drift:.2e}", path.display());
-    assert!(drift < 1e-9, "restored model must reproduce the original backtest");
+    let drift: f64 = a
+        .wealth
+        .iter()
+        .zip(&b.wealth)
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    println!(
+        "  saved to {} — reload wealth drift: {drift:.2e}",
+        path.display()
+    );
+    assert!(
+        drift < 1e-9,
+        "restored model must reproduce the original backtest"
+    );
     let _ = std::fs::remove_file(path);
     println!("  restored model reproduces the original backtest exactly ✔");
 }

@@ -10,11 +10,19 @@ use cross_insight_trader::online::Olmar;
 
 #[test]
 fn csv_roundtrip_preserves_backtests() {
-    let p = SynthConfig { num_assets: 4, num_days: 150, test_start: 110, ..Default::default() }
-        .generate();
+    let p = SynthConfig {
+        num_assets: 4,
+        num_days: 150,
+        test_start: 110,
+        ..Default::default()
+    }
+    .generate();
     let csv = panel_to_csv(&p);
     let back = panel_from_csv("roundtrip", &csv, 110).expect("parse");
-    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
+    let env = EnvConfig {
+        window: 16,
+        transaction_cost: 1e-3,
+    };
 
     let a = run_test_period(&p, env, &mut UniformStrategy);
     let b = run_test_period(&back, env, &mut UniformStrategy);

@@ -12,16 +12,34 @@ use cross_insight_trader::rl::{
 };
 
 fn tiny_panel() -> cross_insight_trader::market::AssetPanel {
-    SynthConfig { num_assets: 4, num_days: 320, test_start: 260, ..Default::default() }.generate()
+    SynthConfig {
+        num_assets: 4,
+        num_days: 320,
+        test_start: 260,
+        ..Default::default()
+    }
+    .generate()
 }
 
 fn assert_valid_backtest(res: &cross_insight_trader::market::BacktestResult, days: usize) {
     assert_eq!(res.wealth.len(), days, "{}", res.name);
-    assert!(res.wealth.iter().all(|w| w.is_finite() && *w > 0.0), "{}", res.name);
-    assert!(res.metrics.mdd >= 0.0 && res.metrics.mdd <= 1.0, "{}", res.name);
+    assert!(
+        res.wealth.iter().all(|w| w.is_finite() && *w > 0.0),
+        "{}",
+        res.name
+    );
+    assert!(
+        res.metrics.mdd >= 0.0 && res.metrics.mdd <= 1.0,
+        "{}",
+        res.name
+    );
     for w in &res.weights {
         let sum: f64 = w.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-6, "{}: weights must stay on the simplex", res.name);
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "{}: weights must stay on the simplex",
+            res.name
+        );
         assert!(w.iter().all(|&x| x >= -1e-9), "{}", res.name);
     }
 }
@@ -29,7 +47,10 @@ fn assert_valid_backtest(res: &cross_insight_trader::market::BacktestResult, day
 #[test]
 fn all_online_strategies_backtest_cleanly() {
     let panel = tiny_panel();
-    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
+    let env = EnvConfig {
+        window: 16,
+        transaction_cost: 1e-3,
+    };
     let days = panel.num_days() - panel.test_start();
     for mut s in all_strategies() {
         let res = run_test_period(&panel, env, s.as_mut());
@@ -40,9 +61,16 @@ fn all_online_strategies_backtest_cleanly() {
 #[test]
 fn all_rl_agents_train_and_backtest() {
     let panel = tiny_panel();
-    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
+    let env = EnvConfig {
+        window: 16,
+        transaction_cost: 1e-3,
+    };
     let days = panel.num_days() - panel.test_start();
-    let rl = RlConfig { window: 16, total_steps: 150, ..RlConfig::smoke(3) };
+    let rl = RlConfig {
+        window: 16,
+        total_steps: 150,
+        ..RlConfig::smoke(3)
+    };
 
     let mut results: Vec<cross_insight_trader::market::BacktestResult> = Vec::new();
 
@@ -50,13 +78,23 @@ fn all_rl_agents_train_and_backtest() {
     a2c.train(&panel);
     results.push(run_test_period(&panel, env, &mut a2c));
 
-    let mut ppo = Ppo::new(&panel, PpoConfig { base: rl, ..Default::default() });
+    let mut ppo = Ppo::new(
+        &panel,
+        PpoConfig {
+            base: rl,
+            ..Default::default()
+        },
+    );
     ppo.train(&panel);
     results.push(run_test_period(&panel, env, &mut ppo));
 
     let mut ddpg = Ddpg::new(
         &panel,
-        DdpgConfig { base: rl, warmup: 32, ..Default::default() },
+        DdpgConfig {
+            base: rl,
+            warmup: 32,
+            ..Default::default()
+        },
     );
     ddpg.train(&panel);
     results.push(run_test_period(&panel, env, &mut ddpg));
@@ -83,7 +121,10 @@ fn all_rl_agents_train_and_backtest() {
 #[test]
 fn cit_trains_and_backtests_on_preset_market() {
     let panel = MarketPreset::China.scaled(10, 24).generate();
-    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
+    let env = EnvConfig {
+        window: 16,
+        transaction_cost: 1e-3,
+    };
     let mut cfg = CitConfig::smoke(5);
     cfg.window = 16;
     let mut trader = CrossInsightTrader::new(&panel, cfg);
@@ -96,20 +137,29 @@ fn cit_trains_and_backtests_on_preset_market() {
 #[test]
 fn cit_backtest_is_deterministic_after_training() {
     let panel = tiny_panel();
-    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
+    let env = EnvConfig {
+        window: 16,
+        transaction_cost: 1e-3,
+    };
     let mut cfg = CitConfig::smoke(6);
     cfg.window = 16;
     let mut trader = CrossInsightTrader::new(&panel, cfg);
     trader.train(&panel);
     let a = run_test_period(&panel, env, &mut trader);
     let b = run_test_period(&panel, env, &mut trader);
-    assert_eq!(a.wealth, b.wealth, "deterministic evaluation must be repeatable");
+    assert_eq!(
+        a.wealth, b.wealth,
+        "deterministic evaluation must be repeatable"
+    );
 }
 
 #[test]
 fn identical_seeds_give_identical_training() {
     let panel = tiny_panel();
-    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
+    let env = EnvConfig {
+        window: 16,
+        transaction_cost: 1e-3,
+    };
     let run = |seed: u64| {
         let mut cfg = CitConfig::smoke(seed);
         cfg.window = 16;
@@ -118,15 +168,26 @@ fn identical_seeds_give_identical_training() {
         run_test_period(&panel, env, &mut trader).wealth
     };
     assert_eq!(run(9), run(9));
-    assert_ne!(run(9), run(10), "different seeds should explore differently");
+    assert_ne!(
+        run(9),
+        run(10),
+        "different seeds should explore differently"
+    );
 }
 
 #[test]
 fn strategy_trait_objects_compose() {
     // The whole zoo can be driven through `dyn Strategy`.
     let panel = tiny_panel();
-    let env = EnvConfig { window: 16, transaction_cost: 1e-3 };
-    let rl = RlConfig { window: 16, total_steps: 60, ..RlConfig::smoke(8) };
+    let env = EnvConfig {
+        window: 16,
+        transaction_cost: 1e-3,
+    };
+    let rl = RlConfig {
+        window: 16,
+        total_steps: 60,
+        ..RlConfig::smoke(8)
+    };
     let mut zoo: Vec<Box<dyn Strategy>> = all_strategies();
     zoo.push(Box::new(Eiie::new(&panel, rl)));
     let days = panel.num_days() - panel.test_start();

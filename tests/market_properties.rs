@@ -1,24 +1,26 @@
-//! Property-based invariants spanning the market substrate: backtester
-//! accounting, metric identities, and environment behaviour under random
-//! market and strategy configurations.
+//! Property-style invariants spanning the market substrate: backtester
+//! accounting, metric identities, and environment behaviour under seeded
+//! random market and strategy configurations (deterministic loops instead
+//! of proptest, which is unavailable in the offline build environment).
 
 use cross_insight_trader::market::{
     metrics, project_to_simplex, risk, run_backtest, AssetPanel, DecisionContext, EnvConfig,
     Strategy, SynthConfig,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-prop_compose! {
-    fn arb_panel()(seed in 0u64..5000, m in 2usize..6, days in 80usize..160) -> AssetPanel {
-        SynthConfig {
-            num_assets: m,
-            num_days: days,
-            test_start: days - 30,
-            seed,
-            ..SynthConfig::default()
-        }
-        .generate()
+fn arb_panel(rng: &mut StdRng) -> AssetPanel {
+    let m = rng.random_range(2usize..6);
+    let days = rng.random_range(80usize..160);
+    SynthConfig {
+        num_assets: m,
+        num_days: days,
+        test_start: days - 30,
+        seed: rng.random_range(0u64..5000),
+        ..SynthConfig::default()
     }
+    .generate()
 }
 
 /// A strategy whose weights are driven by a deterministic pseudo-random
@@ -36,89 +38,158 @@ impl Strategy for RandomishStrategy {
         let m = ctx.panel.num_assets();
         (0..m)
             .map(|i| {
-                self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(i as u64 + 1);
+                self.state = self
+                    .state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(i as u64 + 1);
                 ((self.state >> 33) % 1000) as f64 / 1000.0
             })
             .collect()
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn backtest_accounting_always_consistent(panel in arb_panel(), stream in 0u64..1000) {
-        let cfg = EnvConfig { window: 16, transaction_cost: 1e-3 };
+#[test]
+fn backtest_accounting_always_consistent() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for case in 0..8 {
+        let panel = arb_panel(&mut rng);
+        let stream = rng.random_range(0u64..1000);
+        let cfg = EnvConfig {
+            window: 16,
+            transaction_cost: 1e-3,
+        };
         let start = 30;
         let end = panel.num_days();
-        let res = run_backtest(&panel, cfg, start, end, &mut RandomishStrategy { state: stream });
+        let res = run_backtest(
+            &panel,
+            cfg,
+            start,
+            end,
+            &mut RandomishStrategy { state: stream },
+        );
         // Wealth strictly positive and consistent with daily returns.
-        prop_assert!(res.wealth.iter().all(|w| *w > 0.0 && w.is_finite()));
+        assert!(
+            res.wealth.iter().all(|w| *w > 0.0 && w.is_finite()),
+            "case {case}"
+        );
         let mut w = 1.0;
         for (i, r) in res.daily_returns.iter().enumerate() {
             w *= 1.0 + r;
-            prop_assert!((w - res.wealth[i + 1]).abs() < 1e-9);
+            assert!((w - res.wealth[i + 1]).abs() < 1e-9, "case {case}");
         }
         // Weights always on the simplex.
         for ws in &res.weights {
-            prop_assert!((ws.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-            prop_assert!(ws.iter().all(|&x| x >= -1e-12));
+            assert!((ws.iter().sum::<f64>() - 1.0).abs() < 1e-9, "case {case}");
+            assert!(ws.iter().all(|&x| x >= -1e-12), "case {case}");
         }
         // Metric identities.
-        prop_assert!(res.metrics.mdd >= 0.0 && res.metrics.mdd <= 1.0);
-        prop_assert!((res.metrics.ar - (res.wealth.last().unwrap() - 1.0)).abs() < 1e-9);
+        assert!(
+            res.metrics.mdd >= 0.0 && res.metrics.mdd <= 1.0,
+            "case {case}"
+        );
+        assert!(
+            (res.metrics.ar - (res.wealth.last().unwrap() - 1.0)).abs() < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn costs_never_help(panel in arb_panel(), stream in 0u64..1000) {
-        let free = EnvConfig { window: 16, transaction_cost: 0.0 };
-        let costly = EnvConfig { window: 16, transaction_cost: 5e-3 };
+#[test]
+fn costs_never_help() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..8 {
+        let panel = arb_panel(&mut rng);
+        let stream = rng.random_range(0u64..1000);
+        let free = EnvConfig {
+            window: 16,
+            transaction_cost: 0.0,
+        };
+        let costly = EnvConfig {
+            window: 16,
+            transaction_cost: 5e-3,
+        };
         let start = 30;
         let end = panel.num_days();
-        let a = run_backtest(&panel, free, start, end, &mut RandomishStrategy { state: stream });
-        let b = run_backtest(&panel, costly, start, end, &mut RandomishStrategy { state: stream });
-        prop_assert!(
+        let a = run_backtest(
+            &panel,
+            free,
+            start,
+            end,
+            &mut RandomishStrategy { state: stream },
+        );
+        let b = run_backtest(
+            &panel,
+            costly,
+            start,
+            end,
+            &mut RandomishStrategy { state: stream },
+        );
+        assert!(
             *b.wealth.last().unwrap() <= a.wealth.last().unwrap() + 1e-12,
             "transaction costs must never increase final wealth"
         );
     }
+}
 
-    #[test]
-    fn var_never_exceeds_es(rets in proptest::collection::vec(-0.2f64..0.2, 10..200)) {
+#[test]
+fn var_never_exceeds_es() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for _ in 0..16 {
+        let n = rng.random_range(10usize..200);
+        let rets: Vec<f64> = (0..n).map(|_| rng.random_range(-0.2..0.2)).collect();
         let var = risk::value_at_risk(&rets, 0.95);
         let es = risk::expected_shortfall(&rets, 0.95);
-        prop_assert!(es + 1e-12 >= var, "ES {es} must dominate VaR {var}");
-        prop_assert!(var >= 0.0 && es >= 0.0);
+        assert!(es + 1e-12 >= var, "ES {es} must dominate VaR {var}");
+        assert!(var >= 0.0 && es >= 0.0);
     }
+}
 
-    #[test]
-    fn sharpe_is_scale_invariant(rets in proptest::collection::vec(-0.05f64..0.05, 10..100), c in 0.1f64..10.0) {
+#[test]
+fn sharpe_is_scale_invariant() {
+    let mut rng = StdRng::seed_from_u64(44);
+    for _ in 0..16 {
+        let n = rng.random_range(10usize..100);
+        let rets: Vec<f64> = (0..n).map(|_| rng.random_range(-0.05..0.05)).collect();
+        let c = rng.random_range(0.1..10.0);
         let base = metrics::sharpe_ratio(&rets);
         let scaled: Vec<f64> = rets.iter().map(|r| c * r).collect();
         let s = metrics::sharpe_ratio(&scaled);
-        prop_assert!((base - s).abs() < 1e-6, "Sharpe must be scale-invariant: {base} vs {s}");
+        assert!(
+            (base - s).abs() < 1e-6,
+            "Sharpe must be scale-invariant: {base} vs {s}"
+        );
     }
+}
 
-    #[test]
-    fn simplex_projection_idempotent(v in proptest::collection::vec(-5.0f64..5.0, 1..12)) {
+#[test]
+fn simplex_projection_idempotent() {
+    let mut rng = StdRng::seed_from_u64(45);
+    for _ in 0..16 {
+        let n = rng.random_range(1usize..12);
+        let v: Vec<f64> = (0..n).map(|_| rng.random_range(-5.0..5.0)).collect();
         let once = project_to_simplex(&v);
         let twice = project_to_simplex(&once);
         for (a, b) in once.iter().zip(&twice) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn drawdown_curve_bounded_and_zero_at_peaks(panel in arb_panel()) {
+#[test]
+fn drawdown_curve_bounded_and_zero_at_peaks() {
+    let mut rng = StdRng::seed_from_u64(46);
+    for _ in 0..8 {
+        let panel = arb_panel(&mut rng);
         let curve = panel.index_curve();
         let dd = risk::drawdown_curve(&curve);
-        prop_assert_eq!(dd.len(), curve.len());
-        prop_assert!(dd.iter().all(|d| (0.0..=1.0).contains(d)));
+        assert_eq!(dd.len(), curve.len());
+        assert!(dd.iter().all(|d| (0.0..=1.0).contains(d)));
         // The global max of the curve must have zero drawdown.
-        let (argmax, _) = curve
-            .iter()
-            .enumerate()
-            .fold((0, f64::MIN), |(bi, bv), (i, &v)| if v > bv { (i, v) } else { (bi, bv) });
-        prop_assert!(dd[argmax] < 1e-12);
+        let (argmax, _) =
+            curve.iter().enumerate().fold(
+                (0, f64::MIN),
+                |(bi, bv), (i, &v)| if v > bv { (i, v) } else { (bi, bv) },
+            );
+        assert!(dd[argmax] < 1e-12);
     }
 }

@@ -12,8 +12,13 @@ use rand::SeedableRng;
 
 #[test]
 fn horizon_windows_partition_raw_window_on_real_panel() {
-    let p = SynthConfig { num_assets: 5, num_days: 200, test_start: 160, ..Default::default() }
-        .generate();
+    let p = SynthConfig {
+        num_assets: 5,
+        num_days: 200,
+        test_start: 160,
+        ..Default::default()
+    }
+    .generate();
     for n in [2usize, 3, 5] {
         let raw = raw_window(&p, 150, 32);
         let bands = horizon_windows(&p, 150, 32, n);
@@ -45,7 +50,11 @@ fn counterfactual_baseline_preserves_expected_gradient() {
     // A fixed, arbitrary "critic": Q(u) depends on the sampled action; the
     // baseline B is a constant w.r.t. the sample (computed from μ).
     let q_of = |u: &Tensor| -> f64 {
-        u.data().iter().enumerate().map(|(i, &v)| (i as f64 + 1.0) * v as f64).sum::<f64>()
+        u.data()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 + 1.0) * v as f64)
+            .sum::<f64>()
     };
     let baseline = 1.2345f64; // any sample-independent value
 
@@ -58,7 +67,11 @@ fn counterfactual_baseline_preserves_expected_gradient() {
             let mv = policy.forward_vec(&mut ctx, x);
             let mean = ctx.g.value(mv).clone();
             let s = head.sample(&store, &mean, &mut rng);
-            let weight = if use_baseline { q_of(&s.latent) - baseline } else { q_of(&s.latent) };
+            let weight = if use_baseline {
+                q_of(&s.latent) - baseline
+            } else {
+                q_of(&s.latent)
+            };
             let lp = head.log_prob(&mut ctx, mv, &s.latent);
             let loss = ctx.g.scale(lp, weight as f32);
             let grads = ctx.backward(loss);
@@ -72,14 +85,22 @@ fn counterfactual_baseline_preserves_expected_gradient() {
                 slot @ None => *slot = Some(g0),
             }
         }
-        acc.expect("samples > 0").scale(1.0 / samples as f32).data().to_vec()
+        acc.expect("samples > 0")
+            .scale(1.0 / samples as f32)
+            .data()
+            .to_vec()
     };
 
     let with = mean_grad(true, 6000, 100);
     let without = mean_grad(false, 6000, 100);
     // Same RNG stream: per-sample gradients differ by baseline·∇logπ whose
     // expectation is 0; averages must agree within Monte-Carlo noise.
-    let num: f32 = with.iter().zip(&without).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+    let num: f32 = with
+        .iter()
+        .zip(&without)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f32>()
+        .sqrt();
     let den: f32 = without.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
     assert!(
         num / den < 0.25,
@@ -106,11 +127,19 @@ fn good_baseline_reduces_gradient_variance() {
             let mv = ctx.param(mean_id);
             let mean = ctx.g.value(mv).clone();
             let s = head.sample(&store, &mean, &mut rng);
-            let weight = if use_baseline { q_of(&s.latent) - 5.0 } else { q_of(&s.latent) };
+            let weight = if use_baseline {
+                q_of(&s.latent) - 5.0
+            } else {
+                q_of(&s.latent)
+            };
             let lp = head.log_prob(&mut ctx, mv, &s.latent);
             let loss = ctx.g.scale(lp, weight as f32);
             let grads = ctx.backward(loss);
-            let g = grads.into_iter().find(|(id, _)| *id == mean_id).expect("mean grad").1;
+            let g = grads
+                .into_iter()
+                .find(|(id, _)| *id == mean_id)
+                .expect("mean grad")
+                .1;
             firsts.push(g.data()[0]);
         }
         firsts
