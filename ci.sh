@@ -12,4 +12,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== bench smoke (--quick)"
+cargo bench -p cit-bench --bench components -- --quick
+test -s BENCH_compute.json || { echo "BENCH_compute.json missing or empty" >&2; exit 1; }
+
 echo "CI gate passed."

@@ -1,0 +1,185 @@
+//! # cit-compute
+//!
+//! std-only thread-level parallelism for the Cross-Insight Trader.
+//!
+//! The paper's architecture is embarrassingly parallel across the `n`
+//! horizon policies: each π^k reads its own DWT scale and the policies only
+//! meet at the cross-insight layer and the centralised critic. This crate
+//! provides the one primitive the trainer needs to exploit that —
+//! [`parallel_map`], a scoped-thread fork/join that always returns results
+//! in task order — plus the `CIT_THREADS` resolution logic shared by config
+//! and benches.
+//!
+//! Determinism contract: `parallel_map(t, tasks)` returns exactly the same
+//! `Vec` for every `t`, provided each task is a pure function of its inputs.
+//! Thread count only changes wall-clock, never values or their order, so a
+//! fixed-order gradient reduction over the results is bit-reproducible.
+
+#![deny(missing_docs)]
+
+/// Parses a `CIT_THREADS`-style override. Returns `None` when the value is
+/// absent, not an integer, or zero.
+pub fn parse_threads(raw: Option<&str>) -> Option<usize> {
+    raw?.trim().parse::<usize>().ok().filter(|&t| t >= 1)
+}
+
+/// Worker-thread count implied by the environment: `CIT_THREADS` when set
+/// to a positive integer, otherwise the hardware parallelism (1 if
+/// unknown).
+pub fn threads_from_env() -> usize {
+    parse_threads(std::env::var("CIT_THREADS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Resolves an explicit configuration value against the environment: a
+/// positive `cfg_threads` wins (lets tests pin the count without touching
+/// process-global env vars); `0` means "auto" and defers to
+/// [`threads_from_env`].
+pub fn resolve_threads(cfg_threads: usize) -> usize {
+    if cfg_threads >= 1 {
+        cfg_threads
+    } else {
+        threads_from_env()
+    }
+}
+
+/// Runs `tasks` on up to `threads` scoped worker threads and returns their
+/// results **in task order**, regardless of completion order.
+///
+/// Tasks are distributed round-robin; with `threads <= 1` (or fewer than
+/// two tasks) everything runs inline on the caller's thread with zero
+/// spawn overhead. A panicking task is re-raised on the caller after all
+/// workers have been joined.
+pub fn parallel_map<T, F>(threads: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let mut buckets: Vec<Vec<(usize, F)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, f) in tasks.into_iter().enumerate() {
+        buckets[i % workers].push((i, f));
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                s.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, f)| (i, f()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut panicked = None;
+        for h in handles {
+            match h.join() {
+                Ok(pairs) => {
+                    for (i, v) in pairs {
+                        slots[i] = Some(v);
+                    }
+                }
+                Err(p) => panicked = Some(p),
+            }
+        }
+        if let Some(p) = panicked {
+            std::panic::resume_unwind(p);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("parallel_map: worker dropped a task"))
+        .collect()
+}
+
+/// Splits `len` items into at most `chunks` contiguous `(start, end)`
+/// ranges of near-equal size (earlier ranges get the remainder). Used to
+/// batch many tiny tasks into one closure per worker.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let rem = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let size = base + usize::from(c < rem);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 2 ")), Some(2));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("-3")), None);
+        assert_eq!(parse_threads(Some("many")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_config() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_for_any_thread_count() {
+        let serial: Vec<usize> = (0..23).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let tasks: Vec<_> = (0..23usize).map(|i| move || i * i).collect();
+            assert_eq!(parallel_map(threads, tasks), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let none: Vec<Box<dyn FnOnce() -> i32 + Send>> = Vec::new();
+        assert!(parallel_map(4, none).is_empty());
+        assert_eq!(parallel_map(4, vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "task boom")]
+    fn parallel_map_propagates_worker_panics() {
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("task boom")),
+            Box::new(|| 3),
+        ];
+        let _ = parallel_map(2, tasks);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (len, chunks) in [(10, 3), (3, 10), (16, 4), (1, 1), (7, 2)] {
+            let ranges = chunk_ranges(len, chunks);
+            assert_eq!(ranges.first().map(|r| r.0), Some(0));
+            assert_eq!(ranges.last().map(|r| r.1), Some(len));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "ranges must tile contiguously");
+                assert!(w[0].1 > w[0].0);
+            }
+        }
+        assert!(chunk_ranges(0, 4).is_empty());
+    }
+}

@@ -10,7 +10,7 @@
 use crate::config::{ActorBody, CitConfig};
 use cit_market::NUM_FEATURES;
 use cit_nn::{Activation, Ctx, GaussianHead, Gru, Linear, Mlp, ParamStore, SpatialAttention, Tcn};
-use cit_tensor::{Tensor, Var};
+use cit_tensor::{GraphPool, Tensor, Var};
 use rand::Rng;
 
 enum Body {
@@ -170,6 +170,23 @@ impl CitActor {
         let mut ctx = Ctx::new(store);
         let mv = self.mean(&mut ctx, window, extra);
         ctx.g.value(mv).clone()
+    }
+
+    /// [`CitActor::mean_numeric`] on a pooled graph arena, so hot callers
+    /// (rollout decisions, counterfactual baselines) stop reallocating node
+    /// storage on every forward pass.
+    pub fn mean_numeric_in(
+        &self,
+        store: &ParamStore,
+        pool: &GraphPool,
+        window: &Tensor,
+        extra: &[f32],
+    ) -> Tensor {
+        let mut ctx = Ctx::with_graph(store, pool.take());
+        let mv = self.mean(&mut ctx, window, extra);
+        let out = ctx.g.value(mv).clone();
+        pool.put(ctx.into_graph());
+        out
     }
 }
 

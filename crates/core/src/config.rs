@@ -96,6 +96,10 @@ pub struct CitConfig {
     pub actor_body: ActorBody,
     /// Critic variant.
     pub critic_mode: CriticMode,
+    /// Worker threads for the per-horizon forward/backward passes.
+    /// `0` means "auto": honour `CIT_THREADS`, else hardware parallelism.
+    /// Thread count never changes results — only wall-clock.
+    pub threads: usize,
 }
 
 impl Default for CitConfig {
@@ -123,6 +127,7 @@ impl Default for CitConfig {
             action_temperature: 4.0,
             actor_body: ActorBody::TcnAttention,
             critic_mode: CriticMode::Counterfactual,
+            threads: 0,
         }
     }
 }

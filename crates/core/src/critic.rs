@@ -11,7 +11,7 @@ use crate::config::{CitConfig, CriticMode};
 use cit_market::AssetPanel;
 use cit_nn::{Activation, Ctx, Mlp, ParamStore};
 use cit_rl::features::{asset_features, FEAT_DIM};
-use cit_tensor::{Tensor, Var};
+use cit_tensor::{GraphPool, Tensor, Var};
 use rand::Rng;
 
 /// Market-state part of the critic input: per-asset technical features.
@@ -95,6 +95,16 @@ impl CentralCritic {
         let q = self.q(&mut ctx, x);
         ctx.g.value(q).data()[0] as f64
     }
+
+    /// [`CentralCritic::q_numeric`] on a pooled graph arena (hot path of
+    /// the counterfactual baselines: `n` evaluations per rollout step).
+    pub fn q_numeric_in(&self, store: &ParamStore, pool: &GraphPool, x: &[f32]) -> f64 {
+        let mut ctx = Ctx::with_graph(store, pool.take());
+        let q = self.q(&mut ctx, x);
+        let out = ctx.g.value(q).data()[0] as f64;
+        pool.put(ctx.into_graph());
+        out
+    }
 }
 
 /// Decentralised critics: one per horizon policy plus one for the
@@ -163,6 +173,15 @@ impl DecCritics {
         let mut ctx = Ctx::new(store);
         let q = self.q(&mut ctx, k, x);
         ctx.g.value(q).data()[0] as f64
+    }
+
+    /// [`DecCritics::q_numeric`] on a pooled graph arena.
+    pub fn q_numeric_in(&self, store: &ParamStore, pool: &GraphPool, k: usize, x: &[f32]) -> f64 {
+        let mut ctx = Ctx::with_graph(store, pool.take());
+        let q = self.q(&mut ctx, k, x);
+        let out = ctx.g.value(q).data()[0] as f64;
+        pool.put(ctx.into_graph());
+        out
     }
 }
 

@@ -1,13 +1,27 @@
 //! Horizon-specific observation windows (paper Section IV-A).
 //!
-//! The normalised OHLC window of each asset/feature series is split with
-//! the multi-level Haar DWT into `n` frequency bands; band `k` is the input
+//! The OHLC window of each asset/feature series is split with the
+//! multi-level Haar DWT into `n` frequency bands; band `k` is the input
 //! `P^k` of horizon policy `k` (k = 0 → longest horizon). By linearity the
 //! bands sum to the raw window, so no information is lost or duplicated.
+//!
+//! The decomposition runs on the **raw price series** and normalises the
+//! bands afterwards: with anchor `a = close(t, i)`, the normalised window
+//! `p/a − 1` decomposes as `band₀/a − 1` (the constant `−1` has no detail
+//! energy, so it lives entirely in the approximation band) and `bandₖ/a`
+//! for `k ≥ 1`. Decomposing before normalising is what makes the windows
+//! cacheable: the raw series of day `t` and day `t+1` overlap bitwise,
+//! while their normalised versions differ everywhere because the anchor
+//! moves. [`HorizonWindowCache`] exploits that overlap through
+//! [`SlidingDwt`] and produces outputs bitwise identical to
+//! [`horizon_windows`].
 
-use cit_dwt::horizon_scales;
-use cit_market::{AssetPanel, NUM_FEATURES};
+use cit_dwt::{horizon_scales, DwtCacheStats, SlidingDwt};
+use cit_market::{AssetPanel, Feature, NUM_FEATURES};
 use cit_tensor::Tensor;
+
+const FEATURES: [Feature; NUM_FEATURES] =
+    [Feature::Open, Feature::High, Feature::Low, Feature::Close];
 
 /// The raw normalised window as a `[m, d, z]` tensor (the cross-insight
 /// policy's price input).
@@ -18,6 +32,35 @@ pub fn raw_window(panel: &AssetPanel, t: usize, z: usize) -> Tensor {
     Tensor::from_vec(&[m, NUM_FEATURES, z], data)
 }
 
+/// Raw (unnormalised) prices of one asset/feature series over the window
+/// ending at day `t`.
+fn raw_series(panel: &AssetPanel, t: usize, z: usize, i: usize, f: Feature) -> Vec<f64> {
+    (0..z).map(|s| panel.price(t + 1 - z + s, i, f)).collect()
+}
+
+/// Writes the normalised bands of one asset/feature series into the output
+/// tensors. Shared by the cached and uncached paths so both produce
+/// bit-identical tensors.
+fn write_bands(
+    out: &mut [Tensor],
+    i: usize,
+    fi: usize,
+    z: usize,
+    anchor: f64,
+    scales: &[Vec<f64>],
+) {
+    for (k, scale) in scales.iter().enumerate() {
+        // Only the approximation band absorbs the `−1` shift of the
+        // `p/a − 1` normalisation; detail bands are purely scaled.
+        let shift = if k == 0 { 1.0 } else { 0.0 };
+        let base = (i * NUM_FEATURES + fi) * z;
+        let dst = &mut out[k].data_mut()[base..base + z];
+        for (d, &v) in dst.iter_mut().zip(scale) {
+            *d = (v / anchor - shift) as f32;
+        }
+    }
+}
+
 /// The `n` horizon-specific windows `P^1..P^n` for day `t`, each `[m, d, z]`.
 ///
 /// Index 0 carries the lowest-frequency (long-term) band, index `n-1` the
@@ -25,21 +68,76 @@ pub fn raw_window(panel: &AssetPanel, t: usize, z: usize) -> Tensor {
 pub fn horizon_windows(panel: &AssetPanel, t: usize, z: usize, n: usize) -> Vec<Tensor> {
     assert!(n >= 1, "need at least one horizon");
     let m = panel.num_assets();
-    let flat = panel.normalized_window(t, z);
     let mut out = vec![Tensor::zeros(&[m, NUM_FEATURES, z]); n];
     for i in 0..m {
-        for f in 0..NUM_FEATURES {
-            let base = (i * NUM_FEATURES + f) * z;
-            let series: Vec<f64> = flat[base..base + z].to_vec();
+        let anchor = panel.close(t, i);
+        for (fi, &f) in FEATURES.iter().enumerate() {
+            let series = raw_series(panel, t, z, i, f);
             let scales = horizon_scales(&series, n);
-            for (k, scale) in scales.iter().enumerate() {
-                for (s, &v) in scale.iter().enumerate() {
-                    out[k].set3(i, f, s, v as f32);
-                }
-            }
+            write_bands(&mut out, i, fi, z, anchor, &scales);
         }
     }
     out
+}
+
+/// A sliding-window cache around [`horizon_windows`].
+///
+/// Holds one [`SlidingDwt`] per asset/feature series; consecutive-day
+/// requests reuse the shifted coefficient streams instead of recomputing
+/// the full `O(m · d · z · n)` decomposition. Outputs are bitwise
+/// identical to the uncached function for every request pattern.
+pub struct HorizonWindowCache {
+    z: usize,
+    n: usize,
+    caches: Vec<SlidingDwt>,
+}
+
+impl HorizonWindowCache {
+    /// Creates a cache for `num_assets` assets, window length `z` and `n`
+    /// horizon bands.
+    pub fn new(num_assets: usize, z: usize, n: usize) -> Self {
+        assert!(n >= 1, "need at least one horizon");
+        HorizonWindowCache {
+            z,
+            n,
+            caches: (0..num_assets * NUM_FEATURES)
+                .map(|_| SlidingDwt::new(z, n))
+                .collect(),
+        }
+    }
+
+    /// Equivalent of `horizon_windows(panel, t, self.z, self.n)`.
+    pub fn windows(&mut self, panel: &AssetPanel, t: usize) -> Vec<Tensor> {
+        let m = panel.num_assets();
+        assert_eq!(
+            m * NUM_FEATURES,
+            self.caches.len(),
+            "HorizonWindowCache: panel asset count changed"
+        );
+        let (z, n) = (self.z, self.n);
+        let mut out = vec![Tensor::zeros(&[m, NUM_FEATURES, z]); n];
+        for i in 0..m {
+            let anchor = panel.close(t, i);
+            for (fi, &f) in FEATURES.iter().enumerate() {
+                let series = raw_series(panel, t, z, i, f);
+                let scales = self.caches[i * NUM_FEATURES + fi].scales_at(t, &series);
+                write_bands(&mut out, i, fi, z, anchor, scales);
+            }
+        }
+        out
+    }
+
+    /// Aggregated hit/miss counters across every per-series cache.
+    pub fn stats(&self) -> DwtCacheStats {
+        let mut total = DwtCacheStats::default();
+        for c in &self.caches {
+            let s = c.stats();
+            total.memo_hits += s.memo_hits;
+            total.incremental += s.incremental;
+            total.full += s.full;
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +221,39 @@ mod tests {
             tv_long < tv_short,
             "long band rougher than short band: {tv_long} vs {tv_short}"
         );
+    }
+
+    #[test]
+    fn cached_windows_are_bitwise_identical() {
+        let p = panel();
+        let (z, n) = (16, 3);
+        let mut cache = HorizonWindowCache::new(3, z, n);
+        for t in (z - 1)..80 {
+            let cached = cache.windows(&p, t);
+            let reference = horizon_windows(&p, t, z, n);
+            for (c, r) in cached.iter().zip(&reference) {
+                assert_eq!(c.data(), r.data(), "cache must be bitwise exact at t={t}");
+            }
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.incremental > stats.full,
+            "sequential sweep should mostly hit the incremental path: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn cached_windows_survive_resets_and_jumps() {
+        let p = panel();
+        let (z, n) = (16, 4);
+        let mut cache = HorizonWindowCache::new(3, z, n);
+        // Rollout-style pattern: sequential runs with resets back in time.
+        for t in [20, 21, 22, 40, 41, 20, 21, 60, 61, 62, 63] {
+            let cached = cache.windows(&p, t);
+            let reference = horizon_windows(&p, t, z, n);
+            for (c, r) in cached.iter().zip(&reference) {
+                assert_eq!(c.data(), r.data(), "t={t}");
+            }
+        }
     }
 }

@@ -29,6 +29,6 @@ mod trainer;
 pub use actor::{one_hot, CitActor};
 pub use config::{ActorBody, CitConfig, CriticMode};
 pub use critic::{market_state, CentralCritic, CriticNet, DecCritics};
-pub use decomposition::{horizon_windows, raw_window};
+pub use decomposition::{horizon_windows, raw_window, HorizonWindowCache};
 pub use eval::{per_policy_curves, PolicyCurves};
 pub use trainer::{CrossInsightTrader, Decision};

@@ -5,12 +5,14 @@
 use crate::actor::{one_hot, CitActor};
 use crate::config::{CitConfig, CriticMode};
 use crate::critic::{market_state, CriticNet};
-use crate::decomposition::{horizon_windows, raw_window};
+use crate::decomposition::{raw_window, HorizonWindowCache};
+use cit_compute::{chunk_ranges, parallel_map, resolve_threads};
+use cit_dwt::DwtCacheStats;
 use cit_market::{AssetPanel, DecisionContext, EnvConfig, PortfolioEnv, Strategy};
-use cit_nn::{Adam, Ctx, ParamStore};
+use cit_nn::{Adam, Ctx, ParamId, ParamStore};
 use cit_rl::{normalize_advantages, returns::lambda_targets, TrainReport};
 use cit_telemetry::{Record, Telemetry};
-use cit_tensor::{softmax_last_tensor, Tensor};
+use cit_tensor::{softmax_last_tensor, GraphPool, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -32,6 +34,11 @@ pub struct Decision {
     pub cross_extra: Vec<f32>,
     /// The executed trade action `ã = softmax(ũ)`.
     pub final_action: Vec<f64>,
+    /// The horizon windows `P^k` the policies saw, kept so the update pass
+    /// can rebuild the differentiable forwards without redoing the DWT.
+    pub windows: Vec<Tensor>,
+    /// The raw normalised window the cross-insight policy saw.
+    pub raw: Tensor,
 }
 
 /// The full cross-insight trader model.
@@ -48,6 +55,12 @@ pub struct CrossInsightTrader {
     /// Learning curve of the most recent [`CrossInsightTrader::train`] call.
     pub last_report: Option<TrainReport>,
     telemetry: Telemetry,
+    /// Resolved worker-thread count (config > `CIT_THREADS` > hardware).
+    threads: usize,
+    /// Sliding-window DWT cache feeding [`Decision::windows`].
+    dwt: HorizonWindowCache,
+    /// Recycled graph arenas for every forward/backward pass.
+    pool: GraphPool,
 }
 
 impl CrossInsightTrader {
@@ -81,6 +94,9 @@ impl CrossInsightTrader {
             eval_prev,
             last_report: None,
             telemetry: Telemetry::disabled(),
+            threads: resolve_threads(cfg.threads),
+            dwt: HorizonWindowCache::new(m, cfg.window, n),
+            pool: GraphPool::new(),
         }
     }
 
@@ -125,41 +141,54 @@ impl CrossInsightTrader {
         let (n, z) = (self.cfg.num_policies, self.cfg.window);
         let windows = {
             let _timer = self.telemetry.span("dwt.horizon_windows");
-            horizon_windows(panel, t, z, n)
+            self.dwt.windows(panel, t)
         };
         let raw = raw_window(panel, t, z);
 
-        let _forward_timer = self.telemetry.span("actor.forward");
+        let forward_timer = self.telemetry.span("actor.forward");
+        let extras: Vec<Vec<f32>> = (0..n)
+            .map(|k| {
+                let mut extra = one_hot(k, n);
+                extra.extend(prev_actions[k].iter().map(|&v| v as f32));
+                extra
+            })
+            .collect();
+        // The n horizon forwards are independent of one another (and of the
+        // RNG): run them on the worker pool, results in policy order.
+        let pre_means: Vec<Tensor> = {
+            let store = &self.store;
+            let pool = &self.pool;
+            let actors = &self.horizon_actors;
+            let tasks: Vec<_> = (0..n)
+                .map(|k| {
+                    let (w, e) = (&windows[k], &extras[k]);
+                    move || actors[k].mean_numeric_in(store, pool, w, e)
+                })
+                .collect();
+            parallel_map(self.threads, tasks)
+        };
         let mut pre_latents = Vec::with_capacity(n);
-        let mut pre_means = Vec::with_capacity(n);
         let mut pre_actions = Vec::with_capacity(n);
-        let mut extras = Vec::with_capacity(n);
-        for k in 0..n {
-            let mut extra = one_hot(k, n);
-            extra.extend(prev_actions[k].iter().map(|&v| v as f32));
-            let mean = self.horizon_actors[k].mean_numeric(&self.store, &windows[k], &extra);
+        for (k, mean) in pre_means.iter().enumerate() {
             let latent = if stochastic {
                 self.horizon_actors[k]
                     .head
-                    .sample(&self.store, &mean, &mut self.rng)
+                    .sample(&self.store, mean, &mut self.rng)
                     .latent
             } else {
                 mean.clone()
             };
-            let action = temperature_action(&latent, self.cfg.action_temperature);
+            pre_actions.push(temperature_action(&latent, self.cfg.action_temperature));
             pre_latents.push(latent);
-            pre_means.push(mean);
-            pre_actions.push(action);
-            extras.push(extra);
         }
 
         let cross_extra: Vec<f32> = pre_actions
             .iter()
             .flat_map(|a| a.iter().map(|&v| v as f32))
             .collect();
-        let cross_mean = self
-            .cross_actor
-            .mean_numeric(&self.store, &raw, &cross_extra);
+        let cross_mean =
+            self.cross_actor
+                .mean_numeric_in(&self.store, &self.pool, &raw, &cross_extra);
         let cross_latent = if stochastic {
             self.cross_actor
                 .head
@@ -168,6 +197,7 @@ impl CrossInsightTrader {
         } else {
             cross_mean
         };
+        drop(forward_timer);
         let final_action = temperature_action(&cross_latent, self.cfg.action_temperature);
         Decision {
             pre_latents,
@@ -177,6 +207,8 @@ impl CrossInsightTrader {
             cross_latent,
             cross_extra,
             final_action,
+            windows,
+            raw,
         }
     }
 
@@ -190,18 +222,18 @@ impl CrossInsightTrader {
         match &self.critic {
             CriticNet::Central(c) => {
                 let x = c.input_vector(market, &d.pre_actions, &d.final_action);
-                let q = c.q_numeric(&self.store, &x);
+                let q = c.q_numeric_in(&self.store, &self.pool, &x);
                 vec![q; n + 1]
             }
             CriticNet::Dec(dc) => {
                 let mut qs: Vec<f64> = (0..n)
                     .map(|k| {
                         let x = dc.input_vector(market, &d.pre_actions[k]);
-                        dc.q_numeric(&self.store, k, &x)
+                        dc.q_numeric_in(&self.store, &self.pool, k, &x)
                     })
                     .collect();
                 let x = dc.input_vector(market, &d.final_action);
-                qs.push(dc.q_numeric(&self.store, n, &x));
+                qs.push(dc.q_numeric_in(&self.store, &self.pool, n, &x));
                 qs
             }
         }
@@ -219,7 +251,7 @@ impl CrossInsightTrader {
                 let mut pre = d.pre_actions.clone();
                 pre[k] = temperature_action(&d.pre_means[k], self.cfg.action_temperature);
                 let x = c.input_vector(market, &pre, &d.final_action);
-                c.q_numeric(&self.store, &x)
+                c.q_numeric_in(&self.store, &self.pool, &x)
             })
             .collect()
     }
@@ -255,6 +287,7 @@ impl CrossInsightTrader {
             let mut decisions: Vec<Decision> = Vec::with_capacity(cfg.rollout);
             let mut rewards = Vec::with_capacity(cfg.rollout);
             for _ in 0..cfg.rollout {
+                let _step_timer = tel.span("train.step");
                 let t = env.current_day();
                 let d = self.decide(panel, t, &prev_actions, true);
                 let res = env.step(&d.final_action);
@@ -317,11 +350,30 @@ impl CrossInsightTrader {
             // Horizon policies, per critic mode.
             let mut adv_horizon: Vec<Vec<f64>> = match cfg.critic_mode {
                 CriticMode::Counterfactual => {
+                    // n critic evaluations per step, all independent:
+                    // chunk the steps across the worker pool.
+                    let this = &*self;
+                    let tasks: Vec<_> = chunk_ranges(len, this.threads)
+                        .into_iter()
+                        .map(|(lo, hi)| {
+                            let (markets, decisions) = (&markets, &decisions);
+                            move || {
+                                (lo..hi)
+                                    .map(|t| {
+                                        this.counterfactual_baselines(&markets[t], &decisions[t])
+                                    })
+                                    .collect::<Vec<_>>()
+                            }
+                        })
+                        .collect();
+                    let baselines: Vec<Vec<f64>> = parallel_map(this.threads, tasks)
+                        .into_iter()
+                        .flatten()
+                        .collect();
                     let mut advs = vec![vec![0.0f64; len]; n];
                     for t in 0..len {
-                        let baselines = self.counterfactual_baselines(&markets[t], &decisions[t]);
                         for k in 0..n {
-                            advs[k][t] = qs[t][k] - baselines[k];
+                            advs[k][t] = qs[t][k] - baselines[t][k];
                         }
                     }
                     advs
@@ -353,102 +405,135 @@ impl CrossInsightTrader {
             }
             drop(advantage_timer);
 
-            // ---- Joint loss ----
+            // ---- Split-graph loss, one task per optimisation target ----
+            // Horizon policy k touches only pi{k}.* parameters; the cross
+            // policy and the critic(s) own the rest. The joint loss
+            // therefore factors into n+1 independent graphs whose backward
+            // passes run concurrently on the worker pool. Gradients are
+            // reduced in fixed task order, so results are bit-identical for
+            // every thread count.
             let graph_timer = tel.span("train.graph_build");
-            let mut ctx = Ctx::with_telemetry(&self.store, tel.clone());
             let linv = 1.0 / len as f32;
-            // Actor and critic contributions are accumulated separately so
-            // their numeric values can be reported before being joined.
-            let mut actor_total: Option<cit_tensor::Var> = None;
-            let mut critic_total: Option<cit_tensor::Var> = None;
-            let add_term =
-                |ctx: &mut Ctx<'_>, v: cit_tensor::Var, acc: &mut Option<cit_tensor::Var>| {
-                    *acc = Some(match *acc {
-                        Some(a) => ctx.g.add(a, v),
-                        None => v,
-                    });
-                };
-
-            for t in 0..len {
-                let d = &decisions[t];
-                let day = days[t];
-                let windows = horizon_windows(panel, day, cfg.window, n);
-                let raw = raw_window(panel, day, cfg.window);
-
-                // Horizon actors (Eq. 2 with Ψ = Â^k).
-                for k in 0..n {
-                    let mean = self.horizon_actors[k].mean(&mut ctx, &windows[k], &d.extras[k]);
-                    let logp =
-                        self.horizon_actors[k]
-                            .head
-                            .log_prob(&mut ctx, mean, &d.pre_latents[k]);
-                    let term = ctx.g.scale(logp, -(adv_horizon[k][t] as f32) * linv);
-                    add_term(&mut ctx, term, &mut actor_total);
-                }
-                // Cross-insight actor (Eq. 3).
-                let mean = self.cross_actor.mean(&mut ctx, &raw, &d.cross_extra);
-                let logp = self
-                    .cross_actor
-                    .head
-                    .log_prob(&mut ctx, mean, &d.cross_latent);
-                let term = ctx.g.scale(logp, -(adv_cross[t] as f32) * linv);
-                add_term(&mut ctx, term, &mut actor_total);
-
-                // Critic regression (Eq. 6).
-                let _critic_timer = tel.span("critic.update");
-                match &self.critic {
-                    CriticNet::Central(c) => {
-                        let x = c.input_vector(&markets[t], &d.pre_actions, &d.final_action);
-                        let q = c.q(&mut ctx, &x);
-                        let y = ctx.input(Tensor::vector(&[targets[n][t] as f32]));
-                        let diff = ctx.g.sub(q, y);
-                        let sq = ctx.g.mul(diff, diff);
-                        let scaled = ctx.g.scale(sq, 0.5 * linv);
-                        let s = ctx.g.sum_all(scaled);
-                        add_term(&mut ctx, s, &mut critic_total);
+            // (gradients, actor-loss part, critic-loss part)
+            type TaskOut = (Vec<(ParamId, Tensor)>, f64, f64);
+            let this = &*self;
+            let adv_cross_ref = &adv_cross;
+            let decisions_ref = &decisions;
+            let markets_ref = &markets;
+            let targets_ref = &targets;
+            let mut tasks: Vec<Box<dyn FnOnce() -> TaskOut + Send + '_>> =
+                Vec::with_capacity(n + 1);
+            for (k, adv_k) in adv_horizon.iter().enumerate() {
+                let tel_k = tel.clone();
+                // Horizon actor k (Eq. 2 with Ψ = Â^k).
+                tasks.push(Box::new(move || {
+                    let mut ctx = Ctx::with_graph_telemetry(&this.store, this.pool.take(), tel_k);
+                    let mut total: Option<Var> = None;
+                    for t in 0..len {
+                        let d = &decisions_ref[t];
+                        let mean =
+                            this.horizon_actors[k].mean(&mut ctx, &d.windows[k], &d.extras[k]);
+                        let logp =
+                            this.horizon_actors[k]
+                                .head
+                                .log_prob(&mut ctx, mean, &d.pre_latents[k]);
+                        let term = ctx.g.scale(logp, -(adv_k[t] as f32) * linv);
+                        total = Some(match total {
+                            Some(a) => ctx.g.add(a, term),
+                            None => term,
+                        });
                     }
-                    CriticNet::Dec(dc) => {
-                        for (k, target_k) in targets.iter().take(n).enumerate() {
-                            let x = dc.input_vector(&markets[t], &d.pre_actions[k]);
-                            let q = dc.q(&mut ctx, k, &x);
-                            let y = ctx.input(Tensor::vector(&[target_k[t] as f32]));
-                            let diff = ctx.g.sub(q, y);
-                            let sq = ctx.g.mul(diff, diff);
-                            let scaled = ctx.g.scale(sq, 0.5 * linv);
-                            let s = ctx.g.sum_all(scaled);
-                            add_term(&mut ctx, s, &mut critic_total);
-                        }
-                        let x = dc.input_vector(&markets[t], &d.final_action);
-                        let q = dc.q(&mut ctx, n, &x);
-                        let y = ctx.input(Tensor::vector(&[targets[n][t] as f32]));
-                        let diff = ctx.g.sub(q, y);
-                        let sq = ctx.g.mul(diff, diff);
-                        let scaled = ctx.g.scale(sq, 0.5 * linv);
-                        let s = ctx.g.sum_all(scaled);
-                        add_term(&mut ctx, s, &mut critic_total);
-                    }
-                }
+                    let loss = total.expect("non-empty rollout");
+                    let grads = ctx.backward(loss);
+                    let lv = ctx.g.value(loss).data()[0] as f64;
+                    this.pool.put(ctx.into_graph());
+                    (grads, lv, 0.0)
+                }));
             }
+            {
+                let tel_c = tel.clone();
+                // Cross-insight actor (Eq. 3) + critic regression (Eq. 6).
+                tasks.push(Box::new(move || {
+                    let mut ctx =
+                        Ctx::with_graph_telemetry(&this.store, this.pool.take(), tel_c.clone());
+                    let mut actor_total: Option<Var> = None;
+                    let mut critic_total: Option<Var> = None;
+                    let add_term = |ctx: &mut Ctx<'_>, v: Var, acc: &mut Option<Var>| {
+                        *acc = Some(match *acc {
+                            Some(a) => ctx.g.add(a, v),
+                            None => v,
+                        });
+                    };
+                    for t in 0..len {
+                        let d = &decisions_ref[t];
+                        let mean = this.cross_actor.mean(&mut ctx, &d.raw, &d.cross_extra);
+                        let logp = this
+                            .cross_actor
+                            .head
+                            .log_prob(&mut ctx, mean, &d.cross_latent);
+                        let term = ctx.g.scale(logp, -(adv_cross_ref[t] as f32) * linv);
+                        add_term(&mut ctx, term, &mut actor_total);
 
-            let actor_var = actor_total.expect("non-empty rollout");
-            let critic_var = critic_total.expect("critic regression term present");
-            let loss = ctx.g.add(actor_var, critic_var);
+                        let _critic_timer = tel_c.span("critic.update");
+                        match &this.critic {
+                            CriticNet::Central(c) => {
+                                let x = c.input_vector(
+                                    &markets_ref[t],
+                                    &d.pre_actions,
+                                    &d.final_action,
+                                );
+                                let q = c.q(&mut ctx, &x);
+                                let y = ctx.input(Tensor::vector(&[targets_ref[n][t] as f32]));
+                                let diff = ctx.g.sub(q, y);
+                                let sq = ctx.g.mul(diff, diff);
+                                let scaled = ctx.g.scale(sq, 0.5 * linv);
+                                let s = ctx.g.sum_all(scaled);
+                                add_term(&mut ctx, s, &mut critic_total);
+                            }
+                            CriticNet::Dec(dc) => {
+                                for (k, target_k) in targets_ref.iter().take(n).enumerate() {
+                                    let x = dc.input_vector(&markets_ref[t], &d.pre_actions[k]);
+                                    let q = dc.q(&mut ctx, k, &x);
+                                    let y = ctx.input(Tensor::vector(&[target_k[t] as f32]));
+                                    let diff = ctx.g.sub(q, y);
+                                    let sq = ctx.g.mul(diff, diff);
+                                    let scaled = ctx.g.scale(sq, 0.5 * linv);
+                                    let s = ctx.g.sum_all(scaled);
+                                    add_term(&mut ctx, s, &mut critic_total);
+                                }
+                                let x = dc.input_vector(&markets_ref[t], &d.final_action);
+                                let q = dc.q(&mut ctx, n, &x);
+                                let y = ctx.input(Tensor::vector(&[targets_ref[n][t] as f32]));
+                                let diff = ctx.g.sub(q, y);
+                                let sq = ctx.g.mul(diff, diff);
+                                let scaled = ctx.g.scale(sq, 0.5 * linv);
+                                let s = ctx.g.sum_all(scaled);
+                                add_term(&mut ctx, s, &mut critic_total);
+                            }
+                        }
+                    }
+                    let actor_var = actor_total.expect("non-empty rollout");
+                    let critic_var = critic_total.expect("critic regression term present");
+                    let loss = ctx.g.add(actor_var, critic_var);
+                    let grads = ctx.backward(loss);
+                    let a = ctx.g.value(actor_var).data()[0] as f64;
+                    let c = ctx.g.value(critic_var).data()[0] as f64;
+                    this.pool.put(ctx.into_graph());
+                    (grads, a, c)
+                }));
+            }
+            let results = parallel_map(this.threads, tasks);
             drop(graph_timer);
 
-            let grads = ctx.backward(loss);
-            // Forward values are cached in the graph; read the per-part
-            // losses before releasing the store borrow.
-            let (actor_loss, critic_loss) = if tel.is_enabled() {
-                (
-                    ctx.g.value(actor_var).data()[0] as f64,
-                    ctx.g.value(critic_var).data()[0] as f64,
-                )
-            } else {
-                (0.0, 0.0)
-            };
-
+            // Fixed-order reduction: task order, not completion order.
+            let mut actor_loss = 0.0f64;
+            let mut critic_loss = 0.0f64;
             let opt_timer = tel.span("train.opt_step");
-            self.store.apply_grads(grads);
+            for (grads, a, c) in results {
+                self.store.apply_grads(grads);
+                actor_loss += a;
+                critic_loss += c;
+            }
             self.apply_entropy_bonus();
             let grad_norm = self.store.clip_grad_norm(cfg.grad_clip);
             opt.step(&mut self.store);
@@ -553,6 +638,30 @@ impl CrossInsightTrader {
         path: impl AsRef<std::path::Path>,
     ) -> Result<(), cit_nn::serialize::CheckpointError> {
         cit_nn::serialize::load(&mut self.store, path)
+    }
+
+    /// Name-keyed copies of every parameter value, in registration order.
+    /// Lets determinism tests compare two training runs bit-for-bit.
+    pub fn export_params(&self) -> Vec<(String, Vec<f32>)> {
+        self.store
+            .ids()
+            .map(|id| {
+                (
+                    self.store.name(id).to_string(),
+                    self.store.value(id).data().to_vec(),
+                )
+            })
+            .collect()
+    }
+
+    /// Hit/miss counters of the sliding-window DWT cache.
+    pub fn dwt_stats(&self) -> DwtCacheStats {
+        self.dwt.stats()
+    }
+
+    /// The resolved worker-thread count in force.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Resets evaluation state (previous actions) to uniform.

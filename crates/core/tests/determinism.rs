@@ -1,0 +1,62 @@
+//! Thread-count determinism: the split-graph parallel update must produce
+//! bit-identical training results regardless of how many worker threads
+//! execute it. Thread count only changes wall-clock, never values.
+
+use cit_core::{CitConfig, CrossInsightTrader};
+use cit_market::{AssetPanel, SynthConfig};
+
+fn panel() -> AssetPanel {
+    SynthConfig {
+        num_assets: 3,
+        num_days: 220,
+        test_start: 160,
+        ..Default::default()
+    }
+    .generate()
+}
+
+fn train_with_threads(panel: &AssetPanel, threads: usize) -> (Vec<f64>, Vec<(String, Vec<f32>)>) {
+    let mut cfg = CitConfig::smoke(42);
+    cfg.total_steps = 50;
+    cfg.rollout = 10;
+    cfg.threads = threads;
+    let mut cit = CrossInsightTrader::new(panel, cfg);
+    let report = cit.train(panel);
+    assert!(report.steps >= 50);
+    (report.update_rewards, cit.export_params())
+}
+
+#[test]
+fn single_and_multi_threaded_training_are_bit_identical() {
+    let p = panel();
+    let (rewards_1, params_1) = train_with_threads(&p, 1);
+    let (rewards_4, params_4) = train_with_threads(&p, 4);
+
+    assert_eq!(rewards_1, rewards_4, "learning curves diverged");
+    assert_eq!(params_1.len(), params_4.len());
+    for ((name_1, vals_1), (name_4, vals_4)) in params_1.iter().zip(&params_4) {
+        assert_eq!(name_1, name_4, "parameter registration order changed");
+        assert_eq!(
+            vals_1, vals_4,
+            "parameter {name_1} diverged across thread counts"
+        );
+    }
+}
+
+#[test]
+fn decisions_are_thread_count_invariant() {
+    let p = panel();
+    let decide = |threads: usize| {
+        let mut cfg = CitConfig::smoke(7);
+        cfg.threads = threads;
+        let mut cit = CrossInsightTrader::new(&p, cfg);
+        let prev = vec![vec![1.0 / 3.0; 3]; cfg.num_policies];
+        cit.decide(&p, 100, &prev, true)
+    };
+    let a = decide(1);
+    let b = decide(8);
+    assert_eq!(a.final_action, b.final_action);
+    for (x, y) in a.pre_actions.iter().zip(&b.pre_actions) {
+        assert_eq!(x, y);
+    }
+}

@@ -17,7 +17,9 @@
 
 mod haar;
 mod horizon;
+mod sliding;
 pub mod timed;
 
 pub use haar::{decompose, haar_inverse_step, haar_step, reconstruct, WaveletPyramid};
 pub use horizon::{horizon_scales, wavelet_smooth};
+pub use sliding::{DwtCacheStats, SlidingDwt};

@@ -1,0 +1,332 @@
+//! Incremental sliding-window Haar decomposition.
+//!
+//! The trainer asks for the horizon decomposition of `window[t+1−z ..= t]`
+//! at every environment step — each request shifts the previous window by
+//! one sample and recomputes every level from scratch. Decimated Haar
+//! analysis pairs samples `(2i, 2i+1)`, so a shift of exactly
+//! `2^levels` samples preserves the pairing at *every* level (level `l`'s
+//! input shifts by `2^(levels−l)`, always even). [`SlidingDwt`] exploits
+//! this with a ring of `2^levels` slots keyed by `end % 2^levels`: after a
+//! warm-up of one period, every stride-1 request finds the slot filled by
+//! `end − 2^levels` and only computes the new coefficient tail
+//! (`2^levels − 1` coefficients) plus the last `2^levels` samples of each
+//! band reconstruction, instead of the full `O(z · n)` rebuild.
+//!
+//! Cached results are **bitwise identical** to [`horizon_scales`]: the
+//! incremental path evaluates exactly the same floating-point operations on
+//! exactly the same operands as a cold decomposition, it just skips the
+//! ones whose results are already known. Windows whose length is not a
+//! multiple of `2^levels` (odd-padding would break pair alignment) fall
+//! back to a full per-call computation and are never cached incrementally.
+
+use crate::haar::{decompose, haar_inverse_step, haar_step, reconstruct, WaveletPyramid};
+use crate::horizon::horizon_scales;
+
+/// Hit/miss counters of a [`SlidingDwt`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DwtCacheStats {
+    /// Requests answered entirely from cache (same `end`, same window).
+    pub memo_hits: u64,
+    /// Requests answered by an incremental tail update.
+    pub incremental: u64,
+    /// Requests that required a full decomposition.
+    pub full: u64,
+}
+
+struct Slot {
+    end: usize,
+    window: Vec<f64>,
+    pyramid: Option<WaveletPyramid>,
+    scales: Vec<Vec<f64>>,
+}
+
+/// A sliding-window cache around [`horizon_scales`].
+///
+/// One instance serves one scalar series (one asset/feature pair); `end` is
+/// the series index of the window's last sample, so consecutive calls with
+/// `end, end+1, end+2, …` hit the incremental path once the ring is warm.
+pub struct SlidingDwt {
+    z: usize,
+    n_scales: usize,
+    levels: usize,
+    /// Slide distance that preserves Haar pair alignment (`2^levels`).
+    period: usize,
+    /// Whether `z` admits the incremental path at all.
+    aligned: bool,
+    slots: Vec<Option<Slot>>,
+    stats: DwtCacheStats,
+}
+
+impl SlidingDwt {
+    /// Creates a cache for windows of length `z` split into `n_scales`
+    /// horizon bands (mirroring [`horizon_scales`]).
+    ///
+    /// # Panics
+    /// Panics if `z == 0` or `n_scales == 0`.
+    pub fn new(z: usize, n_scales: usize) -> Self {
+        assert!(z >= 1, "SlidingDwt: window length must be positive");
+        assert!(n_scales >= 1, "SlidingDwt: need at least one scale");
+        let levels = n_scales - 1;
+        let period = 1usize << levels;
+        let aligned = z.is_multiple_of(period);
+        SlidingDwt {
+            z,
+            n_scales,
+            levels,
+            period,
+            aligned,
+            slots: (0..period).map(|_| None).collect(),
+            stats: DwtCacheStats::default(),
+        }
+    }
+
+    /// Cache counters so far.
+    pub fn stats(&self) -> DwtCacheStats {
+        self.stats
+    }
+
+    /// The slide distance (in samples) served incrementally: `2^(n_scales−1)`.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// The horizon bands of `window`, whose last sample has series index
+    /// `end`. Semantically identical to `horizon_scales(window, n_scales)`.
+    ///
+    /// # Panics
+    /// Panics if `window.len() != z`.
+    pub fn scales_at(&mut self, end: usize, window: &[f64]) -> &[Vec<f64>] {
+        assert_eq!(window.len(), self.z, "SlidingDwt: window length mismatch");
+        let idx = end % self.period;
+        let reuse = match self.slots[idx].as_ref() {
+            Some(s) if s.end == end && s.window == window => Reuse::Memo,
+            Some(s)
+                if self.aligned
+                    && self.levels >= 1
+                    && s.end + self.period == end
+                    && s.window[self.period..] == window[..self.z - self.period] =>
+            {
+                Reuse::Incremental
+            }
+            _ => Reuse::None,
+        };
+        match reuse {
+            Reuse::Memo => self.stats.memo_hits += 1,
+            Reuse::Incremental => {
+                self.stats.incremental += 1;
+                let slot = self.slots[idx].as_mut().expect("slot checked above");
+                slide_slot(slot, end, window, self.levels, self.period, self.n_scales);
+            }
+            Reuse::None => {
+                self.stats.full += 1;
+                self.slots[idx] = Some(self.full_slot(end, window));
+            }
+        }
+        &self.slots[idx].as_ref().expect("slot filled above").scales
+    }
+
+    fn full_slot(&self, end: usize, window: &[f64]) -> Slot {
+        if self.levels == 0 {
+            return Slot {
+                end,
+                window: window.to_vec(),
+                pyramid: None,
+                scales: horizon_scales(window, 1),
+            };
+        }
+        let pyramid = decompose(window, self.levels);
+        // Same masked reconstructions as `horizon_scales`, sharing the one
+        // decomposition.
+        let mut scales = Vec::with_capacity(self.n_scales);
+        scales.push(reconstruct(&pyramid.masked(true, &[])));
+        for k in 1..self.n_scales {
+            let detail_level = self.n_scales - 1 - k;
+            scales.push(reconstruct(&pyramid.masked(false, &[detail_level])));
+        }
+        Slot {
+            end,
+            window: window.to_vec(),
+            pyramid: Some(pyramid),
+            scales,
+        }
+    }
+}
+
+enum Reuse {
+    Memo,
+    Incremental,
+    None,
+}
+
+/// Advances `slot` by one period: shifts every coefficient stream and band
+/// left by its per-level stride and fills the vacated tails from the
+/// `period` new samples at the end of `window`.
+fn slide_slot(
+    slot: &mut Slot,
+    end: usize,
+    window: &[f64],
+    levels: usize,
+    period: usize,
+    n_scales: usize,
+) {
+    let z = window.len();
+    let pyramid = slot
+        .pyramid
+        .as_mut()
+        .expect("aligned slots carry a pyramid");
+    // Cascade the new input tail down the analysis levels. The new approx
+    // coefficients of level l are exactly the input tail level l+1 needs.
+    let mut tail: Vec<f64> = window[z - period..].to_vec();
+    for l in 0..levels {
+        let (a_new, d_new) = haar_step(&tail);
+        shift_append(&mut pyramid.details[l], &d_new);
+        tail = a_new;
+    }
+    shift_append(&mut pyramid.approx, &tail);
+    // Each band reconstruction shifts by `period` samples; only the last
+    // `period` outputs touch new coefficients.
+    for (k, band) in slot.scales.iter_mut().enumerate() {
+        band.copy_within(period.., 0);
+        let keep_approx = k == 0;
+        let detail_level = (k >= 1).then(|| n_scales - 1 - k);
+        let fresh = band_tail(pyramid, keep_approx, detail_level, levels, period);
+        band[z - period..].copy_from_slice(&fresh);
+    }
+    slot.end = end;
+    slot.window.copy_within(period.., 0);
+    slot.window[z - period..].copy_from_slice(&window[z - period..]);
+}
+
+/// Rotates `stream` left by `fresh.len()` and writes `fresh` at the end.
+fn shift_append(stream: &mut [f64], fresh: &[f64]) {
+    let s = fresh.len();
+    stream.copy_within(s.., 0);
+    let n = stream.len();
+    stream[n - s..].copy_from_slice(fresh);
+}
+
+/// Reconstructs the last `tail_len` output samples of a masked pyramid
+/// (`tail_len` must be `2^levels`-aligned, which the caller guarantees).
+fn band_tail(
+    p: &WaveletPyramid,
+    keep_approx: bool,
+    detail_level: Option<usize>,
+    levels: usize,
+    tail_len: usize,
+) -> Vec<f64> {
+    let need = tail_len >> levels;
+    let mut cur: Vec<f64> = if keep_approx {
+        p.approx[p.approx.len() - need..].to_vec()
+    } else {
+        vec![0.0; need]
+    };
+    for l in (0..levels).rev() {
+        let dn = cur.len();
+        let d: Vec<f64> = if detail_level == Some(l) {
+            let stream = &p.details[l];
+            stream[stream.len() - dn..].to_vec()
+        } else {
+            vec![0.0; dn]
+        };
+        cur = haar_inverse_step(&cur, &d, 2 * dn);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                100.0 + 0.2 * t + 3.0 * (t * 0.37).sin() + 0.8 * (t * 1.7).cos()
+            })
+            .collect()
+    }
+
+    fn sweep_matches_reference(z: usize, n_scales: usize, steps: usize) -> DwtCacheStats {
+        let x = series(z + steps);
+        let mut cache = SlidingDwt::new(z, n_scales);
+        for end in (z - 1)..(z - 1 + steps) {
+            let window = &x[end + 1 - z..=end];
+            let cached = cache.scales_at(end, window).to_vec();
+            let reference = horizon_scales(window, n_scales);
+            assert_eq!(
+                cached, reference,
+                "z={z} n={n_scales} end={end}: cached bands must be bitwise identical"
+            );
+        }
+        cache.stats()
+    }
+
+    #[test]
+    fn aligned_sweep_is_bitwise_identical_and_hits_incremental_path() {
+        for (z, n) in [(16, 3), (16, 5), (32, 4), (64, 5), (8, 2)] {
+            let stats = sweep_matches_reference(z, n, 40);
+            let period = 1usize << (n - 1);
+            assert_eq!(stats.full as usize, period, "one cold fill per ring slot");
+            assert_eq!(stats.incremental as usize, 40 - period);
+        }
+    }
+
+    #[test]
+    fn misaligned_window_falls_back_to_full_compute() {
+        // z = 10 is not a multiple of 2^2: every call is a full rebuild but
+        // results still match the reference exactly.
+        let stats = sweep_matches_reference(10, 3, 20);
+        assert_eq!(stats.incremental, 0);
+        assert_eq!(stats.full, 20);
+    }
+
+    #[test]
+    fn repeated_end_is_memoised() {
+        let x = series(64);
+        let mut cache = SlidingDwt::new(32, 4);
+        let w = &x[0..32];
+        let first = cache.scales_at(31, w).to_vec();
+        let second = cache.scales_at(31, w).to_vec();
+        assert_eq!(first, second);
+        assert_eq!(cache.stats().memo_hits, 1);
+        assert_eq!(cache.stats().full, 1);
+    }
+
+    #[test]
+    fn single_scale_is_identity() {
+        let x = series(16);
+        let mut cache = SlidingDwt::new(16, 1);
+        assert_eq!(cache.scales_at(15, &x)[0], x);
+    }
+
+    #[test]
+    fn non_unit_strides_and_gaps_stay_correct() {
+        // Jumping by arbitrary strides must never poison the ring.
+        let x = series(200);
+        let z = 16;
+        let n = 3;
+        let mut cache = SlidingDwt::new(z, n);
+        let mut end = z - 1;
+        for stride in [1, 1, 4, 1, 7, 2, 1, 1, 16, 3, 1] {
+            end += stride;
+            let window = &x[end + 1 - z..=end];
+            let cached = cache.scales_at(end, window).to_vec();
+            assert_eq!(cached, horizon_scales(window, n), "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn bands_still_sum_to_window_after_many_slides() {
+        let x = series(100);
+        let z = 32;
+        let mut cache = SlidingDwt::new(z, 5);
+        for end in (z - 1)..99 {
+            let window = &x[end + 1 - z..=end];
+            let bands = cache.scales_at(end, window);
+            for t in 0..z {
+                let sum: f64 = bands.iter().map(|b| b[t]).sum();
+                assert!((sum - window[t]).abs() < 1e-9, "end={end} t={t}");
+            }
+        }
+    }
+}

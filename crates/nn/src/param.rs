@@ -176,12 +176,35 @@ impl<'a> Ctx<'a> {
     /// Starts a forward pass against `store`, timing layer forwards and
     /// the backward pass through `telemetry` span histograms.
     pub fn with_telemetry(store: &'a ParamStore, telemetry: Telemetry) -> Self {
+        Self::with_graph_telemetry(store, Graph::new(), telemetry)
+    }
+
+    /// Starts a forward pass reusing a pre-allocated graph arena (cleared
+    /// first), telemetry disabled. Pair with [`Ctx::into_graph`] to hand
+    /// the arena back to a [`cit_tensor::GraphPool`] so per-step forward
+    /// passes stop reallocating their node storage.
+    pub fn with_graph(store: &'a ParamStore, graph: Graph) -> Self {
+        Self::with_graph_telemetry(store, graph, Telemetry::disabled())
+    }
+
+    /// [`Ctx::with_graph`] with a telemetry handle attached.
+    pub fn with_graph_telemetry(
+        store: &'a ParamStore,
+        mut graph: Graph,
+        telemetry: Telemetry,
+    ) -> Self {
+        graph.reset();
         Ctx {
-            g: Graph::new(),
+            g: graph,
             store,
             bindings: vec![None; store.len()],
             telemetry,
         }
+    }
+
+    /// Consumes the context and returns its graph arena for reuse.
+    pub fn into_graph(self) -> Graph {
+        self.g
     }
 
     /// Starts an RAII span timer named `span.<name>` (inert when the

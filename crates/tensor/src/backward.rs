@@ -106,9 +106,10 @@ impl Graph {
                 self.accumulate(grads, *b, Tensor::from_vec(&[c], gb));
             }
             Op::MatMul(a, b) => {
-                // dA = g · Bᵀ ; dB = Aᵀ · g
-                self.accumulate(grads, *a, g.matmul(&val(*b).transpose2()));
-                self.accumulate(grads, *b, val(*a).transpose2().matmul(g));
+                // dA = g · Bᵀ ; dB = Aᵀ · g — transposed-layout kernels, no
+                // transposed copy is materialised per accumulate.
+                self.accumulate(grads, *a, g.matmul_nt(val(*b)));
+                self.accumulate(grads, *b, val(*a).matmul_tn(g));
             }
             Op::Transpose2(a) => self.accumulate(grads, *a, g.transpose2()),
             Op::Relu(a) => {
@@ -183,33 +184,14 @@ impl Graph {
                 let (m, f, t) = (hv.shape()[0], hv.shape()[1], hv.shape()[2]);
                 let ft = f * t;
                 if self.nodes[*s].requires_grad {
-                    // dS[i,j] = Σ_{f,t} g[i,f,t] · H[j,f,t]
-                    let mut gs = vec![0.0f32; m * m];
-                    for i in 0..m {
-                        let gi = &g.data()[i * ft..(i + 1) * ft];
-                        for j in 0..m {
-                            let hj = &hv.data()[j * ft..(j + 1) * ft];
-                            gs[i * m + j] = gi.iter().zip(hj).map(|(&a, &b)| a * b).sum();
-                        }
-                    }
+                    // dS[i,j] = Σ_{f,t} g[i,f,t] · H[j,f,t] — g · Hᵀ over the
+                    // flattened [m, f·t] views.
+                    let gs = crate::kernels::matmul_nt(m, ft, m, g.data(), hv.data());
                     self.accumulate(grads, *s, Tensor::from_vec(&[m, m], gs));
                 }
                 if self.nodes[*h].requires_grad {
-                    // dH[j,f,t] = Σ_i S[i,j] · g[i,f,t]
-                    let mut gh = vec![0.0f32; m * ft];
-                    for j in 0..m {
-                        let dst = &mut gh[j * ft..(j + 1) * ft];
-                        for i in 0..m {
-                            let sij = sv.at2(i, j);
-                            if sij == 0.0 {
-                                continue;
-                            }
-                            let gi = &g.data()[i * ft..(i + 1) * ft];
-                            for (d, &a) in dst.iter_mut().zip(gi) {
-                                *d += sij * a;
-                            }
-                        }
-                    }
+                    // dH[j,f,t] = Σ_i S[i,j] · g[i,f,t] — Sᵀ · g.
+                    let gh = crate::kernels::matmul_tn(m, m, ft, sv.data(), g.data());
                     self.accumulate(grads, *h, Tensor::from_vec(&[m, f, t], gh));
                 }
             }
@@ -295,63 +277,62 @@ impl Graph {
         let (xv, wv) = (&self.nodes[x].value, &self.nodes[w].value);
         let (n, cin, l) = (xv.shape()[0], xv.shape()[1], xv.shape()[2]);
         let (cout, _, k) = (wv.shape()[0], wv.shape()[1], wv.shape()[2]);
+        let rows = cin * k;
 
         if self.nodes[b].requires_grad {
             let mut gb = vec![0.0f32; cout];
             for ni in 0..n {
                 for (o, gbo) in gb.iter_mut().enumerate() {
-                    for t in 0..l {
-                        *gbo += g.at3(ni, o, t);
-                    }
+                    let grow = &g.data()[(ni * cout + o) * l..(ni * cout + o + 1) * l];
+                    *gbo += grow.iter().sum::<f32>();
                 }
             }
             self.accumulate(grads, b, Tensor::from_vec(&[cout], gb));
         }
-        if self.nodes[w].requires_grad {
-            let mut gw = Tensor::zeros(&[cout, cin, k]);
-            for ni in 0..n {
-                for o in 0..cout {
-                    for t in 0..l {
-                        let go = g.at3(ni, o, t);
-                        if go == 0.0 {
-                            continue;
-                        }
-                        for i in 0..cin {
-                            for j in 0..k {
-                                let back = (k - 1 - j) * dilation;
-                                if back <= t {
-                                    let v = gw.at3(o, i, j) + go * xv.at3(ni, i, t - back);
-                                    gw.set3(o, i, j, v);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            self.accumulate(grads, w, gw);
+
+        let need_w = self.nodes[w].requires_grad;
+        let need_x = self.nodes[x].requires_grad;
+        if !need_w && !need_x {
+            return;
         }
-        if self.nodes[x].requires_grad {
-            let mut gx = Tensor::zeros(&[n, cin, l]);
-            for ni in 0..n {
-                for o in 0..cout {
-                    for t in 0..l {
-                        let go = g.at3(ni, o, t);
-                        if go == 0.0 {
-                            continue;
-                        }
-                        for i in 0..cin {
-                            for j in 0..k {
-                                let back = (k - 1 - j) * dilation;
-                                if back <= t {
-                                    let v = gx.at3(ni, i, t - back) + go * wv.at3(o, i, j);
-                                    gx.set3(ni, i, t - back, v);
-                                }
-                            }
-                        }
-                    }
-                }
+        // Same im2col lowering as the forward pass:
+        //   dW = Σ_batch g_ni · colᵀ      (g [Cout,L] · col [Cin·K, L]ᵀ)
+        //   dX = Σ_batch col2im(Wᵀ · g_ni)
+        let mut col = vec![0.0f32; rows * l];
+        let mut gw = need_w.then(|| vec![0.0f32; cout * rows]);
+        let mut gx = need_x.then(|| vec![0.0f32; n * cin * l]);
+        let mut gcol = vec![0.0f32; rows * l];
+        for ni in 0..n {
+            let gn = &g.data()[ni * cout * l..(ni + 1) * cout * l];
+            if let Some(gw) = gw.as_mut() {
+                crate::kernels::im2col(
+                    &xv.data()[ni * cin * l..(ni + 1) * cin * l],
+                    cin,
+                    l,
+                    k,
+                    dilation,
+                    &mut col,
+                );
+                crate::kernels::matmul_nt_acc(cout, l, rows, gn, &col, gw);
             }
-            self.accumulate(grads, x, gx);
+            if let Some(gx) = gx.as_mut() {
+                gcol.fill(0.0);
+                crate::kernels::matmul_tn_acc(rows, cout, l, wv.data(), gn, &mut gcol);
+                crate::kernels::col2im_acc(
+                    &gcol,
+                    cin,
+                    l,
+                    k,
+                    dilation,
+                    &mut gx[ni * cin * l..(ni + 1) * cin * l],
+                );
+            }
+        }
+        if let Some(gw) = gw {
+            self.accumulate(grads, w, Tensor::from_vec(&[cout, cin, k], gw));
+        }
+        if let Some(gx) = gx {
+            self.accumulate(grads, x, Tensor::from_vec(&[n, cin, l], gx));
         }
     }
 }

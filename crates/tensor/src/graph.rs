@@ -123,6 +123,12 @@ impl Graph {
         self.nodes.len()
     }
 
+    /// Clears all nodes while keeping the arena's allocated capacity, so a
+    /// graph can be rebuilt every step without re-growing the node vector.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
     /// `true` when no node has been created.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
@@ -223,7 +229,7 @@ impl Graph {
             "add_bias: rhs must be 1-D, got {:?}",
             bv.shape()
         );
-        let (r, c) = (av.shape()[0], av.shape()[1]);
+        let c = av.shape()[1];
         assert_eq!(
             c,
             bv.shape()[0],
@@ -231,10 +237,9 @@ impl Graph {
             bv.shape()
         );
         let mut out = av.clone();
-        for i in 0..r {
-            for j in 0..c {
-                let v = out.at2(i, j) + bv.data()[j];
-                out.set2(i, j, v);
+        for row in out.data_mut().chunks_exact_mut(c) {
+            for (o, &bias) in row.iter_mut().zip(bv.data()) {
+                *o += bias;
             }
         }
         let rg = self.rg(a.0) || self.rg(b.0);
@@ -397,20 +402,7 @@ impl Graph {
         );
         let (f, t) = (hv.shape()[1], hv.shape()[2]);
         let ft = f * t;
-        let mut out = vec![0.0f32; m * ft];
-        for i in 0..m {
-            for j in 0..m {
-                let sij = sv.at2(i, j);
-                if sij == 0.0 {
-                    continue;
-                }
-                let src = &hv.data()[j * ft..(j + 1) * ft];
-                let dst = &mut out[i * ft..(i + 1) * ft];
-                for (d, &h) in dst.iter_mut().zip(src) {
-                    *d += sij * h;
-                }
-            }
-        }
+        let out = crate::kernels::matmul_nn(m, m, ft, sv.data(), hv.data());
         let rg = self.rg(s.0) || self.rg(h.0);
         self.push(
             Tensor::from_vec(&[m, f, t], out),
@@ -534,25 +526,67 @@ pub(crate) fn conv1d_forward(x: &Tensor, w: &Tensor, b: &Tensor, dilation: usize
         "conv1d: bias {:?} vs Cout {cout}",
         b.shape()
     );
+    // im2col lowering: tap j looks back (k-1-j)*dilation steps so the
+    // highest-index tap aligns with the current step; each batch element
+    // becomes one W [Cout, Cin·K] × col [Cin·K, L] product seeded with the
+    // bias.
+    let rows = cin * k;
+    let mut col = vec![0.0f32; rows * l];
     let mut out = vec![0.0f32; n * cout * l];
     for ni in 0..n {
-        for o in 0..cout {
-            let base = (ni * cout + o) * l;
-            for t in 0..l {
-                let mut acc = b.data()[o];
-                for i in 0..cin {
-                    for j in 0..k {
-                        // Tap j looks back (k-1-j)*dilation steps so that the
-                        // highest-index tap aligns with the current step.
-                        let back = (k - 1 - j) * dilation;
-                        if back <= t {
-                            acc += w.at3(o, i, j) * x.at3(ni, i, t - back);
-                        }
-                    }
-                }
-                out[base + t] = acc;
-            }
+        crate::kernels::im2col(
+            &x.data()[ni * cin * l..(ni + 1) * cin * l],
+            cin,
+            l,
+            k,
+            dilation,
+            &mut col,
+        );
+        let slab = &mut out[ni * cout * l..(ni + 1) * cout * l];
+        for (o, orow) in slab.chunks_exact_mut(l).enumerate() {
+            orow.fill(b.data()[o]);
         }
+        crate::kernels::matmul_nn_acc(cout, rows, l, w.data(), &col, slab);
     }
     Tensor::from_vec(&[n, cout, l], out)
+}
+
+/// A thread-safe pool of reusable [`Graph`] arenas.
+///
+/// Graphs are rebuilt on every forward pass; taking an arena from the pool
+/// and [`GraphPool::put`]ting it back afterwards reuses the node vector's
+/// allocation across steps instead of re-growing it each time. Workers on
+/// different threads may share one pool — which arena a caller gets only
+/// affects capacity, never values.
+#[derive(Default)]
+pub struct GraphPool {
+    free: std::sync::Mutex<Vec<Graph>>,
+}
+
+impl GraphPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared arena from the pool, or allocates a fresh one.
+    pub fn take(&self) -> Graph {
+        match self.free.lock() {
+            Ok(mut v) => v.pop().unwrap_or_default(),
+            Err(_) => Graph::new(),
+        }
+    }
+
+    /// Clears `g` and returns it to the pool for reuse.
+    pub fn put(&self, mut g: Graph) {
+        g.reset();
+        if let Ok(mut v) = self.free.lock() {
+            v.push(g);
+        }
+    }
+
+    /// Number of idle arenas currently held.
+    pub fn idle(&self) -> usize {
+        self.free.lock().map(|v| v.len()).unwrap_or(0)
+    }
 }

@@ -1,0 +1,338 @@
+//! Cache-blocked matmul micro-kernels and im2col convolution lowering.
+//!
+//! All kernels operate on raw row-major `f32` slices so the graph forward
+//! pass, the backward pass and benches share one code path. Three layouts
+//! cover every product the autodiff engine needs without materialising a
+//! transposed tensor:
+//!
+//! * [`matmul_nn_acc`] — `out += A·B` with `A [m,k]`, `B [k,n]`
+//! * [`matmul_nt_acc`] — `out += A·Bᵀ` with `B` stored `[n,k]`
+//! * [`matmul_tn_acc`] — `out += Aᵀ·B` with `A` stored `[k,m]`
+//!
+//! Every kernel accumulates each output element strictly in ascending
+//! reduction-index order starting from the value already in `out`. That
+//! matches the seed-then-accumulate order of the previous scalar loops, so
+//! results are reproducible across tile shapes (f32 addition is not
+//! associative; a fixed order keeps training runs bit-stable).
+
+/// Rows per register tile of the `nn` micro-kernel.
+const MR: usize = 4;
+/// Columns per register tile of the `nn` micro-kernel.
+const NR: usize = 16;
+/// Output rows processed per cache block of the `tn` kernel.
+const MC_TN: usize = 64;
+
+fn check_dims(name: &str, m: usize, k: usize, n: usize, a: usize, b: usize, out: usize) {
+    assert!(a >= m * k, "{name}: lhs has {a} elements, need {m}x{k}");
+    assert!(b >= k * n, "{name}: rhs has {b} elements, need {k}x{n}");
+    assert!(out >= m * n, "{name}: out has {out} elements, need {m}x{n}");
+}
+
+/// `out[i,j] += Σ_p a[i,p]·b[p,j]` — cache-blocked `A [m,k] · B [k,n]`.
+///
+/// The hot path is an `MR`×`NR` register tile accumulated over the full
+/// reduction dimension; `B` rows stream through L1 while the partial sums
+/// stay in registers.
+pub fn matmul_nn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    check_dims("matmul_nn_acc", m, k, n, a.len(), b.len(), out.len());
+    let mut i = 0;
+    while i < m {
+        let mr = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let nr = NR.min(n - j);
+            if mr == MR && nr == NR {
+                kernel_nn_4x16(k, n, &a[i * k..], b, j, &mut out[i * n..]);
+            } else {
+                // Edge tile: plain dot products, still ascending in p.
+                for r in 0..mr {
+                    let arow = &a[(i + r) * k..(i + r) * k + k];
+                    for c in 0..nr {
+                        let mut acc = out[(i + r) * n + j + c];
+                        for (p, &av) in arow.iter().enumerate() {
+                            acc += av * b[p * n + j + c];
+                        }
+                        out[(i + r) * n + j + c] = acc;
+                    }
+                }
+            }
+            j += NR;
+        }
+        i += MR;
+    }
+}
+
+#[inline]
+fn kernel_nn_4x16(k: usize, n: usize, a: &[f32], b: &[f32], j: usize, out: &mut [f32]) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&out[r * n + j..r * n + j + NR]);
+    }
+    for p in 0..k {
+        let brow = &b[p * n + j..p * n + j + NR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = a[r * k + p];
+            for (c, av_b) in accr.iter_mut().zip(brow) {
+                *c += av * av_b;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[r * n + j..r * n + j + NR].copy_from_slice(accr);
+    }
+}
+
+/// Freshly allocated `A·B` (`A [m,k]`, `B [k,n]`), zero-initialised then
+/// accumulated by [`matmul_nn_acc`].
+pub fn matmul_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    matmul_nn_acc(m, k, n, a, b, &mut out);
+    out
+}
+
+/// `out[i,j] += Σ_p a[i,p]·bt[j,p]` — `A [m,k] · Bᵀ` with `B` stored
+/// `[n,k]`. Both operands are traversed contiguously (row-wise dot
+/// products), so no transposed copy is ever built.
+pub fn matmul_nt_acc(m: usize, k: usize, n: usize, a: &[f32], bt: &[f32], out: &mut [f32]) {
+    check_dims("matmul_nt_acc", m, k, n, a.len(), n * k, out.len());
+    assert!(
+        bt.len() >= n * k,
+        "matmul_nt_acc: bt has {} elements",
+        bt.len()
+    );
+    const TI: usize = 4;
+    const TJ: usize = 4;
+    let mut i = 0;
+    while i < m {
+        let ti = TI.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let tj = TJ.min(n - j);
+            let mut acc = [[0.0f32; TJ]; TI];
+            for p in 0..k {
+                for (r, accr) in acc.iter_mut().enumerate().take(ti) {
+                    let av = a[(i + r) * k + p];
+                    for (c, slot) in accr.iter_mut().enumerate().take(tj) {
+                        *slot += av * bt[(j + c) * k + p];
+                    }
+                }
+            }
+            for r in 0..ti {
+                for c in 0..tj {
+                    out[(i + r) * n + j + c] += acc[r][c];
+                }
+            }
+            j += TJ;
+        }
+        i += TI;
+    }
+}
+
+/// Freshly allocated `A·Bᵀ` (`A [m,k]`, `B` stored `[n,k]`).
+pub fn matmul_nt(m: usize, k: usize, n: usize, a: &[f32], bt: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    matmul_nt_acc(m, k, n, a, bt, &mut out);
+    out
+}
+
+/// `out[i,j] += Σ_p at[p,i]·b[p,j]` — `Aᵀ·B` with `A` stored `[k,m]`.
+///
+/// Outer-product form: for each reduction index `p` a row of `B` is
+/// broadcast-multiplied into a block of `out` rows, so the inner loop is a
+/// contiguous axpy. Output rows are processed in blocks of [`MC_TN`] to keep
+/// the accumulator panel cache-resident for large `m`.
+pub fn matmul_tn_acc(m: usize, k: usize, n: usize, at: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(
+        at.len() >= k * m,
+        "matmul_tn_acc: at has {} elements",
+        at.len()
+    );
+    check_dims("matmul_tn_acc", m, k, n, m * k, b.len(), out.len());
+    let mut i0 = 0;
+    while i0 < m {
+        let ib = MC_TN.min(m - i0);
+        for p in 0..k {
+            let arow = &at[p * m..p * m + m];
+            let brow = &b[p * n..p * n + n];
+            for r in 0..ib {
+                let av = arow[i0 + r];
+                let dst = &mut out[(i0 + r) * n..(i0 + r) * n + n];
+                for (d, &bv) in dst.iter_mut().zip(brow) {
+                    *d += av * bv;
+                }
+            }
+        }
+        i0 += MC_TN;
+    }
+}
+
+/// Freshly allocated `Aᵀ·B` (`A` stored `[k,m]`, `B [k,n]`).
+pub fn matmul_tn(m: usize, k: usize, n: usize, at: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    matmul_tn_acc(m, k, n, at, b, &mut out);
+    out
+}
+
+/// Textbook triple-loop `A·B` — the naive reference the tiled kernels are
+/// checked (and benchmarked) against. Not used on any hot path.
+pub fn matmul_ref(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Unrolls one batch element of a causal dilated convolution input into its
+/// im2col matrix: `col[(i·K + j)·L + t] = x[i·L + t − (K−1−j)·dilation]`
+/// with implicit zero padding on the left. `x` is one `[Cin, L]` slab.
+///
+/// Each `(channel, tap)` row is a shifted memcpy of the input channel, so
+/// the convolution becomes the single matrix product
+/// `W [Cout, Cin·K] · col [Cin·K, L]`.
+pub fn im2col(x: &[f32], cin: usize, l: usize, k: usize, dilation: usize, col: &mut [f32]) {
+    assert!(x.len() >= cin * l, "im2col: x has {} elements", x.len());
+    assert!(
+        col.len() >= cin * k * l,
+        "im2col: col has {} elements, need {}",
+        col.len(),
+        cin * k * l
+    );
+    for i in 0..cin {
+        let xi = &x[i * l..(i + 1) * l];
+        for j in 0..k {
+            let back = (k - 1 - j) * dilation;
+            let row = &mut col[(i * k + j) * l..(i * k + j + 1) * l];
+            if back >= l {
+                row.fill(0.0);
+            } else {
+                row[..back].fill(0.0);
+                row[back..].copy_from_slice(&xi[..l - back]);
+            }
+        }
+    }
+}
+
+/// Scatters an im2col-shaped gradient back onto the input slab:
+/// `gx[i·L + t − back] += gcol[(i·K + j)·L + t]` for every in-range tap.
+/// Exact adjoint of [`im2col`].
+pub fn col2im_acc(gcol: &[f32], cin: usize, l: usize, k: usize, dilation: usize, gx: &mut [f32]) {
+    assert!(
+        gx.len() >= cin * l,
+        "col2im_acc: gx has {} elements",
+        gx.len()
+    );
+    for i in 0..cin {
+        let dst = &mut gx[i * l..(i + 1) * l];
+        for j in 0..k {
+            let back = (k - 1 - j) * dilation;
+            if back >= l {
+                continue;
+            }
+            let row = &gcol[(i * k + j) * l..(i * k + j + 1) * l];
+            for (d, &gv) in dst[..l - back].iter_mut().zip(&row[back..]) {
+                *d += gv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        // Small deterministic pseudo-random values in [-0.5, 0.5).
+        (0..len)
+            .map(|i| {
+                let h = (i as u32)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(seed.wrapping_mul(97))
+                    % 1000;
+                h as f32 / 1000.0 - 0.5
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn nn_matches_reference_across_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 1),
+            (3, 1, 9),
+            (5, 17, 3),
+            (33, 2, 2),
+            (4, 16, 16),
+            (9, 23, 31),
+        ] {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            assert_close(&matmul_nn(m, k, n, &a, &b), &matmul_ref(m, k, n, &a, &b));
+        }
+    }
+
+    #[test]
+    fn nt_and_tn_match_explicit_transpose() {
+        let (m, k, n) = (6, 11, 13);
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 4);
+        let reference = matmul_ref(m, k, n, &a, &b);
+        // B stored transposed [n, k].
+        let mut bt = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        assert_close(&matmul_nt(m, k, n, &a, &bt), &reference);
+        // A stored transposed [k, m].
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        assert_close(&matmul_tn(m, k, n, &at, &b), &reference);
+    }
+
+    #[test]
+    fn acc_variants_accumulate_on_top() {
+        let (m, k, n) = (5, 4, 18);
+        let a = fill(m * k, 5);
+        let b = fill(k * n, 6);
+        let mut out = vec![1.0f32; m * n];
+        matmul_nn_acc(m, k, n, &a, &b, &mut out);
+        let reference = matmul_ref(m, k, n, &a, &b);
+        for (o, r) in out.iter().zip(&reference) {
+            assert!((o - (r + 1.0)).abs() <= 1e-5);
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let (cin, l, k, d) = (3, 10, 3, 2);
+        let x = fill(cin * l, 7);
+        let y = fill(cin * k * l, 8);
+        let mut col = vec![0.0f32; cin * k * l];
+        im2col(&x, cin, l, k, d, &mut col);
+        let lhs: f32 = col.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut gx = vec![0.0f32; cin * l];
+        col2im_acc(&y, cin, l, k, d, &mut gx);
+        let rhs: f32 = x.iter().zip(&gx).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+}

@@ -29,9 +29,10 @@
 mod backward;
 pub mod gradcheck;
 mod graph;
+pub mod kernels;
 pub mod rand_util;
 mod tensor;
 
 pub use backward::Grads;
-pub use graph::{softmax_last_tensor, Graph, Var};
+pub use graph::{softmax_last_tensor, Graph, GraphPool, Var};
 pub use tensor::Tensor;

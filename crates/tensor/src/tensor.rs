@@ -291,23 +291,43 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[p * n..(p + 1) * n];
-                let dst = &mut out[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row) {
-                    *d += a * b;
-                }
-            }
-        }
         Tensor {
             shape: vec![m, n],
-            data: out,
+            data: crate::kernels::matmul_nn(m, k, n, &self.data, &other.data),
+        }
+    }
+
+    /// `self · otherᵀ` without materialising the transpose: `self [m,k]`,
+    /// `other [n,k]`, result `[m,n]`.
+    ///
+    /// # Panics
+    /// Panics if either operand is not 2-D or the inner dimensions disagree.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_nt: lhs must be 2-D");
+        assert_eq!(other.shape.len(), 2, "matmul_nt: rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_nt: inner dims {k} vs {k2}");
+        Tensor {
+            shape: vec![m, n],
+            data: crate::kernels::matmul_nt(m, k, n, &self.data, &other.data),
+        }
+    }
+
+    /// `selfᵀ · other` without materialising the transpose: `self [k,m]`,
+    /// `other [k,n]`, result `[m,n]`.
+    ///
+    /// # Panics
+    /// Panics if either operand is not 2-D or the inner dimensions disagree.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_tn: lhs must be 2-D");
+        assert_eq!(other.shape.len(), 2, "matmul_tn: rhs must be 2-D");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_tn: inner dims {k} vs {k2}");
+        Tensor {
+            shape: vec![m, n],
+            data: crate::kernels::matmul_tn(m, k, n, &self.data, &other.data),
         }
     }
 

@@ -1,0 +1,210 @@
+//! Parity and gradient checks for the tiled compute kernels across odd
+//! shapes: 1×1, tall/skinny, and reduction dimensions not divisible by the
+//! register-tile sizes. The tiled kernels must agree with the textbook
+//! reference to ≤1e-5 (the matmul family is in fact bit-identical — every
+//! output element accumulates in ascending reduction order).
+
+use cit_tensor::kernels::{matmul_nn, matmul_nt, matmul_ref, matmul_tn};
+use cit_tensor::{Graph, Tensor};
+
+/// Deterministic pseudo-random fill (no RNG dependency in this crate).
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+const ODD_SHAPES: [(usize, usize, usize); 9] = [
+    (1, 1, 1),
+    (1, 5, 1),
+    (7, 1, 3),
+    (64, 3, 2),  // tall/skinny
+    (2, 3, 64),  // short/wide
+    (5, 17, 19), // k not divisible by any tile
+    (4, 16, 16), // exact register tile
+    (9, 33, 31), // one past tile boundaries
+    (13, 7, 5),
+];
+
+#[test]
+fn tiled_matmul_matches_reference_on_odd_shapes() {
+    for (m, k, n) in ODD_SHAPES {
+        let a = fill(m * k, (m * 1000 + k * 10 + n) as u64);
+        let b = fill(k * n, (n * 777 + k) as u64);
+        let tiled = matmul_nn(m, k, n, &a, &b);
+        let reference = matmul_ref(m, k, n, &a, &b);
+        let diff = max_abs_diff(&tiled, &reference);
+        assert!(diff <= 1e-5, "matmul_nn {m}x{k}x{n}: diff {diff}");
+    }
+}
+
+#[test]
+fn transposed_variants_match_reference_on_odd_shapes() {
+    for (m, k, n) in ODD_SHAPES {
+        let a = fill(m * k, (m + k + n) as u64);
+        let b = fill(k * n, (m * 31 + n) as u64);
+        let reference = matmul_ref(m, k, n, &a, &b);
+
+        // matmul_nt takes B stored transposed, [n, k].
+        let mut bt = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let nt = matmul_nt(m, k, n, &a, &bt);
+        let diff = max_abs_diff(&nt, &reference);
+        assert!(diff <= 1e-5, "matmul_nt {m}x{k}x{n}: diff {diff}");
+
+        // matmul_tn takes A stored transposed, [k, m].
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let tn = matmul_tn(m, k, n, &at, &b);
+        let diff = max_abs_diff(&tn, &reference);
+        assert!(diff <= 1e-5, "matmul_tn {m}x{k}x{n}: diff {diff}");
+    }
+}
+
+/// Scalar reference for causal dilated conv1d, shapes `x [n, cin, l]`,
+/// `w [cout, cin, k]`, `b [cout]` (mirrors the graph op's contract).
+#[allow(clippy::too_many_arguments)]
+fn conv1d_ref(
+    x: &[f32],
+    w: &[f32],
+    b: &[f32],
+    n: usize,
+    cin: usize,
+    l: usize,
+    cout: usize,
+    k: usize,
+    dilation: usize,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * cout * l];
+    for ni in 0..n {
+        for o in 0..cout {
+            for t in 0..l {
+                let mut acc = b[o];
+                for c in 0..cin {
+                    for j in 0..k {
+                        let back = (k - 1 - j) * dilation;
+                        if t >= back {
+                            acc += w[(o * cin + c) * k + j] * x[(ni * cin + c) * l + t - back];
+                        }
+                    }
+                }
+                out[(ni * cout + o) * l + t] = acc;
+            }
+        }
+    }
+    out
+}
+
+const CONV_SHAPES: [(usize, usize, usize, usize, usize, usize); 6] = [
+    // (n, cin, l, cout, k, dilation)
+    (1, 1, 1, 1, 1, 1),
+    (1, 1, 7, 1, 3, 1),
+    (2, 3, 5, 4, 3, 2),
+    (1, 2, 9, 3, 2, 4),
+    (3, 1, 4, 1, 4, 1), // kernel as long as the sequence
+    (1, 5, 16, 2, 3, 3),
+];
+
+#[test]
+fn im2col_conv_forward_matches_scalar_reference() {
+    for (n, cin, l, cout, k, dilation) in CONV_SHAPES {
+        let x = fill(n * cin * l, (n * 100 + l) as u64);
+        let w = fill(cout * cin * k, (cout * 55 + k) as u64);
+        let b = fill(cout, 17);
+
+        let mut g = Graph::new();
+        let xv = g.input(Tensor::from_vec(&[n, cin, l], x.clone()));
+        let wv = g.input(Tensor::from_vec(&[cout, cin, k], w.clone()));
+        let bv = g.input(Tensor::from_vec(&[cout], b.clone()));
+        let y = g.conv1d(xv, wv, bv, dilation);
+
+        let reference = conv1d_ref(&x, &w, &b, n, cin, l, cout, k, dilation);
+        let diff = max_abs_diff(g.value(y).data(), &reference);
+        assert!(
+            diff <= 1e-5,
+            "conv1d forward n={n} cin={cin} l={l} cout={cout} k={k} d={dilation}: diff {diff}"
+        );
+    }
+}
+
+#[test]
+fn conv_backward_gradcheck_on_odd_shapes() {
+    // Finite-difference check of the im2col/col2im backward against the
+    // forward, for every input of the op. f32 centred differences resolve
+    // to roughly 1e-2 relative; the shapes are small enough for that.
+    for (n, cin, l, cout, k, dilation) in CONV_SHAPES {
+        let x = fill(n * cin * l, (l * 31 + cin) as u64);
+        let w = fill(cout * cin * k, (k * 13 + cout) as u64);
+        let b = fill(cout, 5);
+
+        let loss_of = |x: &[f32], w: &[f32], b: &[f32]| -> f32 {
+            let mut g = Graph::new();
+            let xv = g.input(Tensor::from_vec(&[n, cin, l], x.to_vec()));
+            let wv = g.input(Tensor::from_vec(&[cout, cin, k], w.to_vec()));
+            let bv = g.input(Tensor::from_vec(&[cout], b.to_vec()));
+            let y = g.conv1d(xv, wv, bv, dilation);
+            // Square the output so gradients depend on the forward values.
+            let sq = g.mul(y, y);
+            let s = g.sum_all(sq);
+            g.value(s).data()[0]
+        };
+
+        // Analytic gradients.
+        let mut g = Graph::new();
+        let xv = g.param_leaf(Tensor::from_vec(&[n, cin, l], x.clone()));
+        let wv = g.param_leaf(Tensor::from_vec(&[cout, cin, k], w.clone()));
+        let bv = g.param_leaf(Tensor::from_vec(&[cout], b.clone()));
+        let y = g.conv1d(xv, wv, bv, dilation);
+        let sq = g.mul(y, y);
+        let s = g.sum_all(sq);
+        let grads = g.backward(s);
+
+        let eps = 1e-2f32;
+        let check = |name: &str, base: &[f32], analytic: &Tensor, which: usize| {
+            for i in 0..base.len() {
+                let mut plus = base.to_vec();
+                let mut minus = base.to_vec();
+                plus[i] += eps;
+                minus[i] -= eps;
+                let (lp, lm) = match which {
+                    0 => (loss_of(&plus, &w, &b), loss_of(&minus, &w, &b)),
+                    1 => (loss_of(&x, &plus, &b), loss_of(&x, &minus, &b)),
+                    _ => (loss_of(&x, &w, &plus), loss_of(&x, &w, &minus)),
+                };
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic.data()[i];
+                let scale = 1.0f32.max(a.abs()).max(numeric.abs());
+                assert!(
+                    (a - numeric).abs() / scale <= 2e-2,
+                    "{name}[{i}] n={n} cin={cin} l={l} cout={cout} k={k} d={dilation}: \
+                     analytic {a} vs numeric {numeric}"
+                );
+            }
+        };
+        check("gx", &x, grads.wrt(xv).expect("x grad"), 0);
+        check("gw", &w, grads.wrt(wv).expect("w grad"), 1);
+        check("gb", &b, grads.wrt(bv).expect("b grad"), 2);
+    }
+}

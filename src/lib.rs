@@ -7,6 +7,7 @@
 //! This facade crate re-exports the workspace:
 //!
 //! * [`tensor`] — dense tensors + reverse-mode autodiff,
+//! * [`compute`] — std-only scoped-thread parallelism (`CIT_THREADS`),
 //! * [`nn`] — layers (TCN, GRU, spatial attention, Gaussian head) and
 //!   optimisers,
 //! * [`dwt`] — Haar wavelet transform and horizon decomposition,
@@ -31,6 +32,7 @@
 
 #![deny(missing_docs)]
 
+pub use cit_compute as compute;
 pub use cit_core as core;
 pub use cit_dwt as dwt;
 pub use cit_market as market;
