@@ -16,4 +16,16 @@ echo "== bench smoke (--quick)"
 cargo bench -p cit-bench --bench components -- --quick
 test -s BENCH_compute.json || { echo "BENCH_compute.json missing or empty" >&2; exit 1; }
 
+echo "== checkpoint save -> kill -> resume smoke"
+# Bitwise resume-after-kill guarantee, including a simulated crash during
+# save (truncated temp file must not corrupt the previous checkpoint).
+cargo test -p cit-core --test checkpoint_resume -q
+# End-to-end --resume wiring: first run trains + checkpoints, second run
+# must resume from the persisted checkpoints instead of retraining.
+rm -rf results/checkpoints results/table4_run.jsonl
+cargo run --release -q -p cit-bench --bin table4 -- --scale smoke --resume >/dev/null
+grep -q 'checkpoint.save' results/table4_run.jsonl || { echo "no checkpoint.save records" >&2; exit 1; }
+cargo run --release -q -p cit-bench --bin table4 -- --scale smoke --resume >/dev/null
+grep -q 'checkpoint.resume' results/table4_run.jsonl || { echo "no checkpoint.resume records" >&2; exit 1; }
+
 echo "CI gate passed."

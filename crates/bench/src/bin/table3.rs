@@ -3,8 +3,8 @@
 //! product; the dedicated `fig4` binary only re-plots them).
 
 use cit_bench::{
-    experiment_telemetry, finish_run, panels, print_metric_table, run_model_with, save_series,
-    Scale,
+    checkpoint_path, experiment_telemetry, finish_run, panels, print_metric_table, run_model_ckpt,
+    save_series, BenchOpts,
 };
 use cit_telemetry::Record;
 
@@ -25,7 +25,8 @@ const MODELS: [&str; 13] = [
 ];
 
 fn main() {
-    let (scale, seed) = Scale::from_args();
+    let opts = BenchOpts::from_args();
+    let (scale, seed) = (opts.scale, opts.seed);
     let tel = experiment_telemetry("table3", scale, seed);
     let ps = panels(scale);
     let market_names: Vec<&str> = ps.iter().map(|p| p.name()).collect();
@@ -37,7 +38,10 @@ fn main() {
         let mut metrics = Vec::new();
         for (mi, p) in ps.iter().enumerate() {
             tel.progress(format!("running {model} on {} ...", p.name()));
-            let res = run_model_with(model, p, scale, seed, &tel);
+            let ckpt = opts
+                .resume
+                .then(|| checkpoint_path("table3", p.name(), seed));
+            let res = run_model_ckpt(model, p, scale, seed, &tel, ckpt.as_deref());
             metrics.push(res.metrics);
             curves_per_market[mi].push((model.to_string(), res.wealth.clone()));
         }

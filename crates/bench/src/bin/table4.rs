@@ -2,14 +2,15 @@
 //! policies (A2C = no horizon policies, then 2–5 policies).
 
 use cit_bench::{
-    cit_config, env_config, experiment_telemetry, finish_run, panels, print_metric_table,
-    run_model_with, Scale,
+    checkpoint_path, cit_config, env_config, experiment_telemetry, finish_run, panels,
+    print_metric_table, run_model_with, BenchOpts, Scale,
 };
 use cit_core::CrossInsightTrader;
 use cit_market::run_test_period_with;
 
 fn main() {
-    let (scale, seed) = Scale::from_args();
+    let opts = BenchOpts::from_args();
+    let (scale, seed) = (opts.scale, opts.seed);
     let tel = experiment_telemetry("table4", scale, seed);
     let ps = panels(scale);
     let market_names: Vec<&str> = ps.iter().map(|p| p.name()).collect();
@@ -35,8 +36,30 @@ fn main() {
             tel.progress(format!("running CIT({n} policies) on {} ...", p.name()));
             let mut cfg = cit_config(scale, seed);
             cfg.num_policies = n;
+            if opts.resume && cfg.checkpoint_every == 0 {
+                cfg.checkpoint_every = 10;
+            }
             let mut trader = CrossInsightTrader::new(p, cfg).with_telemetry(tel.clone());
-            trader.train(p);
+            if opts.resume {
+                let ckpt = checkpoint_path(&format!("table4_n{n}"), p.name(), seed);
+                trader.set_checkpoint_path(Some(ckpt.clone()));
+                if ckpt.exists() {
+                    if let Err(err) = trader.load(&ckpt) {
+                        tel.progress(format!(
+                            "checkpoint {} unusable ({err}); retraining from scratch",
+                            ckpt.display()
+                        ));
+                        trader = CrossInsightTrader::new(p, cfg).with_telemetry(tel.clone());
+                        trader.set_checkpoint_path(Some(ckpt.clone()));
+                    }
+                }
+                trader.train(p);
+                if let Err(err) = trader.save(&ckpt) {
+                    tel.progress(format!("warning: final checkpoint not written: {err}"));
+                }
+            } else {
+                trader.train(p);
+            }
             let res = run_test_period_with(p, env_config(scale), &mut trader, &tel);
             metrics.push(res.metrics);
         }

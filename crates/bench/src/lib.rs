@@ -4,7 +4,10 @@
 //! (see DESIGN.md §4 for the experiment index) plus criterion
 //! micro-benchmarks. Each binary accepts `--scale smoke|paper` and
 //! `--seed <u64>`, prints the paper-style table to stdout and writes CSV
-//! series under `results/`.
+//! series under `results/`. Checkpoint-aware binaries (`table3`, `table4`)
+//! additionally accept `--resume`: CIT trainings then auto-checkpoint
+//! under `results/checkpoints/` and a restarted run continues from the
+//! last checkpoint bit-identically instead of retraining from scratch.
 
 #![deny(missing_docs)]
 
@@ -33,16 +36,45 @@ pub enum Scale {
 
 impl Scale {
     /// Parses `--scale` and `--seed` from command-line arguments
-    /// (defaults: paper, 42).
+    /// (defaults: paper, 42). Binaries that also honour `--resume` use
+    /// [`BenchOpts::from_args`] instead.
     pub fn from_args() -> (Scale, u64) {
+        let opts = BenchOpts::from_args();
+        assert!(
+            !opts.resume,
+            "--resume is not supported by this binary (only table3/table4 checkpoint)"
+        );
+        (opts.scale, opts.seed)
+    }
+}
+
+/// Parsed command-line options of an experiment binary.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOpts {
+    /// Experiment scale (`--scale smoke|paper`, default paper).
+    pub scale: Scale,
+    /// RNG seed (`--seed <u64>`, default 42).
+    pub seed: u64,
+    /// Checkpoint/resume mode (`--resume`): CIT trainings auto-checkpoint
+    /// under `results/checkpoints/` and continue from an existing
+    /// checkpoint instead of retraining from scratch.
+    pub resume: bool,
+}
+
+impl BenchOpts {
+    /// Parses `--scale`, `--seed` and `--resume` from the command line.
+    pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
-        let mut scale = Scale::Paper;
-        let mut seed = 42u64;
+        let mut opts = BenchOpts {
+            scale: Scale::Paper,
+            seed: 42,
+            resume: false,
+        };
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
                 "--scale" if i + 1 < args.len() => {
-                    scale = match args[i + 1].as_str() {
+                    opts.scale = match args[i + 1].as_str() {
                         "smoke" => Scale::Smoke,
                         "paper" => Scale::Paper,
                         other => panic!("unknown scale {other}; use smoke|paper"),
@@ -50,13 +82,19 @@ impl Scale {
                     i += 2;
                 }
                 "--seed" if i + 1 < args.len() => {
-                    seed = args[i + 1].parse().expect("--seed takes a u64");
+                    opts.seed = args[i + 1].parse().expect("--seed takes a u64");
                     i += 2;
                 }
-                other => panic!("unknown argument {other}; supported: --scale, --seed"),
+                "--resume" => {
+                    opts.resume = true;
+                    i += 1;
+                }
+                other => {
+                    panic!("unknown argument {other}; supported: --scale, --seed, --resume")
+                }
             }
         }
-        (scale, seed)
+        opts
     }
 }
 
@@ -263,6 +301,60 @@ pub fn run_model_with(
     }
 }
 
+/// Path of the CIT training checkpoint for one (experiment, market, seed)
+/// triple, under `results/checkpoints/`.
+pub fn checkpoint_path(experiment: &str, market: &str, seed: u64) -> PathBuf {
+    out_dir()
+        .join("checkpoints")
+        .join(format!("{experiment}_{market}_s{seed}.cit"))
+}
+
+/// [`run_model_with`], plus crash-safe checkpointing for the CIT model:
+/// when `checkpoint` is `Some`, training auto-saves its full state there
+/// every few updates and a final checkpoint on completion, and an existing
+/// (non-corrupt) file is loaded first so an interrupted or finished run
+/// continues bit-identically instead of starting over. Other models ignore
+/// `checkpoint`.
+pub fn run_model_ckpt(
+    name: &str,
+    panel: &AssetPanel,
+    scale: Scale,
+    seed: u64,
+    telemetry: &Telemetry,
+    checkpoint: Option<&std::path::Path>,
+) -> BacktestResult {
+    let Some(path) = checkpoint.filter(|_| name == "CIT") else {
+        return run_model_with(name, panel, scale, seed, telemetry);
+    };
+    let mut cfg = cit_config(scale, seed);
+    if cfg.checkpoint_every == 0 {
+        cfg.checkpoint_every = 10;
+    }
+    let fresh = || {
+        CrossInsightTrader::new(panel, cfg)
+            .with_telemetry(telemetry.clone())
+            .with_checkpoint(path)
+    };
+    let mut trader = fresh();
+    if path.exists() {
+        if let Err(err) = trader.load(path) {
+            telemetry.progress(format!(
+                "checkpoint {} unusable ({err}); retraining from scratch",
+                path.display()
+            ));
+            trader = fresh();
+        }
+    }
+    trader.train(panel);
+    if let Err(err) = trader.save(path) {
+        telemetry.progress(format!(
+            "warning: final checkpoint {} not written: {err}",
+            path.display()
+        ));
+    }
+    run_test_period_with(panel, env_config(scale), &mut trader, telemetry)
+}
+
 /// Runs one model across several seeds and returns per-seed metrics plus
 /// the mean and standard deviation of each metric — the paper averages over
 /// 5 random initialisations.
@@ -367,5 +459,35 @@ mod tests {
     fn unknown_model_panics() {
         let p = &panels(Scale::Smoke)[2];
         let _ = run_model("nope", p, Scale::Smoke, 1);
+    }
+
+    #[test]
+    fn cit_checkpoint_resume_reproduces_backtest() {
+        let p = &panels(Scale::Smoke)[2];
+        let mut path = std::env::temp_dir();
+        path.push(format!("cit_bench_ckpt_{}.cit", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // First run trains from scratch and leaves a final checkpoint.
+        let a = run_model_ckpt(
+            "CIT",
+            p,
+            Scale::Smoke,
+            3,
+            &Telemetry::disabled(),
+            Some(&path),
+        );
+        assert!(path.exists(), "final checkpoint written");
+        // Second run resumes from the completed checkpoint (no retraining)
+        // and must reproduce the backtest bitwise.
+        let b = run_model_ckpt(
+            "CIT",
+            p,
+            Scale::Smoke,
+            3,
+            &Telemetry::disabled(),
+            Some(&path),
+        );
+        assert_eq!(a.wealth, b.wealth, "resumed backtest must match bitwise");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -100,6 +100,12 @@ pub struct CitConfig {
     /// `0` means "auto": honour `CIT_THREADS`, else hardware parallelism.
     /// Thread count never changes results — only wall-clock.
     pub threads: usize,
+    /// Auto-checkpoint period in optimiser updates: when non-zero and a
+    /// checkpoint path is set on the trader, a full v2 checkpoint (params +
+    /// optimizer + RNG + trainer progress) is written atomically every this
+    /// many updates, so a killed run resumes bit-identically. `0` disables
+    /// auto-checkpointing.
+    pub checkpoint_every: usize,
 }
 
 impl Default for CitConfig {
@@ -128,6 +134,7 @@ impl Default for CitConfig {
             actor_body: ActorBody::TcnAttention,
             critic_mode: CriticMode::Counterfactual,
             threads: 0,
+            checkpoint_every: 0,
         }
     }
 }

@@ -1,0 +1,52 @@
+//! Typed errors for trader construction, training and checkpointing —
+//! replacing the `panic!`/`assert!` config-error paths so callers
+//! (walk-forward runners, services) can recover instead of aborting.
+
+use cit_nn::serialize::CheckpointError;
+
+/// Errors raised by [`crate::CrossInsightTrader`].
+#[derive(Debug)]
+pub enum CitError {
+    /// The configuration is inconsistent (window too short for the DWT
+    /// levels, no policies, training span too short, …).
+    Config(String),
+    /// Saving or loading a checkpoint failed.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for CitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CitError::Config(m) => write!(f, "configuration error: {m}"),
+            CitError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CitError::Checkpoint(e) => Some(e),
+            CitError::Config(_) => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for CitError {
+    fn from(e: CheckpointError) -> Self {
+        CitError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CitError::Config("window 4 too short".into());
+        assert!(e.to_string().contains("too short"));
+        let e: CitError = CheckpointError::Malformed("bad header".into()).into();
+        assert!(e.to_string().contains("bad header"));
+    }
+}

@@ -23,6 +23,7 @@ mod actor;
 mod config;
 mod critic;
 mod decomposition;
+mod error;
 mod eval;
 mod trainer;
 
@@ -30,5 +31,6 @@ pub use actor::{one_hot, CitActor};
 pub use config::{ActorBody, CitConfig, CriticMode};
 pub use critic::{market_state, CentralCritic, CriticNet, DecCritics};
 pub use decomposition::{horizon_windows, raw_window, HorizonWindowCache};
+pub use error::CitError;
 pub use eval::{per_policy_curves, PolicyCurves};
 pub use trainer::{CrossInsightTrader, Decision};

@@ -6,15 +6,18 @@ use crate::actor::{one_hot, CitActor};
 use crate::config::{CitConfig, CriticMode};
 use crate::critic::{market_state, CriticNet};
 use crate::decomposition::{raw_window, HorizonWindowCache};
+use crate::error::CitError;
 use cit_compute::{chunk_ranges, parallel_map, resolve_threads};
 use cit_dwt::DwtCacheStats;
-use cit_market::{AssetPanel, DecisionContext, EnvConfig, PortfolioEnv, Strategy};
-use cit_nn::{Adam, Ctx, ParamId, ParamStore};
+use cit_market::{AssetPanel, DecisionContext, EnvConfig, EnvSnapshot, PortfolioEnv, Strategy};
+use cit_nn::serialize::{self, CheckpointError, TrainState, TrainerState};
+use cit_nn::{Adam, AdamState, Ctx, OptimState, ParamId, ParamStore};
 use cit_rl::{normalize_advantages, returns::lambda_targets, TrainReport};
 use cit_telemetry::{Record, Telemetry};
 use cit_tensor::{softmax_last_tensor, GraphPool, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 
 /// Everything produced by one decision pass of all policies at a day `t`.
 pub struct Decision {
@@ -41,6 +44,109 @@ pub struct Decision {
     pub raw: Tensor,
 }
 
+/// Mid-training progress carried across a save/resume cycle: everything
+/// beyond parameters, optimizer moments and the RNG stream that the
+/// training loop needs to continue bit-identically from where it stopped.
+#[derive(Debug, Clone)]
+struct Progress {
+    /// Environment steps taken so far.
+    steps: usize,
+    /// Optimiser updates applied so far.
+    update_idx: usize,
+    /// Per-update mean rewards accumulated so far (the learning curve).
+    update_rewards: Vec<f64>,
+    /// Each horizon policy's previous action.
+    prev_actions: Vec<Vec<f64>>,
+    /// The training environment's state (day, wealth, drifted weights).
+    env: EnvSnapshot,
+}
+
+impl Progress {
+    /// Flattens the progress into the name-keyed [`TrainerState`] the v2
+    /// checkpoint format round-trips.
+    fn encode(&self) -> TrainerState {
+        let mut state = TrainerState {
+            counters: vec![
+                ("steps".into(), self.steps as u64),
+                ("update_idx".into(), self.update_idx as u64),
+                ("env_day".into(), self.env.t as u64),
+            ],
+            series: vec![
+                ("env_wealth".into(), vec![self.env.wealth]),
+                ("env_peak_wealth".into(), vec![self.env.peak_wealth]),
+                ("env_weights".into(), self.env.weights.clone()),
+                (
+                    "prev_actions".into(),
+                    self.prev_actions.iter().flatten().copied().collect(),
+                ),
+            ],
+        };
+        if !self.update_rewards.is_empty() {
+            state
+                .series
+                .push(("update_rewards".into(), self.update_rewards.clone()));
+        }
+        state
+    }
+
+    /// Rebuilds the progress from a loaded [`TrainerState`], validating the
+    /// shapes against the trader's `n` policies over `m` assets. An empty
+    /// state (v1 file, or a save taken before any training) maps to `None`.
+    fn decode(state: &TrainerState, n: usize, m: usize) -> Result<Option<Self>, CheckpointError> {
+        if state.is_empty() {
+            return Ok(None);
+        }
+        let counter = |name: &str| {
+            state.counter(name).ok_or_else(|| {
+                CheckpointError::Malformed(format!("missing trainer counter {name}"))
+            })
+        };
+        let series = |name: &str| {
+            state
+                .series(name)
+                .ok_or_else(|| CheckpointError::Malformed(format!("missing trainer series {name}")))
+        };
+        let scalar = |name: &str| {
+            let s = series(name)?;
+            if s.len() != 1 {
+                return Err(CheckpointError::Malformed(format!(
+                    "trainer series {name} must hold exactly one value"
+                )));
+            }
+            Ok(s[0])
+        };
+        let weights = series("env_weights")?.to_vec();
+        if weights.len() != m {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint env_weights has {} assets, model has {m}",
+                weights.len()
+            )));
+        }
+        let flat = series("prev_actions")?;
+        if flat.len() != n * m {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint prev_actions has {} values, model needs {n}×{m}",
+                flat.len()
+            )));
+        }
+        Ok(Some(Progress {
+            steps: counter("steps")? as usize,
+            update_idx: counter("update_idx")? as usize,
+            update_rewards: state
+                .series("update_rewards")
+                .map(<[f64]>::to_vec)
+                .unwrap_or_default(),
+            prev_actions: flat.chunks(m).map(<[f64]>::to_vec).collect(),
+            env: EnvSnapshot {
+                t: counter("env_day")? as usize,
+                wealth: scalar("env_wealth")?,
+                peak_wealth: scalar("env_peak_wealth")?,
+                weights,
+            },
+        }))
+    }
+}
+
 /// The full cross-insight trader model.
 pub struct CrossInsightTrader {
     cfg: CitConfig,
@@ -61,18 +167,45 @@ pub struct CrossInsightTrader {
     dwt: HorizonWindowCache,
     /// Recycled graph arenas for every forward/backward pass.
     pool: GraphPool,
+    /// Adam moments of the most recent training run (carried so
+    /// [`CrossInsightTrader::save`] captures the full optimiser state).
+    opt_state: Option<AdamState>,
+    /// Mid-training progress, either captured by the last `train` call or
+    /// restored by [`CrossInsightTrader::load`].
+    progress: Option<Progress>,
+    /// Set only by `load`: the next `train` call continues from `progress`
+    /// instead of starting fresh.
+    resume_pending: bool,
+    /// Destination of periodic auto-checkpoints (see
+    /// [`CitConfig::checkpoint_every`]).
+    checkpoint_path: Option<PathBuf>,
 }
 
 impl CrossInsightTrader {
     /// Builds the model for a panel (network sizes depend on asset count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent configuration; use
+    /// [`CrossInsightTrader::try_new`] for a recoverable error instead.
     pub fn new(panel: &AssetPanel, cfg: CitConfig) -> Self {
-        assert!(cfg.num_policies >= 1, "need at least one horizon policy");
-        assert!(
-            cfg.window >= 1 << (cfg.num_policies - 1).max(1),
-            "window {} too short for {} DWT levels",
-            cfg.window,
-            cfg.num_policies - 1
-        );
+        Self::try_new(panel, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the model for a panel, returning a typed error when the
+    /// configuration is inconsistent (instead of panicking like
+    /// [`CrossInsightTrader::new`]).
+    pub fn try_new(panel: &AssetPanel, cfg: CitConfig) -> Result<Self, CitError> {
+        if cfg.num_policies < 1 {
+            return Err(CitError::Config("need at least one horizon policy".into()));
+        }
+        if cfg.window < 1 << (cfg.num_policies - 1).max(1) {
+            return Err(CitError::Config(format!(
+                "window {} too short for {} DWT levels",
+                cfg.window,
+                cfg.num_policies - 1
+            )));
+        }
         let m = panel.num_assets();
         let n = cfg.num_policies;
         let mut store = ParamStore::new();
@@ -83,7 +216,7 @@ impl CrossInsightTrader {
         let cross_actor = CitActor::new(&mut store, &mut rng, "cross", &cfg, m, n * m);
         let critic = CriticNet::new(&mut store, &mut rng, &cfg, m);
         let eval_prev = vec![vec![1.0 / m as f64; m]; n];
-        CrossInsightTrader {
+        Ok(CrossInsightTrader {
             cfg,
             num_assets: m,
             store,
@@ -97,7 +230,30 @@ impl CrossInsightTrader {
             threads: resolve_threads(cfg.threads),
             dwt: HorizonWindowCache::new(m, cfg.window, n),
             pool: GraphPool::new(),
-        }
+            opt_state: None,
+            progress: None,
+            resume_pending: false,
+            checkpoint_path: None,
+        })
+    }
+
+    /// Builder: enables periodic auto-checkpointing to `path`. A full v2
+    /// checkpoint is written atomically every
+    /// [`CitConfig::checkpoint_every`] optimiser updates (never, when that
+    /// is 0).
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Sets or clears the auto-checkpoint destination in place.
+    pub fn set_checkpoint_path(&mut self, path: Option<PathBuf>) {
+        self.checkpoint_path = path;
+    }
+
+    /// The auto-checkpoint destination in force, if any.
+    pub fn checkpoint_path(&self) -> Option<&Path> {
+        self.checkpoint_path.as_deref()
     }
 
     /// Attaches a telemetry handle: training then emits per-update
@@ -258,7 +414,25 @@ impl CrossInsightTrader {
 
     /// Trains on the panel's training period, recording per-update mean
     /// rewards (the learning curves of Figure 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the training period is too short or a checkpoint write
+    /// fails; use [`CrossInsightTrader::try_train`] for typed errors.
     pub fn train(&mut self, panel: &AssetPanel) -> TrainReport {
+        self.try_train(panel).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Trains on the panel's training period, returning a typed error for
+    /// configuration problems instead of panicking.
+    ///
+    /// When the trader was restored via [`CrossInsightTrader::load`] from a
+    /// checkpoint that carried training progress, this continues that run
+    /// bit-identically — same optimizer moments, RNG stream, environment
+    /// state and step counters — until `cfg.total_steps` is reached.
+    /// Otherwise training starts fresh (calling `try_train` twice retrains
+    /// from scratch both times).
+    pub fn try_train(&mut self, panel: &AssetPanel) -> Result<TrainReport, CitError> {
         let cfg = self.cfg;
         let (m, n) = (self.num_assets, cfg.num_policies);
         let env_cfg = EnvConfig {
@@ -267,7 +441,18 @@ impl CrossInsightTrader {
         };
         let start = cfg.min_start();
         let end = panel.test_start();
-        assert!(start + 2 < end, "training period too short");
+        if start + 2 >= end {
+            return Err(CitError::Config(format!(
+                "training period too short: first decidable day {start}, test starts at {end}"
+            )));
+        }
+        if cfg.critic_mode == CriticMode::Counterfactual
+            && !matches!(self.critic, CriticNet::Central(_))
+        {
+            return Err(CitError::Config(
+                "counterfactual baselines require the centralised critic".into(),
+            ));
+        }
         let mut env = PortfolioEnv::new(panel, env_cfg, start, end);
         let mut opt = Adam::new(cfg.lr, cfg.weight_decay);
         let uniform = vec![1.0 / m as f64; m];
@@ -278,6 +463,33 @@ impl CrossInsightTrader {
         let step_counter = tel.counter("train.env_steps");
         let update_counter = tel.counter("train.updates");
         let mut update_idx = 0usize;
+
+        // Continue a run restored by `load` (the flag is consumed, so a
+        // later `try_train` on the same trader starts fresh again).
+        if std::mem::take(&mut self.resume_pending) {
+            if let Some(p) = self.progress.take() {
+                if p.env.t < start || p.env.t >= end {
+                    return Err(CitError::Config(format!(
+                        "checkpoint environment day {} outside this panel's training span [{start}, {end})",
+                        p.env.t
+                    )));
+                }
+                env.restore(&p.env);
+                prev_actions = p.prev_actions;
+                steps = p.steps;
+                update_idx = p.update_idx;
+                update_rewards = p.update_rewards;
+                if let Some(state) = self.opt_state.take() {
+                    opt.import_state(state);
+                }
+                tel.emit(
+                    Record::new("checkpoint.resume")
+                        .with("scope", "trainer")
+                        .with("steps", steps)
+                        .with("update", update_idx),
+                );
+            }
+        }
 
         while steps < cfg.total_steps {
             let _update_timer = tel.span("train.update");
@@ -560,7 +772,33 @@ impl CrossInsightTrader {
                 );
             }
             update_idx += 1;
+
+            // Periodic crash-safe checkpoint at the update boundary, where
+            // the optimiser, RNG and environment are all consistent.
+            if cfg.checkpoint_every > 0 && update_idx.is_multiple_of(cfg.checkpoint_every) {
+                if let Some(path) = self.checkpoint_path.clone() {
+                    let progress = Progress {
+                        steps,
+                        update_idx,
+                        update_rewards: update_rewards.clone(),
+                        prev_actions: prev_actions.clone(),
+                        env: env.snapshot(),
+                    };
+                    self.write_checkpoint(&path, &opt, &progress)?;
+                }
+            }
         }
+        // Capture the final training state so `save` persists a checkpoint
+        // that a fresh trader can `load` and continue from (e.g. with a
+        // larger `total_steps`).
+        self.opt_state = Some(opt.export_state());
+        self.progress = Some(Progress {
+            steps,
+            update_idx,
+            update_rewards: update_rewards.clone(),
+            prev_actions,
+            env: env.snapshot(),
+        });
         tel.gauge("train.final_mean_reward")
             .set(update_rewards.last().copied().unwrap_or(0.0));
         let report = TrainReport {
@@ -568,7 +806,31 @@ impl CrossInsightTrader {
             steps,
         };
         self.last_report = Some(report.clone());
-        report
+        Ok(report)
+    }
+
+    /// Writes a full v2 checkpoint (atomically) and emits a
+    /// `checkpoint.save` telemetry record.
+    fn write_checkpoint(
+        &self,
+        path: &Path,
+        opt: &Adam,
+        progress: &Progress,
+    ) -> Result<(), CitError> {
+        let state = TrainState {
+            optimizer: Some(OptimState::Adam(opt.export_state())),
+            rng: Some(self.rng.state()),
+            trainer: progress.encode(),
+        };
+        serialize::save_v2(&self.store, &state, path)?;
+        self.telemetry.emit(
+            Record::new("checkpoint.save")
+                .with("scope", "trainer")
+                .with("steps", progress.steps)
+                .with("update", progress.update_idx)
+                .with("path", path.display().to_string()),
+        );
+        Ok(())
     }
 
     /// Mean `log σ` across every Gaussian head, and the mean closed-form
@@ -622,22 +884,70 @@ impl CrossInsightTrader {
         (d.pre_actions, d.final_action)
     }
 
-    /// Saves all trained parameters to `path` (see [`cit_nn::serialize`]).
-    pub fn save(
-        &self,
-        path: impl AsRef<std::path::Path>,
-    ) -> Result<(), cit_nn::serialize::CheckpointError> {
-        cit_nn::serialize::save(&self.store, path)
+    /// Saves a full v2 checkpoint to `path` (see [`cit_nn::serialize`]):
+    /// parameters, plus — when the trader has trained — the Adam moments,
+    /// the RNG stream and the training progress, so a fresh trader that
+    /// [`CrossInsightTrader::load`]s the file continues the run
+    /// bit-identically. The write is atomic (temp file + fsync + rename).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let state = TrainState {
+            optimizer: self.opt_state.clone().map(OptimState::Adam),
+            rng: Some(self.rng.state()),
+            trainer: self
+                .progress
+                .as_ref()
+                .map(Progress::encode)
+                .unwrap_or_default(),
+        };
+        serialize::save_v2(&self.store, &state, path)?;
+        self.telemetry.emit(
+            Record::new("checkpoint.save")
+                .with("scope", "trainer")
+                .with("steps", self.progress.as_ref().map_or(0, |p| p.steps))
+                .with("path", path.display().to_string()),
+        );
+        Ok(())
     }
 
-    /// Restores parameters from a checkpoint written by
-    /// [`CrossInsightTrader::save`]. The trader must be constructed with
-    /// the same configuration and panel shape first.
-    pub fn load(
-        &mut self,
-        path: impl AsRef<std::path::Path>,
-    ) -> Result<(), cit_nn::serialize::CheckpointError> {
-        cit_nn::serialize::load(&mut self.store, path)
+    /// Restores a checkpoint written by [`CrossInsightTrader::save`] (v2)
+    /// or any legacy v1 params-only file. The trader must be constructed
+    /// with the same configuration and panel shape first.
+    ///
+    /// A v2 checkpoint carrying training progress arms the next
+    /// [`CrossInsightTrader::train`] call to resume that run exactly; a v1
+    /// (or progress-free) file restores parameters only and the next
+    /// `train` starts fresh.
+    pub fn load(&mut self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let state = serialize::load_full(&mut self.store, path)?;
+        self.opt_state = match state.optimizer {
+            Some(OptimState::Adam(a)) => Some(a),
+            Some(OptimState::Sgd(_)) => {
+                return Err(CheckpointError::Mismatch(
+                    "checkpoint carries SGD state but the trader optimises with Adam".into(),
+                ))
+            }
+            None => None,
+        };
+        if let Some(s) = state.rng {
+            if s.iter().all(|&w| w == 0) {
+                return Err(CheckpointError::Malformed(
+                    "all-zero RNG state is invalid for xoshiro256++".into(),
+                ));
+            }
+            self.rng = StdRng::from_state(s);
+        }
+        self.progress = Progress::decode(&state.trainer, self.cfg.num_policies, self.num_assets)?;
+        self.resume_pending = self.progress.is_some();
+        self.telemetry.emit(
+            Record::new("checkpoint.resume")
+                .with("scope", "trainer")
+                .with("steps", self.progress.as_ref().map_or(0, |p| p.steps))
+                .with("resumable", if self.resume_pending { 1 } else { 0 })
+                .with("path", path.display().to_string()),
+        );
+        Ok(())
     }
 
     /// Name-keyed copies of every parameter value, in registration order.

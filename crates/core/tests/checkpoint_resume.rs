@@ -1,0 +1,275 @@
+//! End-to-end guarantees of the v2 full-training-state checkpoint: a run
+//! that is killed and resumed must be bitwise-identical to one that never
+//! stopped, crashes mid-save must never corrupt an existing checkpoint,
+//! and legacy v1 params-only files must still load.
+
+use cit_core::{CitConfig, CrossInsightTrader};
+use cit_market::{AssetPanel, SynthConfig};
+
+fn panel() -> AssetPanel {
+    SynthConfig {
+        num_assets: 3,
+        num_days: 220,
+        test_start: 160,
+        ..Default::default()
+    }
+    .generate()
+}
+
+fn cfg_with_steps(seed: u64, total_steps: usize) -> CitConfig {
+    let mut cfg = CitConfig::smoke(seed);
+    cfg.total_steps = total_steps;
+    cfg
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cit_ckpt_test_{}_{name}", std::process::id()));
+    p
+}
+
+fn params_equal(a: &[(String, Vec<f32>)], b: &[(String, Vec<f32>)]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|((na, va), (nb, vb))| {
+            na == nb
+                && va.len() == vb.len()
+                && va.iter().zip(vb).all(|(x, y)| x.to_bits() == y.to_bits())
+        })
+}
+
+/// Headline guarantee: train 2N steps straight vs train N → save → fresh
+/// trader → load → train to 2N. Parameters and the learning curve must be
+/// bitwise identical.
+#[test]
+fn resume_is_bitwise_identical_to_straight_run() {
+    let p = panel();
+    let (half, full) = (96, 192);
+
+    let mut straight = CrossInsightTrader::new(&p, cfg_with_steps(11, full));
+    let straight_report = straight.train(&p);
+
+    let path = tmp_path("resume_bitwise.cit");
+    let mut first = CrossInsightTrader::new(&p, cfg_with_steps(11, half));
+    first.train(&p);
+    first.save(&path).expect("save mid-run checkpoint");
+    drop(first); // the "kill"
+
+    let mut resumed = CrossInsightTrader::new(&p, cfg_with_steps(11, full));
+    resumed.load(&path).expect("load mid-run checkpoint");
+    let resumed_report = resumed.train(&p);
+
+    assert_eq!(straight_report.steps, resumed_report.steps);
+    assert_eq!(
+        straight_report.update_rewards, resumed_report.update_rewards,
+        "learning curves must match bitwise"
+    );
+    assert!(
+        params_equal(&straight.export_params(), &resumed.export_params()),
+        "parameters must match bitwise after resume"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Auto-checkpoints written every `checkpoint_every` updates are
+/// themselves resumable: killing after the last auto-save and resuming
+/// from that file reproduces the uninterrupted run bitwise.
+#[test]
+fn auto_checkpoint_resumes_after_kill() {
+    let p = panel();
+    let (half, full) = (96, 192);
+    let path = tmp_path("auto_ckpt.cit");
+
+    let mut straight = CrossInsightTrader::new(&p, cfg_with_steps(12, full));
+    let straight_report = straight.train(&p);
+
+    // rollout=16 → 96 steps = 6 updates → auto-saves at updates 2, 4, 6.
+    let mut cfg = cfg_with_steps(12, half);
+    cfg.checkpoint_every = 2;
+    let (tel, sink) = cit_telemetry::Telemetry::memory();
+    let mut first = CrossInsightTrader::new(&p, cfg)
+        .with_telemetry(tel)
+        .with_checkpoint(&path);
+    first.train(&p);
+    assert_eq!(
+        sink.by_kind("checkpoint.save").len(),
+        3,
+        "one auto-save per 2 updates"
+    );
+    drop(first); // the "kill": only the auto-saved file survives
+
+    let (tel2, sink2) = cit_telemetry::Telemetry::memory();
+    let mut resumed = CrossInsightTrader::new(&p, cfg_with_steps(12, full)).with_telemetry(tel2);
+    resumed.load(&path).expect("load auto-checkpoint");
+    let resumed_report = resumed.train(&p);
+
+    assert_eq!(sink2.by_kind("checkpoint.resume").len(), 2); // load + train
+    assert_eq!(
+        straight_report.update_rewards,
+        resumed_report.update_rewards
+    );
+    assert!(params_equal(
+        &straight.export_params(),
+        &resumed.export_params()
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A crash while writing a newer checkpoint (truncated temp file) must
+/// leave the previous checkpoint fully loadable.
+#[test]
+fn crash_during_save_leaves_previous_checkpoint_loadable() {
+    let p = panel();
+    let path = tmp_path("crash_save.cit");
+    let mut trader = CrossInsightTrader::new(&p, cfg_with_steps(13, 96));
+    trader.train(&p);
+    trader.save(&path).expect("save checkpoint");
+
+    // Simulate a crash mid-write of the *next* save: a truncated temp file
+    // next to the real checkpoint.
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    std::fs::write(&tmp, "cit-params v2\n[params]\npi0.w\t2,2\t1e0 ").expect("write tmp");
+
+    let mut restored = CrossInsightTrader::new(&p, cfg_with_steps(13, 96));
+    restored.load(&path).expect("previous checkpoint intact");
+    assert!(params_equal(
+        &trader.export_params(),
+        &restored.export_params()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&tmp);
+}
+
+/// A legacy v1 params-only file (extracted from the v2 [params] section)
+/// still loads: parameters restored, no resume armed.
+#[test]
+fn v1_params_only_checkpoint_still_loads() {
+    let p = panel();
+    let path = tmp_path("v2_for_v1.cit");
+    let mut trader = CrossInsightTrader::new(&p, cfg_with_steps(14, 96));
+    trader.train(&p);
+    trader.save(&path).expect("save v2");
+
+    // Rebuild the equivalent v1 file: header + the [params] section lines
+    // (the per-parameter line format is identical across versions).
+    let text = std::fs::read_to_string(&path).expect("read v2");
+    let mut v1 = String::from("cit-params v1\n");
+    let mut in_params = false;
+    for line in text.lines() {
+        if line == "[params]" {
+            in_params = true;
+        } else if line.starts_with('[') {
+            in_params = false;
+        } else if in_params {
+            v1.push_str(line);
+            v1.push('\n');
+        }
+    }
+    let v1_path = tmp_path("legacy_v1.cit");
+    std::fs::write(&v1_path, v1).expect("write v1");
+
+    let mut restored = CrossInsightTrader::new(&p, cfg_with_steps(14, 96));
+    restored.load(&v1_path).expect("v1 file loads");
+    assert!(params_equal(
+        &trader.export_params(),
+        &restored.export_params()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&v1_path);
+}
+
+/// A progress-free v2 checkpoint (saved before any training) restores the
+/// fresh RNG/params, so training after load matches a fresh trader bitwise.
+#[test]
+fn untrained_checkpoint_trains_like_fresh_trader() {
+    let p = panel();
+    let path = tmp_path("untrained.cit");
+    let untrained = CrossInsightTrader::new(&p, cfg_with_steps(15, 96));
+    untrained.save(&path).expect("save untrained");
+
+    let mut fresh = CrossInsightTrader::new(&p, cfg_with_steps(15, 96));
+    let fresh_report = fresh.train(&p);
+
+    let mut loaded = CrossInsightTrader::new(&p, cfg_with_steps(15, 96));
+    loaded.load(&path).expect("load untrained checkpoint");
+    let loaded_report = loaded.train(&p);
+
+    assert_eq!(fresh_report.update_rewards, loaded_report.update_rewards);
+    assert!(params_equal(
+        &fresh.export_params(),
+        &loaded.export_params()
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `train` called twice on the same trader retrains from scratch the
+/// second time — resume only arms via `load`.
+#[test]
+fn second_train_call_retrains_instead_of_resuming() {
+    let p = panel();
+    let mut trader = CrossInsightTrader::new(&p, cfg_with_steps(16, 96));
+    let first = trader.train(&p);
+    let params_after_first = trader.export_params();
+    let second = trader.train(&p);
+    assert_eq!(first.update_rewards.len(), second.update_rewards.len());
+    assert!(
+        !params_equal(&params_after_first, &trader.export_params()),
+        "second train must actually run more updates"
+    );
+}
+
+/// Corrupt and non-finite checkpoints are rejected with typed errors, not
+/// panics or silent half-loads.
+#[test]
+fn corrupt_checkpoints_are_rejected() {
+    let p = panel();
+    let garbage = tmp_path("garbage.cit");
+    std::fs::write(&garbage, "not a checkpoint at all\n").expect("write garbage");
+    let mut trader = CrossInsightTrader::new(&p, cfg_with_steps(17, 96));
+    assert!(trader.load(&garbage).is_err());
+
+    // Inject a NaN into an otherwise valid checkpoint.
+    let path = tmp_path("nan.cit");
+    let mut trained = CrossInsightTrader::new(&p, cfg_with_steps(17, 96));
+    trained.train(&p);
+    trained.save(&path).expect("save");
+    let text = std::fs::read_to_string(&path).expect("read");
+    let corrupted = text.replacen("[rng]", "[trainer]\nseries\tenv_wealth\t1\tNaN\n[rng]", 1);
+    std::fs::write(&path, corrupted).expect("rewrite");
+    let mut other = CrossInsightTrader::new(&p, cfg_with_steps(17, 96));
+    assert!(other.load(&path).is_err(), "NaN series must be rejected");
+
+    let _ = std::fs::remove_file(&garbage);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The typed constructors surface configuration errors instead of
+/// panicking (the panicking `new`/`train` wrappers stay for tests).
+#[test]
+fn typed_errors_for_bad_configurations() {
+    let p = panel();
+    let mut cfg = CitConfig::smoke(18);
+    cfg.num_policies = 6;
+    cfg.window = 16; // needs 2^5 = 32
+    let Err(err) = CrossInsightTrader::try_new(&p, cfg) else {
+        panic!("expected a config error");
+    };
+    assert!(err.to_string().contains("too short"), "{err}");
+
+    // A panel whose test period starts before any decision is possible.
+    let tiny = SynthConfig {
+        num_assets: 3,
+        num_days: 40,
+        test_start: 17,
+        ..Default::default()
+    }
+    .generate();
+    let mut trader = CrossInsightTrader::try_new(&tiny, CitConfig::smoke(18)).expect("valid cfg");
+    let Err(err) = trader.try_train(&tiny) else {
+        panic!("expected a span error");
+    };
+    assert!(
+        err.to_string().contains("training period too short"),
+        "{err}"
+    );
+}

@@ -27,6 +27,21 @@ impl Default for EnvConfig {
     }
 }
 
+/// Serializable snapshot of a [`PortfolioEnv`]'s mutable episode state
+/// (day, wealth, drawdown peak, drifted holdings), used by checkpoint
+/// resume to continue a training episode exactly where it stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvSnapshot {
+    /// The current decision day.
+    pub t: usize,
+    /// Wealth at the snapshot.
+    pub wealth: f64,
+    /// Highest wealth reached so far.
+    pub peak_wealth: f64,
+    /// Portfolio weights currently held (post-drift).
+    pub weights: Vec<f64>,
+}
+
 /// Result of one environment step.
 #[derive(Debug, Clone)]
 pub struct StepResult {
@@ -103,9 +118,11 @@ impl<'a> PortfolioEnv<'a> {
         Self::new(panel, cfg, panel.test_start(), panel.num_days())
     }
 
-    /// Convenience: an environment over the panel's training period.
+    /// Convenience: an environment over the panel's training period,
+    /// starting at the first day with a full look-back window behind it
+    /// (day `window − 1`, whose window covers days `0..window`).
     pub fn train_period(panel: &'a AssetPanel, cfg: EnvConfig) -> Self {
-        Self::new(panel, cfg, cfg.window.max(1) - 1 + 1, panel.test_start())
+        Self::new(panel, cfg, cfg.window.max(1) - 1, panel.test_start())
     }
 
     /// Resets wealth, weights and the clock.
@@ -139,9 +156,56 @@ impl<'a> PortfolioEnv<'a> {
         &self.weights
     }
 
+    /// Highest wealth reached so far (starts at 1.0).
+    pub fn peak_wealth(&self) -> f64 {
+        self.peak_wealth
+    }
+
+    /// Current drawdown from the wealth peak, in `[0, 1]`.
+    pub fn drawdown(&self) -> f64 {
+        1.0 - self.wealth / self.peak_wealth
+    }
+
     /// Wealth recorded after every step (first element 1.0).
     pub fn wealth_curve(&self) -> &[f64] {
         &self.wealth_curve
+    }
+
+    /// Captures the mutable episode state for checkpointing.
+    pub fn snapshot(&self) -> EnvSnapshot {
+        EnvSnapshot {
+            t: self.t,
+            wealth: self.wealth,
+            peak_wealth: self.peak_wealth,
+            weights: self.weights.clone(),
+        }
+    }
+
+    /// Restores episode state captured by [`PortfolioEnv::snapshot`]. The
+    /// wealth curve restarts from the restored wealth (history before the
+    /// snapshot is not retained).
+    ///
+    /// # Panics
+    /// Panics when the snapshot's day lies outside this environment's span
+    /// or its weight vector length mismatches the asset count.
+    pub fn restore(&mut self, snap: &EnvSnapshot) {
+        assert!(
+            snap.t >= self.start && snap.t < self.end,
+            "snapshot day {} outside span [{}, {})",
+            snap.t,
+            self.start,
+            self.end
+        );
+        assert_eq!(
+            snap.weights.len(),
+            self.panel.num_assets(),
+            "snapshot weight count mismatches panel"
+        );
+        self.t = snap.t;
+        self.wealth = snap.wealth;
+        self.peak_wealth = snap.peak_wealth;
+        self.weights = snap.weights.clone();
+        self.wealth_curve = vec![snap.wealth];
     }
 
     /// The underlying panel.
@@ -205,8 +269,9 @@ impl<'a> PortfolioEnv<'a> {
             simple_return: net - 1.0,
             done: self.t + 1 >= self.end,
         };
+        // Drawdown state must not depend on whether telemetry is attached.
+        self.peak_wealth = self.peak_wealth.max(self.wealth);
         if self.telemetry.is_enabled() {
-            self.peak_wealth = self.peak_wealth.max(self.wealth);
             self.telemetry.emit(
                 Record::new("env.step")
                     .with("t", self.t - 1)
@@ -407,6 +472,85 @@ mod tests {
             assert!(r.get_f64("turnover").unwrap() >= 0.0);
             assert!(r.get_f64("concentration").unwrap() >= 1.0 / m as f64 - 1e-12);
         }
+    }
+
+    #[test]
+    fn train_period_starts_at_first_decidable_day() {
+        // The earliest day with a full window of history is `window - 1`
+        // (its window spans days 0..window). The old code started one day
+        // later, silently dropping the first decidable day.
+        let p = panel();
+        let cfg = EnvConfig {
+            window: 10,
+            transaction_cost: 0.0,
+        };
+        let env = PortfolioEnv::train_period(&p, cfg);
+        assert_eq!(env.current_day(), 9);
+        // And that day is genuinely legal for the window constraint.
+        assert_eq!(env.observation().len(), 4 * 4 * 10);
+    }
+
+    #[test]
+    fn peak_wealth_tracked_without_telemetry() {
+        let p = panel();
+        let cfg = EnvConfig {
+            window: 5,
+            transaction_cost: 0.0,
+        };
+        // Two identical runs, one with telemetry, one without: drawdown
+        // state must match exactly.
+        let run = |tel: Option<Telemetry>| {
+            let mut env = PortfolioEnv::new(&p, cfg, 10, 40);
+            if let Some(t) = tel {
+                env.set_telemetry(t);
+            }
+            let m = p.num_assets();
+            while !env.step(&vec![1.0 / m as f64; m]).done {}
+            (env.peak_wealth(), env.drawdown())
+        };
+        let (tel, _sink) = Telemetry::memory();
+        let plain = run(None);
+        let instrumented = run(Some(tel));
+        assert_eq!(plain, instrumented);
+        assert!(plain.0 >= 1.0, "peak never updated without telemetry");
+        assert!((0.0..=1.0).contains(&plain.1));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_episode_exactly() {
+        let p = panel();
+        let cfg = EnvConfig {
+            window: 5,
+            transaction_cost: 1e-3,
+        };
+        let m = p.num_assets();
+        let actions: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let mut a = vec![0.1; m];
+                a[i % m] = 1.0;
+                a
+            })
+            .collect();
+        // Straight run.
+        let mut straight = PortfolioEnv::new(&p, cfg, 10, 40);
+        for a in &actions {
+            straight.step(a);
+        }
+        // Split run: snapshot after 8 steps, restore into a fresh env.
+        let mut first = PortfolioEnv::new(&p, cfg, 10, 40);
+        for a in &actions[..8] {
+            first.step(a);
+        }
+        let snap = first.snapshot();
+        let mut resumed = PortfolioEnv::new(&p, cfg, 10, 40);
+        resumed.restore(&snap);
+        for a in &actions[8..] {
+            resumed.step(a);
+        }
+        assert_eq!(straight.wealth(), resumed.wealth());
+        assert_eq!(straight.current_day(), resumed.current_day());
+        assert_eq!(straight.weights(), resumed.weights());
+        assert_eq!(straight.peak_wealth(), resumed.peak_wealth());
     }
 
     #[test]

@@ -34,9 +34,14 @@ pub use backtest::{
 };
 pub use constraints::{ConstrainedStrategy, PortfolioConstraints};
 pub use csv::{panel_from_csv, panel_to_csv, save, series_to_csv, CsvError};
-pub use env::{project_to_simplex, weight_concentration, EnvConfig, PortfolioEnv, StepResult};
+pub use env::{
+    project_to_simplex, weight_concentration, EnvConfig, EnvSnapshot, PortfolioEnv, StepResult,
+};
 pub use metrics::Metrics;
 pub use panel::{AssetPanel, Feature, NUM_FEATURES};
 pub use presets::MarketPreset;
 pub use synth::{Regime, RegimeSegment, SynthConfig};
-pub use walkforward::{folds, walk_forward, Fold, WalkForwardConfig, WalkForwardResult};
+pub use walkforward::{
+    fold_result_path, folds, walk_forward, walk_forward_resumable, Fold, WalkForwardConfig,
+    WalkForwardError, WalkForwardResult,
+};

@@ -17,9 +17,19 @@ pub struct Metrics {
     pub cr: f64,
 }
 
+/// Bound on the Calmar ratio's magnitude. Near-zero drawdowns would
+/// otherwise blow the ratio up to ~1e8-scale values that leak into results
+/// tables and dominate any averaging; real strategies never sustain a
+/// Calmar anywhere close to this, so the clamp is inert for honest curves.
+pub const CALMAR_CAP: f64 = 1e3;
+
 /// Accumulative return of a wealth curve normalised to the first element.
+///
+/// Returns 0 for curves with fewer than two points (no completed step).
 pub fn accumulative_return(wealth: &[f64]) -> f64 {
-    assert!(wealth.len() >= 2, "wealth curve too short");
+    if wealth.len() < 2 {
+        return 0.0;
+    }
     wealth.last().expect("non-empty") / wealth[0] - 1.0
 }
 
@@ -58,8 +68,12 @@ pub fn max_drawdown(wealth: &[f64]) -> f64 {
 }
 
 /// Annualised return of a wealth curve.
+///
+/// Returns 0 for curves with fewer than two points (no completed step).
 pub fn annualized_return(wealth: &[f64]) -> f64 {
-    assert!(wealth.len() >= 2, "wealth curve too short");
+    if wealth.len() < 2 {
+        return 0.0;
+    }
     let total = wealth.last().expect("non-empty") / wealth[0];
     let years = (wealth.len() - 1) as f64 / TRADING_DAYS;
     if total <= 0.0 {
@@ -68,15 +82,23 @@ pub fn annualized_return(wealth: &[f64]) -> f64 {
     total.powf(1.0 / years) - 1.0
 }
 
-/// Calmar ratio: annualised return over maximum drawdown. Falls back to the
-/// sign of the annualised return scaled large when drawdown is ~0.
+/// Calmar ratio: annualised return over maximum drawdown, clamped to
+/// `±`[`CALMAR_CAP`]. A drawdown-free curve maps to `±CALMAR_CAP` (sign of
+/// the annualised return, 0 when flat) instead of the astronomically large
+/// values a raw `ann / ε` fallback would produce.
 pub fn calmar_ratio(wealth: &[f64]) -> f64 {
     let ann = annualized_return(wealth);
     let mdd = max_drawdown(wealth);
-    if mdd < 1e-9 {
-        return ann / 1e-9;
-    }
-    ann / mdd
+    let raw = if mdd < 1e-9 {
+        if ann == 0.0 {
+            0.0
+        } else {
+            ann.signum() * CALMAR_CAP
+        }
+    } else {
+        ann / mdd
+    };
+    raw.clamp(-CALMAR_CAP, CALMAR_CAP)
 }
 
 /// Computes all metrics from a wealth curve and its daily returns.
@@ -145,6 +167,29 @@ mod tests {
         // 253 points = 252 daily steps = exactly one year.
         let w: Vec<f64> = (0..253).map(|i| 1.0 + 0.2 * i as f64 / 252.0).collect();
         assert!((annualized_return(&w) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calmar_capped_for_drawdown_free_curves() {
+        // Monotone rise: mdd = 0 → the old code returned ann/1e-9 ≈ 1e8+.
+        let up: Vec<f64> = (0..100).map(|i| 1.0 + 0.001 * i as f64).collect();
+        assert_eq!(calmar_ratio(&up), CALMAR_CAP);
+        // Flat curve: no return, no drawdown → 0, not NaN or ±cap.
+        assert_eq!(calmar_ratio(&[1.0, 1.0, 1.0]), 0.0);
+        // Tiny but nonzero drawdown still clamps.
+        let w = [1.0, 2.0, 2.0 - 1e-12, 4.0];
+        assert!(calmar_ratio(&w).abs() <= CALMAR_CAP);
+    }
+
+    #[test]
+    fn short_curves_are_safe_not_panicking() {
+        assert_eq!(accumulative_return(&[]), 0.0);
+        assert_eq!(accumulative_return(&[1.0]), 0.0);
+        assert_eq!(annualized_return(&[]), 0.0);
+        assert_eq!(annualized_return(&[1.0]), 0.0);
+        let m = compute(&[1.0], &[]);
+        assert_eq!(m.ar, 0.0);
+        assert_eq!(m.cr, 0.0);
     }
 
     #[test]

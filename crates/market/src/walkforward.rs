@@ -7,6 +7,9 @@ use crate::backtest::{run_backtest, BacktestResult, Strategy};
 use crate::env::EnvConfig;
 use crate::metrics::{compute, Metrics};
 use crate::panel::AssetPanel;
+use cit_telemetry::{Record, Telemetry};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Configuration of a walk-forward evaluation.
 #[derive(Debug, Clone, Copy)]
@@ -109,6 +112,256 @@ pub fn walk_forward(
     }
 }
 
+/// Errors raised by the fault-tolerant walk-forward runner.
+#[derive(Debug)]
+pub enum WalkForwardError {
+    /// Underlying I/O failure while persisting or reading fold results.
+    Io(std::io::Error),
+    /// The panel is too short for a single fold under the configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for WalkForwardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalkForwardError::Io(e) => write!(f, "walk-forward io error: {e}"),
+            WalkForwardError::Config(m) => write!(f, "walk-forward config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalkForwardError {}
+
+impl From<std::io::Error> for WalkForwardError {
+    fn from(e: std::io::Error) -> Self {
+        WalkForwardError::Io(e)
+    }
+}
+
+const FOLD_HEADER: &str = "cit-fold v1";
+
+/// Path of fold `i`'s persisted result under `dir`.
+pub fn fold_result_path(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("fold_{i:04}.cit"))
+}
+
+fn write_series(out: &mut String, tag: &str, vals: &[f64]) {
+    let _ = write!(out, "{tag}\t{}\t", vals.len());
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        // `{:e}` is shortest-roundtrip, so reloaded folds stitch to the
+        // bitwise-identical wealth curve an uninterrupted run produces.
+        let _ = write!(out, "{v:e}");
+    }
+    out.push('\n');
+}
+
+fn fold_result_to_string(fold: &Fold, res: &BacktestResult) -> String {
+    let mut out = String::new();
+    out.push_str(FOLD_HEADER);
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "span\t{}\t{}\t{}",
+        fold.train_start, fold.test_start, fold.test_end
+    );
+    let _ = writeln!(out, "name\t{}", res.name);
+    write_series(&mut out, "wealth", &res.wealth);
+    write_series(&mut out, "daily", &res.daily_returns);
+    let cols = res.weights.first().map_or(0, Vec::len);
+    let flat: Vec<f64> = res.weights.iter().flatten().copied().collect();
+    let _ = write!(out, "weights\t{}\t{cols}\t", res.weights.len());
+    for (i, v) in flat.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{v:e}");
+    }
+    out.push('\n');
+    out
+}
+
+/// Parses a persisted fold result; `None` on any malformed/corrupt content
+/// or when the recorded span mismatches `fold` (the fold is then re-run).
+fn fold_result_from_string(fold: &Fold, text: &str) -> Option<BacktestResult> {
+    let mut lines = text.lines();
+    if lines.next()?.trim() != FOLD_HEADER {
+        return None;
+    }
+    let mut name = String::new();
+    let mut wealth: Option<Vec<f64>> = None;
+    let mut daily: Option<Vec<f64>> = None;
+    let mut weights: Option<Vec<Vec<f64>>> = None;
+    let parse_vals = |s: &str, len: usize| -> Option<Vec<f64>> {
+        let vs: Vec<f64> = s
+            .split(' ')
+            .filter(|p| !p.is_empty())
+            .map(|p| p.parse::<f64>().ok().filter(|v| v.is_finite()))
+            .collect::<Option<_>>()?;
+        (vs.len() == len).then_some(vs)
+    };
+    for line in lines {
+        let (tag, rest) = line.split_once('\t')?;
+        match tag {
+            "span" => {
+                let mut f = rest.split('\t').map(|p| p.parse::<usize>().ok());
+                let span = (f.next()??, f.next()??, f.next()??);
+                if span != (fold.train_start, fold.test_start, fold.test_end) {
+                    return None;
+                }
+            }
+            "name" => name = rest.to_string(),
+            "wealth" | "daily" => {
+                let (len, vals) = rest.split_once('\t')?;
+                let len: usize = len.parse().ok()?;
+                let vs = parse_vals(vals, len)?;
+                if tag == "wealth" {
+                    wealth = Some(vs);
+                } else {
+                    daily = Some(vs);
+                }
+            }
+            "weights" => {
+                let mut f = rest.splitn(3, '\t');
+                let rows: usize = f.next()?.parse().ok()?;
+                let cols: usize = f.next()?.parse().ok()?;
+                let flat = parse_vals(f.next()?, rows * cols)?;
+                weights = Some(flat.chunks(cols.max(1)).map(<[f64]>::to_vec).collect());
+            }
+            _ => return None,
+        }
+    }
+    let wealth = wealth?;
+    let daily = daily?;
+    // The test span t ∈ [test_start, test_end) realises test_end−test_start−1
+    // returns; a mismatched curve means the file is stale or truncated.
+    if wealth.len() != fold.test_end - fold.test_start || daily.len() + 1 != wealth.len() {
+        return None;
+    }
+    let metrics = compute(&wealth, &daily);
+    Some(BacktestResult {
+        name,
+        wealth,
+        daily_returns: daily,
+        weights: weights?,
+        metrics,
+    })
+}
+
+/// Crash-safe write of one fold result: temp file + fsync + rename, so an
+/// interrupt mid-write never corrupts a previously completed fold.
+fn write_fold_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Fault-tolerant [`walk_forward`]: every completed fold's out-of-sample
+/// result is persisted (atomically) under `dir`, and a re-run after an
+/// interruption loads those results instead of retraining — only folds
+/// without a valid result file invoke `make_strategy`. Corrupt, truncated
+/// or span-mismatched fold files are ignored and the fold is re-run.
+///
+/// Emits one `checkpoint.resume` record per skipped fold and one
+/// `checkpoint.save` record per newly persisted fold on `telemetry`.
+///
+/// Restarted runs stitch to the bitwise-identical wealth curve an
+/// uninterrupted run produces (fold files round-trip `f64` exactly), as
+/// long as `make_strategy` is deterministic per fold.
+pub fn walk_forward_resumable(
+    panel: &AssetPanel,
+    cfg: &WalkForwardConfig,
+    dir: impl AsRef<Path>,
+    telemetry: &Telemetry,
+    mut make_strategy: impl FnMut(&AssetPanel, &Fold) -> Box<dyn Strategy>,
+) -> Result<WalkForwardResult, WalkForwardError> {
+    let dir = dir.as_ref();
+    let folds = folds(panel, cfg);
+    if folds.is_empty() {
+        return Err(WalkForwardError::Config(
+            "panel too short for walk-forward evaluation".into(),
+        ));
+    }
+    std::fs::create_dir_all(dir)?;
+
+    let mut wealth = vec![1.0f64];
+    let mut daily = Vec::new();
+    let mut fold_results = Vec::new();
+    for (i, fold) in folds.iter().enumerate() {
+        let path = fold_result_path(dir, i);
+        let cached = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| fold_result_from_string(fold, &text));
+        let res = match cached {
+            Some(res) => {
+                telemetry.emit(
+                    Record::new("checkpoint.resume")
+                        .with("scope", "walkforward")
+                        .with("fold", i)
+                        .with("test_start", fold.test_start)
+                        .with("path", path.display().to_string()),
+                );
+                res
+            }
+            None => {
+                let mut strategy = make_strategy(panel, fold);
+                let res = run_backtest(
+                    panel,
+                    cfg.env,
+                    fold.test_start,
+                    fold.test_end,
+                    strategy.as_mut(),
+                );
+                write_fold_atomic(&path, &fold_result_to_string(fold, &res))?;
+                telemetry.emit(
+                    Record::new("checkpoint.save")
+                        .with("scope", "walkforward")
+                        .with("fold", i)
+                        .with("test_start", fold.test_start)
+                        .with("path", path.display().to_string()),
+                );
+                res
+            }
+        };
+        let scale = *wealth.last().expect("non-empty");
+        wealth.extend(res.wealth.iter().skip(1).map(|w| w * scale));
+        daily.extend_from_slice(&res.daily_returns);
+        fold_results.push(res);
+    }
+    let metrics = compute(&wealth, &daily);
+    Ok(WalkForwardResult {
+        wealth,
+        daily_returns: daily,
+        metrics,
+        fold_results,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +442,96 @@ mod tests {
         });
         assert_eq!(seen.len(), 6);
         assert!(seen.iter().all(|f| f.test_start - f.train_start <= 100));
+    }
+
+    #[test]
+    fn resumable_matches_straight_run_and_skips_completed_folds() {
+        let p = panel();
+        let dir = std::env::temp_dir().join("cit_wf_resume_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let straight = walk_forward(&p, &cfg(), |_, _| Box::new(UniformStrategy));
+
+        // First (uninterrupted) resumable run: every fold trains.
+        let (tel, sink) = Telemetry::memory();
+        let mut trained = 0usize;
+        let res = walk_forward_resumable(&p, &cfg(), &dir, &tel, |_, _| {
+            trained += 1;
+            Box::new(UniformStrategy)
+        })
+        .expect("resumable run");
+        assert_eq!(trained, 6);
+        assert_eq!(sink.by_kind("checkpoint.save").len(), 6);
+        assert_eq!(
+            res.wealth, straight.wealth,
+            "stitched curve must be bitwise equal"
+        );
+
+        // Second run: all folds cached, the factory must never fire.
+        let (tel2, sink2) = Telemetry::memory();
+        let resumed = walk_forward_resumable(&p, &cfg(), &dir, &tel2, |_, fold| {
+            panic!("fold {fold:?} re-ran despite a valid result file")
+        })
+        .expect("resumed run");
+        assert_eq!(sink2.by_kind("checkpoint.resume").len(), 6);
+        assert_eq!(resumed.wealth, straight.wealth);
+        assert_eq!(resumed.daily_returns, straight.daily_returns);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumable_reruns_corrupt_or_missing_folds_only() {
+        let p = panel();
+        let dir = std::env::temp_dir().join("cit_wf_corrupt_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let straight = walk_forward(&p, &cfg(), |_, _| Box::new(UniformStrategy));
+        let tel = Telemetry::disabled();
+        walk_forward_resumable(&p, &cfg(), &dir, &tel, |_, _| Box::new(UniformStrategy))
+            .expect("initial run");
+
+        // Simulate an interrupted run: fold 2 truncated mid-write, fold 4
+        // never completed, plus a stray crashed temp file.
+        std::fs::write(fold_result_path(&dir, 2), "cit-fold v1\nspan\t0").expect("corrupt");
+        std::fs::remove_file(fold_result_path(&dir, 4)).expect("remove");
+        let mut tmp = fold_result_path(&dir, 4).into_os_string();
+        tmp.push(".tmp");
+        std::fs::write(&tmp, "cit-fold v1\nwea").expect("stray tmp");
+
+        let mut reran = Vec::new();
+        let res = walk_forward_resumable(&p, &cfg(), &dir, &tel, |_, fold| {
+            reran.push(fold.test_start);
+            Box::new(UniformStrategy)
+        })
+        .expect("recovery run");
+        assert_eq!(
+            reran.len(),
+            2,
+            "exactly the invalid folds re-ran: {reran:?}"
+        );
+        assert_eq!(res.wealth, straight.wealth);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumable_too_short_panel_errors_typed() {
+        let p = SynthConfig {
+            num_assets: 2,
+            num_days: 50,
+            test_start: 40,
+            ..Default::default()
+        }
+        .generate();
+        let bad = WalkForwardConfig {
+            train_days: 60,
+            test_days: 20,
+            env: EnvConfig::default(),
+        };
+        let dir = std::env::temp_dir().join("cit_wf_short_test");
+        let err = walk_forward_resumable(&p, &bad, &dir, &Telemetry::disabled(), |_, _| {
+            Box::new(UniformStrategy)
+        });
+        assert!(matches!(err, Err(WalkForwardError::Config(_))));
     }
 
     #[test]

@@ -39,5 +39,5 @@ pub use layers::{
     log_prob_scalar, Activation, Conv1dLayer, GaussianHead, GaussianSample, Gru, Linear, Lstm, Mlp,
     SpatialAttention, Tcn, TcnBlock,
 };
-pub use optim::{Adam, Sgd};
+pub use optim::{Adam, AdamState, OptimState, Sgd, SgdState};
 pub use param::{Ctx, ParamId, ParamStore};

@@ -3,6 +3,38 @@
 use crate::param::{ParamId, ParamStore};
 use cit_tensor::Tensor;
 
+/// Exported internal state of an [`Sgd`] optimiser: the per-parameter
+/// momentum buffers. Round-trips through [`Sgd::export_state`] /
+/// [`Sgd::import_state`] so checkpoints can resume bit-identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SgdState {
+    /// Momentum velocity per parameter slot (`None` = not yet touched).
+    pub velocity: Vec<Option<Tensor>>,
+}
+
+/// Exported internal state of an [`Adam`] optimiser: the first/second
+/// moment estimates and the step counter driving bias correction.
+/// Round-trips through [`Adam::export_state`] / [`Adam::import_state`]
+/// so checkpoints can resume bit-identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdamState {
+    /// Number of updates applied so far (`t` in the Adam paper).
+    pub t: i32,
+    /// First-moment estimate per parameter slot.
+    pub m: Vec<Option<Tensor>>,
+    /// Second-moment estimate per parameter slot.
+    pub v: Vec<Option<Tensor>>,
+}
+
+/// State of either supported optimiser, as carried by v2 checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimState {
+    /// SGD momentum buffers.
+    Sgd(SgdState),
+    /// Adam moments + step counter.
+    Adam(AdamState),
+}
+
 /// Plain stochastic gradient descent with optional momentum.
 pub struct Sgd {
     lr: f32,
@@ -19,6 +51,20 @@ impl Sgd {
             momentum,
             velocity: Vec::new(),
         }
+    }
+
+    /// Snapshots the momentum buffers for checkpointing.
+    pub fn export_state(&self) -> SgdState {
+        SgdState {
+            velocity: self.velocity.clone(),
+        }
+    }
+
+    /// Restores momentum buffers captured by [`Sgd::export_state`]. The
+    /// next [`Sgd::step`] then continues exactly where the exporting
+    /// optimiser left off.
+    pub fn import_state(&mut self, state: SgdState) {
+        self.velocity = state.velocity;
     }
 
     /// Applies one update from the accumulated gradients, then zeroes them.
@@ -81,6 +127,24 @@ impl Adam {
     /// Overrides the learning rate (simple schedules).
     pub fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    /// Snapshots the moment estimates and step counter for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Adam::export_state`]. The next
+    /// [`Adam::step`] then continues exactly where the exporting optimiser
+    /// left off (same bias correction, same moments).
+    pub fn import_state(&mut self, state: AdamState) {
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
     }
 
     /// Applies one update from the accumulated gradients, then zeroes them.
@@ -185,6 +249,49 @@ mod tests {
             store.value(unused).data()[0] < 1.0,
             "weight decay should shrink the unused param"
         );
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_bitwise() {
+        // 10 straight steps vs 5 steps → export/import → 5 steps must give
+        // bitwise-identical parameters.
+        let grads = [0.3f32, -0.2, 0.7, 0.05, -0.9, 0.4, 0.1, -0.3, 0.6, 0.2];
+        let run = |split: Option<usize>| {
+            let mut store = ParamStore::new();
+            let id = store.add("w", Tensor::vector(&[1.0, -1.0]));
+            let mut opt = Adam::new(0.05, 0.01);
+            for (i, &g) in grads.iter().enumerate() {
+                if split == Some(i) {
+                    let state = opt.export_state();
+                    opt = Adam::new(0.05, 0.01);
+                    opt.import_state(state);
+                }
+                store.accumulate_grad(id, &Tensor::vector(&[g, -g]));
+                opt.step(&mut store);
+            }
+            store.value(id).data().to_vec()
+        };
+        assert_eq!(run(None), run(Some(5)));
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_resumes_bitwise() {
+        let run = |split: bool| {
+            let mut store = ParamStore::new();
+            let id = store.add("w", Tensor::vector(&[0.5]));
+            let mut opt = Sgd::new(0.1, 0.9);
+            for i in 0..8 {
+                if split && i == 4 {
+                    let state = opt.export_state();
+                    opt = Sgd::new(0.1, 0.9);
+                    opt.import_state(state);
+                }
+                store.accumulate_grad(id, &Tensor::vector(&[0.1 * (i as f32 + 1.0)]));
+                opt.step(&mut store);
+            }
+            store.value(id).data().to_vec()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -1,13 +1,38 @@
-//! Checkpointing: save and restore every parameter of a [`ParamStore`] in
-//! a small, versioned, human-inspectable text format, so trained traders
-//! can be persisted and reloaded without retraining.
+//! Checkpointing: save and restore model parameters — and, since v2, the
+//! full training state (optimizer moments, RNG stream, trainer counters) —
+//! in a small, versioned, human-inspectable text format, so training runs
+//! can be persisted, killed and resumed bit-identically.
 //!
-//! Format (line-oriented):
+//! v1 format (line-oriented, params only):
 //! ```text
 //! cit-params v1
 //! <name>\t<dim0,dim1,...>\t<v0 v1 v2 ...>
 //! ```
+//!
+//! v2 format (sectioned; every section after `[params]` is optional):
+//! ```text
+//! cit-params v2
+//! [params]
+//! <name>\t<dim0,dim1,...>\t<v0 v1 v2 ...>
+//! [optim]
+//! kind\tadam
+//! t\t<step>
+//! slots\t<num-parameter-slots>
+//! m\t<slot>\t<dims>\t<values>
+//! v\t<slot>\t<dims>\t<values>
+//! [rng]
+//! xoshiro256pp\t<s0>\t<s1>\t<s2>\t<s3>
+//! [trainer]
+//! counter\t<name>\t<u64>
+//! series\t<name>\t<len>\t<f64 f64 ...>
+//! ```
+//!
+//! v1 files remain loadable (params-only restore). All saves are
+//! crash-safe: the checkpoint is written to a temporary file in the same
+//! directory, fsynced, then atomically renamed over the destination — a
+//! crash mid-write never corrupts an existing checkpoint.
 
+use crate::optim::{AdamState, OptimState, SgdState};
 use crate::param::{ParamId, ParamStore};
 use cit_tensor::Tensor;
 use std::fmt::Write as _;
@@ -19,7 +44,8 @@ use std::path::Path;
 pub enum CheckpointError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// Header/format mismatch or corrupt data.
+    /// Header/format mismatch or corrupt data (including non-finite
+    /// values, which are always rejected).
     Malformed(String),
     /// Checkpoint does not match the store's registered parameters.
     Mismatch(String),
@@ -43,135 +69,517 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-const HEADER: &str = "cit-params v1";
+const HEADER_V1: &str = "cit-params v1";
+const HEADER_V2: &str = "cit-params v2";
 
-/// Serialises every parameter of `store`.
-pub fn to_string(store: &ParamStore) -> String {
-    let mut out = String::new();
-    out.push_str(HEADER);
-    out.push('\n');
+/// Counters and float series the trainer carries across a save/resume
+/// cycle (step counts, previous actions, environment snapshot, …). The
+/// names are chosen by the trainer; the format just round-trips them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainerState {
+    /// Named integer counters (e.g. `steps`, `update_idx`).
+    pub counters: Vec<(String, u64)>,
+    /// Named `f64` series (e.g. `update_rewards`, `prev_actions`).
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl TrainerState {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a series by name.
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// `true` when no counter or series is present.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.series.is_empty()
+    }
+}
+
+/// Everything beyond parameter values that a v2 checkpoint carries.
+/// Loading a v1 file yields the default (all-`None`, empty) state.
+#[derive(Debug, Clone, Default)]
+pub struct TrainState {
+    /// Optimizer moments/step, when the checkpoint was taken mid-training.
+    pub optimizer: Option<OptimState>,
+    /// xoshiro256++ RNG state words.
+    pub rng: Option<[u64; 4]>,
+    /// Trainer counters and series.
+    pub trainer: TrainerState,
+}
+
+impl TrainState {
+    /// `true` when the checkpoint carried nothing beyond parameters.
+    pub fn is_empty(&self) -> bool {
+        self.optimizer.is_none() && self.rng.is_none() && self.trainer.is_empty()
+    }
+}
+
+fn write_tensor_values(out: &mut String, t: &Tensor) {
+    for (i, v) in t.data().iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        // `{:e}` is shortest-roundtrip: parsing recovers the exact bits.
+        let _ = write!(out, "{v:e}");
+    }
+}
+
+fn write_param_lines(out: &mut String, store: &ParamStore) {
     for id in store.ids() {
         let value = store.value(id);
         let dims: Vec<String> = value.shape().iter().map(|d| d.to_string()).collect();
         let _ = write!(out, "{}\t{}\t", store.name(id), dims.join(","));
-        for (i, v) in value.data().iter().enumerate() {
-            if i > 0 {
-                out.push(' ');
-            }
-            // `{:e}` keeps full f32 precision compactly.
-            let _ = write!(out, "{v:e}");
-        }
+        write_tensor_values(out, value);
         out.push('\n');
+    }
+}
+
+/// Serialises every parameter of `store` in the legacy v1 format.
+pub fn to_string(store: &ParamStore) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER_V1);
+    out.push('\n');
+    write_param_lines(&mut out, store);
+    out
+}
+
+fn write_slot_tensors(out: &mut String, tag: &str, slots: &[Option<Tensor>]) {
+    for (i, slot) in slots.iter().enumerate() {
+        if let Some(t) = slot {
+            let dims: Vec<String> = t.shape().iter().map(|d| d.to_string()).collect();
+            let _ = write!(out, "{tag}\t{i}\t{}\t", dims.join(","));
+            write_tensor_values(out, t);
+            out.push('\n');
+        }
+    }
+}
+
+/// Serialises parameters plus full training state in the v2 format.
+pub fn to_string_v2(store: &ParamStore, state: &TrainState) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER_V2);
+    out.push_str("\n[params]\n");
+    write_param_lines(&mut out, store);
+    match &state.optimizer {
+        Some(OptimState::Adam(a)) => {
+            out.push_str("[optim]\nkind\tadam\n");
+            let _ = writeln!(out, "t\t{}", a.t);
+            let _ = writeln!(out, "slots\t{}", a.m.len().max(a.v.len()));
+            write_slot_tensors(&mut out, "m", &a.m);
+            write_slot_tensors(&mut out, "v", &a.v);
+        }
+        Some(OptimState::Sgd(s)) => {
+            out.push_str("[optim]\nkind\tsgd\n");
+            let _ = writeln!(out, "slots\t{}", s.velocity.len());
+            write_slot_tensors(&mut out, "vel", &s.velocity);
+        }
+        None => {}
+    }
+    if let Some(s) = &state.rng {
+        out.push_str("[rng]\n");
+        let _ = writeln!(out, "xoshiro256pp\t{}\t{}\t{}\t{}", s[0], s[1], s[2], s[3]);
+    }
+    if !state.trainer.is_empty() {
+        out.push_str("[trainer]\n");
+        for (name, v) in &state.trainer.counters {
+            let _ = writeln!(out, "counter\t{name}\t{v}");
+        }
+        for (name, vs) in &state.trainer.series {
+            let _ = write!(out, "series\t{name}\t{}\t", vs.len());
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{v:e}");
+            }
+            out.push('\n');
+        }
     }
     out
 }
 
-/// Restores parameter values into `store`.
+fn parse_shape(dims: &str, lineno: usize) -> Result<Vec<usize>, CheckpointError> {
+    if dims.is_empty() {
+        return Ok(Vec::new());
+    }
+    dims.split(',')
+        .map(|d| {
+            d.parse::<usize>()
+                .map_err(|_| CheckpointError::Malformed(format!("line {lineno}: bad shape")))
+        })
+        .collect()
+}
+
+fn parse_values<T: std::str::FromStr + Copy>(
+    values: &str,
+    lineno: usize,
+    finite: impl Fn(T) -> bool,
+) -> Result<Vec<T>, CheckpointError> {
+    values
+        .split(' ')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let v = s
+                .parse::<T>()
+                .map_err(|_| CheckpointError::Malformed(format!("line {lineno}: bad value {s}")))?;
+            if !finite(v) {
+                return Err(CheckpointError::Malformed(format!(
+                    "line {lineno}: non-finite value {s}"
+                )));
+            }
+            Ok(v)
+        })
+        .collect()
+}
+
+fn parse_tensor(dims: &str, values: &str, lineno: usize) -> Result<Tensor, CheckpointError> {
+    let shape = parse_shape(dims, lineno)?;
+    let data: Vec<f32> = parse_values(values, lineno, |v: f32| v.is_finite())?;
+    let expected: usize = shape.iter().product();
+    if data.len() != expected {
+        return Err(CheckpointError::Mismatch(format!(
+            "line {lineno}: {} values for shape {:?}",
+            data.len(),
+            shape
+        )));
+    }
+    Ok(Tensor::from_vec(&shape, data))
+}
+
+/// Splits a line into exactly `n` tab-separated fields.
+fn fields(line: &str, n: usize, lineno: usize) -> Result<Vec<&str>, CheckpointError> {
+    let parts: Vec<&str> = line.splitn(n, '\t').collect();
+    if parts.len() != n {
+        return Err(CheckpointError::Malformed(format!(
+            "line {lineno}: expected {n} tab-separated fields"
+        )));
+    }
+    Ok(parts)
+}
+
+struct ParamLoader<'a> {
+    store: &'a mut ParamStore,
+    ids: Vec<ParamId>,
+    loaded: usize,
+}
+
+impl<'a> ParamLoader<'a> {
+    fn new(store: &'a mut ParamStore) -> Self {
+        let ids = store.ids().collect();
+        ParamLoader {
+            store,
+            ids,
+            loaded: 0,
+        }
+    }
+
+    fn load_line(&mut self, line: &str, lineno: usize) -> Result<(), CheckpointError> {
+        let parts = fields(line, 3, lineno)?;
+        let (name, dims, values) = (parts[0], parts[1], parts[2]);
+        if self.loaded >= self.ids.len() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint has more parameters than the store ({})",
+                self.ids.len()
+            )));
+        }
+        let id = self.ids[self.loaded];
+        if self.store.name(id) != name {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter {} expected {}, checkpoint has {name}",
+                self.loaded,
+                self.store.name(id)
+            )));
+        }
+        let tensor = parse_tensor(dims, values, lineno)?;
+        if tensor.shape() != self.store.value(id).shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "{name}: shape {:?} vs registered {:?}",
+                tensor.shape(),
+                self.store.value(id).shape()
+            )));
+        }
+        *self.store.value_mut(id) = tensor;
+        self.loaded += 1;
+        Ok(())
+    }
+
+    fn finish(self) -> Result<(), CheckpointError> {
+        if self.loaded != self.ids.len() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint has {} parameters, store registered {}",
+                self.loaded,
+                self.ids.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Restores parameter values into `store` from a v1 **or** v2 checkpoint,
+/// discarding any training state a v2 file carries. Non-finite values are
+/// rejected with [`CheckpointError::Malformed`].
 ///
 /// The checkpoint must contain exactly the parameters the store registered
 /// (same names, same shapes, same order) — i.e. the model must be
 /// constructed with the same architecture before loading.
 pub fn from_string(store: &mut ParamStore, text: &str) -> Result<(), CheckpointError> {
-    let mut lines = text.lines();
-    let header = lines
+    from_string_full(store, text).map(|_| ())
+}
+
+/// Restores parameters into `store` and returns the training state carried
+/// by the checkpoint (empty for v1 files).
+pub fn from_string_full(store: &mut ParamStore, text: &str) -> Result<TrainState, CheckpointError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
         .next()
         .ok_or_else(|| CheckpointError::Malformed("empty file".into()))?;
-    if header.trim() != HEADER {
-        return Err(CheckpointError::Malformed(format!(
-            "unexpected header: {header}"
-        )));
+    let v2 = match header.trim() {
+        HEADER_V1 => false,
+        HEADER_V2 => true,
+        other => {
+            return Err(CheckpointError::Malformed(format!(
+                "unexpected header: {other}"
+            )))
+        }
+    };
+
+    #[derive(PartialEq)]
+    enum Section {
+        Params,
+        Optim,
+        Rng,
+        Trainer,
     }
-    let ids: Vec<ParamId> = store.ids().collect();
-    let mut loaded = 0usize;
-    for (lineno, line) in lines.enumerate() {
+    let mut section = Section::Params;
+    let mut params = ParamLoader::new(store);
+    let mut state = TrainState::default();
+    // Optimizer assembly buffers.
+    let mut opt_kind: Option<String> = None;
+    let mut opt_t: i32 = 0;
+    let mut opt_slots: usize = 0;
+    let mut opt_m: Vec<(usize, Tensor)> = Vec::new();
+    let mut opt_v: Vec<(usize, Tensor)> = Vec::new();
+    let mut opt_vel: Vec<(usize, Tensor)> = Vec::new();
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim_end_matches('\r');
         if line.trim().is_empty() {
             continue;
         }
-        let mut parts = line.splitn(3, '\t');
-        let name = parts
-            .next()
-            .ok_or_else(|| CheckpointError::Malformed(format!("line {}: no name", lineno + 2)))?;
-        let dims = parts
-            .next()
-            .ok_or_else(|| CheckpointError::Malformed(format!("line {}: no shape", lineno + 2)))?;
-        let values = parts
-            .next()
-            .ok_or_else(|| CheckpointError::Malformed(format!("line {}: no values", lineno + 2)))?;
+        if v2 && line.starts_with('[') {
+            section = match line {
+                "[params]" => Section::Params,
+                "[optim]" => Section::Optim,
+                "[rng]" => Section::Rng,
+                "[trainer]" => Section::Trainer,
+                other => {
+                    return Err(CheckpointError::Malformed(format!(
+                        "line {lineno}: unknown section {other}"
+                    )))
+                }
+            };
+            continue;
+        }
+        match section {
+            Section::Params => params.load_line(line, lineno)?,
+            Section::Optim => {
+                let mut split = line.splitn(2, '\t');
+                let key = split.next().unwrap_or_default();
+                let rest = split.next().ok_or_else(|| {
+                    CheckpointError::Malformed(format!("line {lineno}: missing optim field"))
+                })?;
+                match key {
+                    "kind" => opt_kind = Some(rest.to_string()),
+                    "t" => {
+                        opt_t = rest.parse().map_err(|_| {
+                            CheckpointError::Malformed(format!("line {lineno}: bad optim t"))
+                        })?
+                    }
+                    "slots" => {
+                        opt_slots = rest.parse().map_err(|_| {
+                            CheckpointError::Malformed(format!("line {lineno}: bad optim slots"))
+                        })?
+                    }
+                    "m" | "v" | "vel" => {
+                        let parts = fields(rest, 3, lineno)?;
+                        let slot: usize = parts[0].parse().map_err(|_| {
+                            CheckpointError::Malformed(format!("line {lineno}: bad slot index"))
+                        })?;
+                        let t = parse_tensor(parts[1], parts[2], lineno)?;
+                        match key {
+                            "m" => opt_m.push((slot, t)),
+                            "v" => opt_v.push((slot, t)),
+                            _ => opt_vel.push((slot, t)),
+                        }
+                    }
+                    other => {
+                        return Err(CheckpointError::Malformed(format!(
+                            "line {lineno}: unknown optim field {other}"
+                        )))
+                    }
+                }
+            }
+            Section::Rng => {
+                let parts = fields(line, 5, lineno)?;
+                if parts[0] != "xoshiro256pp" {
+                    return Err(CheckpointError::Malformed(format!(
+                        "line {lineno}: unknown rng kind {}",
+                        parts[0]
+                    )));
+                }
+                let mut words = [0u64; 4];
+                for (w, p) in words.iter_mut().zip(&parts[1..]) {
+                    *w = p.parse().map_err(|_| {
+                        CheckpointError::Malformed(format!("line {lineno}: bad rng word {p}"))
+                    })?;
+                }
+                state.rng = Some(words);
+            }
+            Section::Trainer => {
+                let parts = fields(line, 3, lineno)?;
+                match parts[0] {
+                    "counter" => {
+                        let v: u64 = parts[2].parse().map_err(|_| {
+                            CheckpointError::Malformed(format!("line {lineno}: bad counter"))
+                        })?;
+                        state.trainer.counters.push((parts[1].to_string(), v));
+                    }
+                    "series" => {
+                        let sub = fields(parts[2], 2, lineno)?;
+                        let len: usize = sub[0].parse().map_err(|_| {
+                            CheckpointError::Malformed(format!("line {lineno}: bad series len"))
+                        })?;
+                        let vs: Vec<f64> = parse_values(sub[1], lineno, |v: f64| v.is_finite())?;
+                        if vs.len() != len {
+                            return Err(CheckpointError::Malformed(format!(
+                                "line {lineno}: series {} has {} values, declared {len}",
+                                parts[1],
+                                vs.len()
+                            )));
+                        }
+                        state.trainer.series.push((parts[1].to_string(), vs));
+                    }
+                    other => {
+                        return Err(CheckpointError::Malformed(format!(
+                            "line {lineno}: unknown trainer field {other}"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    params.finish()?;
 
-        if loaded >= ids.len() {
-            return Err(CheckpointError::Mismatch(format!(
-                "checkpoint has more parameters than the store ({})",
-                ids.len()
-            )));
-        }
-        let id = ids[loaded];
-        if store.name(id) != name {
-            return Err(CheckpointError::Mismatch(format!(
-                "parameter {} expected {}, checkpoint has {name}",
-                loaded,
-                store.name(id)
-            )));
-        }
-        let shape: Vec<usize> = if dims.is_empty() {
-            Vec::new()
-        } else {
-            dims.split(',')
-                .map(|d| {
-                    d.parse::<usize>().map_err(|_| {
-                        CheckpointError::Malformed(format!("line {}: bad shape", lineno + 2))
-                    })
-                })
-                .collect::<Result<_, _>>()?
+    if let Some(kind) = opt_kind {
+        let fill = |pairs: Vec<(usize, Tensor)>| -> Result<Vec<Option<Tensor>>, CheckpointError> {
+            let mut out: Vec<Option<Tensor>> = vec![None; opt_slots];
+            for (i, t) in pairs {
+                if i >= opt_slots {
+                    return Err(CheckpointError::Malformed(format!(
+                        "optim slot {i} out of range ({opt_slots})"
+                    )));
+                }
+                out[i] = Some(t);
+            }
+            Ok(out)
         };
-        if shape != store.value(id).shape() {
-            return Err(CheckpointError::Mismatch(format!(
-                "{name}: shape {:?} vs registered {:?}",
-                shape,
-                store.value(id).shape()
-            )));
-        }
-        let data: Vec<f32> = values
-            .split(' ')
-            .filter(|s| !s.is_empty())
-            .map(|s| {
-                s.parse::<f32>().map_err(|_| {
-                    CheckpointError::Malformed(format!("line {}: bad value {s}", lineno + 2))
-                })
-            })
-            .collect::<Result<_, _>>()?;
-        let expected: usize = shape.iter().product();
-        if data.len() != expected {
-            return Err(CheckpointError::Mismatch(format!(
-                "{name}: {} values for shape {:?}",
-                data.len(),
-                shape
-            )));
-        }
-        *store.value_mut(id) = Tensor::from_vec(&shape, data);
-        loaded += 1;
+        state.optimizer = Some(match kind.as_str() {
+            "adam" => OptimState::Adam(AdamState {
+                t: opt_t,
+                m: fill(opt_m)?,
+                v: fill(opt_v)?,
+            }),
+            "sgd" => OptimState::Sgd(SgdState {
+                velocity: fill(opt_vel)?,
+            }),
+            other => {
+                return Err(CheckpointError::Malformed(format!(
+                    "unknown optimizer kind {other}"
+                )))
+            }
+        });
     }
-    if loaded != ids.len() {
-        return Err(CheckpointError::Mismatch(format!(
-            "checkpoint has {loaded} parameters, store registered {}",
-            ids.len()
-        )));
+    Ok(state)
+}
+
+/// Atomically writes `text` to `path`: the data lands in `<path>.tmp`
+/// first, is fsynced, then renamed over the destination. A crash at any
+/// point leaves either the old checkpoint or the new one — never a
+/// truncated hybrid.
+pub fn atomic_write(path: impl AsRef<Path>, text: &str) -> io::Result<()> {
+    use std::io::Write as _;
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Durability of the rename itself: fsync the directory (best-effort —
+    // not all platforms allow opening directories).
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
     }
     Ok(())
 }
 
-/// Saves a checkpoint to a file (creating parent directories).
+/// Saves a params-only (v1) checkpoint to a file, atomically.
 pub fn save(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    if let Some(parent) = path.as_ref().parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    std::fs::write(path, to_string(store))?;
+    atomic_write(path, &to_string(store))?;
     Ok(())
 }
 
-/// Loads a checkpoint from a file into `store`.
+/// Saves a full v2 checkpoint (params + training state) to a file,
+/// atomically.
+pub fn save_v2(
+    store: &ParamStore,
+    state: &TrainState,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    atomic_write(path, &to_string_v2(store, state))?;
+    Ok(())
+}
+
+/// Loads a checkpoint (v1 or v2) from a file into `store`, params only.
 pub fn load(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    load_full(store, path).map(|_| ())
+}
+
+/// Loads a checkpoint (v1 or v2) from a file into `store` and returns the
+/// training state it carried (empty for v1 files).
+pub fn load_full(
+    store: &mut ParamStore,
+    path: impl AsRef<Path>,
+) -> Result<TrainState, CheckpointError> {
     let text = std::fs::read_to_string(path)?;
-    from_string(store, &text)
+    from_string_full(store, &text)
 }
 
 #[cfg(test)]
@@ -188,6 +596,25 @@ mod tests {
         store
     }
 
+    fn sample_state(store: &ParamStore) -> TrainState {
+        let slots = store.len();
+        let mut m = vec![None; slots];
+        let mut v = vec![None; slots];
+        m[0] = Some(Tensor::vector(&[0.25, -0.5, 1.5e-7]));
+        v[0] = Some(Tensor::vector(&[0.1, 0.2, 0.3]));
+        TrainState {
+            optimizer: Some(OptimState::Adam(AdamState { t: 17, m, v })),
+            rng: Some([1, 2, 3, u64::MAX]),
+            trainer: TrainerState {
+                counters: vec![("steps".into(), 640), ("update_idx".into(), 20)],
+                series: vec![
+                    ("update_rewards".into(), vec![0.01, -0.002, 1e-17]),
+                    ("prev_actions".into(), vec![0.5, 0.25, 0.25]),
+                ],
+            },
+        }
+    }
+
     #[test]
     fn roundtrip_preserves_values() {
         let src = store_with_mlp(1);
@@ -200,10 +627,95 @@ mod tests {
     }
 
     #[test]
+    fn v2_roundtrip_preserves_params_and_state() {
+        let src = store_with_mlp(3);
+        let state = sample_state(&src);
+        let text = to_string_v2(&src, &state);
+        let mut dst = store_with_mlp(4);
+        let loaded = from_string_full(&mut dst, &text).expect("load v2");
+        for (a, b) in src.ids().zip(dst.ids()) {
+            assert_eq!(src.value(a), dst.value(b));
+        }
+        assert_eq!(loaded.rng, state.rng);
+        assert_eq!(loaded.trainer, state.trainer);
+        match (loaded.optimizer, state.optimizer) {
+            (Some(OptimState::Adam(a)), Some(OptimState::Adam(b))) => {
+                assert_eq!(a.t, b.t);
+                assert_eq!(a.m, b.m);
+                assert_eq!(a.v, b.v);
+            }
+            other => panic!("optimizer state mismatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_files_load_into_full_reader_with_empty_state() {
+        let src = store_with_mlp(5);
+        let text = to_string(&src);
+        let mut dst = store_with_mlp(6);
+        let state = from_string_full(&mut dst, &text).expect("v1 via full reader");
+        assert!(state.is_empty());
+        for (a, b) in src.ids().zip(dst.ids()) {
+            assert_eq!(src.value(a), dst.value(b));
+        }
+    }
+
+    #[test]
+    fn v2_files_load_into_params_only_reader() {
+        let src = store_with_mlp(7);
+        let text = to_string_v2(&src, &sample_state(&src));
+        let mut dst = store_with_mlp(8);
+        from_string(&mut dst, &text).expect("params-only read of v2");
+        for (a, b) in src.ids().zip(dst.ids()) {
+            assert_eq!(src.value(a), dst.value(b));
+        }
+    }
+
+    #[test]
     fn rejects_wrong_header() {
         let mut dst = store_with_mlp(1);
         assert!(matches!(
             from_string(&mut dst, "nope\n"),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let src = store_with_mlp(1);
+        for bad in ["NaN", "inf", "-inf"] {
+            let mut text = to_string(&src);
+            // Replace the first value of the first parameter line.
+            let pos = text.find('\n').unwrap() + 1;
+            let line_end = text[pos..].find('\n').unwrap() + pos;
+            let line = text[pos..line_end].to_string();
+            let mut parts: Vec<&str> = line.splitn(3, '\t').collect();
+            let mut values: Vec<&str> = parts[2].split(' ').collect();
+            values[0] = bad;
+            let joined = values.join(" ");
+            parts[2] = &joined;
+            let rebuilt = parts.join("\t");
+            text.replace_range(pos..line_end, &rebuilt);
+            let mut dst = store_with_mlp(1);
+            assert!(
+                matches!(
+                    from_string(&mut dst, &text),
+                    Err(CheckpointError::Malformed(_))
+                ),
+                "{bad} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_trainer_series() {
+        let src = store_with_mlp(2);
+        let mut state = sample_state(&src);
+        state.trainer.series[0].1[1] = f64::NAN;
+        let text = to_string_v2(&src, &state);
+        let mut dst = store_with_mlp(2);
+        assert!(matches!(
+            from_string_full(&mut dst, &text),
             Err(CheckpointError::Malformed(_))
         ));
     }
@@ -241,6 +753,39 @@ mod tests {
         save(&src, &path).expect("save");
         let mut dst = store_with_mlp(6);
         load(&mut dst, &path).expect("load");
+        for (a, b) in src.ids().zip(dst.ids()) {
+            assert_eq!(src.value(a), dst.value(b));
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_tmp_file() {
+        let dir = std::env::temp_dir().join("cit_nn_ckpt_atomic");
+        let path = dir.join("model.ckpt");
+        let src = store_with_mlp(9);
+        let state = sample_state(&src);
+        save_v2(&src, &state, &path).expect("save");
+        assert!(path.exists());
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists(), "tmp file left behind");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn crash_during_save_preserves_previous_checkpoint() {
+        // A valid checkpoint exists; a crash mid-write of the next one
+        // leaves a truncated `<path>.tmp`, which must not affect loading.
+        let dir = std::env::temp_dir().join("cit_nn_ckpt_crash");
+        let path = dir.join("model.ckpt");
+        let src = store_with_mlp(10);
+        save_v2(&src, &sample_state(&src), &path).expect("save");
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        std::fs::write(&tmp, "cit-params v2\n[par").expect("write truncated tmp");
+        let mut dst = store_with_mlp(11);
+        load_full(&mut dst, &path).expect("previous checkpoint still loads");
         for (a, b) in src.ids().zip(dst.ids()) {
             assert_eq!(src.value(a), dst.value(b));
         }
