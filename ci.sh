@@ -28,4 +28,15 @@ grep -q 'checkpoint.save' results/table4_run.jsonl || { echo "no checkpoint.save
 cargo run --release -q -p cit-bench --bin table4 -- --scale smoke --resume >/dev/null
 grep -q 'checkpoint.resume' results/table4_run.jsonl || { echo "no checkpoint.resume records" >&2; exit 1; }
 
+echo "== chaos smoke (fault plan: NaN gradient + failed checkpoint write)"
+# Under the canned fault plan a short training run must survive an injected
+# NaN gradient (rollback + recovery) and a faked checkpoint-write failure
+# without aborting, and say so in the telemetry stream.
+rm -rf results/checkpoints results/table4_run.jsonl
+CIT_FAULT_PLAN=crates/faults/plans/chaos_smoke.plan \
+  cargo run --release -q -p cit-bench --bin table4 -- --scale smoke --resume >/dev/null
+grep -q 'supervisor.rollback' results/table4_run.jsonl || { echo "no supervisor.rollback records" >&2; exit 1; }
+grep -q 'supervisor.recovered' results/table4_run.jsonl || { echo "no supervisor.recovered records" >&2; exit 1; }
+rm -rf results/checkpoints
+
 echo "CI gate passed."

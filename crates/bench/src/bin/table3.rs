@@ -3,8 +3,8 @@
 //! product; the dedicated `fig4` binary only re-plots them).
 
 use cit_bench::{
-    checkpoint_path, experiment_telemetry, finish_run, panels, print_metric_table, run_model_ckpt,
-    save_series, BenchOpts,
+    checkpoint_path, experiment_telemetry, finish_run, panels, print_metric_table,
+    require_clean_panels, run_model_ckpt, save_series, BenchOpts,
 };
 use cit_telemetry::Record;
 
@@ -29,6 +29,10 @@ fn main() {
     let (scale, seed) = (opts.scale, opts.seed);
     let tel = experiment_telemetry("table3", scale, seed);
     let ps = panels(scale);
+    if let Err(err) = require_clean_panels(&ps, &tel) {
+        eprintln!("table3 refusing to run: {err}");
+        std::process::exit(2);
+    }
     let market_names: Vec<&str> = ps.iter().map(|p| p.name()).collect();
     println!("Table III — performance comparison (scale {scale:?}, seed {seed})\n");
 

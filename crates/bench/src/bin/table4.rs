@@ -2,8 +2,8 @@
 //! policies (A2C = no horizon policies, then 2–5 policies).
 
 use cit_bench::{
-    checkpoint_path, cit_config, env_config, experiment_telemetry, finish_run, panels,
-    print_metric_table, run_model_with, BenchOpts, Scale,
+    chaos_injector, checkpoint_path, cit_config, env_config, experiment_telemetry, finish_run,
+    panels, print_metric_table, require_clean_panels, run_model_with, BenchOpts, Scale,
 };
 use cit_core::CrossInsightTrader;
 use cit_market::run_test_period_with;
@@ -13,6 +13,10 @@ fn main() {
     let (scale, seed) = (opts.scale, opts.seed);
     let tel = experiment_telemetry("table4", scale, seed);
     let ps = panels(scale);
+    if let Err(err) = require_clean_panels(&ps, &tel) {
+        eprintln!("table4 refusing to run: {err}");
+        std::process::exit(2);
+    }
     let market_names: Vec<&str> = ps.iter().map(|p| p.name()).collect();
     println!("Table IV — number of horizon-specific policies (scale {scale:?}, seed {seed})\n");
 
@@ -39,7 +43,9 @@ fn main() {
             if opts.resume && cfg.checkpoint_every == 0 {
                 cfg.checkpoint_every = 10;
             }
-            let mut trader = CrossInsightTrader::new(p, cfg).with_telemetry(tel.clone());
+            let mut trader = CrossInsightTrader::new(p, cfg)
+                .with_telemetry(tel.clone())
+                .with_faults(chaos_injector(&tel));
             if opts.resume {
                 let ckpt = checkpoint_path(&format!("table4_n{n}"), p.name(), seed);
                 trader.set_checkpoint_path(Some(ckpt.clone()));
@@ -49,7 +55,9 @@ fn main() {
                             "checkpoint {} unusable ({err}); retraining from scratch",
                             ckpt.display()
                         ));
-                        trader = CrossInsightTrader::new(p, cfg).with_telemetry(tel.clone());
+                        trader = CrossInsightTrader::new(p, cfg)
+                            .with_telemetry(tel.clone())
+                            .with_faults(chaos_injector(&tel));
                         trader.set_checkpoint_path(Some(ckpt.clone()));
                     }
                 }

@@ -12,8 +12,10 @@
 #![deny(missing_docs)]
 
 use cit_core::{CitConfig, CrossInsightTrader};
+use cit_faults::FaultInjector;
 use cit_market::{
-    market_result, run_test_period_with, AssetPanel, BacktestResult, EnvConfig, MarketPreset,
+    assess_panel, market_result, run_test_period_with, AssetPanel, BacktestResult, EnvConfig,
+    MarketPreset, QualityConfig,
 };
 use cit_online::{Crp, Eg, Olmar, Ons, UniversalPortfolio};
 use cit_rl::{
@@ -140,6 +142,63 @@ pub fn experiment_telemetry(experiment: &str, scale: Scale, seed: u64) -> Teleme
 pub fn finish_run(telemetry: &Telemetry) {
     telemetry.emit(Record::new("run.end"));
     telemetry.report();
+}
+
+/// Resolves the ambient fault plan (the `CIT_FAULT_PLAN` environment
+/// variable) into an injector for chaos smoke tests. Unset → disabled
+/// (zero-cost no-op injection points); an unreadable or malformed plan
+/// file warns on `telemetry` and stays disabled rather than aborting the
+/// experiment.
+pub fn chaos_injector(telemetry: &Telemetry) -> FaultInjector {
+    match FaultInjector::from_env() {
+        Ok(inj) => {
+            if inj.is_enabled() {
+                telemetry.progress(format!(
+                    "chaos: fault plan active (seed {})",
+                    inj.seed().unwrap_or(0)
+                ));
+            }
+            inj
+        }
+        Err(err) => {
+            telemetry.progress(format!(
+                "warning: ignoring {} fault plan: {err}",
+                cit_faults::FAULT_PLAN_ENV
+            ));
+            FaultInjector::disabled()
+        }
+    }
+}
+
+/// Refuses to benchmark garbage: assesses every panel's data quality and
+/// errors — naming the offending panels and assets — when any carries
+/// unrepaired critical issues (non-finite/non-positive prices cannot occur
+/// in a constructed [`AssetPanel`], so in practice this catches outlier
+/// returns that would corrupt the paper's metrics). Each report is also
+/// emitted on `telemetry` as a `quality.report` record.
+pub fn require_clean_panels(panels: &[AssetPanel], telemetry: &Telemetry) -> Result<(), String> {
+    let cfg = QualityConfig::default();
+    let mut offenders = Vec::new();
+    for p in panels {
+        let report = assess_panel(p, &cfg);
+        report.emit(telemetry);
+        if report.has_critical() {
+            offenders.push(format!(
+                "{} ({}; assets: {})",
+                p.name(),
+                report.summary(),
+                report.offending_assets().join(", ")
+            ));
+        }
+    }
+    if offenders.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "panel quality guard: unrepaired critical issues in {}",
+            offenders.join("; ")
+        ))
+    }
 }
 
 /// Generates the three market panels at the given scale.
@@ -281,7 +340,8 @@ pub fn run_model_with(
         }
         "CIT" => {
             let mut trader = CrossInsightTrader::new(panel, cit_config(scale, seed))
-                .with_telemetry(telemetry.clone());
+                .with_telemetry(telemetry.clone())
+                .with_faults(chaos_injector(telemetry));
             trader.train(panel);
             tp(&mut trader)
         }
@@ -333,6 +393,7 @@ pub fn run_model_ckpt(
     let fresh = || {
         CrossInsightTrader::new(panel, cfg)
             .with_telemetry(telemetry.clone())
+            .with_faults(chaos_injector(telemetry))
             .with_checkpoint(path)
     };
     let mut trader = fresh();
@@ -452,6 +513,35 @@ mod tests {
             let r = run_model(name, p, Scale::Smoke, 1);
             assert!(r.metrics.mdd <= 1.0, "{name}");
         }
+    }
+
+    #[test]
+    fn preset_panels_pass_the_quality_guard() {
+        for scale in [Scale::Smoke, Scale::Paper] {
+            let ps = panels(scale);
+            require_clean_panels(&ps, &Telemetry::disabled())
+                .unwrap_or_else(|e| panic!("{scale} presets must be clean: {e}"));
+        }
+    }
+
+    #[test]
+    fn quality_guard_names_dirty_panels() {
+        // An outlier day the guard must catch (constructed panels cannot
+        // hold non-finite prices, so outliers are the reachable critical).
+        let mut data = Vec::new();
+        for t in 0..40usize {
+            let c = if t == 20 {
+                500.0
+            } else {
+                10.0 + t as f64 * 0.01
+            };
+            data.extend_from_slice(&[c, c * 1.01, c * 0.99, c]);
+        }
+        let panel = AssetPanel::new("DIRTY", 40, 1, data, 30);
+        let err = require_clean_panels(std::slice::from_ref(&panel), &Telemetry::disabled())
+            .expect_err("outlier day must trip the guard");
+        assert!(err.contains("DIRTY"), "{err}");
+        assert!(err.contains("A000"), "{err}");
     }
 
     #[test]

@@ -106,6 +106,22 @@ pub struct CitConfig {
     /// many updates, so a killed run resumes bit-identically. `0` disables
     /// auto-checkpointing.
     pub checkpoint_every: usize,
+    /// Training-supervisor budget: how many consecutive rollbacks to a
+    /// known-good snapshot are attempted after a failed health check
+    /// (non-finite loss/advantage/gradient, grad-norm spike) before the
+    /// run surfaces [`crate::CitError::Diverged`]. `0` disables the
+    /// supervisor entirely (failures abort as before).
+    pub max_rollbacks: usize,
+    /// Multiplier applied to the learning rate on every supervisor
+    /// rollback (e.g. `0.5` halves it). `1.0` retries at the same rate —
+    /// combined with fire-once fault injection this reproduces the
+    /// uninjected run bitwise after recovery.
+    pub lr_backoff: f32,
+    /// Grad-norm spike threshold: a pre-clip gradient norm exceeding
+    /// `grad_spike_factor ×` the rolling median of recent updates fails
+    /// the health check. `0.0` disables spike detection (non-finite norms
+    /// are always failures).
+    pub grad_spike_factor: f64,
 }
 
 impl Default for CitConfig {
@@ -135,6 +151,9 @@ impl Default for CitConfig {
             critic_mode: CriticMode::Counterfactual,
             threads: 0,
             checkpoint_every: 0,
+            max_rollbacks: 3,
+            lr_backoff: 0.5,
+            grad_spike_factor: 0.0,
         }
     }
 }

@@ -12,6 +12,16 @@ pub enum CitError {
     Config(String),
     /// Saving or loading a checkpoint failed.
     Checkpoint(CheckpointError),
+    /// Training diverged beyond the supervisor's recovery budget: health
+    /// checks kept failing after `rollbacks` rollback/retry attempts.
+    Diverged {
+        /// Optimiser update index at which the final failure occurred.
+        update: usize,
+        /// Number of rollbacks attempted before giving up.
+        rollbacks: usize,
+        /// The failing health check (human-readable).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CitError {
@@ -19,6 +29,14 @@ impl std::fmt::Display for CitError {
         match self {
             CitError::Config(m) => write!(f, "configuration error: {m}"),
             CitError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            CitError::Diverged {
+                update,
+                rollbacks,
+                reason,
+            } => write!(
+                f,
+                "training diverged at update {update} after {rollbacks} rollback(s): {reason}"
+            ),
         }
     }
 }
@@ -27,7 +45,7 @@ impl std::error::Error for CitError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CitError::Checkpoint(e) => Some(e),
-            CitError::Config(_) => None,
+            CitError::Config(_) | CitError::Diverged { .. } => None,
         }
     }
 }

@@ -9,6 +9,7 @@ use crate::decomposition::{raw_window, HorizonWindowCache};
 use crate::error::CitError;
 use cit_compute::{chunk_ranges, parallel_map, resolve_threads};
 use cit_dwt::DwtCacheStats;
+use cit_faults::FaultInjector;
 use cit_market::{AssetPanel, DecisionContext, EnvConfig, EnvSnapshot, PortfolioEnv, Strategy};
 use cit_nn::serialize::{self, CheckpointError, TrainState, TrainerState};
 use cit_nn::{Adam, AdamState, Ctx, OptimState, ParamId, ParamStore};
@@ -17,6 +18,7 @@ use cit_telemetry::{Record, Telemetry};
 use cit_tensor::{softmax_last_tensor, GraphPool, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 
 /// Everything produced by one decision pass of all policies at a day `t`.
@@ -147,6 +149,17 @@ impl Progress {
     }
 }
 
+/// A known-good in-memory training snapshot the supervisor rolls back to
+/// after a failed health check. Captured at update boundaries (where the
+/// parameters, optimiser moments, RNG stream and environment are mutually
+/// consistent) — the same state a v2 checkpoint persists, without disk I/O.
+struct Recovery {
+    store: ParamStore,
+    opt: AdamState,
+    rng: [u64; 4],
+    progress: Progress,
+}
+
 /// The full cross-insight trader model.
 pub struct CrossInsightTrader {
     cfg: CitConfig,
@@ -179,6 +192,9 @@ pub struct CrossInsightTrader {
     /// Destination of periodic auto-checkpoints (see
     /// [`CitConfig::checkpoint_every`]).
     checkpoint_path: Option<PathBuf>,
+    /// Fault-injection handle for chaos testing (disabled by default:
+    /// every injection point is then a single branch).
+    faults: FaultInjector,
 }
 
 impl CrossInsightTrader {
@@ -234,7 +250,25 @@ impl CrossInsightTrader {
             progress: None,
             resume_pending: false,
             checkpoint_path: None,
+            faults: FaultInjector::disabled(),
         })
+    }
+
+    /// Builder: attaches a fault-injection handle (chaos testing). With the
+    /// default disabled handle every injection point is a no-op.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the fault-injection handle in place.
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
+    }
+
+    /// The fault-injection handle in force (disabled by default).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// Builder: enables periodic auto-checkpointing to `path`. A full v2
@@ -326,7 +360,7 @@ impl CrossInsightTrader {
         let mut pre_latents = Vec::with_capacity(n);
         let mut pre_actions = Vec::with_capacity(n);
         for (k, mean) in pre_means.iter().enumerate() {
-            let latent = if stochastic {
+            let mut latent = if stochastic {
                 self.horizon_actors[k]
                     .head
                     .sample(&self.store, mean, &mut self.rng)
@@ -334,6 +368,11 @@ impl CrossInsightTrader {
             } else {
                 mean.clone()
             };
+            if self.faults.is_enabled() {
+                if let Some(v) = self.faults.tensor_poison(&format!("pi{k}.latent")) {
+                    latent.data_mut()[0] = v;
+                }
+            }
             pre_actions.push(temperature_action(&latent, self.cfg.action_temperature));
             pre_latents.push(latent);
         }
@@ -345,7 +384,7 @@ impl CrossInsightTrader {
         let cross_mean =
             self.cross_actor
                 .mean_numeric_in(&self.store, &self.pool, &raw, &cross_extra);
-        let cross_latent = if stochastic {
+        let mut cross_latent = if stochastic {
             self.cross_actor
                 .head
                 .sample(&self.store, &cross_mean, &mut self.rng)
@@ -353,6 +392,11 @@ impl CrossInsightTrader {
         } else {
             cross_mean
         };
+        if self.faults.is_enabled() {
+            if let Some(v) = self.faults.tensor_poison("cross.latent") {
+                cross_latent.data_mut()[0] = v;
+            }
+        }
         drop(forward_timer);
         let final_action = temperature_action(&cross_latent, self.cfg.action_temperature);
         Decision {
@@ -417,8 +461,11 @@ impl CrossInsightTrader {
     ///
     /// # Panics
     ///
-    /// Panics when the training period is too short or a checkpoint write
-    /// fails; use [`CrossInsightTrader::try_train`] for typed errors.
+    /// Panics when the training period is too short or training diverges
+    /// beyond the supervisor's rollback budget; use
+    /// [`CrossInsightTrader::try_train`] for typed errors. Auto-checkpoint
+    /// write failures never abort: they are logged (`checkpoint.error`)
+    /// and training continues with the previous checkpoint intact.
     pub fn train(&mut self, panel: &AssetPanel) -> TrainReport {
         self.try_train(panel).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -464,6 +511,27 @@ impl CrossInsightTrader {
         let update_counter = tel.counter("train.updates");
         let mut update_idx = 0usize;
 
+        // ---- Training supervisor state ----
+        // Health checks are read-only on the healthy path (no RNG use, no
+        // math changes), so enabling the supervisor never perturbs a
+        // healthy run's results. Known-good snapshots are captured at
+        // update boundaries — every `snapshot_every` updates, amortising
+        // the clone cost — and restored wholesale after a failed check.
+        let supervise = cfg.max_rollbacks > 0;
+        let snapshot_every = if cfg.checkpoint_every > 0 {
+            cfg.checkpoint_every
+        } else {
+            16
+        };
+        let mut cur_lr = cfg.lr;
+        let mut good: Option<Recovery> = None;
+        let mut last_good_update = usize::MAX;
+        let mut rollbacks = 0usize;
+        // The update index whose health check failed last; passing it
+        // successfully after a rollback counts as recovery.
+        let mut pending_recovery: Option<usize> = None;
+        let mut grad_norm_history: VecDeque<f64> = VecDeque::new();
+
         // Continue a run restored by `load` (the flag is consumed, so a
         // later `try_train` on the same trader starts fresh again).
         if std::mem::take(&mut self.resume_pending) {
@@ -493,6 +561,25 @@ impl CrossInsightTrader {
 
         while steps < cfg.total_steps {
             let _update_timer = tel.span("train.update");
+            if supervise
+                && (good.is_none()
+                    || (update_idx != last_good_update
+                        && update_idx.is_multiple_of(snapshot_every)))
+            {
+                good = Some(Recovery {
+                    store: self.store.clone(),
+                    opt: opt.export_state(),
+                    rng: self.rng.state(),
+                    progress: Progress {
+                        steps,
+                        update_idx,
+                        update_rewards: update_rewards.clone(),
+                        prev_actions: prev_actions.clone(),
+                        env: env.snapshot(),
+                    },
+                });
+                last_good_update = update_idx;
+            }
             // ---- Rollout ----
             let rollout_timer = tel.span("train.rollout");
             let mut days = Vec::with_capacity(cfg.rollout);
@@ -521,242 +608,384 @@ impl CrossInsightTrader {
             }
             let len = decisions.len();
 
-            // ---- Q estimates and λ-targets ----
-            let target_timer = tel.span("train.targets");
-            let markets: Vec<Vec<f32>> = days.iter().map(|&t| market_state(panel, t)).collect();
-            // qs[t][j]: value for optimisation target j at step t.
-            let qs: Vec<Vec<f64>> = decisions
-                .iter()
-                .zip(&markets)
-                .map(|(d, mkt)| self.q_values(mkt, d))
-                .collect();
-            // Bootstrap from a deterministic decision at the next day.
-            let boot_t = env.current_day();
-            let boot_decision = {
-                // Deterministic pass must not consume RNG state differently
-                // per mode; use mean actions.
-                let prev = prev_actions.clone();
-                self.decide(panel, boot_t, &prev, false)
-            };
-            let boot_market = market_state(panel, boot_t);
-            let boot_q = self.q_values(&boot_market, &boot_decision);
+            let mut failure: Option<String> = None;
+            let mut actor_loss = 0.0f64;
+            let mut critic_loss = 0.0f64;
+            let mut grad_norm = 0.0f32;
+            let mut td_stats = (0.0f64, 0.0f64);
+            'update: {
+                // Health check: a poisoned or diverged policy surfaces as a
+                // non-finite latent in the rollout.
+                if supervise
+                    && decisions.iter().any(|d| {
+                        !d.cross_latent.all_finite()
+                            || d.pre_latents.iter().any(|l| !l.all_finite())
+                    })
+                {
+                    failure = Some("non-finite policy latent in rollout".into());
+                    break 'update;
+                }
 
-            let num_targets = n + 1;
-            let mut targets: Vec<Vec<f64>> = Vec::with_capacity(num_targets);
-            for j in 0..num_targets {
-                let series: Vec<f64> = qs.iter().map(|q| q[j]).collect();
-                let mut values = series;
-                values.push(boot_q[j]);
-                targets.push(lambda_targets(
-                    &rewards, &values, cfg.gamma, cfg.lambda, cfg.nstep,
-                ));
-            }
-            drop(target_timer);
+                // ---- Q estimates and λ-targets ----
+                let target_timer = tel.span("train.targets");
+                let markets: Vec<Vec<f32>> = days.iter().map(|&t| market_state(panel, t)).collect();
+                // qs[t][j]: value for optimisation target j at step t.
+                let qs: Vec<Vec<f64>> = decisions
+                    .iter()
+                    .zip(&markets)
+                    .map(|(d, mkt)| self.q_values(mkt, d))
+                    .collect();
+                // Bootstrap from a deterministic decision at the next day.
+                let boot_t = env.current_day();
+                let boot_decision = {
+                    // Deterministic pass must not consume RNG state differently
+                    // per mode; use mean actions.
+                    let prev = prev_actions.clone();
+                    self.decide(panel, boot_t, &prev, false)
+                };
+                let boot_market = market_state(panel, boot_t);
+                let boot_q = self.q_values(&boot_market, &boot_decision);
 
-            // ---- Advantages ----
-            let advantage_timer = tel.span("train.advantages");
-            // Cross-insight policy: Q-weighted gradient (Eq. 3) with a
-            // constant baseline (batch centring) for variance reduction.
-            let mut adv_cross: Vec<f64> = (0..len).map(|t| qs[t][n]).collect();
-            normalize_advantages(&mut adv_cross);
-            // Horizon policies, per critic mode.
-            let mut adv_horizon: Vec<Vec<f64>> = match cfg.critic_mode {
-                CriticMode::Counterfactual => {
-                    // n critic evaluations per step, all independent:
-                    // chunk the steps across the worker pool.
-                    let this = &*self;
-                    let tasks: Vec<_> = chunk_ranges(len, this.threads)
-                        .into_iter()
-                        .map(|(lo, hi)| {
-                            let (markets, decisions) = (&markets, &decisions);
-                            move || {
-                                (lo..hi)
-                                    .map(|t| {
-                                        this.counterfactual_baselines(&markets[t], &decisions[t])
-                                    })
-                                    .collect::<Vec<_>>()
+                let num_targets = n + 1;
+                let mut targets: Vec<Vec<f64>> = Vec::with_capacity(num_targets);
+                for j in 0..num_targets {
+                    let series: Vec<f64> = qs.iter().map(|q| q[j]).collect();
+                    let mut values = series;
+                    values.push(boot_q[j]);
+                    targets.push(lambda_targets(
+                        &rewards, &values, cfg.gamma, cfg.lambda, cfg.nstep,
+                    ));
+                }
+                drop(target_timer);
+                td_stats = mean_std(&targets[n]);
+                if supervise {
+                    let finite = qs.iter().flatten().all(|v| v.is_finite())
+                        && boot_q.iter().all(|v| v.is_finite())
+                        && targets.iter().flatten().all(|v| v.is_finite());
+                    if !finite {
+                        failure = Some("non-finite Q estimate or λ-target".into());
+                        break 'update;
+                    }
+                }
+
+                // ---- Advantages ----
+                let advantage_timer = tel.span("train.advantages");
+                // Cross-insight policy: Q-weighted gradient (Eq. 3) with a
+                // constant baseline (batch centring) for variance reduction.
+                let mut adv_cross: Vec<f64> = (0..len).map(|t| qs[t][n]).collect();
+                normalize_advantages(&mut adv_cross);
+                // Horizon policies, per critic mode.
+                let mut adv_horizon: Vec<Vec<f64>> = match cfg.critic_mode {
+                    CriticMode::Counterfactual => {
+                        // n critic evaluations per step, all independent:
+                        // chunk the steps across the worker pool.
+                        let this = &*self;
+                        let tasks: Vec<_> = chunk_ranges(len, this.threads)
+                            .into_iter()
+                            .map(|(lo, hi)| {
+                                let (markets, decisions) = (&markets, &decisions);
+                                move || {
+                                    (lo..hi)
+                                        .map(|t| {
+                                            this.counterfactual_baselines(
+                                                &markets[t],
+                                                &decisions[t],
+                                            )
+                                        })
+                                        .collect::<Vec<_>>()
+                                }
+                            })
+                            .collect();
+                        let baselines: Vec<Vec<f64>> = parallel_map(this.threads, tasks)
+                            .into_iter()
+                            .flatten()
+                            .collect();
+                        let mut advs = vec![vec![0.0f64; len]; n];
+                        for t in 0..len {
+                            for k in 0..n {
+                                advs[k][t] = qs[t][k] - baselines[t][k];
                             }
-                        })
-                        .collect();
-                    let baselines: Vec<Vec<f64>> = parallel_map(this.threads, tasks)
-                        .into_iter()
-                        .flatten()
-                        .collect();
-                    let mut advs = vec![vec![0.0f64; len]; n];
-                    for t in 0..len {
-                        for k in 0..n {
-                            advs[k][t] = qs[t][k] - baselines[t][k];
                         }
+                        advs
                     }
-                    advs
-                }
-                CriticMode::SharedQ => (0..n)
-                    .map(|k| (0..len).map(|t| qs[t][k]).collect())
-                    .collect(),
-                CriticMode::Decentralized => (0..n)
-                    .map(|k| (0..len).map(|t| qs[t][k]).collect())
-                    .collect(),
-            };
-            // Raw counterfactual advantages Â^k (Eq. 8) before batch
-            // normalisation — these are the per-horizon credit-assignment
-            // signals the paper's counterfactual mechanism produces.
-            if tel.is_enabled() {
-                for (k, adv) in adv_horizon.iter().enumerate() {
-                    let (mean, std) = mean_std(adv);
-                    tel.emit(
-                        Record::new("train.advantage")
-                            .with("update", update_idx)
-                            .with("horizon", k)
-                            .with("mean", mean)
-                            .with("std", std),
-                    );
-                }
-            }
-            for adv in adv_horizon.iter_mut() {
-                normalize_advantages(adv);
-            }
-            drop(advantage_timer);
-
-            // ---- Split-graph loss, one task per optimisation target ----
-            // Horizon policy k touches only pi{k}.* parameters; the cross
-            // policy and the critic(s) own the rest. The joint loss
-            // therefore factors into n+1 independent graphs whose backward
-            // passes run concurrently on the worker pool. Gradients are
-            // reduced in fixed task order, so results are bit-identical for
-            // every thread count.
-            let graph_timer = tel.span("train.graph_build");
-            let linv = 1.0 / len as f32;
-            // (gradients, actor-loss part, critic-loss part)
-            type TaskOut = (Vec<(ParamId, Tensor)>, f64, f64);
-            let this = &*self;
-            let adv_cross_ref = &adv_cross;
-            let decisions_ref = &decisions;
-            let markets_ref = &markets;
-            let targets_ref = &targets;
-            let mut tasks: Vec<Box<dyn FnOnce() -> TaskOut + Send + '_>> =
-                Vec::with_capacity(n + 1);
-            for (k, adv_k) in adv_horizon.iter().enumerate() {
-                let tel_k = tel.clone();
-                // Horizon actor k (Eq. 2 with Ψ = Â^k).
-                tasks.push(Box::new(move || {
-                    let mut ctx = Ctx::with_graph_telemetry(&this.store, this.pool.take(), tel_k);
-                    let mut total: Option<Var> = None;
-                    for t in 0..len {
-                        let d = &decisions_ref[t];
-                        let mean =
-                            this.horizon_actors[k].mean(&mut ctx, &d.windows[k], &d.extras[k]);
-                        let logp =
-                            this.horizon_actors[k]
-                                .head
-                                .log_prob(&mut ctx, mean, &d.pre_latents[k]);
-                        let term = ctx.g.scale(logp, -(adv_k[t] as f32) * linv);
-                        total = Some(match total {
-                            Some(a) => ctx.g.add(a, term),
-                            None => term,
-                        });
+                    CriticMode::SharedQ => (0..n)
+                        .map(|k| (0..len).map(|t| qs[t][k]).collect())
+                        .collect(),
+                    CriticMode::Decentralized => (0..n)
+                        .map(|k| (0..len).map(|t| qs[t][k]).collect())
+                        .collect(),
+                };
+                // Raw counterfactual advantages Â^k (Eq. 8) before batch
+                // normalisation — these are the per-horizon credit-assignment
+                // signals the paper's counterfactual mechanism produces.
+                if tel.is_enabled() {
+                    for (k, adv) in adv_horizon.iter().enumerate() {
+                        let (mean, std) = mean_std(adv);
+                        tel.emit(
+                            Record::new("train.advantage")
+                                .with("update", update_idx)
+                                .with("horizon", k)
+                                .with("mean", mean)
+                                .with("std", std),
+                        );
                     }
-                    let loss = total.expect("non-empty rollout");
-                    let grads = ctx.backward(loss);
-                    let lv = ctx.g.value(loss).data()[0] as f64;
-                    this.pool.put(ctx.into_graph());
-                    (grads, lv, 0.0)
-                }));
-            }
-            {
-                let tel_c = tel.clone();
-                // Cross-insight actor (Eq. 3) + critic regression (Eq. 6).
-                tasks.push(Box::new(move || {
-                    let mut ctx =
-                        Ctx::with_graph_telemetry(&this.store, this.pool.take(), tel_c.clone());
-                    let mut actor_total: Option<Var> = None;
-                    let mut critic_total: Option<Var> = None;
-                    let add_term = |ctx: &mut Ctx<'_>, v: Var, acc: &mut Option<Var>| {
-                        *acc = Some(match *acc {
-                            Some(a) => ctx.g.add(a, v),
-                            None => v,
-                        });
-                    };
-                    for t in 0..len {
-                        let d = &decisions_ref[t];
-                        let mean = this.cross_actor.mean(&mut ctx, &d.raw, &d.cross_extra);
-                        let logp = this
-                            .cross_actor
-                            .head
-                            .log_prob(&mut ctx, mean, &d.cross_latent);
-                        let term = ctx.g.scale(logp, -(adv_cross_ref[t] as f32) * linv);
-                        add_term(&mut ctx, term, &mut actor_total);
+                }
+                for adv in adv_horizon.iter_mut() {
+                    normalize_advantages(adv);
+                }
+                drop(advantage_timer);
+                if supervise {
+                    let finite = adv_cross.iter().all(|v| v.is_finite())
+                        && adv_horizon.iter().flatten().all(|v| v.is_finite());
+                    if !finite {
+                        failure = Some("non-finite advantage".into());
+                        break 'update;
+                    }
+                }
 
-                        let _critic_timer = tel_c.span("critic.update");
-                        match &this.critic {
-                            CriticNet::Central(c) => {
-                                let x = c.input_vector(
-                                    &markets_ref[t],
-                                    &d.pre_actions,
-                                    &d.final_action,
-                                );
-                                let q = c.q(&mut ctx, &x);
-                                let y = ctx.input(Tensor::vector(&[targets_ref[n][t] as f32]));
-                                let diff = ctx.g.sub(q, y);
-                                let sq = ctx.g.mul(diff, diff);
-                                let scaled = ctx.g.scale(sq, 0.5 * linv);
-                                let s = ctx.g.sum_all(scaled);
-                                add_term(&mut ctx, s, &mut critic_total);
-                            }
-                            CriticNet::Dec(dc) => {
-                                for (k, target_k) in targets_ref.iter().take(n).enumerate() {
-                                    let x = dc.input_vector(&markets_ref[t], &d.pre_actions[k]);
-                                    let q = dc.q(&mut ctx, k, &x);
-                                    let y = ctx.input(Tensor::vector(&[target_k[t] as f32]));
+                // ---- Split-graph loss, one task per optimisation target ----
+                // Horizon policy k touches only pi{k}.* parameters; the cross
+                // policy and the critic(s) own the rest. The joint loss
+                // therefore factors into n+1 independent graphs whose backward
+                // passes run concurrently on the worker pool. Gradients are
+                // reduced in fixed task order, so results are bit-identical for
+                // every thread count.
+                let graph_timer = tel.span("train.graph_build");
+                let linv = 1.0 / len as f32;
+                // (gradients, actor-loss part, critic-loss part)
+                type TaskOut = (Vec<(ParamId, Tensor)>, f64, f64);
+                let this = &*self;
+                let adv_cross_ref = &adv_cross;
+                let decisions_ref = &decisions;
+                let markets_ref = &markets;
+                let targets_ref = &targets;
+                let mut tasks: Vec<Box<dyn FnOnce() -> TaskOut + Send + '_>> =
+                    Vec::with_capacity(n + 1);
+                for (k, adv_k) in adv_horizon.iter().enumerate() {
+                    let tel_k = tel.clone();
+                    // Horizon actor k (Eq. 2 with Ψ = Â^k).
+                    tasks.push(Box::new(move || {
+                        let mut ctx =
+                            Ctx::with_graph_telemetry(&this.store, this.pool.take(), tel_k);
+                        let mut total: Option<Var> = None;
+                        for t in 0..len {
+                            let d = &decisions_ref[t];
+                            let mean =
+                                this.horizon_actors[k].mean(&mut ctx, &d.windows[k], &d.extras[k]);
+                            let logp = this.horizon_actors[k].head.log_prob(
+                                &mut ctx,
+                                mean,
+                                &d.pre_latents[k],
+                            );
+                            let term = ctx.g.scale(logp, -(adv_k[t] as f32) * linv);
+                            total = Some(match total {
+                                Some(a) => ctx.g.add(a, term),
+                                None => term,
+                            });
+                        }
+                        let loss = total.expect("non-empty rollout");
+                        let grads = ctx.backward(loss);
+                        let lv = ctx.g.value(loss).data()[0] as f64;
+                        this.pool.put(ctx.into_graph());
+                        (grads, lv, 0.0)
+                    }));
+                }
+                {
+                    let tel_c = tel.clone();
+                    // Cross-insight actor (Eq. 3) + critic regression (Eq. 6).
+                    tasks.push(Box::new(move || {
+                        let mut ctx =
+                            Ctx::with_graph_telemetry(&this.store, this.pool.take(), tel_c.clone());
+                        let mut actor_total: Option<Var> = None;
+                        let mut critic_total: Option<Var> = None;
+                        let add_term = |ctx: &mut Ctx<'_>, v: Var, acc: &mut Option<Var>| {
+                            *acc = Some(match *acc {
+                                Some(a) => ctx.g.add(a, v),
+                                None => v,
+                            });
+                        };
+                        for t in 0..len {
+                            let d = &decisions_ref[t];
+                            let mean = this.cross_actor.mean(&mut ctx, &d.raw, &d.cross_extra);
+                            let logp =
+                                this.cross_actor
+                                    .head
+                                    .log_prob(&mut ctx, mean, &d.cross_latent);
+                            let term = ctx.g.scale(logp, -(adv_cross_ref[t] as f32) * linv);
+                            add_term(&mut ctx, term, &mut actor_total);
+
+                            let _critic_timer = tel_c.span("critic.update");
+                            match &this.critic {
+                                CriticNet::Central(c) => {
+                                    let x = c.input_vector(
+                                        &markets_ref[t],
+                                        &d.pre_actions,
+                                        &d.final_action,
+                                    );
+                                    let q = c.q(&mut ctx, &x);
+                                    let y = ctx.input(Tensor::vector(&[targets_ref[n][t] as f32]));
                                     let diff = ctx.g.sub(q, y);
                                     let sq = ctx.g.mul(diff, diff);
                                     let scaled = ctx.g.scale(sq, 0.5 * linv);
                                     let s = ctx.g.sum_all(scaled);
                                     add_term(&mut ctx, s, &mut critic_total);
                                 }
-                                let x = dc.input_vector(&markets_ref[t], &d.final_action);
-                                let q = dc.q(&mut ctx, n, &x);
-                                let y = ctx.input(Tensor::vector(&[targets_ref[n][t] as f32]));
-                                let diff = ctx.g.sub(q, y);
-                                let sq = ctx.g.mul(diff, diff);
-                                let scaled = ctx.g.scale(sq, 0.5 * linv);
-                                let s = ctx.g.sum_all(scaled);
-                                add_term(&mut ctx, s, &mut critic_total);
+                                CriticNet::Dec(dc) => {
+                                    for (k, target_k) in targets_ref.iter().take(n).enumerate() {
+                                        let x = dc.input_vector(&markets_ref[t], &d.pre_actions[k]);
+                                        let q = dc.q(&mut ctx, k, &x);
+                                        let y = ctx.input(Tensor::vector(&[target_k[t] as f32]));
+                                        let diff = ctx.g.sub(q, y);
+                                        let sq = ctx.g.mul(diff, diff);
+                                        let scaled = ctx.g.scale(sq, 0.5 * linv);
+                                        let s = ctx.g.sum_all(scaled);
+                                        add_term(&mut ctx, s, &mut critic_total);
+                                    }
+                                    let x = dc.input_vector(&markets_ref[t], &d.final_action);
+                                    let q = dc.q(&mut ctx, n, &x);
+                                    let y = ctx.input(Tensor::vector(&[targets_ref[n][t] as f32]));
+                                    let diff = ctx.g.sub(q, y);
+                                    let sq = ctx.g.mul(diff, diff);
+                                    let scaled = ctx.g.scale(sq, 0.5 * linv);
+                                    let s = ctx.g.sum_all(scaled);
+                                    add_term(&mut ctx, s, &mut critic_total);
+                                }
                             }
                         }
-                    }
-                    let actor_var = actor_total.expect("non-empty rollout");
-                    let critic_var = critic_total.expect("critic regression term present");
-                    let loss = ctx.g.add(actor_var, critic_var);
-                    let grads = ctx.backward(loss);
-                    let a = ctx.g.value(actor_var).data()[0] as f64;
-                    let c = ctx.g.value(critic_var).data()[0] as f64;
-                    this.pool.put(ctx.into_graph());
-                    (grads, a, c)
-                }));
-            }
-            let results = parallel_map(this.threads, tasks);
-            drop(graph_timer);
+                        let actor_var = actor_total.expect("non-empty rollout");
+                        let critic_var = critic_total.expect("critic regression term present");
+                        let loss = ctx.g.add(actor_var, critic_var);
+                        let grads = ctx.backward(loss);
+                        let a = ctx.g.value(actor_var).data()[0] as f64;
+                        let c = ctx.g.value(critic_var).data()[0] as f64;
+                        this.pool.put(ctx.into_graph());
+                        (grads, a, c)
+                    }));
+                }
+                let results = parallel_map(this.threads, tasks);
+                drop(graph_timer);
 
-            // Fixed-order reduction: task order, not completion order.
-            let mut actor_loss = 0.0f64;
-            let mut critic_loss = 0.0f64;
-            let opt_timer = tel.span("train.opt_step");
-            for (grads, a, c) in results {
-                self.store.apply_grads(grads);
-                actor_loss += a;
-                critic_loss += c;
+                // Fixed-order reduction: task order, not completion order.
+                let opt_timer = tel.span("train.opt_step");
+                for (grads, a, c) in results {
+                    self.store.apply_grads(grads);
+                    actor_loss += a;
+                    critic_loss += c;
+                }
+                self.apply_entropy_bonus();
+                // Chaos hook: poison a named parameter's gradient at this
+                // update (each fault fires once, so a rollback replaying the
+                // update is clean — that is what makes recovery bit-identical
+                // to an uninjected run).
+                if self.faults.is_enabled() {
+                    for (param, v) in self.faults.grad_poison(update_idx as u64) {
+                        let hit = self
+                            .store
+                            .ids()
+                            .find(|&id| self.store.name(id).starts_with(&param));
+                        if let Some(id) = hit {
+                            let shape = self.store.value(id).shape().to_vec();
+                            self.store.accumulate_grad(id, &Tensor::full(&shape, v));
+                            tel.emit(
+                                Record::new("fault.injected")
+                                    .with("kind", "grad")
+                                    .with("param", param)
+                                    .with("update", update_idx),
+                            );
+                        }
+                    }
+                }
+                grad_norm = self.store.clip_grad_norm(cfg.grad_clip);
+                if supervise {
+                    if !grad_norm.is_finite() {
+                        // `clip_grad_norm` already zeroed the poisoned grads.
+                        failure = Some("non-finite gradient norm".into());
+                    } else if cfg.grad_spike_factor > 0.0 && grad_norm_history.len() >= 8 {
+                        let mut sorted: Vec<f64> = grad_norm_history.iter().copied().collect();
+                        sorted.sort_by(f64::total_cmp);
+                        let median = sorted[sorted.len() / 2];
+                        if median > 0.0 && f64::from(grad_norm) > cfg.grad_spike_factor * median {
+                            failure = Some(format!(
+                            "grad-norm spike: {grad_norm:.4} > {:.1}× rolling median {median:.4}",
+                            cfg.grad_spike_factor
+                        ));
+                        }
+                    }
+                    if failure.is_none() && !(actor_loss.is_finite() && critic_loss.is_finite()) {
+                        failure = Some("non-finite loss".into());
+                    }
+                    if failure.is_some() {
+                        self.store.zero_grads();
+                        break 'update;
+                    }
+                }
+                opt.step(&mut self.store);
+                drop(opt_timer);
             }
-            self.apply_entropy_bonus();
-            let grad_norm = self.store.clip_grad_norm(cfg.grad_clip);
-            opt.step(&mut self.store);
-            drop(opt_timer);
+
+            // ---- Supervisor: rollback on a failed health check ----
+            if let Some(reason) = failure {
+                rollbacks += 1;
+                let recovery = match good.as_ref() {
+                    Some(g) if rollbacks <= cfg.max_rollbacks => g,
+                    _ => {
+                        return Err(CitError::Diverged {
+                            update: update_idx,
+                            rollbacks: rollbacks.saturating_sub(1),
+                            reason,
+                        })
+                    }
+                };
+                tel.emit(
+                    Record::new("supervisor.rollback")
+                        .with("update", update_idx)
+                        .with("restored_update", recovery.progress.update_idx)
+                        .with("attempt", rollbacks)
+                        .with("reason", reason),
+                );
+                tel.counter("supervisor.rollbacks").inc();
+                pending_recovery = Some(pending_recovery.map_or(update_idx, |f| f.max(update_idx)));
+                // Restore the last known-good state wholesale: parameters,
+                // optimiser moments, RNG stream, environment and counters.
+                self.store = recovery.store.clone();
+                opt.import_state(recovery.opt.clone());
+                self.rng = StdRng::from_state(recovery.rng);
+                env.restore(&recovery.progress.env);
+                prev_actions = recovery.progress.prev_actions.clone();
+                steps = recovery.progress.steps;
+                update_idx = recovery.progress.update_idx;
+                update_rewards = recovery.progress.update_rewards.clone();
+                // Back off the learning rate for the retry (compounding
+                // across consecutive rollbacks; 1.0 retries unchanged).
+                cur_lr *= cfg.lr_backoff;
+                opt.set_lr(cur_lr);
+                grad_norm_history.clear();
+                continue;
+            }
+            if supervise {
+                grad_norm_history.push_back(f64::from(grad_norm));
+                if grad_norm_history.len() > 33 {
+                    grad_norm_history.pop_front();
+                }
+                if pending_recovery.is_some_and(|failed| update_idx >= failed) {
+                    tel.emit(
+                        Record::new("supervisor.recovered")
+                            .with("update", update_idx)
+                            .with("rollbacks", rollbacks)
+                            .with("lr", f64::from(cur_lr)),
+                    );
+                    tel.counter("supervisor.recoveries").inc();
+                    rollbacks = 0;
+                    pending_recovery = None;
+                }
+            }
 
             let mean_reward = rewards.iter().sum::<f64>() / rewards.len() as f64;
             update_rewards.push(mean_reward);
             update_counter.inc();
             if tel.is_enabled() {
                 let (log_std_mean, entropy_mean) = self.gaussian_stats();
-                let (target_mean, target_std) = mean_std(&targets[n]);
+                let (target_mean, target_std) = td_stats;
                 tel.emit(
                     Record::new("train.update")
                         .with("update", update_idx)
@@ -784,7 +1013,19 @@ impl CrossInsightTrader {
                         prev_actions: prev_actions.clone(),
                         env: env.snapshot(),
                     };
-                    self.write_checkpoint(&path, &opt, &progress)?;
+                    // A failed periodic write must not kill the run: the
+                    // previous checkpoint is still intact on disk (writes
+                    // are atomic), so log the error and keep training.
+                    if let Err(e) = self.write_checkpoint(&path, &opt, &progress) {
+                        tel.emit(
+                            Record::new("checkpoint.error")
+                                .with("scope", "trainer")
+                                .with("update", update_idx)
+                                .with("path", path.display().to_string())
+                                .with("error", e.to_string()),
+                        );
+                        tel.counter("checkpoint.write_errors").inc();
+                    }
                 }
             }
         }
@@ -822,7 +1063,7 @@ impl CrossInsightTrader {
             rng: Some(self.rng.state()),
             trainer: progress.encode(),
         };
-        serialize::save_v2(&self.store, &state, path)?;
+        serialize::save_v2_with(&self.store, &state, path, &self.faults)?;
         self.telemetry.emit(
             Record::new("checkpoint.save")
                 .with("scope", "trainer")

@@ -1,0 +1,158 @@
+//! End-to-end guarantees of the training supervisor under deterministic
+//! fault injection: a NaN gradient injected mid-run is rolled back and the
+//! run recovers bit-identically to an uninjected one, and faked checkpoint
+//! write failures never abort training nor corrupt the last good file.
+
+use cit_core::{CitConfig, CrossInsightTrader};
+use cit_faults::{FaultInjector, FaultPlan};
+use cit_market::{AssetPanel, SynthConfig};
+use cit_telemetry::Telemetry;
+
+fn panel() -> AssetPanel {
+    SynthConfig {
+        num_assets: 3,
+        num_days: 220,
+        test_start: 160,
+        ..Default::default()
+    }
+    .generate()
+}
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cit_supervisor_test_{}_{name}", std::process::id()));
+    p
+}
+
+fn params_equal(a: &[(String, Vec<f32>)], b: &[(String, Vec<f32>)]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|((na, va), (nb, vb))| {
+            na == nb
+                && va.len() == vb.len()
+                && va.iter().zip(vb).all(|(x, y)| x.to_bits() == y.to_bits())
+        })
+}
+
+/// Headline guarantee: a NaN gradient injected at update 5 triggers a
+/// rollback to the last good snapshot, the replayed updates are clean
+/// (faults fire once), and — with no LR backoff — the finished run is
+/// bitwise identical to one that never saw the fault.
+#[test]
+fn nan_gradient_rolls_back_and_recovers_bitwise() {
+    let p = panel();
+    let mut cfg = CitConfig::smoke(7);
+    cfg.lr_backoff = 1.0; // isolate the rollback mechanics from LR decay
+
+    let mut clean = CrossInsightTrader::new(&p, cfg);
+    let clean_report = clean.train(&p);
+
+    let plan =
+        FaultPlan::parse("cit-faults v1\nseed 7\ngrad pi0 5 nan\n").expect("valid fault plan");
+    let (tel, sink) = Telemetry::memory();
+    let mut faulty = CrossInsightTrader::new(&p, cfg)
+        .with_telemetry(tel)
+        .with_faults(FaultInjector::new(plan));
+    let faulty_report = faulty.train(&p);
+
+    assert_eq!(sink.by_kind("fault.injected").len(), 1, "fault fired once");
+    let rollbacks = sink.by_kind("supervisor.rollback");
+    assert!(!rollbacks.is_empty(), "rollback must be reported");
+    assert_eq!(rollbacks[0].get_f64("update"), Some(5.0));
+    assert!(
+        !sink.by_kind("supervisor.recovered").is_empty(),
+        "recovery must be reported"
+    );
+
+    assert_eq!(clean_report.steps, faulty_report.steps);
+    assert_eq!(
+        clean_report.update_rewards, faulty_report.update_rewards,
+        "learning curve must match the uninjected run bitwise"
+    );
+    assert!(
+        params_equal(&clean.export_params(), &faulty.export_params()),
+        "parameters must match the uninjected run bitwise"
+    );
+}
+
+/// With supervision disabled (`max_rollbacks = 0`) the non-finite gradient
+/// is still defused — `clip_grad_norm` zeroes poisoned gradients instead
+/// of silently propagating NaN into the parameters — so training finishes
+/// with finite parameters either way.
+#[test]
+fn poisoned_gradient_never_reaches_parameters_even_unsupervised() {
+    let p = panel();
+    let mut cfg = CitConfig::smoke(11);
+    cfg.max_rollbacks = 0;
+    let plan =
+        FaultPlan::parse("cit-faults v1\nseed 11\ngrad pi0 3 inf\n").expect("valid fault plan");
+    let mut trader = CrossInsightTrader::new(&p, cfg).with_faults(FaultInjector::new(plan));
+    let _ = trader.train(&p);
+    for (name, values) in trader.export_params() {
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "non-finite parameter in {name}"
+        );
+    }
+}
+
+/// Faked I/O failures on every periodic checkpoint write after the first
+/// leave the run alive and the first (good) checkpoint intact on disk:
+/// the surviving file is byte-identical to the state a run stopped at that
+/// update would save, and still loads.
+#[test]
+fn checkpoint_write_failure_keeps_run_alive_and_previous_file_intact() {
+    let p = panel();
+    let mut cfg = CitConfig::smoke(9);
+    cfg.checkpoint_every = 2; // smoke scale: 13 updates -> writes at 2,4,..,12
+    let path = tmp_path("ckpt_survives.cit");
+    let _ = std::fs::remove_file(&path);
+
+    let plan = FaultPlan::parse(
+        "cit-faults v1\nseed 9\n\
+         io checkpoint.save 2 denied\n\
+         io checkpoint.save 3 denied\n\
+         io checkpoint.save 4 interrupted\n\
+         io checkpoint.save 5 denied\n\
+         io checkpoint.save 6 denied\n",
+    )
+    .expect("valid fault plan");
+    let (tel, sink) = Telemetry::memory();
+    let mut trader = CrossInsightTrader::new(&p, cfg)
+        .with_telemetry(tel.clone())
+        .with_faults(FaultInjector::new(plan))
+        .with_checkpoint(&path);
+    trader
+        .try_train(&p)
+        .expect("checkpoint write failures must not abort training");
+
+    assert_eq!(
+        sink.by_kind("checkpoint.error").len(),
+        5,
+        "every failed write is reported"
+    );
+    assert_eq!(tel.counter("checkpoint.write_errors").get(), 5);
+
+    // Only the first periodic write (update 2) reached the disk; it must
+    // be byte-identical to the checkpoint of a clean run that stops there.
+    let mut ref_cfg = cfg;
+    ref_cfg.total_steps = 2 * ref_cfg.rollout;
+    ref_cfg.checkpoint_every = 0;
+    let ref_path = tmp_path("ckpt_reference.cit");
+    let _ = std::fs::remove_file(&ref_path);
+    let mut reference = CrossInsightTrader::new(&p, ref_cfg);
+    reference.train(&p);
+    reference.save(&ref_path).expect("reference save");
+    let surviving = std::fs::read(&path).expect("surviving checkpoint readable");
+    let expected = std::fs::read(&ref_path).expect("reference checkpoint readable");
+    assert_eq!(
+        surviving, expected,
+        "failed writes must leave the update-2 checkpoint untouched"
+    );
+
+    // And it still loads into a fresh trader.
+    let mut fresh = CrossInsightTrader::new(&p, cfg);
+    fresh.load(&path).expect("surviving checkpoint loads");
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&ref_path);
+}

@@ -3,6 +3,7 @@
 //! (equity curves, per-day series for the paper's figures) can be saved.
 
 use crate::panel::{AssetPanel, NUM_FEATURES};
+use crate::quality::RawPanel;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -127,6 +128,79 @@ pub fn panel_from_csv(name: &str, csv: &str, test_start: usize) -> Result<AssetP
     Ok(panel)
 }
 
+/// Lenient variant of [`panel_from_csv`] for real-world feeds: instead of
+/// erroring on dirty content it produces a [`RawPanel`] to be diagnosed and
+/// repaired by [`crate::quality`].
+///
+/// - unparsable prices become NaN (missing cells),
+/// - absent `(day, asset)` rows stay NaN,
+/// - a day re-stated by a later row wins (last write) and the day is
+///   recorded in [`RawPanel::duplicate_days`],
+/// - only structural problems (bad header, bad day/asset fields, no rows)
+///   are errors.
+pub fn raw_panel_from_csv(name: &str, csv: &str, test_start: usize) -> Result<RawPanel, CsvError> {
+    let mut lines = csv.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::Malformed("empty file".into()))?;
+    if header.trim() != "day,asset,open,high,low,close" {
+        return Err(CsvError::Malformed(format!("unexpected header: {header}")));
+    }
+    let mut rows: Vec<(usize, String, [f64; 4])> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 6 {
+            return Err(CsvError::Malformed(format!(
+                "line {}: expected 6 fields",
+                lineno + 2
+            )));
+        }
+        let day: usize = parts[0]
+            .parse()
+            .map_err(|_| CsvError::Malformed(format!("line {}: bad day", lineno + 2)))?;
+        let mut vals = [f64::NAN; 4];
+        for (k, v) in parts[2..].iter().enumerate() {
+            // Unparsable price -> NaN, left for quality repair.
+            vals[k] = v.trim().parse().unwrap_or(f64::NAN);
+        }
+        rows.push((day, parts[1].to_string(), vals));
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Malformed("no data rows".into()));
+    }
+    let num_days = rows.iter().map(|r| r.0).max().expect("non-empty") + 1;
+    let assets: Vec<String> = {
+        let mut seen: Vec<String> = Vec::new();
+        for (_, asset, _) in &rows {
+            if !seen.contains(asset) {
+                seen.push(asset.clone());
+            }
+        }
+        seen
+    };
+    let m = assets.len();
+    let mut raw = RawPanel::empty(name, num_days, m);
+    raw.test_start = test_start.min(num_days.saturating_sub(1));
+    raw.asset_names = assets.clone();
+    let mut filled = vec![false; num_days * m];
+    let mut duplicates: Vec<usize> = Vec::new();
+    for (day, asset, vals) in rows {
+        let i = assets.iter().position(|a| *a == asset).expect("seen above");
+        if filled[day * m + i] && !duplicates.contains(&day) {
+            duplicates.push(day);
+        }
+        filled[day * m + i] = true;
+        let idx = (day * m + i) * NUM_FEATURES;
+        raw.data[idx..idx + 4].copy_from_slice(&vals);
+    }
+    duplicates.sort_unstable();
+    raw.duplicate_days = duplicates;
+    Ok(raw)
+}
+
 /// Writes labelled series (e.g. equity curves for the paper's figures) as a
 /// wide CSV: first column `day`, one column per series. Series are padded
 /// with empty cells when lengths differ.
@@ -201,6 +275,45 @@ mod tests {
             panel_from_csv("x", csv, 0),
             Err(CsvError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn raw_parse_tolerates_dirty_feeds() {
+        use crate::quality::{QualityConfig, RepairPolicy};
+        let csv = "day,asset,open,high,low,close\n\
+                   0,A,1,1,1,1\n0,B,2,2,2,2\n\
+                   1,A,1,1,1,oops\n\
+                   1,B,2,2,2,2\n\
+                   2,A,1,1,1,1\n\
+                   2,B,2,2,2,2\n\
+                   2,B,3,3,3,3\n";
+        let raw = raw_panel_from_csv("dirty", csv, 2).expect("lenient parse");
+        assert_eq!(raw.num_days, 3);
+        assert_eq!(raw.num_assets, 2);
+        // Unparsable close -> NaN.
+        assert!(raw.data[raw.num_assets * NUM_FEATURES + 3].is_nan());
+        // Re-stated day 2 for B: last write wins, day recorded.
+        assert_eq!(raw.duplicate_days, vec![2]);
+        assert_eq!(raw.data[(2 * raw.num_assets + 1) * NUM_FEATURES + 3], 3.0);
+        let (panel, report) = raw
+            .repair(
+                RepairPolicy::ForwardFill,
+                &QualityConfig::default(),
+                &cit_telemetry::Telemetry::disabled(),
+            )
+            .expect("repairable");
+        assert_eq!(report.repaired_cells, 1);
+        assert_eq!(panel.close(1, 0), 1.0);
+    }
+
+    #[test]
+    fn raw_parse_marks_absent_rows_missing() {
+        let csv = "day,asset,open,high,low,close\n0,A,1,1,1,1\n0,B,2,2,2,2\n1,B,2,2,2,2\n";
+        let raw = raw_panel_from_csv("gap", csv, 1).expect("lenient parse");
+        // Day 1 row for A was never listed: all four features NaN.
+        for f in 0..NUM_FEATURES {
+            assert!(raw.data[raw.num_assets * NUM_FEATURES + f].is_nan());
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ mod env;
 pub mod metrics;
 mod panel;
 mod presets;
+pub mod quality;
 pub mod risk;
 mod synth;
 mod walkforward;
@@ -33,15 +34,19 @@ pub use backtest::{
     BacktestResult, DecisionContext, Strategy, UniformStrategy,
 };
 pub use constraints::{ConstrainedStrategy, PortfolioConstraints};
-pub use csv::{panel_from_csv, panel_to_csv, save, series_to_csv, CsvError};
+pub use csv::{panel_from_csv, panel_to_csv, raw_panel_from_csv, save, series_to_csv, CsvError};
 pub use env::{
     project_to_simplex, weight_concentration, EnvConfig, EnvSnapshot, PortfolioEnv, StepResult,
 };
 pub use metrics::Metrics;
-pub use panel::{AssetPanel, Feature, NUM_FEATURES};
+pub use panel::{AssetPanel, Feature, PanelError, NUM_FEATURES};
 pub use presets::MarketPreset;
+pub use quality::{
+    assess_panel, DataQualityReport, Issue, IssueKind, QualityConfig, QualityError, RawPanel,
+    RepairPolicy,
+};
 pub use synth::{Regime, RegimeSegment, SynthConfig};
 pub use walkforward::{
-    fold_result_path, folds, walk_forward, walk_forward_resumable, Fold, WalkForwardConfig,
-    WalkForwardError, WalkForwardResult,
+    fold_result_path, folds, walk_forward, walk_forward_resumable, walk_forward_resumable_with,
+    Fold, WalkForwardConfig, WalkForwardError, WalkForwardResult,
 };

@@ -16,6 +16,35 @@ pub enum Feature {
 /// Number of per-asset features stored in a panel.
 pub const NUM_FEATURES: usize = 4;
 
+/// Why a buffer cannot form a valid [`AssetPanel`]
+/// (see [`AssetPanel::try_new`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PanelError {
+    /// Fewer than two days or zero assets.
+    Empty(String),
+    /// Buffer length does not equal `T·m·d`.
+    SizeMismatch(String),
+    /// A price is NaN, infinite, zero or negative. The environment's
+    /// return computations divide by prices, so a dirty panel must go
+    /// through [`crate::quality`] validation/repair first.
+    DirtyPrice(String),
+    /// `test_start` is not inside `[0, T)`.
+    BadSplit(String),
+}
+
+impl std::fmt::Display for PanelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PanelError::Empty(m)
+            | PanelError::SizeMismatch(m)
+            | PanelError::DirtyPrice(m)
+            | PanelError::BadSplit(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for PanelError {}
+
 /// A dense panel of daily OHLC prices: `data[(t, i, f)]` with `T` days,
 /// `m` assets and [`NUM_FEATURES`] features, plus a train/test split index.
 #[derive(Debug, Clone)]
@@ -43,27 +72,57 @@ impl AssetPanel {
         data: Vec<f64>,
         test_start: usize,
     ) -> Self {
-        assert!(num_days >= 2, "panel needs at least two days");
-        assert!(num_assets >= 1, "panel needs at least one asset");
-        assert_eq!(
-            data.len(),
-            num_days * num_assets * NUM_FEATURES,
-            "panel buffer size mismatch"
-        );
-        assert!(
-            data.iter().all(|p| p.is_finite() && *p > 0.0),
-            "panel prices must be positive and finite"
-        );
-        assert!(test_start < num_days, "test_start out of range");
+        Self::try_new(name, num_days, num_assets, data, test_start)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a panel from raw `[T, m, d]` data, returning a typed
+    /// [`PanelError`] instead of panicking. This is the only constructor —
+    /// [`AssetPanel::new`] delegates here — so a `PortfolioEnv` can never
+    /// be built over non-positive or non-finite prices; dirty feeds go
+    /// through [`crate::quality`] validation/repair first.
+    pub fn try_new(
+        name: impl Into<String>,
+        num_days: usize,
+        num_assets: usize,
+        data: Vec<f64>,
+        test_start: usize,
+    ) -> Result<Self, PanelError> {
+        if num_days < 2 {
+            return Err(PanelError::Empty("panel needs at least two days".into()));
+        }
+        if num_assets < 1 {
+            return Err(PanelError::Empty("panel needs at least one asset".into()));
+        }
+        if data.len() != num_days * num_assets * NUM_FEATURES {
+            return Err(PanelError::SizeMismatch(format!(
+                "panel buffer size mismatch: {} values for {num_days}×{num_assets}×{NUM_FEATURES}",
+                data.len()
+            )));
+        }
+        if let Some(pos) = data.iter().position(|p| !(p.is_finite() && *p > 0.0)) {
+            let (t, rest) = (
+                pos / (num_assets * NUM_FEATURES),
+                pos % (num_assets * NUM_FEATURES),
+            );
+            return Err(PanelError::DirtyPrice(format!(
+                "panel prices must be positive and finite: value {} at day {t}, asset {}",
+                data[pos],
+                rest / NUM_FEATURES
+            )));
+        }
+        if test_start >= num_days {
+            return Err(PanelError::BadSplit("test_start out of range".into()));
+        }
         let asset_names = (0..num_assets).map(|i| format!("A{i:03}")).collect();
-        AssetPanel {
+        Ok(AssetPanel {
             name: name.into(),
             num_days,
             num_assets,
             data,
             test_start,
             asset_names,
-        }
+        })
     }
 
     /// Dataset label (e.g. "US", "HK", "CN").

@@ -1,0 +1,835 @@
+//! Market-data validation and repair.
+//!
+//! Real feeds deliver what synthetic generators never do: NaN cells,
+//! zero/negative prices, missing rows, duplicated dates, fat-fingered
+//! outlier returns and too-short histories. [`AssetPanel`] refuses to hold
+//! any of that — its constructor rejects non-positive and non-finite
+//! prices — so dirty data enters through a [`RawPanel`] (NaN = missing),
+//! is diagnosed into a [`DataQualityReport`], and is made clean by a
+//! configurable [`RepairPolicy`] before a `PortfolioEnv` can ever see it.
+//! Every repair is counted in the report and mirrored to telemetry
+//! (`quality.report` records, `quality.repairs.*` counters).
+//!
+//! The [`cit_faults::FaultInjector`] hooks in [`RawPanel::apply_faults`]
+//! let chaos tests corrupt, drop, scale, truncate or delay panel rows
+//! deterministically from a fault plan.
+
+use crate::panel::{AssetPanel, Feature, NUM_FEATURES};
+use cit_faults::{Fault, FaultInjector};
+use cit_telemetry::{Record, Telemetry};
+use std::collections::BTreeSet;
+
+/// Thresholds used by [`RawPanel::validate`].
+#[derive(Debug, Clone, Copy)]
+pub struct QualityConfig {
+    /// A close-to-close return with `|r| >` this is an outlier (critical).
+    pub max_abs_return: f64,
+    /// Panels shorter than this many days get a `ShortHistory` warning.
+    pub min_history: usize,
+}
+
+impl Default for QualityConfig {
+    fn default() -> Self {
+        QualityConfig {
+            max_abs_return: 0.5,
+            min_history: 32,
+        }
+    }
+}
+
+/// The kind of a data-quality [`Issue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IssueKind {
+    /// NaN or infinite price cell (critical).
+    NonFinitePrice,
+    /// Zero or negative price cell (critical).
+    NonPositivePrice,
+    /// All features of a (day, asset) row are missing (critical).
+    MissingRow,
+    /// Close-to-close return beyond the configured bound (critical).
+    OutlierReturn,
+    /// A later row re-stated an existing day (warning; last write wins).
+    DuplicateRow,
+    /// Finite `high < low` on one day (warning).
+    InvertedRange,
+    /// The whole panel is shorter than `min_history` days (warning).
+    ShortHistory,
+}
+
+impl IssueKind {
+    /// Critical issues make the panel unusable without repair; warnings
+    /// are recorded but do not block construction.
+    pub fn is_critical(self) -> bool {
+        matches!(
+            self,
+            IssueKind::NonFinitePrice
+                | IssueKind::NonPositivePrice
+                | IssueKind::MissingRow
+                | IssueKind::OutlierReturn
+        )
+    }
+
+    /// Stable lowercase label (telemetry keys, summaries).
+    pub fn label(self) -> &'static str {
+        match self {
+            IssueKind::NonFinitePrice => "non_finite_price",
+            IssueKind::NonPositivePrice => "non_positive_price",
+            IssueKind::MissingRow => "missing_row",
+            IssueKind::OutlierReturn => "outlier_return",
+            IssueKind::DuplicateRow => "duplicate_row",
+            IssueKind::InvertedRange => "inverted_range",
+            IssueKind::ShortHistory => "short_history",
+        }
+    }
+
+    /// All kinds, in severity order (criticals first).
+    pub fn all() -> [IssueKind; 7] {
+        [
+            IssueKind::NonFinitePrice,
+            IssueKind::NonPositivePrice,
+            IssueKind::MissingRow,
+            IssueKind::OutlierReturn,
+            IssueKind::DuplicateRow,
+            IssueKind::InvertedRange,
+            IssueKind::ShortHistory,
+        ]
+    }
+}
+
+/// One located data-quality problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Issue {
+    /// What is wrong.
+    pub kind: IssueKind,
+    /// Day index the issue was found at.
+    pub day: usize,
+    /// Asset index, when the issue is asset-specific (`None` for
+    /// panel-level issues like `ShortHistory` / `DuplicateRow`).
+    pub asset: Option<usize>,
+}
+
+/// Maximum example issues retained per kind (counts are always complete).
+const MAX_EXAMPLES: usize = 16;
+
+/// The diagnosis of one panel: complete per-kind counts, capped example
+/// locations, and — after [`RawPanel::repair`] — what the repair did.
+#[derive(Debug, Clone, Default)]
+pub struct DataQualityReport {
+    /// Panel label the report describes.
+    pub panel: String,
+    /// `(kind, count)` for every kind with at least one occurrence.
+    pub counts: Vec<(IssueKind, usize)>,
+    /// Up to [`MAX_EXAMPLES`] located examples per kind.
+    pub examples: Vec<Issue>,
+    /// Asset names (for naming offenders in errors and summaries).
+    pub asset_names: Vec<String>,
+    /// Cells rewritten by forward/backward filling.
+    pub repaired_cells: usize,
+    /// Close returns clamped to the configured bound.
+    pub clamped_returns: usize,
+    /// Assets dropped by [`RepairPolicy::DropAssets`].
+    pub dropped_assets: Vec<String>,
+}
+
+impl DataQualityReport {
+    /// Occurrences of one issue kind.
+    pub fn count(&self, kind: IssueKind) -> usize {
+        self.counts
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |(_, c)| *c)
+    }
+
+    /// Total critical-issue occurrences.
+    pub fn critical_count(&self) -> usize {
+        self.counts
+            .iter()
+            .filter(|(k, _)| k.is_critical())
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// `true` when at least one critical issue was found.
+    pub fn has_critical(&self) -> bool {
+        self.critical_count() > 0
+    }
+
+    /// Names of assets carrying at least one critical issue, sorted.
+    pub fn offending_assets(&self) -> Vec<String> {
+        let idx: BTreeSet<usize> = self
+            .examples
+            .iter()
+            .filter(|i| i.kind.is_critical())
+            .filter_map(|i| i.asset)
+            .collect();
+        idx.iter()
+            .map(|&i| {
+                self.asset_names
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| format!("A{i:03}"))
+            })
+            .collect()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        if self.counts.is_empty() {
+            return format!("{}: clean", self.panel);
+        }
+        let parts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(k, c)| format!("{}={c}", k.label()))
+            .collect();
+        format!("{}: {}", self.panel, parts.join(" "))
+    }
+
+    /// Emits the report as a `quality.report` telemetry record (counts
+    /// only — never raw prices, so the record is always valid JSON).
+    pub fn emit(&self, telemetry: &Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        let mut rec = Record::new("quality.report")
+            .with("panel", self.panel.clone())
+            .with("critical", self.critical_count())
+            .with("repaired_cells", self.repaired_cells)
+            .with("clamped_returns", self.clamped_returns)
+            .with("dropped_assets", self.dropped_assets.len());
+        for (kind, count) in &self.counts {
+            rec = rec.with(kind.label(), *count);
+        }
+        telemetry.emit(rec);
+    }
+}
+
+/// How [`RawPanel::repair`] makes a dirty panel usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairPolicy {
+    /// Refuse to repair: any critical issue is an error.
+    Reject,
+    /// Rewrite missing/invalid cells from the most recent valid value of
+    /// the same asset and feature (leading gaps back-fill from the first
+    /// valid value).
+    ForwardFill,
+    /// Remove every asset that carries a critical issue.
+    DropAssets,
+    /// [`RepairPolicy::ForwardFill`], then clamp outlier close-to-close
+    /// returns to `±max_abs_return` (O/H/L scale with the close).
+    ClampReturns,
+}
+
+/// Why a repair could not produce a usable panel.
+#[derive(Debug)]
+pub enum QualityError {
+    /// [`RepairPolicy::Reject`] and the panel has critical issues.
+    Rejected(Box<DataQualityReport>),
+    /// The chosen policy cannot fix this panel (e.g. an asset with no
+    /// valid value at all, or every asset dropped).
+    Unrepairable(String),
+}
+
+impl std::fmt::Display for QualityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QualityError::Rejected(r) => write!(
+                f,
+                "panel rejected: {} critical issue(s) [{}] (offending assets: {})",
+                r.critical_count(),
+                r.summary(),
+                r.offending_assets().join(", ")
+            ),
+            QualityError::Unrepairable(m) => write!(f, "panel unrepairable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QualityError {}
+
+/// A possibly-dirty panel: same `[T, m, d]` layout as [`AssetPanel`] but
+/// cells may be NaN (missing), zero, negative or infinite. The only way
+/// from here to an [`AssetPanel`] is [`RawPanel::repair`].
+#[derive(Debug, Clone)]
+pub struct RawPanel {
+    /// Panel label.
+    pub name: String,
+    /// Number of days `T`.
+    pub num_days: usize,
+    /// Number of assets `m`.
+    pub num_assets: usize,
+    /// Row-major `[T, m, d]`; NaN marks a missing cell.
+    pub data: Vec<f64>,
+    /// First day of the test period.
+    pub test_start: usize,
+    /// Asset names (defaulted to `A000…` when unknown).
+    pub asset_names: Vec<String>,
+    /// Days that were re-stated by a later row at ingestion
+    /// (`DuplicateRow` warnings; last write won).
+    pub duplicate_days: Vec<usize>,
+}
+
+impl RawPanel {
+    /// An all-missing raw panel to be filled by an ingester.
+    pub fn empty(name: impl Into<String>, num_days: usize, num_assets: usize) -> Self {
+        RawPanel {
+            name: name.into(),
+            num_days,
+            num_assets,
+            data: vec![f64::NAN; num_days * num_assets * NUM_FEATURES],
+            test_start: num_days.saturating_sub(1),
+            asset_names: (0..num_assets).map(|i| format!("A{i:03}")).collect(),
+            duplicate_days: Vec::new(),
+        }
+    }
+
+    /// Copies a clean panel into raw form (for tests that then dirty it).
+    pub fn from_panel(panel: &AssetPanel) -> Self {
+        let mut data = Vec::with_capacity(panel.num_days() * panel.num_assets() * NUM_FEATURES);
+        for t in 0..panel.num_days() {
+            for i in 0..panel.num_assets() {
+                for f in [Feature::Open, Feature::High, Feature::Low, Feature::Close] {
+                    data.push(panel.price(t, i, f));
+                }
+            }
+        }
+        RawPanel {
+            name: panel.name().to_string(),
+            num_days: panel.num_days(),
+            num_assets: panel.num_assets(),
+            data,
+            test_start: panel.test_start(),
+            asset_names: panel.asset_names().to_vec(),
+            duplicate_days: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, t: usize, i: usize, f: usize) -> usize {
+        (t * self.num_assets + i) * NUM_FEATURES + f
+    }
+
+    /// Applies the market faults of an active plan: corrupted/missing
+    /// rows, outlier scaling, truncated and delayed reads. A disabled
+    /// injector is a no-op; each fault fires once per plan.
+    pub fn apply_faults(&mut self, faults: &FaultInjector) {
+        if !faults.is_enabled() {
+            return;
+        }
+        if let Some(delay) = faults.read_delay() {
+            std::thread::sleep(delay);
+        }
+        if let Some(days) = faults.truncate_read() {
+            if days >= 2 && days < self.num_days {
+                self.num_days = days;
+                self.data.truncate(days * self.num_assets * NUM_FEATURES);
+                self.test_start = self.test_start.min(days - 1);
+                self.duplicate_days.retain(|&d| d < days);
+            }
+        }
+        for fault in faults.market_faults() {
+            match fault {
+                Fault::MarketNan { day, asset } | Fault::MarketMissing { day, asset }
+                    if day < self.num_days && asset < self.num_assets =>
+                {
+                    for f in 0..NUM_FEATURES {
+                        let idx = self.idx(day, asset, f);
+                        self.data[idx] = f64::NAN;
+                    }
+                }
+                Fault::MarketOutlier { day, asset, factor }
+                    if day < self.num_days && asset < self.num_assets =>
+                {
+                    for f in 0..NUM_FEATURES {
+                        let idx = self.idx(day, asset, f);
+                        self.data[idx] *= factor;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Diagnoses the panel without modifying it.
+    pub fn validate(&self, cfg: &QualityConfig) -> DataQualityReport {
+        let mut counts = vec![0usize; IssueKind::all().len()];
+        let mut examples: Vec<Issue> = Vec::new();
+        let mut note = |kind: IssueKind, day: usize, asset: Option<usize>| {
+            let slot = IssueKind::all()
+                .iter()
+                .position(|&k| k == kind)
+                .expect("known kind");
+            counts[slot] += 1;
+            if examples.iter().filter(|i| i.kind == kind).count() < MAX_EXAMPLES {
+                examples.push(Issue { kind, day, asset });
+            }
+        };
+
+        for t in 0..self.num_days {
+            for i in 0..self.num_assets {
+                let cell: Vec<f64> = (0..NUM_FEATURES)
+                    .map(|f| self.data[self.idx(t, i, f)])
+                    .collect();
+                if cell.iter().all(|v| v.is_nan()) {
+                    note(IssueKind::MissingRow, t, Some(i));
+                    continue;
+                }
+                for &v in &cell {
+                    if !v.is_finite() {
+                        note(IssueKind::NonFinitePrice, t, Some(i));
+                    } else if v <= 0.0 {
+                        note(IssueKind::NonPositivePrice, t, Some(i));
+                    }
+                }
+                let (high, low) = (cell[Feature::High as usize], cell[Feature::Low as usize]);
+                if high.is_finite() && low.is_finite() && high > 0.0 && low > 0.0 && high < low {
+                    note(IssueKind::InvertedRange, t, Some(i));
+                }
+            }
+        }
+        // Outlier close-to-close returns between consecutive valid closes.
+        for i in 0..self.num_assets {
+            let mut prev: Option<f64> = None;
+            for t in 0..self.num_days {
+                let c = self.data[self.idx(t, i, Feature::Close as usize)];
+                if !(c.is_finite() && c > 0.0) {
+                    continue;
+                }
+                if let Some(p) = prev {
+                    if (c / p - 1.0).abs() > cfg.max_abs_return {
+                        note(IssueKind::OutlierReturn, t, Some(i));
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        for &d in &self.duplicate_days {
+            note(IssueKind::DuplicateRow, d, None);
+        }
+        if self.num_days < cfg.min_history {
+            note(IssueKind::ShortHistory, self.num_days, None);
+        }
+
+        DataQualityReport {
+            panel: self.name.clone(),
+            counts: IssueKind::all()
+                .iter()
+                .zip(&counts)
+                .filter(|(_, &c)| c > 0)
+                .map(|(&k, &c)| (k, c))
+                .collect(),
+            examples,
+            asset_names: self.asset_names.clone(),
+            ..Default::default()
+        }
+    }
+
+    /// Validates, repairs under `policy`, and constructs the clean
+    /// [`AssetPanel`]. Returns the panel together with the quality report
+    /// (original issues plus repair counts); every repair is also counted
+    /// on `telemetry` (`quality.repairs.*`) and the report is emitted as a
+    /// `quality.report` record.
+    pub fn repair(
+        &self,
+        policy: RepairPolicy,
+        cfg: &QualityConfig,
+        telemetry: &Telemetry,
+    ) -> Result<(AssetPanel, DataQualityReport), QualityError> {
+        let mut report = self.validate(cfg);
+        if policy == RepairPolicy::Reject && report.has_critical() {
+            report.emit(telemetry);
+            return Err(QualityError::Rejected(Box::new(report)));
+        }
+
+        let mut work = self.clone();
+        if policy == RepairPolicy::DropAssets && report.has_critical() {
+            let offenders: BTreeSet<usize> = {
+                // Counts are complete but examples are capped, so recompute
+                // offenders exhaustively from the raw cells.
+                let mut bad = BTreeSet::new();
+                for i in 0..self.num_assets {
+                    'asset: for t in 0..self.num_days {
+                        for f in 0..NUM_FEATURES {
+                            let v = self.data[self.idx(t, i, f)];
+                            if !(v.is_finite() && v > 0.0) {
+                                bad.insert(i);
+                                break 'asset;
+                            }
+                        }
+                    }
+                }
+                for issue in report.examples.iter().filter(|i| i.kind.is_critical()) {
+                    if let Some(a) = issue.asset {
+                        bad.insert(a);
+                    }
+                }
+                // Outliers beyond the example cap: re-scan returns.
+                for i in 0..self.num_assets {
+                    if bad.contains(&i) {
+                        continue;
+                    }
+                    let mut prev: Option<f64> = None;
+                    for t in 0..self.num_days {
+                        let c = self.data[self.idx(t, i, Feature::Close as usize)];
+                        if !(c.is_finite() && c > 0.0) {
+                            continue;
+                        }
+                        if let Some(p) = prev {
+                            if (c / p - 1.0).abs() > cfg.max_abs_return {
+                                bad.insert(i);
+                                break;
+                            }
+                        }
+                        prev = Some(c);
+                    }
+                }
+                bad
+            };
+            if offenders.len() >= self.num_assets {
+                return Err(QualityError::Unrepairable(
+                    "every asset carries a critical issue; nothing left to trade".into(),
+                ));
+            }
+            let keep: Vec<usize> = (0..self.num_assets)
+                .filter(|i| !offenders.contains(i))
+                .collect();
+            let mut data = Vec::with_capacity(self.num_days * keep.len() * NUM_FEATURES);
+            for t in 0..self.num_days {
+                for &i in &keep {
+                    for f in 0..NUM_FEATURES {
+                        data.push(self.data[self.idx(t, i, f)]);
+                    }
+                }
+            }
+            report.dropped_assets = offenders
+                .iter()
+                .map(|&i| {
+                    self.asset_names
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| format!("A{i:03}"))
+                })
+                .collect();
+            telemetry
+                .counter("quality.repairs.dropped_assets")
+                .add(offenders.len() as u64);
+            work.num_assets = keep.len();
+            work.data = data;
+            work.asset_names = keep
+                .iter()
+                .map(|&i| {
+                    self.asset_names
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| format!("A{i:03}"))
+                })
+                .collect();
+        }
+
+        if matches!(
+            policy,
+            RepairPolicy::ForwardFill | RepairPolicy::ClampReturns
+        ) {
+            report.repaired_cells = forward_fill(&mut work)?;
+            telemetry
+                .counter("quality.repairs.forward_fill")
+                .add(report.repaired_cells as u64);
+        }
+        if policy == RepairPolicy::ClampReturns {
+            report.clamped_returns = clamp_returns(&mut work, cfg.max_abs_return);
+            telemetry
+                .counter("quality.repairs.clamped_returns")
+                .add(report.clamped_returns as u64);
+        }
+        if policy == RepairPolicy::DropAssets {
+            // Dropping offenders removes critical cells entirely, but a
+            // remaining asset may still hold repairable gaps created by
+            // row-level faults on dropped days; forward-fill those too.
+            report.repaired_cells = forward_fill(&mut work)?;
+            if report.repaired_cells > 0 {
+                telemetry
+                    .counter("quality.repairs.forward_fill")
+                    .add(report.repaired_cells as u64);
+            }
+        }
+
+        let panel = AssetPanel::try_new(
+            work.name.clone(),
+            work.num_days,
+            work.num_assets,
+            work.data.clone(),
+            work.test_start.min(work.num_days - 1),
+        )
+        .map_err(|e| QualityError::Unrepairable(format!("repair left a dirty panel: {e}")))?;
+        let mut panel = panel;
+        panel.set_asset_names(work.asset_names.clone());
+        report.emit(telemetry);
+        Ok((panel, report))
+    }
+}
+
+/// Rewrites every invalid cell (NaN/Inf/non-positive) from the most recent
+/// valid value of the same asset and feature; leading gaps back-fill from
+/// the first valid value. Returns the number of rewritten cells; errors
+/// when a whole (asset, feature) series has no valid value at all.
+fn forward_fill(p: &mut RawPanel) -> Result<usize, QualityError> {
+    let mut repaired = 0usize;
+    for i in 0..p.num_assets {
+        for f in 0..NUM_FEATURES {
+            let series: Vec<f64> = (0..p.num_days)
+                .map(|t| p.data[(t * p.num_assets + i) * NUM_FEATURES + f])
+                .collect();
+            let first_valid = series.iter().position(|v| v.is_finite() && *v > 0.0);
+            let Some(first) = first_valid else {
+                let name = p
+                    .asset_names
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| format!("A{i:03}"));
+                return Err(QualityError::Unrepairable(format!(
+                    "asset {name} feature {f} has no valid value to fill from"
+                )));
+            };
+            let mut last = series[first];
+            for t in 0..p.num_days {
+                let idx = (t * p.num_assets + i) * NUM_FEATURES + f;
+                let v = p.data[idx];
+                if v.is_finite() && v > 0.0 {
+                    last = v;
+                } else {
+                    p.data[idx] = last;
+                    repaired += 1;
+                }
+            }
+        }
+    }
+    Ok(repaired)
+}
+
+/// Clamps close-to-close returns to `±max_abs_return`, scaling the other
+/// features by the close adjustment so each day's OHLC stays coherent.
+/// Assumes all cells are already valid (run [`forward_fill`] first).
+/// Returns the number of clamped days.
+fn clamp_returns(p: &mut RawPanel, max_abs_return: f64) -> usize {
+    let mut clamped = 0usize;
+    let close = Feature::Close as usize;
+    for i in 0..p.num_assets {
+        let mut prev = p.data[i * NUM_FEATURES + close];
+        for t in 1..p.num_days {
+            let idx_close = (t * p.num_assets + i) * NUM_FEATURES + close;
+            let c = p.data[idx_close];
+            let r = c / prev - 1.0;
+            if r.abs() > max_abs_return {
+                let bounded = prev * (1.0 + max_abs_return.copysign(r));
+                let scale = bounded / c;
+                for f in 0..NUM_FEATURES {
+                    let idx = (t * p.num_assets + i) * NUM_FEATURES + f;
+                    p.data[idx] *= scale;
+                }
+                clamped += 1;
+                prev = bounded;
+            } else {
+                prev = c;
+            }
+        }
+    }
+    clamped
+}
+
+/// Diagnoses an already-constructed (price-valid) panel — outlier returns,
+/// short history — for guards that refuse to benchmark garbage.
+pub fn assess_panel(panel: &AssetPanel, cfg: &QualityConfig) -> DataQualityReport {
+    RawPanel::from_panel(panel).validate(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    fn clean_raw() -> RawPanel {
+        let p = SynthConfig {
+            num_assets: 3,
+            num_days: 60,
+            test_start: 45,
+            ..Default::default()
+        }
+        .generate();
+        RawPanel::from_panel(&p)
+    }
+
+    #[test]
+    fn clean_panel_reports_clean_and_roundtrips() {
+        let raw = clean_raw();
+        let report = raw.validate(&QualityConfig::default());
+        assert!(!report.has_critical(), "{}", report.summary());
+        let (panel, rep) = raw
+            .repair(
+                RepairPolicy::Reject,
+                &QualityConfig::default(),
+                &Telemetry::disabled(),
+            )
+            .expect("clean panel passes Reject");
+        assert_eq!(rep.repaired_cells, 0);
+        // Bitwise identical round-trip.
+        for t in 0..panel.num_days() {
+            for i in 0..panel.num_assets() {
+                assert_eq!(panel.close(t, i), raw.data[raw.idx(t, i, 3)]);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_and_forward_fills_dirty_cells() {
+        let mut raw = clean_raw();
+        let nan_idx = raw.idx(10, 1, Feature::Close as usize);
+        let neg_idx = raw.idx(20, 2, Feature::Open as usize);
+        raw.data[nan_idx] = f64::NAN;
+        raw.data[neg_idx] = -4.0;
+        for f in 0..NUM_FEATURES {
+            let idx = raw.idx(30, 0, f);
+            raw.data[idx] = f64::NAN; // whole row missing
+        }
+        let report = raw.validate(&QualityConfig::default());
+        assert!(report.count(IssueKind::NonFinitePrice) >= 1);
+        assert_eq!(report.count(IssueKind::NonPositivePrice), 1);
+        assert_eq!(report.count(IssueKind::MissingRow), 1);
+        assert!(report.has_critical());
+
+        let (panel, rep) = raw
+            .repair(
+                RepairPolicy::ForwardFill,
+                &QualityConfig::default(),
+                &Telemetry::disabled(),
+            )
+            .expect("forward fill repairs");
+        assert_eq!(rep.repaired_cells, 2 + NUM_FEATURES);
+        // Filled from the previous day's value.
+        assert_eq!(panel.close(10, 1), panel.close(9, 1));
+        assert_eq!(panel.close(30, 0), panel.close(29, 0));
+    }
+
+    #[test]
+    fn reject_errors_only_on_criticals() {
+        let mut raw = clean_raw();
+        let idx = raw.idx(5, 0, 0);
+        raw.data[idx] = f64::INFINITY;
+        let err = raw
+            .repair(
+                RepairPolicy::Reject,
+                &QualityConfig::default(),
+                &Telemetry::disabled(),
+            )
+            .expect_err("critical issue must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("A000"), "offender named: {msg}");
+    }
+
+    #[test]
+    fn drop_assets_removes_exactly_the_offenders() {
+        let mut raw = clean_raw();
+        let idx = raw.idx(12, 1, Feature::Low as usize);
+        raw.data[idx] = 0.0;
+        let (panel, rep) = raw
+            .repair(
+                RepairPolicy::DropAssets,
+                &QualityConfig::default(),
+                &Telemetry::disabled(),
+            )
+            .expect("droppable");
+        assert_eq!(panel.num_assets(), 2);
+        assert_eq!(rep.dropped_assets, vec!["A001".to_string()]);
+        assert_eq!(
+            panel.asset_names(),
+            ["A000".to_string(), "A002".to_string()]
+        );
+    }
+
+    #[test]
+    fn clamp_returns_bounds_every_return() {
+        let mut raw = clean_raw();
+        // A 40× fat-finger day.
+        for f in 0..NUM_FEATURES {
+            let idx = raw.idx(25, 0, f);
+            raw.data[idx] *= 40.0;
+        }
+        let cfg = QualityConfig::default();
+        let report = raw.validate(&cfg);
+        assert!(report.count(IssueKind::OutlierReturn) >= 1);
+        let (panel, rep) = raw
+            .repair(RepairPolicy::ClampReturns, &cfg, &Telemetry::disabled())
+            .expect("clampable");
+        assert!(rep.clamped_returns >= 1);
+        for t in 1..panel.num_days() {
+            for r in panel.growth_ratios(t) {
+                assert!(
+                    r.abs() <= cfg.max_abs_return + 1e-9,
+                    "return {r} at day {t} above bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unrepairable_when_an_asset_has_no_valid_values() {
+        let mut raw = clean_raw();
+        for t in 0..raw.num_days {
+            let idx = raw.idx(t, 2, Feature::Close as usize);
+            raw.data[idx] = f64::NAN;
+        }
+        let err = raw
+            .repair(
+                RepairPolicy::ForwardFill,
+                &QualityConfig::default(),
+                &Telemetry::disabled(),
+            )
+            .expect_err("nothing to fill from");
+        assert!(matches!(err, QualityError::Unrepairable(_)));
+    }
+
+    #[test]
+    fn fault_injector_corrupts_rows_deterministically() {
+        use cit_faults::{FaultInjector, FaultPlan};
+        let plan = FaultPlan::parse(
+            "cit-faults v1\nseed 1\nmarket-nan 7 0\nmarket-outlier 9 1 30.0\ntruncate-read 40\n",
+        )
+        .expect("plan");
+        let mut a = clean_raw();
+        let mut b = clean_raw();
+        a.apply_faults(&FaultInjector::new(plan.clone()));
+        b.apply_faults(&FaultInjector::new(plan));
+        assert_eq!(a.num_days, 40);
+        let close_idx = a.idx(7, 0, Feature::Close as usize);
+        assert!(a.data[close_idx].is_nan());
+        // Same plan → bitwise-identical corruption.
+        assert_eq!(a.num_days, b.num_days);
+        for (x, y) in a.data.iter().zip(&b.data) {
+            assert!(x == y || (x.is_nan() && y.is_nan()));
+        }
+        let report = a.validate(&QualityConfig::default());
+        assert!(report.has_critical());
+        let (panel, _) = a
+            .repair(
+                RepairPolicy::ClampReturns,
+                &QualityConfig::default(),
+                &Telemetry::disabled(),
+            )
+            .expect("repairable");
+        assert_eq!(panel.num_days(), 40);
+    }
+
+    #[test]
+    fn telemetry_counts_repairs() {
+        let (tel, sink) = Telemetry::memory();
+        let mut raw = clean_raw();
+        let idx = raw.idx(3, 0, 1);
+        raw.data[idx] = f64::NAN;
+        let _ = raw
+            .repair(RepairPolicy::ForwardFill, &QualityConfig::default(), &tel)
+            .expect("repairs");
+        assert_eq!(tel.counter("quality.repairs.forward_fill").get(), 1);
+        let reports = sink.by_kind("quality.report");
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].get_f64("repaired_cells"), Some(1.0));
+    }
+}

@@ -7,6 +7,7 @@ use crate::backtest::{run_backtest, BacktestResult, Strategy};
 use crate::env::EnvConfig;
 use crate::metrics::{compute, Metrics};
 use crate::panel::AssetPanel;
+use cit_faults::FaultInjector;
 use cit_telemetry::{Record, Telemetry};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -298,6 +299,30 @@ pub fn walk_forward_resumable(
     cfg: &WalkForwardConfig,
     dir: impl AsRef<Path>,
     telemetry: &Telemetry,
+    make_strategy: impl FnMut(&AssetPanel, &Fold) -> Box<dyn Strategy>,
+) -> Result<WalkForwardResult, WalkForwardError> {
+    walk_forward_resumable_with(
+        panel,
+        cfg,
+        dir,
+        telemetry,
+        &FaultInjector::disabled(),
+        make_strategy,
+    )
+}
+
+/// [`walk_forward_resumable`] with a fault-injection hook and non-fatal
+/// fold persistence: a failed fold-result write (real, or injected at site
+/// `fold.write`) no longer aborts the run — the fold's in-memory result is
+/// used, a `checkpoint.error` record is emitted and the
+/// `walkforward.write_errors` counter bumped; only the *resume* guarantee
+/// degrades (that fold retrains on the next run).
+pub fn walk_forward_resumable_with(
+    panel: &AssetPanel,
+    cfg: &WalkForwardConfig,
+    dir: impl AsRef<Path>,
+    telemetry: &Telemetry,
+    faults: &FaultInjector,
     mut make_strategy: impl FnMut(&AssetPanel, &Fold) -> Box<dyn Strategy>,
 ) -> Result<WalkForwardResult, WalkForwardError> {
     let dir = dir.as_ref();
@@ -337,14 +362,29 @@ pub fn walk_forward_resumable(
                     fold.test_end,
                     strategy.as_mut(),
                 );
-                write_fold_atomic(&path, &fold_result_to_string(fold, &res))?;
-                telemetry.emit(
-                    Record::new("checkpoint.save")
-                        .with("scope", "walkforward")
-                        .with("fold", i)
-                        .with("test_start", fold.test_start)
-                        .with("path", path.display().to_string()),
-                );
+                let write_result = match faults.io_error("fold.write") {
+                    Some(e) => Err(e),
+                    None => write_fold_atomic(&path, &fold_result_to_string(fold, &res)),
+                };
+                match write_result {
+                    Ok(()) => telemetry.emit(
+                        Record::new("checkpoint.save")
+                            .with("scope", "walkforward")
+                            .with("fold", i)
+                            .with("test_start", fold.test_start)
+                            .with("path", path.display().to_string()),
+                    ),
+                    Err(e) => {
+                        telemetry.emit(
+                            Record::new("checkpoint.error")
+                                .with("scope", "walkforward")
+                                .with("fold", i)
+                                .with("path", path.display().to_string())
+                                .with("error", e.to_string()),
+                        );
+                        telemetry.counter("walkforward.write_errors").inc();
+                    }
+                }
                 res
             }
         };
@@ -509,6 +549,48 @@ mod tests {
             "exactly the invalid folds re-ran: {reran:?}"
         );
         assert_eq!(res.wealth, straight.wealth);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fold_write_failure_is_nonfatal_and_fold_reruns_next_time() {
+        use cit_faults::FaultPlan;
+        let p = panel();
+        let dir = std::env::temp_dir().join("cit_wf_faulty_write_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let straight = walk_forward(&p, &cfg(), |_, _| Box::new(UniformStrategy));
+
+        // Fail the 3rd fold-result write.
+        let plan =
+            FaultPlan::parse("cit-faults v1\nseed 7\nio fold.write 3 denied\n").expect("plan");
+        let (tel, sink) = Telemetry::memory();
+        let res = walk_forward_resumable_with(
+            &p,
+            &cfg(),
+            &dir,
+            &tel,
+            &FaultInjector::new(plan),
+            |_, _| Box::new(UniformStrategy),
+        )
+        .expect("run survives the failed write");
+        assert_eq!(res.wealth, straight.wealth, "result unaffected");
+        assert_eq!(sink.by_kind("checkpoint.error").len(), 1);
+        assert_eq!(tel.counter("walkforward.write_errors").get(), 1);
+        assert!(
+            !fold_result_path(&dir, 2).exists(),
+            "failed write left no file"
+        );
+
+        // Next run: only the unsaved fold retrains.
+        let mut reran = Vec::new();
+        let resumed = walk_forward_resumable(&p, &cfg(), &dir, &Telemetry::disabled(), |_, f| {
+            reran.push(f.test_start);
+            Box::new(UniformStrategy)
+        })
+        .expect("resume");
+        assert_eq!(reran.len(), 1);
+        assert_eq!(resumed.wealth, straight.wealth);
 
         let _ = std::fs::remove_dir_all(&dir);
     }

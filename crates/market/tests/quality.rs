@@ -1,0 +1,194 @@
+//! Property-style tests of the data-quality layer: seeded generators dirty
+//! clean synthetic panels in random ways, and validate → repair → env
+//! round-trips must never produce a non-finite or non-positive price, for
+//! every repair policy that accepts the panel.
+
+use cit_market::{
+    run_test_period, EnvConfig, IssueKind, QualityConfig, QualityError, RawPanel, RepairPolicy,
+    SynthConfig, UniformStrategy, NUM_FEATURES,
+};
+use cit_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DAYS: usize = 80;
+const ASSETS: usize = 4;
+
+fn clean_raw(seed: u64) -> RawPanel {
+    let p = SynthConfig {
+        num_assets: ASSETS,
+        num_days: DAYS,
+        test_start: 60,
+        seed,
+        ..Default::default()
+    }
+    .generate();
+    RawPanel::from_panel(&p)
+}
+
+/// Randomly corrupts up to `max_hits` cells/rows: NaN cells, infinities,
+/// zero/negative prices, whole missing rows and outlier spikes — always
+/// leaving day 0 intact so forward-fill has an anchor.
+fn dirty(raw: &mut RawPanel, rng: &mut StdRng, max_hits: usize) -> usize {
+    let hits = rng.random_range(1..max_hits + 1);
+    for _ in 0..hits {
+        let t = rng.random_range(1..raw.num_days);
+        let i = rng.random_range(0..raw.num_assets);
+        let f = rng.random_range(0..NUM_FEATURES);
+        let idx = (t * raw.num_assets + i) * NUM_FEATURES + f;
+        match rng.random_range(0..5usize) {
+            0 => raw.data[idx] = f64::NAN,
+            1 => raw.data[idx] = f64::INFINITY,
+            2 => raw.data[idx] = -raw.data[idx],
+            3 => {
+                for f in 0..NUM_FEATURES {
+                    raw.data[(t * raw.num_assets + i) * NUM_FEATURES + f] = f64::NAN;
+                }
+            }
+            _ => {
+                for f in 0..NUM_FEATURES {
+                    raw.data[(t * raw.num_assets + i) * NUM_FEATURES + f] *= 25.0;
+                }
+            }
+        }
+    }
+    hits
+}
+
+fn assert_panel_clean(panel: &cit_market::AssetPanel) {
+    for t in 0..panel.num_days() {
+        for i in 0..panel.num_assets() {
+            for f in [
+                cit_market::Feature::Open,
+                cit_market::Feature::High,
+                cit_market::Feature::Low,
+                cit_market::Feature::Close,
+            ] {
+                let v = panel.price(t, i, f);
+                assert!(
+                    v.is_finite() && v > 0.0,
+                    "dirty price {v} at day {t}, asset {i} survived repair"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn forward_fill_roundtrip_never_leaves_dirty_prices() {
+    let tel = Telemetry::disabled();
+    let cfg = QualityConfig::default();
+    for seed in 0..40u64 {
+        let mut raw = clean_raw(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1517);
+        dirty(&mut raw, &mut rng, 12);
+        let report = raw.validate(&cfg);
+        assert!(report.has_critical(), "seed {seed}: corruption undetected");
+
+        let (panel, rep) = raw
+            .repair(RepairPolicy::ForwardFill, &cfg, &tel)
+            .unwrap_or_else(|e| panic!("seed {seed}: forward fill failed: {e}"));
+        assert_panel_clean(&panel);
+        let invalid_cells = report.count(IssueKind::NonFinitePrice)
+            + report.count(IssueKind::NonPositivePrice)
+            + report.count(IssueKind::MissingRow);
+        if invalid_cells > 0 {
+            assert!(rep.repaired_cells > 0, "seed {seed}: nothing repaired");
+        }
+
+        // The repaired panel must drive a full backtest without panicking.
+        let env = EnvConfig {
+            window: 8,
+            transaction_cost: 1e-3,
+        };
+        let res = run_test_period(&panel, env, &mut UniformStrategy);
+        assert!(res.wealth.iter().all(|w| w.is_finite() && *w > 0.0));
+    }
+}
+
+#[test]
+fn clamp_returns_bounds_every_return_across_seeds() {
+    let tel = Telemetry::disabled();
+    let cfg = QualityConfig::default();
+    for seed in 40..60u64 {
+        let mut raw = clean_raw(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC1A);
+        dirty(&mut raw, &mut rng, 8);
+        let (panel, _) = raw
+            .repair(RepairPolicy::ClampReturns, &cfg, &tel)
+            .unwrap_or_else(|e| panic!("seed {seed}: clamp failed: {e}"));
+        assert_panel_clean(&panel);
+        for t in 1..panel.num_days() {
+            for r in panel.growth_ratios(t) {
+                assert!(
+                    r.abs() <= cfg.max_abs_return + 1e-9,
+                    "seed {seed}: return {r} above bound at day {t}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn drop_assets_keeps_only_clean_assets_or_reports_unrepairable() {
+    let tel = Telemetry::disabled();
+    let cfg = QualityConfig::default();
+    for seed in 60..85u64 {
+        let mut raw = clean_raw(seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7919));
+        dirty(&mut raw, &mut rng, 6);
+        match raw.repair(RepairPolicy::DropAssets, &cfg, &tel) {
+            Ok((panel, rep)) => {
+                assert!(
+                    !rep.dropped_assets.is_empty(),
+                    "seed {seed}: corruption was injected but nothing dropped"
+                );
+                assert_eq!(panel.num_assets(), ASSETS - rep.dropped_assets.len());
+                assert_panel_clean(&panel);
+            }
+            Err(QualityError::Unrepairable(_)) => {
+                // Every asset was hit — acceptable outcome for this policy.
+            }
+            Err(e) => panic!("seed {seed}: unexpected error {e}"),
+        }
+    }
+}
+
+#[test]
+fn reject_policy_errors_iff_criticals_exist() {
+    let tel = Telemetry::disabled();
+    let cfg = QualityConfig::default();
+    // Clean panels pass …
+    for seed in 0..10u64 {
+        let raw = clean_raw(seed);
+        assert!(
+            raw.repair(RepairPolicy::Reject, &cfg, &tel).is_ok(),
+            "seed {seed}"
+        );
+    }
+    // … dirty ones are rejected with the offending assets named.
+    for seed in 10..20u64 {
+        let mut raw = clean_raw(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        dirty(&mut raw, &mut rng, 4);
+        let err = raw
+            .repair(RepairPolicy::Reject, &cfg, &tel)
+            .expect_err("criticals must be rejected");
+        assert!(matches!(err, QualityError::Rejected(_)), "seed {seed}");
+        assert!(err.to_string().contains('A'), "offenders named: {err}");
+    }
+}
+
+#[test]
+fn validation_counts_are_complete_even_when_examples_cap() {
+    let cfg = QualityConfig::default();
+    let mut raw = clean_raw(99);
+    // 30 NaN closes: more than the per-kind example cap.
+    for t in 1..31 {
+        raw.data[(t * raw.num_assets) * NUM_FEATURES + 3] = f64::NAN;
+    }
+    let report = raw.validate(&cfg);
+    assert_eq!(report.count(IssueKind::NonFinitePrice), 30);
+    assert!(report.examples.len() < 30, "examples are capped");
+    assert_eq!(report.offending_assets(), vec!["A000".to_string()]);
+}

@@ -110,9 +110,17 @@ impl ParamStore {
 
     /// Scales all gradients so the global norm does not exceed `max_norm`.
     ///
-    /// Returns the norm before clipping.
+    /// Returns the norm before clipping. A non-finite norm (any NaN/Inf
+    /// gradient element) cannot be rescaled — `max_norm / norm` would be
+    /// 0 or NaN and the poisoned step would be applied unclipped — so the
+    /// gradients are zeroed and `f32::NAN` is returned as a sentinel for
+    /// the training supervisor to treat as a health-check failure.
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
         let norm = self.grad_norm();
+        if !norm.is_finite() {
+            self.zero_grads();
+            return f32::NAN;
+        }
         if norm > max_norm && norm > 0.0 {
             let s = max_norm / norm;
             for e in &mut self.entries {
@@ -315,6 +323,24 @@ mod tests {
         let before = store.clip_grad_norm(1.0);
         assert!((before - 5.0).abs() < 1e-6);
         assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_nonfinite_zeroes_and_signals() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::vector(&[0.0, 0.0]));
+        store.accumulate_grad(id, &Tensor::vector(&[f32::NAN, 3.0]));
+        let norm = store.clip_grad_norm(1.0);
+        assert!(
+            norm.is_nan(),
+            "non-finite norm must surface as NaN sentinel"
+        );
+        assert_eq!(store.grad(id).data(), &[0.0, 0.0], "poisoned grads zeroed");
+
+        store.accumulate_grad(id, &Tensor::vector(&[f32::INFINITY, 0.0]));
+        let norm = store.clip_grad_norm(1.0);
+        assert!(norm.is_nan());
+        assert_eq!(store.grad(id).data(), &[0.0, 0.0]);
     }
 
     #[test]

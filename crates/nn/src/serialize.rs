@@ -563,6 +563,22 @@ pub fn save_v2(
     state: &TrainState,
     path: impl AsRef<Path>,
 ) -> Result<(), CheckpointError> {
+    save_v2_with(store, state, path, &cit_faults::FaultInjector::disabled())
+}
+
+/// [`save_v2`] with a fault-injection handle: an injected error at site
+/// `checkpoint.save` surfaces as [`CheckpointError::Io`] *before* any byte
+/// touches disk, so the previous checkpoint file stays intact — exactly
+/// the failure mode of a full disk or revoked write permission.
+pub fn save_v2_with(
+    store: &ParamStore,
+    state: &TrainState,
+    path: impl AsRef<Path>,
+    faults: &cit_faults::FaultInjector,
+) -> Result<(), CheckpointError> {
+    if let Some(err) = faults.io_error("checkpoint.save") {
+        return Err(CheckpointError::Io(err));
+    }
     atomic_write(path, &to_string_v2(store, state))?;
     Ok(())
 }
