@@ -12,9 +12,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== cargo doc (deny warnings) + doctests"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+cargo test --workspace --doc -q
+
 echo "== bench smoke (--quick)"
 cargo bench -p cit-bench --bench components -- --quick
 test -s BENCH_compute.json || { echo "BENCH_compute.json missing or empty" >&2; exit 1; }
+
+echo "== serve smoke (servebench --quick)"
+cargo run --release -q -p cit-bench --bin servebench -- --quick
+test -s BENCH_serve.json || { echo "BENCH_serve.json missing or empty" >&2; exit 1; }
 
 echo "== checkpoint save -> kill -> resume smoke"
 # Bitwise resume-after-kill guarantee, including a simulated crash during

@@ -1,0 +1,176 @@
+//! Serving latency/throughput benchmark: trains a small checkpoint,
+//! serves it with `cit-serve`, and drives 1/4/16 concurrent clients over
+//! real TCP connections. Reports p50/p95/p99 request latency and req/s
+//! per concurrency level, writing the machine-readable summary to
+//! `BENCH_serve.json` at the repo root (alongside `BENCH_compute.json`).
+//!
+//! Usage: `servebench [--quick] [--seed <u64>]` — `--quick` shrinks the
+//! request counts to CI-smoke size.
+
+use cit_bench::out_dir;
+use cit_core::{CitConfig, CrossInsightTrader, DecisionModel};
+use cit_market::{AssetPanel, Feature, SynthConfig};
+use cit_serve::{Client, Request, ServeConfig, Server};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One concurrency level's measurements.
+struct Level {
+    clients: usize,
+    requests: usize,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    req_per_s: f64,
+}
+
+fn quantile_us(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] * 1e6
+}
+
+/// The `[m·4]` OHLC wire rows for panel days `[from, to)`.
+fn rows(panel: &AssetPanel, from: usize, to: usize) -> Vec<Vec<f64>> {
+    (from..to)
+        .map(|t| {
+            (0..panel.num_assets())
+                .flat_map(|i| {
+                    [Feature::Open, Feature::High, Feature::Low, Feature::Close]
+                        .into_iter()
+                        .map(move |f| panel.price(t, i, f))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().expect("--seed takes a u64");
+                i += 2;
+            }
+            other => panic!("unknown argument {other}; supported: --quick, --seed"),
+        }
+    }
+    let per_client = if quick { 25 } else { 250 };
+    let levels = [1usize, 4, 16];
+
+    // Train a small checkpoint so the server exercises the real
+    // load-from-disk path.
+    let panel = SynthConfig {
+        num_assets: 4,
+        num_days: 260,
+        test_start: 200,
+        seed,
+        ..Default::default()
+    }
+    .generate();
+    let cfg = CitConfig::smoke(seed);
+    eprintln!("servebench: training smoke checkpoint (seed {seed})...");
+    let mut trader = CrossInsightTrader::new(&panel, cfg);
+    trader.train(&panel);
+    let ckpt_dir = out_dir().join("checkpoints");
+    std::fs::create_dir_all(&ckpt_dir).expect("create results/checkpoints");
+    let ckpt = ckpt_dir.join(format!("servebench_s{seed}.cit"));
+    trader.save(&ckpt).expect("save checkpoint");
+    drop(trader);
+
+    let mut measured = Vec::new();
+    for &clients in &levels {
+        let model = DecisionModel::from_checkpoint(&ckpt, cfg, panel.num_assets())
+            .expect("load checkpoint");
+        let server = Server::start(model, ServeConfig::default()).expect("start server");
+        let addr = server.addr();
+        let history = panel.test_start();
+        let started = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|w| {
+                let panel = panel.clone();
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let session = format!("bench{w}");
+                    let opened = c
+                        .call(&Request::Open {
+                            session: session.clone(),
+                            prices: rows(&panel, 0, history),
+                        })
+                        .expect("open");
+                    assert!(opened.ok(), "{:?}", opened.error_message());
+                    let mut latencies = Vec::with_capacity(per_client);
+                    for r in 0..per_client {
+                        // Walk forward while panel days last, then keep
+                        // deciding on the final day (same compute cost).
+                        let t = history + r;
+                        let prices = if t < panel.num_days() {
+                            rows(&panel, t, t + 1)
+                        } else {
+                            Vec::new()
+                        };
+                        let req = Request::Decide {
+                            session: session.clone(),
+                            prices,
+                        };
+                        let t0 = Instant::now();
+                        let reply = c.call(&req).expect("decide");
+                        latencies.push(t0.elapsed().as_secs_f64());
+                        assert!(reply.ok(), "request {r}: {:?}", reply.error_message());
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let mut all: Vec<f64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread"))
+            .collect();
+        let wall = started.elapsed().as_secs_f64();
+        server.shutdown();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let level = Level {
+            clients,
+            requests: all.len(),
+            p50_us: quantile_us(&all, 0.50),
+            p95_us: quantile_us(&all, 0.95),
+            p99_us: quantile_us(&all, 0.99),
+            req_per_s: all.len() as f64 / wall,
+        };
+        println!(
+            "clients {:>2}: {:>5} reqs  p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  {:>8.1} req/s",
+            level.clients, level.requests, level.p50_us, level.p95_us, level.p99_us, level.req_per_s
+        );
+        measured.push(level);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"cit-serve\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"requests_per_client\": {per_client},");
+    let _ = writeln!(json, "  \"levels\": {{");
+    for (i, l) in measured.iter().enumerate() {
+        let comma = if i + 1 < measured.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"c{}\": {{ \"clients\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.1} }}{comma}",
+            l.clients, l.clients, l.requests, l.p50_us, l.p95_us, l.p99_us, l.req_per_s
+        );
+    }
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+    std::fs::remove_file(&ckpt).ok();
+}

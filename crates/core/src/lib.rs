@@ -25,6 +25,7 @@ mod critic;
 mod decomposition;
 mod error;
 mod eval;
+mod inference;
 mod trainer;
 
 pub use actor::{one_hot, CitActor};
@@ -33,4 +34,5 @@ pub use critic::{market_state, CentralCritic, CriticNet, DecCritics};
 pub use decomposition::{horizon_windows, raw_window, HorizonWindowCache};
 pub use error::CitError;
 pub use eval::{per_policy_curves, PolicyCurves};
+pub use inference::{DecisionModel, InferenceOutput};
 pub use trainer::{CrossInsightTrader, Decision};

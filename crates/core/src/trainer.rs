@@ -160,6 +160,53 @@ struct Recovery {
     progress: Progress,
 }
 
+/// Freshly initialised parameter store and policy/critic networks — the
+/// shared construction path of [`CrossInsightTrader::try_new`] and the
+/// inference-only [`crate::DecisionModel`]. Both build the *same* networks
+/// in the *same* registration order from the same seeded RNG, so a
+/// checkpoint written by one loads into the other.
+pub(crate) struct Networks {
+    pub(crate) store: ParamStore,
+    pub(crate) rng: StdRng,
+    pub(crate) horizon_actors: Vec<CitActor>,
+    pub(crate) cross_actor: CitActor,
+    pub(crate) critic: CriticNet,
+}
+
+/// Validates `cfg` against an `m`-asset market and initialises the full
+/// parameter set: `n` horizon actors (`pi{k}.*`), the cross-insight actor
+/// (`cross.*`) and the critic(s).
+pub(crate) fn build_networks(cfg: &CitConfig, m: usize) -> Result<Networks, CitError> {
+    if cfg.num_policies < 1 {
+        return Err(CitError::Config("need at least one horizon policy".into()));
+    }
+    if cfg.window < 1 << (cfg.num_policies - 1).max(1) {
+        return Err(CitError::Config(format!(
+            "window {} too short for {} DWT levels",
+            cfg.window,
+            cfg.num_policies - 1
+        )));
+    }
+    if m < 1 {
+        return Err(CitError::Config("need at least one asset".into()));
+    }
+    let n = cfg.num_policies;
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let horizon_actors: Vec<CitActor> = (0..n)
+        .map(|k| CitActor::new(&mut store, &mut rng, &format!("pi{k}"), cfg, m, n + m))
+        .collect();
+    let cross_actor = CitActor::new(&mut store, &mut rng, "cross", cfg, m, n * m);
+    let critic = CriticNet::new(&mut store, &mut rng, cfg, m);
+    Ok(Networks {
+        store,
+        rng,
+        horizon_actors,
+        cross_actor,
+        critic,
+    })
+}
+
 /// The full cross-insight trader model.
 pub struct CrossInsightTrader {
     cfg: CitConfig,
@@ -212,25 +259,15 @@ impl CrossInsightTrader {
     /// configuration is inconsistent (instead of panicking like
     /// [`CrossInsightTrader::new`]).
     pub fn try_new(panel: &AssetPanel, cfg: CitConfig) -> Result<Self, CitError> {
-        if cfg.num_policies < 1 {
-            return Err(CitError::Config("need at least one horizon policy".into()));
-        }
-        if cfg.window < 1 << (cfg.num_policies - 1).max(1) {
-            return Err(CitError::Config(format!(
-                "window {} too short for {} DWT levels",
-                cfg.window,
-                cfg.num_policies - 1
-            )));
-        }
         let m = panel.num_assets();
         let n = cfg.num_policies;
-        let mut store = ParamStore::new();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let horizon_actors: Vec<CitActor> = (0..n)
-            .map(|k| CitActor::new(&mut store, &mut rng, &format!("pi{k}"), &cfg, m, n + m))
-            .collect();
-        let cross_actor = CitActor::new(&mut store, &mut rng, "cross", &cfg, m, n * m);
-        let critic = CriticNet::new(&mut store, &mut rng, &cfg, m);
+        let Networks {
+            store,
+            rng,
+            horizon_actors,
+            cross_actor,
+            critic,
+        } = build_networks(&cfg, m)?;
         let eval_prev = vec![vec![1.0 / m as f64; m]; n];
         Ok(CrossInsightTrader {
             cfg,
@@ -1233,8 +1270,9 @@ fn mean_std(xs: &[f64]) -> (f64, f64) {
 }
 
 /// `softmax(τ·u)` — the latent-to-portfolio map shared by sampling,
-/// deterministic evaluation and the counterfactual default action.
-fn temperature_action(latent: &Tensor, temperature: f32) -> Vec<f64> {
+/// deterministic evaluation, the counterfactual default action and the
+/// inference-only [`crate::DecisionModel`].
+pub(crate) fn temperature_action(latent: &Tensor, temperature: f32) -> Vec<f64> {
     let scaled = latent.scale(temperature);
     softmax_last_tensor(&scaled)
         .data()

@@ -39,7 +39,7 @@ pub fn horizon_scales(x: &[f64], n_scales: usize) -> Vec<Vec<f64>> {
 
 /// Smooths `x` by dropping the `drop_finest` highest-frequency bands of a
 /// `levels`-level decomposition — the classic wavelet-denoising
-/// pre-processing step ([11]–[13] in the paper).
+/// pre-processing step (\[11\]–\[13\] in the paper).
 pub fn wavelet_smooth(x: &[f64], levels: usize, drop_finest: usize) -> Vec<f64> {
     let pyramid = decompose(x, levels);
     let keep: Vec<usize> = (drop_finest..levels).collect();

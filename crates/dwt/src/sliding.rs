@@ -45,6 +45,22 @@ struct Slot {
 /// One instance serves one scalar series (one asset/feature pair); `end` is
 /// the series index of the window's last sample, so consecutive calls with
 /// `end, end+1, end+2, …` hit the incremental path once the ring is warm.
+///
+/// ```
+/// use cit_dwt::{horizon_scales, SlidingDwt};
+///
+/// let series: Vec<f64> = (0..48).map(|i| (i as f64 * 0.3).sin() + 2.0).collect();
+/// let (z, n_scales) = (16, 3); // z is a multiple of period() = 2^(n-1) = 4
+/// let mut cache = SlidingDwt::new(z, n_scales);
+/// for end in (z - 1)..series.len() {
+///     let window = &series[end + 1 - z..=end];
+///     // Bitwise identical to a cold decomposition of the same window.
+///     assert_eq!(cache.scales_at(end, window), &horizon_scales(window, n_scales));
+/// }
+/// // After one warm-up period, stride-1 sweeps run incrementally.
+/// let stats = cache.stats();
+/// assert!(stats.incremental > stats.full, "{stats:?}");
+/// ```
 pub struct SlidingDwt {
     z: usize,
     n_scales: usize,

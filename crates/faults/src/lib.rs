@@ -301,7 +301,8 @@ impl std::fmt::Display for FaultPlan {
 }
 
 impl FaultPlan {
-    /// Parses the text format produced by [`FaultPlan::to_string`].
+    /// Parses the text format produced by the [`FaultPlan`] `Display` impl
+    /// (`plan.to_string()`).
     /// Comments (`#`) and blank lines are tolerated anywhere, including
     /// before the header.
     pub fn parse(text: &str) -> Result<Self, PlanError> {

@@ -119,7 +119,7 @@ pub struct DataQualityReport {
     pub panel: String,
     /// `(kind, count)` for every kind with at least one occurrence.
     pub counts: Vec<(IssueKind, usize)>,
-    /// Up to [`MAX_EXAMPLES`] located examples per kind.
+    /// Up to `MAX_EXAMPLES` (16) located examples per kind.
     pub examples: Vec<Issue>,
     /// Asset names (for naming offenders in errors and summaries).
     pub asset_names: Vec<String>,
@@ -205,6 +205,29 @@ impl DataQualityReport {
 }
 
 /// How [`RawPanel::repair`] makes a dirty panel usable.
+///
+/// ```
+/// use cit_market::{IssueKind, RawPanel, RepairPolicy, QualityConfig, SynthConfig};
+/// use cit_telemetry::Telemetry;
+///
+/// // Dirty a clean synthetic panel: asset 1 loses its day-5 row.
+/// let clean = SynthConfig { num_assets: 2, num_days: 64, test_start: 48, ..Default::default() }
+///     .generate();
+/// let mut raw = RawPanel::from_panel(&clean);
+/// for f in 0..4 {
+///     raw.data[(5 * raw.num_assets + 1) * 4 + f] = f64::NAN; // [T, m, 4] row-major
+/// }
+///
+/// let cfg = QualityConfig::default();
+/// assert_eq!(raw.validate(&cfg).count(IssueKind::MissingRow), 1);
+/// // `Reject` refuses critical issues; `ForwardFill` carries day 4 forward.
+/// assert!(raw.repair(RepairPolicy::Reject, &cfg, &Telemetry::disabled()).is_err());
+/// let (panel, report) = raw
+///     .repair(RepairPolicy::ForwardFill, &cfg, &Telemetry::disabled())
+///     .unwrap();
+/// assert_eq!(panel.close(5, 1), panel.close(4, 1));
+/// assert_eq!(report.repaired_cells, 4);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RepairPolicy {
     /// Refuse to repair: any critical issue is an error.

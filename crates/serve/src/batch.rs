@@ -1,0 +1,155 @@
+//! The micro-batching core.
+//!
+//! Connection threads enqueue jobs into a bounded channel; a single
+//! batcher thread drains up to [`crate::ServeConfig::max_batch`] jobs (or
+//! whatever arrives within [`crate::ServeConfig::max_wait_us`] after the
+//! first), snapshots the active model once, and runs the batch's
+//! decisions through the `cit-compute` thread pool — one task per
+//! session, so requests for different sessions run in parallel while
+//! requests for the same session keep their arrival order. A full
+//! channel is the backpressure signal: the connection thread never
+//! blocks, it replies `overloaded` immediately.
+
+use crate::protocol::{ErrorKind, Request, Response};
+use crate::server::ServerState;
+use crate::session::Session;
+use cit_compute::parallel_map;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// One queued request plus its reply path back to the connection thread.
+pub(crate) struct Job {
+    pub(crate) req: Request,
+    pub(crate) reply: Sender<Response>,
+}
+
+impl Job {
+    fn respond(self, resp: Response) {
+        // A dropped receiver just means the client hung up mid-request.
+        let _ = self.reply.send(resp);
+    }
+}
+
+/// The batcher loop: runs until the channel disconnects (all connection
+/// threads and the server handle dropped their senders), draining every
+/// remaining job first — graceful shutdown never abandons queued work.
+pub(crate) fn run_batcher(rx: Receiver<Job>, state: &ServerState) {
+    let max_wait = Duration::from_micros(state.cfg.max_wait_us);
+    loop {
+        let first = match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + max_wait;
+        while batch.len() < state.cfg.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        process_batch(state, batch);
+    }
+}
+
+/// Executes one batch: opens first (so a same-batch decide can see the
+/// session), then all decides grouped by session, then closes, then any
+/// debug stalls.
+pub(crate) fn process_batch(state: &ServerState, batch: Vec<Job>) {
+    state.batch_size.record(batch.len() as f64);
+    let model = state.model.read().expect("model lock poisoned").clone();
+
+    // Decide jobs grouped by session name, first-seen order preserved.
+    type DecideGroup = (String, Vec<(Vec<Vec<f64>>, Job)>);
+    let mut decide_groups: Vec<DecideGroup> = Vec::new();
+    let mut closes = Vec::new();
+    let mut sleeps = Vec::new();
+    for job in batch {
+        match job.req.clone() {
+            Request::Open { session, prices } => {
+                let resp = match Session::open(&model, &session, &prices, state.cfg.max_history) {
+                    Ok(s) => {
+                        let days = s.days();
+                        match state.store.insert(s) {
+                            Ok(()) => Response::Opened { session, days },
+                            Err(e) => e,
+                        }
+                    }
+                    Err(e) => e,
+                };
+                job.respond(resp);
+            }
+            Request::Decide { session, prices } => {
+                match decide_groups.iter_mut().find(|(name, _)| *name == session) {
+                    Some((_, jobs)) => jobs.push((prices, job)),
+                    None => decide_groups.push((session, vec![(prices, job)])),
+                }
+            }
+            Request::Close { session } => closes.push((session, job)),
+            Request::Sleep { ms } => sleeps.push((ms, job)),
+            // Info/Reload/Shutdown are handled on connection threads and
+            // never enqueued.
+            _ => job.respond(Response::error(
+                ErrorKind::BadRequest,
+                "operation cannot be queued",
+            )),
+        }
+    }
+
+    // Check out each group's session, fan the groups out over the compute
+    // pool, and reply in arrival order within each group. The session is
+    // checked back in *before* any reply is sent, so a client holding a
+    // response can never observe its own session missing from the store.
+    let tasks: Vec<_> = decide_groups
+        .into_iter()
+        .map(|(name, jobs)| {
+            let model = &model;
+            let store = &state.store;
+            move || {
+                let Some(mut session) = store.take(&name) else {
+                    for (_, job) in jobs {
+                        job.respond(Response::error(
+                            ErrorKind::UnknownSession,
+                            format!("no session {name:?}"),
+                        ));
+                    }
+                    return;
+                };
+                let replies: Vec<(Job, Response)> = jobs
+                    .into_iter()
+                    .map(|(prices, job)| {
+                        let resp = match session.decide(model, &prices) {
+                            Ok(r) => r,
+                            Err(e) => e,
+                        };
+                        (job, resp)
+                    })
+                    .collect();
+                store.put_back(session);
+                for (job, resp) in replies {
+                    job.respond(resp);
+                }
+            }
+        })
+        .collect();
+    parallel_map(state.threads, tasks);
+
+    for (name, job) in closes {
+        let resp = match state.store.take(&name) {
+            Some(_) => Response::Closed { session: name },
+            None => Response::error(ErrorKind::UnknownSession, format!("no session {name:?}")),
+        };
+        job.respond(resp);
+    }
+    state.sessions_gauge.set(state.store.len() as f64);
+
+    for (ms, job) in sleeps {
+        std::thread::sleep(Duration::from_millis(ms));
+        job.respond(Response::Slept { ms });
+    }
+}

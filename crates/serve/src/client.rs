@@ -1,0 +1,98 @@
+//! A small blocking client for the line protocol, used by the
+//! integration tests and `servebench` (and usable as a reference
+//! implementation for real clients).
+
+use crate::json::Json;
+use crate::protocol::{ErrorKind, Request};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection speaking one request/response pair at a time.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A client-side view of a response line: the raw JSON plus accessors
+/// for the common fields.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    json: Json,
+}
+
+impl Reply {
+    /// `true` when the server accepted the request.
+    pub fn ok(&self) -> bool {
+        self.json.get("ok").and_then(Json::as_bool).unwrap_or(false)
+    }
+
+    /// The reject class of a failed request.
+    pub fn error_kind(&self) -> Option<ErrorKind> {
+        self.json
+            .get("kind")
+            .and_then(Json::as_str)
+            .and_then(ErrorKind::from_tag)
+    }
+
+    /// The server's error message, if any.
+    pub fn error_message(&self) -> Option<&str> {
+        self.json.get("error").and_then(Json::as_str)
+    }
+
+    /// The decision's fused portfolio weights.
+    pub fn final_action(&self) -> Option<Vec<f64>> {
+        self.json.get("final_action").and_then(Json::as_f64_array)
+    }
+
+    /// The decision's per-horizon pre-decisions.
+    pub fn pre_actions(&self) -> Option<Vec<Vec<f64>>> {
+        self.json.get("pre_actions").and_then(Json::as_f64_matrix)
+    }
+
+    /// Any numeric field (e.g. `day`, `days`, `num_params`).
+    pub fn number(&self, field: &str) -> Option<f64> {
+        self.json.get(field).and_then(Json::as_f64)
+    }
+
+    /// The raw parsed JSON.
+    pub fn json(&self) -> &Json {
+        &self.json
+    }
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one raw line and reads one response line.
+    pub fn call_line(&mut self, line: &str) -> io::Result<Reply> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let json = Json::parse(response.trim_end()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response JSON: {e}"),
+            )
+        })?;
+        Ok(Reply { json })
+    }
+
+    /// Sends a typed [`Request`].
+    pub fn call(&mut self, req: &Request) -> io::Result<Reply> {
+        self.call_line(&req.render())
+    }
+}

@@ -1,0 +1,65 @@
+//! # cit-serve
+//!
+//! Batched low-latency decision serving for trained Cross-Insight Trader
+//! checkpoints: the online half the paper's backtest loop implies — a
+//! trained policy asked for "today's" portfolio as new prices arrive.
+//!
+//! A [`Server`] loads a cit-params checkpoint into an immutable
+//! [`cit_core::DecisionModel`] (shared `Arc`, hot-swappable on a `reload`
+//! admin command) and speaks a newline-delimited JSON protocol over
+//! blocking TCP (see [`protocol`]). Each accepted connection gets a
+//! thread that parses requests into a **bounded queue**; a single batcher
+//! drains up to [`ServeConfig::max_batch`] requests (waiting at most
+//! [`ServeConfig::max_wait_us`] after the first) and fans the batch out
+//! over the `cit-compute` thread pool — per-session order is preserved,
+//! distinct sessions run in parallel. A full queue is answered with a
+//! typed `overloaded` reject instead of blocking: backpressure is part of
+//! the protocol. Per-request latency, batch size, throughput counters and
+//! reload/session gauges go through `cit-telemetry`.
+//!
+//! Served decisions are **bitwise identical** to offline evaluation of
+//! the same checkpoint: the deterministic inference path has no RNG, and
+//! the wire format renders `f64` with shortest-round-trip formatting
+//! (verified end-to-end by `tests/roundtrip.rs`).
+//!
+//! ```
+//! use cit_core::{CitConfig, DecisionModel};
+//! use cit_serve::{Client, Request, ServeConfig, Server};
+//!
+//! // An untrained smoke model keeps the example fast; production loads
+//! // DecisionModel::from_checkpoint.
+//! let model = DecisionModel::untrained(CitConfig::smoke(1), 2).unwrap();
+//! let window = model.min_history();
+//! let server = Server::start(model, ServeConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! // One OHLC row per day: [m × 4] values, here m = 2 assets.
+//! let prices: Vec<Vec<f64>> = (0..window)
+//!     .map(|d| vec![1.0 + d as f64 * 0.01; 8])
+//!     .collect();
+//! let opened = client
+//!     .call(&Request::Open { session: "demo".into(), prices })
+//!     .unwrap();
+//! assert!(opened.ok());
+//! let decision = client
+//!     .call(&Request::Decide { session: "demo".into(), prices: vec![] })
+//!     .unwrap();
+//! let weights = decision.final_action().unwrap();
+//! assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+//! server.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod json;
+pub mod protocol;
+
+mod batch;
+mod client;
+mod server;
+mod session;
+
+pub use client::{Client, Reply};
+pub use protocol::{ErrorKind, Request, Response};
+pub use server::{ServeConfig, Server};
+pub use session::{Session, SessionStore};

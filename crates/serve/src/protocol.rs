@@ -1,0 +1,455 @@
+//! The newline-delimited JSON line protocol.
+//!
+//! One request per line, one response per line, UTF-8. Every request is a
+//! JSON object with an `"op"` field; every response carries `"ok"`
+//! (`true`/`false`) and echoes the operation. Prices travel as
+//! `[days][m·4]` matrices: one row per trading day, each row the
+//! `m` assets' OHLC quadruples in asset order — the exact memory layout
+//! of [`cit_market::AssetPanel`].
+//!
+//! | op | request fields | success fields |
+//! |----|----------------|----------------|
+//! | `open` | `session`, `prices` | `days` |
+//! | `decide` | `session`, optional `prices` | `day`, `final_action`, `pre_actions` |
+//! | `close` | `session` | — |
+//! | `info` | — | `sessions`, `num_assets`, `num_params`, `window`, `policies` |
+//! | `reload` | `checkpoint` | `num_params` |
+//! | `shutdown` | — | — |
+//! | `sleep` | `ms` (debug builds of the server only) | `ms` |
+//!
+//! Failures: `{"ok":false,"kind":"<kind>","error":"<message>"}` with
+//! [`ErrorKind`] naming the reject class (`overloaded` is the
+//! backpressure signal).
+
+use crate::json::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Create a session seeded with at least `window` days of history.
+    Open {
+        /// Client-chosen session id.
+        session: String,
+        /// Price history, one `[m·4]` OHLC row per day.
+        prices: Vec<Vec<f64>>,
+    },
+    /// Append zero or more days, then decide on the latest day.
+    Decide {
+        /// Session id from a prior `open`.
+        session: String,
+        /// New days to append before deciding (may be empty).
+        prices: Vec<Vec<f64>>,
+    },
+    /// Drop a session.
+    Close {
+        /// Session id to drop.
+        session: String,
+    },
+    /// Server/model introspection.
+    Info,
+    /// Atomically swap in a new checkpoint (same architecture).
+    Reload {
+        /// Path to a cit-params checkpoint on the server's filesystem.
+        checkpoint: String,
+    },
+    /// Begin graceful drain: stop accepting, finish queued work.
+    Shutdown,
+    /// Debug: stall the batcher (only honoured with
+    /// [`crate::ServeConfig::debug_ops`]).
+    Sleep {
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+}
+
+/// Reject classes a client can branch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed JSON or missing/invalid fields.
+    BadRequest,
+    /// The bounded decision queue is full — retry later (backpressure).
+    Overloaded,
+    /// `decide`/`close` for a session that does not exist.
+    UnknownSession,
+    /// `open` for a session id already in use.
+    SessionExists,
+    /// Checkpoint reload failed (file missing / architecture mismatch);
+    /// the previous model stays active.
+    ReloadFailed,
+    /// The server is draining and no longer takes new work.
+    ShuttingDown,
+    /// Invalid price data (wrong row width, non-positive, non-finite).
+    BadData,
+}
+
+impl ErrorKind {
+    /// The wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::UnknownSession => "unknown_session",
+            ErrorKind::SessionExists => "session_exists",
+            ErrorKind::ReloadFailed => "reload_failed",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::BadData => "bad_data",
+        }
+    }
+
+    /// Parses a wire tag back into a kind (client side).
+    pub fn from_tag(tag: &str) -> Option<ErrorKind> {
+        Some(match tag {
+            "bad_request" => ErrorKind::BadRequest,
+            "overloaded" => ErrorKind::Overloaded,
+            "unknown_session" => ErrorKind::UnknownSession,
+            "session_exists" => ErrorKind::SessionExists,
+            "reload_failed" => ErrorKind::ReloadFailed,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "bad_data" => ErrorKind::BadData,
+            _ => return None,
+        })
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Session created.
+    Opened {
+        /// Echoed session id.
+        session: String,
+        /// Days of history the session now holds.
+        days: usize,
+    },
+    /// A portfolio decision.
+    Decision {
+        /// Echoed session id.
+        session: String,
+        /// Absolute day index (days pushed since `open`, minus one).
+        day: usize,
+        /// The fused portfolio weights to execute (sums to 1).
+        final_action: Vec<f64>,
+        /// Per-horizon pre-decisions (fed back as the policies' previous
+        /// actions on the next decide).
+        pre_actions: Vec<Vec<f64>>,
+    },
+    /// Session dropped.
+    Closed {
+        /// Echoed session id.
+        session: String,
+    },
+    /// Introspection payload.
+    Info {
+        /// Live session count.
+        sessions: usize,
+        /// Assets `m` the model allocates over.
+        num_assets: usize,
+        /// Parameters in the active model.
+        num_params: usize,
+        /// Look-back window `z` (days of history `open` must provide).
+        window: usize,
+        /// Horizon policy count `n`.
+        policies: usize,
+    },
+    /// Checkpoint swapped in.
+    Reloaded {
+        /// Parameters in the new model.
+        num_params: usize,
+    },
+    /// Drain started.
+    ShuttingDown,
+    /// Debug stall finished.
+    Slept {
+        /// Echoed stall duration.
+        ms: u64,
+    },
+    /// Any failure.
+    Error {
+        /// Reject class.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Convenience constructor for failures.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response::Error {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Renders one response line (no trailing newline).
+    pub fn render(&self) -> String {
+        let json = match self {
+            Response::Opened { session, days } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", "open".into()),
+                ("session", session.clone().into()),
+                ("days", (*days).into()),
+            ]),
+            Response::Decision {
+                session,
+                day,
+                final_action,
+                pre_actions,
+            } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", "decide".into()),
+                ("session", session.clone().into()),
+                ("day", (*day).into()),
+                ("final_action", final_action.clone().into()),
+                (
+                    "pre_actions",
+                    Json::Arr(pre_actions.iter().map(|a| a.clone().into()).collect()),
+                ),
+            ]),
+            Response::Closed { session } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", "close".into()),
+                ("session", session.clone().into()),
+            ]),
+            Response::Info {
+                sessions,
+                num_assets,
+                num_params,
+                window,
+                policies,
+            } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", "info".into()),
+                ("sessions", (*sessions).into()),
+                ("num_assets", (*num_assets).into()),
+                ("num_params", (*num_params).into()),
+                ("window", (*window).into()),
+                ("policies", (*policies).into()),
+            ]),
+            Response::Reloaded { num_params } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", "reload".into()),
+                ("num_params", (*num_params).into()),
+            ]),
+            Response::ShuttingDown => {
+                Json::obj(vec![("ok", Json::Bool(true)), ("op", "shutdown".into())])
+            }
+            Response::Slept { ms } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", "sleep".into()),
+                ("ms", (*ms as usize).into()),
+            ]),
+            Response::Error { kind, message } => Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("kind", kind.tag().into()),
+                ("error", message.as_str().into()),
+            ]),
+        };
+        json.render()
+    }
+}
+
+impl Request {
+    /// Renders one request line (no trailing newline) — the client side
+    /// of [`Request::parse`].
+    pub fn render(&self) -> String {
+        fn matrix(rows: &[Vec<f64>]) -> Json {
+            Json::Arr(rows.iter().map(|r| r.clone().into()).collect())
+        }
+        let json = match self {
+            Request::Open { session, prices } => Json::obj(vec![
+                ("op", "open".into()),
+                ("session", session.clone().into()),
+                ("prices", matrix(prices)),
+            ]),
+            Request::Decide { session, prices } => {
+                let mut pairs = vec![
+                    ("op", Json::from("decide")),
+                    ("session", session.clone().into()),
+                ];
+                if !prices.is_empty() {
+                    pairs.push(("prices", matrix(prices)));
+                }
+                Json::obj(pairs)
+            }
+            Request::Close { session } => Json::obj(vec![
+                ("op", "close".into()),
+                ("session", session.clone().into()),
+            ]),
+            Request::Info => Json::obj(vec![("op", "info".into())]),
+            Request::Reload { checkpoint } => Json::obj(vec![
+                ("op", "reload".into()),
+                ("checkpoint", checkpoint.clone().into()),
+            ]),
+            Request::Shutdown => Json::obj(vec![("op", "shutdown".into())]),
+            Request::Sleep { ms } => {
+                Json::obj(vec![("op", "sleep".into()), ("ms", (*ms as usize).into())])
+            }
+        };
+        json.render()
+    }
+
+    /// Parses one request line. Errors are client-facing messages.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing string field \"op\"")?;
+        let session = |required: bool| -> Result<String, String> {
+            match v.get("session").and_then(Json::as_str) {
+                Some(s) if !s.is_empty() => Ok(s.to_string()),
+                _ if !required => Ok(String::new()),
+                _ => Err("missing string field \"session\"".into()),
+            }
+        };
+        let prices = |required: bool| -> Result<Vec<Vec<f64>>, String> {
+            match v.get("prices") {
+                Some(p) => p
+                    .as_f64_matrix()
+                    .ok_or_else(|| "\"prices\" must be an array of number rows".to_string()),
+                None if !required => Ok(Vec::new()),
+                None => Err("missing field \"prices\"".into()),
+            }
+        };
+        match op {
+            "open" => Ok(Request::Open {
+                session: session(true)?,
+                prices: prices(true)?,
+            }),
+            "decide" => Ok(Request::Decide {
+                session: session(true)?,
+                prices: prices(false)?,
+            }),
+            "close" => Ok(Request::Close {
+                session: session(true)?,
+            }),
+            "info" => Ok(Request::Info),
+            "reload" => Ok(Request::Reload {
+                checkpoint: v
+                    .get("checkpoint")
+                    .and_then(Json::as_str)
+                    .ok_or("missing string field \"checkpoint\"")?
+                    .to_string(),
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            "sleep" => Ok(Request::Sleep {
+                ms: v
+                    .get("ms")
+                    .and_then(Json::as_usize)
+                    .ok_or("missing integer field \"ms\"")? as u64,
+            }),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_op() {
+        assert_eq!(
+            Request::parse(r#"{"op":"open","session":"s","prices":[[1,2,3,4]]}"#).unwrap(),
+            Request::Open {
+                session: "s".into(),
+                prices: vec![vec![1.0, 2.0, 3.0, 4.0]],
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"decide","session":"s"}"#).unwrap(),
+            Request::Decide {
+                session: "s".into(),
+                prices: vec![],
+            }
+        );
+        assert_eq!(Request::parse(r#"{"op":"info"}"#).unwrap(), Request::Info);
+        assert_eq!(
+            Request::parse(r#"{"op":"reload","checkpoint":"/tmp/x.cit"}"#).unwrap(),
+            Request::Reload {
+                checkpoint: "/tmp/x.cit".into(),
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"sleep","ms":250}"#).unwrap(),
+            Request::Sleep { ms: 250 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            r#"{"no_op":1}"#,
+            r#"{"op":"open","session":"s"}"#,
+            r#"{"op":"open","session":"s","prices":[["x"]]}"#,
+            r#"{"op":"decide"}"#,
+            r#"{"op":"warp"}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_through_render() {
+        let reqs = [
+            Request::Open {
+                session: "s".into(),
+                prices: vec![vec![1.0, 2.0, 3.0, 4.0]],
+            },
+            Request::Decide {
+                session: "s".into(),
+                prices: vec![],
+            },
+            Request::Decide {
+                session: "s".into(),
+                prices: vec![vec![0.5; 4]],
+            },
+            Request::Close {
+                session: "s".into(),
+            },
+            Request::Info,
+            Request::Reload {
+                checkpoint: "a b/c.cit".into(),
+            },
+            Request::Shutdown,
+            Request::Sleep { ms: 10 },
+        ];
+        for req in reqs {
+            assert_eq!(Request::parse(&req.render()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn error_kinds_round_trip_their_tags() {
+        for kind in [
+            ErrorKind::BadRequest,
+            ErrorKind::Overloaded,
+            ErrorKind::UnknownSession,
+            ErrorKind::SessionExists,
+            ErrorKind::ReloadFailed,
+            ErrorKind::ShuttingDown,
+            ErrorKind::BadData,
+        ] {
+            assert_eq!(ErrorKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_tag("nope"), None);
+    }
+
+    #[test]
+    fn decision_response_renders_weights_bitwise() {
+        let w = vec![1.0 / 3.0, 2.0 / 3.0];
+        let r = Response::Decision {
+            session: "s".into(),
+            day: 41,
+            final_action: w.clone(),
+            pre_actions: vec![w.clone()],
+        };
+        let line = r.render();
+        let v = crate::json::Json::parse(&line).unwrap();
+        let back = v.get("final_action").unwrap().as_f64_array().unwrap();
+        assert_eq!(back[0].to_bits(), w[0].to_bits());
+        assert_eq!(back[1].to_bits(), w[1].to_bits());
+    }
+}

@@ -1,0 +1,385 @@
+//! The blocking TCP server: accept pool, connection threads, hot reload,
+//! graceful drain.
+
+use crate::batch::{run_batcher, Job};
+use crate::protocol::{ErrorKind, Request, Response};
+use crate::session::SessionStore;
+use cit_core::{CitConfig, DecisionModel};
+use cit_telemetry::{duration_bounds, Counter, Gauge, Histogram, Telemetry};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of a serving instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (the default
+    /// `127.0.0.1:0`).
+    pub addr: String,
+    /// Most requests one batch may hold.
+    pub max_batch: usize,
+    /// How long the batcher waits for more work after the first request
+    /// of a batch, in microseconds.
+    pub max_wait_us: u64,
+    /// Bounded queue depth between connection threads and the batcher;
+    /// a full queue rejects with [`ErrorKind::Overloaded`].
+    pub queue_cap: usize,
+    /// Worker threads for in-batch parallelism (0 = auto, honouring
+    /// `CIT_THREADS`).
+    pub threads: usize,
+    /// Shards of the session store.
+    pub shards: usize,
+    /// Days of price history a session may hold before the oldest half is
+    /// trimmed (decisions only need the model window).
+    pub max_history: usize,
+    /// Honour the `sleep` debug op (tests use it to stall the batcher
+    /// deterministically; keep off in production).
+    pub debug_ops: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 16,
+            max_wait_us: 500,
+            queue_cap: 128,
+            threads: 0,
+            shards: 16,
+            max_history: 4096,
+            debug_ops: false,
+        }
+    }
+}
+
+/// Shared server state: the hot-swappable model, the session store, the
+/// drain flag and the telemetry instruments.
+pub(crate) struct ServerState {
+    pub(crate) listen_addr: SocketAddr,
+    pub(crate) model: RwLock<Arc<DecisionModel>>,
+    pub(crate) model_cfg: CitConfig,
+    pub(crate) num_assets: usize,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) store: SessionStore,
+    pub(crate) threads: usize,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) latency: Histogram,
+    pub(crate) requests: Counter,
+    pub(crate) rejects: Counter,
+    pub(crate) batch_size: Histogram,
+    pub(crate) reloads: Counter,
+    pub(crate) sessions_gauge: Gauge,
+}
+
+/// A running serving instance.
+///
+/// [`Server::start`] binds, spawns the accept loop and the batcher, and
+/// returns immediately; [`Server::shutdown`] (or drop) drains
+/// gracefully: the listener closes, queued requests finish, connection
+/// threads exit once idle.
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    sender: Option<SyncSender<Job>>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Starts serving `model` with telemetry disabled.
+    pub fn start(model: DecisionModel, cfg: ServeConfig) -> io::Result<Server> {
+        Self::start_with(model, cfg, Telemetry::disabled())
+    }
+
+    /// Starts serving `model`, recording request metrics into `telemetry`:
+    /// `serve.latency` / `serve.batch_size` histograms, `serve.requests` /
+    /// `serve.rejected` / `serve.reloads` counters and a `serve.sessions`
+    /// gauge.
+    pub fn start_with(
+        model: DecisionModel,
+        cfg: ServeConfig,
+        telemetry: Telemetry,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let threads = cit_compute::resolve_threads(cfg.threads);
+        let state = Arc::new(ServerState {
+            listen_addr: addr,
+            model_cfg: *model.config(),
+            num_assets: model.num_assets(),
+            model: RwLock::new(Arc::new(model)),
+            store: SessionStore::new(cfg.shards),
+            threads,
+            shutdown: AtomicBool::new(false),
+            latency: telemetry.histogram("serve.latency", &duration_bounds()),
+            requests: telemetry.counter("serve.requests"),
+            rejects: telemetry.counter("serve.rejected"),
+            batch_size: telemetry.histogram(
+                "serve.batch_size",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+            ),
+            reloads: telemetry.counter("serve.reloads"),
+            sessions_gauge: telemetry.gauge("serve.sessions"),
+            telemetry,
+            cfg,
+        });
+
+        let (tx, rx) = mpsc::sync_channel::<Job>(state.cfg.queue_cap.max(1));
+        let batcher = {
+            let state = state.clone();
+            std::thread::spawn(move || run_batcher(rx, &state))
+        };
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let state = state.clone();
+            let tx = tx.clone();
+            let conns = conns.clone();
+            std::thread::spawn(move || run_accept(listener, state, tx, conns))
+        };
+        Ok(Server {
+            state,
+            addr,
+            sender: Some(tx),
+            accept: Some(accept),
+            batcher: Some(batcher),
+            conns,
+        })
+    }
+
+    /// The bound address (resolve the actual port when binding to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The telemetry handle metrics are recorded into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.state.telemetry
+    }
+
+    /// Live session count.
+    pub fn sessions(&self) -> usize {
+        self.state.store.len()
+    }
+
+    /// `true` once a drain has started (via [`Server::shutdown`] or the
+    /// protocol `shutdown` op).
+    pub fn is_draining(&self) -> bool {
+        self.state.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: stops accepting, lets in-flight and queued
+    /// requests finish, joins every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        begin_drain(&self.state, self.addr);
+        self.sender.take(); // drop the master sender
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.conns.lock().expect("conn list poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.batcher.is_some() {
+            self.shutdown_impl();
+        }
+    }
+}
+
+/// Flags the drain and pokes the listener awake with a throwaway
+/// connection so `accept` observes the flag.
+fn begin_drain(state: &ServerState, addr: SocketAddr) {
+    state.shutdown.store(true, Ordering::Relaxed);
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+}
+
+fn run_accept(
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    tx: SyncSender<Job>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = state.clone();
+        let tx = tx.clone();
+        let handle = std::thread::spawn(move || serve_conn(stream, &state, &tx));
+        conns.lock().expect("conn list poisoned").push(handle);
+    }
+}
+
+/// Reads newline-delimited requests off one connection until EOF or
+/// drain, answering each on the same stream.
+fn serve_conn(stream: TcpStream, state: &ServerState, tx: &SyncSender<Job>) {
+    // Short read timeouts let the thread observe the drain flag while
+    // idle; partial lines survive timeouts in the reader's buffer.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = LineReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    while let Some(line) = reader.next_line(&state.shutdown) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let resp = handle_line(&line, state, tx);
+        let stop = matches!(resp, Response::ShuttingDown);
+        let mut payload = resp.render();
+        payload.push('\n');
+        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if stop {
+            return;
+        }
+    }
+}
+
+fn handle_line(line: &str, state: &ServerState, tx: &SyncSender<Job>) -> Response {
+    let req = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => return Response::error(ErrorKind::BadRequest, e),
+    };
+    match req {
+        Request::Info => {
+            let model = state.model.read().expect("model lock poisoned").clone();
+            Response::Info {
+                sessions: state.store.len(),
+                num_assets: state.num_assets,
+                num_params: model.num_params(),
+                window: model.min_history(),
+                policies: model.config().num_policies,
+            }
+        }
+        Request::Reload { checkpoint } => {
+            match DecisionModel::from_checkpoint(&checkpoint, state.model_cfg, state.num_assets) {
+                Ok(new_model) => {
+                    let num_params = new_model.num_params();
+                    *state.model.write().expect("model lock poisoned") = Arc::new(new_model);
+                    state.reloads.inc();
+                    state
+                        .telemetry
+                        .emit(cit_telemetry::Record::new("serve.reload").with("path", checkpoint));
+                    Response::Reloaded { num_params }
+                }
+                Err(e) => Response::error(
+                    ErrorKind::ReloadFailed,
+                    format!("checkpoint {checkpoint:?} not loaded: {e}"),
+                ),
+            }
+        }
+        Request::Shutdown => {
+            begin_drain(state, state.listen_addr);
+            Response::ShuttingDown
+        }
+        Request::Sleep { .. } if !state.cfg.debug_ops => {
+            Response::error(ErrorKind::BadRequest, "sleep requires debug_ops")
+        }
+        queued @ (Request::Open { .. }
+        | Request::Decide { .. }
+        | Request::Close { .. }
+        | Request::Sleep { .. }) => {
+            if state.shutdown.load(Ordering::Relaxed) {
+                return Response::error(ErrorKind::ShuttingDown, "server is draining");
+            }
+            let started = Instant::now();
+            let (reply_tx, reply_rx) = mpsc::channel();
+            match tx.try_send(Job {
+                req: queued,
+                reply: reply_tx,
+            }) {
+                Ok(()) => match reply_rx.recv_timeout(Duration::from_secs(60)) {
+                    Ok(resp) => {
+                        state.latency.record(started.elapsed().as_secs_f64());
+                        state.requests.inc();
+                        resp
+                    }
+                    Err(_) => Response::error(ErrorKind::ShuttingDown, "server is draining"),
+                },
+                Err(TrySendError::Full(_)) => {
+                    state.rejects.inc();
+                    Response::error(
+                        ErrorKind::Overloaded,
+                        format!(
+                            "decision queue full ({} queued); retry later",
+                            state.cfg.queue_cap
+                        ),
+                    )
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    Response::error(ErrorKind::ShuttingDown, "server is draining")
+                }
+            }
+        }
+    }
+}
+
+/// A timeout-tolerant line reader: partial reads accumulate across
+/// `WouldBlock`/`TimedOut` so a slow writer never corrupts framing.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> LineReader {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// The next full line (without the newline), or `None` on EOF, a hard
+    /// I/O error, or drain-while-idle.
+    fn next_line(&mut self, shutdown: &AtomicBool) -> Option<String> {
+        loop {
+            if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=i).collect();
+                line.pop(); // '\n'
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Some(String::from_utf8_lossy(&line).into_owned());
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return None;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}

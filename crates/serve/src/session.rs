@@ -1,0 +1,360 @@
+//! Per-client serving sessions and the sharded store that holds them.
+//!
+//! A session is the mutable half of online inference: the rolling price
+//! history, the incremental DWT cache and each horizon policy's previous
+//! action. The model itself is immutable and shared — see
+//! [`cit_core::DecisionModel`].
+
+use crate::protocol::{ErrorKind, Response};
+use cit_core::{DecisionModel, HorizonWindowCache};
+use cit_market::{AssetPanel, NUM_FEATURES};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// One client's serving state: price history plus the carried decision
+/// state (`SlidingDwt` windows via [`HorizonWindowCache`], previous
+/// per-policy actions).
+pub struct Session {
+    name: String,
+    num_assets: usize,
+    /// Day-major `[days, m, 4]` history, trimmed to `max_history` days.
+    hist: Vec<f64>,
+    /// Days currently held in `hist`.
+    days: usize,
+    /// Days ever pushed (absolute day index = `total_days - 1`). Survives
+    /// trimming, so clients see a monotone day counter.
+    total_days: usize,
+    prev_actions: Vec<Vec<f64>>,
+    cache: HorizonWindowCache,
+    max_history: usize,
+}
+
+impl Session {
+    /// Creates a session seeded with `prices` (one `[m·4]` row per day).
+    /// Needs at least `model.min_history()` days.
+    pub fn open(
+        model: &DecisionModel,
+        name: &str,
+        prices: &[Vec<f64>],
+        max_history: usize,
+    ) -> Result<Session, Response> {
+        let window = model.min_history();
+        if prices.len() < window.max(2) {
+            return Err(Response::error(
+                ErrorKind::BadData,
+                format!(
+                    "open needs at least {} days of history, got {}",
+                    window.max(2),
+                    prices.len()
+                ),
+            ));
+        }
+        let mut session = Session {
+            name: name.to_string(),
+            num_assets: model.num_assets(),
+            hist: Vec::new(),
+            days: 0,
+            total_days: 0,
+            prev_actions: model.uniform_prev_actions(),
+            cache: model.new_cache(),
+            max_history: max_history.max(2 * window),
+        };
+        session.push_days(model, prices)?;
+        Ok(session)
+    }
+
+    /// The session id.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Days of history currently held (after trimming).
+    pub fn days(&self) -> usize {
+        self.days
+    }
+
+    /// Absolute day index of the latest day (`total pushed - 1`).
+    pub fn current_day(&self) -> usize {
+        self.total_days - 1
+    }
+
+    /// Appends days of OHLC rows, validating width and positivity.
+    pub fn push_days(
+        &mut self,
+        model: &DecisionModel,
+        prices: &[Vec<f64>],
+    ) -> Result<(), Response> {
+        let row = self.num_assets * NUM_FEATURES;
+        for (i, day) in prices.iter().enumerate() {
+            if day.len() != row {
+                return Err(Response::error(
+                    ErrorKind::BadData,
+                    format!(
+                        "day {i}: expected {row} values ({} assets × {NUM_FEATURES} OHLC), got {}",
+                        self.num_assets,
+                        day.len()
+                    ),
+                ));
+            }
+            if let Some(bad) = day.iter().find(|p| !(p.is_finite() && **p > 0.0)) {
+                return Err(Response::error(
+                    ErrorKind::BadData,
+                    format!("day {i}: prices must be positive and finite, got {bad}"),
+                ));
+            }
+        }
+        for day in prices {
+            self.hist.extend_from_slice(day);
+        }
+        self.days += prices.len();
+        self.total_days += prices.len();
+        self.trim(model);
+        Ok(())
+    }
+
+    /// Bounds memory: once the history exceeds `max_history` days, keep
+    /// the most recent half (never fewer than the model window). Decisions
+    /// only read the trailing `window` days, so trimming cannot change
+    /// them; the DWT cache is keyed by in-panel day indices, which shift,
+    /// so it is rebuilt (one full recompute, bitwise-equal by the
+    /// `SlidingDwt` contract).
+    fn trim(&mut self, model: &DecisionModel) {
+        if self.days <= self.max_history {
+            return;
+        }
+        let keep = (self.max_history / 2).max(model.min_history()).max(2);
+        let row = self.num_assets * NUM_FEATURES;
+        self.hist.drain(..(self.days - keep) * row);
+        self.days = keep;
+        self.cache = model.new_cache();
+    }
+
+    /// Appends `prices` (possibly empty), then decides on the latest day.
+    /// On success the per-policy previous actions advance, mirroring the
+    /// trainer's evaluation loop.
+    pub fn decide(
+        &mut self,
+        model: &DecisionModel,
+        prices: &[Vec<f64>],
+    ) -> Result<Response, Response> {
+        self.push_days(model, prices)?;
+        if self.days < model.min_history() {
+            return Err(Response::error(
+                ErrorKind::BadData,
+                format!(
+                    "decide needs {} days of history, session holds {}",
+                    model.min_history(),
+                    self.days
+                ),
+            ));
+        }
+        let t = self.days - 1;
+        let panel = AssetPanel::try_new(
+            self.name.clone(),
+            self.days,
+            self.num_assets,
+            self.hist.clone(),
+            t,
+        )
+        .map_err(|e| Response::error(ErrorKind::BadData, e.to_string()))?;
+        let out = model.decide(&panel, t, &self.prev_actions, &mut self.cache);
+        self.prev_actions.clone_from(&out.pre_actions);
+        Ok(Response::Decision {
+            session: self.name.clone(),
+            day: self.current_day(),
+            final_action: out.final_action,
+            pre_actions: out.pre_actions,
+        })
+    }
+}
+
+/// A sharded session map: sessions hash to one of `shards` independent
+/// mutexes, so connection threads opening/closing sessions contend only
+/// within a shard while the batcher checks sessions in and out.
+pub struct SessionStore {
+    shards: Vec<Mutex<HashMap<String, Session>>>,
+}
+
+impl SessionStore {
+    /// Creates a store with `shards` shards (minimum 1).
+    pub fn new(shards: usize) -> SessionStore {
+        SessionStore {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Session>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Inserts a new session; fails when the id is taken.
+    pub fn insert(&self, session: Session) -> Result<(), Response> {
+        let mut shard = self
+            .shard(session.name())
+            .lock()
+            .expect("session shard poisoned");
+        if shard.contains_key(session.name()) {
+            return Err(Response::error(
+                ErrorKind::SessionExists,
+                format!("session {:?} already exists", session.name()),
+            ));
+        }
+        shard.insert(session.name().to_string(), session);
+        Ok(())
+    }
+
+    /// Removes and returns a session (checkout for the batcher, or
+    /// permanent removal for `close`).
+    pub fn take(&self, name: &str) -> Option<Session> {
+        self.shard(name)
+            .lock()
+            .expect("session shard poisoned")
+            .remove(name)
+    }
+
+    /// Returns a checked-out session to the store.
+    pub fn put_back(&self, session: Session) {
+        self.shard(session.name())
+            .lock()
+            .expect("session shard poisoned")
+            .insert(session.name().to_string(), session);
+    }
+
+    /// Live session count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("session shard poisoned").len())
+            .sum()
+    }
+
+    /// `true` when no sessions exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_core::CitConfig;
+    use cit_market::SynthConfig;
+
+    fn model() -> DecisionModel {
+        DecisionModel::untrained(CitConfig::smoke(7), 2).expect("smoke config is valid")
+    }
+
+    fn rows(panel: &AssetPanel, from: usize, to: usize) -> Vec<Vec<f64>> {
+        use cit_market::Feature;
+        (from..to)
+            .map(|t| {
+                (0..panel.num_assets())
+                    .flat_map(|i| {
+                        [Feature::Open, Feature::High, Feature::Low, Feature::Close]
+                            .into_iter()
+                            .map(move |f| panel.price(t, i, f))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn synth() -> AssetPanel {
+        SynthConfig {
+            num_assets: 2,
+            num_days: 120,
+            test_start: 100,
+            ..Default::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn open_requires_window_days() {
+        let m = model();
+        let p = synth();
+        let too_short = rows(&p, 0, m.min_history() - 1);
+        assert!(Session::open(&m, "s", &too_short, 256).is_err());
+        let enough = rows(&p, 0, m.min_history());
+        assert!(Session::open(&m, "s", &enough, 256).is_ok());
+    }
+
+    #[test]
+    fn decide_carries_prev_actions_and_day_counter() {
+        let m = model();
+        let p = synth();
+        let mut s = Session::open(&m, "s", &rows(&p, 0, 30), 256).unwrap();
+        let r1 = s.decide(&m, &[]).unwrap();
+        let Response::Decision { day, .. } = &r1 else {
+            panic!("expected decision")
+        };
+        assert_eq!(*day, 29);
+        let r2 = s.decide(&m, &rows(&p, 30, 31)).unwrap();
+        let Response::Decision { day, .. } = &r2 else {
+            panic!("expected decision")
+        };
+        assert_eq!(*day, 30);
+    }
+
+    #[test]
+    fn trimming_never_changes_decisions() {
+        let m = model();
+        let p = synth();
+        // Session A trims aggressively; session B keeps everything.
+        let mut a = Session::open(&m, "a", &rows(&p, 0, 30), 40).unwrap();
+        let mut b = Session::open(&m, "b", &rows(&p, 0, 30), 100_000).unwrap();
+        for t in 30..100 {
+            let day = rows(&p, t, t + 1);
+            let ra = a.decide(&m, &day).unwrap();
+            let rb = b.decide(&m, &day).unwrap();
+            let (
+                Response::Decision {
+                    final_action: fa, ..
+                },
+                Response::Decision {
+                    final_action: fb, ..
+                },
+            ) = (&ra, &rb)
+            else {
+                panic!("expected decisions")
+            };
+            assert_eq!(fa, fb, "trimmed session diverged at t={t}");
+        }
+        assert!(a.days() < b.days(), "session a should have trimmed");
+    }
+
+    #[test]
+    fn store_rejects_duplicate_ids_and_counts() {
+        let m = model();
+        let p = synth();
+        let store = SessionStore::new(4);
+        store
+            .insert(Session::open(&m, "x", &rows(&p, 0, 30), 256).unwrap())
+            .unwrap();
+        assert!(store
+            .insert(Session::open(&m, "x", &rows(&p, 0, 30), 256).unwrap())
+            .is_err());
+        assert_eq!(store.len(), 1);
+        let s = store.take("x").unwrap();
+        assert!(store.is_empty());
+        store.put_back(s);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let m = model();
+        let p = synth();
+        let mut s = Session::open(&m, "s", &rows(&p, 0, 30), 256).unwrap();
+        assert!(s.decide(&m, &[vec![1.0; 3]]).is_err()); // wrong width
+        assert!(s.decide(&m, &[vec![-1.0; 8]]).is_err()); // negative price
+                                                          // Session still usable after rejects.
+        assert!(s.decide(&m, &rows(&p, 30, 31)).is_ok());
+    }
+}

@@ -1,0 +1,382 @@
+//! End-to-end serving tests: protocol round-trip with bitwise parity
+//! against offline evaluation, hot checkpoint reload, and backpressure.
+
+use cit_core::{CitConfig, CrossInsightTrader, DecisionModel};
+use cit_market::{AssetPanel, Feature, SynthConfig};
+use cit_serve::{Client, ErrorKind, Request, ServeConfig, Server};
+
+fn synth(num_assets: usize, seed: u64) -> AssetPanel {
+    SynthConfig {
+        num_assets,
+        num_days: 220,
+        test_start: 160,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// The `[m·4]` OHLC wire rows for panel days `[from, to)`.
+fn rows(panel: &AssetPanel, from: usize, to: usize) -> Vec<Vec<f64>> {
+    (from..to)
+        .map(|t| {
+            (0..panel.num_assets())
+                .flat_map(|i| {
+                    [Feature::Open, Feature::High, Feature::Low, Feature::Close]
+                        .into_iter()
+                        .map(move |f| panel.price(t, i, f))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cit_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.cit"))
+}
+
+/// Trains a tiny model, saves a checkpoint and returns it with the config.
+fn trained_checkpoint(tag: &str, panel: &AssetPanel, seed: u64) -> (std::path::PathBuf, CitConfig) {
+    let cfg = CitConfig::smoke(seed);
+    let mut trader = CrossInsightTrader::new(panel, cfg);
+    trader.train(panel);
+    let path = tmp_path(tag);
+    trader.save(&path).expect("save checkpoint");
+    (path, cfg)
+}
+
+/// The tentpole acceptance test: decisions served over TCP are **bitwise
+/// identical** to offline evaluation of the same checkpoint over the same
+/// window, including the carried previous-action state.
+#[test]
+fn served_decisions_match_offline_eval_bitwise() {
+    let panel = synth(3, 17);
+    let (ckpt, cfg) = trained_checkpoint("parity", &panel, 17);
+
+    // Offline: the deterministic evaluation path of the trained model.
+    let model = DecisionModel::from_checkpoint(&ckpt, cfg, 3).expect("load checkpoint");
+    let mut cache = model.new_cache();
+    let mut prev = model.uniform_prev_actions();
+    let mut offline = Vec::new();
+    for t in panel.test_start()..panel.test_start() + 25 {
+        let out = model.decide(&panel, t, &prev, &mut cache);
+        prev = out.pre_actions.clone();
+        offline.push(out);
+    }
+
+    // Online: same checkpoint behind the server, fed day by day.
+    let served_model = DecisionModel::from_checkpoint(&ckpt, cfg, 3).expect("load checkpoint");
+    let server = Server::start(served_model, ServeConfig::default()).expect("start server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let opened = client
+        .call(&Request::Open {
+            session: "parity".into(),
+            // History up to the day before the first decision.
+            prices: rows(&panel, 0, panel.test_start()),
+        })
+        .unwrap();
+    assert!(opened.ok(), "{:?}", opened.error_message());
+    for (i, expected) in offline.iter().enumerate() {
+        let t = panel.test_start() + i;
+        let reply = client
+            .call(&Request::Decide {
+                session: "parity".into(),
+                prices: rows(&panel, t, t + 1),
+            })
+            .unwrap();
+        assert!(reply.ok(), "decide failed: {:?}", reply.error_message());
+        assert_eq!(reply.number("day"), Some(t as f64));
+        let served_final = reply.final_action().expect("final_action");
+        let served_pre = reply.pre_actions().expect("pre_actions");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&served_final),
+            bits(&expected.final_action),
+            "final action diverged at t={t}"
+        );
+        for (k, (s, e)) in served_pre.iter().zip(&expected.pre_actions).enumerate() {
+            assert_eq!(bits(s), bits(e), "pre-action {k} diverged at t={t}");
+        }
+    }
+    server.shutdown();
+    std::fs::remove_file(&ckpt).ok();
+}
+
+/// Hot reload: swapping in a differently-trained checkpoint changes the
+/// decisions of live sessions without restarting or losing session state,
+/// and a bad path leaves the active model untouched.
+#[test]
+fn hot_reload_swaps_model_atomically() {
+    let panel = synth(2, 5);
+    let (ckpt_a, cfg) = trained_checkpoint("reload_a", &panel, 5);
+    // A second model trained with a different seed: same architecture,
+    // different parameters.
+    let ckpt_b = {
+        let cfg_b = CitConfig::smoke(99);
+        let mut trader = CrossInsightTrader::new(&panel, cfg_b);
+        trader.train(&panel);
+        let path = tmp_path("reload_b");
+        trader.save(&path).expect("save checkpoint");
+        path
+    };
+
+    let model = DecisionModel::from_checkpoint(&ckpt_a, cfg, 2).unwrap();
+    let server = Server::start(model, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client
+        .call(&Request::Open {
+            session: "s".into(),
+            prices: rows(&panel, 0, 60),
+        })
+        .unwrap()
+        .ok());
+    let decide = |client: &mut Client, t: usize| {
+        let reply = client
+            .call(&Request::Decide {
+                session: "s".into(),
+                prices: rows(&panel, t, t + 1),
+            })
+            .unwrap();
+        assert!(reply.ok(), "{:?}", reply.error_message());
+        reply.final_action().unwrap()
+    };
+    let before = decide(&mut client, 60);
+
+    // Failed reload: server keeps serving with the old model.
+    let bad = client
+        .call(&Request::Reload {
+            checkpoint: "/nonexistent/path.cit".into(),
+        })
+        .unwrap();
+    assert!(!bad.ok());
+    assert_eq!(bad.error_kind(), Some(ErrorKind::ReloadFailed));
+
+    // Successful reload with different parameters.
+    let good = client
+        .call(&Request::Reload {
+            checkpoint: ckpt_b.display().to_string(),
+        })
+        .unwrap();
+    assert!(good.ok(), "{:?}", good.error_message());
+    assert!(good.number("num_params").unwrap() > 0.0);
+
+    let after = decide(&mut client, 61);
+    assert_ne!(
+        before, after,
+        "decisions should change after loading different parameters"
+    );
+    // The session survived the swap (day counter advanced monotonically).
+    let info = client.call(&Request::Info).unwrap();
+    assert_eq!(info.number("sessions"), Some(1.0));
+    server.shutdown();
+    std::fs::remove_file(&ckpt_a).ok();
+    std::fs::remove_file(&ckpt_b).ok();
+}
+
+/// Backpressure: with the batcher stalled and the bounded queue full, an
+/// extra request gets a typed `overloaded` reject immediately instead of
+/// blocking, and the queued work still completes.
+#[test]
+fn full_queue_rejects_with_overloaded() {
+    let panel = synth(2, 7);
+    let model = DecisionModel::untrained(CitConfig::smoke(7), 2).unwrap();
+    let cfg = ServeConfig {
+        max_batch: 1,
+        queue_cap: 2,
+        debug_ops: true,
+        ..Default::default()
+    };
+    let server = Server::start(model, cfg).unwrap();
+    let addr = server.addr();
+
+    let mut setup = Client::connect(addr).unwrap();
+    assert!(setup
+        .call(&Request::Open {
+            session: "s".into(),
+            prices: rows(&panel, 0, 40),
+        })
+        .unwrap()
+        .ok());
+
+    // Stall the batcher: with max_batch = 1 the sleep occupies it alone.
+    let stall = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.call(&Request::Sleep { ms: 600 }).unwrap()
+    });
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // Fill the queue (cap 2) with decides that cannot drain yet.
+    let fillers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.call(&Request::Decide {
+                    session: "s".into(),
+                    prices: vec![],
+                })
+                .unwrap()
+            })
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // The queue is full and the batcher asleep: this must be rejected now.
+    let started = std::time::Instant::now();
+    let reject = setup
+        .call(&Request::Decide {
+            session: "s".into(),
+            prices: vec![],
+        })
+        .unwrap();
+    assert!(!reject.ok(), "expected overloaded, got {:?}", reject.json());
+    assert_eq!(reject.error_kind(), Some(ErrorKind::Overloaded));
+    assert!(
+        started.elapsed() < std::time::Duration::from_millis(300),
+        "reject must not wait for the stalled batcher"
+    );
+
+    // The stalled and queued work still completes successfully.
+    assert!(stall.join().unwrap().ok());
+    for f in fillers {
+        let reply = f.join().unwrap();
+        assert!(
+            reply.ok(),
+            "queued decide failed: {:?}",
+            reply.error_message()
+        );
+    }
+    server.shutdown();
+}
+
+/// Protocol-level shutdown drains gracefully: new work is refused, the
+/// connection closes after the acknowledgement.
+#[test]
+fn shutdown_op_drains() {
+    let model = DecisionModel::untrained(CitConfig::smoke(3), 2).unwrap();
+    let server = Server::start(model, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let ack = client.call(&Request::Shutdown).unwrap();
+    assert!(ack.ok());
+    // The server closed our connection after the ack.
+    assert!(client.call(&Request::Info).is_err());
+    assert!(server.is_draining());
+    server.shutdown();
+}
+
+/// Unknown sessions and malformed lines produce typed errors, not hangs.
+#[test]
+fn error_paths_are_typed() {
+    let model = DecisionModel::untrained(CitConfig::smoke(3), 2).unwrap();
+    let server = Server::start(model, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let r = client
+        .call(&Request::Decide {
+            session: "ghost".into(),
+            prices: vec![],
+        })
+        .unwrap();
+    assert_eq!(r.error_kind(), Some(ErrorKind::UnknownSession));
+
+    let r = client.call_line("this is not json").unwrap();
+    assert_eq!(r.error_kind(), Some(ErrorKind::BadRequest));
+
+    let r = client.call_line(r#"{"op":"sleep","ms":5}"#).unwrap();
+    assert_eq!(r.error_kind(), Some(ErrorKind::BadRequest), "debug op off");
+
+    let panel = synth(2, 3);
+    assert!(client
+        .call(&Request::Open {
+            session: "s".into(),
+            prices: rows(&panel, 0, 40),
+        })
+        .unwrap()
+        .ok());
+    let r = client
+        .call(&Request::Open {
+            session: "s".into(),
+            prices: rows(&panel, 0, 40),
+        })
+        .unwrap();
+    assert_eq!(r.error_kind(), Some(ErrorKind::SessionExists));
+
+    let r = client
+        .call(&Request::Decide {
+            session: "s".into(),
+            prices: vec![vec![1.0; 3]],
+        })
+        .unwrap();
+    assert_eq!(r.error_kind(), Some(ErrorKind::BadData));
+
+    let r = client
+        .call(&Request::Close {
+            session: "s".into(),
+        })
+        .unwrap();
+    assert!(r.ok());
+    server.shutdown();
+}
+
+/// Concurrent clients on distinct sessions all get correct, independent
+/// decision streams through the micro-batcher.
+#[test]
+fn concurrent_sessions_are_independent() {
+    let panel = synth(2, 23);
+    let (ckpt, cfg) = trained_checkpoint("concurrent", &panel, 23);
+    let model = DecisionModel::from_checkpoint(&ckpt, cfg, 2).unwrap();
+
+    // Reference stream, computed offline once.
+    let reference = {
+        let model = DecisionModel::from_checkpoint(&ckpt, cfg, 2).unwrap();
+        let mut cache = model.new_cache();
+        let mut prev = model.uniform_prev_actions();
+        (160..180)
+            .map(|t| {
+                let out = model.decide(&panel, t, &prev, &mut cache);
+                prev = out.pre_actions.clone();
+                out.final_action
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let server = Server::start(model, ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let reference = reference.clone();
+            let panel = panel.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let session = format!("w{w}");
+                assert!(c
+                    .call(&Request::Open {
+                        session: session.clone(),
+                        prices: rows(&panel, 0, 160),
+                    })
+                    .unwrap()
+                    .ok());
+                for (i, expected) in reference.iter().enumerate() {
+                    let t = 160 + i;
+                    let reply = c
+                        .call(&Request::Decide {
+                            session: session.clone(),
+                            prices: rows(&panel, t, t + 1),
+                        })
+                        .unwrap();
+                    assert!(reply.ok(), "{:?}", reply.error_message());
+                    let got = reply.final_action().unwrap();
+                    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&got), bits(expected), "worker {w} diverged at t={t}");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+    assert_eq!(server.sessions(), 4);
+    server.shutdown();
+    std::fs::remove_file(&ckpt).ok();
+}

@@ -105,6 +105,19 @@ impl HistogramCore {
 }
 
 /// A fixed-bucket histogram handle.
+///
+/// ```
+/// use cit_telemetry::Telemetry;
+///
+/// let (telemetry, _sink) = Telemetry::memory();
+/// let latency = telemetry.histogram("request.latency_s", &[0.001, 0.01, 0.1, 1.0]);
+/// for v in [0.002, 0.004, 0.05, 0.2] {
+///     latency.record(v);
+/// }
+/// assert_eq!(latency.count(), 4);
+/// assert!(latency.quantile(0.5) <= 0.011); // interpolated inside the owning bucket
+/// assert!(latency.quantile(0.99) > 0.1);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
 

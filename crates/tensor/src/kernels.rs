@@ -139,7 +139,7 @@ pub fn matmul_nt(m: usize, k: usize, n: usize, a: &[f32], bt: &[f32]) -> Vec<f32
 ///
 /// Outer-product form: for each reduction index `p` a row of `B` is
 /// broadcast-multiplied into a block of `out` rows, so the inner loop is a
-/// contiguous axpy. Output rows are processed in blocks of [`MC_TN`] to keep
+/// contiguous axpy. Output rows are processed in blocks of `MC_TN` to keep
 /// the accumulator panel cache-resident for large `m`.
 pub fn matmul_tn_acc(m: usize, k: usize, n: usize, at: &[f32], b: &[f32], out: &mut [f32]) {
     assert!(

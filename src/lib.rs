@@ -15,7 +15,11 @@
 //!   backtester and metrics,
 //! * [`online`] — online portfolio-selection baselines,
 //! * [`rl`] — deep-RL baselines (A2C, PPO, DDPG, EIIE, SARL, DeepTrader),
-//! * [`core`] — the cross-insight trader itself.
+//! * [`core`] — the cross-insight trader itself (training + the
+//!   deterministic [`core::DecisionModel`] inference path),
+//! * [`telemetry`] — structured diagnostics (counters, histograms, spans),
+//! * [`faults`] — seeded deterministic fault injection,
+//! * [`serve`] — batched TCP decision serving for trained checkpoints.
 //!
 //! ## Quickstart
 //!
@@ -35,8 +39,11 @@
 pub use cit_compute as compute;
 pub use cit_core as core;
 pub use cit_dwt as dwt;
+pub use cit_faults as faults;
 pub use cit_market as market;
 pub use cit_nn as nn;
 pub use cit_online as online;
 pub use cit_rl as rl;
+pub use cit_serve as serve;
+pub use cit_telemetry as telemetry;
 pub use cit_tensor as tensor;
