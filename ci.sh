@@ -24,6 +24,37 @@ echo "== serve smoke (servebench --quick)"
 cargo run --release -q -p cit-bench --bin servebench -- --quick
 test -s BENCH_serve.json || { echo "BENCH_serve.json missing or empty" >&2; exit 1; }
 
+echo "== observability smoke (cit-serve stats + /metrics + cit-top)"
+# Start a server with an admin listener on ephemeral ports, hit the
+# stats op through cit-top and the exposition endpoint over plain HTTP,
+# then shut it down via the protocol.
+cargo build --release -q -p cit-serve --bins
+rm -f results/cit_serve_addr.txt
+mkdir -p results
+target/release/cit-serve --untrained --assets 2 --seed 7 \
+  --admin 127.0.0.1:0 --addr-file results/cit_serve_addr.txt &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  test -s results/cit_serve_addr.txt && break
+  sleep 0.1
+done
+SERVE_ADDR=$(sed -n 's/^addr=//p' results/cit_serve_addr.txt)
+ADMIN_ADDR=$(sed -n 's/^admin=//p' results/cit_serve_addr.txt)
+test -n "$SERVE_ADDR" || { echo "cit-serve did not report an address" >&2; exit 1; }
+# cit-top --once --json round-trips the stats payload through the typed parser.
+target/release/cit-top --addr "$SERVE_ADDR" --once --json | grep -q '"op":"stats"' \
+  || { echo "cit-top --once --json did not return a stats line" >&2; exit 1; }
+# The admin endpoint serves the expected metric families.
+METRICS=$(target/release/cit-top --metrics "$ADMIN_ADDR")
+for family in serve_requests serve_latency_window_bucket serve_queue_depth telemetry_uptime_seconds; do
+  echo "$METRICS" | grep -q "$family" \
+    || { echo "/metrics missing family $family" >&2; exit 1; }
+done
+target/release/cit-top --addr "$SERVE_ADDR" --once >/dev/null
+printf '{"op":"shutdown"}\n' | timeout 10 bash -c "exec 3<>/dev/tcp/${SERVE_ADDR%:*}/${SERVE_ADDR##*:}; cat >&3; head -c1 <&3 >/dev/null" || true
+wait "$SERVE_PID"
+rm -f results/cit_serve_addr.txt
+
 echo "== checkpoint save -> kill -> resume smoke"
 # Bitwise resume-after-kill guarantee, including a simulated crash during
 # save (truncated temp file must not corrupt the previous checkpoint).

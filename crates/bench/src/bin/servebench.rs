@@ -14,7 +14,8 @@ use cit_serve::{Client, Request, ServeConfig, Server};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One concurrency level's measurements.
+/// One concurrency level's measurements: client-side quantiles plus the
+/// server's own last-window view from its `stats` op.
 struct Level {
     clients: usize,
     requests: usize,
@@ -22,6 +23,7 @@ struct Level {
     p95_us: f64,
     p99_us: f64,
     req_per_s: f64,
+    srv: cit_serve::WindowStats,
 }
 
 fn quantile_us(sorted: &[f64], q: f64) -> f64 {
@@ -137,6 +139,21 @@ fn main() {
             .flat_map(|w| w.join().expect("client thread"))
             .collect();
         let wall = started.elapsed().as_secs_f64();
+        // The server's own view over the wire, before shutting it down:
+        // the trailing 10 s window covers (at least the tail of) the run.
+        let srv = {
+            let mut c = Client::connect(addr).expect("connect for stats");
+            let stats = c
+                .call(&Request::Stats)
+                .expect("stats request")
+                .stats()
+                .expect("typed stats payload");
+            stats
+                .windows
+                .into_iter()
+                .find(|w| w.secs == 10)
+                .expect("10s window digest")
+        };
         server.shutdown();
         all.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
         let level = Level {
@@ -146,10 +163,15 @@ fn main() {
             p95_us: quantile_us(&all, 0.95),
             p99_us: quantile_us(&all, 0.99),
             req_per_s: all.len() as f64 / wall,
+            srv,
         };
         println!(
             "clients {:>2}: {:>5} reqs  p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  {:>8.1} req/s",
             level.clients, level.requests, level.p50_us, level.p95_us, level.p99_us, level.req_per_s
+        );
+        println!(
+            "            server 10s window: p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  {:>8.1} req/s",
+            level.srv.p50_us, level.srv.p95_us, level.srv.p99_us, level.srv.req_per_s
         );
         measured.push(level);
     }
@@ -164,8 +186,9 @@ fn main() {
         let comma = if i + 1 < measured.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    \"c{}\": {{ \"clients\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.1} }}{comma}",
-            l.clients, l.clients, l.requests, l.p50_us, l.p95_us, l.p99_us, l.req_per_s
+            "    \"c{}\": {{ \"clients\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.1}, \"server\": {{ \"window_s\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.1} }} }}{comma}",
+            l.clients, l.clients, l.requests, l.p50_us, l.p95_us, l.p99_us, l.req_per_s,
+            l.srv.secs, l.srv.requests, l.srv.p50_us, l.srv.p95_us, l.srv.p99_us, l.srv.req_per_s
         );
     }
     let _ = writeln!(json, "  }}");

@@ -122,6 +122,13 @@ pub struct CitConfig {
     /// the health check. `0.0` disables spike detection (non-finite norms
     /// are always failures).
     pub grad_spike_factor: f64,
+    /// Trainer heartbeat period in optimiser updates: every this many
+    /// updates a `train.heartbeat` record (updates/s, loss and grad-norm
+    /// EWMAs, rollback count, progress) is emitted and flushed so
+    /// multi-hour runs are monitorable from the JSONL stream. `0`
+    /// disables heartbeats. Diagnostics only — never changes training
+    /// results.
+    pub heartbeat_every: usize,
 }
 
 impl Default for CitConfig {
@@ -154,6 +161,7 @@ impl Default for CitConfig {
             max_rollbacks: 3,
             lr_backoff: 0.5,
             grad_spike_factor: 0.0,
+            heartbeat_every: 20,
         }
     }
 }
@@ -170,6 +178,7 @@ impl CitConfig {
             critic_hidden: 16,
             rollout: 16,
             total_steps: 200,
+            heartbeat_every: 5,
             seed,
             ..Default::default()
         }

@@ -20,6 +20,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Everything produced by one decision pass of all policies at a day `t`.
 pub struct Decision {
@@ -596,6 +597,30 @@ impl CrossInsightTrader {
             }
         }
 
+        // ---- Heartbeat state ----
+        // Pure diagnostics: EWMAs and a wall clock read only when
+        // telemetry is enabled, never touching the RNG or the math, so a
+        // monitored run stays bit-identical to an unmonitored one.
+        let heartbeat_every = if tel.is_enabled() {
+            cfg.heartbeat_every
+        } else {
+            0
+        };
+        let mut hb_last_update = update_idx;
+        let mut hb_last_time = Instant::now();
+        let mut hb_actor_ewma: Option<f64> = None;
+        let mut hb_critic_ewma: Option<f64> = None;
+        let mut hb_grad_ewma: Option<f64> = None;
+        const HB_ALPHA: f64 = 0.1;
+        let ewma = |prev: &mut Option<f64>, v: f64| -> f64 {
+            let next = match *prev {
+                Some(p) => p + HB_ALPHA * (v - p),
+                None => v,
+            };
+            *prev = Some(next);
+            next
+        };
+
         while steps < cfg.total_steps {
             let _update_timer = tel.span("train.update");
             if supervise
@@ -1037,6 +1062,36 @@ impl CrossInsightTrader {
                         .with("entropy", entropy_mean),
                 );
             }
+            if heartbeat_every > 0 {
+                let actor_ewma = ewma(&mut hb_actor_ewma, actor_loss);
+                let critic_ewma = ewma(&mut hb_critic_ewma, critic_loss);
+                let grad_ewma = ewma(&mut hb_grad_ewma, f64::from(grad_norm));
+                if (update_idx + 1).is_multiple_of(heartbeat_every) {
+                    let now = Instant::now();
+                    let dt = now.duration_since(hb_last_time).as_secs_f64();
+                    let updates_per_s = if dt > 0.0 {
+                        (update_idx + 1 - hb_last_update) as f64 / dt
+                    } else {
+                        0.0
+                    };
+                    hb_last_time = now;
+                    hb_last_update = update_idx + 1;
+                    let progress = (steps as f64 / cfg.total_steps.max(1) as f64).clamp(0.0, 1.0);
+                    tel.gauge("train.progress").set(progress);
+                    tel.gauge("train.updates_per_s").set(updates_per_s);
+                    tel.emit(
+                        Record::new("train.heartbeat")
+                            .with("update", update_idx)
+                            .with("steps", steps)
+                            .with("progress", progress)
+                            .with("updates_per_s", updates_per_s)
+                            .with("actor_loss_ewma", actor_ewma)
+                            .with("critic_loss_ewma", critic_ewma)
+                            .with("grad_norm_ewma", grad_ewma)
+                            .with("rollbacks", tel.counter("supervisor.rollbacks").get()),
+                    );
+                }
+            }
             update_idx += 1;
 
             // Periodic crash-safe checkpoint at the update boundary, where
@@ -1079,6 +1134,10 @@ impl CrossInsightTrader {
         });
         tel.gauge("train.final_mean_reward")
             .set(update_rewards.last().copied().unwrap_or(0.0));
+        if heartbeat_every > 0 {
+            tel.gauge("train.progress")
+                .set((steps as f64 / cfg.total_steps.max(1) as f64).clamp(0.0, 1.0));
+        }
         let report = TrainReport {
             update_rewards,
             steps,
@@ -1457,6 +1516,33 @@ mod tests {
             );
         }
         assert_eq!(tel.counter("train.updates").get() as usize, updates.len());
+
+        // Heartbeats: smoke config emits one every 5 updates, each with
+        // rate, EWMA and progress fields, and the progress gauge lands
+        // at 1.0 when the run completes.
+        assert_eq!(cit.config().heartbeat_every, 5);
+        let beats = sink.by_kind("train.heartbeat");
+        assert_eq!(beats.len(), updates.len() / 5);
+        for b in &beats {
+            for key in [
+                "progress",
+                "updates_per_s",
+                "actor_loss_ewma",
+                "critic_loss_ewma",
+                "grad_norm_ewma",
+                "rollbacks",
+            ] {
+                let v = b.get_f64(key).unwrap_or_else(|| panic!("missing {key}"));
+                assert!(v.is_finite(), "{key} not finite");
+            }
+            let p = b.get_f64("progress").unwrap();
+            assert!((0.0..=1.0).contains(&p));
+        }
+        let final_progress = tel.gauge("train.progress").get();
+        assert!(
+            (final_progress - 1.0).abs() < 1e-9,
+            "progress gauge {final_progress} after a completed run"
+        );
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! The optional admin listener: a minimal plain-HTTP endpoint so the
+//! server is scrapable without speaking the line protocol.
+//!
+//! `GET /metrics` answers Prometheus-style text exposition of the whole
+//! telemetry registry; `GET /stats` answers the same registry as one
+//! JSON object. Anything else is a 404. The implementation is
+//! deliberately tiny (std only, one thread, connection-per-request,
+//! `Connection: close`): it exists for scrapers and curl, not browsers.
+
+use crate::server::ServerState;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accept loop: polls non-blockingly so it can observe the drain flag,
+/// answering one request per connection.
+pub(crate) fn run_admin(listener: TcpListener, state: Arc<ServerState>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if state.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => answer(stream, &state),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Reads the request head and writes one response.
+fn answer(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request head (blank line) or timeout;
+    // the request body is irrelevant for GETs.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && !head.windows(2).any(|w| w == b"\n\n") {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = String::from_utf8_lossy(&head);
+    let path = request_line
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            state.telemetry.take_snapshot().to_prometheus(),
+        ),
+        "/stats" => (
+            "200 OK",
+            "application/json",
+            state.telemetry.take_snapshot().to_json(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics or /stats\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}

@@ -14,13 +14,45 @@ use crate::protocol::{ErrorKind, Request, Response};
 use crate::server::ServerState;
 use crate::session::Session;
 use cit_compute::parallel_map;
+use cit_telemetry::Gauge;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// RAII occupancy of the batcher queue: construction increments the
+/// shared depth (and mirrors it into the `serve.queue_depth` gauge),
+/// drop decrements. Owned by [`Job`], so *every* way a job exits the
+/// queue — answered, rejected on a full channel (`try_send` hands the
+/// job back), drained at shutdown, or unwound past by a panicking
+/// handler — restores the gauge. A burst of `overloaded` rejects must
+/// leave the depth at zero.
+pub(crate) struct DepthGuard {
+    depth: Arc<AtomicI64>,
+    gauge: Gauge,
+}
+
+impl DepthGuard {
+    pub(crate) fn new(depth: Arc<AtomicI64>, gauge: Gauge) -> DepthGuard {
+        let now = depth.fetch_add(1, Ordering::AcqRel) + 1;
+        gauge.set(now.max(0) as f64);
+        DepthGuard { depth, gauge }
+    }
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        let now = self.depth.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.gauge.set(now.max(0) as f64);
+    }
+}
 
 /// One queued request plus its reply path back to the connection thread.
 pub(crate) struct Job {
     pub(crate) req: Request,
     pub(crate) reply: Sender<Response>,
+    /// Queue-depth occupancy, held only for its drop.
+    pub(crate) _depth: DepthGuard,
 }
 
 impl Job {

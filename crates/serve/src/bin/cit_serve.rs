@@ -1,0 +1,161 @@
+//! `cit-serve` — run a decision server from the command line.
+//!
+//! ```text
+//! cit-serve [--addr HOST:PORT] [--admin HOST:PORT] [--checkpoint PATH | --untrained]
+//!           [--assets N] [--seed S] [--full-config] [--debug-ops]
+//!           [--queue-cap N] [--addr-file PATH]
+//! ```
+//!
+//! Prints a single `READY addr=... admin=...` line once both listeners
+//! are bound (and optionally writes the same addresses to `--addr-file`
+//! so scripts can pick an ephemeral port with `--addr 127.0.0.1:0`),
+//! then blocks until a client sends the `shutdown` op.
+
+use cit_core::{CitConfig, DecisionModel};
+use cit_serve::{ServeConfig, Server};
+use std::io::Write;
+use std::process::exit;
+use std::time::Duration;
+
+const USAGE: &str = "usage: cit-serve [--addr HOST:PORT] [--admin HOST:PORT]\n                 [--checkpoint PATH | --untrained] [--assets N] [--seed S]\n                 [--full-config] [--debug-ops] [--queue-cap N] [--addr-file PATH]";
+
+struct Args {
+    addr: String,
+    admin: Option<String>,
+    checkpoint: Option<String>,
+    assets: usize,
+    seed: u64,
+    full_config: bool,
+    debug_ops: bool,
+    queue_cap: Option<usize>,
+    addr_file: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        admin: None,
+        checkpoint: None,
+        assets: 4,
+        seed: 7,
+        full_config: false,
+        debug_ops: false,
+        queue_cap: None,
+        addr_file: None,
+    };
+    let mut i = 1;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&mut i)?,
+            "--admin" => args.admin = Some(value(&mut i)?),
+            "--checkpoint" => args.checkpoint = Some(value(&mut i)?),
+            "--untrained" => args.checkpoint = None,
+            "--assets" => {
+                args.assets = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--assets: {e}"))?
+            }
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--full-config" => args.full_config = true,
+            "--debug-ops" => args.debug_ops = true,
+            "--queue-cap" => {
+                args.queue_cap = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--queue-cap: {e}"))?,
+                )
+            }
+            "--addr-file" => args.addr_file = Some(value(&mut i)?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cit-serve: {e}");
+            exit(2);
+        }
+    };
+
+    // The on-disk checkpoint format stores parameters only, so the
+    // architecture must be supplied: the smoke config matches what
+    // `servebench`/`ci.sh` train, `--full-config` the paper-sized one.
+    let cfg = if args.full_config {
+        CitConfig {
+            seed: args.seed,
+            ..CitConfig::default()
+        }
+    } else {
+        CitConfig::smoke(args.seed)
+    };
+    let (model, label) = match &args.checkpoint {
+        Some(path) => match DecisionModel::from_checkpoint(path, cfg, args.assets) {
+            Ok(m) => (m, path.clone()),
+            Err(e) => {
+                eprintln!("cit-serve: cannot load {path:?}: {e}");
+                exit(1);
+            }
+        },
+        None => match DecisionModel::untrained(cfg, args.assets) {
+            Ok(m) => (m, format!("untrained(seed={})", args.seed)),
+            Err(e) => {
+                eprintln!("cit-serve: cannot build untrained model: {e}");
+                exit(1);
+            }
+        },
+    };
+
+    let mut serve_cfg = ServeConfig {
+        addr: args.addr,
+        admin_addr: args.admin,
+        checkpoint_label: label,
+        debug_ops: args.debug_ops,
+        ..ServeConfig::default()
+    };
+    if let Some(cap) = args.queue_cap {
+        serve_cfg.queue_cap = cap;
+    }
+
+    let server = match Server::start(model, serve_cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cit-serve: cannot start server: {e}");
+            exit(1);
+        }
+    };
+
+    let admin = server
+        .admin_addr()
+        .map_or_else(|| "-".to_string(), |a| a.to_string());
+    if let Some(path) = &args.addr_file {
+        let body = format!("addr={}\nadmin={}\n", server.addr(), admin);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("cit-serve: cannot write {path:?}: {e}");
+            exit(1);
+        }
+    }
+    println!("READY addr={} admin={admin}", server.addr());
+    let _ = std::io::stdout().flush();
+
+    // Block until a client asks for a drain, then join everything.
+    while !server.is_draining() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    server.shutdown();
+}

@@ -1,0 +1,212 @@
+//! `cit-top` — a live terminal dashboard for a running `cit-serve`.
+//!
+//! ```text
+//! cit-top --addr HOST:PORT [--interval-ms N] [--once] [--json]
+//! cit-top --metrics HOST:PORT
+//! ```
+//!
+//! Polls the server's `stats` op (default once a second) and renders a
+//! plain-ANSI dashboard. `--once` polls a single time and exits;
+//! `--json` prints the raw stats response line instead of the dashboard
+//! (after round-tripping it through the typed [`ServerStats`] parser),
+//! which makes `cit-top --once --json` usable from CI and scripts.
+//! `--metrics` instead fetches `GET /metrics` from the admin listener
+//! and prints the text exposition verbatim.
+
+use cit_serve::{Client, Request, ServerStats};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::exit;
+use std::time::Duration;
+
+const USAGE: &str = "usage: cit-top --addr HOST:PORT [--interval-ms N] [--once] [--json]\n       cit-top --metrics HOST:PORT";
+
+struct Args {
+    addr: Option<String>,
+    metrics: Option<String>,
+    interval_ms: u64,
+    once: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut args = Args {
+        addr: None,
+        metrics: None,
+        interval_ms: 1000,
+        once: false,
+        json: false,
+    };
+    let mut i = 1;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = Some(value(&mut i)?),
+            "--metrics" => args.metrics = Some(value(&mut i)?),
+            "--interval-ms" => {
+                args.interval_ms = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?
+            }
+            "--once" => args.once = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other if !other.starts_with('-') && args.addr.is_none() => {
+                args.addr = Some(other.to_string())
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if args.addr.is_none() && args.metrics.is_none() {
+        return Err(format!("an address is required\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+/// Fetches `GET /metrics` from the admin listener over plain TCP and
+/// returns the response body (everything past the header block).
+fn fetch_metrics(addr: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: cit\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .or_else(|| response.split_once("\n\n"))
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(response);
+    Ok(body)
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1_000_000.0 {
+        format!("{:.2}s", us / 1_000_000.0)
+    } else if us >= 1_000.0 {
+        format!("{:.1}ms", us / 1_000.0)
+    } else {
+        format!("{us:.0}us")
+    }
+}
+
+/// Renders one dashboard frame into a string (separately testable from
+/// the terminal handling).
+fn render(stats: &ServerStats) -> String {
+    let mut out = String::new();
+    let up = stats.uptime_s;
+    out.push_str(&format!(
+        "cit-top  |  up {:.0}s  |  checkpoint {}  |  reloads {}\n",
+        up, stats.checkpoint, stats.reloads
+    ));
+    out.push_str(&format!(
+        "sessions {}  |  queue {}/{}  |  requests {}  |  errors {}  |  mean batch {:.2}\n\n",
+        stats.sessions,
+        stats.queue_depth,
+        stats.queue_cap,
+        stats.requests_total,
+        stats.errors_total,
+        stats.batch_mean
+    ));
+    out.push_str("  window     req/s        p50        p95        p99\n");
+    for w in &stats.windows {
+        out.push_str(&format!(
+            "  {:>5}s  {:>7.1}  {:>9} {:>10} {:>10}\n",
+            w.secs,
+            w.req_per_s,
+            fmt_us(w.p50_us),
+            fmt_us(w.p95_us),
+            fmt_us(w.p99_us)
+        ));
+    }
+    out.push_str("\n  op        requests    errors        p50        p99\n");
+    for op in &stats.ops {
+        out.push_str(&format!(
+            "  {:<8} {:>9} {:>9}  {:>9} {:>10}\n",
+            op.op,
+            op.requests,
+            op.errors,
+            fmt_us(op.p50_us),
+            fmt_us(op.p99_us)
+        ));
+    }
+    if !stats.errors.is_empty() {
+        out.push_str("\n  rejects:");
+        for (kind, count) in &stats.errors {
+            out.push_str(&format!("  {kind}={count}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cit-top: {e}");
+            exit(2);
+        }
+    };
+
+    if let Some(addr) = &args.metrics {
+        match fetch_metrics(addr) {
+            Ok(body) => {
+                print!("{body}");
+                exit(0);
+            }
+            Err(e) => {
+                eprintln!("cit-top: cannot fetch metrics from {addr}: {e}");
+                exit(1);
+            }
+        }
+    }
+
+    let addr = args.addr.expect("checked in parse_args");
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cit-top: cannot connect to {addr}: {e}");
+            exit(1);
+        }
+    };
+    loop {
+        let reply = match client.call(&Request::Stats) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cit-top: stats request failed: {e}");
+                exit(1);
+            }
+        };
+        let Some(stats) = reply.stats() else {
+            eprintln!(
+                "cit-top: malformed stats response: {}",
+                reply.json().render()
+            );
+            exit(1);
+        };
+        if args.json {
+            println!("{}", reply.json().render());
+        } else {
+            // Clear screen + home, then one frame.
+            if !args.once {
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render(&stats));
+            let _ = std::io::stdout().flush();
+        }
+        if args.once {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(args.interval_ms));
+    }
+}

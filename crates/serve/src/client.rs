@@ -3,7 +3,7 @@
 //! implementation for real clients).
 
 use crate::json::Json;
-use crate::protocol::{ErrorKind, Request};
+use crate::protocol::{ErrorKind, Request, ServerStats};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -52,6 +52,11 @@ impl Reply {
     /// Any numeric field (e.g. `day`, `days`, `num_params`).
     pub fn number(&self, field: &str) -> Option<f64> {
         self.json.get(field).and_then(Json::as_f64)
+    }
+
+    /// The typed payload of a successful `stats` response.
+    pub fn stats(&self) -> Option<ServerStats> {
+        ServerStats::from_json(&self.json)
     }
 
     /// The raw parsed JSON.

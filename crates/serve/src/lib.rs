@@ -54,12 +54,13 @@
 pub mod json;
 pub mod protocol;
 
+mod admin;
 mod batch;
 mod client;
 mod server;
 mod session;
 
 pub use client::{Client, Reply};
-pub use protocol::{ErrorKind, Request, Response};
+pub use protocol::{ErrorKind, OpStats, Request, Response, ServerStats, WindowStats};
 pub use server::{ServeConfig, Server};
 pub use session::{Session, SessionStore};

@@ -13,6 +13,7 @@
 //! | `decide` | `session`, optional `prices` | `day`, `final_action`, `pre_actions` |
 //! | `close` | `session` | — |
 //! | `info` | — | `sessions`, `num_assets`, `num_params`, `window`, `policies` |
+//! | `stats` | — | live operational metrics (see [`ServerStats`]) |
 //! | `reload` | `checkpoint` | `num_params` |
 //! | `shutdown` | — | — |
 //! | `sleep` | `ms` (debug builds of the server only) | `ms` |
@@ -47,6 +48,8 @@ pub enum Request {
     },
     /// Server/model introspection.
     Info,
+    /// Live operational metrics (req/s, latency windows, queue depth).
+    Stats,
     /// Atomically swap in a new checkpoint (same architecture).
     Reload {
         /// Path to a cit-params checkpoint on the server's filesystem.
@@ -83,6 +86,18 @@ pub enum ErrorKind {
 }
 
 impl ErrorKind {
+    /// Every reject class, in wire-tag order — the index basis for the
+    /// server's per-kind error counters.
+    pub const ALL: [ErrorKind; 7] = [
+        ErrorKind::BadRequest,
+        ErrorKind::Overloaded,
+        ErrorKind::UnknownSession,
+        ErrorKind::SessionExists,
+        ErrorKind::ReloadFailed,
+        ErrorKind::ShuttingDown,
+        ErrorKind::BadData,
+    ];
+
     /// The wire tag.
     pub fn tag(self) -> &'static str {
         match self {
@@ -108,6 +123,203 @@ impl ErrorKind {
             "bad_data" => ErrorKind::BadData,
             _ => return None,
         })
+    }
+}
+
+/// One trailing window's server-side traffic digest inside
+/// [`ServerStats`]: request rate and latency quantiles over the last
+/// `secs` seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Window length in seconds.
+    pub secs: u64,
+    /// Requests answered inside the window.
+    pub requests: u64,
+    /// Requests per second over the window (`0.0` when idle).
+    pub req_per_s: f64,
+    /// Median request latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile request latency in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: f64,
+}
+
+/// One operation's cumulative breakdown inside [`ServerStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStats {
+    /// Operation name (`open`, `decide`, `close`, `info`, `stats`,
+    /// `reload`, `sleep`, or `other` for unparseable requests).
+    pub op: String,
+    /// Requests of this op since start.
+    pub requests: u64,
+    /// Error responses of this op since start.
+    pub errors: u64,
+    /// Median latency of this op in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency of this op in microseconds.
+    pub p99_us: f64,
+}
+
+/// The payload of a successful `stats` op: everything an operator (or
+/// `cit-top`) needs to judge a live server at a glance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Live session count.
+    pub sessions: usize,
+    /// Requests currently queued for the batcher.
+    pub queue_depth: usize,
+    /// The bounded queue's capacity (`overloaded` rejects past this).
+    pub queue_cap: usize,
+    /// Identity of the loaded checkpoint (path of the last successful
+    /// reload, or the label the server started with).
+    pub checkpoint: String,
+    /// Successful checkpoint reloads since start.
+    pub reloads: u64,
+    /// Requests answered since start (every op, success or error).
+    pub requests_total: u64,
+    /// Error responses since start.
+    pub errors_total: u64,
+    /// Mean batch size since start (`0.0` before the first batch).
+    pub batch_mean: f64,
+    /// Trailing-window digests (10 s and 60 s).
+    pub windows: Vec<WindowStats>,
+    /// Per-op cumulative breakdown (ops seen at least once).
+    pub ops: Vec<OpStats>,
+    /// Error counts by reject class (kinds seen at least once), as
+    /// `(kind tag, count)` pairs.
+    pub errors: Vec<(String, u64)>,
+}
+
+impl ServerStats {
+    /// Reconstructs stats from a parsed `stats` response line — the
+    /// client side of [`Response::render`]. Returns `None` when the JSON
+    /// is not a stats payload.
+    pub fn from_json(v: &Json) -> Option<ServerStats> {
+        if v.get("op").and_then(Json::as_str) != Some("stats") {
+            return None;
+        }
+        let windows = v
+            .get("windows")?
+            .as_array()?
+            .iter()
+            .map(|w| {
+                Some(WindowStats {
+                    secs: w.get("secs")?.as_usize()? as u64,
+                    requests: w.get("requests")?.as_usize()? as u64,
+                    req_per_s: w.get("req_per_s")?.as_f64()?,
+                    p50_us: w.get("p50_us")?.as_f64()?,
+                    p95_us: w.get("p95_us")?.as_f64()?,
+                    p99_us: w.get("p99_us")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let ops = v
+            .get("ops")?
+            .as_array()?
+            .iter()
+            .map(|o| {
+                Some(OpStats {
+                    op: o.get("op")?.as_str()?.to_string(),
+                    requests: o.get("requests")?.as_usize()? as u64,
+                    errors: o.get("errors")?.as_usize()? as u64,
+                    p50_us: o.get("p50_us")?.as_f64()?,
+                    p99_us: o.get("p99_us")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let errors = v
+            .get("errors")?
+            .as_array()?
+            .iter()
+            .map(|e| {
+                Some((
+                    e.get("kind")?.as_str()?.to_string(),
+                    e.get("count")?.as_usize()? as u64,
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(ServerStats {
+            uptime_s: v.get("uptime_s")?.as_f64()?,
+            sessions: v.get("sessions")?.as_usize()?,
+            queue_depth: v.get("queue_depth")?.as_usize()?,
+            queue_cap: v.get("queue_cap")?.as_usize()?,
+            checkpoint: v.get("checkpoint")?.as_str()?.to_string(),
+            reloads: v.get("reloads")?.as_usize()? as u64,
+            requests_total: v.get("requests_total")?.as_usize()? as u64,
+            errors_total: v.get("errors_total")?.as_usize()? as u64,
+            batch_mean: v.get("batch_mean")?.as_f64()?,
+            windows,
+            ops,
+            errors,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("op", "stats".into()),
+            ("uptime_s", self.uptime_s.into()),
+            ("sessions", self.sessions.into()),
+            ("queue_depth", self.queue_depth.into()),
+            ("queue_cap", self.queue_cap.into()),
+            ("checkpoint", self.checkpoint.clone().into()),
+            ("reloads", (self.reloads as usize).into()),
+            ("requests_total", (self.requests_total as usize).into()),
+            ("errors_total", (self.errors_total as usize).into()),
+            ("batch_mean", self.batch_mean.into()),
+            (
+                "windows",
+                Json::Arr(
+                    self.windows
+                        .iter()
+                        .map(|w| {
+                            Json::obj(vec![
+                                ("secs", (w.secs as usize).into()),
+                                ("requests", (w.requests as usize).into()),
+                                ("req_per_s", w.req_per_s.into()),
+                                ("p50_us", w.p50_us.into()),
+                                ("p95_us", w.p95_us.into()),
+                                ("p99_us", w.p99_us.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "ops",
+                Json::Arr(
+                    self.ops
+                        .iter()
+                        .map(|o| {
+                            Json::obj(vec![
+                                ("op", o.op.clone().into()),
+                                ("requests", (o.requests as usize).into()),
+                                ("errors", (o.errors as usize).into()),
+                                ("p50_us", o.p50_us.into()),
+                                ("p99_us", o.p99_us.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "errors",
+                Json::Arr(
+                    self.errors
+                        .iter()
+                        .map(|(kind, count)| {
+                            Json::obj(vec![
+                                ("kind", kind.clone().into()),
+                                ("count", (*count as usize).into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -151,6 +363,8 @@ pub enum Response {
         /// Horizon policy count `n`.
         policies: usize,
     },
+    /// Live operational metrics.
+    Stats(Box<ServerStats>),
     /// Checkpoint swapped in.
     Reloaded {
         /// Parameters in the new model.
@@ -226,6 +440,7 @@ impl Response {
                 ("window", (*window).into()),
                 ("policies", (*policies).into()),
             ]),
+            Response::Stats(stats) => stats.to_json(),
             Response::Reloaded { num_params } => Json::obj(vec![
                 ("ok", Json::Bool(true)),
                 ("op", "reload".into()),
@@ -277,6 +492,7 @@ impl Request {
                 ("session", session.clone().into()),
             ]),
             Request::Info => Json::obj(vec![("op", "info".into())]),
+            Request::Stats => Json::obj(vec![("op", "stats".into())]),
             Request::Reload { checkpoint } => Json::obj(vec![
                 ("op", "reload".into()),
                 ("checkpoint", checkpoint.clone().into()),
@@ -325,6 +541,7 @@ impl Request {
                 session: session(true)?,
             }),
             "info" => Ok(Request::Info),
+            "stats" => Ok(Request::Stats),
             "reload" => Ok(Request::Reload {
                 checkpoint: v
                     .get("checkpoint")
@@ -410,6 +627,7 @@ mod tests {
                 session: "s".into(),
             },
             Request::Info,
+            Request::Stats,
             Request::Reload {
                 checkpoint: "a b/c.cit".into(),
             },
@@ -435,6 +653,42 @@ mod tests {
             assert_eq!(ErrorKind::from_tag(kind.tag()), Some(kind));
         }
         assert_eq!(ErrorKind::from_tag("nope"), None);
+    }
+
+    #[test]
+    fn stats_response_round_trips() {
+        let stats = ServerStats {
+            uptime_s: 12.5,
+            sessions: 3,
+            queue_depth: 1,
+            queue_cap: 128,
+            checkpoint: "/tmp/model.cit".into(),
+            reloads: 2,
+            requests_total: 1000,
+            errors_total: 7,
+            batch_mean: 4.5,
+            windows: vec![WindowStats {
+                secs: 10,
+                requests: 250,
+                req_per_s: 25.0,
+                p50_us: 800.0,
+                p95_us: 2500.0,
+                p99_us: 4000.0,
+            }],
+            ops: vec![OpStats {
+                op: "decide".into(),
+                requests: 900,
+                errors: 2,
+                p50_us: 850.0,
+                p99_us: 4100.0,
+            }],
+            errors: vec![("overloaded".into(), 5), ("unknown_session".into(), 2)],
+        };
+        let line = Response::Stats(Box::new(stats.clone())).render();
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        let back = ServerStats::from_json(&v).expect("stats parse");
+        assert_eq!(back, stats);
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! The blocking TCP server: accept pool, connection threads, hot reload,
-//! graceful drain.
+//! graceful drain, and the live metrics plane (`stats` op + optional
+//! admin exposition listener).
 
-use crate::batch::{run_batcher, Job};
-use crate::protocol::{ErrorKind, Request, Response};
+use crate::batch::{run_batcher, DepthGuard, Job};
+use crate::protocol::{ErrorKind, OpStats, Request, Response, ServerStats, WindowStats};
 use crate::session::SessionStore;
 use cit_core::{CitConfig, DecisionModel};
-use cit_telemetry::{duration_bounds, Counter, Gauge, Histogram, Telemetry};
+use cit_telemetry::{
+    duration_bounds, Counter, Gauge, Histogram, NoopSink, RollingHistogram, Telemetry,
+    WindowedCounter, DEFAULT_WINDOWS,
+};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -39,6 +43,15 @@ pub struct ServeConfig {
     /// Honour the `sleep` debug op (tests use it to stall the batcher
     /// deterministically; keep off in production).
     pub debug_ops: bool,
+    /// Optional bind address for the admin listener answering plain-HTTP
+    /// `GET /metrics` (Prometheus-style text exposition) and `GET /stats`
+    /// (the JSON snapshot) — scrapable without speaking the line
+    /// protocol. `None` (the default) disables it.
+    pub admin_addr: Option<String>,
+    /// Identity label of the model the server started with, reported by
+    /// the `stats` op until a `reload` replaces it with the new
+    /// checkpoint's path.
+    pub checkpoint_label: String,
 }
 
 impl Default for ServeConfig {
@@ -52,8 +65,23 @@ impl Default for ServeConfig {
             shards: 16,
             max_history: 4096,
             debug_ops: false,
+            admin_addr: None,
+            checkpoint_label: "unnamed".to_string(),
         }
     }
+}
+
+/// Operation names the server breaks request metrics down by; `other`
+/// collects unparseable requests.
+pub(crate) const OP_NAMES: [&str; 8] = [
+    "open", "decide", "close", "info", "stats", "reload", "sleep", "other",
+];
+
+/// Per-op instruments: request/error counters plus a latency histogram.
+pub(crate) struct OpInstruments {
+    pub(crate) requests: Counter,
+    pub(crate) errors: Counter,
+    pub(crate) latency: Histogram,
 }
 
 /// Shared server state: the hot-swappable model, the session store, the
@@ -74,6 +102,99 @@ pub(crate) struct ServerState {
     pub(crate) batch_size: Histogram,
     pub(crate) reloads: Counter,
     pub(crate) sessions_gauge: Gauge,
+    /// When the server started (uptime basis for `stats`).
+    pub(crate) started: Instant,
+    /// Jobs currently sitting in (or just leaving) the batcher queue,
+    /// maintained by [`DepthGuard`] so every exit path decrements.
+    pub(crate) queue_depth: Arc<AtomicI64>,
+    pub(crate) queue_gauge: Gauge,
+    /// Identity of the loaded checkpoint (updated by `reload`).
+    pub(crate) checkpoint: RwLock<String>,
+    /// Every request (any op) for live req/s.
+    pub(crate) requests_window: WindowedCounter,
+    /// Every request's wall latency for live p50/p95/p99.
+    pub(crate) latency_window: RollingHistogram,
+    /// Per-op breakdown, indexed like [`OP_NAMES`].
+    pub(crate) ops: Vec<OpInstruments>,
+    /// Per-reject-class counters, indexed like [`ErrorKind::ALL`].
+    pub(crate) error_kinds: Vec<Counter>,
+}
+
+impl ServerState {
+    /// Records one answered request into the live metrics plane:
+    /// aggregate window instruments, the per-op breakdown, and — when the
+    /// response is an error — the per-kind error counters.
+    pub(crate) fn observe(&self, op_idx: usize, resp: &Response, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        self.requests_window.inc();
+        self.latency_window.record(secs);
+        let op = &self.ops[op_idx];
+        op.requests.inc();
+        op.latency.record(secs);
+        if let Response::Error { kind, .. } = resp {
+            op.errors.inc();
+            if let Some(i) = ErrorKind::ALL.iter().position(|k| k == kind) {
+                self.error_kinds[i].inc();
+            }
+            if *kind == ErrorKind::Overloaded {
+                self.rejects.inc();
+            }
+        }
+    }
+
+    /// Builds the `stats` payload from the live instruments.
+    pub(crate) fn build_stats(&self) -> ServerStats {
+        let windows = DEFAULT_WINDOWS
+            .iter()
+            .map(|&secs| {
+                let lat = self.latency_window.window(secs);
+                WindowStats {
+                    secs,
+                    requests: self.requests_window.window_count(secs),
+                    req_per_s: self.requests_window.rate(secs),
+                    p50_us: lat.quantile(0.5) * 1e6,
+                    p95_us: lat.quantile(0.95) * 1e6,
+                    p99_us: lat.quantile(0.99) * 1e6,
+                }
+            })
+            .collect();
+        let ops = OP_NAMES
+            .iter()
+            .zip(&self.ops)
+            .filter(|(_, i)| i.requests.get() > 0)
+            .map(|(name, i)| OpStats {
+                op: name.to_string(),
+                requests: i.requests.get(),
+                errors: i.errors.get(),
+                p50_us: i.latency.quantile(0.5) * 1e6,
+                p99_us: i.latency.quantile(0.99) * 1e6,
+            })
+            .collect();
+        let errors: Vec<(String, u64)> = ErrorKind::ALL
+            .iter()
+            .zip(&self.error_kinds)
+            .filter(|(_, c)| c.get() > 0)
+            .map(|(kind, c)| (kind.tag().to_string(), c.get()))
+            .collect();
+        ServerStats {
+            uptime_s: self.started.elapsed().as_secs_f64(),
+            sessions: self.store.len(),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as usize,
+            queue_cap: self.cfg.queue_cap,
+            checkpoint: self
+                .checkpoint
+                .read()
+                .expect("checkpoint lock poisoned")
+                .clone(),
+            reloads: self.reloads.get(),
+            requests_total: self.requests_window.total(),
+            errors_total: errors.iter().map(|(_, c)| c).sum(),
+            batch_mean: self.batch_size.mean(),
+            windows,
+            ops,
+            errors,
+        }
+    }
 }
 
 /// A running serving instance.
@@ -85,9 +206,11 @@ pub(crate) struct ServerState {
 pub struct Server {
     state: Arc<ServerState>,
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
     sender: Option<SyncSender<Job>>,
     accept: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
+    admin: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -106,9 +229,39 @@ impl Server {
         cfg: ServeConfig,
         telemetry: Telemetry,
     ) -> io::Result<Server> {
+        // The metrics plane needs a live registry even when the caller
+        // opted out of record sinks: upgrade a disabled handle to one
+        // that keeps instruments but discards records, so `stats` and
+        // the admin exposition always answer with real numbers.
+        let telemetry = if telemetry.is_enabled() {
+            telemetry
+        } else {
+            Telemetry::new(Arc::new(NoopSink))
+        };
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        let admin_listener = match &cfg.admin_addr {
+            Some(a) => Some(TcpListener::bind(a)?),
+            None => None,
+        };
+        let admin_addr = match &admin_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let threads = cit_compute::resolve_threads(cfg.threads);
+        let ops = OP_NAMES
+            .iter()
+            .map(|name| OpInstruments {
+                requests: telemetry.counter(&format!("serve.op.{name}.requests")),
+                errors: telemetry.counter(&format!("serve.op.{name}.errors")),
+                latency: telemetry
+                    .histogram(&format!("serve.op.{name}.latency"), &duration_bounds()),
+            })
+            .collect();
+        let error_kinds = ErrorKind::ALL
+            .iter()
+            .map(|kind| telemetry.counter(&format!("serve.errors.{}", kind.tag())))
+            .collect();
         let state = Arc::new(ServerState {
             listen_addr: addr,
             model_cfg: *model.config(),
@@ -126,6 +279,14 @@ impl Server {
             ),
             reloads: telemetry.counter("serve.reloads"),
             sessions_gauge: telemetry.gauge("serve.sessions"),
+            started: Instant::now(),
+            queue_depth: Arc::new(AtomicI64::new(0)),
+            queue_gauge: telemetry.gauge("serve.queue_depth"),
+            checkpoint: RwLock::new(cfg.checkpoint_label.clone()),
+            requests_window: telemetry.windowed_counter("serve.requests_window"),
+            latency_window: telemetry.rolling_histogram("serve.latency_window", &duration_bounds()),
+            ops,
+            error_kinds,
             telemetry,
             cfg,
         });
@@ -142,12 +303,18 @@ impl Server {
             let conns = conns.clone();
             std::thread::spawn(move || run_accept(listener, state, tx, conns))
         };
+        let admin = admin_listener.map(|l| {
+            let state = state.clone();
+            std::thread::spawn(move || crate::admin::run_admin(l, state))
+        });
         Ok(Server {
             state,
             addr,
+            admin_addr,
             sender: Some(tx),
             accept: Some(accept),
             batcher: Some(batcher),
+            admin,
             conns,
         })
     }
@@ -155,6 +322,17 @@ impl Server {
     /// The bound address (resolve the actual port when binding to `:0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The admin listener's bound address, when
+    /// [`ServeConfig::admin_addr`] was set.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
+    }
+
+    /// The current `stats` payload — what the `stats` wire op answers.
+    pub fn stats(&self) -> crate::protocol::ServerStats {
+        self.state.build_stats()
     }
 
     /// The telemetry handle metrics are recorded into.
@@ -190,6 +368,9 @@ impl Server {
             let _ = h.join();
         }
         if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.admin.take() {
             let _ = h.join();
         }
     }
@@ -257,11 +438,36 @@ fn serve_conn(stream: TcpStream, state: &ServerState, tx: &SyncSender<Job>) {
     }
 }
 
+/// Index into [`OP_NAMES`] / [`ServerState::ops`] for a request.
+fn op_index(req: &Request) -> usize {
+    match req {
+        Request::Open { .. } => 0,
+        Request::Decide { .. } => 1,
+        Request::Close { .. } => 2,
+        Request::Info => 3,
+        Request::Stats => 4,
+        Request::Reload { .. } => 5,
+        Request::Sleep { .. } => 6,
+        // Shutdown shares the `other` slot: it answers at most once per
+        // server lifetime, a dedicated breakdown row would be noise.
+        Request::Shutdown => OP_OTHER,
+    }
+}
+
+/// The `other` slot of [`OP_NAMES`] (unparseable requests).
+const OP_OTHER: usize = 7;
+
 fn handle_line(line: &str, state: &ServerState, tx: &SyncSender<Job>) -> Response {
-    let req = match Request::parse(line) {
-        Ok(r) => r,
-        Err(e) => return Response::error(ErrorKind::BadRequest, e),
+    let started = Instant::now();
+    let (op_idx, resp) = match Request::parse(line) {
+        Ok(req) => (op_index(&req), dispatch(req, state, tx)),
+        Err(e) => (OP_OTHER, Response::error(ErrorKind::BadRequest, e)),
     };
+    state.observe(op_idx, &resp, started.elapsed());
+    resp
+}
+
+fn dispatch(req: Request, state: &ServerState, tx: &SyncSender<Job>) -> Response {
     match req {
         Request::Info => {
             let model = state.model.read().expect("model lock poisoned").clone();
@@ -273,12 +479,15 @@ fn handle_line(line: &str, state: &ServerState, tx: &SyncSender<Job>) -> Respons
                 policies: model.config().num_policies,
             }
         }
+        Request::Stats => Response::Stats(Box::new(state.build_stats())),
         Request::Reload { checkpoint } => {
             match DecisionModel::from_checkpoint(&checkpoint, state.model_cfg, state.num_assets) {
                 Ok(new_model) => {
                     let num_params = new_model.num_params();
                     *state.model.write().expect("model lock poisoned") = Arc::new(new_model);
                     state.reloads.inc();
+                    *state.checkpoint.write().expect("checkpoint lock poisoned") =
+                        checkpoint.clone();
                     state
                         .telemetry
                         .emit(cit_telemetry::Record::new("serve.reload").with("path", checkpoint));
@@ -306,9 +515,15 @@ fn handle_line(line: &str, state: &ServerState, tx: &SyncSender<Job>) -> Respons
             }
             let started = Instant::now();
             let (reply_tx, reply_rx) = mpsc::channel();
+            // The guard rides inside the job: whichever way the job
+            // leaves the queue — answered, drained at shutdown, rejected
+            // below (the failed send hands the job back), or unwound by
+            // a panicking handler — dropping it decrements the gauge.
+            let depth = DepthGuard::new(state.queue_depth.clone(), state.queue_gauge.clone());
             match tx.try_send(Job {
                 req: queued,
                 reply: reply_tx,
+                _depth: depth,
             }) {
                 Ok(()) => match reply_rx.recv_timeout(Duration::from_secs(60)) {
                     Ok(resp) => {
@@ -318,17 +533,14 @@ fn handle_line(line: &str, state: &ServerState, tx: &SyncSender<Job>) -> Respons
                     }
                     Err(_) => Response::error(ErrorKind::ShuttingDown, "server is draining"),
                 },
-                Err(TrySendError::Full(_)) => {
-                    state.rejects.inc();
-                    Response::error(
-                        ErrorKind::Overloaded,
-                        format!(
-                            "decision queue full ({} queued); retry later",
-                            state.cfg.queue_cap
-                        ),
-                    )
-                }
-                Err(TrySendError::Disconnected(_)) => {
+                Err(TrySendError::Full(_job)) => Response::error(
+                    ErrorKind::Overloaded,
+                    format!(
+                        "decision queue full ({} queued); retry later",
+                        state.cfg.queue_cap
+                    ),
+                ),
+                Err(TrySendError::Disconnected(_job)) => {
                     Response::error(ErrorKind::ShuttingDown, "server is draining")
                 }
             }

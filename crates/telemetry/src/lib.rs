@@ -40,25 +40,34 @@
 mod metrics;
 mod record;
 mod sink;
+mod snapshot;
 mod span;
 mod value;
+mod window;
 
 pub use metrics::{duration_bounds, Counter, Gauge, Histogram};
-pub use record::Record;
+pub use record::{Record, Stamp};
 pub use sink::{FilterSink, JsonlSink, MemorySink, MultiSink, NoopSink, Sink, StderrSink};
+pub use snapshot::{
+    HistogramData, MetricData, MetricEntry, RateData, TelemetrySnapshot, WindowData,
+};
 pub use span::Span;
 pub use value::Value;
+pub use window::{ManualClock, RollingHistogram, WindowSnapshot, WindowedCounter, DEFAULT_WINDOWS};
 
 use metrics::HistogramCore;
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Mutex};
+use window::{RollingCore, WindowedCounterCore};
 
 enum Metric {
     Counter(Arc<AtomicU64>),
     Gauge(Arc<AtomicU64>),
     Histogram(Arc<HistogramCore>),
+    Rolling(Arc<RollingCore>),
+    Windowed(Arc<WindowedCounterCore>),
 }
 
 struct Inner {
@@ -90,6 +99,10 @@ impl Telemetry {
 
     /// An enabled handle routing records to `sink`.
     pub fn new(sink: Arc<dyn Sink>) -> Self {
+        // Pin the process telemetry epoch now, so uptime in snapshots
+        // measures from handle creation even if no record is stamped
+        // until much later.
+        record::process_elapsed_s();
         Telemetry {
             inner: Some(Arc::new(Inner {
                 sink,
@@ -119,9 +132,15 @@ impl Telemetry {
         self.inner.is_some()
     }
 
-    /// Routes a record to the sink (dropped when disabled).
+    /// Routes a record to the sink (dropped when disabled), stamping it
+    /// with wall-clock and monotonic-elapsed capture times first (unless
+    /// the caller already stamped it).
     pub fn emit(&self, record: Record) {
         if let Some(inner) = &self.inner {
+            let mut record = record;
+            if record.stamp.is_none() {
+                record.stamp = Some(Stamp::now());
+            }
             inner.sink.emit(&record);
         }
     }
@@ -189,6 +208,48 @@ impl Telemetry {
         }
     }
 
+    /// Registers (or fetches) a rolling histogram: a ring of per-second
+    /// epoch buckets answering trailing-window queries ("last-10s p99")
+    /// alongside the cumulative view. Bounds are fixed by the first
+    /// registration.
+    pub fn rolling_histogram(&self, name: &str, bounds: &[f64]) -> RollingHistogram {
+        let Some(inner) = &self.inner else {
+            return RollingHistogram::default();
+        };
+        let mut metrics = inner.metrics.lock().expect("metric registry poisoned");
+        let entry = metrics.entry(name.to_string()).or_insert_with(|| {
+            Metric::Rolling(
+                RollingHistogram::new(bounds)
+                    .0
+                    .expect("fresh rolling histogram is enabled"),
+            )
+        });
+        match entry {
+            Metric::Rolling(r) => RollingHistogram(Some(r.clone())),
+            _ => panic!("telemetry metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or fetches) a windowed counter: a cumulative total plus
+    /// trailing-window event rates ("req/s over the last 10 s").
+    pub fn windowed_counter(&self, name: &str) -> WindowedCounter {
+        let Some(inner) = &self.inner else {
+            return WindowedCounter::default();
+        };
+        let mut metrics = inner.metrics.lock().expect("metric registry poisoned");
+        let entry = metrics.entry(name.to_string()).or_insert_with(|| {
+            Metric::Windowed(
+                WindowedCounter::new()
+                    .0
+                    .expect("fresh windowed counter is enabled"),
+            )
+        });
+        match entry {
+            Metric::Windowed(w) => WindowedCounter(Some(w.clone())),
+            _ => panic!("telemetry metric {name:?} already registered with a different type"),
+        }
+    }
+
     /// Starts an RAII span timer recording into the duration histogram
     /// `span.<name>` on drop. Inert (no clock read) when disabled.
     pub fn span(&self, name: &str) -> Span {
@@ -219,8 +280,79 @@ impl Telemetry {
                     .with("name", name.as_str())
                     .with("value", Gauge(Some(g.clone())).get()),
                 Metric::Histogram(h) => Histogram(Some(h.clone())).snapshot(name),
+                Metric::Rolling(r) => {
+                    let h = RollingHistogram(Some(r.clone()));
+                    let cum = h.cumulative();
+                    Record::new("metric.rolling_histogram")
+                        .with("name", name.as_str())
+                        .with("count", cum.count)
+                        .with("sum", cum.sum)
+                        .with("mean", cum.mean())
+                        .with("p50", cum.quantile(0.5))
+                        .with("p90", cum.quantile(0.9))
+                        .with("p99", cum.quantile(0.99))
+                }
+                Metric::Windowed(w) => {
+                    let c = WindowedCounter(Some(w.clone()));
+                    let mut r = Record::new("metric.windowed_counter")
+                        .with("name", name.as_str())
+                        .with("value", c.total());
+                    for secs in DEFAULT_WINDOWS {
+                        r.push(format!("rate_{secs}s"), c.rate(secs));
+                    }
+                    r
+                }
             })
             .collect()
+    }
+
+    /// Freezes every registered metric into a [`TelemetrySnapshot`] —
+    /// the structure behind the Prometheus-style `/metrics` exposition
+    /// and the `stats` wire op of `cit-serve`. Empty when disabled.
+    pub fn take_snapshot(&self) -> TelemetrySnapshot {
+        let stamp = Stamp::now();
+        let mut entries = Vec::new();
+        if let Some(inner) = &self.inner {
+            let metrics = inner.metrics.lock().expect("metric registry poisoned");
+            for (name, m) in metrics.iter() {
+                let data = match m {
+                    Metric::Counter(c) => MetricData::Counter(Counter(Some(c.clone())).get()),
+                    Metric::Gauge(g) => MetricData::Gauge(Gauge(Some(g.clone())).get()),
+                    Metric::Histogram(h) => {
+                        let h = Histogram(Some(h.clone()));
+                        MetricData::Histogram(HistogramData {
+                            count: h.count(),
+                            sum: h.sum(),
+                            bounds: h.bounds(),
+                            buckets: h.bucket_counts(),
+                        })
+                    }
+                    Metric::Rolling(r) => {
+                        let h = RollingHistogram(Some(r.clone()));
+                        MetricData::RollingHistogram {
+                            cumulative: HistogramData::from_window(&h.cumulative()),
+                            windows: snapshot::window_digests(&h),
+                        }
+                    }
+                    Metric::Windowed(w) => {
+                        let c = WindowedCounter(Some(w.clone()));
+                        MetricData::WindowedCounter {
+                            total: c.total(),
+                            windows: snapshot::rate_digests(&c),
+                        }
+                    }
+                };
+                entries.push(MetricEntry {
+                    name: name.clone(),
+                    data,
+                });
+            }
+        }
+        TelemetrySnapshot {
+            at_unix_ms: stamp.unix_ms,
+            uptime_s: stamp.elapsed_s,
+            entries,
+        }
     }
 
     /// Emits every metric snapshot to the sink and flushes — typically
@@ -290,5 +422,42 @@ mod tests {
         let (t, _sink) = Telemetry::memory();
         t.counter("m");
         t.gauge("m");
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn rolling_vs_plain_histogram_mismatch_panics() {
+        let (t, _sink) = Telemetry::memory();
+        t.histogram("m", &[1.0]);
+        t.rolling_histogram("m", &[1.0]);
+    }
+
+    #[test]
+    fn emit_stamps_records_with_both_clocks() {
+        let (t, sink) = Telemetry::memory();
+        t.emit(Record::new("x"));
+        let r = &sink.records()[0];
+        let stamp = r.stamp.expect("emit stamps records");
+        assert!(stamp.unix_ms > 1_600_000_000_000);
+        assert!(stamp.elapsed_s >= 0.0);
+        let json = r.to_json();
+        assert!(json.contains("\"ts_ms\":"), "{json}");
+        assert!(json.contains("\"elapsed_s\":"), "{json}");
+    }
+
+    #[test]
+    fn windowed_metrics_register_and_report() {
+        let (t, sink) = Telemetry::memory();
+        t.rolling_histogram("lat", &[0.1, 1.0]).record(0.5);
+        t.windowed_counter("req").add(3);
+        // Handles share state through the registry.
+        assert_eq!(t.rolling_histogram("lat", &[0.1, 1.0]).count(), 1);
+        assert_eq!(t.windowed_counter("req").total(), 3);
+        t.report();
+        let rolling = sink.by_kind("metric.rolling_histogram");
+        assert_eq!(rolling.len(), 1);
+        assert_eq!(rolling[0].get_f64("count"), Some(1.0));
+        let windowed = sink.by_kind("metric.windowed_counter");
+        assert_eq!(windowed[0].get_f64("value"), Some(3.0));
     }
 }

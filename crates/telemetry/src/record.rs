@@ -2,22 +2,72 @@
 
 use crate::value::Value;
 use std::fmt::Write as _;
+use std::sync::OnceLock;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// The process-wide monotonic epoch backing [`Stamp::elapsed_s`]:
+/// initialised on first use, so elapsed times from every telemetry
+/// handle in the process share one origin and are mutually orderable.
+static PROCESS_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic seconds since the process's telemetry epoch.
+pub(crate) fn process_elapsed_s() -> f64 {
+    PROCESS_EPOCH
+        .get_or_init(Instant::now)
+        .elapsed()
+        .as_secs_f64()
+}
+
+/// Wall-clock milliseconds since the Unix epoch.
+pub(crate) fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64)
+}
+
+/// Capture times of a record: a wall-clock stamp for correlating runs
+/// with the outside world, plus a monotonic elapsed stamp immune to
+/// clock steps for ordering and rate math within a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stamp {
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Monotonic seconds since the process's telemetry epoch.
+    pub elapsed_s: f64,
+}
+
+impl Stamp {
+    /// Captures the current time from both clocks.
+    pub fn now() -> Stamp {
+        Stamp {
+            unix_ms: unix_ms(),
+            elapsed_s: process_elapsed_s(),
+        }
+    }
+}
 
 /// One structured diagnostic event: a kind tag plus ordered key/value
 /// fields. Field order is preserved so JSONL output is deterministic.
+///
+/// Records are stamped by [`crate::Telemetry::emit`]; a record built and
+/// serialised by hand stays unstamped and renders without time fields,
+/// which keeps golden tests byte-stable.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
     /// The record kind, e.g. `train.update` or `backtest.step`.
     pub kind: String,
+    /// Capture times, filled in by [`crate::Telemetry::emit`].
+    pub stamp: Option<Stamp>,
     /// Ordered fields.
     pub fields: Vec<(String, Value)>,
 }
 
 impl Record {
-    /// Starts a record of the given kind.
+    /// Starts a record of the given kind (unstamped).
     pub fn new(kind: impl Into<String>) -> Self {
         Record {
             kind: kind.into(),
+            stamp: None,
             fields: Vec::new(),
         }
     }
@@ -43,11 +93,19 @@ impl Record {
         self.get(key).and_then(Value::as_f64)
     }
 
-    /// One-line JSON object: `{"kind":"...","k":v,...}`.
+    /// One-line JSON object: `{"kind":"...","k":v,...}`. Stamped records
+    /// render `ts_ms` (wall clock) and `elapsed_s` (monotonic) right
+    /// after the kind; unstamped records render exactly as before.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(64 + self.fields.len() * 16);
         s.push_str("{\"kind\":");
         Value::from(self.kind.as_str()).encode(&mut s);
+        if let Some(stamp) = &self.stamp {
+            s.push_str(",\"ts_ms\":");
+            Value::from(stamp.unix_ms).encode(&mut s);
+            s.push_str(",\"elapsed_s\":");
+            Value::from(stamp.elapsed_s).encode(&mut s);
+        }
         for (k, v) in &self.fields {
             s.push(',');
             Value::from(k.as_str()).encode(&mut s);
@@ -99,6 +157,31 @@ mod tests {
         let p = r.pretty();
         assert!(p.starts_with("[progress]"), "{p}");
         assert!(!p.contains('\n'));
+    }
+
+    #[test]
+    fn stamped_records_render_time_fields_after_kind() {
+        let mut r = Record::new("t").with("a", 1u64);
+        r.stamp = Some(Stamp {
+            unix_ms: 1700000000123,
+            elapsed_s: 2.5,
+        });
+        assert_eq!(
+            r.to_json(),
+            "{\"kind\":\"t\",\"ts_ms\":1700000000123,\"elapsed_s\":2.5,\"a\":1}"
+        );
+    }
+
+    #[test]
+    fn stamp_now_reads_both_clocks() {
+        let a = Stamp::now();
+        let b = Stamp::now();
+        assert!(
+            a.unix_ms > 1_600_000_000_000,
+            "wall clock sane: {}",
+            a.unix_ms
+        );
+        assert!(b.elapsed_s >= a.elapsed_s, "monotonic never regresses");
     }
 
     #[test]

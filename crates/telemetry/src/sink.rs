@@ -38,7 +38,16 @@ impl Sink for StderrSink {
     }
 }
 
+/// Record kinds a live tail is expected to watch for: the JSONL sink
+/// flushes eagerly after these so `tail -f` sees heartbeats and progress
+/// as they happen, while bulk records stay buffered.
+const EAGER_FLUSH_KINDS: [&str; 3] = ["progress", "train.heartbeat", "supervisor."];
+
 /// Writes one JSON object per line to any writer (typically a file).
+///
+/// Buffered output is flushed on [`Sink::flush`], on drop, and eagerly
+/// after monitorable kinds (`progress`, `train.heartbeat`,
+/// `supervisor.*`) so long training runs are tailable mid-flight.
 pub struct JsonlSink {
     writer: Mutex<Box<dyn Write + Send>>,
 }
@@ -70,6 +79,9 @@ impl Sink for JsonlSink {
         line.push('\n');
         let mut w = self.writer.lock().expect("jsonl sink poisoned");
         let _ = w.write_all(line.as_bytes());
+        if EAGER_FLUSH_KINDS.iter().any(|k| record.kind.starts_with(k)) {
+            let _ = w.flush();
+        }
     }
 
     fn flush(&self) {
@@ -251,5 +263,48 @@ mod tests {
             text,
             "{\"kind\":\"r\",\"v\":1.5}\n{\"kind\":\"r\",\"v\":2}\n"
         );
+    }
+
+    #[derive(Clone)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_flushes_eagerly_after_monitorable_kinds() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::from_writer(Box::new(BufWriter::with_capacity(
+            1 << 20,
+            SharedBuf(buf.clone()),
+        )));
+        sink.emit(&Record::new("train.update").with("loss", 0.5));
+        assert!(buf.lock().unwrap().is_empty(), "bulk records stay buffered");
+        sink.emit(&Record::new("train.heartbeat").with("update", 5usize));
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(
+            text.contains("train.heartbeat"),
+            "heartbeat forces a flush: {text:?}"
+        );
+    }
+
+    #[test]
+    fn jsonl_flushes_on_drop() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::from_writer(Box::new(BufWriter::with_capacity(
+            1 << 20,
+            SharedBuf(buf.clone()),
+        )));
+        sink.emit(&Record::new("r").with("v", 1usize));
+        assert!(buf.lock().unwrap().is_empty());
+        drop(sink);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, "{\"kind\":\"r\",\"v\":1}\n");
     }
 }

@@ -1,0 +1,431 @@
+//! A whole-registry metrics snapshot with std-only encoders.
+//!
+//! [`TelemetrySnapshot`] freezes every registered counter, gauge,
+//! histogram, rolling histogram and windowed counter into plain data,
+//! then renders it either as Prometheus-style text exposition
+//! ([`TelemetrySnapshot::to_prometheus`], what `cit-serve`'s admin
+//! `GET /metrics` endpoint returns) or as one deterministic JSON object
+//! ([`TelemetrySnapshot::to_json`], reusing the same bitwise-safe
+//! [`crate::Value`] encoding as the JSONL sinks).
+
+use crate::value::Value;
+use crate::window::{WindowSnapshot, DEFAULT_WINDOWS};
+use std::fmt::Write as _;
+
+/// Frozen bucket state of a (cumulative or windowed) histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramData {
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: f64,
+    /// Bucket upper bounds; one overflow bucket follows.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts including the trailing overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramData {
+    pub(crate) fn from_window(w: &WindowSnapshot) -> Self {
+        HistogramData {
+            count: w.count,
+            sum: w.sum,
+            bounds: w.bounds.clone(),
+            buckets: w.buckets.clone(),
+        }
+    }
+
+    /// Quantile estimate by in-bucket interpolation (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        crate::window::bucket_quantile(&self.bounds, &self.buckets, self.count, q)
+    }
+}
+
+/// One trailing window's digest of a rolling histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowData {
+    /// Window length in seconds (nominal).
+    pub secs: u64,
+    /// Effective covered seconds (capped at uptime).
+    pub window_s: f64,
+    /// Observations inside the window.
+    pub count: u64,
+    /// Observations per second (0 when empty).
+    pub rate: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// One trailing window's digest of a windowed counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateData {
+    /// Window length in seconds (nominal).
+    pub secs: u64,
+    /// Events inside the window.
+    pub count: u64,
+    /// Events per second (0 when empty).
+    pub rate: f64,
+}
+
+/// The frozen state of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricData {
+    /// A monotone counter's current value.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(f64),
+    /// A cumulative fixed-bucket histogram.
+    Histogram(HistogramData),
+    /// A rolling histogram: the cumulative view plus trailing windows.
+    RollingHistogram {
+        /// Whole-run bucket state.
+        cumulative: HistogramData,
+        /// Digests for [`DEFAULT_WINDOWS`].
+        windows: Vec<WindowData>,
+    },
+    /// A windowed counter: the total plus trailing-window rates.
+    WindowedCounter {
+        /// Events since start.
+        total: u64,
+        /// Digests for [`DEFAULT_WINDOWS`].
+        windows: Vec<RateData>,
+    },
+}
+
+/// One named metric in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// The registry name (dotted, e.g. `serve.latency`).
+    pub name: String,
+    /// The frozen state.
+    pub data: MetricData,
+}
+
+/// A point-in-time copy of every metric in a [`crate::Telemetry`]
+/// registry, with std-only encoders for scraping and dashboards.
+///
+/// ```
+/// use cit_telemetry::Telemetry;
+///
+/// let (telemetry, _sink) = Telemetry::memory();
+/// telemetry.counter("serve.requests").add(3);
+/// telemetry.gauge("serve.sessions").set(2.0);
+/// telemetry.rolling_histogram("serve.latency_window", &[0.001, 0.1]).record(0.02);
+///
+/// let snap = telemetry.take_snapshot();
+/// let text = snap.to_prometheus();
+/// assert!(text.contains("# TYPE serve_requests counter"));
+/// assert!(text.contains("serve_requests 3"));
+/// assert!(text.contains("serve_latency_window_bucket{le=\"+Inf\"} 1"));
+///
+/// let json = snap.to_json();
+/// assert!(json.contains("\"serve.sessions\""));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Wall-clock capture time (milliseconds since the Unix epoch).
+    pub at_unix_ms: u64,
+    /// Monotonic seconds since the process's telemetry epoch.
+    pub uptime_s: f64,
+    /// Every registered metric, sorted by name.
+    pub entries: Vec<MetricEntry>,
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; dotted registry names
+/// map dots (and anything else) to underscores.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn write_histogram_exposition(out: &mut String, name: &str, h: &HistogramData) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        cum += c;
+        if i < h.bounds.len() {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", h.bounds[i]);
+        } else {
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+impl TelemetrySnapshot {
+    /// Renders Prometheus-style text exposition (version 0.0.4 format):
+    /// one `# TYPE` header per family, histograms with cumulative
+    /// `_bucket{le=...}` lines, window digests as labelled gauges.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(256 + self.entries.len() * 64);
+        let _ = writeln!(out, "# TYPE telemetry_uptime_seconds gauge");
+        let _ = writeln!(out, "telemetry_uptime_seconds {}", self.uptime_s);
+        for e in &self.entries {
+            let name = sanitize(&e.name);
+            match &e.data {
+                MetricData::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricData::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricData::Histogram(h) => write_histogram_exposition(&mut out, &name, h),
+                MetricData::RollingHistogram {
+                    cumulative,
+                    windows,
+                } => {
+                    write_histogram_exposition(&mut out, &name, cumulative);
+                    let _ = writeln!(out, "# TYPE {name}_window gauge");
+                    for w in windows {
+                        for (stat, v) in [
+                            ("rate", w.rate),
+                            ("p50", w.p50),
+                            ("p95", w.p95),
+                            ("p99", w.p99),
+                        ] {
+                            let _ = writeln!(
+                                out,
+                                "{name}_window{{window=\"{}s\",stat=\"{stat}\"}} {v}",
+                                w.secs
+                            );
+                        }
+                    }
+                }
+                MetricData::WindowedCounter { total, windows } => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {total}");
+                    let _ = writeln!(out, "# TYPE {name}_rate gauge");
+                    for w in windows {
+                        let _ = writeln!(out, "{name}_rate{{window=\"{}s\"}} {}", w.secs, w.rate);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders one deterministic JSON object using the same bitwise-safe
+    /// number encoding as the JSONL sinks: metric names key an object of
+    /// typed entries, field order fixed by the registry's name sort.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.entries.len() * 96);
+        s.push_str("{\"at_unix_ms\":");
+        Value::from(self.at_unix_ms).encode(&mut s);
+        s.push_str(",\"uptime_s\":");
+        Value::from(self.uptime_s).encode(&mut s);
+        s.push_str(",\"metrics\":{");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            Value::from(e.name.as_str()).encode(&mut s);
+            s.push(':');
+            encode_metric(&mut s, &e.data);
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+fn encode_histogram_fields(s: &mut String, h: &HistogramData) {
+    s.push_str("\"count\":");
+    Value::from(h.count).encode(s);
+    s.push_str(",\"sum\":");
+    Value::from(h.sum).encode(s);
+    s.push_str(",\"mean\":");
+    let mean = if h.count == 0 {
+        0.0
+    } else {
+        h.sum / h.count as f64
+    };
+    Value::from(mean).encode(s);
+    for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+        s.push_str(",\"");
+        s.push_str(label);
+        s.push_str("\":");
+        Value::from(h.quantile(q)).encode(s);
+    }
+    s.push_str(",\"bounds\":");
+    Value::from(h.bounds.clone()).encode(s);
+    s.push_str(",\"buckets\":");
+    Value::Array(h.buckets.iter().map(|&b| Value::from(b)).collect()).encode(s);
+}
+
+fn encode_metric(s: &mut String, data: &MetricData) {
+    match data {
+        MetricData::Counter(v) => {
+            s.push_str("{\"type\":\"counter\",\"value\":");
+            Value::from(*v).encode(s);
+            s.push('}');
+        }
+        MetricData::Gauge(v) => {
+            s.push_str("{\"type\":\"gauge\",\"value\":");
+            Value::from(*v).encode(s);
+            s.push('}');
+        }
+        MetricData::Histogram(h) => {
+            s.push_str("{\"type\":\"histogram\",");
+            encode_histogram_fields(s, h);
+            s.push('}');
+        }
+        MetricData::RollingHistogram {
+            cumulative,
+            windows,
+        } => {
+            s.push_str("{\"type\":\"rolling_histogram\",");
+            encode_histogram_fields(s, cumulative);
+            s.push_str(",\"windows\":[");
+            for (i, w) in windows.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str("{\"secs\":");
+                Value::from(w.secs).encode(s);
+                s.push_str(",\"count\":");
+                Value::from(w.count).encode(s);
+                s.push_str(",\"rate\":");
+                Value::from(w.rate).encode(s);
+                for (label, v) in [("p50", w.p50), ("p95", w.p95), ("p99", w.p99)] {
+                    s.push_str(",\"");
+                    s.push_str(label);
+                    s.push_str("\":");
+                    Value::from(v).encode(s);
+                }
+                s.push('}');
+            }
+            s.push_str("]}");
+        }
+        MetricData::WindowedCounter { total, windows } => {
+            s.push_str("{\"type\":\"windowed_counter\",\"total\":");
+            Value::from(*total).encode(s);
+            s.push_str(",\"windows\":[");
+            for (i, w) in windows.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str("{\"secs\":");
+                Value::from(w.secs).encode(s);
+                s.push_str(",\"count\":");
+                Value::from(w.count).encode(s);
+                s.push_str(",\"rate\":");
+                Value::from(w.rate).encode(s);
+                s.push('}');
+            }
+            s.push_str("]}");
+        }
+    }
+}
+
+/// Builds the per-window digests of a rolling histogram for
+/// [`DEFAULT_WINDOWS`].
+pub(crate) fn window_digests(h: &crate::RollingHistogram) -> Vec<WindowData> {
+    DEFAULT_WINDOWS
+        .iter()
+        .map(|&secs| {
+            let w = h.window(secs);
+            WindowData {
+                secs,
+                window_s: w.window_s,
+                count: w.count,
+                rate: w.rate(),
+                p50: w.quantile(0.5),
+                p95: w.quantile(0.95),
+                p99: w.quantile(0.99),
+            }
+        })
+        .collect()
+}
+
+/// Builds the per-window digests of a windowed counter for
+/// [`DEFAULT_WINDOWS`].
+pub(crate) fn rate_digests(c: &crate::WindowedCounter) -> Vec<RateData> {
+    DEFAULT_WINDOWS
+        .iter()
+        .map(|&secs| RateData {
+            secs,
+            count: c.window_count(secs),
+            rate: c.rate(secs),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn snapshot_covers_every_metric_type() {
+        let (t, _sink) = Telemetry::memory();
+        t.counter("a.count").add(7);
+        t.gauge("b.gauge").set(-1.5);
+        t.histogram("c.hist", &[1.0, 2.0]).record(1.5);
+        t.rolling_histogram("d.roll", &[0.5]).record(0.25);
+        t.windowed_counter("e.win").add(4);
+        let snap = t.take_snapshot();
+        assert_eq!(snap.entries.len(), 5);
+        // Sorted by name.
+        let names: Vec<_> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["a.count", "b.gauge", "c.hist", "d.roll", "e.win"]
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_is_parseable_shape() {
+        let (t, _sink) = Telemetry::memory();
+        t.counter("serve.requests").add(3);
+        t.histogram("serve.lat", &[0.01, 0.1]).record(0.05);
+        let text = t.take_snapshot().to_prometheus();
+        for needle in [
+            "# TYPE serve_requests counter",
+            "serve_requests 3",
+            "# TYPE serve_lat histogram",
+            "serve_lat_bucket{le=\"0.01\"} 0",
+            "serve_lat_bucket{le=\"0.1\"} 1",
+            "serve_lat_bucket{le=\"+Inf\"} 1",
+            "serve_lat_count 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+    }
+
+    #[test]
+    fn json_snapshot_is_valid_and_typed() {
+        let (t, _sink) = Telemetry::memory();
+        t.counter("x").add(1);
+        t.windowed_counter("y").add(2);
+        let json = t.take_snapshot().to_json();
+        assert!(json.starts_with("{\"at_unix_ms\":"));
+        assert!(json.contains("\"x\":{\"type\":\"counter\",\"value\":1}"));
+        assert!(json.contains("\"type\":\"windowed_counter\",\"total\":2"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn disabled_registry_snapshots_empty() {
+        let t = Telemetry::disabled();
+        let snap = t.take_snapshot();
+        assert!(snap.entries.is_empty());
+        assert!(snap.to_prometheus().contains("telemetry_uptime_seconds"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Rolling-window correctness: concurrent writers racing epoch
+//! rotation, window-vs-cumulative agreement, and empty-window hygiene.
+
+use cit_telemetry::{ManualClock, RollingHistogram, Telemetry, WindowedCounter};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Many writer threads record while another thread drives the clock
+/// across epoch boundaries (forcing slot rotation) and a reader
+/// snapshots continuously. No observation may be lost from the
+/// cumulative totals, and snapshots must never tear into nonsense
+/// (count less than the bucket sum, NaN rates).
+#[test]
+fn concurrent_writers_survive_epoch_rotation() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 20_000;
+
+    let clock = ManualClock::new();
+    let h = RollingHistogram::with_clock(&[0.25, 0.5, 1.0], 4, &clock);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        h.record(((w as u64 + i) % 4) as f64 * 0.25);
+                    }
+                })
+            })
+            .collect();
+        // Clock driver: sweep epochs so slots rotate mid-write. The ring
+        // has 4 slots, so 40 epochs force every slot to be reclaimed
+        // many times while writers are active.
+        {
+            let clock = clock.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    clock.advance(Duration::from_millis(200));
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Concurrent reader: snapshots must stay internally consistent.
+        {
+            let h = h.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let w = h.window(2);
+                    assert!(w.rate().is_finite());
+                    assert!(w.quantile(0.99).is_finite());
+                    let bucket_sum: u64 = w.buckets.iter().sum();
+                    assert_eq!(
+                        bucket_sum, w.count,
+                        "snapshot bucket counts disagree with its count"
+                    );
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // Join the writers, then release the clock driver and reader.
+        for w in writers {
+            w.join().expect("writer thread panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Rotation zeroes ring slots but must never lose cumulative totals.
+    let cum = h.cumulative();
+    assert_eq!(cum.count, WRITERS as u64 * PER_WRITER);
+    let bucket_sum: u64 = cum.buckets.iter().sum();
+    assert_eq!(bucket_sum, cum.count);
+}
+
+/// When the window spans the whole run, the windowed snapshot and the
+/// cumulative histogram see identical bucket contents, so their
+/// quantiles agree exactly (they share one estimator).
+#[test]
+fn whole_run_window_agrees_with_cumulative() {
+    let clock = ManualClock::new();
+    let h = RollingHistogram::with_clock(&[0.001, 0.01, 0.1, 1.0], 64, &clock);
+    for i in 0..500 {
+        h.record((i % 100) as f64 * 0.01);
+        if i % 25 == 0 {
+            clock.advance(Duration::from_secs(1));
+        }
+    }
+    let win = h.window(60);
+    let cum = h.cumulative();
+    assert_eq!(win.count, cum.count);
+    assert_eq!(win.buckets, cum.buckets);
+    assert!((win.sum - cum.sum).abs() < 1e-9);
+    for q in [0.5, 0.9, 0.95, 0.99] {
+        assert_eq!(
+            win.quantile(q),
+            cum.quantile(q),
+            "quantile {q} diverged between window and cumulative"
+        );
+    }
+}
+
+/// Idle windows yield zero counts and `0.0` rates — never NaN and never
+/// stale data from aged-out epochs — and do not poison later snapshots.
+#[test]
+fn empty_windows_do_not_poison_rates() {
+    let clock = ManualClock::new();
+    let h = RollingHistogram::with_clock(&[1.0], 16, &clock);
+    let c = WindowedCounter::with_clock(16, &clock);
+    h.record(0.5);
+    c.inc();
+    // Let everything age out of a 5-second window.
+    clock.advance(Duration::from_secs(10));
+    let w = h.window(5);
+    assert_eq!(w.count, 0);
+    assert_eq!(w.rate(), 0.0);
+    assert_eq!(w.mean(), 0.0);
+    assert_eq!(w.quantile(0.5), 0.0);
+    assert!(w.rate().is_finite() && w.mean().is_finite());
+    assert_eq!(c.window_count(5), 0);
+    assert_eq!(c.rate(5), 0.0);
+    // New traffic after the idle stretch reads cleanly.
+    h.record(0.25);
+    c.add(2);
+    assert_eq!(h.window(5).count, 1);
+    assert!(h.window(5).rate() > 0.0);
+    assert_eq!(c.window_count(5), 2);
+    // The cumulative view kept the pre-idle history.
+    assert_eq!(h.cumulative().count, 2);
+    assert_eq!(c.total(), 3);
+}
+
+/// The registry path: rolling instruments registered through
+/// `Telemetry` land in `take_snapshot()` with window digests attached.
+#[test]
+fn registry_snapshot_carries_window_digests() {
+    let (t, _sink) = Telemetry::memory();
+    let lat = t.rolling_histogram("serve.latency_window", &[0.001, 0.01, 0.1]);
+    let req = t.windowed_counter("serve.requests_window");
+    for _ in 0..25 {
+        lat.record(0.005);
+        req.inc();
+    }
+    let snap = t.take_snapshot();
+    let lat_entry = snap
+        .entries
+        .iter()
+        .find(|e| e.name == "serve.latency_window")
+        .expect("rolling histogram in snapshot");
+    match &lat_entry.data {
+        cit_telemetry::MetricData::RollingHistogram {
+            cumulative,
+            windows,
+        } => {
+            assert_eq!(cumulative.count, 25);
+            assert!(!windows.is_empty());
+            assert!(windows.iter().all(|w| w.rate > 0.0 && w.p99.is_finite()));
+        }
+        other => panic!("wrong snapshot variant: {other:?}"),
+    }
+    let text = snap.to_prometheus();
+    assert!(text.contains("serve_latency_window_bucket{le=\"+Inf\"} 25"));
+    assert!(text.contains("serve_requests_window_rate{window=\"10s\"}"));
+}
