@@ -20,9 +20,42 @@ echo "== bench smoke (--quick)"
 cargo bench -p cit-bench --bench components -- --quick
 test -s BENCH_compute.json || { echo "BENCH_compute.json missing or empty" >&2; exit 1; }
 
-echo "== serve smoke (servebench --quick)"
-cargo run --release -q -p cit-bench --bin servebench -- --quick
-test -s BENCH_serve.json || { echo "BENCH_serve.json missing or empty" >&2; exit 1; }
+echo "== bench regression guard (speedups vs baseline)"
+# Every speedup field in BENCH_compute.json is current-vs-baseline for one
+# kernel; anything below 0.8x is a loud (non-fatal) regression warning so
+# a slow kernel cannot hide inside a green CI run.
+jq -r '.speedups | to_entries[] | "\(.key) \(.value)"' BENCH_compute.json | {
+  slow=0
+  while read -r name speedup; do
+    if awk -v s="$speedup" 'BEGIN { exit !(s < 0.8) }'; then
+      echo "!!! BENCH REGRESSION: $name at ${speedup}x — below the 0.8x floor !!!" >&2
+      slow=$((slow + 1))
+    fi
+  done
+  test "$slow" -eq 0 && echo "all speedups at or above the 0.8x floor"
+  true
+}
+
+echo "== serve smoke (servebench --quick --clients 16)"
+cargo run --release -q -p cit-bench --bin servebench -- --quick --clients 16 \
+  --out results/bench_serve_smoke.json
+test -s results/bench_serve_smoke.json || { echo "serve smoke report missing" >&2; exit 1; }
+
+echo "== overload smoke (64 clients vs queue capacity)"
+# A quick 64-client closed-loop sweep must terminate (no reactor hangs),
+# report a finite p99, and account for every request: offered is exactly
+# answered + typed overloaded rejects — servebench itself exits nonzero
+# if anything else (I/O error, malformed reply) happened.
+timeout 300 cargo run --release -q -p cit-bench --bin servebench -- \
+  --quick --clients 64 --out results/bench_serve_overload.json
+jq -e '.levels.c64
+       | (.p99_us > 0 and .p99_us < 1e9)
+         and (.offered == .requests + .rejects)
+         and (.connect_errors == 0)
+         and (.protocol_errors == 0)' \
+  results/bench_serve_overload.json >/dev/null \
+  || { echo "overload smoke: c64 level failed its invariants" >&2;
+       cat results/bench_serve_overload.json >&2; exit 1; }
 
 echo "== observability smoke (cit-serve stats + /metrics + cit-top)"
 # Start a server with an admin listener on ephemeral ports, hit the

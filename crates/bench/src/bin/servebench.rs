@@ -1,24 +1,46 @@
 //! Serving latency/throughput benchmark: trains a small checkpoint,
-//! serves it with `cit-serve`, and drives 1/4/16 concurrent clients over
-//! real TCP connections. Reports p50/p95/p99 request latency and req/s
-//! per concurrency level, writing the machine-readable summary to
-//! `BENCH_serve.json` at the repo root (alongside `BENCH_compute.json`).
+//! serves it with `cit-serve`, and drives concurrent clients over real
+//! TCP connections — 1/4/16 clients inside capacity plus 64/256/1024
+//! clients of sustained overload (offered load above the bounded
+//! decision queue's capacity). Connections stay open for a whole level;
+//! every client counts its typed `overloaded` rejects (retried after a
+//! 1 ms backoff) and connect failures, so the report is honest about
+//! what the server refused, not just what it answered. Reports
+//! p50/p95/p99 answered-request latency, answered req/s and the
+//! server's own trailing-window quantiles per level, writing the
+//! machine-readable summary to `BENCH_serve.json` at the repo root
+//! (alongside `BENCH_compute.json`).
 //!
-//! Usage: `servebench [--quick] [--seed <u64>]` — `--quick` shrinks the
-//! request counts to CI-smoke size.
+//! Usage: `servebench [--quick] [--seed <u64>] [--clients <N>] [--out <PATH>]`
+//! — `--quick` shrinks the request counts to CI-smoke size, `--clients`
+//! replaces the default sweep with a single level (the CI overload
+//! smoke runs `--clients 64`), `--out` redirects the JSON report.
 
 use cit_bench::out_dir;
 use cit_core::{CitConfig, CrossInsightTrader, DecisionModel};
 use cit_market::{AssetPanel, Feature, SynthConfig};
-use cit_serve::{Client, Request, ServeConfig, Server};
+use cit_serve::{Client, ErrorKind, Request, ServeConfig, Server};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One concurrency level's measurements: client-side quantiles plus the
 /// server's own last-window view from its `stats` op.
 struct Level {
     clients: usize,
-    requests: usize,
+    /// Requests answered with a decision (the latency population).
+    answered: usize,
+    /// Requests offered = answered + rejects (excludes failed connects).
+    offered: usize,
+    /// Typed `overloaded` rejects — the backpressure signal under
+    /// sustained offered load above capacity.
+    rejects: usize,
+    /// Clients that could not establish (or lost) their connection.
+    connect_errors: usize,
+    /// Anything that is neither an answer nor a typed `overloaded`
+    /// reject: I/O failures mid-stream, malformed responses, unexpected
+    /// error kinds. Must stay zero — rejects are the only sanctioned
+    /// failure mode.
+    protocol_errors: usize,
     p50_us: f64,
     p95_us: f64,
     p99_us: f64,
@@ -49,10 +71,109 @@ fn rows(panel: &AssetPanel, from: usize, to: usize) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// One client's tallies for a level.
+#[derive(Default)]
+struct ClientOutcome {
+    latencies: Vec<f64>,
+    rejects: usize,
+    connect_error: bool,
+    protocol_errors: usize,
+    /// Detail of the first protocol error, for the failure report.
+    first_error: Option<String>,
+}
+
+/// Runs one client: opens a session (retrying through backpressure),
+/// then issues `per_client` decides over one long-lived connection,
+/// retrying each `overloaded` reject after a short backoff so offered
+/// load stays above capacity for the whole level.
+fn run_client(
+    addr: std::net::SocketAddr,
+    w: usize,
+    panel: &AssetPanel,
+    per_client: usize,
+) -> ClientOutcome {
+    let mut out = ClientOutcome::default();
+    let mut c = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            out.connect_error = true;
+            return out;
+        }
+    };
+    let history = panel.test_start();
+    let session = format!("bench{w}");
+    // Open through backpressure: a rejected open is retried, anything
+    // else unexpected is a protocol error.
+    loop {
+        match c.call(&Request::Open {
+            session: session.clone(),
+            prices: rows(panel, 0, history),
+        }) {
+            Ok(r) if r.ok() => break,
+            Ok(r) if r.error_kind() == Some(ErrorKind::Overloaded) => {
+                out.rejects += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(r) => {
+                out.protocol_errors += 1;
+                out.first_error = Some(format!("open: {:?}", r.json().render()));
+                return out;
+            }
+            Err(e) => {
+                out.protocol_errors += 1;
+                out.first_error = Some(format!("open: io error {e}"));
+                return out;
+            }
+        }
+    }
+    out.latencies.reserve(per_client);
+    let mut r = 0;
+    while r < per_client {
+        // Walk forward while panel days last, then keep deciding on the
+        // final day (same compute cost).
+        let t = history + r;
+        let prices = if t < panel.num_days() {
+            rows(panel, t, t + 1)
+        } else {
+            Vec::new()
+        };
+        let req = Request::Decide {
+            session: session.clone(),
+            prices,
+        };
+        let t0 = Instant::now();
+        match c.call(&req) {
+            Ok(reply) if reply.ok() => {
+                out.latencies.push(t0.elapsed().as_secs_f64());
+                r += 1;
+            }
+            Ok(reply) if reply.error_kind() == Some(ErrorKind::Overloaded) => {
+                // Typed backpressure: back off briefly, retry the same
+                // day so the decision stream stays intact.
+                out.rejects += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(reply) => {
+                out.protocol_errors += 1;
+                out.first_error = Some(format!("decide {r}: {:?}", reply.json().render()));
+                return out;
+            }
+            Err(e) => {
+                out.protocol_errors += 1;
+                out.first_error = Some(format!("decide {r}: io error {e}"));
+                return out;
+            }
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut quick = false;
     let mut seed = 42u64;
+    let mut clients_override: Option<usize> = None;
+    let mut out_path = "BENCH_serve.json".to_string();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,11 +185,24 @@ fn main() {
                 seed = args[i + 1].parse().expect("--seed takes a u64");
                 i += 2;
             }
-            other => panic!("unknown argument {other}; supported: --quick, --seed"),
+            "--clients" if i + 1 < args.len() => {
+                clients_override = Some(args[i + 1].parse().expect("--clients takes a usize"));
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                panic!("unknown argument {other}; supported: --quick, --seed, --clients, --out")
+            }
         }
     }
     let per_client = if quick { 25 } else { 250 };
-    let levels = [1usize, 4, 16];
+    let levels: Vec<usize> = match clients_override {
+        Some(n) => vec![n],
+        None => vec![1, 4, 16, 64, 256, 1024],
+    };
 
     // Train a small checkpoint so the server exercises the real
     // load-from-disk path.
@@ -96,47 +230,16 @@ fn main() {
             .expect("load checkpoint");
         let server = Server::start(model, ServeConfig::default()).expect("start server");
         let addr = server.addr();
-        let history = panel.test_start();
         let started = Instant::now();
         let workers: Vec<_> = (0..clients)
             .map(|w| {
                 let panel = panel.clone();
-                std::thread::spawn(move || {
-                    let mut c = Client::connect(addr).expect("connect");
-                    let session = format!("bench{w}");
-                    let opened = c
-                        .call(&Request::Open {
-                            session: session.clone(),
-                            prices: rows(&panel, 0, history),
-                        })
-                        .expect("open");
-                    assert!(opened.ok(), "{:?}", opened.error_message());
-                    let mut latencies = Vec::with_capacity(per_client);
-                    for r in 0..per_client {
-                        // Walk forward while panel days last, then keep
-                        // deciding on the final day (same compute cost).
-                        let t = history + r;
-                        let prices = if t < panel.num_days() {
-                            rows(&panel, t, t + 1)
-                        } else {
-                            Vec::new()
-                        };
-                        let req = Request::Decide {
-                            session: session.clone(),
-                            prices,
-                        };
-                        let t0 = Instant::now();
-                        let reply = c.call(&req).expect("decide");
-                        latencies.push(t0.elapsed().as_secs_f64());
-                        assert!(reply.ok(), "request {r}: {:?}", reply.error_message());
-                    }
-                    latencies
-                })
+                std::thread::spawn(move || run_client(addr, w, &panel, per_client))
             })
             .collect();
-        let mut all: Vec<f64> = workers
+        let outcomes: Vec<ClientOutcome> = workers
             .into_iter()
-            .flat_map(|w| w.join().expect("client thread"))
+            .map(|w| w.join().expect("client thread"))
             .collect();
         let wall = started.elapsed().as_secs_f64();
         // The server's own view over the wire, before shutting it down:
@@ -155,10 +258,24 @@ fn main() {
                 .expect("10s window digest")
         };
         server.shutdown();
+        let mut all: Vec<f64> = outcomes
+            .iter()
+            .flat_map(|o| o.latencies.iter().copied())
+            .collect();
         all.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rejects: usize = outcomes.iter().map(|o| o.rejects).sum();
+        let connect_errors = outcomes.iter().filter(|o| o.connect_error).count();
+        let protocol_errors: usize = outcomes.iter().map(|o| o.protocol_errors).sum();
+        for e in outcomes.iter().filter_map(|o| o.first_error.as_deref()) {
+            eprintln!("servebench: protocol error at {clients} clients: {e}");
+        }
         let level = Level {
             clients,
-            requests: all.len(),
+            answered: all.len(),
+            offered: all.len() + rejects,
+            rejects,
+            connect_errors,
+            protocol_errors,
             p50_us: quantile_us(&all, 0.50),
             p95_us: quantile_us(&all, 0.95),
             p99_us: quantile_us(&all, 0.99),
@@ -166,11 +283,16 @@ fn main() {
             srv,
         };
         println!(
-            "clients {:>2}: {:>5} reqs  p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  {:>8.1} req/s",
-            level.clients, level.requests, level.p50_us, level.p95_us, level.p99_us, level.req_per_s
+            "clients {:>4}: {:>6} answered / {:>6} offered  ({} rejects, {} connect errs, {} protocol errs)",
+            level.clients, level.answered, level.offered, level.rejects, level.connect_errors,
+            level.protocol_errors
         );
         println!(
-            "            server 10s window: p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  {:>8.1} req/s",
+            "              p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  {:>8.1} req/s",
+            level.p50_us, level.p95_us, level.p99_us, level.req_per_s
+        );
+        println!(
+            "              server 10s window: p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  {:>8.1} req/s",
             level.srv.p50_us, level.srv.p95_us, level.srv.p99_us, level.srv.req_per_s
         );
         measured.push(level);
@@ -186,14 +308,20 @@ fn main() {
         let comma = if i + 1 < measured.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    \"c{}\": {{ \"clients\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.1}, \"server\": {{ \"window_s\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.1} }} }}{comma}",
-            l.clients, l.clients, l.requests, l.p50_us, l.p95_us, l.p99_us, l.req_per_s,
+            "    \"c{}\": {{ \"clients\": {}, \"requests\": {}, \"offered\": {}, \"rejects\": {}, \"connect_errors\": {}, \"protocol_errors\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.1}, \"server\": {{ \"window_s\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.1} }} }}{comma}",
+            l.clients, l.clients, l.answered, l.offered, l.rejects, l.connect_errors,
+            l.protocol_errors, l.p50_us, l.p95_us, l.p99_us, l.req_per_s,
             l.srv.secs, l.srv.requests, l.srv.p50_us, l.srv.p95_us, l.srv.p99_us, l.srv.req_per_s
         );
     }
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
-    println!("wrote BENCH_serve.json");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
     std::fs::remove_file(&ckpt).ok();
+    let total_protocol_errors: usize = measured.iter().map(|l| l.protocol_errors).sum();
+    if total_protocol_errors > 0 {
+        eprintln!("servebench: {total_protocol_errors} protocol errors — only typed overloaded rejects are acceptable");
+        std::process::exit(1);
+    }
 }

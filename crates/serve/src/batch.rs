@@ -1,22 +1,24 @@
 //! The micro-batching core.
 //!
-//! Connection threads enqueue jobs into a bounded channel; a single
-//! batcher thread drains up to [`crate::ServeConfig::max_batch`] jobs (or
+//! The reactor enqueues jobs into a bounded channel; a single batcher
+//! thread drains up to [`crate::ServeConfig::max_batch`] jobs (or
 //! whatever arrives within [`crate::ServeConfig::max_wait_us`] after the
 //! first), snapshots the active model once, and runs the batch's
 //! decisions through the `cit-compute` thread pool — one task per
 //! session, so requests for different sessions run in parallel while
 //! requests for the same session keep their arrival order. A full
-//! channel is the backpressure signal: the connection thread never
-//! blocks, it replies `overloaded` immediately.
+//! channel is the backpressure signal: the reactor never blocks, it
+//! replies `overloaded` immediately. Results travel back to the reactor
+//! through the [`crate::reactor::Completions`] queue + self-pipe wake.
 
 use crate::protocol::{ErrorKind, Request, Response};
+use crate::reactor::Completions;
 use crate::server::ServerState;
 use crate::session::Session;
 use cit_compute::parallel_map;
 use cit_telemetry::Gauge;
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -47,24 +49,69 @@ impl Drop for DepthGuard {
     }
 }
 
-/// One queued request plus its reply path back to the connection thread.
+/// The reply path of one queued request: routes the response to its
+/// `(connection, sequence)` slot via the completion queue. Dropping an
+/// unanswered handle (batcher panic, drain that abandons work) answers
+/// the slot with a typed `shutting_down` error, so a client waiting on a
+/// response can never hang on a lost job.
+pub(crate) struct ReplyHandle {
+    completions: Arc<Completions>,
+    conn: u64,
+    seq: u64,
+    sent: bool,
+}
+
+impl ReplyHandle {
+    pub(crate) fn new(completions: Arc<Completions>, conn: u64, seq: u64) -> ReplyHandle {
+        ReplyHandle {
+            completions,
+            conn,
+            seq,
+            sent: false,
+        }
+    }
+
+    pub(crate) fn send(mut self, resp: Response) {
+        self.sent = true;
+        self.completions.push(self.conn, self.seq, resp);
+    }
+
+    /// Disarms the drop guard: used when `try_send` hands the job back
+    /// and the reactor answers the slot itself (reject path).
+    pub(crate) fn cancel(mut self) {
+        self.sent = true;
+    }
+}
+
+impl Drop for ReplyHandle {
+    fn drop(&mut self) {
+        if !self.sent {
+            self.completions.push(
+                self.conn,
+                self.seq,
+                Response::error(ErrorKind::ShuttingDown, "server is draining"),
+            );
+        }
+    }
+}
+
+/// One queued request plus its reply path back to the reactor.
 pub(crate) struct Job {
     pub(crate) req: Request,
-    pub(crate) reply: Sender<Response>,
+    pub(crate) reply: ReplyHandle,
     /// Queue-depth occupancy, held only for its drop.
     pub(crate) _depth: DepthGuard,
 }
 
 impl Job {
     fn respond(self, resp: Response) {
-        // A dropped receiver just means the client hung up mid-request.
-        let _ = self.reply.send(resp);
+        self.reply.send(resp);
     }
 }
 
-/// The batcher loop: runs until the channel disconnects (all connection
-/// threads and the server handle dropped their senders), draining every
-/// remaining job first — graceful shutdown never abandons queued work.
+/// The batcher loop: runs until the channel disconnects (the reactor and
+/// the server handle dropped their senders), draining every remaining
+/// job first — graceful shutdown never abandons queued work.
 pub(crate) fn run_batcher(rx: Receiver<Job>, state: &ServerState) {
     let max_wait = Duration::from_micros(state.cfg.max_wait_us);
     loop {
@@ -89,6 +136,39 @@ pub(crate) fn run_batcher(rx: Receiver<Job>, state: &ServerState) {
     }
 }
 
+/// Checks a session out of the store, transparently restoring it from
+/// the spill directory when it was idle-evicted (or left behind by a
+/// previous server process). `Err` carries the client-facing response
+/// for a genuinely unknown or unrestorable session.
+fn checkout(
+    state: &ServerState,
+    model: &cit_core::DecisionModel,
+    name: &str,
+) -> Result<Session, Response> {
+    if let Some(session) = state.store.take(name) {
+        return Ok(session);
+    }
+    if let Some(spill) = &state.spill {
+        match spill.take(name, model) {
+            Ok(Some(session)) => {
+                state.note_restored(1);
+                return Ok(session);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                return Err(Response::error(
+                    ErrorKind::BadData,
+                    format!("session {name:?} could not be restored from spill: {e}"),
+                ))
+            }
+        }
+    }
+    Err(Response::error(
+        ErrorKind::UnknownSession,
+        format!("no session {name:?}"),
+    ))
+}
+
 /// Executes one batch: opens first (so a same-batch decide can see the
 /// session), then all decides grouped by session, then closes, then any
 /// debug stalls.
@@ -104,15 +184,28 @@ pub(crate) fn process_batch(state: &ServerState, batch: Vec<Job>) {
     for job in batch {
         match job.req.clone() {
             Request::Open { session, prices } => {
-                let resp = match Session::open(&model, &session, &prices, state.cfg.max_history) {
-                    Ok(s) => {
-                        let days = s.days();
-                        match state.store.insert(s) {
-                            Ok(()) => Response::Opened { session, days },
-                            Err(e) => e,
+                // A spilled session is still alive (just cold), so its id
+                // is taken — mirrors the in-store duplicate check.
+                let spilled = state
+                    .spill
+                    .as_ref()
+                    .is_some_and(|spill| spill.contains(&session));
+                let resp = if spilled {
+                    Response::error(
+                        ErrorKind::SessionExists,
+                        format!("session {session:?} already exists (spilled to disk)"),
+                    )
+                } else {
+                    match Session::open(&model, &session, &prices, state.cfg.max_history) {
+                        Ok(s) => {
+                            let days = s.days();
+                            match state.store.insert(s) {
+                                Ok(()) => Response::Opened { session, days },
+                                Err(e) => e,
+                            }
                         }
+                        Err(e) => e,
                     }
-                    Err(e) => e,
                 };
                 job.respond(resp);
             }
@@ -124,7 +217,7 @@ pub(crate) fn process_batch(state: &ServerState, batch: Vec<Job>) {
             }
             Request::Close { session } => closes.push((session, job)),
             Request::Sleep { ms } => sleeps.push((ms, job)),
-            // Info/Reload/Shutdown are handled on connection threads and
+            // Info/Stats/Reload/Shutdown are handled on the reactor and
             // never enqueued.
             _ => job.respond(Response::error(
                 ErrorKind::BadRequest,
@@ -141,16 +234,15 @@ pub(crate) fn process_batch(state: &ServerState, batch: Vec<Job>) {
         .into_iter()
         .map(|(name, jobs)| {
             let model = &model;
-            let store = &state.store;
             move || {
-                let Some(mut session) = store.take(&name) else {
-                    for (_, job) in jobs {
-                        job.respond(Response::error(
-                            ErrorKind::UnknownSession,
-                            format!("no session {name:?}"),
-                        ));
+                let mut session = match checkout(state, model, &name) {
+                    Ok(s) => s,
+                    Err(resp) => {
+                        for (_, job) in jobs {
+                            job.respond(resp.clone());
+                        }
+                        return;
                     }
-                    return;
                 };
                 let replies: Vec<(Job, Response)> = jobs
                     .into_iter()
@@ -162,7 +254,7 @@ pub(crate) fn process_batch(state: &ServerState, batch: Vec<Job>) {
                         (job, resp)
                     })
                     .collect();
-                store.put_back(session);
+                state.store.put_back(session);
                 for (job, resp) in replies {
                     job.respond(resp);
                 }
@@ -172,9 +264,18 @@ pub(crate) fn process_batch(state: &ServerState, batch: Vec<Job>) {
     parallel_map(state.threads, tasks);
 
     for (name, job) in closes {
-        let resp = match state.store.take(&name) {
-            Some(_) => Response::Closed { session: name },
-            None => Response::error(ErrorKind::UnknownSession, format!("no session {name:?}")),
+        // Resident sessions drop from the store; spilled sessions drop
+        // from disk. Either counts as a successful close.
+        let resident = state.store.take(&name).is_some();
+        let spilled = !resident
+            && state
+                .spill
+                .as_ref()
+                .is_some_and(|spill| spill.remove(&name));
+        let resp = if resident || spilled {
+            Response::Closed { session: name }
+        } else {
+            Response::error(ErrorKind::UnknownSession, format!("no session {name:?}"))
         };
         job.respond(resp);
     }

@@ -4,6 +4,7 @@
 //! cit-serve [--addr HOST:PORT] [--admin HOST:PORT] [--checkpoint PATH | --untrained]
 //!           [--assets N] [--seed S] [--full-config] [--debug-ops]
 //!           [--queue-cap N] [--addr-file PATH]
+//!           [--spill-dir DIR] [--session-ttl-ms N] [--tick-ms N]
 //! ```
 //!
 //! Prints a single `READY addr=... admin=...` line once both listeners
@@ -17,7 +18,7 @@ use std::io::Write;
 use std::process::exit;
 use std::time::Duration;
 
-const USAGE: &str = "usage: cit-serve [--addr HOST:PORT] [--admin HOST:PORT]\n                 [--checkpoint PATH | --untrained] [--assets N] [--seed S]\n                 [--full-config] [--debug-ops] [--queue-cap N] [--addr-file PATH]";
+const USAGE: &str = "usage: cit-serve [--addr HOST:PORT] [--admin HOST:PORT]\n                 [--checkpoint PATH | --untrained] [--assets N] [--seed S]\n                 [--full-config] [--debug-ops] [--queue-cap N] [--addr-file PATH]\n                 [--spill-dir DIR] [--session-ttl-ms N] [--tick-ms N]";
 
 struct Args {
     addr: String,
@@ -29,6 +30,9 @@ struct Args {
     debug_ops: bool,
     queue_cap: Option<usize>,
     addr_file: Option<String>,
+    spill_dir: Option<String>,
+    session_ttl_ms: Option<u64>,
+    tick_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +47,9 @@ fn parse_args() -> Result<Args, String> {
         debug_ops: false,
         queue_cap: None,
         addr_file: None,
+        spill_dir: None,
+        session_ttl_ms: None,
+        tick_ms: None,
     };
     let mut i = 1;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -73,6 +80,21 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--addr-file" => args.addr_file = Some(value(&mut i)?),
+            "--spill-dir" => args.spill_dir = Some(value(&mut i)?),
+            "--session-ttl-ms" => {
+                args.session_ttl_ms = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--session-ttl-ms: {e}"))?,
+                )
+            }
+            "--tick-ms" => {
+                args.tick_ms = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--tick-ms: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -130,6 +152,19 @@ fn main() {
     };
     if let Some(cap) = args.queue_cap {
         serve_cfg.queue_cap = cap;
+    }
+    if let Some(dir) = &args.spill_dir {
+        serve_cfg.spill_dir = Some(dir.into());
+    }
+    if let Some(ttl) = args.session_ttl_ms {
+        if args.spill_dir.is_none() {
+            eprintln!("cit-serve: --session-ttl-ms requires --spill-dir");
+            exit(2);
+        }
+        serve_cfg.session_ttl = Some(Duration::from_millis(ttl));
+    }
+    if let Some(tick) = args.tick_ms {
+        serve_cfg.tick_ms = tick;
     }
 
     let server = match Server::start(model, serve_cfg) {

@@ -21,6 +21,11 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: cit-top --addr HOST:PORT [--interval-ms N] [--once] [--json]\n       cit-top --metrics HOST:PORT";
 
+/// How long cit-top waits for a connect or a stats reply before giving
+/// up with a one-line error (a wedged server must not wedge the
+/// dashboard).
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
 struct Args {
     addr: Option<String>,
     metrics: Option<String>,
@@ -76,8 +81,12 @@ fn parse_args() -> Result<Args, String> {
 /// Fetches `GET /metrics` from the admin listener over plain TCP and
 /// returns the response body (everything past the header block).
 fn fetch_metrics(addr: &str) -> std::io::Result<String> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    use std::net::ToSocketAddrs;
+    let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address resolved")
+    })?;
+    let mut stream = TcpStream::connect_timeout(&resolved, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: cit\r\nConnection: close\r\n\r\n")?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
@@ -109,13 +118,19 @@ fn render(stats: &ServerStats) -> String {
         up, stats.checkpoint, stats.reloads
     ));
     out.push_str(&format!(
-        "sessions {}  |  queue {}/{}  |  requests {}  |  errors {}  |  mean batch {:.2}\n\n",
+        "conns {}  |  sessions {} (evicted {}, restored {})  |  queue {}/{}  |  mean batch {:.2}\n",
+        stats.connections,
         stats.sessions,
+        stats.sessions_evicted,
+        stats.sessions_restored,
         stats.queue_depth,
         stats.queue_cap,
-        stats.requests_total,
-        stats.errors_total,
         stats.batch_mean
+    ));
+    let rejects: u64 = stats.errors.iter().map(|(_, c)| c).sum();
+    out.push_str(&format!(
+        "requests {}  |  errors {}  |  rejects {}\n\n",
+        stats.requests_total, stats.errors_total, rejects
     ));
     out.push_str("  window     req/s        p50        p95        p99\n");
     for w in &stats.windows {
@@ -172,7 +187,7 @@ fn main() {
     }
 
     let addr = args.addr.expect("checked in parse_args");
-    let mut client = match Client::connect(&addr) {
+    let mut client = match Client::connect_timeout(&addr, IO_TIMEOUT) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cit-top: cannot connect to {addr}: {e}");

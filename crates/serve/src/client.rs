@@ -6,6 +6,7 @@ use crate::json::Json;
 use crate::protocol::{ErrorKind, Request, ServerStats};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A blocking connection speaking one request/response pair at a time.
 pub struct Client {
@@ -70,6 +71,21 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Connects with a deadline on both the TCP connect and every later
+    /// read — for tools (like `cit-top`) that must fail with a clear
+    /// error instead of hanging on an unreachable or wedged server.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let writer = TcpStream::connect_timeout(&addr, timeout)?;
+        writer.set_nodelay(true)?;
+        writer.set_read_timeout(Some(timeout))?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { reader, writer })
     }

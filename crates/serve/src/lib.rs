@@ -57,8 +57,10 @@ pub mod protocol;
 mod admin;
 mod batch;
 mod client;
+mod reactor;
 mod server;
 mod session;
+mod spill;
 
 pub use client::{Client, Reply};
 pub use protocol::{ErrorKind, OpStats, Request, Response, ServerStats, WindowStats};

@@ -167,8 +167,15 @@ pub struct OpStats {
 pub struct ServerStats {
     /// Seconds since the server started.
     pub uptime_s: f64,
-    /// Live session count.
+    /// Live session count (resident in memory; spilled sessions are not
+    /// counted until restored).
     pub sessions: usize,
+    /// Open client connections on the reactor.
+    pub connections: usize,
+    /// Sessions idle-evicted to disk (or spilled at shutdown) since start.
+    pub sessions_evicted: u64,
+    /// Sessions transparently restored from disk spill since start.
+    pub sessions_restored: u64,
     /// Requests currently queued for the batcher.
     pub queue_depth: usize,
     /// The bounded queue's capacity (`overloaded` rejects past this).
@@ -244,6 +251,9 @@ impl ServerStats {
         Some(ServerStats {
             uptime_s: v.get("uptime_s")?.as_f64()?,
             sessions: v.get("sessions")?.as_usize()?,
+            connections: v.get("connections")?.as_usize()?,
+            sessions_evicted: v.get("sessions_evicted")?.as_usize()? as u64,
+            sessions_restored: v.get("sessions_restored")?.as_usize()? as u64,
             queue_depth: v.get("queue_depth")?.as_usize()?,
             queue_cap: v.get("queue_cap")?.as_usize()?,
             checkpoint: v.get("checkpoint")?.as_str()?.to_string(),
@@ -263,6 +273,12 @@ impl ServerStats {
             ("op", "stats".into()),
             ("uptime_s", self.uptime_s.into()),
             ("sessions", self.sessions.into()),
+            ("connections", self.connections.into()),
+            ("sessions_evicted", (self.sessions_evicted as usize).into()),
+            (
+                "sessions_restored",
+                (self.sessions_restored as usize).into(),
+            ),
             ("queue_depth", self.queue_depth.into()),
             ("queue_cap", self.queue_cap.into()),
             ("checkpoint", self.checkpoint.clone().into()),
@@ -660,6 +676,9 @@ mod tests {
         let stats = ServerStats {
             uptime_s: 12.5,
             sessions: 3,
+            connections: 5,
+            sessions_evicted: 4,
+            sessions_restored: 1,
             queue_depth: 1,
             queue_cap: 128,
             checkpoint: "/tmp/model.cit".into(),

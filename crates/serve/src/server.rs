@@ -1,20 +1,27 @@
-//! The blocking TCP server: accept pool, connection threads, hot reload,
-//! graceful drain, and the live metrics plane (`stats` op + optional
-//! admin exposition listener).
+//! Server assembly: configuration, shared state, the hot-swappable
+//! model, session-lifecycle wiring (idle-TTL eviction + disk spill), and
+//! the live metrics plane (`stats` op + optional admin exposition
+//! listener). The connection layer itself is the readiness-polled
+//! reactor in [`crate::reactor`]; decision compute is the micro-batcher
+//! in [`crate::batch`].
 
-use crate::batch::{run_batcher, DepthGuard, Job};
+use crate::batch::{run_batcher, Job};
 use crate::protocol::{ErrorKind, OpStats, Request, Response, ServerStats, WindowStats};
+use crate::reactor::{run_reactor, Completions};
 use crate::session::SessionStore;
+use crate::spill::SpillDir;
 use cit_core::{CitConfig, DecisionModel};
 use cit_telemetry::{
     duration_bounds, Counter, Gauge, Histogram, NoopSink, RollingHistogram, Telemetry,
     WindowedCounter, DEFAULT_WINDOWS,
 };
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::mpsc::{self, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, RwLock};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -29,8 +36,8 @@ pub struct ServeConfig {
     /// How long the batcher waits for more work after the first request
     /// of a batch, in microseconds.
     pub max_wait_us: u64,
-    /// Bounded queue depth between connection threads and the batcher;
-    /// a full queue rejects with [`ErrorKind::Overloaded`].
+    /// Bounded queue depth between the reactor and the batcher; a full
+    /// queue rejects with [`ErrorKind::Overloaded`].
     pub queue_cap: usize,
     /// Worker threads for in-batch parallelism (0 = auto, honouring
     /// `CIT_THREADS`).
@@ -52,6 +59,17 @@ pub struct ServeConfig {
     /// the `stats` op until a `reload` replaces it with the new
     /// checkpoint's path.
     pub checkpoint_label: String,
+    /// Reactor tick period in milliseconds: the cadence of idle-session
+    /// eviction scans and the poll timeout while the server is idle.
+    pub tick_ms: u64,
+    /// Sessions idle longer than this are spilled to disk and evicted
+    /// from memory (restored transparently on their next request).
+    /// Requires [`ServeConfig::spill_dir`]; `None` disables eviction.
+    pub session_ttl: Option<Duration>,
+    /// Directory for spilled session state. When set, evicted sessions
+    /// and (on graceful shutdown) every live session are persisted here,
+    /// so restarts and evictions never lose open sessions.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +85,9 @@ impl Default for ServeConfig {
             debug_ops: false,
             admin_addr: None,
             checkpoint_label: "unnamed".to_string(),
+            tick_ms: 100,
+            session_ttl: None,
+            spill_dir: None,
         }
     }
 }
@@ -76,6 +97,25 @@ impl Default for ServeConfig {
 pub(crate) const OP_NAMES: [&str; 8] = [
     "open", "decide", "close", "info", "stats", "reload", "sleep", "other",
 ];
+
+/// The `other` slot of [`OP_NAMES`] (unparseable requests).
+pub(crate) const OP_OTHER: usize = 7;
+
+/// Index into [`OP_NAMES`] / [`ServerState::ops`] for a request.
+pub(crate) fn op_index(req: &Request) -> usize {
+    match req {
+        Request::Open { .. } => 0,
+        Request::Decide { .. } => 1,
+        Request::Close { .. } => 2,
+        Request::Info => 3,
+        Request::Stats => 4,
+        Request::Reload { .. } => 5,
+        Request::Sleep { .. } => 6,
+        // Shutdown shares the `other` slot: it answers at most once per
+        // server lifetime, a dedicated breakdown row would be noise.
+        Request::Shutdown => OP_OTHER,
+    }
+}
 
 /// Per-op instruments: request/error counters plus a latency histogram.
 pub(crate) struct OpInstruments {
@@ -87,12 +127,13 @@ pub(crate) struct OpInstruments {
 /// Shared server state: the hot-swappable model, the session store, the
 /// drain flag and the telemetry instruments.
 pub(crate) struct ServerState {
-    pub(crate) listen_addr: SocketAddr,
     pub(crate) model: RwLock<Arc<DecisionModel>>,
     pub(crate) model_cfg: CitConfig,
     pub(crate) num_assets: usize,
     pub(crate) cfg: ServeConfig,
     pub(crate) store: SessionStore,
+    /// The spill directory, opened once at startup when configured.
+    pub(crate) spill: Option<SpillDir>,
     pub(crate) threads: usize,
     pub(crate) shutdown: AtomicBool,
     pub(crate) telemetry: Telemetry,
@@ -105,9 +146,19 @@ pub(crate) struct ServerState {
     /// When the server started (uptime basis for `stats`).
     pub(crate) started: Instant,
     /// Jobs currently sitting in (or just leaving) the batcher queue,
-    /// maintained by [`DepthGuard`] so every exit path decrements.
+    /// maintained by [`crate::batch::DepthGuard`] so every exit path
+    /// decrements.
     pub(crate) queue_depth: Arc<AtomicI64>,
     pub(crate) queue_gauge: Gauge,
+    /// Live connection count, maintained by the reactor.
+    pub(crate) connections: AtomicI64,
+    pub(crate) connections_gauge: Gauge,
+    /// Sessions idle-evicted (or spilled at shutdown) since start.
+    pub(crate) evicted: AtomicU64,
+    pub(crate) evicted_gauge: Gauge,
+    /// Sessions restored from spill since start.
+    pub(crate) restored: AtomicU64,
+    pub(crate) restored_counter: Counter,
     /// Identity of the loaded checkpoint (updated by `reload`).
     pub(crate) checkpoint: RwLock<String>,
     /// Every request (any op) for live req/s.
@@ -139,6 +190,38 @@ impl ServerState {
             if *kind == ErrorKind::Overloaded {
                 self.rejects.inc();
             }
+        }
+    }
+
+    /// Bumps the eviction accounting (count + gauge) by `n`.
+    pub(crate) fn note_evicted(&self, n: u64) {
+        let total = self.evicted.fetch_add(n, Ordering::Relaxed) + n;
+        self.evicted_gauge.set(total as f64);
+    }
+
+    /// Bumps the restore accounting by `n`.
+    pub(crate) fn note_restored(&self, n: u64) {
+        self.restored.fetch_add(n, Ordering::Relaxed);
+        self.restored_counter.add(n);
+    }
+
+    /// Atomically swaps in a new checkpoint (the `reload` op).
+    pub(crate) fn reload(&self, checkpoint: &str) -> Response {
+        match DecisionModel::from_checkpoint(checkpoint, self.model_cfg, self.num_assets) {
+            Ok(new_model) => {
+                let num_params = new_model.num_params();
+                *self.model.write().expect("model lock poisoned") = Arc::new(new_model);
+                self.reloads.inc();
+                *self.checkpoint.write().expect("checkpoint lock poisoned") =
+                    checkpoint.to_string();
+                self.telemetry
+                    .emit(cit_telemetry::Record::new("serve.reload").with("path", checkpoint));
+                Response::Reloaded { num_params }
+            }
+            Err(e) => Response::error(
+                ErrorKind::ReloadFailed,
+                format!("checkpoint {checkpoint:?} not loaded: {e}"),
+            ),
         }
     }
 
@@ -179,6 +262,9 @@ impl ServerState {
         ServerStats {
             uptime_s: self.started.elapsed().as_secs_f64(),
             sessions: self.store.len(),
+            connections: self.connections.load(Ordering::Relaxed).max(0) as usize,
+            sessions_evicted: self.evicted.load(Ordering::Relaxed),
+            sessions_restored: self.restored.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as usize,
             queue_cap: self.cfg.queue_cap,
             checkpoint: self
@@ -197,21 +283,29 @@ impl ServerState {
     }
 }
 
+/// Flags the drain; the reactor observes the flag on its next wake (the
+/// caller is responsible for waking it when setting the flag from
+/// outside the reactor thread).
+pub(crate) fn begin_drain_flag(state: &ServerState) {
+    state.shutdown.store(true, Ordering::Relaxed);
+}
+
 /// A running serving instance.
 ///
-/// [`Server::start`] binds, spawns the accept loop and the batcher, and
+/// [`Server::start`] binds, spawns the reactor and the batcher, and
 /// returns immediately; [`Server::shutdown`] (or drop) drains
-/// gracefully: the listener closes, queued requests finish, connection
-/// threads exit once idle.
+/// gracefully: the listener closes, queued requests finish, and — when a
+/// spill directory is configured — every live session is persisted to
+/// disk before the process lets go of it.
 pub struct Server {
     state: Arc<ServerState>,
     addr: SocketAddr,
     admin_addr: Option<SocketAddr>,
+    completions: Arc<Completions>,
     sender: Option<SyncSender<Job>>,
-    accept: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
     admin: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
@@ -222,8 +316,8 @@ impl Server {
 
     /// Starts serving `model`, recording request metrics into `telemetry`:
     /// `serve.latency` / `serve.batch_size` histograms, `serve.requests` /
-    /// `serve.rejected` / `serve.reloads` counters and a `serve.sessions`
-    /// gauge.
+    /// `serve.rejected` / `serve.reloads` counters and `serve.sessions` /
+    /// `serve.connections` / `serve.sessions_evicted` gauges.
     pub fn start_with(
         model: DecisionModel,
         cfg: ServeConfig,
@@ -239,6 +333,8 @@ impl Server {
             Telemetry::new(Arc::new(NoopSink))
         };
         let listener = TcpListener::bind(&cfg.addr)?;
+        // Survive four-digit-client connect storms (see `deepen_backlog`).
+        crate::reactor::deepen_backlog(&listener, 4096);
         let addr = listener.local_addr()?;
         let admin_listener = match &cfg.admin_addr {
             Some(a) => Some(TcpListener::bind(a)?),
@@ -246,6 +342,10 @@ impl Server {
         };
         let admin_addr = match &admin_listener {
             Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let spill = match &cfg.spill_dir {
+            Some(dir) => Some(SpillDir::open(dir)?),
             None => None,
         };
         let threads = cit_compute::resolve_threads(cfg.threads);
@@ -263,11 +363,11 @@ impl Server {
             .map(|kind| telemetry.counter(&format!("serve.errors.{}", kind.tag())))
             .collect();
         let state = Arc::new(ServerState {
-            listen_addr: addr,
             model_cfg: *model.config(),
             num_assets: model.num_assets(),
             model: RwLock::new(Arc::new(model)),
             store: SessionStore::new(cfg.shards),
+            spill,
             threads,
             shutdown: AtomicBool::new(false),
             latency: telemetry.histogram("serve.latency", &duration_bounds()),
@@ -282,6 +382,12 @@ impl Server {
             started: Instant::now(),
             queue_depth: Arc::new(AtomicI64::new(0)),
             queue_gauge: telemetry.gauge("serve.queue_depth"),
+            connections: AtomicI64::new(0),
+            connections_gauge: telemetry.gauge("serve.connections"),
+            evicted: AtomicU64::new(0),
+            evicted_gauge: telemetry.gauge("serve.sessions_evicted"),
+            restored: AtomicU64::new(0),
+            restored_counter: telemetry.counter("serve.sessions_restored"),
             checkpoint: RwLock::new(cfg.checkpoint_label.clone()),
             requests_window: telemetry.windowed_counter("serve.requests_window"),
             latency_window: telemetry.rolling_histogram("serve.latency_window", &duration_bounds()),
@@ -291,17 +397,21 @@ impl Server {
             cfg,
         });
 
+        // Self-pipe: the read end lives in the reactor's poll set, the
+        // write end inside the shared completion queue.
+        let (waker_rx, waker_tx) = UnixStream::pair()?;
+        let completions = Arc::new(Completions::new(waker_tx));
+
         let (tx, rx) = mpsc::sync_channel::<Job>(state.cfg.queue_cap.max(1));
         let batcher = {
             let state = state.clone();
             std::thread::spawn(move || run_batcher(rx, &state))
         };
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
+        let reactor = {
             let state = state.clone();
             let tx = tx.clone();
-            let conns = conns.clone();
-            std::thread::spawn(move || run_accept(listener, state, tx, conns))
+            let completions = completions.clone();
+            std::thread::spawn(move || run_reactor(listener, state, tx, completions, waker_rx))
         };
         let admin = admin_listener.map(|l| {
             let state = state.clone();
@@ -311,11 +421,11 @@ impl Server {
             state,
             addr,
             admin_addr,
+            completions,
             sender: Some(tx),
-            accept: Some(accept),
+            reactor: Some(reactor),
             batcher: Some(batcher),
             admin,
-            conns,
         })
     }
 
@@ -340,7 +450,8 @@ impl Server {
         &self.state.telemetry
     }
 
-    /// Live session count.
+    /// Live session count (resident in memory; spilled sessions are not
+    /// counted until restored).
     pub fn sessions(&self) -> usize {
         self.state.store.len()
     }
@@ -352,23 +463,33 @@ impl Server {
     }
 
     /// Graceful drain: stops accepting, lets in-flight and queued
-    /// requests finish, joins every thread.
+    /// requests finish, joins every thread, then spills all live
+    /// sessions to disk when a spill directory is configured.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
 
     fn shutdown_impl(&mut self) {
-        begin_drain(&self.state, self.addr);
-        self.sender.take(); // drop the master sender
-        if let Some(h) = self.accept.take() {
+        begin_drain_flag(&self.state);
+        self.completions.wake();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
-        let handles: Vec<_> = std::mem::take(&mut *self.conns.lock().expect("conn list poisoned"));
-        for h in handles {
-            let _ = h.join();
-        }
+        self.sender.take(); // disconnect the batcher's channel
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
+        }
+        // Every job is done and every session back in the store: persist
+        // them so a restart picks up where this process stopped.
+        if let Some(spill) = &self.state.spill {
+            let spilled = self.state.store.spill_all(spill);
+            if spilled > 0 {
+                self.state.note_evicted(spilled as u64);
+                self.state.telemetry.emit(
+                    cit_telemetry::Record::new("serve.spill_all")
+                        .with("sessions", spilled.to_string()),
+                );
+            }
         }
         if let Some(h) = self.admin.take() {
             let _ = h.join();
@@ -378,220 +499,8 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept.is_some() || self.batcher.is_some() {
+        if self.reactor.is_some() || self.batcher.is_some() {
             self.shutdown_impl();
-        }
-    }
-}
-
-/// Flags the drain and pokes the listener awake with a throwaway
-/// connection so `accept` observes the flag.
-fn begin_drain(state: &ServerState, addr: SocketAddr) {
-    state.shutdown.store(true, Ordering::Relaxed);
-    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
-}
-
-fn run_accept(
-    listener: TcpListener,
-    state: Arc<ServerState>,
-    tx: SyncSender<Job>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    for stream in listener.incoming() {
-        if state.shutdown.load(Ordering::Relaxed) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let state = state.clone();
-        let tx = tx.clone();
-        let handle = std::thread::spawn(move || serve_conn(stream, &state, &tx));
-        conns.lock().expect("conn list poisoned").push(handle);
-    }
-}
-
-/// Reads newline-delimited requests off one connection until EOF or
-/// drain, answering each on the same stream.
-fn serve_conn(stream: TcpStream, state: &ServerState, tx: &SyncSender<Job>) {
-    // Short read timeouts let the thread observe the drain flag while
-    // idle; partial lines survive timeouts in the reader's buffer.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let _ = stream.set_nodelay(true);
-    let mut reader = LineReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut writer = stream;
-    while let Some(line) = reader.next_line(&state.shutdown) {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let resp = handle_line(&line, state, tx);
-        let stop = matches!(resp, Response::ShuttingDown);
-        let mut payload = resp.render();
-        payload.push('\n');
-        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
-            return;
-        }
-        if stop {
-            return;
-        }
-    }
-}
-
-/// Index into [`OP_NAMES`] / [`ServerState::ops`] for a request.
-fn op_index(req: &Request) -> usize {
-    match req {
-        Request::Open { .. } => 0,
-        Request::Decide { .. } => 1,
-        Request::Close { .. } => 2,
-        Request::Info => 3,
-        Request::Stats => 4,
-        Request::Reload { .. } => 5,
-        Request::Sleep { .. } => 6,
-        // Shutdown shares the `other` slot: it answers at most once per
-        // server lifetime, a dedicated breakdown row would be noise.
-        Request::Shutdown => OP_OTHER,
-    }
-}
-
-/// The `other` slot of [`OP_NAMES`] (unparseable requests).
-const OP_OTHER: usize = 7;
-
-fn handle_line(line: &str, state: &ServerState, tx: &SyncSender<Job>) -> Response {
-    let started = Instant::now();
-    let (op_idx, resp) = match Request::parse(line) {
-        Ok(req) => (op_index(&req), dispatch(req, state, tx)),
-        Err(e) => (OP_OTHER, Response::error(ErrorKind::BadRequest, e)),
-    };
-    state.observe(op_idx, &resp, started.elapsed());
-    resp
-}
-
-fn dispatch(req: Request, state: &ServerState, tx: &SyncSender<Job>) -> Response {
-    match req {
-        Request::Info => {
-            let model = state.model.read().expect("model lock poisoned").clone();
-            Response::Info {
-                sessions: state.store.len(),
-                num_assets: state.num_assets,
-                num_params: model.num_params(),
-                window: model.min_history(),
-                policies: model.config().num_policies,
-            }
-        }
-        Request::Stats => Response::Stats(Box::new(state.build_stats())),
-        Request::Reload { checkpoint } => {
-            match DecisionModel::from_checkpoint(&checkpoint, state.model_cfg, state.num_assets) {
-                Ok(new_model) => {
-                    let num_params = new_model.num_params();
-                    *state.model.write().expect("model lock poisoned") = Arc::new(new_model);
-                    state.reloads.inc();
-                    *state.checkpoint.write().expect("checkpoint lock poisoned") =
-                        checkpoint.clone();
-                    state
-                        .telemetry
-                        .emit(cit_telemetry::Record::new("serve.reload").with("path", checkpoint));
-                    Response::Reloaded { num_params }
-                }
-                Err(e) => Response::error(
-                    ErrorKind::ReloadFailed,
-                    format!("checkpoint {checkpoint:?} not loaded: {e}"),
-                ),
-            }
-        }
-        Request::Shutdown => {
-            begin_drain(state, state.listen_addr);
-            Response::ShuttingDown
-        }
-        Request::Sleep { .. } if !state.cfg.debug_ops => {
-            Response::error(ErrorKind::BadRequest, "sleep requires debug_ops")
-        }
-        queued @ (Request::Open { .. }
-        | Request::Decide { .. }
-        | Request::Close { .. }
-        | Request::Sleep { .. }) => {
-            if state.shutdown.load(Ordering::Relaxed) {
-                return Response::error(ErrorKind::ShuttingDown, "server is draining");
-            }
-            let started = Instant::now();
-            let (reply_tx, reply_rx) = mpsc::channel();
-            // The guard rides inside the job: whichever way the job
-            // leaves the queue — answered, drained at shutdown, rejected
-            // below (the failed send hands the job back), or unwound by
-            // a panicking handler — dropping it decrements the gauge.
-            let depth = DepthGuard::new(state.queue_depth.clone(), state.queue_gauge.clone());
-            match tx.try_send(Job {
-                req: queued,
-                reply: reply_tx,
-                _depth: depth,
-            }) {
-                Ok(()) => match reply_rx.recv_timeout(Duration::from_secs(60)) {
-                    Ok(resp) => {
-                        state.latency.record(started.elapsed().as_secs_f64());
-                        state.requests.inc();
-                        resp
-                    }
-                    Err(_) => Response::error(ErrorKind::ShuttingDown, "server is draining"),
-                },
-                Err(TrySendError::Full(_job)) => Response::error(
-                    ErrorKind::Overloaded,
-                    format!(
-                        "decision queue full ({} queued); retry later",
-                        state.cfg.queue_cap
-                    ),
-                ),
-                Err(TrySendError::Disconnected(_job)) => {
-                    Response::error(ErrorKind::ShuttingDown, "server is draining")
-                }
-            }
-        }
-    }
-}
-
-/// A timeout-tolerant line reader: partial reads accumulate across
-/// `WouldBlock`/`TimedOut` so a slow writer never corrupts framing.
-struct LineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-}
-
-impl LineReader {
-    fn new(stream: TcpStream) -> LineReader {
-        LineReader {
-            stream,
-            buf: Vec::new(),
-        }
-    }
-
-    /// The next full line (without the newline), or `None` on EOF, a hard
-    /// I/O error, or drain-while-idle.
-    fn next_line(&mut self, shutdown: &AtomicBool) -> Option<String> {
-        loop {
-            if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
-                let mut line: Vec<u8> = self.buf.drain(..=i).collect();
-                line.pop(); // '\n'
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return Some(String::from_utf8_lossy(&line).into_owned());
-            }
-            let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return None,
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if shutdown.load(Ordering::Relaxed) {
-                        return None;
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => return None,
-            }
         }
     }
 }

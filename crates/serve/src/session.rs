@@ -6,12 +6,14 @@
 //! [`cit_core::DecisionModel`].
 
 use crate::protocol::{ErrorKind, Response};
+use crate::spill::{SpillDir, SPILL_MAGIC};
 use cit_core::{DecisionModel, HorizonWindowCache};
 use cit_market::{AssetPanel, NUM_FEATURES};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// One client's serving state: price history plus the carried decision
 /// state (`SlidingDwt` windows via [`HorizonWindowCache`], previous
@@ -29,6 +31,9 @@ pub struct Session {
     prev_actions: Vec<Vec<f64>>,
     cache: HorizonWindowCache,
     max_history: usize,
+    /// Last time the session was inserted or checked back in; the basis
+    /// for idle-TTL eviction.
+    last_used: Instant,
 }
 
 impl Session {
@@ -60,6 +65,7 @@ impl Session {
             prev_actions: model.uniform_prev_actions(),
             cache: model.new_cache(),
             max_history: max_history.max(2 * window),
+            last_used: Instant::now(),
         };
         session.push_days(model, prices)?;
         Ok(session)
@@ -168,6 +174,113 @@ impl Session {
             pre_actions: out.pre_actions,
         })
     }
+
+    /// Serializes the session for disk spill. Every `f64` travels as its
+    /// exact bit pattern (little-endian `u64`), so restore is lossless.
+    /// The DWT cache is deliberately excluded: it is rebuilt on restore,
+    /// which the `SlidingDwt` contract guarantees is decision-invariant.
+    pub(crate) fn spill_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.hist.len() * 8);
+        out.extend_from_slice(SPILL_MAGIC);
+        let push_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+        push_u64(&mut out, self.name.len() as u64);
+        out.extend_from_slice(self.name.as_bytes());
+        push_u64(&mut out, self.num_assets as u64);
+        push_u64(&mut out, self.days as u64);
+        push_u64(&mut out, self.total_days as u64);
+        push_u64(&mut out, self.max_history as u64);
+        push_u64(&mut out, self.hist.len() as u64);
+        for v in &self.hist {
+            push_u64(&mut out, v.to_bits());
+        }
+        push_u64(&mut out, self.prev_actions.len() as u64);
+        for action in &self.prev_actions {
+            push_u64(&mut out, action.len() as u64);
+            for v in action {
+                push_u64(&mut out, v.to_bits());
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a session from [`Session::spill_bytes`] output,
+    /// validating shape compatibility against the active `model`.
+    pub(crate) fn from_spill_bytes(bytes: &[u8], model: &DecisionModel) -> Result<Session, String> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            let end = pos.checked_add(n).filter(|&e| e <= bytes.len());
+            let end = end.ok_or_else(|| "truncated spill file".to_string())?;
+            let slice = &bytes[*pos..end];
+            *pos = end;
+            Ok(slice)
+        };
+        let take_u64 = |pos: &mut usize| -> Result<u64, String> {
+            let b = take(pos, 8)?;
+            Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        };
+        if take(&mut pos, SPILL_MAGIC.len())? != SPILL_MAGIC {
+            return Err("not a cit-serve spill file (bad magic)".into());
+        }
+        let name_len = take_u64(&mut pos)? as usize;
+        if name_len > 4096 {
+            return Err("implausible session name length".into());
+        }
+        let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
+            .map_err(|_| "session name is not UTF-8".to_string())?;
+        let num_assets = take_u64(&mut pos)? as usize;
+        let days = take_u64(&mut pos)? as usize;
+        let total_days = take_u64(&mut pos)? as usize;
+        let max_history = take_u64(&mut pos)? as usize;
+        let hist_len = take_u64(&mut pos)? as usize;
+        if hist_len != days * num_assets * NUM_FEATURES {
+            return Err(format!(
+                "spill history length {hist_len} does not match {days} days × {num_assets} assets"
+            ));
+        }
+        let mut hist = Vec::with_capacity(hist_len);
+        for _ in 0..hist_len {
+            hist.push(f64::from_bits(take_u64(&mut pos)?));
+        }
+        let n_prev = take_u64(&mut pos)? as usize;
+        let mut prev_actions = Vec::with_capacity(n_prev);
+        for _ in 0..n_prev {
+            let len = take_u64(&mut pos)? as usize;
+            let mut action = Vec::with_capacity(len);
+            for _ in 0..len {
+                action.push(f64::from_bits(take_u64(&mut pos)?));
+            }
+            prev_actions.push(action);
+        }
+        if num_assets != model.num_assets() {
+            return Err(format!(
+                "spilled session has {num_assets} assets, the served model expects {}",
+                model.num_assets()
+            ));
+        }
+        let expected_prev = model.uniform_prev_actions();
+        if prev_actions.len() != expected_prev.len()
+            || prev_actions
+                .iter()
+                .zip(&expected_prev)
+                .any(|(a, e)| a.len() != e.len())
+        {
+            return Err("spilled session's policy state does not match the served model".into());
+        }
+        if days < model.min_history().max(2) || total_days < days {
+            return Err("spilled session holds too little history for the served model".into());
+        }
+        Ok(Session {
+            name,
+            num_assets,
+            hist,
+            days,
+            total_days,
+            prev_actions,
+            cache: model.new_cache(),
+            max_history,
+            last_used: Instant::now(),
+        })
+    }
 }
 
 /// A sharded session map: sessions hash to one of `shards` independent
@@ -218,12 +331,61 @@ impl SessionStore {
             .remove(name)
     }
 
-    /// Returns a checked-out session to the store.
-    pub fn put_back(&self, session: Session) {
+    /// Returns a checked-out session to the store, refreshing its
+    /// idle-eviction clock.
+    pub fn put_back(&self, mut session: Session) {
+        session.last_used = Instant::now();
         self.shard(session.name())
             .lock()
             .expect("session shard poisoned")
             .insert(session.name().to_string(), session);
+    }
+
+    /// Spills every session idle longer than `ttl` to `spill` and
+    /// removes it from the store. The spill write happens **while the
+    /// shard lock is held**, so a concurrent decide either finds the
+    /// session still resident or finds the complete spill file — never a
+    /// gap in between. Checked-out sessions (mid-decide) are not in the
+    /// store and therefore can never be evicted mid-flight. Returns the
+    /// number evicted; a session whose spill write fails stays resident.
+    pub(crate) fn evict_idle(&self, ttl: Duration, spill: &SpillDir) -> usize {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("session shard poisoned");
+            let idle: Vec<String> = shard
+                .iter()
+                .filter(|(_, s)| s.last_used.elapsed() >= ttl)
+                .map(|(name, _)| name.clone())
+                .collect();
+            for name in idle {
+                let session = shard.get(&name).expect("listed above");
+                if spill.write(session).is_ok() {
+                    shard.remove(&name);
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Spills **every** resident session (graceful-shutdown persistence).
+    /// Returns the number written; sessions whose write fails are left
+    /// resident (and are lost when the process exits — the caller may
+    /// log the shortfall).
+    pub(crate) fn spill_all(&self, spill: &SpillDir) -> usize {
+        let mut written = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("session shard poisoned");
+            let names: Vec<String> = shard.keys().cloned().collect();
+            for name in names {
+                let session = shard.get(&name).expect("listed above");
+                if spill.write(session).is_ok() {
+                    shard.remove(&name);
+                    written += 1;
+                }
+            }
+        }
+        written
     }
 
     /// Live session count across all shards.
@@ -345,6 +507,59 @@ mod tests {
         assert!(store.is_empty());
         store.put_back(s);
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn spill_round_trip_is_bitwise_decision_invariant() {
+        let m = model();
+        let p = synth();
+        // Control session decides straight through; the probe session is
+        // serialized and restored mid-stream.
+        let mut control = Session::open(&m, "s", &rows(&p, 0, 40), 256).unwrap();
+        let mut probe = Session::open(&m, "s", &rows(&p, 0, 40), 256).unwrap();
+        for t in 40..60 {
+            let day = rows(&p, t, t + 1);
+            let rc = control.decide(&m, &day).unwrap();
+            if t % 3 == 0 {
+                probe = Session::from_spill_bytes(&probe.spill_bytes(), &m).unwrap();
+            }
+            let rp = probe.decide(&m, &day).unwrap();
+            let (
+                Response::Decision {
+                    final_action: fa,
+                    pre_actions: pa,
+                    ..
+                },
+                Response::Decision {
+                    final_action: fb,
+                    pre_actions: pb,
+                    ..
+                },
+            ) = (&rc, &rp)
+            else {
+                panic!("expected decisions")
+            };
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(fa), bits(fb), "restored session diverged at t={t}");
+            for (a, b) in pa.iter().zip(pb) {
+                assert_eq!(bits(a), bits(b), "pre-actions diverged at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn spill_rejects_corrupt_and_mismatched_payloads() {
+        let m = model();
+        let p = synth();
+        let s = Session::open(&m, "s", &rows(&p, 0, 40), 256).unwrap();
+        let good = s.spill_bytes();
+        assert!(Session::from_spill_bytes(&good[..good.len() - 3], &m).is_err());
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(Session::from_spill_bytes(&bad_magic, &m).is_err());
+        // A model with a different asset count must refuse the payload.
+        let other = DecisionModel::untrained(CitConfig::smoke(7), 3).expect("valid");
+        assert!(Session::from_spill_bytes(&good, &other).is_err());
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Disk spill/restore of evicted sessions.
+//!
+//! An idle-evicted (or drained-at-shutdown) session is serialized to
+//! `<spill_dir>/<hex(name)>.spill` with the same crash-safety idiom as
+//! cit-params checkpoints: written to a temp file, fsynced, then renamed
+//! over the destination. The format stores every `f64` as its exact bit
+//! pattern, so a restored session decides **bitwise identically** to one
+//! that was never evicted (the DWT cache is rebuilt on restore, which the
+//! `SlidingDwt` contract guarantees is decision-invariant — the same
+//! property history trimming already relies on).
+
+use crate::session::Session;
+use cit_core::DecisionModel;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+/// Magic prefix of a spill file (format version 1).
+pub(crate) const SPILL_MAGIC: &[u8; 8] = b"CITSESS1";
+
+/// A directory holding spilled sessions, one file per session name.
+#[derive(Debug, Clone)]
+pub(crate) struct SpillDir {
+    dir: PathBuf,
+}
+
+impl SpillDir {
+    /// Opens (creating if needed) a spill directory.
+    pub(crate) fn open(dir: impl Into<PathBuf>) -> io::Result<SpillDir> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SpillDir { dir })
+    }
+
+    /// The spill file path for a session name. Names are arbitrary
+    /// client strings, so they are hex-encoded into a safe filename.
+    pub(crate) fn path_for(&self, name: &str) -> PathBuf {
+        let mut encoded = String::with_capacity(name.len() * 2);
+        for b in name.as_bytes() {
+            encoded.push_str(&format!("{b:02x}"));
+        }
+        self.dir.join(format!("{encoded}.spill"))
+    }
+
+    /// Whether a spilled copy of `name` exists.
+    pub(crate) fn contains(&self, name: &str) -> bool {
+        self.path_for(name).is_file()
+    }
+
+    /// Atomically writes one session: temp file in the same directory,
+    /// fsync, rename. A crash mid-write never corrupts an existing spill.
+    pub(crate) fn write(&self, session: &Session) -> io::Result<()> {
+        let path = self.path_for(session.name());
+        let tmp = path.with_extension("spill.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&session.spill_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        // Best-effort directory fsync so the rename itself is durable.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Reads and **removes** the spilled copy of `name`, rebuilding the
+    /// live session against `model`. `Ok(None)` when nothing is spilled;
+    /// `Err` describes a corrupt or model-incompatible file (which is
+    /// left on disk for inspection).
+    pub(crate) fn take(
+        &self,
+        name: &str,
+        model: &DecisionModel,
+    ) -> Result<Option<Session>, String> {
+        let path = self.path_for(name);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("cannot read spill {path:?}: {e}")),
+        };
+        let session = Session::from_spill_bytes(&bytes, model)?;
+        if session.name() != name {
+            return Err(format!(
+                "spill {path:?} holds session {:?}, expected {name:?}",
+                session.name()
+            ));
+        }
+        fs::remove_file(&path)
+            .map_err(|e| format!("cannot remove restored spill {path:?}: {e}"))?;
+        Ok(Some(session))
+    }
+
+    /// Deletes the spilled copy of `name` if present (session close).
+    /// Returns whether a file was removed.
+    pub(crate) fn remove(&self, name: &str) -> bool {
+        fs::remove_file(self.path_for(name)).is_ok()
+    }
+}

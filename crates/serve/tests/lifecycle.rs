@@ -1,0 +1,359 @@
+//! Session-lifecycle tests: idle-TTL eviction driven off the reactor
+//! tick, disk spill/restore transparency (bitwise decision parity with a
+//! never-evicted session), persistence across a server restart, and
+//! eviction under concurrent decide traffic.
+
+use cit_core::{CitConfig, DecisionModel};
+use cit_market::{AssetPanel, Feature, SynthConfig};
+use cit_serve::{Client, Request, ServeConfig, Server};
+use std::time::{Duration, Instant};
+
+fn synth(num_assets: usize, seed: u64) -> AssetPanel {
+    SynthConfig {
+        num_assets,
+        num_days: 220,
+        test_start: 160,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// The `[m·4]` OHLC wire rows for panel days `[from, to)`.
+fn rows(panel: &AssetPanel, from: usize, to: usize) -> Vec<Vec<f64>> {
+    (from..to)
+        .map(|t| {
+            (0..panel.num_assets())
+                .flat_map(|i| {
+                    [Feature::Open, Feature::High, Feature::Low, Feature::Close]
+                        .into_iter()
+                        .map(move |f| panel.price(t, i, f))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn spill_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cit_spill_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn model(seed: u64, assets: usize) -> DecisionModel {
+    DecisionModel::untrained(CitConfig::smoke(seed), assets).expect("smoke model")
+}
+
+fn lifecycle_cfg(tag: &str, ttl_ms: u64) -> ServeConfig {
+    ServeConfig {
+        session_ttl: Some(Duration::from_millis(ttl_ms)),
+        spill_dir: Some(spill_dir(tag)),
+        tick_ms: 20,
+        ..Default::default()
+    }
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Waits (bounded) until the server's live session count reaches `want`.
+fn wait_for_sessions(client: &mut Client, want: usize, deadline: Duration) -> usize {
+    let start = Instant::now();
+    loop {
+        let stats = client
+            .call(&Request::Stats)
+            .expect("stats")
+            .stats()
+            .expect("typed stats");
+        if stats.sessions == want || start.elapsed() > deadline {
+            return stats.sessions;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Idle-TTL eviction fires — but only after the TTL: a session is still
+/// resident well inside its TTL and spilled to disk shortly after it
+/// lapses, with the eviction counted in `stats`.
+#[test]
+fn idle_ttl_evicts_only_after_ttl() {
+    let panel = synth(2, 31);
+    let cfg = lifecycle_cfg("ttl", 400);
+    let dir = cfg.spill_dir.clone().unwrap();
+    let server = Server::start(model(31, 2), cfg).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert!(client
+        .call(&Request::Open {
+            session: "idle".into(),
+            prices: rows(&panel, 0, 40),
+        })
+        .unwrap()
+        .ok());
+
+    // Well inside the TTL the session must still be resident.
+    std::thread::sleep(Duration::from_millis(120));
+    let stats = client.call(&Request::Stats).unwrap().stats().unwrap();
+    assert_eq!(stats.sessions, 1, "evicted before the TTL elapsed");
+    assert_eq!(stats.sessions_evicted, 0);
+
+    // After the TTL (+ tick slack) it must be evicted and on disk.
+    let left = wait_for_sessions(&mut client, 0, Duration::from_secs(5));
+    assert_eq!(left, 0, "idle session was never evicted");
+    let stats = client.call(&Request::Stats).unwrap().stats().unwrap();
+    assert_eq!(stats.sessions_evicted, 1);
+    let spilled = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(spilled, 1, "evicted session must be spilled to disk");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The heart of the lifecycle guarantee: a session that is idle-evicted,
+/// spilled to disk and transparently restored decides **bitwise
+/// identically** to one that was never evicted.
+#[test]
+fn evict_restore_decide_is_bitwise_invariant() {
+    let panel = synth(3, 47);
+
+    // Control: same model, no eviction.
+    let control = Server::start(model(47, 3), ServeConfig::default()).unwrap();
+    // Probe: aggressive TTL so the session is evicted between decides.
+    let cfg = lifecycle_cfg("bitwise", 150);
+    let dir = cfg.spill_dir.clone().unwrap();
+    let probe = Server::start(model(47, 3), cfg).unwrap();
+
+    let mut cc = Client::connect(control.addr()).unwrap();
+    let mut pc = Client::connect(probe.addr()).unwrap();
+    for (name, c) in [("ctl", &mut cc), ("prb", &mut pc)] {
+        assert!(c
+            .call(&Request::Open {
+                session: name.into(),
+                prices: rows(&panel, 0, 160),
+            })
+            .unwrap()
+            .ok());
+    }
+
+    let mut evictions_seen = 0;
+    for t in 160..172 {
+        // Let the probe's session go idle past its TTL every other day.
+        if t % 2 == 0 {
+            std::thread::sleep(Duration::from_millis(250));
+            let stats = pc.call(&Request::Stats).unwrap().stats().unwrap();
+            if stats.sessions == 0 {
+                evictions_seen += 1;
+            }
+        }
+        let day = rows(&panel, t, t + 1);
+        let rc = cc
+            .call(&Request::Decide {
+                session: "ctl".into(),
+                prices: day.clone(),
+            })
+            .unwrap();
+        let rp = pc
+            .call(&Request::Decide {
+                session: "prb".into(),
+                prices: day,
+            })
+            .unwrap();
+        assert!(rc.ok(), "{:?}", rc.error_message());
+        assert!(rp.ok(), "restored decide failed: {:?}", rp.error_message());
+        assert_eq!(
+            bits(&rc.final_action().unwrap()),
+            bits(&rp.final_action().unwrap()),
+            "final action diverged at t={t}"
+        );
+        for (k, (a, b)) in rc
+            .pre_actions()
+            .unwrap()
+            .iter()
+            .zip(&rp.pre_actions().unwrap())
+            .enumerate()
+        {
+            assert_eq!(bits(a), bits(b), "pre-action {k} diverged at t={t}");
+        }
+    }
+    assert!(
+        evictions_seen >= 3,
+        "probe session was never actually evicted ({evictions_seen} evictions seen) — the test is vacuous"
+    );
+    let stats = pc.call(&Request::Stats).unwrap().stats().unwrap();
+    assert!(stats.sessions_evicted >= 3);
+    assert!(stats.sessions_restored >= 3);
+
+    probe.shutdown();
+    control.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Graceful shutdown spills every live session; a fresh server over the
+/// same spill directory restores them transparently, with the decision
+/// stream bitwise-unbroken across the restart.
+#[test]
+fn restart_restores_spilled_sessions() {
+    let panel = synth(2, 53);
+    let dir = spill_dir("restart");
+
+    // Control stream without any restart.
+    let control = Server::start(model(53, 2), ServeConfig::default()).unwrap();
+    let mut cc = Client::connect(control.addr()).unwrap();
+    assert!(cc
+        .call(&Request::Open {
+            session: "s".into(),
+            prices: rows(&panel, 0, 160),
+        })
+        .unwrap()
+        .ok());
+    let mut expected = Vec::new();
+    for t in 160..170 {
+        let r = cc
+            .call(&Request::Decide {
+                session: "s".into(),
+                prices: rows(&panel, t, t + 1),
+            })
+            .unwrap();
+        assert!(r.ok());
+        expected.push(r.final_action().unwrap());
+    }
+    control.shutdown();
+
+    // First server: decide half the stream, then shut down (spill-all).
+    let cfg = ServeConfig {
+        spill_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let first = Server::start(model(53, 2), cfg.clone()).unwrap();
+    let mut fc = Client::connect(first.addr()).unwrap();
+    assert!(fc
+        .call(&Request::Open {
+            session: "s".into(),
+            prices: rows(&panel, 0, 160),
+        })
+        .unwrap()
+        .ok());
+    for (i, t) in (160..165).enumerate() {
+        let r = fc
+            .call(&Request::Decide {
+                session: "s".into(),
+                prices: rows(&panel, t, t + 1),
+            })
+            .unwrap();
+        assert!(r.ok());
+        assert_eq!(bits(&r.final_action().unwrap()), bits(&expected[i]));
+    }
+    first.shutdown();
+    assert_eq!(
+        std::fs::read_dir(&dir).unwrap().count(),
+        1,
+        "shutdown must spill the live session"
+    );
+
+    // Second server, same spill dir: the session is still "open".
+    let second = Server::start(model(53, 2), cfg).unwrap();
+    let mut sc = Client::connect(second.addr()).unwrap();
+    // Re-opening the id is refused — the spilled session owns it.
+    let dup = sc
+        .call(&Request::Open {
+            session: "s".into(),
+            prices: rows(&panel, 0, 160),
+        })
+        .unwrap();
+    assert!(!dup.ok(), "spilled session id must stay reserved");
+    for (i, t) in (165..170).enumerate() {
+        let r = sc
+            .call(&Request::Decide {
+                session: "s".into(),
+                prices: rows(&panel, t, t + 1),
+            })
+            .unwrap();
+        assert!(r.ok(), "{:?}", r.error_message());
+        assert_eq!(
+            bits(&r.final_action().unwrap()),
+            bits(&expected[5 + i]),
+            "stream diverged after restart at t={t}"
+        );
+    }
+    let stats = sc.call(&Request::Stats).unwrap().stats().unwrap();
+    assert_eq!(stats.sessions_restored, 1);
+    // `close` of a restored-then-closed session also clears the disk copy.
+    assert!(sc
+        .call(&Request::Close {
+            session: "s".into(),
+        })
+        .unwrap()
+        .ok());
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+    second.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Eviction racing live traffic: with an aggressive TTL and many
+/// concurrent clients deciding on their own sessions, no request may
+/// ever observe a lost session — a checked-out session cannot be
+/// evicted, and an evicted one is restored transparently.
+#[test]
+fn eviction_under_concurrent_decides_never_drops_sessions() {
+    let panel = synth(2, 61);
+    let cfg = ServeConfig {
+        session_ttl: Some(Duration::from_millis(30)),
+        spill_dir: Some(spill_dir("race")),
+        tick_ms: 5,
+        ..Default::default()
+    };
+    let dir = cfg.spill_dir.clone().unwrap();
+    let server = Server::start(model(61, 2), cfg).unwrap();
+    let addr = server.addr();
+
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let panel = panel.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let session = format!("w{w}");
+                assert!(c
+                    .call(&Request::Open {
+                        session: session.clone(),
+                        prices: rows(&panel, 0, 160),
+                    })
+                    .unwrap()
+                    .ok());
+                for t in 160..190 {
+                    // Pause long enough for the TTL to lapse on some
+                    // iterations, so evictions interleave with decides.
+                    if t % 3 == w % 3 {
+                        std::thread::sleep(Duration::from_millis(45));
+                    }
+                    let reply = c
+                        .call(&Request::Decide {
+                            session: session.clone(),
+                            prices: rows(&panel, t, t + 1),
+                        })
+                        .unwrap();
+                    assert!(
+                        reply.ok(),
+                        "worker {w} lost its session at t={t}: {:?}",
+                        reply.error_message()
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.call(&Request::Stats).unwrap().stats().unwrap();
+    assert!(
+        stats.sessions_evicted > 0,
+        "TTL never fired — the race was not exercised"
+    );
+    // Every eviction was either restored by a later decide or is still
+    // on disk; nothing vanished.
+    let spilled = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(stats.sessions + spilled, 4, "a session was dropped");
+    assert!(stats.sessions_restored <= stats.sessions_evicted);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
