@@ -22,8 +22,11 @@ test -s BENCH_compute.json || { echo "BENCH_compute.json missing or empty" >&2; 
 
 echo "== bench regression guard (speedups vs baseline)"
 # Every speedup field in BENCH_compute.json is current-vs-baseline for one
-# kernel; anything below 0.8x is a loud (non-fatal) regression warning so
-# a slow kernel cannot hide inside a green CI run.
+# kernel; anything below 0.8x is a loud regression warning so a slow kernel
+# cannot hide inside a green CI run. The nt/nn sanity ratio guards the
+# transposed-layout fix specifically: nt must stay within 2x of nn.
+# Warnings stay non-fatal by default (quick-mode numbers are noisy);
+# CI_STRICT_BENCH=1 turns any violation into a hard failure.
 jq -r '.speedups | to_entries[] | "\(.key) \(.value)"' BENCH_compute.json | {
   slow=0
   while read -r name speedup; do
@@ -32,7 +35,22 @@ jq -r '.speedups | to_entries[] | "\(.key) \(.value)"' BENCH_compute.json | {
       slow=$((slow + 1))
     fi
   done
-  test "$slow" -eq 0 && echo "all speedups at or above the 0.8x floor"
+  nt_ratio=$(jq -r '.nt_vs_nn_ratio // empty' BENCH_compute.json)
+  if [ -n "$nt_ratio" ]; then
+    if awk -v r="$nt_ratio" 'BEGIN { exit !(r > 2.0 || r != r) }'; then
+      echo "!!! BENCH REGRESSION: nt_vs_nn_ratio at ${nt_ratio} — nt kernel above 2x of nn !!!" >&2
+      slow=$((slow + 1))
+    fi
+  else
+    echo "!!! BENCH REGRESSION: nt_vs_nn_ratio missing from BENCH_compute.json !!!" >&2
+    slow=$((slow + 1))
+  fi
+  if [ "$slow" -eq 0 ]; then
+    echo "all speedups at or above the 0.8x floor; nt within 2x of nn"
+  elif [ "${CI_STRICT_BENCH:-0}" = "1" ]; then
+    echo "CI_STRICT_BENCH=1: failing on $slow bench regression(s)" >&2
+    exit 1
+  fi
   true
 }
 

@@ -445,6 +445,14 @@ const BASELINE_6EAC353: [(&str, f64); 4] = [
     ("train_update_span_ns", 192_205_000.0),
 ];
 
+/// Transposed-layout baselines measured at commit 2300cc1 (same machine),
+/// before the packed micro-kernel rewrite — the nt number is the 7×
+/// anomaly the tiling-scheme work exists to fix.
+const BASELINE_2300CC1: [(&str, f64); 2] = [
+    ("matmul_128_nt_ns", 1_217_120.0),
+    ("matmul_128_tn_ns", 212_188.5),
+];
+
 /// Writes `BENCH_compute.json` at the repository root: measured numbers,
 /// the embedded pre-PR baseline, and derived speedups.
 fn write_manifest(h: &Harness) {
@@ -466,12 +474,13 @@ fn write_manifest(h: &Harness) {
     json.push_str("  },\n");
 
     json.push_str("  \"baseline_ns\": {\n");
-    for (i, (name, ns)) in BASELINE_6EAC353.iter().enumerate() {
-        let comma = if i + 1 < BASELINE_6EAC353.len() {
-            ","
-        } else {
-            ""
-        };
+    let baselines: Vec<(&str, f64)> = BASELINE_6EAC353
+        .iter()
+        .chain(BASELINE_2300CC1.iter())
+        .copied()
+        .collect();
+    for (i, (name, ns)) in baselines.iter().enumerate() {
+        let comma = if i + 1 < baselines.len() { "," } else { "" };
         json.push_str(&format!("    \"{name}\": {ns:.1}{comma}\n"));
     }
     json.push_str("  },\n");
@@ -493,6 +502,16 @@ fn write_manifest(h: &Harness) {
         "matmul_128_tiled_vs_baseline_6eac353",
         Some(BASELINE_6EAC353[0].1),
         h.result_ns("kernels/matmul_tiled_128"),
+    );
+    push_ratio(
+        "matmul_128_nt_vs_baseline",
+        Some(BASELINE_2300CC1[0].1),
+        h.result_ns("kernels/matmul_nt_tiled_128"),
+    );
+    push_ratio(
+        "matmul_128_tn_vs_baseline",
+        Some(BASELINE_2300CC1[1].1),
+        h.result_ns("kernels/matmul_tn_tiled_128"),
     );
     push_ratio(
         "conv1d_fwd_bwd_vs_baseline_6eac353",
@@ -519,7 +538,19 @@ fn write_manifest(h: &Harness) {
         let comma = if i + 1 < speedups.len() { "," } else { "" };
         json.push_str(&format!("    \"{name}\": {ratio:.2}{comma}\n"));
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+
+    // Sanity field, deliberately OUTSIDE the speedups map (it is a cost
+    // ratio, not a speedup — values near 1.0 are good, and the CI floor on
+    // speedups must not apply to it): nt must stay within 2× of nn.
+    let nt_vs_nn = match (
+        h.result_ns("kernels/matmul_nt_tiled_128"),
+        h.result_ns("kernels/matmul_tiled_128"),
+    ) {
+        (Some(nt), Some(nn)) if nn > 0.0 => nt / nn,
+        _ => f64::NAN,
+    };
+    json.push_str(&format!("  \"nt_vs_nn_ratio\": {nt_vs_nn:.2}\n}}\n"));
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compute.json");
     std::fs::write(path, &json).expect("write BENCH_compute.json");
@@ -530,6 +561,9 @@ fn write_manifest(h: &Harness) {
 }
 
 fn main() {
+    // Same resolution path production uses: the kernels below go through
+    // the installed autotuner unless CIT_AUTOTUNE=off / CIT_TILING is set.
+    cit_compute::autotune::ensure_installed();
     let h = Harness::new();
     bench_kernels(&h);
     bench_dwt_cache(&h);

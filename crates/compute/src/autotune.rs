@@ -1,0 +1,362 @@
+//! One-shot cached kernel autotuner.
+//!
+//! The matmul kernels in `cit-tensor` are parameterised by a runtime
+//! [`TilingScheme`]; which scheme is fastest depends on the host CPU (cache
+//! sizes, SIMD width the compiler targeted, core count). This module
+//! installs a process-global scheme provider that, at **first use per
+//! `(layout, M, K, N)` size class**, benchmarks a small candidate-scheme
+//! grid and caches the winner — in-process and in
+//! `results/autotune_cache.json` (keyed by host + size class) so later
+//! processes on the same machine skip the bench entirely.
+//!
+//! Resolution order, as seen by a kernel call (highest priority first):
+//!
+//! 1. forced scheme — `cit_tensor::kernels::force_scheme` or `CIT_TILING`
+//! 2. cache file entry for this host + layout + size class
+//! 3. one-shot candidate bench (first call only; ~ms per size class)
+//! 4. per-layout static defaults (`TilingScheme::default_for`)
+//!
+//! Setting `CIT_AUTOTUNE=off` (or `0`/`false`) disables the tuner
+//! entirely: no provider is installed, no benching runs, no file is read
+//! or written, and every kernel call uses the static defaults (or a forced
+//! scheme). Because every scheme produces bit-identical results (the
+//! kernels' determinism contract), autotuning can never change model
+//! outputs — only wall-clock.
+
+use cit_tensor::kernels::{self, MatmulLayout, TilingScheme, SUPPORTED_REGISTER_TILES};
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::{Mutex, Once};
+use std::time::Instant;
+
+/// A power-of-two bucketing of a matmul problem size: every dimension is
+/// rounded up to the next power of two (clamped to `[8, 4096]`), so nearby
+/// shapes share one tuned scheme instead of re-benching per exact shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SizeClass {
+    /// Rounded output-rows dimension.
+    pub m: usize,
+    /// Rounded reduction dimension.
+    pub k: usize,
+    /// Rounded output-cols dimension.
+    pub n: usize,
+}
+
+impl SizeClass {
+    /// The size class of an `(m, k, n)` problem.
+    pub fn of(m: usize, k: usize, n: usize) -> Self {
+        fn bucket(d: usize) -> usize {
+            d.next_power_of_two().clamp(8, 4096)
+        }
+        SizeClass {
+            m: bucket(m),
+            k: bucket(k),
+            n: bucket(n),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}x{}x{}", self.m, self.k, self.n)
+    }
+}
+
+/// `true` when `CIT_AUTOTUNE` disables the tuner (`off`, `0` or `false`).
+pub fn autotune_disabled() -> bool {
+    matches!(
+        std::env::var("CIT_AUTOTUNE").ok().as_deref().map(str::trim),
+        Some("off" | "0" | "false")
+    )
+}
+
+/// The persistent cache location: `CIT_AUTOTUNE_CACHE` when set, otherwise
+/// `results/autotune_cache.json` at the repository root. The file is
+/// host-specific (entries are keyed by hostname) and always safe to
+/// delete — the only cost is a one-shot re-bench per size class.
+pub fn cache_path() -> PathBuf {
+    if let Ok(p) = std::env::var("CIT_AUTOTUNE_CACHE") {
+        if !p.trim().is_empty() {
+            return PathBuf::from(p);
+        }
+    }
+    // CARGO_MANIFEST_DIR of cit-compute is <repo>/crates/compute.
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/autotune_cache.json"
+    ))
+}
+
+/// A stable identifier for this machine, used to key cache entries so a
+/// checked-in or copied cache file can never poison a different host.
+pub fn host_key() -> String {
+    if let Ok(h) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+        let h = h.trim();
+        if !h.is_empty() {
+            return h.to_string();
+        }
+    }
+    std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.trim().is_empty())
+        .unwrap_or_else(|| "unknown-host".to_string())
+}
+
+/// Installs the autotuning scheme provider into `cit-tensor` (idempotent;
+/// the first call wins process-wide). Honors `CIT_AUTOTUNE=off` by
+/// installing nothing. Called by the trainer, the serving decision model
+/// and the bench harness on construction, so any entry point gets tuned
+/// kernels without extra wiring.
+pub fn ensure_installed() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        if autotune_disabled() {
+            return;
+        }
+        let tuner = Tuner::new();
+        let _ = kernels::install_scheme_provider(Box::new(move |layout, m, k, n| {
+            tuner.resolve(layout, m, k, n)
+        }));
+    });
+}
+
+struct TunerState {
+    /// Resolved winners, the fast path for every call after the first.
+    mem: HashMap<(MatmulLayout, SizeClass), TilingScheme>,
+    /// Merged persisted view (`host|layout|class` → encoded scheme),
+    /// including entries loaded from disk for other hosts, which are
+    /// preserved on rewrite.
+    file: BTreeMap<String, String>,
+}
+
+struct Tuner {
+    host: String,
+    path: PathBuf,
+    state: Mutex<TunerState>,
+}
+
+impl Tuner {
+    fn new() -> Self {
+        let path = cache_path();
+        let file = load_cache(&path);
+        Tuner {
+            host: host_key(),
+            path,
+            state: Mutex::new(TunerState {
+                mem: HashMap::new(),
+                file,
+            }),
+        }
+    }
+
+    fn file_key(&self, layout: MatmulLayout, class: SizeClass) -> String {
+        format!("{}|{}|{}", self.host, layout.label(), class.label())
+    }
+
+    fn resolve(&self, layout: MatmulLayout, m: usize, k: usize, n: usize) -> TilingScheme {
+        let class = SizeClass::of(m, k, n);
+        let key = (layout, class);
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(s) = state.mem.get(&key) {
+            return *s;
+        }
+        let fkey = self.file_key(layout, class);
+        if let Some(s) = state
+            .file
+            .get(&fkey)
+            .and_then(|enc| TilingScheme::parse(enc))
+        {
+            let s = s.validated();
+            state.mem.insert(key, s);
+            return s;
+        }
+        // One-shot bench, performed under the lock so concurrent first
+        // callers of the same class wait for one tuning pass instead of
+        // racing their own.
+        let winner = bench_candidates(layout, class);
+        state.mem.insert(key, winner);
+        state.file.insert(fkey, winner.encode());
+        persist_cache(&self.path, &state.file);
+        winner
+    }
+}
+
+/// The candidate grid for one layout. Small on purpose: the one-shot bench
+/// must stay in the low-millisecond range per size class.
+fn candidates(layout: MatmulLayout) -> Vec<TilingScheme> {
+    let d = TilingScheme::default_for(layout);
+    match layout {
+        // nn/nt share the packed-panel driver: the register tile is the
+        // lever, cache blocks come from the defaults.
+        MatmulLayout::Nn | MatmulLayout::Nt => SUPPORTED_REGISTER_TILES
+            .iter()
+            .map(|&(mr, nr)| TilingScheme::new(mr, nr, d.mc, d.kc, d.nc).validated())
+            .collect(),
+        // tn is an axpy driver: mr/nr are ignored, mc/nc block the panel.
+        MatmulLayout::Tn => [(32, 256), (64, 256), (64, 512), (128, 512)]
+            .iter()
+            .map(|&(mc, nc)| TilingScheme::new(d.mr, d.nr, mc, d.kc, nc).validated())
+            .collect(),
+    }
+}
+
+/// Deterministic pseudo-random bench operands (values are irrelevant for
+/// timing; kept in [-0.5, 0.5) to avoid subnormals).
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Benchmarks every candidate on a representative problem of this size
+/// class (dimensions capped at 256 to bound tuning cost) and returns the
+/// fastest. Falls back to the static default when the class is degenerate.
+fn bench_candidates(layout: MatmulLayout, class: SizeClass) -> TilingScheme {
+    let (m, k, n) = (class.m.min(256), class.k.min(256), class.n.min(256));
+    let a = fill(m * k, 11);
+    let b = fill(k * n, 23);
+    let mut out = vec![0.0f32; m * n];
+    let mut run = |scheme: TilingScheme| match layout {
+        MatmulLayout::Nn => kernels::matmul_nn_acc_with(scheme, m, k, n, &a, &b, &mut out),
+        MatmulLayout::Nt => kernels::matmul_nt_acc_with(scheme, m, k, n, &a, &b, &mut out),
+        MatmulLayout::Tn => kernels::matmul_tn_acc_with(scheme, m, k, n, &a, &b, &mut out),
+    };
+
+    let mut best = TilingScheme::default_for(layout);
+    let mut best_ns = u128::MAX;
+    for cand in candidates(layout) {
+        // Warm-up run: page in the pack buffer and estimate cost.
+        let t0 = Instant::now();
+        run(cand);
+        let warm_ns = t0.elapsed().as_nanos().max(1);
+        // Enough reps to fill ~200µs, capped so huge classes stay cheap.
+        let reps = (200_000 / warm_ns).clamp(1, 64) as usize;
+        let mut cand_ns = u128::MAX;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                run(cand);
+            }
+            cand_ns = cand_ns.min(t0.elapsed().as_nanos() / reps as u128);
+        }
+        if cand_ns < best_ns {
+            best_ns = cand_ns;
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Loads the cache file into a key → encoded-scheme map. The format is the
+/// flat JSON object written by [`persist_cache`]; anything unparseable is
+/// skipped, so a corrupt or foreign file degrades to an empty cache.
+fn load_cache(path: &PathBuf) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return map;
+    };
+    for line in text.lines() {
+        let mut parts = line.split('"');
+        // `  "key": "value",` splits as [_, key, colon, value, _].
+        let (Some(_), Some(key), Some(sep), Some(value)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if sep.trim() == ":" && key.contains('|') {
+            map.insert(key.to_string(), value.to_string());
+        }
+    }
+    map
+}
+
+/// Atomically rewrites the cache file (temp + rename). Failures are
+/// swallowed: persistence is an optimisation, never a correctness concern.
+fn persist_cache(path: &PathBuf, entries: &BTreeMap<String, String>) {
+    let mut text = String::from("{\n");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        text.push_str(&format!("  \"{key}\": \"{value}\"{comma}\n"));
+    }
+    text.push_str("}\n");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let tmp = path.with_extension("json.tmp");
+    if std::fs::write(&tmp, &text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_class_buckets_to_powers_of_two() {
+        assert_eq!(SizeClass::of(10, 17, 100), SizeClass::of(9, 32, 65));
+        assert_eq!(SizeClass::of(1, 1, 1), SizeClass { m: 8, k: 8, n: 8 });
+        let c = SizeClass::of(5000, 128, 3000);
+        assert_eq!((c.m, c.k, c.n), (4096, 128, 4096));
+        assert_eq!(c.label(), "4096x128x4096");
+    }
+
+    #[test]
+    fn cache_round_trips_through_file_format() {
+        let dir = std::env::temp_dir().join(format!("cit_autotune_test_{}", std::process::id()));
+        let path = dir.join("cache.json");
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            "hostA|nt|128x128x128".to_string(),
+            TilingScheme::new(8, 8, 64, 256, 256).encode(),
+        );
+        entries.insert(
+            "hostB|nn|32x32x32".to_string(),
+            TilingScheme::new(4, 16, 64, 256, 256).encode(),
+        );
+        persist_cache(&path, &entries);
+        let loaded = load_cache(&path);
+        assert_eq!(loaded, entries);
+        let scheme = TilingScheme::parse(&loaded["hostA|nt|128x128x128"]).expect("parse");
+        assert_eq!((scheme.mr, scheme.nr), (8, 8));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_tolerates_garbage() {
+        let dir = std::env::temp_dir().join(format!("cit_autotune_garbage_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cache.json");
+        std::fs::write(
+            &path,
+            "this is { not json \"at\" all\n\"no-pipe\": \"4x4\"\n",
+        )
+        .unwrap();
+        assert!(load_cache(&path).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn candidate_grids_are_nonempty_and_validated() {
+        for layout in [MatmulLayout::Nn, MatmulLayout::Nt, MatmulLayout::Tn] {
+            let cands = candidates(layout);
+            assert!(!cands.is_empty());
+            for c in cands {
+                assert_eq!(c, c.validated(), "{layout:?} candidate not validated");
+            }
+        }
+    }
+
+    #[test]
+    fn bench_picks_some_supported_candidate() {
+        let winner = bench_candidates(MatmulLayout::Nt, SizeClass::of(32, 32, 32));
+        assert!(SUPPORTED_REGISTER_TILES.contains(&(winner.mr, winner.nr)));
+    }
+}

@@ -14,8 +14,15 @@
 //! `Vec` for every `t`, provided each task is a pure function of its inputs.
 //! Thread count only changes wall-clock, never values or their order, so a
 //! fixed-order gradient reduction over the results is bit-reproducible.
+//!
+//! The [`autotune`] module complements the thread pool on the single-kernel
+//! axis: it installs a one-shot cached [`cit_tensor::TilingScheme`]
+//! autotuner so the matmul micro-kernels run with tile shapes tuned for
+//! this host (see `results/autotune_cache.json`).
 
 #![deny(missing_docs)]
+
+pub mod autotune;
 
 /// Parses a `CIT_THREADS`-style override. Returns `None` when the value is
 /// absent, not an integer, or zero.

@@ -70,6 +70,9 @@ impl DecisionModel {
     /// Builds an untrained model (fresh seeded initialisation) — mainly
     /// useful for tests and warm-up benchmarks.
     pub fn untrained(cfg: CitConfig, num_assets: usize) -> Result<Self, CitError> {
+        // Serving goes through here (from_checkpoint included): make sure
+        // the kernel autotuner is active before the first decide.
+        cit_compute::autotune::ensure_installed();
         let Networks {
             store,
             horizon_actors,

@@ -260,6 +260,10 @@ impl CrossInsightTrader {
     /// configuration is inconsistent (instead of panicking like
     /// [`CrossInsightTrader::new`]).
     pub fn try_new(panel: &AssetPanel, cfg: CitConfig) -> Result<Self, CitError> {
+        // Tune the matmul tile shapes for this host before the first
+        // forward pass; a no-op after the first call (and under
+        // CIT_AUTOTUNE=off). Never affects results, only wall-clock.
+        cit_compute::autotune::ensure_installed();
         let m = panel.num_assets();
         let n = cfg.num_policies;
         let Networks {

@@ -1,9 +1,15 @@
-//! Thread-count determinism: the split-graph parallel update must produce
-//! bit-identical training results regardless of how many worker threads
-//! execute it. Thread count only changes wall-clock, never values.
+//! Thread-count and tiling-scheme determinism: the split-graph parallel
+//! update must produce bit-identical training results regardless of how
+//! many worker threads execute it and regardless of which matmul
+//! [`TilingScheme`] the kernels run under. Thread count and tile shapes
+//! only change wall-clock, never values — which is also what makes the
+//! `cit-compute` autotuner safe: its host-dependent scheme choice can
+//! never alter a training run.
 
 use cit_core::{CitConfig, CrossInsightTrader};
 use cit_market::{AssetPanel, SynthConfig};
+use cit_tensor::kernels::force_scheme;
+use cit_tensor::TilingScheme;
 
 fn panel() -> AssetPanel {
     SynthConfig {
@@ -41,6 +47,55 @@ fn single_and_multi_threaded_training_are_bit_identical() {
             "parameter {name_1} diverged across thread counts"
         );
     }
+}
+
+/// Bit-pattern fingerprint of a training run: every update reward and
+/// every exported parameter, via `to_bits` (f64/f32 equality would hide
+/// NaN or signed-zero drift).
+fn run_fingerprint(panel: &AssetPanel, threads: usize) -> Vec<u64> {
+    let mut cfg = CitConfig::smoke(23);
+    cfg.total_steps = 30;
+    cfg.rollout = 10;
+    cfg.threads = threads;
+    let mut cit = CrossInsightTrader::new(panel, cfg);
+    let report = cit.train(panel);
+    let mut bits: Vec<u64> = report.update_rewards.iter().map(|r| r.to_bits()).collect();
+    for (_, vals) in cit.export_params() {
+        bits.extend(vals.iter().map(|v| u64::from(v.to_bits())));
+    }
+    bits
+}
+
+#[test]
+fn training_is_bit_identical_across_tiling_schemes_and_threads() {
+    // Three deliberately different schemes (the default, a square register
+    // tile with tiny cache blocks, and a narrow tile), each run under 1, 2
+    // and 4 worker threads. All nine fingerprints must be identical: the
+    // kernels' seed-from-out ascending-p accumulation order makes tile
+    // shape and thread count pure wall-clock knobs.
+    let p = panel();
+    let schemes = [
+        TilingScheme::new(4, 16, 64, 256, 256),
+        TilingScheme::new(8, 8, 16, 32, 32),
+        TilingScheme::new(2, 8, 8, 8, 16),
+    ];
+    let mut reference: Option<Vec<u64>> = None;
+    for scheme in schemes {
+        force_scheme(Some(scheme));
+        for threads in [1, 2, 4] {
+            let bits = run_fingerprint(&p, threads);
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(
+                    r,
+                    &bits,
+                    "training diverged under scheme {} with {threads} threads",
+                    scheme.encode()
+                ),
+            }
+        }
+    }
+    force_scheme(None);
 }
 
 #[test]

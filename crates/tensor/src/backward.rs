@@ -298,10 +298,12 @@ impl Graph {
         // Same im2col lowering as the forward pass:
         //   dW = Σ_batch g_ni · colᵀ      (g [Cout,L] · col [Cin·K, L]ᵀ)
         //   dX = Σ_batch col2im(Wᵀ · g_ni)
-        let mut col = vec![0.0f32; rows * l];
+        // col/gcol recycle the thread-local scratch slab: col is fully
+        // overwritten by im2col, gcol is zero-filled before each use.
+        let mut col = crate::kernels::scratch::take(rows * l);
         let mut gw = need_w.then(|| vec![0.0f32; cout * rows]);
         let mut gx = need_x.then(|| vec![0.0f32; n * cin * l]);
-        let mut gcol = vec![0.0f32; rows * l];
+        let mut gcol = crate::kernels::scratch::take(rows * l);
         for ni in 0..n {
             let gn = &g.data()[ni * cout * l..(ni + 1) * cout * l];
             if let Some(gw) = gw.as_mut() {
@@ -328,6 +330,8 @@ impl Graph {
                 );
             }
         }
+        crate::kernels::scratch::put(col);
+        crate::kernels::scratch::put(gcol);
         if let Some(gw) = gw {
             self.accumulate(grads, w, Tensor::from_vec(&[cout, cin, k], gw));
         }

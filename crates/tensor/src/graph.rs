@@ -529,9 +529,11 @@ pub(crate) fn conv1d_forward(x: &Tensor, w: &Tensor, b: &Tensor, dilation: usize
     // im2col lowering: tap j looks back (k-1-j)*dilation steps so the
     // highest-index tap aligns with the current step; each batch element
     // becomes one W [Cout, Cin·K] × col [Cin·K, L] product seeded with the
-    // bias.
+    // bias. The col matrix lives in the thread-local scratch slab — the
+    // forward pass runs once per graph build, so recycling it cuts a
+    // per-step allocation (im2col overwrites every element).
     let rows = cin * k;
-    let mut col = vec![0.0f32; rows * l];
+    let mut col = crate::kernels::scratch::take(rows * l);
     let mut out = vec![0.0f32; n * cout * l];
     for ni in 0..n {
         crate::kernels::im2col(
@@ -548,6 +550,7 @@ pub(crate) fn conv1d_forward(x: &Tensor, w: &Tensor, b: &Tensor, dilation: usize
         }
         crate::kernels::matmul_nn_acc(cout, rows, l, w.data(), &col, slab);
     }
+    crate::kernels::scratch::put(col);
     Tensor::from_vec(&[n, cout, l], out)
 }
 

@@ -1,4 +1,5 @@
-//! Cache-blocked matmul micro-kernels and im2col convolution lowering.
+//! Cache-blocked matmul micro-kernels with runtime tiling schemes, plus the
+//! im2col convolution lowering.
 //!
 //! All kernels operate on raw row-major `f32` slices so the graph forward
 //! pass, the backward pass and benches share one code path. Three layouts
@@ -9,18 +10,262 @@
 //! * [`matmul_nt_acc`] — `out += A·Bᵀ` with `B` stored `[n,k]`
 //! * [`matmul_tn_acc`] — `out += Aᵀ·B` with `A` stored `[k,m]`
 //!
+//! ## Tiling schemes
+//!
+//! Tile shapes are no longer compile-time constants: every kernel is
+//! parameterised by a [`TilingScheme`] (register-tile `mr×nr`, cache blocks
+//! `mc/kc/nc`) resolved at runtime. Resolution order, highest priority
+//! first: a forced scheme ([`force_scheme`] or the `CIT_TILING` env var),
+//! an installed provider ([`install_scheme_provider`] — the `cit-compute`
+//! autotuner), then per-layout static defaults. The `nn` and `nt` drivers
+//! pack the needed `B` (or `Bᵀ`) panel into a contiguous, tile-ordered
+//! thread-local scratch buffer so the micro-kernel inner loop is a
+//! contiguous unrolled axpy regardless of the source layout — this is what
+//! fixes the former ~7× `nt` slowdown from its strided `bt[(j+c)·k+p]`
+//! inner load.
+//!
+//! ## Determinism contract
+//!
 //! Every kernel accumulates each output element strictly in ascending
-//! reduction-index order starting from the value already in `out`. That
-//! matches the seed-then-accumulate order of the previous scalar loops, so
-//! results are reproducible across tile shapes (f32 addition is not
-//! associative; a fixed order keeps training runs bit-stable).
+//! reduction-index order, seeded from the value already in `out`. The
+//! association `((out + t₀) + t₁) + …` is therefore *identical for every
+//! tiling scheme*: tile shapes only change traversal order across output
+//! elements, never the order of additions within one element. f32 addition
+//! is not associative, so this is what keeps training runs bit-stable
+//! across schemes, autotuner decisions and thread counts (proven by
+//! `crates/core/tests/determinism.rs` and the bitwise shape sweep in
+//! `crates/tensor/tests/kernel_parity.rs`).
 
-/// Rows per register tile of the `nn` micro-kernel.
-const MR: usize = 4;
-/// Columns per register tile of the `nn` micro-kernel.
-const NR: usize = 16;
-/// Output rows processed per cache block of the `tn` kernel.
-const MC_TN: usize = 64;
+use std::cell::RefCell;
+use std::sync::{Mutex, OnceLock};
+
+/// The operand layout of a matmul kernel, used to key tiling-scheme
+/// resolution (each layout has its own default and autotune entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatmulLayout {
+    /// `A [m,k] · B [k,n]`.
+    Nn,
+    /// `A [m,k] · Bᵀ` with `B` stored `[n,k]`.
+    Nt,
+    /// `Aᵀ · B` with `A` stored `[k,m]`.
+    Tn,
+}
+
+impl MatmulLayout {
+    /// Short lowercase label (`"nn"`, `"nt"`, `"tn"`), used in cache keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            MatmulLayout::Nn => "nn",
+            MatmulLayout::Nt => "nt",
+            MatmulLayout::Tn => "tn",
+        }
+    }
+}
+
+/// Register-tile (`mr`, `nr`) shapes that have a monomorphised micro-kernel.
+/// [`TilingScheme::validated`] snaps any other pair to the default; the
+/// autotuner uses this list as its candidate grid.
+pub const SUPPORTED_REGISTER_TILES: &[(usize, usize)] =
+    &[(2, 8), (4, 4), (4, 8), (8, 4), (8, 8), (4, 16), (8, 16)];
+
+/// A runtime tile-shape decomposition for the matmul kernels, following
+/// the global/stage/tile split of cubecl-matmul: a register tile
+/// (`mr`×`nr` output elements held in accumulators for the full reduction)
+/// nested inside cache blocks (`mc` output rows, `kc` reduction depth per
+/// packing chunk, `nc` packed panel columns).
+///
+/// `kc` only chunks the *packing copy loop* for locality — the arithmetic
+/// reduction always runs over the full `k` with one live accumulator per
+/// output element, which is what keeps results bit-identical across
+/// schemes (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilingScheme {
+    /// Output rows per register tile.
+    pub mr: usize,
+    /// Output columns per register tile.
+    pub nr: usize,
+    /// Output rows per cache block (one pass over a packed panel).
+    pub mc: usize,
+    /// Reduction depth per packing chunk (memory layout only).
+    pub kc: usize,
+    /// Output columns packed per panel.
+    pub nc: usize,
+}
+
+impl TilingScheme {
+    /// A scheme from raw tile sizes (not yet validated).
+    pub const fn new(mr: usize, nr: usize, mc: usize, kc: usize, nc: usize) -> Self {
+        TilingScheme { mr, nr, mc, kc, nc }
+    }
+
+    /// The static default for `layout`, used when no override, provider or
+    /// cache entry applies.
+    pub fn default_for(layout: MatmulLayout) -> Self {
+        match layout {
+            MatmulLayout::Nn => TilingScheme::new(4, 16, 64, 256, 256),
+            MatmulLayout::Nt => TilingScheme::new(4, 16, 64, 256, 256),
+            // tn is an outer-product axpy driver: only mc/nc block it.
+            MatmulLayout::Tn => TilingScheme::new(4, 16, 64, 256, 512),
+        }
+    }
+
+    /// Snaps the scheme onto the supported envelope: (`mr`,`nr`) must be one
+    /// of [`SUPPORTED_REGISTER_TILES`] (otherwise the default 4×16 register
+    /// tile is used) and the cache blocks are clamped to cover at least one
+    /// register tile / a sane packing chunk.
+    #[must_use]
+    pub fn validated(self) -> Self {
+        let (mr, nr) = if SUPPORTED_REGISTER_TILES.contains(&(self.mr, self.nr)) {
+            (self.mr, self.nr)
+        } else {
+            (4, 16)
+        };
+        TilingScheme {
+            mr,
+            nr,
+            mc: self.mc.max(mr),
+            kc: self.kc.max(8),
+            nc: self.nc.max(nr),
+        }
+    }
+
+    /// Compact text form `"mr x nr : mc x kc x nc"` (without spaces), e.g.
+    /// `"4x16:64x256x256"` — stable across versions, used by the autotune
+    /// cache file and the `CIT_TILING` env override.
+    pub fn encode(&self) -> String {
+        format!(
+            "{}x{}:{}x{}x{}",
+            self.mr, self.nr, self.mc, self.kc, self.nc
+        )
+    }
+
+    /// Parses [`TilingScheme::encode`]'s format. The cache-block part is
+    /// optional (`"8x8"` uses default blocks). Returns `None` on anything
+    /// malformed; callers should [`TilingScheme::validated`] the result.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        let (reg, blocks) = match s.split_once(':') {
+            Some((r, b)) => (r, Some(b)),
+            None => (s, None),
+        };
+        let mut reg_it = reg.split('x').map(|p| p.trim().parse::<usize>());
+        let mr = reg_it.next()?.ok()?;
+        let nr = reg_it.next()?.ok()?;
+        if reg_it.next().is_some() || mr == 0 || nr == 0 {
+            return None;
+        }
+        let default = TilingScheme::default_for(MatmulLayout::Nn);
+        let (mc, kc, nc) = match blocks {
+            None => (default.mc, default.kc, default.nc),
+            Some(b) => {
+                let mut it = b.split('x').map(|p| p.trim().parse::<usize>());
+                let mc = it.next()?.ok()?;
+                let kc = it.next()?.ok()?;
+                let nc = it.next()?.ok()?;
+                if it.next().is_some() || mc == 0 || kc == 0 || nc == 0 {
+                    return None;
+                }
+                (mc, kc, nc)
+            }
+        };
+        Some(TilingScheme::new(mr, nr, mc, kc, nc))
+    }
+}
+
+/// A scheme provider maps `(layout, m, k, n)` to the tile shapes to use —
+/// installed once per process by the `cit-compute` autotuner.
+pub type SchemeProvider =
+    Box<dyn Fn(MatmulLayout, usize, usize, usize) -> TilingScheme + Send + Sync>;
+
+static PROVIDER: OnceLock<SchemeProvider> = OnceLock::new();
+static FORCED: Mutex<Option<TilingScheme>> = Mutex::new(None);
+
+/// Installs the process-global scheme provider (one-shot; returns `false`
+/// if a provider was already installed). The provider is consulted by
+/// every matmul call that is not covered by a forced scheme, so it must be
+/// cheap on its hit path.
+pub fn install_scheme_provider(provider: SchemeProvider) -> bool {
+    PROVIDER.set(provider).is_ok()
+}
+
+/// Forces every matmul onto one scheme (or clears the force with `None`),
+/// overriding the provider and the static defaults. Intended for tests and
+/// experiments — thanks to the determinism contract a forced scheme changes
+/// wall-clock only, never results.
+pub fn force_scheme(scheme: Option<TilingScheme>) {
+    let mut guard = FORCED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *guard = scheme.map(TilingScheme::validated);
+}
+
+fn env_forced() -> Option<TilingScheme> {
+    static ENV: OnceLock<Option<TilingScheme>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("CIT_TILING")
+            .ok()
+            .and_then(|s| TilingScheme::parse(&s))
+            .map(TilingScheme::validated)
+    })
+}
+
+/// The scheme a kernel call with this layout and problem size will use.
+/// Resolution order: [`force_scheme`] → `CIT_TILING` env override →
+/// installed provider → [`TilingScheme::default_for`].
+pub fn resolve_scheme(layout: MatmulLayout, m: usize, k: usize, n: usize) -> TilingScheme {
+    if let Some(s) = *FORCED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        return s;
+    }
+    if let Some(s) = env_forced() {
+        return s;
+    }
+    if let Some(p) = PROVIDER.get() {
+        return p(layout, m, k, n).validated();
+    }
+    TilingScheme::default_for(layout)
+}
+
+/// GraphPool-style thread-local recycling for `f32` scratch buffers, used
+/// by the conv1d im2col path (and available to other hot loops) to cut
+/// per-step allocation traffic. Buffers keep their capacity across
+/// [`take`](scratch::take)/[`put`](scratch::put) cycles.
+pub mod scratch {
+    use std::cell::RefCell;
+
+    const MAX_POOLED: usize = 8;
+
+    thread_local! {
+        static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// A buffer of exactly `len` elements with **unspecified contents** —
+    /// callers must overwrite (or `fill`) before reading. Reuses the
+    /// largest pooled buffer when one exists.
+    pub fn take(len: usize) -> Vec<f32> {
+        let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the thread-local pool for reuse. At most a small
+    /// fixed number of buffers are retained; excess buffers are dropped.
+    pub fn put(buf: Vec<f32>) {
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(buf);
+            }
+        });
+    }
+}
+
+thread_local! {
+    /// Packing slab for the nn/nt drivers, reused across matmul calls.
+    static PACK_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 fn check_dims(name: &str, m: usize, k: usize, n: usize, a: usize, b: usize, out: usize) {
     assert!(a >= m * k, "{name}: lhs has {a} elements, need {m}x{k}");
@@ -28,58 +273,274 @@ fn check_dims(name: &str, m: usize, k: usize, n: usize, a: usize, b: usize, out:
     assert!(out >= m * n, "{name}: out has {out} elements, need {m}x{n}");
 }
 
-/// `out[i,j] += Σ_p a[i,p]·b[p,j]` — cache-blocked `A [m,k] · B [k,n]`.
+/// One register tile: accumulates `rows`×`cols` output elements over the
+/// full reduction `k` against a packed panel tile (`bp[p·NR + c]`).
 ///
-/// The hot path is an `MR`×`NR` register tile accumulated over the full
-/// reduction dimension; `B` rows stream through L1 while the partial sums
-/// stay in registers.
-pub fn matmul_nn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
-    check_dims("matmul_nn_acc", m, k, n, a.len(), b.len(), out.len());
-    let mut i = 0;
-    while i < m {
-        let mr = MR.min(m - i);
-        let mut j = 0;
-        while j < n {
-            let nr = NR.min(n - j);
-            if mr == MR && nr == NR {
-                kernel_nn_4x16(k, n, &a[i * k..], b, j, &mut out[i * n..]);
-            } else {
-                // Edge tile: plain dot products, still ascending in p.
-                for r in 0..mr {
-                    let arow = &a[(i + r) * k..(i + r) * k + k];
-                    for c in 0..nr {
-                        let mut acc = out[(i + r) * n + j + c];
-                        for (p, &av) in arow.iter().enumerate() {
-                            acc += av * b[p * n + j + c];
-                        }
-                        out[(i + r) * n + j + c] = acc;
-                    }
-                }
-            }
-            j += NR;
-        }
-        i += MR;
+/// Seeds the accumulators from `out` and walks `p` strictly ascending, so
+/// the per-element association is independent of `MR`/`NR` — the
+/// determinism contract. Dead lanes (`c >= cols`) read packed zeros and are
+/// never stored.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_packed<const MR: usize, const NR: usize>(
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    bp: &[f32],
+    out: &mut [f32],
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+) {
+    debug_assert!(rows <= MR && cols <= NR);
+    if rows == MR && cols == NR {
+        micro_packed_full::<MR, NR>(k, a, lda, bp, out, ldc);
+    } else {
+        micro_packed_edge::<MR, NR>(k, a, lda, bp, out, ldc, rows, cols);
     }
 }
 
+/// Full-tile fast path: every bound is a compile-time constant, so the
+/// accumulator tile stays in registers across the whole reduction.
 #[inline]
-fn kernel_nn_4x16(k: usize, n: usize, a: &[f32], b: &[f32], j: usize, out: &mut [f32]) {
+fn micro_packed_full<const MR: usize, const NR: usize>(
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    bp: &[f32],
+    out: &mut [f32],
+    ldc: usize,
+) {
     let mut acc = [[0.0f32; NR]; MR];
     for (r, accr) in acc.iter_mut().enumerate() {
-        accr.copy_from_slice(&out[r * n + j..r * n + j + NR]);
+        accr.copy_from_slice(&out[r * ldc..r * ldc + NR]);
     }
     for p in 0..k {
-        let brow = &b[p * n + j..p * n + j + NR];
+        let brow = &bp[p * NR..p * NR + NR];
         for (r, accr) in acc.iter_mut().enumerate() {
-            let av = a[r * k + p];
-            for (c, av_b) in accr.iter_mut().zip(brow) {
-                *c += av * av_b;
+            let av = a[r * lda + p];
+            for (slot, &bv) in accr.iter_mut().zip(brow) {
+                *slot += av * bv;
             }
         }
     }
     for (r, accr) in acc.iter().enumerate() {
-        out[r * n + j..r * n + j + NR].copy_from_slice(accr);
+        out[r * ldc..r * ldc + NR].copy_from_slice(accr);
     }
+}
+
+/// Edge-tile path (`rows < MR` and/or `cols < NR`): same seed-from-`out`,
+/// ascending-`p` association on the live lanes; dead lanes read packed
+/// zeros and are never stored.
+#[allow(clippy::too_many_arguments)]
+fn micro_packed_edge<const MR: usize, const NR: usize>(
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    bp: &[f32],
+    out: &mut [f32],
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, accr) in acc.iter_mut().enumerate().take(rows) {
+        accr[..cols].copy_from_slice(&out[r * ldc..r * ldc + cols]);
+    }
+    for p in 0..k {
+        let brow = &bp[p * NR..p * NR + NR];
+        for (r, accr) in acc.iter_mut().enumerate().take(rows) {
+            let av = a[r * lda + p];
+            for (slot, &bv) in accr.iter_mut().zip(brow) {
+                *slot += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(rows) {
+        out[r * ldc..r * ldc + cols].copy_from_slice(&accr[..cols]);
+    }
+}
+
+/// Dispatches on the validated register-tile shape to a monomorphised
+/// micro-kernel. `(4,16)` is the fallback arm, matching
+/// [`TilingScheme::validated`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn run_micro(
+    mr: usize,
+    nr: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    bp: &[f32],
+    out: &mut [f32],
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+) {
+    match (mr, nr) {
+        (2, 8) => micro_packed::<2, 8>(k, a, lda, bp, out, ldc, rows, cols),
+        (4, 4) => micro_packed::<4, 4>(k, a, lda, bp, out, ldc, rows, cols),
+        (4, 8) => micro_packed::<4, 8>(k, a, lda, bp, out, ldc, rows, cols),
+        (8, 4) => micro_packed::<8, 4>(k, a, lda, bp, out, ldc, rows, cols),
+        (8, 8) => micro_packed::<8, 8>(k, a, lda, bp, out, ldc, rows, cols),
+        (8, 16) => micro_packed::<8, 16>(k, a, lda, bp, out, ldc, rows, cols),
+        _ => micro_packed::<4, 16>(k, a, lda, bp, out, ldc, rows, cols),
+    }
+}
+
+/// Packs `nr`-wide column tiles of a `[k, n]` row-major `B` panel
+/// (columns `j0 .. j0+jb`) into `buf` in tile-major `[tile][p][lane]`
+/// order. Edge-tile lanes beyond the matrix are zero-filled.
+#[allow(clippy::too_many_arguments)]
+fn pack_panel_nn(
+    buf: &mut [f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    j0: usize,
+    jb: usize,
+    nr: usize,
+    kc: usize,
+) {
+    let ntiles = jb.div_ceil(nr);
+    for t in 0..ntiles {
+        let j = j0 + t * nr;
+        let cols = nr.min(j0 + jb - j);
+        let tile = &mut buf[t * k * nr..(t + 1) * k * nr];
+        if cols == nr {
+            for (p, dst) in tile.chunks_exact_mut(nr).enumerate() {
+                dst.copy_from_slice(&b[p * n + j..p * n + j + nr]);
+            }
+        } else {
+            for (p, dst) in tile.chunks_exact_mut(nr).enumerate() {
+                dst[..cols].copy_from_slice(&b[p * n + j..p * n + j + cols]);
+                dst[cols..].fill(0.0);
+            }
+        }
+    }
+    let _ = kc; // nn packing is already row-contiguous; kc chunking is moot.
+}
+
+/// Packs `nr`-wide column tiles of `Bᵀ` (with `B` stored `[n, k]`
+/// row-major, i.e. `bt[j*k + p]`) into `buf` in tile-major
+/// `[tile][p][lane]` order. This is the transposing copy that turns the
+/// former strided `bt[(j+c)·k+p]` inner load into a contiguous stream. The
+/// copy walks `p` in `kc`-sized chunks so the destination chunk stays
+/// cache-resident while `nr` source columns stream through.
+#[allow(clippy::too_many_arguments)]
+fn pack_panel_nt(
+    buf: &mut [f32],
+    bt: &[f32],
+    k: usize,
+    n: usize,
+    j0: usize,
+    jb: usize,
+    nr: usize,
+    kc: usize,
+) {
+    let ntiles = jb.div_ceil(nr);
+    for t in 0..ntiles {
+        let j = j0 + t * nr;
+        let cols = nr.min(j0 + jb - j);
+        let tile = &mut buf[t * k * nr..(t + 1) * k * nr];
+        let mut p0 = 0;
+        while p0 < k {
+            let pb = kc.min(k - p0);
+            for c in 0..cols {
+                let src = &bt[(j + c) * k + p0..(j + c) * k + p0 + pb];
+                for (pp, &v) in src.iter().enumerate() {
+                    tile[(p0 + pp) * nr + c] = v;
+                }
+            }
+            if cols < nr {
+                for pp in 0..pb {
+                    tile[(p0 + pp) * nr + cols..(p0 + pp + 1) * nr].fill(0.0);
+                }
+            }
+            p0 += pb;
+        }
+    }
+    let _ = n;
+}
+
+/// Signature shared by the panel-packing routines: `(buf, b, k, n, j0,
+/// jb, nr, kc)` — fill `buf` with the `[j0, j0+jb)` column panel of the
+/// second operand in tile-major `[tile][p][lane]` order.
+type PackFn = fn(&mut [f32], &[f32], usize, usize, usize, usize, usize, usize);
+
+/// Shared nn/nt driver: packs one `nc`-column panel at a time, then sweeps
+/// `mc`-row cache blocks of register tiles over it.
+#[allow(clippy::too_many_arguments)]
+fn matmul_packed_acc(
+    scheme: TilingScheme,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    pack: PackFn,
+) {
+    let TilingScheme { mr, nr, mc, kc, nc } = scheme.validated();
+    let mut buf = PACK_BUF.with(RefCell::take);
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = nc.min(n - j0);
+        let ntiles = jb.div_ceil(nr);
+        buf.resize(ntiles * k * nr, 0.0);
+        pack(&mut buf, b, k, n, j0, jb, nr, kc);
+        let mut i0 = 0;
+        while i0 < m {
+            let ib = mc.min(m - i0);
+            let mut ii = 0;
+            while ii < ib {
+                let i = i0 + ii;
+                let rows = mr.min(ib - ii);
+                for t in 0..ntiles {
+                    let j = j0 + t * nr;
+                    let cols = nr.min(j0 + jb - j);
+                    run_micro(
+                        mr,
+                        nr,
+                        k,
+                        &a[i * k..],
+                        k,
+                        &buf[t * k * nr..(t + 1) * k * nr],
+                        &mut out[i * n + j..],
+                        n,
+                        rows,
+                        cols,
+                    );
+                }
+                ii += mr;
+            }
+            i0 += mc;
+        }
+        j0 += nc;
+    }
+    PACK_BUF.with(|p| p.replace(buf));
+}
+
+/// `out[i,j] += Σ_p a[i,p]·b[p,j]` — `A [m,k] · B [k,n]` under the
+/// resolved tiling scheme (see [`resolve_scheme`]).
+pub fn matmul_nn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    let scheme = resolve_scheme(MatmulLayout::Nn, m, k, n);
+    matmul_nn_acc_with(scheme, m, k, n, a, b, out);
+}
+
+/// [`matmul_nn_acc`] under an explicit scheme (autotuner benching, tests).
+pub fn matmul_nn_acc_with(
+    scheme: TilingScheme,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    check_dims("matmul_nn_acc", m, k, n, a.len(), b.len(), out.len());
+    matmul_packed_acc(scheme, m, k, n, a, b, out, pack_panel_nn);
 }
 
 /// Freshly allocated `A·B` (`A [m,k]`, `B [k,n]`), zero-initialised then
@@ -91,41 +552,27 @@ pub fn matmul_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32>
 }
 
 /// `out[i,j] += Σ_p a[i,p]·bt[j,p]` — `A [m,k] · Bᵀ` with `B` stored
-/// `[n,k]`. Both operands are traversed contiguously (row-wise dot
-/// products), so no transposed copy is ever built.
+/// `[n,k]`, under the resolved tiling scheme. The needed `Bᵀ` panel is
+/// packed into a contiguous tile-ordered scratch buffer first, so the hot
+/// loop never touches the strided source layout.
 pub fn matmul_nt_acc(m: usize, k: usize, n: usize, a: &[f32], bt: &[f32], out: &mut [f32]) {
-    check_dims("matmul_nt_acc", m, k, n, a.len(), n * k, out.len());
-    assert!(
-        bt.len() >= n * k,
-        "matmul_nt_acc: bt has {} elements",
-        bt.len()
-    );
-    const TI: usize = 4;
-    const TJ: usize = 4;
-    let mut i = 0;
-    while i < m {
-        let ti = TI.min(m - i);
-        let mut j = 0;
-        while j < n {
-            let tj = TJ.min(n - j);
-            let mut acc = [[0.0f32; TJ]; TI];
-            for p in 0..k {
-                for (r, accr) in acc.iter_mut().enumerate().take(ti) {
-                    let av = a[(i + r) * k + p];
-                    for (c, slot) in accr.iter_mut().enumerate().take(tj) {
-                        *slot += av * bt[(j + c) * k + p];
-                    }
-                }
-            }
-            for r in 0..ti {
-                for c in 0..tj {
-                    out[(i + r) * n + j + c] += acc[r][c];
-                }
-            }
-            j += TJ;
-        }
-        i += TI;
-    }
+    let scheme = resolve_scheme(MatmulLayout::Nt, m, k, n);
+    matmul_nt_acc_with(scheme, m, k, n, a, bt, out);
+}
+
+/// [`matmul_nt_acc`] under an explicit scheme (autotuner benching, tests).
+pub fn matmul_nt_acc_with(
+    scheme: TilingScheme,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    bt: &[f32],
+    out: &mut [f32],
+) {
+    // bt holds n rows of k elements; k*n == n*k, so check_dims covers it.
+    check_dims("matmul_nt_acc", m, k, n, a.len(), bt.len(), out.len());
+    matmul_packed_acc(scheme, m, k, n, a, bt, out, pack_panel_nt);
 }
 
 /// Freshly allocated `A·Bᵀ` (`A [m,k]`, `B` stored `[n,k]`).
@@ -135,34 +582,52 @@ pub fn matmul_nt(m: usize, k: usize, n: usize, a: &[f32], bt: &[f32]) -> Vec<f32
     out
 }
 
-/// `out[i,j] += Σ_p at[p,i]·b[p,j]` — `Aᵀ·B` with `A` stored `[k,m]`.
+/// `out[i,j] += Σ_p at[p,i]·b[p,j]` — `Aᵀ·B` with `A` stored `[k,m]`,
+/// under the resolved tiling scheme.
 ///
 /// Outer-product form: for each reduction index `p` a row of `B` is
 /// broadcast-multiplied into a block of `out` rows, so the inner loop is a
-/// contiguous axpy. Output rows are processed in blocks of `MC_TN` to keep
-/// the accumulator panel cache-resident for large `m`.
+/// contiguous axpy. `mc`/`nc` block the output panel to keep it
+/// cache-resident; per output element the `p` loop is still outermost and
+/// ascending, so the determinism contract holds.
 pub fn matmul_tn_acc(m: usize, k: usize, n: usize, at: &[f32], b: &[f32], out: &mut [f32]) {
-    assert!(
-        at.len() >= k * m,
-        "matmul_tn_acc: at has {} elements",
-        at.len()
-    );
-    check_dims("matmul_tn_acc", m, k, n, m * k, b.len(), out.len());
-    let mut i0 = 0;
-    while i0 < m {
-        let ib = MC_TN.min(m - i0);
-        for p in 0..k {
-            let arow = &at[p * m..p * m + m];
-            let brow = &b[p * n..p * n + n];
-            for r in 0..ib {
-                let av = arow[i0 + r];
-                let dst = &mut out[(i0 + r) * n..(i0 + r) * n + n];
-                for (d, &bv) in dst.iter_mut().zip(brow) {
-                    *d += av * bv;
+    let scheme = resolve_scheme(MatmulLayout::Tn, m, k, n);
+    matmul_tn_acc_with(scheme, m, k, n, at, b, out);
+}
+
+/// [`matmul_tn_acc`] under an explicit scheme (autotuner benching, tests).
+pub fn matmul_tn_acc_with(
+    scheme: TilingScheme,
+    m: usize,
+    k: usize,
+    n: usize,
+    at: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    // at holds k rows of m elements; k*m == m*k, so check_dims covers it.
+    check_dims("matmul_tn_acc", m, k, n, at.len(), b.len(), out.len());
+    let TilingScheme { mc, nc, .. } = scheme.validated();
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = nc.min(n - j0);
+        let mut i0 = 0;
+        while i0 < m {
+            let ib = mc.min(m - i0);
+            for p in 0..k {
+                let arow = &at[p * m..p * m + m];
+                let brow = &b[p * n + j0..p * n + j0 + jb];
+                for r in 0..ib {
+                    let av = arow[i0 + r];
+                    let dst = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + jb];
+                    for (d, &bv) in dst.iter_mut().zip(brow) {
+                        *d += av * bv;
+                    }
                 }
             }
+            i0 += mc;
         }
-        i0 += MC_TN;
+        j0 += nc;
     }
 }
 
@@ -174,7 +639,10 @@ pub fn matmul_tn(m: usize, k: usize, n: usize, at: &[f32], b: &[f32]) -> Vec<f32
 }
 
 /// Textbook triple-loop `A·B` — the naive reference the tiled kernels are
-/// checked (and benchmarked) against. Not used on any hot path.
+/// checked (and benchmarked) against. Not used on any hot path. Accumulates
+/// each element ascending in `p` from zero, which is exactly the tiled
+/// kernels' association on a zeroed `out` — so the tiled family is
+/// *bit-identical* to this reference, not merely close.
 pub fn matmul_ref(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
     let mut out = vec![0.0f32; m * n];
     for i in 0..m {
@@ -319,6 +787,79 @@ mod tests {
         for (o, r) in out.iter().zip(&reference) {
             assert!((o - (r + 1.0)).abs() <= 1e-5);
         }
+    }
+
+    #[test]
+    fn every_supported_register_tile_is_bitwise_vs_reference() {
+        let (m, k, n) = (19, 23, 21);
+        let a = fill(m * k, 9);
+        let b = fill(k * n, 10);
+        let reference = matmul_ref(m, k, n, &a, &b);
+        for &(mr, nr) in SUPPORTED_REGISTER_TILES {
+            for (mc, kc, nc) in [(64, 256, 256), (8, 8, 16)] {
+                let scheme = TilingScheme::new(mr, nr, mc, kc, nc).validated();
+                let mut out = vec![0.0f32; m * n];
+                matmul_nn_acc_with(scheme, m, k, n, &a, &b, &mut out);
+                assert_eq!(
+                    out,
+                    reference,
+                    "nn scheme {} not bitwise vs reference",
+                    scheme.encode()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheme_encode_parse_round_trips() {
+        for &(mr, nr) in SUPPORTED_REGISTER_TILES {
+            let s = TilingScheme::new(mr, nr, 32, 128, 96);
+            assert_eq!(TilingScheme::parse(&s.encode()), Some(s));
+        }
+        // Register-tile-only form picks default cache blocks.
+        let p = TilingScheme::parse("8x8").expect("register-only form");
+        assert_eq!((p.mr, p.nr), (8, 8));
+        assert!(p.mc > 0 && p.kc > 0 && p.nc > 0);
+        for bad in ["", "8", "0x8", "8x0", "axb", "8x8:1x2", "8x8:1x2x3x4"] {
+            assert_eq!(TilingScheme::parse(bad), None, "parse({bad:?})");
+        }
+    }
+
+    #[test]
+    fn validated_snaps_unsupported_register_tiles() {
+        let s = TilingScheme::new(5, 13, 0, 0, 0).validated();
+        assert_eq!((s.mr, s.nr), (4, 16));
+        assert!(s.mc >= s.mr && s.nc >= s.nr && s.kc >= 8);
+        for &(mr, nr) in SUPPORTED_REGISTER_TILES {
+            let kept = TilingScheme::new(mr, nr, 64, 64, 64).validated();
+            assert_eq!((kept.mr, kept.nr), (mr, nr));
+        }
+    }
+
+    #[test]
+    fn forced_scheme_changes_nothing_numerically() {
+        let (m, k, n) = (17, 33, 15);
+        let a = fill(m * k, 21);
+        let b = fill(k * n, 22);
+        let baseline = matmul_nn(m, k, n, &a, &b);
+        force_scheme(Some(TilingScheme::new(8, 4, 16, 32, 32)));
+        let forced = matmul_nn(m, k, n, &a, &b);
+        force_scheme(None);
+        assert_eq!(baseline, forced, "forced scheme changed matmul bits");
+    }
+
+    #[test]
+    fn scratch_pool_round_trips() {
+        let mut a = scratch::take(64);
+        assert_eq!(a.len(), 64);
+        a.fill(3.0);
+        scratch::put(a);
+        let b = scratch::take(16);
+        assert_eq!(b.len(), 16);
+        let c = scratch::take(1024);
+        assert_eq!(c.len(), 1024);
+        scratch::put(b);
+        scratch::put(c);
     }
 
     #[test]

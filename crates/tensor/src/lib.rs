@@ -35,4 +35,5 @@ mod tensor;
 
 pub use backward::Grads;
 pub use graph::{softmax_last_tensor, Graph, GraphPool, Var};
+pub use kernels::{MatmulLayout, TilingScheme};
 pub use tensor::Tensor;

@@ -4,7 +4,10 @@
 //! reference to ≤1e-5 (the matmul family is in fact bit-identical — every
 //! output element accumulates in ascending reduction order).
 
-use cit_tensor::kernels::{matmul_nn, matmul_nt, matmul_ref, matmul_tn};
+use cit_tensor::kernels::{
+    matmul_nn, matmul_nn_acc_with, matmul_nt, matmul_nt_acc_with, matmul_ref, matmul_tn,
+    matmul_tn_acc_with, TilingScheme,
+};
 use cit_tensor::{Graph, Tensor};
 
 /// Deterministic pseudo-random fill (no RNG dependency in this crate).
@@ -81,6 +84,86 @@ fn transposed_variants_match_reference_on_odd_shapes() {
         let diff = max_abs_diff(&tn, &reference);
         assert!(diff <= 1e-5, "matmul_tn {m}x{k}x{n}: diff {diff}");
     }
+}
+
+/// Boundary-crossing shape sweep: every dimension takes values straddling
+/// the register-tile boundary (`tile = 16`, the widest supported `nr`),
+/// for all three layouts, under schemes with deliberately different tile
+/// shapes. Because every scheme accumulates each output element in the
+/// same seed-then-ascending-`p` order, the results must be **bitwise**
+/// equal to the `matmul_ref`-derived reference — not merely close.
+#[test]
+fn shape_sweep_is_bitwise_across_tile_boundaries_and_schemes() {
+    const TILE: usize = 16;
+    let dims = [1, TILE - 1, TILE, TILE + 1, 2 * TILE + 3];
+    let schemes = [
+        TilingScheme::new(4, 16, 64, 256, 256).validated(),
+        TilingScheme::new(8, 8, 16, 32, 32).validated(),
+        TilingScheme::new(2, 8, 8, 8, 8).validated(),
+    ];
+    for &m in &dims {
+        for &k in &dims {
+            for &n in &dims {
+                let a = fill(m * k, (m * 10_007 + k * 101 + n) as u64);
+                let b = fill(k * n, (n * 7_919 + k * 13 + m) as u64);
+                let reference = matmul_ref(m, k, n, &a, &b);
+
+                // Operands for the transposed layouts.
+                let mut bt = vec![0.0f32; n * k];
+                for p in 0..k {
+                    for j in 0..n {
+                        bt[j * k + p] = b[p * n + j];
+                    }
+                }
+                let mut at = vec![0.0f32; k * m];
+                for i in 0..m {
+                    for p in 0..k {
+                        at[p * m + i] = a[i * k + p];
+                    }
+                }
+
+                for scheme in schemes {
+                    let enc = scheme.encode();
+                    let mut nn = vec![0.0f32; m * n];
+                    matmul_nn_acc_with(scheme, m, k, n, &a, &b, &mut nn);
+                    assert_eq!(nn, reference, "nn {m}x{k}x{n} scheme {enc} not bitwise");
+
+                    let mut nt = vec![0.0f32; m * n];
+                    matmul_nt_acc_with(scheme, m, k, n, &a, &bt, &mut nt);
+                    assert_eq!(nt, reference, "nt {m}x{k}x{n} scheme {enc} not bitwise");
+
+                    let mut tn = vec![0.0f32; m * n];
+                    matmul_tn_acc_with(scheme, m, k, n, &at, &b, &mut tn);
+                    assert_eq!(tn, reference, "tn {m}x{k}x{n} scheme {enc} not bitwise");
+                }
+            }
+        }
+    }
+}
+
+/// The `_acc` contract under explicit schemes: accumulating on top of a
+/// non-zero `out` must also be scheme-invariant (the association is
+/// `((out + t₀) + t₁) + …` for every scheme).
+#[test]
+fn accumulation_on_nonzero_out_is_scheme_invariant() {
+    let (m, k, n) = (17, 33, 19);
+    let a = fill(m * k, 3);
+    let b = fill(k * n, 5);
+    let seed: Vec<f32> = fill(m * n, 7);
+    let schemes = [
+        TilingScheme::new(4, 16, 64, 256, 256).validated(),
+        TilingScheme::new(8, 4, 8, 16, 16).validated(),
+    ];
+    let mut outputs = Vec::new();
+    for scheme in schemes {
+        let mut out = seed.clone();
+        matmul_nn_acc_with(scheme, m, k, n, &a, &b, &mut out);
+        outputs.push(out);
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "accumulate-on-top diverged across schemes"
+    );
 }
 
 /// Scalar reference for causal dilated conv1d, shapes `x [n, cin, l]`,
