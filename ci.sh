@@ -75,6 +75,29 @@ jq -e '.levels.c64
   || { echo "overload smoke: c64 level failed its invariants" >&2;
        cat results/bench_serve_overload.json >&2; exit 1; }
 
+echo "== serve fault-probe noise guard (disabled faults vs committed baseline)"
+# The serve hot path now carries fault-injection probes (socket reads/
+# writes, spill I/O, batch completion). With no plan armed they must stay
+# effectively free: the quick c64 run above may not fall below half the
+# committed full-run BENCH_serve.json throughput. Quick-mode numbers are
+# noisy, so the violation is a loud warning by default and fatal only
+# under CI_STRICT_BENCH=1 (same policy as the compute bench guard).
+if [ -s BENCH_serve.json ]; then
+  baseline=$(jq -r '.levels.c64.req_per_s // empty' BENCH_serve.json)
+  current=$(jq -r '.levels.c64.req_per_s // empty' results/bench_serve_overload.json)
+  if [ -n "$baseline" ] && [ -n "$current" ]; then
+    if awk -v c="$current" -v b="$baseline" 'BEGIN { exit !(c < 0.5 * b) }'; then
+      echo "!!! SERVE REGRESSION: c64 at ${current} req/s — below half the committed ${baseline} req/s !!!" >&2
+      if [ "${CI_STRICT_BENCH:-0}" = "1" ]; then
+        echo "CI_STRICT_BENCH=1: failing on serve-path regression" >&2
+        exit 1
+      fi
+    else
+      echo "c64 at ${current} req/s vs committed ${baseline} req/s: within the 0.5x floor"
+    fi
+  fi
+fi
+
 echo "== observability smoke (cit-serve stats + /metrics + cit-top)"
 # Start a server with an admin listener on ephemeral ports, hit the
 # stats op through cit-top and the exposition endpoint over plain HTTP,
@@ -128,5 +151,47 @@ CIT_FAULT_PLAN=crates/faults/plans/chaos_smoke.plan \
 grep -q 'supervisor.rollback' results/table4_run.jsonl || { echo "no supervisor.rollback records" >&2; exit 1; }
 grep -q 'supervisor.recovered' results/table4_run.jsonl || { echo "no supervisor.recovered records" >&2; exit 1; }
 rm -rf results/checkpoints
+
+echo "== chaos-serve smoke (live server under serve_chaos.plan)"
+# A cit-serve instance armed with the serve-plane fault plan — stalled and
+# dying sockets, short flushes, delayed batches against a 25 ms request
+# deadline, torn/corrupt/failed spills — must survive a concurrent client
+# sweep with zero protocol errors: every injected fault surfaces as a
+# typed retryable reject or a survived disruption (reconnect / session
+# reopen), the server shuts down cleanly, and the accounting still
+# balances. The same plan backs crates/serve/tests/chaos.rs.
+rm -rf results/chaos_spill results/cit_serve_chaos_addr.txt
+mkdir -p results/chaos_spill
+CIT_FAULT_PLAN=crates/faults/plans/serve_chaos.plan \
+  target/release/cit-serve --untrained --assets 4 --seed 42 \
+  --spill-dir results/chaos_spill --session-ttl-ms 40 --tick-ms 10 \
+  --request-deadline-ms 25 \
+  --addr-file results/cit_serve_chaos_addr.txt \
+  2> results/chaos_serve.log &
+CHAOS_PID=$!
+for _ in $(seq 1 50); do
+  test -s results/cit_serve_chaos_addr.txt && break
+  sleep 0.1
+done
+CHAOS_ADDR=$(sed -n 's/^addr=//p' results/cit_serve_chaos_addr.txt)
+test -n "$CHAOS_ADDR" || { echo "chaos cit-serve did not report an address" >&2; exit 1; }
+grep -q 'fault injection armed' results/chaos_serve.log \
+  || { echo "chaos cit-serve did not arm the fault plan" >&2; cat results/chaos_serve.log >&2; exit 1; }
+# servebench --addr runs its clients in resilient mode: it exits nonzero on
+# any protocol error, so injected faults may only show up as typed rejects
+# or survived disruptions.
+timeout 300 cargo run --release -q -p cit-bench --bin servebench -- \
+  --quick --clients 8 --addr "$CHAOS_ADDR" --out results/bench_serve_chaos.json
+jq -e '.levels.c8
+       | (.offered == .requests + .rejects)
+         and (.connect_errors == 0)
+         and (.protocol_errors == 0)
+         and (.disruptions >= 1)' \
+  results/bench_serve_chaos.json >/dev/null \
+  || { echo "chaos-serve smoke: c8 level failed its invariants" >&2;
+       cat results/bench_serve_chaos.json >&2; exit 1; }
+printf '{"op":"shutdown"}\n' | timeout 10 bash -c "exec 3<>/dev/tcp/${CHAOS_ADDR%:*}/${CHAOS_ADDR##*:}; cat >&3; head -c1 <&3 >/dev/null" || true
+wait "$CHAOS_PID" || { echo "chaos cit-serve exited uncleanly" >&2; exit 1; }
+rm -rf results/chaos_spill results/cit_serve_chaos_addr.txt
 
 echo "CI gate passed."

@@ -3,23 +3,30 @@
 //! TCP connections — 1/4/16 clients inside capacity plus 64/256/1024
 //! clients of sustained overload (offered load above the bounded
 //! decision queue's capacity). Connections stay open for a whole level;
-//! every client counts its typed `overloaded` rejects (retried after a
-//! 1 ms backoff) and connect failures, so the report is honest about
-//! what the server refused, not just what it answered. Reports
-//! p50/p95/p99 answered-request latency, answered req/s and the
-//! server's own trailing-window quantiles per level, writing the
-//! machine-readable summary to `BENCH_serve.json` at the repo root
-//! (alongside `BENCH_compute.json`).
+//! every client counts its typed retryable rejects (`overloaded` and
+//! `deadline_exceeded`, retried with jittered exponential backoff so a
+//! refusing server is not hammered in lockstep) and connect failures, so
+//! the report is honest about what the server refused, not just what it
+//! answered. Reports p50/p95/p99 answered-request latency, answered
+//! req/s and the server's own trailing-window quantiles per level,
+//! writing the machine-readable summary to `BENCH_serve.json` at the
+//! repo root (alongside `BENCH_compute.json`).
 //!
-//! Usage: `servebench [--quick] [--seed <u64>] [--clients <N>] [--out <PATH>]`
-//! — `--quick` shrinks the request counts to CI-smoke size, `--clients`
-//! replaces the default sweep with a single level (the CI overload
-//! smoke runs `--clients 64`), `--out` redirects the JSON report.
+//! Usage: `servebench [--quick] [--seed <u64>] [--clients <N>]
+//! [--addr <HOST:PORT>] [--out <PATH>]` — `--quick` shrinks the request
+//! counts to CI-smoke size, `--clients` replaces the default sweep with
+//! a single level (the CI overload smoke runs `--clients 64`), `--out`
+//! redirects the JSON report. `--addr` drives an **externally started**
+//! server (e.g. `cit-serve` under a `CIT_FAULT_PLAN` chaos plan) instead
+//! of spawning one in-process; clients then run in resilient mode —
+//! reconnecting after dropped connections and reopening sessions the
+//! server reports as `session_lost` — so injected faults show up in the
+//! disruption counters, never as protocol errors.
 
 use cit_bench::out_dir;
 use cit_core::{CitConfig, CrossInsightTrader, DecisionModel};
 use cit_market::{AssetPanel, Feature, SynthConfig};
-use cit_serve::{Client, ErrorKind, Request, ServeConfig, Server};
+use cit_serve::{Client, ErrorKind, Request, RetryPolicy, ServeConfig, Server};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -31,15 +38,19 @@ struct Level {
     answered: usize,
     /// Requests offered = answered + rejects (excludes failed connects).
     offered: usize,
-    /// Typed `overloaded` rejects — the backpressure signal under
-    /// sustained offered load above capacity.
+    /// Typed retryable rejects (`overloaded`, `deadline_exceeded`) — the
+    /// load-shedding signal under sustained offered load above capacity.
     rejects: usize,
-    /// Clients that could not establish (or lost) their connection.
+    /// Clients that could not establish (or permanently lost) their
+    /// connection.
     connect_errors: usize,
-    /// Anything that is neither an answer nor a typed `overloaded`
-    /// reject: I/O failures mid-stream, malformed responses, unexpected
-    /// error kinds. Must stay zero — rejects are the only sanctioned
-    /// failure mode.
+    /// Reconnects + session reopens survived in resilient (`--addr`)
+    /// mode — how often injected faults actually disrupted a client.
+    disruptions: usize,
+    /// Anything that is neither an answer, a typed retryable reject nor
+    /// a survived disruption: I/O failures mid-stream in non-resilient
+    /// mode, malformed responses, unexpected error kinds. Must stay
+    /// zero — everything else is a sanctioned failure mode.
     protocol_errors: usize,
     p50_us: f64,
     p95_us: f64,
@@ -77,20 +88,94 @@ struct ClientOutcome {
     latencies: Vec<f64>,
     rejects: usize,
     connect_error: bool,
+    /// Connections re-dialled after the server dropped ours (resilient
+    /// mode only).
+    reconnects: usize,
+    /// Sessions reopened after a typed `session_lost` (resilient mode
+    /// only).
+    reopens: usize,
     protocol_errors: usize,
     /// Detail of the first protocol error, for the failure report.
     first_error: Option<String>,
 }
 
+/// Most disruptions (reconnects + reopens) one client absorbs before
+/// giving up — a server that keeps killing us is a failure, not chaos.
+const MAX_DISRUPTIONS: usize = 16;
+
+/// Opens (or re-opens) the client's session through backpressure.
+/// Returns `false` on a terminal failure (already recorded in `out`).
+fn open_session(
+    c: &mut Client,
+    addr: std::net::SocketAddr,
+    session: &str,
+    panel: &AssetPanel,
+    out: &mut ClientOutcome,
+    policy: &mut RetryPolicy,
+    resilient: bool,
+) -> bool {
+    let history = panel.test_start();
+    let mut attempt = 0u32;
+    loop {
+        match c.call(&Request::Open {
+            session: session.to_string(),
+            prices: rows(panel, 0, history),
+        }) {
+            Ok(r) if r.ok() => return true,
+            Ok(r) if r.error_kind().is_some_and(ErrorKind::is_retryable) => {
+                out.rejects += 1;
+                std::thread::sleep(policy.backoff(attempt));
+                attempt = (attempt + 1).min(8);
+            }
+            Ok(r) if resilient && r.error_kind() == Some(ErrorKind::SessionExists) => {
+                // Leftover from an earlier run against this long-lived
+                // server (live or spilled): clear it and try again.
+                let _ = c.call(&Request::Close {
+                    session: session.to_string(),
+                });
+            }
+            Ok(r) => {
+                out.protocol_errors += 1;
+                out.first_error = Some(format!("open: {:?}", r.json().render()));
+                return false;
+            }
+            Err(e) => {
+                if resilient && out.reconnects + out.reopens < MAX_DISRUPTIONS {
+                    out.reconnects += 1;
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt = (attempt + 1).min(8);
+                    match Client::connect(addr) {
+                        Ok(fresh) => *c = fresh,
+                        Err(_) => {
+                            out.connect_error = true;
+                            return false;
+                        }
+                    }
+                    continue;
+                }
+                out.protocol_errors += 1;
+                out.first_error = Some(format!("open: io error {e}"));
+                return false;
+            }
+        }
+    }
+}
+
 /// Runs one client: opens a session (retrying through backpressure),
-/// then issues `per_client` decides over one long-lived connection,
-/// retrying each `overloaded` reject after a short backoff so offered
-/// load stays above capacity for the whole level.
+/// then issues `per_client` decides over one long-lived connection.
+/// Retryable rejects are retried after a jittered exponential backoff
+/// (decorrelated per client by seed) so a refusing server sees offered
+/// load, not a synchronized 1 ms-period hammer. In resilient mode
+/// (`--addr` against a chaos server) a dropped connection is re-dialled
+/// and a `session_lost` session is reopened, bounded by
+/// [`MAX_DISRUPTIONS`].
 fn run_client(
     addr: std::net::SocketAddr,
     w: usize,
     panel: &AssetPanel,
     per_client: usize,
+    session_tag: &str,
+    resilient: bool,
 ) -> ClientOutcome {
     let mut out = ClientOutcome::default();
     let mut c = match Client::connect(addr) {
@@ -101,33 +186,23 @@ fn run_client(
         }
     };
     let history = panel.test_start();
-    let session = format!("bench{w}");
-    // Open through backpressure: a rejected open is retried, anything
-    // else unexpected is a protocol error.
-    loop {
-        match c.call(&Request::Open {
-            session: session.clone(),
-            prices: rows(panel, 0, history),
-        }) {
-            Ok(r) if r.ok() => break,
-            Ok(r) if r.error_kind() == Some(ErrorKind::Overloaded) => {
-                out.rejects += 1;
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Ok(r) => {
-                out.protocol_errors += 1;
-                out.first_error = Some(format!("open: {:?}", r.json().render()));
-                return out;
-            }
-            Err(e) => {
-                out.protocol_errors += 1;
-                out.first_error = Some(format!("open: io error {e}"));
-                return out;
-            }
-        }
+    let session = format!("bench{session_tag}{w}");
+    // Backoff source only; retry loops below do their own accounting.
+    let mut policy = RetryPolicy::new(1).seeded(0xbe7c4 ^ w as u64);
+    if !open_session(
+        &mut c,
+        addr,
+        &session,
+        panel,
+        &mut out,
+        &mut policy,
+        resilient,
+    ) {
+        return out;
     }
     out.latencies.reserve(per_client);
     let mut r = 0;
+    let mut attempt = 0u32;
     while r < per_client {
         // Walk forward while panel days last, then keep deciding on the
         // final day (same compute cost).
@@ -146,12 +221,37 @@ fn run_client(
             Ok(reply) if reply.ok() => {
                 out.latencies.push(t0.elapsed().as_secs_f64());
                 r += 1;
+                attempt = 0;
             }
-            Ok(reply) if reply.error_kind() == Some(ErrorKind::Overloaded) => {
-                // Typed backpressure: back off briefly, retry the same
-                // day so the decision stream stays intact.
+            Ok(reply) if reply.error_kind().is_some_and(ErrorKind::is_retryable) => {
+                // Typed load shedding (queue full or deadline blown):
+                // back off with jitter, retry the same day so the
+                // decision stream stays intact.
                 out.rejects += 1;
-                std::thread::sleep(Duration::from_millis(1));
+                std::thread::sleep(policy.backoff(attempt));
+                attempt = (attempt + 1).min(8);
+            }
+            Ok(reply)
+                if resilient
+                    && reply.error_kind() == Some(ErrorKind::SessionLost)
+                    && out.reconnects + out.reopens < MAX_DISRUPTIONS =>
+            {
+                // The server quarantined our spilled session (injected
+                // disk fault): its state is gone by contract, so reopen
+                // and continue the run.
+                out.reopens += 1;
+                if !open_session(
+                    &mut c,
+                    addr,
+                    &session,
+                    panel,
+                    &mut out,
+                    &mut policy,
+                    resilient,
+                ) {
+                    return out;
+                }
+                attempt = 0;
             }
             Ok(reply) => {
                 out.protocol_errors += 1;
@@ -159,11 +259,32 @@ fn run_client(
                 return out;
             }
             Err(e) => {
+                if resilient && out.reconnects + out.reopens < MAX_DISRUPTIONS {
+                    // Injected socket fault killed the connection; the
+                    // session itself survives server-side. Re-dial and
+                    // resume (the in-flight decide may or may not have
+                    // been applied — for a load harness either is fine).
+                    out.reconnects += 1;
+                    match Client::connect(addr) {
+                        Ok(fresh) => c = fresh,
+                        Err(_) => {
+                            out.connect_error = true;
+                            return out;
+                        }
+                    }
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt = (attempt + 1).min(8);
+                    continue;
+                }
                 out.protocol_errors += 1;
                 out.first_error = Some(format!("decide {r}: io error {e}"));
                 return out;
             }
         }
+    }
+    if resilient {
+        // Leave the long-lived external server clean for the next run.
+        let _ = c.call(&Request::Close { session });
     }
     out
 }
@@ -174,6 +295,7 @@ fn main() {
     let mut seed = 42u64;
     let mut clients_override: Option<usize> = None;
     let mut out_path = "BENCH_serve.json".to_string();
+    let mut external: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -189,12 +311,18 @@ fn main() {
                 clients_override = Some(args[i + 1].parse().expect("--clients takes a usize"));
                 i += 2;
             }
+            "--addr" if i + 1 < args.len() => {
+                external = Some(args[i + 1].clone());
+                i += 2;
+            }
             "--out" if i + 1 < args.len() => {
                 out_path = args[i + 1].clone();
                 i += 2;
             }
             other => {
-                panic!("unknown argument {other}; supported: --quick, --seed, --clients, --out")
+                panic!(
+                    "unknown argument {other}; supported: --quick, --seed, --clients, --addr, --out"
+                )
             }
         }
     }
@@ -204,8 +332,6 @@ fn main() {
         None => vec![1, 4, 16, 64, 256, 1024],
     };
 
-    // Train a small checkpoint so the server exercises the real
-    // load-from-disk path.
     let panel = SynthConfig {
         num_assets: 4,
         num_days: 260,
@@ -215,26 +341,58 @@ fn main() {
     }
     .generate();
     let cfg = CitConfig::smoke(seed);
-    eprintln!("servebench: training smoke checkpoint (seed {seed})...");
-    let mut trader = CrossInsightTrader::new(&panel, cfg);
-    trader.train(&panel);
-    let ckpt_dir = out_dir().join("checkpoints");
-    std::fs::create_dir_all(&ckpt_dir).expect("create results/checkpoints");
-    let ckpt = ckpt_dir.join(format!("servebench_s{seed}.cit"));
-    trader.save(&ckpt).expect("save checkpoint");
-    drop(trader);
+
+    // In-process mode trains a small checkpoint so the server exercises
+    // the real load-from-disk path; `--addr` mode drives a server someone
+    // else started (the chaos smoke starts it under a fault plan) and
+    // must match its checkpoint's asset count and seed.
+    let ckpt = if external.is_none() {
+        eprintln!("servebench: training smoke checkpoint (seed {seed})...");
+        let mut trader = CrossInsightTrader::new(&panel, cfg);
+        trader.train(&panel);
+        let ckpt_dir = out_dir().join("checkpoints");
+        std::fs::create_dir_all(&ckpt_dir).expect("create results/checkpoints");
+        let ckpt = ckpt_dir.join(format!("servebench_s{seed}.cit"));
+        trader.save(&ckpt).expect("save checkpoint");
+        Some(ckpt)
+    } else {
+        None
+    };
+    let resilient = external.is_some();
 
     let mut measured = Vec::new();
-    for &clients in &levels {
-        let model = DecisionModel::from_checkpoint(&ckpt, cfg, panel.num_assets())
-            .expect("load checkpoint");
-        let server = Server::start(model, ServeConfig::default()).expect("start server");
-        let addr = server.addr();
+    for (level_idx, &clients) in levels.iter().enumerate() {
+        // Unique session namespace per level (and per process, so reruns
+        // against a long-lived external server never collide).
+        let session_tag = format!("_{}_{level_idx}_", std::process::id());
+        let (server, addr) = match &external {
+            Some(a) => {
+                use std::net::ToSocketAddrs;
+                let addr = a
+                    .to_socket_addrs()
+                    .expect("--addr resolves")
+                    .next()
+                    .expect("--addr yields an address");
+                (None, addr)
+            }
+            None => {
+                let model = DecisionModel::from_checkpoint(
+                    ckpt.as_ref().expect("checkpoint in in-process mode"),
+                    cfg,
+                    panel.num_assets(),
+                )
+                .expect("load checkpoint");
+                let server = Server::start(model, ServeConfig::default()).expect("start server");
+                let addr = server.addr();
+                (Some(server), addr)
+            }
+        };
         let started = Instant::now();
         let workers: Vec<_> = (0..clients)
             .map(|w| {
                 let panel = panel.clone();
-                std::thread::spawn(move || run_client(addr, w, &panel, per_client))
+                let tag = session_tag.clone();
+                std::thread::spawn(move || run_client(addr, w, &panel, per_client, &tag, resilient))
             })
             .collect();
         let outcomes: Vec<ClientOutcome> = workers
@@ -245,9 +403,11 @@ fn main() {
         // The server's own view over the wire, before shutting it down:
         // the trailing 10 s window covers (at least the tail of) the run.
         let srv = {
-            let mut c = Client::connect(addr).expect("connect for stats");
+            let mut c =
+                Client::connect_timeout(addr, Duration::from_secs(5)).expect("connect for stats");
+            let mut policy = RetryPolicy::new(5).seeded(1).with_io_retries();
             let stats = c
-                .call(&Request::Stats)
+                .call_retry(&Request::Stats, &mut policy)
                 .expect("stats request")
                 .stats()
                 .expect("typed stats payload");
@@ -257,7 +417,9 @@ fn main() {
                 .find(|w| w.secs == 10)
                 .expect("10s window digest")
         };
-        server.shutdown();
+        if let Some(server) = server {
+            server.shutdown();
+        }
         let mut all: Vec<f64> = outcomes
             .iter()
             .flat_map(|o| o.latencies.iter().copied())
@@ -265,6 +427,7 @@ fn main() {
         all.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
         let rejects: usize = outcomes.iter().map(|o| o.rejects).sum();
         let connect_errors = outcomes.iter().filter(|o| o.connect_error).count();
+        let disruptions: usize = outcomes.iter().map(|o| o.reconnects + o.reopens).sum();
         let protocol_errors: usize = outcomes.iter().map(|o| o.protocol_errors).sum();
         for e in outcomes.iter().filter_map(|o| o.first_error.as_deref()) {
             eprintln!("servebench: protocol error at {clients} clients: {e}");
@@ -275,6 +438,7 @@ fn main() {
             offered: all.len() + rejects,
             rejects,
             connect_errors,
+            disruptions,
             protocol_errors,
             p50_us: quantile_us(&all, 0.50),
             p95_us: quantile_us(&all, 0.95),
@@ -283,9 +447,9 @@ fn main() {
             srv,
         };
         println!(
-            "clients {:>4}: {:>6} answered / {:>6} offered  ({} rejects, {} connect errs, {} protocol errs)",
+            "clients {:>4}: {:>6} answered / {:>6} offered  ({} rejects, {} connect errs, {} disruptions, {} protocol errs)",
             level.clients, level.answered, level.offered, level.rejects, level.connect_errors,
-            level.protocol_errors
+            level.disruptions, level.protocol_errors
         );
         println!(
             "              p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us  {:>8.1} req/s",
@@ -302,15 +466,16 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"cit-serve\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"external\": {},", external.is_some());
     let _ = writeln!(json, "  \"requests_per_client\": {per_client},");
     let _ = writeln!(json, "  \"levels\": {{");
     for (i, l) in measured.iter().enumerate() {
         let comma = if i + 1 < measured.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    \"c{}\": {{ \"clients\": {}, \"requests\": {}, \"offered\": {}, \"rejects\": {}, \"connect_errors\": {}, \"protocol_errors\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.1}, \"server\": {{ \"window_s\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.1} }} }}{comma}",
+            "    \"c{}\": {{ \"clients\": {}, \"requests\": {}, \"offered\": {}, \"rejects\": {}, \"connect_errors\": {}, \"disruptions\": {}, \"protocol_errors\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.1}, \"server\": {{ \"window_s\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"req_per_s\": {:.1} }} }}{comma}",
             l.clients, l.clients, l.answered, l.offered, l.rejects, l.connect_errors,
-            l.protocol_errors, l.p50_us, l.p95_us, l.p99_us, l.req_per_s,
+            l.disruptions, l.protocol_errors, l.p50_us, l.p95_us, l.p99_us, l.req_per_s,
             l.srv.secs, l.srv.requests, l.srv.p50_us, l.srv.p95_us, l.srv.p99_us, l.srv.req_per_s
         );
     }
@@ -318,10 +483,12 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("wrote {out_path}");
-    std::fs::remove_file(&ckpt).ok();
+    if let Some(ckpt) = &ckpt {
+        std::fs::remove_file(ckpt).ok();
+    }
     let total_protocol_errors: usize = measured.iter().map(|l| l.protocol_errors).sum();
     if total_protocol_errors > 0 {
-        eprintln!("servebench: {total_protocol_errors} protocol errors — only typed overloaded rejects are acceptable");
+        eprintln!("servebench: {total_protocol_errors} protocol errors — typed rejects and survived disruptions are the only acceptable failure modes");
         std::process::exit(1);
     }
 }

@@ -217,6 +217,39 @@ pub enum Fault {
         /// Sleep duration in milliseconds.
         millis: u64,
     },
+    /// Impose a `millis` stall at the `at`-th occurrence (1-indexed) of
+    /// the named site — a stalled socket, a slow disk, a delayed batcher
+    /// completion (e.g. `serve.batch.complete`, `serve.sock.read`).
+    Delay {
+        /// Site name the caller consults.
+        site: String,
+        /// 1-indexed occurrence at which to stall.
+        at: u64,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// Truncate the `at`-th write at the named site to its first `bytes`
+    /// bytes — a torn spill file or a short socket write
+    /// (e.g. `serve.spill.truncate`, `serve.sock.write`).
+    PartialWrite {
+        /// Site name the writer consults.
+        site: String,
+        /// 1-indexed occurrence at which to truncate.
+        at: u64,
+        /// Bytes that actually get written.
+        bytes: usize,
+    },
+    /// Flip one byte (XOR `0xff`) at `offset` of the `at`-th write at the
+    /// named site — silent on-disk corruption a checksum must catch
+    /// (e.g. `serve.spill.corrupt`).
+    CorruptWrite {
+        /// Site name the writer consults.
+        site: String,
+        /// 1-indexed occurrence at which to corrupt.
+        at: u64,
+        /// Byte offset to flip (clamped to the payload by the writer).
+        offset: usize,
+    },
 }
 
 /// Errors raised while reading a fault plan.
@@ -294,6 +327,15 @@ impl std::fmt::Display for FaultPlan {
                 Fault::DelayRead { millis } => {
                     let _ = writeln!(out, "delay-read {millis}");
                 }
+                Fault::Delay { site, at, millis } => {
+                    let _ = writeln!(out, "delay {site} {at} {millis}");
+                }
+                Fault::PartialWrite { site, at, bytes } => {
+                    let _ = writeln!(out, "partial-write {site} {at} {bytes}");
+                }
+                Fault::CorruptWrite { site, at, offset } => {
+                    let _ = writeln!(out, "corrupt-write {site} {at} {offset}");
+                }
             }
         }
         f.write_str(&out)
@@ -367,6 +409,21 @@ impl FaultPlan {
                     days: num(1)? as usize,
                 }),
                 "delay-read" => plan.faults.push(Fault::DelayRead { millis: num(1)? }),
+                "delay" => plan.faults.push(Fault::Delay {
+                    site: arg(1)?.to_string(),
+                    at: num(2)?,
+                    millis: num(3)?,
+                }),
+                "partial-write" => plan.faults.push(Fault::PartialWrite {
+                    site: arg(1)?.to_string(),
+                    at: num(2)?,
+                    bytes: num(3)? as usize,
+                }),
+                "corrupt-write" => plan.faults.push(Fault::CorruptWrite {
+                    site: arg(1)?.to_string(),
+                    at: num(2)?,
+                    offset: num(3)? as usize,
+                }),
                 _ => return Err(bad("unknown fault kind")),
             }
         }
@@ -591,6 +648,85 @@ impl FaultInjector {
         None
     }
 
+    /// Site-keyed stall for the named site, keyed by occurrence count
+    /// (every call increments the site's counter). The caller sleeps for
+    /// the returned duration — a stalled socket, slow disk or delayed
+    /// batcher completion. `None` when nothing fires.
+    #[inline]
+    pub fn delay_at(&self, site: &str) -> Option<Duration> {
+        let inner = self.inner.as_deref()?;
+        let count = Self::bump(inner, site);
+        for (idx, fault) in inner.plan.faults.iter().enumerate() {
+            if let Fault::Delay {
+                site: s,
+                at,
+                millis,
+            } = fault
+            {
+                if s == site
+                    && *at == count
+                    && Self::fire(inner, idx, || {
+                        format!("delay {site} stalled {millis} ms at occurrence {count}")
+                    })
+                {
+                    return Some(Duration::from_millis(*millis));
+                }
+            }
+        }
+        None
+    }
+
+    /// Byte cap for a truncated write at the named site, keyed by
+    /// occurrence count. The writer persists only the first `n` bytes —
+    /// a torn spill file or a short socket write. `None` when the write
+    /// should complete normally.
+    #[inline]
+    pub fn partial_write(&self, site: &str) -> Option<usize> {
+        let inner = self.inner.as_deref()?;
+        let count = Self::bump(inner, site);
+        for (idx, fault) in inner.plan.faults.iter().enumerate() {
+            if let Fault::PartialWrite { site: s, at, bytes } = fault {
+                if s == site
+                    && *at == count
+                    && Self::fire(inner, idx, || {
+                        format!("write {site} truncated to {bytes} bytes at occurrence {count}")
+                    })
+                {
+                    return Some(*bytes);
+                }
+            }
+        }
+        None
+    }
+
+    /// Byte offset to flip (XOR `0xff`) in a write at the named site,
+    /// keyed by occurrence count — silent corruption for checksum tests.
+    /// The writer clamps the offset to the payload length. `None` when
+    /// the write should proceed untouched.
+    #[inline]
+    pub fn corrupt_write(&self, site: &str) -> Option<usize> {
+        let inner = self.inner.as_deref()?;
+        let count = Self::bump(inner, site);
+        for (idx, fault) in inner.plan.faults.iter().enumerate() {
+            if let Fault::CorruptWrite {
+                site: s,
+                at,
+                offset,
+            } = fault
+            {
+                if s == site
+                    && *at == count
+                    && Self::fire(inner, idx, || {
+                        format!("write {site} corrupted at byte {offset}, occurrence {count}")
+                    })
+                {
+                    return Some(*offset);
+                }
+            }
+        }
+        None
+    }
+
     /// Human-readable log of every fault fired so far.
     pub fn fired_log(&self) -> Vec<String> {
         match self.inner.as_deref() {
@@ -651,6 +787,21 @@ mod tests {
                 },
                 Fault::TruncateRead { days: 64 },
                 Fault::DelayRead { millis: 1 },
+                Fault::Delay {
+                    site: "serve.batch.complete".into(),
+                    at: 2,
+                    millis: 3,
+                },
+                Fault::PartialWrite {
+                    site: "serve.spill.truncate".into(),
+                    at: 1,
+                    bytes: 40,
+                },
+                Fault::CorruptWrite {
+                    site: "serve.spill.corrupt".into(),
+                    at: 1,
+                    offset: 9,
+                },
             ],
         }
     }
@@ -720,6 +871,23 @@ mod tests {
         assert_eq!(faults.truncate_read(), None);
         assert_eq!(faults.read_delay(), Some(Duration::from_millis(1)));
         assert_eq!(faults.read_delay(), None);
+    }
+
+    #[test]
+    fn serve_plane_faults_fire_at_exact_occurrences() {
+        let faults = FaultInjector::new(sample_plan());
+        assert_eq!(faults.delay_at("serve.batch.complete"), None); // occ 1
+        assert_eq!(
+            faults.delay_at("serve.batch.complete"),
+            Some(Duration::from_millis(3))
+        );
+        assert_eq!(faults.delay_at("serve.batch.complete"), None); // fire-once
+        assert_eq!(faults.partial_write("serve.spill.truncate"), Some(40));
+        assert_eq!(faults.partial_write("serve.spill.truncate"), None);
+        assert_eq!(faults.corrupt_write("serve.spill.corrupt"), Some(9));
+        assert_eq!(faults.corrupt_write("serve.spill.corrupt"), None);
+        // Different sites keep independent counters.
+        assert_eq!(faults.partial_write("serve.sock.write"), None);
     }
 
     #[test]

@@ -99,6 +99,9 @@ impl Drop for ReplyHandle {
 pub(crate) struct Job {
     pub(crate) req: Request,
     pub(crate) reply: ReplyHandle,
+    /// When the reactor enqueued the job — the clock
+    /// [`crate::ServeConfig::request_deadline`] shedding runs against.
+    pub(crate) enqueued: Instant,
     /// Queue-depth occupancy, held only for its drop.
     pub(crate) _depth: DepthGuard,
 }
@@ -155,11 +158,24 @@ fn checkout(
                 return Ok(session);
             }
             Ok(None) => {}
-            Err(e) => {
+            Err(failure) => {
+                // The spilled copy is unusable: damaged bytes are already
+                // quarantined as `*.corrupt` (never deleted — the file is
+                // evidence), and the client gets the one error kind that
+                // means "this session's state is gone, reopen it".
+                if failure.quarantined {
+                    state.note_quarantined(1);
+                    state.telemetry.emit(
+                        cit_telemetry::Record::new("serve.spill_quarantined").with("session", name),
+                    );
+                }
                 return Err(Response::error(
-                    ErrorKind::BadData,
-                    format!("session {name:?} could not be restored from spill: {e}"),
-                ))
+                    ErrorKind::SessionLost,
+                    format!(
+                        "session {name:?} could not be restored: {}",
+                        failure.message
+                    ),
+                ));
             }
         }
     }
@@ -172,7 +188,35 @@ fn checkout(
 /// Executes one batch: opens first (so a same-batch decide can see the
 /// session), then all decides grouped by session, then closes, then any
 /// debug stalls.
-pub(crate) fn process_batch(state: &ServerState, batch: Vec<Job>) {
+pub(crate) fn process_batch(state: &ServerState, mut batch: Vec<Job>) {
+    // Injected batch stall (`serve.batch.complete`): sleeps *before* the
+    // deadline check, so a delayed batch sheds its own now-stale jobs —
+    // the combination chaos tests exercise.
+    if let Some(d) = state.cfg.faults.delay_at("serve.batch.complete") {
+        std::thread::sleep(d);
+    }
+    // Deadline shedding: a job that already overstayed its budget in the
+    // queue is answered with a typed retryable reject instead of being
+    // computed. Shedding happens before any session state is touched, so
+    // a shed request is always safe to retry.
+    if let Some(deadline) = state.cfg.request_deadline {
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for job in batch {
+            if now.duration_since(job.enqueued) > deadline {
+                job.respond(Response::error(
+                    ErrorKind::DeadlineExceeded,
+                    format!("request waited past its {deadline:?} deadline"),
+                ));
+            } else {
+                live.push(job);
+            }
+        }
+        batch = live;
+        if batch.is_empty() {
+            return;
+        }
+    }
     state.batch_size.record(batch.len() as f64);
     let model = state.model.read().expect("model lock poisoned").clone();
 

@@ -5,12 +5,19 @@
 //!           [--assets N] [--seed S] [--full-config] [--debug-ops]
 //!           [--queue-cap N] [--addr-file PATH]
 //!           [--spill-dir DIR] [--session-ttl-ms N] [--tick-ms N]
+//!           [--request-deadline-ms N]
 //! ```
 //!
 //! Prints a single `READY addr=... admin=...` line once both listeners
 //! are bound (and optionally writes the same addresses to `--addr-file`
 //! so scripts can pick an ephemeral port with `--addr 127.0.0.1:0`),
 //! then blocks until a client sends the `shutdown` op.
+//!
+//! `--request-deadline-ms` sheds queued requests that waited longer than
+//! the budget with a typed `deadline_exceeded` reject. Setting the
+//! `CIT_FAULT_PLAN` environment variable to a `cit-faults` plan path
+//! arms serve-plane fault injection (socket/spill/reload faults) for
+//! chaos testing — see `crates/faults/plans/serve_chaos.plan`.
 
 use cit_core::{CitConfig, DecisionModel};
 use cit_serve::{ServeConfig, Server};
@@ -18,7 +25,7 @@ use std::io::Write;
 use std::process::exit;
 use std::time::Duration;
 
-const USAGE: &str = "usage: cit-serve [--addr HOST:PORT] [--admin HOST:PORT]\n                 [--checkpoint PATH | --untrained] [--assets N] [--seed S]\n                 [--full-config] [--debug-ops] [--queue-cap N] [--addr-file PATH]\n                 [--spill-dir DIR] [--session-ttl-ms N] [--tick-ms N]";
+const USAGE: &str = "usage: cit-serve [--addr HOST:PORT] [--admin HOST:PORT]\n                 [--checkpoint PATH | --untrained] [--assets N] [--seed S]\n                 [--full-config] [--debug-ops] [--queue-cap N] [--addr-file PATH]\n                 [--spill-dir DIR] [--session-ttl-ms N] [--tick-ms N]\n                 [--request-deadline-ms N]   (env: CIT_FAULT_PLAN=<plan>)";
 
 struct Args {
     addr: String,
@@ -33,6 +40,7 @@ struct Args {
     spill_dir: Option<String>,
     session_ttl_ms: Option<u64>,
     tick_ms: Option<u64>,
+    request_deadline_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         spill_dir: None,
         session_ttl_ms: None,
         tick_ms: None,
+        request_deadline_ms: None,
     };
     let mut i = 1;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -93,6 +102,13 @@ fn parse_args() -> Result<Args, String> {
                     value(&mut i)?
                         .parse()
                         .map_err(|e| format!("--tick-ms: {e}"))?,
+                )
+            }
+            "--request-deadline-ms" => {
+                args.request_deadline_ms = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--request-deadline-ms: {e}"))?,
                 )
             }
             "--help" | "-h" => {
@@ -165,6 +181,26 @@ fn main() {
     }
     if let Some(tick) = args.tick_ms {
         serve_cfg.tick_ms = tick;
+    }
+    if let Some(deadline) = args.request_deadline_ms {
+        serve_cfg.request_deadline = Some(Duration::from_millis(deadline));
+    }
+    // Arm serve-plane fault injection when CIT_FAULT_PLAN names a plan;
+    // the default is the zero-cost disabled injector.
+    match cit_faults::FaultInjector::from_env() {
+        Ok(faults) => {
+            if faults.is_enabled() {
+                eprintln!(
+                    "cit-serve: fault injection armed (seed {:?})",
+                    faults.seed()
+                );
+            }
+            serve_cfg.faults = faults;
+        }
+        Err(e) => {
+            eprintln!("cit-serve: bad CIT_FAULT_PLAN: {e}");
+            exit(2);
+        }
     }
 
     let server = match Server::start(model, serve_cfg) {

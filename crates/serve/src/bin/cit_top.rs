@@ -118,11 +118,12 @@ fn render(stats: &ServerStats) -> String {
         up, stats.checkpoint, stats.reloads
     ));
     out.push_str(&format!(
-        "conns {}  |  sessions {} (evicted {}, restored {})  |  queue {}/{}  |  mean batch {:.2}\n",
+        "conns {}  |  sessions {} (evicted {}, restored {}, quarantined {})  |  queue {}/{}  |  mean batch {:.2}\n",
         stats.connections,
         stats.sessions,
         stats.sessions_evicted,
         stats.sessions_restored,
+        stats.sessions_quarantined,
         stats.queue_depth,
         stats.queue_cap,
         stats.batch_mean

@@ -5,13 +5,119 @@
 use crate::json::Json;
 use crate::protocol::{ErrorKind, Request, ServerStats};
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A blocking connection speaking one request/response pair at a time.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The resolved peer address, kept for transparent reconnects in
+    /// [`Client::call_retry`].
+    addr: Option<SocketAddr>,
+}
+
+/// Jittered exponential backoff for requests the server answered with a
+/// retryable reject (`overloaded`, `deadline_exceeded` — see
+/// [`ErrorKind::is_retryable`]: both guarantee the request touched no
+/// session state, so resending is always safe). Optionally also retries
+/// transient transport errors, but only for requests that are idempotent
+/// at the protocol level (`info`, `stats`) — a `decide` lost mid-wire may
+/// or may not have been applied, and blindly resending it would append
+/// its prices twice.
+///
+/// The backoff for attempt *n* is drawn uniformly from
+/// `[base·2ⁿ/2, base·2ⁿ]` (capped at `cap`) off a deterministic
+/// seeded generator, so concurrent clients decorrelate instead of
+/// re-colliding in lockstep, and tests replay exact schedules.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per call, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound any single backoff is clamped to.
+    pub cap: Duration,
+    /// Also retry transient transport errors (connection reset/closed),
+    /// reconnecting first. Applied to idempotent requests only.
+    pub retry_io: bool,
+    /// Retries taken across every call using this policy — observability
+    /// for harnesses like `servebench`.
+    pub retries_taken: u64,
+    state: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` attempts, 1 ms initial backoff,
+    /// 100 ms cap, no transport retries, and a fixed jitter seed.
+    pub fn new(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+            retry_io: false,
+            retries_taken: 0,
+            state: 0x5eed_c170 ^ 0xA076_1D64_78BD_642F,
+        }
+    }
+
+    /// Reseeds the jitter stream (give every concurrent client its own
+    /// seed so their backoffs decorrelate deterministically).
+    pub fn seeded(mut self, seed: u64) -> RetryPolicy {
+        self.state = seed ^ 0xA076_1D64_78BD_642F;
+        self
+    }
+
+    /// Enables reconnect-and-retry on transient transport errors for
+    /// idempotent requests.
+    pub fn with_io_retries(mut self) -> RetryPolicy {
+        self.retry_io = true;
+        self
+    }
+
+    /// splitmix64 step — a tiny deterministic generator, no dependencies.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The jittered backoff for retry number `attempt` (0-based).
+    pub fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap)
+            .max(Duration::from_micros(1));
+        // Uniform in [exp/2, exp]: full jitter re-collides rarely, zero
+        // jitter re-collides always; half-open is the usual compromise.
+        let frac = 0.5 + 0.5 * (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(frac)
+    }
+}
+
+/// Transport errors worth a reconnect: the peer vanished mid-exchange.
+/// `InvalidData` (a malformed response) is *not* transient — retrying a
+/// protocol bug just hides it.
+fn transient_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Requests safe to resend when the transport died mid-exchange: they
+/// mutate nothing, so at-least-once delivery is indistinguishable from
+/// exactly-once.
+fn idempotent(req: &Request) -> bool {
+    matches!(req, Request::Info | Request::Stats)
 }
 
 /// A client-side view of a response line: the raw JSON plus accessors
@@ -71,8 +177,13 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true)?;
+        let peer = writer.peer_addr().ok();
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer })
+        Ok(Client {
+            reader,
+            writer,
+            addr: peer,
+        })
     }
 
     /// Connects with a deadline on both the TCP connect and every later
@@ -87,7 +198,23 @@ impl Client {
         writer.set_nodelay(true)?;
         writer.set_read_timeout(Some(timeout))?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer })
+        Ok(Client {
+            reader,
+            writer,
+            addr: Some(addr),
+        })
+    }
+
+    /// Drops the current socket and dials the same address again. Errors
+    /// when the original address is unknown (connected through a resolver
+    /// that yielded none) or the server is unreachable.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let addr = self.addr.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::AddrNotAvailable, "peer address unknown")
+        })?;
+        *self = Client::connect(addr)?;
+        self.addr = Some(addr);
+        Ok(())
     }
 
     /// Sends one raw line and reads one response line.
@@ -115,5 +242,80 @@ impl Client {
     /// Sends a typed [`Request`].
     pub fn call(&mut self, req: &Request) -> io::Result<Reply> {
         self.call_line(&req.render())
+    }
+
+    /// [`Client::call`] with retries under `policy`.
+    ///
+    /// Retryable rejects (`overloaded`, `deadline_exceeded`) are retried
+    /// for every request kind — the server guarantees it answered them
+    /// before touching any session state. Transport errors are retried
+    /// (after a reconnect) only when the policy opted in *and* the
+    /// request is idempotent. Everything else — typed non-retryable
+    /// errors, exhausted attempts — is returned as-is.
+    pub fn call_retry(&mut self, req: &Request, policy: &mut RetryPolicy) -> io::Result<Reply> {
+        let mut attempt = 0u32;
+        loop {
+            match self.call(req) {
+                Ok(reply) => {
+                    let retryable =
+                        !reply.ok() && reply.error_kind().is_some_and(ErrorKind::is_retryable);
+                    if retryable && attempt + 1 < policy.max_attempts {
+                        std::thread::sleep(policy.backoff(attempt));
+                        policy.retries_taken += 1;
+                        attempt += 1;
+                        continue;
+                    }
+                    return Ok(reply);
+                }
+                Err(e) => {
+                    let worth_it = policy.retry_io
+                        && idempotent(req)
+                        && transient_io(&e)
+                        && attempt + 1 < policy.max_attempts;
+                    if !worth_it {
+                        return Err(e);
+                    }
+                    std::thread::sleep(policy.backoff(attempt));
+                    policy.retries_taken += 1;
+                    attempt += 1;
+                    self.reconnect()?;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_jittered_capped_and_deterministic() {
+        let mut a = RetryPolicy::new(8).seeded(7);
+        let mut b = RetryPolicy::new(8).seeded(7);
+        for attempt in 0..8 {
+            let d = a.backoff(attempt);
+            // Same seed, same schedule.
+            assert_eq!(d, b.backoff(attempt));
+            // Within [base/2 · 2ⁿ, cap].
+            assert!(d <= a.cap);
+            assert!(d >= a.base.saturating_mul(1 << attempt).min(a.cap) / 2);
+        }
+        // Different seeds decorrelate.
+        let mut c = RetryPolicy::new(8).seeded(8);
+        assert_ne!(c.backoff(3), RetryPolicy::new(8).seeded(7).backoff(3));
+    }
+
+    #[test]
+    fn only_control_plane_requests_are_idempotent() {
+        assert!(idempotent(&Request::Info));
+        assert!(idempotent(&Request::Stats));
+        assert!(!idempotent(&Request::Decide {
+            session: "s".into(),
+            prices: vec![],
+        }));
+        assert!(!idempotent(&Request::Close {
+            session: "s".into()
+        }));
     }
 }

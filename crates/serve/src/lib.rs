@@ -62,7 +62,7 @@ mod server;
 mod session;
 mod spill;
 
-pub use client::{Client, Reply};
+pub use client::{Client, Reply, RetryPolicy};
 pub use protocol::{ErrorKind, OpStats, Request, Response, ServerStats, WindowStats};
 pub use server::{ServeConfig, Server};
 pub use session::{Session, SessionStore};

@@ -19,8 +19,12 @@
 //! | `sleep` | `ms` (debug builds of the server only) | `ms` |
 //!
 //! Failures: `{"ok":false,"kind":"<kind>","error":"<message>"}` with
-//! [`ErrorKind`] naming the reject class (`overloaded` is the
-//! backpressure signal).
+//! [`ErrorKind`] naming the reject class. `overloaded` is the
+//! backpressure signal and `deadline_exceeded` the load-shedding one —
+//! both guarantee the request touched no session state, so retrying
+//! (with backoff, see [`crate::RetryPolicy`]) is always safe;
+//! `session_lost` means the session's spilled state was corrupt on disk
+//! and has been quarantined.
 
 use crate::json::Json;
 
@@ -83,12 +87,42 @@ pub enum ErrorKind {
     ShuttingDown,
     /// Invalid price data (wrong row width, non-positive, non-finite).
     BadData,
+    /// The session's spilled state was corrupt or truncated on disk; the
+    /// file has been quarantined (`*.corrupt`) and the session is gone.
+    /// Re-`open` with fresh history to continue.
+    SessionLost,
+    /// The request sat in the batcher queue past
+    /// [`crate::ServeConfig::request_deadline`] and was shed instead of
+    /// being answered stale — retry, like `overloaded`.
+    DeadlineExceeded,
 }
 
 impl ErrorKind {
+    /// Number of reject classes — the length every per-kind stats table
+    /// must have.
+    pub const COUNT: usize = 9;
+
+    /// The kind's position in [`ErrorKind::ALL`] (and in the server's
+    /// per-kind error counters). The match is exhaustive on purpose:
+    /// adding a kind without extending [`ErrorKind::ALL`] (and `COUNT`)
+    /// fails to compile via the const assertions below.
+    pub const fn index(self) -> usize {
+        match self {
+            ErrorKind::BadRequest => 0,
+            ErrorKind::Overloaded => 1,
+            ErrorKind::UnknownSession => 2,
+            ErrorKind::SessionExists => 3,
+            ErrorKind::ReloadFailed => 4,
+            ErrorKind::ShuttingDown => 5,
+            ErrorKind::BadData => 6,
+            ErrorKind::SessionLost => 7,
+            ErrorKind::DeadlineExceeded => 8,
+        }
+    }
+
     /// Every reject class, in wire-tag order — the index basis for the
     /// server's per-kind error counters.
-    pub const ALL: [ErrorKind; 7] = [
+    pub const ALL: [ErrorKind; Self::COUNT] = [
         ErrorKind::BadRequest,
         ErrorKind::Overloaded,
         ErrorKind::UnknownSession,
@@ -96,6 +130,8 @@ impl ErrorKind {
         ErrorKind::ReloadFailed,
         ErrorKind::ShuttingDown,
         ErrorKind::BadData,
+        ErrorKind::SessionLost,
+        ErrorKind::DeadlineExceeded,
     ];
 
     /// The wire tag.
@@ -108,6 +144,8 @@ impl ErrorKind {
             ErrorKind::ReloadFailed => "reload_failed",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::BadData => "bad_data",
+            ErrorKind::SessionLost => "session_lost",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
         }
     }
 
@@ -121,10 +159,33 @@ impl ErrorKind {
             "reload_failed" => ErrorKind::ReloadFailed,
             "shutting_down" => ErrorKind::ShuttingDown,
             "bad_data" => ErrorKind::BadData,
+            "session_lost" => ErrorKind::SessionLost,
+            "deadline_exceeded" => ErrorKind::DeadlineExceeded,
             _ => return None,
         })
     }
+
+    /// A reject the server answers **before** touching any session state
+    /// (`overloaded` is refused at the queue, `deadline_exceeded` is shed
+    /// before compute), so retrying the identical request is always safe.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorKind::Overloaded | ErrorKind::DeadlineExceeded)
+    }
 }
+
+// Compile-time sync between `index()` (an exhaustive match — the thing
+// that actually breaks when a kind is added) and the `ALL` table every
+// stats/counter array is sized from.
+const _: () = {
+    let mut i = 0;
+    while i < ErrorKind::COUNT {
+        assert!(
+            ErrorKind::ALL[i].index() == i,
+            "ErrorKind::ALL out of sync with ErrorKind::index()"
+        );
+        i += 1;
+    }
+};
 
 /// One trailing window's server-side traffic digest inside
 /// [`ServerStats`]: request rate and latency quantiles over the last
@@ -176,6 +237,10 @@ pub struct ServerStats {
     pub sessions_evicted: u64,
     /// Sessions transparently restored from disk spill since start.
     pub sessions_restored: u64,
+    /// Spill files found corrupt or truncated and quarantined
+    /// (`*.corrupt`) since start — at startup recovery scan or on a
+    /// failed restore.
+    pub sessions_quarantined: u64,
     /// Requests currently queued for the batcher.
     pub queue_depth: usize,
     /// The bounded queue's capacity (`overloaded` rejects past this).
@@ -254,6 +319,7 @@ impl ServerStats {
             connections: v.get("connections")?.as_usize()?,
             sessions_evicted: v.get("sessions_evicted")?.as_usize()? as u64,
             sessions_restored: v.get("sessions_restored")?.as_usize()? as u64,
+            sessions_quarantined: v.get("sessions_quarantined")?.as_usize()? as u64,
             queue_depth: v.get("queue_depth")?.as_usize()?,
             queue_cap: v.get("queue_cap")?.as_usize()?,
             checkpoint: v.get("checkpoint")?.as_str()?.to_string(),
@@ -278,6 +344,10 @@ impl ServerStats {
             (
                 "sessions_restored",
                 (self.sessions_restored as usize).into(),
+            ),
+            (
+                "sessions_quarantined",
+                (self.sessions_quarantined as usize).into(),
             ),
             ("queue_depth", self.queue_depth.into()),
             ("queue_cap", self.queue_cap.into()),
@@ -657,18 +727,13 @@ mod tests {
 
     #[test]
     fn error_kinds_round_trip_their_tags() {
-        for kind in [
-            ErrorKind::BadRequest,
-            ErrorKind::Overloaded,
-            ErrorKind::UnknownSession,
-            ErrorKind::SessionExists,
-            ErrorKind::ReloadFailed,
-            ErrorKind::ShuttingDown,
-            ErrorKind::BadData,
-        ] {
+        for kind in ErrorKind::ALL {
             assert_eq!(ErrorKind::from_tag(kind.tag()), Some(kind));
         }
         assert_eq!(ErrorKind::from_tag("nope"), None);
+        assert!(ErrorKind::Overloaded.is_retryable());
+        assert!(ErrorKind::DeadlineExceeded.is_retryable());
+        assert!(!ErrorKind::SessionLost.is_retryable());
     }
 
     #[test]
@@ -679,6 +744,7 @@ mod tests {
             connections: 5,
             sessions_evicted: 4,
             sessions_restored: 1,
+            sessions_quarantined: 2,
             queue_depth: 1,
             queue_cap: 128,
             checkpoint: "/tmp/model.cit".into(),

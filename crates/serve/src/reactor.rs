@@ -300,7 +300,14 @@ pub(crate) fn run_reactor(
                 fate = read_and_dispatch(conn, id, &state, &tx, &completions);
             }
             if matches!(fate, ConnFate::Keep) && !conn.wbuf.is_empty() {
-                fate = flush_writes(conn);
+                fate = flush_writes(conn, &state);
+            }
+            if matches!(fate, ConnFate::Keep) && conn.wbuf.len() > state.cfg.max_wbuf {
+                // Slow reader: the socket is not draining and the pending
+                // responses have outgrown the per-connection budget.
+                // Disconnecting bounds server memory; the client treats it
+                // like any other connection loss.
+                fate = ConnFate::Drop;
             }
             if matches!(fate, ConnFate::Keep) && conn.closing && !conn.has_pending() {
                 fate = ConnFate::Drop;
@@ -315,9 +322,12 @@ pub(crate) fn run_reactor(
         let mut flush_dead: Vec<u64> = Vec::new();
         for (&id, conn) in conns.iter_mut() {
             if !conn.wbuf.is_empty() {
-                if let ConnFate::Drop = flush_writes(conn) {
+                if let ConnFate::Drop = flush_writes(conn, &state) {
                     flush_dead.push(id);
                 }
+            }
+            if conn.wbuf.len() > state.cfg.max_wbuf {
+                flush_dead.push(id); // slow reader (see above)
             }
             if conn.closing && !conn.has_pending() {
                 flush_dead.push(id);
@@ -355,6 +365,18 @@ fn read_and_dispatch(
     tx: &SyncSender<Job>,
     completions: &Arc<Completions>,
 ) -> ConnFate {
+    // Injected socket-read faults: a stall (`serve.sock.stall` — the
+    // kernel buffered nothing yet) and a hard error (`serve.sock.read` —
+    // peer reset). The server's answer to both is the same as to the real
+    // thing — carry on, or drop this connection; nothing else may be
+    // disturbed. Each probe owns its site string because every probe
+    // call advances that site's occurrence counter.
+    if let Some(d) = state.cfg.faults.delay_at("serve.sock.stall") {
+        std::thread::sleep(d);
+    }
+    if state.cfg.faults.io_error("serve.sock.read").is_some() {
+        return ConnFate::Drop;
+    }
     let mut chunk = [0u8; 16 * 1024];
     loop {
         match conn.stream.read(&mut chunk) {
@@ -492,6 +514,7 @@ fn handle_line(
             match tx.try_send(Job {
                 req: queued,
                 reply,
+                enqueued: Instant::now(),
                 _depth: depth,
             }) {
                 Ok(()) => {}
@@ -559,7 +582,9 @@ fn fill_slot(conn: &mut Conn, seq: u64, resp: Response, state: &ServerState) {
     let rejected_in_queue = matches!(
         &resp,
         Response::Error { kind, .. }
-            if *kind == ErrorKind::Overloaded || *kind == ErrorKind::ShuttingDown
+            if *kind == ErrorKind::Overloaded
+                || *kind == ErrorKind::ShuttingDown
+                || *kind == ErrorKind::DeadlineExceeded
     );
     if slot.queued && !rejected_in_queue {
         state.latency.record(elapsed.as_secs_f64());
@@ -579,11 +604,21 @@ fn fill_slot(conn: &mut Conn, seq: u64, resp: Response, state: &ServerState) {
     }
 }
 
-/// Writes as much of the pending buffer as the socket accepts.
-fn flush_writes(conn: &mut Conn) -> ConnFate {
+/// Writes as much of the pending buffer as the socket accepts. Injected
+/// faults: `serve.sock.write` I/O errors drop the connection; a
+/// `serve.sock.partial` fault caps this flush (the remainder stays
+/// buffered — exactly what a congested socket does).
+fn flush_writes(conn: &mut Conn, state: &ServerState) -> ConnFate {
+    if state.cfg.faults.io_error("serve.sock.write").is_some() {
+        return ConnFate::Drop;
+    }
+    let limit = match state.cfg.faults.partial_write("serve.sock.partial") {
+        Some(cap) => conn.wbuf.len().min(cap.max(1)),
+        None => conn.wbuf.len(),
+    };
     let mut written = 0;
-    while written < conn.wbuf.len() {
-        match conn.stream.write(&conn.wbuf[written..]) {
+    while written < limit {
+        match conn.stream.write(&conn.wbuf[written..limit]) {
             Ok(0) => break,
             Ok(n) => written += n,
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,

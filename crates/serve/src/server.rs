@@ -11,6 +11,7 @@ use crate::reactor::{run_reactor, Completions};
 use crate::session::SessionStore;
 use crate::spill::SpillDir;
 use cit_core::{CitConfig, DecisionModel};
+use cit_faults::FaultInjector;
 use cit_telemetry::{
     duration_bounds, Counter, Gauge, Histogram, NoopSink, RollingHistogram, Telemetry,
     WindowedCounter, DEFAULT_WINDOWS,
@@ -70,6 +71,20 @@ pub struct ServeConfig {
     /// and (on graceful shutdown) every live session are persisted here,
     /// so restarts and evictions never lose open sessions.
     pub spill_dir: Option<PathBuf>,
+    /// Per-request deadline budget. A job that has already waited longer
+    /// than this in the batcher queue is shed with a typed
+    /// [`ErrorKind::DeadlineExceeded`] reject instead of being computed —
+    /// under overload, answering a request whose caller has given up only
+    /// steals capacity from requests that can still make their deadline.
+    /// `None` (the default) never sheds.
+    pub request_deadline: Option<Duration>,
+    /// Most bytes of pending responses one connection may buffer before
+    /// the reactor declares it a slow reader and disconnects it (a stalled
+    /// client must not grow server memory without bound).
+    pub max_wbuf: usize,
+    /// Fault-injection handle for chaos testing (see `cit-faults`). The
+    /// default disabled handle costs one `Option` check per site.
+    pub faults: FaultInjector,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +103,9 @@ impl Default for ServeConfig {
             tick_ms: 100,
             session_ttl: None,
             spill_dir: None,
+            request_deadline: None,
+            max_wbuf: 4 << 20,
+            faults: FaultInjector::disabled(),
         }
     }
 }
@@ -100,6 +118,14 @@ pub(crate) const OP_NAMES: [&str; 8] = [
 
 /// The `other` slot of [`OP_NAMES`] (unparseable requests).
 pub(crate) const OP_OTHER: usize = 7;
+
+// `op_index` can only hand out indices it names explicitly and its match
+// over `Request` is exhaustive, so the single drift risk between the
+// table and the function is the `other` sentinel. Pin it.
+const _: () = assert!(
+    OP_OTHER == OP_NAMES.len() - 1,
+    "OP_OTHER must be the last OP_NAMES slot"
+);
 
 /// Index into [`OP_NAMES`] / [`ServerState::ops`] for a request.
 pub(crate) fn op_index(req: &Request) -> usize {
@@ -159,6 +185,12 @@ pub(crate) struct ServerState {
     /// Sessions restored from spill since start.
     pub(crate) restored: AtomicU64,
     pub(crate) restored_counter: Counter,
+    /// Spill files found damaged (bad checksum, truncation, bad magic)
+    /// and quarantined as `*.corrupt` — at startup recovery or on a
+    /// failed restore. Each one is a session the server could not bring
+    /// back; the client saw a typed `session_lost`.
+    pub(crate) quarantined: AtomicU64,
+    pub(crate) quarantined_counter: Counter,
     /// Identity of the loaded checkpoint (updated by `reload`).
     pub(crate) checkpoint: RwLock<String>,
     /// Every request (any op) for live req/s.
@@ -184,10 +216,11 @@ impl ServerState {
         op.latency.record(secs);
         if let Response::Error { kind, .. } = resp {
             op.errors.inc();
-            if let Some(i) = ErrorKind::ALL.iter().position(|k| k == kind) {
-                self.error_kinds[i].inc();
-            }
-            if *kind == ErrorKind::Overloaded {
+            self.error_kinds[kind.index()].inc();
+            // Load-shedding rejects (queue full, deadline blown) are the
+            // ones capacity dashboards watch; session_lost and friends
+            // stay in the per-kind breakdown only.
+            if kind.is_retryable() {
                 self.rejects.inc();
             }
         }
@@ -205,8 +238,22 @@ impl ServerState {
         self.restored_counter.add(n);
     }
 
-    /// Atomically swaps in a new checkpoint (the `reload` op).
+    /// Bumps the quarantine accounting by `n`.
+    pub(crate) fn note_quarantined(&self, n: u64) {
+        self.quarantined.fetch_add(n, Ordering::Relaxed);
+        self.quarantined_counter.add(n);
+    }
+
+    /// Atomically swaps in a new checkpoint (the `reload` op). A failed
+    /// load (including an injected `serve.reload` disk fault) leaves the
+    /// running model untouched and answers a typed `reload_failed`.
     pub(crate) fn reload(&self, checkpoint: &str) -> Response {
+        if let Some(e) = self.cfg.faults.io_error("serve.reload") {
+            return Response::error(
+                ErrorKind::ReloadFailed,
+                format!("checkpoint {checkpoint:?} not loaded: {e}"),
+            );
+        }
         match DecisionModel::from_checkpoint(checkpoint, self.model_cfg, self.num_assets) {
             Ok(new_model) => {
                 let num_params = new_model.num_params();
@@ -265,6 +312,7 @@ impl ServerState {
             connections: self.connections.load(Ordering::Relaxed).max(0) as usize,
             sessions_evicted: self.evicted.load(Ordering::Relaxed),
             sessions_restored: self.restored.load(Ordering::Relaxed),
+            sessions_quarantined: self.quarantined.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as usize,
             queue_cap: self.cfg.queue_cap,
             checkpoint: self
@@ -345,9 +393,13 @@ impl Server {
             None => None,
         };
         let spill = match &cfg.spill_dir {
-            Some(dir) => Some(SpillDir::open(dir)?),
+            Some(dir) => Some(SpillDir::open(dir, cfg.faults.clone())?),
             None => None,
         };
+        // Recovery scan before serving: a torn or corrupted spill left by
+        // a crashed predecessor is quarantined now, so it can never wedge
+        // a restore mid-traffic. Bad files are renamed, never deleted.
+        let recovered = spill.as_ref().map(|s| s.recover_scan(&model));
         let threads = cit_compute::resolve_threads(cfg.threads);
         let ops = OP_NAMES
             .iter()
@@ -388,6 +440,8 @@ impl Server {
             evicted_gauge: telemetry.gauge("serve.sessions_evicted"),
             restored: AtomicU64::new(0),
             restored_counter: telemetry.counter("serve.sessions_restored"),
+            quarantined: AtomicU64::new(0),
+            quarantined_counter: telemetry.counter("serve.sessions_quarantined"),
             checkpoint: RwLock::new(cfg.checkpoint_label.clone()),
             requests_window: telemetry.windowed_counter("serve.requests_window"),
             latency_window: telemetry.rolling_histogram("serve.latency_window", &duration_bounds()),
@@ -396,6 +450,18 @@ impl Server {
             telemetry,
             cfg,
         });
+        if let Some((intact, quarantined)) = recovered {
+            if quarantined > 0 {
+                state.note_quarantined(quarantined as u64);
+            }
+            if intact > 0 || quarantined > 0 {
+                state.telemetry.emit(
+                    cit_telemetry::Record::new("serve.recover_scan")
+                        .with("intact", intact.to_string())
+                        .with("quarantined", quarantined.to_string()),
+                );
+            }
+        }
 
         // Self-pipe: the read end lives in the reactor's poll set, the
         // write end inside the shared completion queue.

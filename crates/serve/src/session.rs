@@ -6,7 +6,7 @@
 //! [`cit_core::DecisionModel`].
 
 use crate::protocol::{ErrorKind, Response};
-use crate::spill::{SpillDir, SPILL_MAGIC};
+use crate::spill::{checksum64, SpillDir, SpillError, SPILL_MAGIC};
 use cit_core::{DecisionModel, HorizonWindowCache};
 use cit_market::{AssetPanel, NUM_FEATURES};
 use std::collections::hash_map::DefaultHasher;
@@ -179,8 +179,10 @@ impl Session {
     /// exact bit pattern (little-endian `u64`), so restore is lossless.
     /// The DWT cache is deliberately excluded: it is rebuilt on restore,
     /// which the `SlidingDwt` contract guarantees is decision-invariant.
+    /// The payload ends in a [`checksum64`] trailer over everything
+    /// before it, so truncation and bit-flips are detected on restore.
     pub(crate) fn spill_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.hist.len() * 8);
+        let mut out = Vec::with_capacity(80 + self.hist.len() * 8);
         out.extend_from_slice(SPILL_MAGIC);
         let push_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
         push_u64(&mut out, self.name.len() as u64);
@@ -200,62 +202,88 @@ impl Session {
                 push_u64(&mut out, v.to_bits());
             }
         }
+        let sum = checksum64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
         out
     }
 
     /// Rebuilds a session from [`Session::spill_bytes`] output,
-    /// validating shape compatibility against the active `model`.
-    pub(crate) fn from_spill_bytes(bytes: &[u8], model: &DecisionModel) -> Result<Session, String> {
-        let mut pos = 0usize;
-        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+    /// verifying the checksum trailer and validating shape compatibility
+    /// against the active `model`. [`SpillError::Corrupt`] means the
+    /// bytes themselves are damaged (truncation, bit-flip, bad magic) —
+    /// the caller quarantines the file; [`SpillError::Incompatible`]
+    /// means an intact file that does not fit the served model.
+    pub(crate) fn from_spill_bytes(
+        bytes: &[u8],
+        model: &DecisionModel,
+    ) -> Result<Session, SpillError> {
+        let corrupt = |m: &str| SpillError::Corrupt(m.to_string());
+        // Magic first: a file that was never ours is reported as such
+        // even when it is too short to carry a checksum trailer.
+        if bytes.len() < SPILL_MAGIC.len() || &bytes[..SPILL_MAGIC.len()] != SPILL_MAGIC {
+            return Err(corrupt("not a cit-serve spill file (bad magic)"));
+        }
+        if bytes.len() < SPILL_MAGIC.len() + 8 {
+            return Err(corrupt("truncated spill file (no checksum trailer)"));
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        if checksum64(payload) != stored {
+            return Err(corrupt(
+                "spill checksum mismatch (truncated or corrupted on disk)",
+            ));
+        }
+        let bytes = payload;
+        let mut pos = SPILL_MAGIC.len();
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], SpillError> {
             let end = pos.checked_add(n).filter(|&e| e <= bytes.len());
-            let end = end.ok_or_else(|| "truncated spill file".to_string())?;
+            let end = end.ok_or_else(|| corrupt("truncated spill file"))?;
             let slice = &bytes[*pos..end];
             *pos = end;
             Ok(slice)
         };
-        let take_u64 = |pos: &mut usize| -> Result<u64, String> {
+        let take_u64 = |pos: &mut usize| -> Result<u64, SpillError> {
             let b = take(pos, 8)?;
             Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
         };
-        if take(&mut pos, SPILL_MAGIC.len())? != SPILL_MAGIC {
-            return Err("not a cit-serve spill file (bad magic)".into());
-        }
         let name_len = take_u64(&mut pos)? as usize;
         if name_len > 4096 {
-            return Err("implausible session name length".into());
+            return Err(corrupt("implausible session name length"));
         }
         let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
-            .map_err(|_| "session name is not UTF-8".to_string())?;
+            .map_err(|_| corrupt("session name is not UTF-8"))?;
         let num_assets = take_u64(&mut pos)? as usize;
         let days = take_u64(&mut pos)? as usize;
         let total_days = take_u64(&mut pos)? as usize;
         let max_history = take_u64(&mut pos)? as usize;
         let hist_len = take_u64(&mut pos)? as usize;
         if hist_len != days * num_assets * NUM_FEATURES {
-            return Err(format!(
+            return Err(corrupt(&format!(
                 "spill history length {hist_len} does not match {days} days × {num_assets} assets"
-            ));
+            )));
         }
         let mut hist = Vec::with_capacity(hist_len);
         for _ in 0..hist_len {
             hist.push(f64::from_bits(take_u64(&mut pos)?));
         }
         let n_prev = take_u64(&mut pos)? as usize;
+        if n_prev > 4096 {
+            return Err(corrupt("implausible policy count"));
+        }
         let mut prev_actions = Vec::with_capacity(n_prev);
         for _ in 0..n_prev {
             let len = take_u64(&mut pos)? as usize;
-            let mut action = Vec::with_capacity(len);
+            let mut action = Vec::with_capacity(len.min(4096));
             for _ in 0..len {
                 action.push(f64::from_bits(take_u64(&mut pos)?));
             }
             prev_actions.push(action);
         }
         if num_assets != model.num_assets() {
-            return Err(format!(
+            return Err(SpillError::Incompatible(format!(
                 "spilled session has {num_assets} assets, the served model expects {}",
                 model.num_assets()
-            ));
+            )));
         }
         let expected_prev = model.uniform_prev_actions();
         if prev_actions.len() != expected_prev.len()
@@ -264,10 +292,14 @@ impl Session {
                 .zip(&expected_prev)
                 .any(|(a, e)| a.len() != e.len())
         {
-            return Err("spilled session's policy state does not match the served model".into());
+            return Err(SpillError::Incompatible(
+                "spilled session's policy state does not match the served model".into(),
+            ));
         }
         if days < model.min_history().max(2) || total_days < days {
-            return Err("spilled session holds too little history for the served model".into());
+            return Err(SpillError::Incompatible(
+                "spilled session holds too little history for the served model".into(),
+            ));
         }
         Ok(Session {
             name,
@@ -557,9 +589,48 @@ mod tests {
         let mut bad_magic = good.clone();
         bad_magic[0] ^= 0xff;
         assert!(Session::from_spill_bytes(&bad_magic, &m).is_err());
-        // A model with a different asset count must refuse the payload.
+        // A model with a different asset count must refuse the payload —
+        // as Incompatible (intact file, wrong server), not Corrupt.
         let other = DecisionModel::untrained(CitConfig::smoke(7), 3).expect("valid");
-        assert!(Session::from_spill_bytes(&good, &other).is_err());
+        assert!(matches!(
+            Session::from_spill_bytes(&good, &other),
+            Err(SpillError::Incompatible(_))
+        ));
+    }
+
+    /// Truncation at *every* byte boundary, a flipped checksum trailer
+    /// and every single-byte flip of the payload must come back as
+    /// [`SpillError::Corrupt`] — never a panic, never a silently wrong
+    /// session. This is the integrity contract quarantining rests on.
+    #[test]
+    fn spill_detects_every_truncation_and_bitflip() {
+        let m = model();
+        let p = synth();
+        let s = Session::open(&m, "trunc", &rows(&p, 0, 40), 256).unwrap();
+        let good = s.spill_bytes();
+        assert!(Session::from_spill_bytes(&good, &m).is_ok());
+        for cut in 0..good.len() {
+            assert!(
+                matches!(
+                    Session::from_spill_bytes(&good[..cut], &m),
+                    Err(SpillError::Corrupt(_))
+                ),
+                "truncation to {cut}/{} bytes was not detected as corrupt",
+                good.len()
+            );
+        }
+        let mut flipped = good.clone();
+        for i in 0..flipped.len() {
+            flipped[i] ^= 0x01;
+            assert!(
+                matches!(
+                    Session::from_spill_bytes(&flipped, &m),
+                    Err(SpillError::Corrupt(_))
+                ),
+                "bit-flip at byte {i} was not detected as corrupt"
+            );
+            flipped[i] ^= 0x01;
+        }
     }
 
     #[test]

@@ -1,35 +1,90 @@
-//! Disk spill/restore of evicted sessions.
+//! Disk spill/restore of evicted sessions, with end-to-end integrity.
 //!
 //! An idle-evicted (or drained-at-shutdown) session is serialized to
 //! `<spill_dir>/<hex(name)>.spill` with the same crash-safety idiom as
 //! cit-params checkpoints: written to a temp file, fsynced, then renamed
-//! over the destination. The format stores every `f64` as its exact bit
-//! pattern, so a restored session decides **bitwise identically** to one
-//! that was never evicted (the DWT cache is rebuilt on restore, which the
-//! `SlidingDwt` contract guarantees is decision-invariant — the same
-//! property history trimming already relies on).
+//! over the destination. The `CITSESS2` format stores every `f64` as its
+//! exact bit pattern and ends in a [`checksum64`] trailer, so a restored
+//! session decides **bitwise identically** to one that was never evicted
+//! (the DWT cache is rebuilt on restore, which the `SlidingDwt` contract
+//! guarantees is decision-invariant) and any truncation or bit-flip on
+//! disk is *detected* rather than silently restored. A damaged file is
+//! **quarantined** — renamed to `<file>.corrupt`, never deleted — and the
+//! session is surfaced to the client as a typed `session_lost` reject;
+//! [`SpillDir::recover_scan`] applies the same policy to everything left
+//! in the directory at startup, so one torn file can never wedge a
+//! restart. Write-path faults (`serve.spill.write` I/O errors,
+//! `serve.spill.truncate` short writes, `serve.spill.corrupt` bit-flips)
+//! are injectable through the `cit-faults` plan machinery.
 
 use crate::session::Session;
 use cit_core::DecisionModel;
+use cit_faults::FaultInjector;
 use std::fs::{self, File};
 use std::io::{self, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// Magic prefix of a spill file (format version 1).
-pub(crate) const SPILL_MAGIC: &[u8; 8] = b"CITSESS1";
+/// Magic prefix of a spill file (format version 2: checksum trailer).
+/// Version-1 files (no checksum) are treated as corrupt and quarantined.
+pub(crate) const SPILL_MAGIC: &[u8; 8] = b"CITSESS2";
+
+/// FNV-1a 64-bit over `bytes` — the spill trailer. Not cryptographic;
+/// it exists to catch truncation, torn writes and bit rot, which it does
+/// for any single flipped byte and any shortened payload.
+pub(crate) fn checksum64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a spilled session could not be restored.
+#[derive(Debug)]
+pub(crate) enum SpillError {
+    /// The bytes on disk are damaged (bad magic, truncation, checksum
+    /// mismatch, implausible shape). The file gets quarantined.
+    Corrupt(String),
+    /// The file is intact but does not fit the served model (asset or
+    /// policy count mismatch). Left in place — a compatible server can
+    /// still restore it.
+    Incompatible(String),
+    /// The disk itself failed (read or rename error).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillError::Corrupt(m) => write!(f, "corrupt spill: {m}"),
+            SpillError::Incompatible(m) => write!(f, "incompatible spill: {m}"),
+            SpillError::Io(e) => write!(f, "spill io error: {e}"),
+        }
+    }
+}
 
 /// A directory holding spilled sessions, one file per session name.
 #[derive(Debug, Clone)]
 pub(crate) struct SpillDir {
     dir: PathBuf,
+    faults: FaultInjector,
+}
+
+/// The outcome of one restore attempt that failed: what to tell the
+/// client plus whether the on-disk copy was quarantined.
+pub(crate) struct RestoreFailure {
+    pub(crate) message: String,
+    pub(crate) quarantined: bool,
 }
 
 impl SpillDir {
-    /// Opens (creating if needed) a spill directory.
-    pub(crate) fn open(dir: impl Into<PathBuf>) -> io::Result<SpillDir> {
+    /// Opens (creating if needed) a spill directory. `faults` drives the
+    /// injectable write-path failures (disabled handle = no overhead).
+    pub(crate) fn open(dir: impl Into<PathBuf>, faults: FaultInjector) -> io::Result<SpillDir> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(SpillDir { dir })
+        Ok(SpillDir { dir, faults })
     }
 
     /// The spill file path for a session name. Names are arbitrary
@@ -49,12 +104,27 @@ impl SpillDir {
 
     /// Atomically writes one session: temp file in the same directory,
     /// fsync, rename. A crash mid-write never corrupts an existing spill.
+    /// Fault sites: `serve.spill.write` (the write errors out, session
+    /// stays resident), `serve.spill.truncate` (short write — the file
+    /// lands torn, caught by the checksum on restore),
+    /// `serve.spill.corrupt` (one byte flipped — same detection).
     pub(crate) fn write(&self, session: &Session) -> io::Result<()> {
+        if let Some(e) = self.faults.io_error("serve.spill.write") {
+            return Err(e);
+        }
+        let mut bytes = session.spill_bytes();
+        if let Some(cap) = self.faults.partial_write("serve.spill.truncate") {
+            bytes.truncate(cap.max(1));
+        }
+        if let Some(offset) = self.faults.corrupt_write("serve.spill.corrupt") {
+            let i = offset.min(bytes.len().saturating_sub(1));
+            bytes[i] ^= 0xff;
+        }
         let path = self.path_for(session.name());
         let tmp = path.with_extension("spill.tmp");
         {
             let mut f = File::create(&tmp)?;
-            f.write_all(&session.spill_bytes())?;
+            f.write_all(&bytes)?;
             f.sync_all()?;
         }
         fs::rename(&tmp, &path)?;
@@ -67,28 +137,67 @@ impl SpillDir {
 
     /// Reads and **removes** the spilled copy of `name`, rebuilding the
     /// live session against `model`. `Ok(None)` when nothing is spilled;
-    /// `Err` describes a corrupt or model-incompatible file (which is
-    /// left on disk for inspection).
+    /// `Err` describes a corrupt, unreadable or model-incompatible file.
+    /// Corrupt files are already quarantined when this returns (see
+    /// [`SpillDir::quarantine`]). Fault site: `serve.spill.read`.
     pub(crate) fn take(
         &self,
         name: &str,
         model: &DecisionModel,
-    ) -> Result<Option<Session>, String> {
+    ) -> Result<Option<Session>, RestoreFailure> {
         let path = self.path_for(name);
-        let bytes = match fs::read(&path) {
+        let bytes = match self
+            .faults
+            .io_error("serve.spill.read")
+            .map(Err::<Vec<u8>, _>)
+        {
+            Some(r) => r,
+            None => fs::read(&path),
+        };
+        let bytes = match bytes {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(format!("cannot read spill {path:?}: {e}")),
+            Err(e) => {
+                // A failed read is not evidence of corruption: the file
+                // (if any) stays put so a retry can succeed.
+                return Err(RestoreFailure {
+                    message: format!("cannot read spill {path:?}: {e}"),
+                    quarantined: false,
+                });
+            }
         };
-        let session = Session::from_spill_bytes(&bytes, model)?;
+        let session = match Session::from_spill_bytes(&bytes, model) {
+            Ok(s) => s,
+            Err(SpillError::Corrupt(m)) => {
+                let q = self.quarantine(&path);
+                return Err(RestoreFailure {
+                    message: format!("spill {path:?} is damaged ({m})"),
+                    quarantined: q,
+                });
+            }
+            Err(e) => {
+                return Err(RestoreFailure {
+                    message: format!("spill {path:?} cannot be restored: {e}"),
+                    quarantined: false,
+                })
+            }
+        };
         if session.name() != name {
-            return Err(format!(
-                "spill {path:?} holds session {:?}, expected {name:?}",
-                session.name()
-            ));
+            let q = self.quarantine(&path);
+            return Err(RestoreFailure {
+                message: format!(
+                    "spill {path:?} holds session {:?}, expected {name:?}",
+                    session.name()
+                ),
+                quarantined: q,
+            });
         }
-        fs::remove_file(&path)
-            .map_err(|e| format!("cannot remove restored spill {path:?}: {e}"))?;
+        if let Err(e) = fs::remove_file(&path) {
+            return Err(RestoreFailure {
+                message: format!("cannot remove restored spill {path:?}: {e}"),
+                quarantined: false,
+            });
+        }
         Ok(Some(session))
     }
 
@@ -96,5 +205,57 @@ impl SpillDir {
     /// Returns whether a file was removed.
     pub(crate) fn remove(&self, name: &str) -> bool {
         fs::remove_file(self.path_for(name)).is_ok()
+    }
+
+    /// Moves a damaged spill file out of the restore path by renaming it
+    /// to `<file>.corrupt` — quarantined for inspection, never deleted.
+    /// Returns whether the rename succeeded.
+    pub(crate) fn quarantine(&self, path: &Path) -> bool {
+        let mut target = path.as_os_str().to_owned();
+        target.push(".corrupt");
+        fs::rename(path, PathBuf::from(target)).is_ok()
+    }
+
+    /// Startup recovery scan: validates every `*.spill` file in the
+    /// directory against `model`, quarantining damaged ones so a torn
+    /// file left by a crashed process can never wedge a later restore.
+    /// Stale `.spill.tmp` files (a crash mid-write) are also quarantined.
+    /// Returns `(intact, quarantined)` counts; unreadable directories
+    /// count as zero of each (the server still starts).
+    pub(crate) fn recover_scan(&self, model: &DecisionModel) -> (usize, usize) {
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(_) => return (0, 0),
+        };
+        let (mut intact, mut quarantined) = (0, 0);
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.ends_with(".spill.tmp") {
+                // A temp file is a torn write by definition.
+                if self.quarantine(&path) {
+                    quarantined += 1;
+                }
+                continue;
+            }
+            if !name.ends_with(".spill") {
+                continue; // `.corrupt` files and strangers are left alone
+            }
+            let verdict = fs::read(&path)
+                .map_err(SpillError::Io)
+                .and_then(|bytes| Session::from_spill_bytes(&bytes, model));
+            match verdict {
+                Ok(_) => intact += 1,
+                Err(SpillError::Corrupt(_)) => {
+                    if self.quarantine(&path) {
+                        quarantined += 1;
+                    }
+                }
+                // Incompatible or unreadable files stay: another server
+                // (or a retry) may still want them.
+                Err(_) => {}
+            }
+        }
+        (intact, quarantined)
     }
 }
