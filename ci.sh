@@ -194,4 +194,97 @@ printf '{"op":"shutdown"}\n' | timeout 10 bash -c "exec 3<>/dev/tcp/${CHAOS_ADDR
 wait "$CHAOS_PID" || { echo "chaos cit-serve exited uncleanly" >&2; exit 1; }
 rm -rf results/chaos_spill results/cit_serve_chaos_addr.txt
 
+echo "== routerbench smoke (regime router vs single models)"
+# Trains a 3-model roster, backtests the meta-router against each slot,
+# and leaves the checkpoints in results/checkpoints/ for the multi-model
+# serve smoke below. The report must carry metrics for the router and
+# every model, and the per-slot pick counts must sum to the test days.
+timeout 600 cargo run --release -q -p cit-bench --bin routerbench -- \
+  --quick --out results/router_backtest_smoke.json
+jq -e '(.router.ar | type == "number")
+       and ((.models | length) == .num_models)
+       and (([.models[].picks] | add) == .test_days)
+       and ([.models[].metrics.sr] | all(type == "number"))' \
+  results/router_backtest_smoke.json >/dev/null \
+  || { echo "routerbench smoke: report failed its invariants" >&2;
+       cat results/router_backtest_smoke.json >&2; exit 1; }
+for k in 0 1; do
+  test -s "results/checkpoints/routerbench_m${k}.cit" \
+    || { echo "routerbench smoke left no checkpoint m${k}" >&2; exit 1; }
+done
+
+echo "== multi-model serve smoke (two slots + auto router)"
+# Serve two of the routerbench checkpoints as named slots, drive a mixed
+# workload that opens sessions against the default slot, the named slot
+# and the auto router, then reconcile the per-model stats breakdown
+# through cit-top --once --json.
+rm -f results/cit_serve_mm_addr.txt
+target/release/cit-serve \
+  --checkpoint results/checkpoints/routerbench_m0.cit \
+  --model alt=results/checkpoints/routerbench_m1.cit \
+  --router-seed 7 --assets 4 --seed 42 \
+  --addr-file results/cit_serve_mm_addr.txt &
+MM_PID=$!
+for _ in $(seq 1 50); do
+  test -s results/cit_serve_mm_addr.txt && break
+  sleep 0.1
+done
+MM_ADDR=$(sed -n 's/^addr=//p' results/cit_serve_mm_addr.txt)
+test -n "$MM_ADDR" || { echo "multi-model cit-serve did not report an address" >&2; exit 1; }
+timeout 300 cargo run --release -q -p cit-bench --bin servebench -- \
+  --quick --clients 6 --addr "$MM_ADDR" --model default,alt,auto \
+  --out results/bench_serve_mm.json
+jq -e '.levels.c6 | (.protocol_errors == 0) and (.connect_errors == 0)' \
+  results/bench_serve_mm.json >/dev/null \
+  || { echo "multi-model smoke: servebench failed its invariants" >&2;
+       cat results/bench_serve_mm.json >&2; exit 1; }
+# The per-model breakdown must name both slots, attribute traffic to
+# each, and never exceed the server-wide request total.
+target/release/cit-top --addr "$MM_ADDR" --once --json > results/cit_top_mm.json
+jq -e '(.models | length == 2)
+       and ([.models[].model] == ["default", "alt"])
+       and ([.models[].requests] | all(. > 0))
+       and (([.models[].requests] | add) <= .requests_total)
+       and ([.models[].checkpoint] | all(length > 0))' \
+  results/cit_top_mm.json >/dev/null \
+  || { echo "multi-model smoke: per-model stats failed to reconcile" >&2;
+       cat results/cit_top_mm.json >&2; exit 1; }
+printf '{"op":"shutdown"}\n' | timeout 10 bash -c "exec 3<>/dev/tcp/${MM_ADDR%:*}/${MM_ADDR##*:}; cat >&3; head -c1 <&3 >/dev/null" || true
+wait "$MM_PID" || { echo "multi-model cit-serve exited uncleanly" >&2; exit 1; }
+rm -f results/cit_serve_mm_addr.txt results/cit_top_mm.json
+
+echo "== doc-link check (PROTOCOL.md / OPERATIONS.md vs source)"
+# The protocol reference must document every wire op and every error tag
+# the source defines, and every serve.* metric name OPERATIONS.md claims
+# must exist in the serve crate — docs that drift from the code fail CI.
+for op in open decide close info reload stats shutdown sleep; do
+  grep -q "\`$op\`" PROTOCOL.md \
+    || { echo "PROTOCOL.md does not document op '$op'" >&2; exit 1; }
+done
+for tag in $(sed -n 's/.*ErrorKind::[A-Za-z]* => "\([a-z_]*\)".*/\1/p' crates/serve/src/protocol.rs | sort -u); do
+  grep -q "\`$tag\`" PROTOCOL.md \
+    || { echo "PROTOCOL.md does not document error kind '$tag'" >&2; exit 1; }
+done
+grep -oE '`serve\.[a-z0-9_.<>]+`' OPERATIONS.md | tr -d '`' | sort -u | {
+  missing=0
+  while read -r metric; do
+    # Per-op and per-slot families are format strings in the source
+    # (`serve.op.{name}.requests`): turn the documented `<op>`/`<slot>`
+    # placeholder into a wildcard before matching.
+    pattern=$(printf '%s' "$metric" | sed 's/\./\\./g; s/<[a-z]*>/.*/g')
+    if ! grep -rqE -e "$pattern" --include='*.rs' crates/serve/src; then
+      # Concrete instances of a dynamic family (serve.errors.overloaded)
+      # only exist as format strings + the instance string: require both.
+      family=$(printf '%s' "${metric%.*}" | sed 's/\./\\./g')
+      leaf=${metric##*.}
+      if ! { grep -rqE -e "${family}\.\{" --include='*.rs' crates/serve/src \
+             && grep -rq -e "\"$leaf\"" --include='*.rs' crates/serve/src; }; then
+        echo "OPERATIONS.md metric '$metric' not found in crates/serve/src" >&2
+        missing=$((missing + 1))
+      fi
+    fi
+  done
+  test "$missing" -eq 0 || exit 1
+}
+
 echo "CI gate passed."

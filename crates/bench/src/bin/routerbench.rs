@@ -1,0 +1,251 @@
+//! Offline backtest of the serving plane's regime meta-router: train a
+//! small roster of decision models under different seeds, replay the
+//! test period once per model *and* once under the router (which picks a
+//! slot per day from the trailing regime features, exactly as
+//! `open {"model":"auto"}` does at session-open time), and report
+//! AR/SR/MDD/CR for every curve side by side.
+//!
+//! The wealth accounting mirrors `cit_core::per_policy_curves`: execute
+//! the chosen final action, pay proportional transaction costs on
+//! turnover against drifted holdings, compound. All curves share one
+//! deterministic pass, so the single-model rows are the exact
+//! alternatives the router chose between.
+//!
+//! Usage: `routerbench [--quick] [--seed <u64>] [--models <K>]
+//! [--router-seed <u64>] [--out <PATH>]`. Writes the machine-readable
+//! table to `results/router_backtest.json` (override with `--out`) and
+//! leaves the trained checkpoints in `results/checkpoints/` — the CI
+//! multi-model smoke reuses them as `cit-serve --model` slots.
+
+use cit_bench::out_dir;
+use cit_core::{regime_features, CitConfig, CrossInsightTrader, DecisionModel};
+use cit_market::metrics::{compute, Metrics};
+use cit_market::{AssetPanel, Feature, SynthConfig};
+use cit_serve::{RegimeRouter, RouterPolicy};
+use std::fmt::Write as _;
+
+/// The `[m·4]` OHLC wire rows for panel days `[0, to)` — the same shape
+/// the server's router sees on an `open` request.
+fn rows(panel: &AssetPanel, to: usize) -> Vec<Vec<f64>> {
+    (0..to)
+        .map(|t| {
+            (0..panel.num_assets())
+                .flat_map(|i| {
+                    [Feature::Open, Feature::High, Feature::Low, Feature::Close]
+                        .into_iter()
+                        .map(move |f| panel.price(t, i, f))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One compounding wealth curve with drifted-holdings turnover costs.
+struct Curve {
+    wealth: Vec<f64>,
+    daily: Vec<f64>,
+    held: Vec<f64>,
+}
+
+impl Curve {
+    fn new(num_assets: usize) -> Curve {
+        Curve {
+            wealth: vec![1.0],
+            daily: Vec::new(),
+            held: vec![1.0 / num_assets as f64; num_assets],
+        }
+    }
+
+    /// Executes `target` into the day's price relatives `rel`.
+    fn step(&mut self, target: &[f64], rel: &[f64], cost: f64) {
+        let turnover: f64 = target
+            .iter()
+            .zip(&self.held)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let growth: f64 = target.iter().zip(rel).map(|(w, r)| w * r).sum();
+        let net = (growth * (1.0 - cost * turnover)).max(1e-9);
+        let w = self.wealth.last().expect("seeded") * net;
+        self.wealth.push(w);
+        self.daily.push(net - 1.0);
+        let mut drifted: Vec<f64> = target.iter().zip(rel).map(|(w, r)| w * r).collect();
+        let norm: f64 = drifted.iter().sum();
+        if norm > 0.0 {
+            drifted.iter_mut().for_each(|w| *w /= norm);
+        }
+        self.held = drifted;
+    }
+
+    fn metrics(&self) -> Metrics {
+        compute(&self.wealth, &self.daily)
+    }
+}
+
+fn metrics_json(m: &Metrics) -> String {
+    format!(
+        "{{ \"ar\": {:.6}, \"sr\": {:.6}, \"mdd\": {:.6}, \"cr\": {:.6} }}",
+        m.ar, m.sr, m.mdd, m.cr
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut num_models = 3usize;
+    let mut router_seed = 0u64;
+    let mut out_path = out_dir().join("router_backtest.json");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().expect("--seed takes a u64");
+                i += 2;
+            }
+            "--models" if i + 1 < args.len() => {
+                num_models = args[i + 1].parse().expect("--models takes a usize");
+                assert!(num_models >= 2, "--models needs at least 2 slots to route");
+                i += 2;
+            }
+            "--router-seed" if i + 1 < args.len() => {
+                router_seed = args[i + 1].parse().expect("--router-seed takes a u64");
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone().into();
+                i += 2;
+            }
+            other => panic!(
+                "unknown argument {other}; supported: --quick, --seed, --models, --router-seed, --out"
+            ),
+        }
+    }
+
+    let (num_days, test_start) = if quick { (180, 140) } else { (320, 200) };
+    let panel = SynthConfig {
+        num_assets: 4,
+        num_days,
+        test_start,
+        seed,
+        ..Default::default()
+    }
+    .generate();
+    let cost = 1e-3;
+
+    // Train the roster: one architecture, different initialisation seeds,
+    // checkpointed through the real save/load path so the CI smoke can
+    // serve the exact same parameters.
+    let ckpt_dir = out_dir().join("checkpoints");
+    std::fs::create_dir_all(&ckpt_dir).expect("create results/checkpoints");
+    let mut models = Vec::new();
+    let mut labels = Vec::new();
+    for k in 0..num_models {
+        let model_seed = seed + k as u64;
+        let cfg = CitConfig::smoke(model_seed);
+        eprintln!("routerbench: training model {k} (seed {model_seed})...");
+        let mut trader = CrossInsightTrader::new(&panel, cfg);
+        trader.train(&panel);
+        let ckpt = ckpt_dir.join(format!("routerbench_m{k}.cit"));
+        trader.save(&ckpt).expect("save checkpoint");
+        let model = DecisionModel::from_checkpoint(&ckpt, cfg, panel.num_assets())
+            .expect("load checkpoint");
+        models.push(model);
+        labels.push(format!("model_{k}"));
+    }
+
+    let router = RegimeRouter::new(router_seed);
+    let cfg0 = *models[0].config();
+    let all_rows = rows(&panel, panel.num_days());
+
+    // One deterministic pass: every model keeps its own prev-action chain
+    // and DWT cache warm (as a pinned serving session would), the router
+    // curve executes whichever slot the day's trailing regime picked.
+    let mut prevs: Vec<_> = models.iter().map(|m| m.uniform_prev_actions()).collect();
+    let mut caches: Vec<_> = models.iter().map(|m| m.new_cache()).collect();
+    let mut curves: Vec<Curve> = (0..num_models)
+        .map(|_| Curve::new(panel.num_assets()))
+        .collect();
+    let mut router_curve = Curve::new(panel.num_assets());
+    let mut picks = vec![0usize; num_models];
+    for t in test_start..panel.num_days() - 1 {
+        let features = regime_features(
+            &all_rows[..t + 1],
+            panel.num_assets(),
+            cfg0.window,
+            cfg0.num_policies,
+        );
+        let pick = router.route(&features, num_models);
+        picks[pick] += 1;
+        let rel = panel.price_relatives(t + 1);
+        let mut router_action = None;
+        for k in 0..num_models {
+            let out = models[k].decide(&panel, t, &prevs[k], &mut caches[k]);
+            prevs[k] = out.pre_actions.clone();
+            curves[k].step(&out.final_action, &rel, cost);
+            if k == pick {
+                router_action = Some(out.final_action);
+            }
+        }
+        router_curve.step(&router_action.expect("picked slot decided"), &rel, cost);
+    }
+
+    let router_m = router_curve.metrics();
+    println!(
+        "routerbench: {} test days, {num_models} models",
+        panel.num_days() - 1 - test_start
+    );
+    println!(
+        "  {:<10} {:>9} {:>9} {:>9} {:>9}  picks",
+        "curve", "AR", "SR", "MDD", "CR"
+    );
+    let row = |label: &str, m: &Metrics, picks: Option<usize>| {
+        println!(
+            "  {:<10} {:>9.4} {:>9.4} {:>9.4} {:>9.4}  {}",
+            label,
+            m.ar,
+            m.sr,
+            m.mdd,
+            m.cr,
+            picks.map_or("-".to_string(), |p| p.to_string())
+        );
+    };
+    row("router", &router_m, None);
+    for (k, c) in curves.iter().enumerate() {
+        row(&labels[k], &c.metrics(), Some(picks[k]));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"router_backtest\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"router_seed\": {router_seed},");
+    let _ = writeln!(json, "  \"num_models\": {num_models},");
+    let _ = writeln!(
+        json,
+        "  \"test_days\": {},",
+        panel.num_days() - 1 - test_start
+    );
+    let _ = writeln!(json, "  \"transaction_cost\": {cost},");
+    let _ = writeln!(json, "  \"router\": {},", metrics_json(&router_m));
+    let _ = writeln!(json, "  \"models\": {{");
+    for (k, c) in curves.iter().enumerate() {
+        let comma = if k + 1 < num_models { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"seed\": {}, \"picks\": {}, \"checkpoint\": \"checkpoints/routerbench_m{k}.cit\", \"metrics\": {} }}{comma}",
+            labels[k],
+            seed + k as u64,
+            picks[k],
+            metrics_json(&c.metrics())
+        );
+    }
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("write {}: {e}", out_path.display()));
+    println!("wrote {}", out_path.display());
+}

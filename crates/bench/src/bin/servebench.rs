@@ -13,15 +13,20 @@
 //! repo root (alongside `BENCH_compute.json`).
 //!
 //! Usage: `servebench [--quick] [--seed <u64>] [--clients <N>]
-//! [--addr <HOST:PORT>] [--out <PATH>]` — `--quick` shrinks the request
-//! counts to CI-smoke size, `--clients` replaces the default sweep with
-//! a single level (the CI overload smoke runs `--clients 64`), `--out`
-//! redirects the JSON report. `--addr` drives an **externally started**
-//! server (e.g. `cit-serve` under a `CIT_FAULT_PLAN` chaos plan) instead
-//! of spawning one in-process; clients then run in resilient mode —
-//! reconnecting after dropped connections and reopening sessions the
-//! server reports as `session_lost` — so injected faults show up in the
-//! disruption counters, never as protocol errors.
+//! [--addr <HOST:PORT>] [--model <NAMES>] [--out <PATH>]` — `--quick`
+//! shrinks the request counts to CI-smoke size, `--clients` replaces the
+//! default sweep with a single level (the CI overload smoke runs
+//! `--clients 64`), `--out` redirects the JSON report. `--addr` drives
+//! an **externally started** server (e.g. `cit-serve` under a
+//! `CIT_FAULT_PLAN` chaos plan) instead of spawning one in-process;
+//! clients then run in resilient mode — reconnecting after dropped
+//! connections and reopening sessions the server reports as
+//! `session_lost` — so injected faults show up in the disruption
+//! counters, never as protocol errors. `--model` takes a comma-separated
+//! slot-name list (empty entries mean model-oblivious opens); client *w*
+//! opens its session against `names[w % len]`, so a multi-model server
+//! sees a deterministic mixed workload (`--model default,alt,auto`
+//! exercises named slots and the regime router together).
 
 use cit_bench::out_dir;
 use cit_core::{CitConfig, CrossInsightTrader, DecisionModel};
@@ -105,10 +110,12 @@ const MAX_DISRUPTIONS: usize = 16;
 
 /// Opens (or re-opens) the client's session through backpressure.
 /// Returns `false` on a terminal failure (already recorded in `out`).
+#[allow(clippy::too_many_arguments)]
 fn open_session(
     c: &mut Client,
     addr: std::net::SocketAddr,
     session: &str,
+    model: &str,
     panel: &AssetPanel,
     out: &mut ClientOutcome,
     policy: &mut RetryPolicy,
@@ -117,10 +124,21 @@ fn open_session(
     let history = panel.test_start();
     let mut attempt = 0u32;
     loop {
-        match c.call(&Request::Open {
-            session: session.to_string(),
-            prices: rows(panel, 0, history),
-        }) {
+        // An empty model name means a model-oblivious open (the wire
+        // bytes carry no "model" field at all — the byte-compat path).
+        let req = if model.is_empty() {
+            Request::Open {
+                session: session.to_string(),
+                prices: rows(panel, 0, history),
+            }
+        } else {
+            Request::OpenAs {
+                session: session.to_string(),
+                prices: rows(panel, 0, history),
+                model: model.to_string(),
+            }
+        };
+        match c.call(&req) {
             Ok(r) if r.ok() => return true,
             Ok(r) if r.error_kind().is_some_and(ErrorKind::is_retryable) => {
                 out.rejects += 1;
@@ -172,6 +190,7 @@ fn open_session(
 fn run_client(
     addr: std::net::SocketAddr,
     w: usize,
+    model: &str,
     panel: &AssetPanel,
     per_client: usize,
     session_tag: &str,
@@ -193,6 +212,7 @@ fn run_client(
         &mut c,
         addr,
         &session,
+        model,
         panel,
         &mut out,
         &mut policy,
@@ -244,6 +264,7 @@ fn run_client(
                     &mut c,
                     addr,
                     &session,
+                    model,
                     panel,
                     &mut out,
                     &mut policy,
@@ -296,6 +317,7 @@ fn main() {
     let mut clients_override: Option<usize> = None;
     let mut out_path = "BENCH_serve.json".to_string();
     let mut external: Option<String> = None;
+    let mut model_names: Vec<String> = vec![String::new()];
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -315,13 +337,17 @@ fn main() {
                 external = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--model" if i + 1 < args.len() => {
+                model_names = args[i + 1].split(',').map(str::to_string).collect();
+                i += 2;
+            }
             "--out" if i + 1 < args.len() => {
                 out_path = args[i + 1].clone();
                 i += 2;
             }
             other => {
                 panic!(
-                    "unknown argument {other}; supported: --quick, --seed, --clients, --addr, --out"
+                    "unknown argument {other}; supported: --quick, --seed, --clients, --addr, --model, --out"
                 )
             }
         }
@@ -392,7 +418,10 @@ fn main() {
             .map(|w| {
                 let panel = panel.clone();
                 let tag = session_tag.clone();
-                std::thread::spawn(move || run_client(addr, w, &panel, per_client, &tag, resilient))
+                let model = model_names[w % model_names.len()].clone();
+                std::thread::spawn(move || {
+                    run_client(addr, w, &model, &panel, per_client, &tag, resilient)
+                })
             })
             .collect();
         let outcomes: Vec<ClientOutcome> = workers

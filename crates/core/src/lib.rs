@@ -26,6 +26,7 @@ mod decomposition;
 mod error;
 mod eval;
 mod inference;
+mod regime;
 mod trainer;
 
 pub use actor::{one_hot, CitActor};
@@ -35,4 +36,5 @@ pub use decomposition::{horizon_windows, raw_window, HorizonWindowCache};
 pub use error::CitError;
 pub use eval::{per_policy_curves, PolicyCurves};
 pub use inference::{DecisionModel, InferenceOutput};
+pub use regime::{regime_features, RegimeFeatures};
 pub use trainer::{CrossInsightTrader, Decision};

@@ -1,0 +1,199 @@
+//! Market-regime features for meta-routing.
+//!
+//! The MetaTrader line of work (arXiv 2210.01774) picks among whole
+//! trained policies per market state; the serving plane's `"auto"` model
+//! slot needs a compact, deterministic description of the state an
+//! `open` history arrives in. [`regime_features`] condenses a trailing
+//! price window into exactly that: realised volatility, trend drift and
+//! the DWT band-energy distribution of the cross-asset log-return
+//! series — the same Haar bands the horizon policies themselves see.
+//!
+//! The function is **total**: it runs *before* session validation, on
+//! raw wire input, so malformed rows (wrong width, non-positive or
+//! non-finite prices) and too-short histories degrade to zero features
+//! instead of panicking. Zero features still route deterministically
+//! (the router's scoring is seeded), and session validation rejects the
+//! bad input right after with a proper typed error.
+
+use cit_dwt::horizon_scales;
+use cit_market::NUM_FEATURES;
+
+/// A compact description of the market state a price window is in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeFeatures {
+    /// Realised volatility: population std of the cross-asset mean
+    /// log-return over the window (per day, unitless).
+    pub volatility: f64,
+    /// Trend drift: mean of the same series (per day, unitless).
+    pub trend: f64,
+    /// Relative Haar band energies of the series, longest horizon first,
+    /// normalised to sum to 1 (all zero for degenerate input).
+    pub band_energy: Vec<f64>,
+}
+
+impl RegimeFeatures {
+    /// The features flattened into one vector
+    /// (`[volatility, trend, band_energy...]`) — the dot-product basis
+    /// deterministic routers score slots with.
+    pub fn as_vec(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(2 + self.band_energy.len());
+        v.push(self.volatility);
+        v.push(self.trend);
+        v.extend_from_slice(&self.band_energy);
+        v
+    }
+}
+
+/// Extracts [`RegimeFeatures`] from the trailing `window` days of `rows`
+/// (wire-format `[m·4]` OHLC rows). `bands` asks for that many Haar
+/// bands, clamped to what the window length supports. Never panics:
+/// degenerate input (too short, malformed rows, non-positive closes)
+/// yields zero volatility/trend and `bands` zero energies.
+pub fn regime_features(
+    rows: &[Vec<f64>],
+    num_assets: usize,
+    window: usize,
+    bands: usize,
+) -> RegimeFeatures {
+    let zero = || RegimeFeatures {
+        volatility: 0.0,
+        trend: 0.0,
+        band_energy: vec![0.0; bands.max(1)],
+    };
+    let width = num_assets * NUM_FEATURES;
+    if num_assets == 0 || rows.len() < 2 {
+        return zero();
+    }
+    let start = rows.len().saturating_sub(window.max(2));
+    // Cross-asset mean close per day; a single malformed day voids the
+    // whole window (cheaper and more predictable than interpolating).
+    let mut closes = Vec::with_capacity(rows.len() - start);
+    for row in &rows[start..] {
+        if row.len() != width {
+            return zero();
+        }
+        let mut mean = 0.0;
+        for a in 0..num_assets {
+            let close = row[a * NUM_FEATURES + 3];
+            if !(close.is_finite() && close > 0.0) {
+                return zero();
+            }
+            mean += close;
+        }
+        closes.push(mean / num_assets as f64);
+    }
+    let returns: Vec<f64> = closes.windows(2).map(|w| (w[1] / w[0]).ln()).collect();
+    if returns.is_empty() || returns.iter().any(|r| !r.is_finite()) {
+        return zero();
+    }
+    let n = returns.len() as f64;
+    let trend = returns.iter().sum::<f64>() / n;
+    let volatility = (returns
+        .iter()
+        .map(|r| (r - trend) * (r - trend))
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    // Haar depth is bounded by the series length: `decompose` halves the
+    // signal per level, so allow at most ⌊log2(len)⌋ detail levels.
+    let max_bands = (usize::BITS - 1 - returns.len().leading_zeros()) as usize + 1;
+    let bands_eff = bands.clamp(1, max_bands);
+    let mut band_energy = vec![0.0; bands.max(1)];
+    let scales = horizon_scales(&returns, bands_eff);
+    let mut total = 0.0;
+    for (i, band) in scales.iter().enumerate() {
+        let e: f64 = band.iter().map(|x| x * x).sum();
+        band_energy[i] = e;
+        total += e;
+    }
+    if total > 0.0 {
+        for e in &mut band_energy {
+            *e /= total;
+        }
+    }
+    RegimeFeatures {
+        volatility,
+        trend,
+        band_energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_rows(days: usize, assets: usize, price: f64) -> Vec<Vec<f64>> {
+        (0..days).map(|_| vec![price; assets * 4]).collect()
+    }
+
+    #[test]
+    fn degenerate_input_yields_zero_features_without_panicking() {
+        for rows in [
+            vec![],
+            flat_rows(1, 2, 100.0),
+            vec![vec![1.0; 3]],                      // wrong width
+            vec![vec![100.0; 8], vec![-1.0; 8]],     // non-positive close
+            vec![vec![100.0; 8], vec![f64::NAN; 8]], // non-finite close
+        ] {
+            let f = regime_features(&rows, 2, 30, 3);
+            assert_eq!(f.volatility, 0.0);
+            assert_eq!(f.trend, 0.0);
+            assert_eq!(f.band_energy, vec![0.0; 3]);
+        }
+        // Zero assets must not divide by zero.
+        let f = regime_features(&flat_rows(10, 2, 100.0), 0, 30, 3);
+        assert_eq!(f.volatility, 0.0);
+    }
+
+    #[test]
+    fn flat_prices_have_zero_volatility_and_trend() {
+        let f = regime_features(&flat_rows(40, 2, 100.0), 2, 30, 3);
+        assert_eq!(f.volatility, 0.0);
+        assert_eq!(f.trend, 0.0);
+        // Zero-return series carries zero energy in every band.
+        assert!(f.band_energy.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn trending_prices_have_positive_trend_and_normalised_bands() {
+        let rows: Vec<Vec<f64>> = (0..64)
+            .map(|t| {
+                let base = 100.0 * (1.01f64).powi(t);
+                let wiggle = 1.0 + 0.02 * ((t % 5) as f64 - 2.0) / 2.0;
+                vec![base * wiggle; 8]
+            })
+            .collect();
+        let f = regime_features(&rows, 2, 32, 3);
+        assert!(f.trend > 0.0, "upward drift should show as positive trend");
+        assert!(f.volatility > 0.0);
+        let total: f64 = f.band_energy.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "band energies should sum to 1");
+    }
+
+    #[test]
+    fn features_are_deterministic_and_window_limited() {
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|t| vec![100.0 + (t as f64).sin().abs() * 5.0 + 1.0; 8])
+            .collect();
+        let a = regime_features(&rows, 2, 30, 3);
+        let b = regime_features(&rows, 2, 30, 3);
+        assert_eq!(a, b);
+        // Only the trailing window matters: prepending history far in the
+        // past must not change the features.
+        let longer: Vec<Vec<f64>> = flat_rows(50, 2, 42.0)
+            .into_iter()
+            .chain(rows.iter().cloned())
+            .collect();
+        // (window 30 over the same trailing rows)
+        let c = regime_features(&longer, 2, 30, 3);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn band_count_is_clamped_for_short_windows() {
+        // 4 days → 3 returns → at most 2 bands; asking for 6 must not
+        // panic and pads the rest with zeros.
+        let f = regime_features(&flat_rows(4, 1, 100.0), 1, 4, 6);
+        assert_eq!(f.band_energy.len(), 6);
+    }
+}

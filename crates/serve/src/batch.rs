@@ -141,18 +141,17 @@ pub(crate) fn run_batcher(rx: Receiver<Job>, state: &ServerState) {
 
 /// Checks a session out of the store, transparently restoring it from
 /// the spill directory when it was idle-evicted (or left behind by a
-/// previous server process). `Err` carries the client-facing response
-/// for a genuinely unknown or unrestorable session.
-fn checkout(
-    state: &ServerState,
-    model: &cit_core::DecisionModel,
-    name: &str,
-) -> Result<Session, Response> {
+/// previous server process) — the spill file's model pin picks the slot
+/// it restores against. `Err` carries the client-facing response for a
+/// genuinely unknown or unrestorable session (including one pinned to a
+/// slot this server does not host: its state is intact on disk but
+/// unusable here, which the client sees as `session_lost`).
+fn checkout(state: &ServerState, name: &str) -> Result<Session, Response> {
     if let Some(session) = state.store.take(name) {
         return Ok(session);
     }
     if let Some(spill) = &state.spill {
-        match spill.take(name, model) {
+        match spill.take(name, &state.spill_resolver()) {
             Ok(Some(session)) => {
                 state.note_restored(1);
                 return Ok(session);
@@ -183,6 +182,80 @@ fn checkout(
         ErrorKind::UnknownSession,
         format!("no session {name:?}"),
     ))
+}
+
+/// Handles one `open`: resolves the requested model slot (`""` =
+/// default, `"auto"` = ask the meta-router, anything else must name a
+/// hosted slot), builds the session pinned to it, and answers the job.
+/// The router runs on the raw open history *before* validation —
+/// `regime_features` is total, degenerate input routes to the default
+/// slot and then fails validation with a proper typed error.
+fn open_session(
+    state: &ServerState,
+    session: &str,
+    model_req: &str,
+    prices: &[Vec<f64>],
+    job: Job,
+) {
+    let slot = if model_req == crate::registry::AUTO_MODEL {
+        let features = cit_core::regime_features(
+            prices,
+            state.num_assets,
+            state.model_cfg.window,
+            state.model_cfg.num_policies,
+        );
+        let pick = state.router.route(&features, state.registry.len());
+        state.registry.by_index(pick)
+    } else {
+        match state.resolve_slot(model_req) {
+            Ok(slot) => slot,
+            Err(resp) => {
+                job.respond(resp);
+                return;
+            }
+        }
+    };
+    // The pin (and the `model` echo) is empty for model-oblivious opens,
+    // which keeps their response bytes identical to single-model serving.
+    let pin = if model_req.is_empty() {
+        String::new()
+    } else {
+        slot.name.clone()
+    };
+    // A spilled session is still alive (just cold), so its id is taken —
+    // mirrors the in-store duplicate check.
+    let spilled = state
+        .spill
+        .as_ref()
+        .is_some_and(|spill| spill.contains(session));
+    let resp = if spilled {
+        Response::error(
+            ErrorKind::SessionExists,
+            format!("session {session:?} already exists (spilled to disk)"),
+        )
+    } else {
+        let model = slot.current();
+        match Session::open(&model, session, &pin, prices, state.cfg.max_history) {
+            Ok(s) => {
+                let days = s.days();
+                match state.store.insert(s) {
+                    Ok(()) => Response::Opened {
+                        session: session.to_string(),
+                        days,
+                        model: pin,
+                    },
+                    Err(e) => e,
+                }
+            }
+            Err(e) => e,
+        }
+    };
+    slot.requests.inc();
+    slot.requests_window.inc();
+    if matches!(resp, Response::Error { .. }) {
+        slot.errors.inc();
+    }
+    job.respond(resp);
 }
 
 /// Executes one batch: opens first (so a same-batch decide can see the
@@ -218,47 +291,39 @@ pub(crate) fn process_batch(state: &ServerState, mut batch: Vec<Job>) {
         }
     }
     state.batch_size.record(batch.len() as f64);
-    let model = state.model.read().expect("model lock poisoned").clone();
 
     // Decide jobs grouped by session name, first-seen order preserved.
-    type DecideGroup = (String, Vec<(Vec<Vec<f64>>, Job)>);
+    // Each job carries the model the client *expects* the session to be
+    // pinned to (`None` for model-oblivious decides).
+    type DecideGroup = (String, Vec<(Vec<Vec<f64>>, Option<String>, Job)>);
     let mut decide_groups: Vec<DecideGroup> = Vec::new();
     let mut closes = Vec::new();
     let mut sleeps = Vec::new();
+    let mut push_decide = |session: String, prices, expected, job| match decide_groups
+        .iter_mut()
+        .find(|(name, _)| *name == session)
+    {
+        Some((_, jobs)) => jobs.push((prices, expected, job)),
+        None => decide_groups.push((session, vec![(prices, expected, job)])),
+    };
     for job in batch {
         match job.req.clone() {
             Request::Open { session, prices } => {
-                // A spilled session is still alive (just cold), so its id
-                // is taken — mirrors the in-store duplicate check.
-                let spilled = state
-                    .spill
-                    .as_ref()
-                    .is_some_and(|spill| spill.contains(&session));
-                let resp = if spilled {
-                    Response::error(
-                        ErrorKind::SessionExists,
-                        format!("session {session:?} already exists (spilled to disk)"),
-                    )
-                } else {
-                    match Session::open(&model, &session, &prices, state.cfg.max_history) {
-                        Ok(s) => {
-                            let days = s.days();
-                            match state.store.insert(s) {
-                                Ok(()) => Response::Opened { session, days },
-                                Err(e) => e,
-                            }
-                        }
-                        Err(e) => e,
-                    }
-                };
-                job.respond(resp);
+                open_session(state, &session, "", &prices, job);
             }
-            Request::Decide { session, prices } => {
-                match decide_groups.iter_mut().find(|(name, _)| *name == session) {
-                    Some((_, jobs)) => jobs.push((prices, job)),
-                    None => decide_groups.push((session, vec![(prices, job)])),
-                }
+            Request::OpenAs {
+                session,
+                prices,
+                model,
+            } => {
+                open_session(state, &session, &model, &prices, job);
             }
+            Request::Decide { session, prices } => push_decide(session, prices, None, job),
+            Request::DecideAs {
+                session,
+                prices,
+                model,
+            } => push_decide(session, prices, Some(model), job),
             Request::Close { session } => closes.push((session, job)),
             Request::Sleep { ms } => sleeps.push((ms, job)),
             // Info/Stats/Reload/Shutdown are handled on the reactor and
@@ -277,21 +342,48 @@ pub(crate) fn process_batch(state: &ServerState, mut batch: Vec<Job>) {
     let tasks: Vec<_> = decide_groups
         .into_iter()
         .map(|(name, jobs)| {
-            let model = &model;
             move || {
-                let mut session = match checkout(state, model, &name) {
+                let mut session = match checkout(state, &name) {
                     Ok(s) => s,
                     Err(resp) => {
-                        for (_, job) in jobs {
+                        for (_, _, job) in jobs {
                             job.respond(resp.clone());
                         }
                         return;
                     }
                 };
+                // The session's pin picks the model; the roster is fixed
+                // at startup, so a resident (or just-restored) session's
+                // pin always resolves.
+                let slot = state
+                    .registry
+                    .get(session.model_name())
+                    .expect("resident session pinned to unhosted slot")
+                    .clone();
+                let model = slot.current();
                 let replies: Vec<(Job, Response)> = jobs
                     .into_iter()
-                    .map(|(prices, job)| {
-                        let resp = match session.decide(model, &prices) {
+                    .map(|(prices, expected, job)| {
+                        // An explicit model on decide is a client-side
+                        // guard: verify it names the session's slot.
+                        if let Some(expected) = expected {
+                            match state.resolve_slot(&expected) {
+                                Ok(want) if Arc::ptr_eq(want, &slot) => {}
+                                Ok(_) => {
+                                    let resp = Response::error(
+                                        ErrorKind::BadRequest,
+                                        format!(
+                                            "session {name:?} is pinned to model {:?}, \
+                                             not {expected:?}",
+                                            slot.name
+                                        ),
+                                    );
+                                    return (job, resp);
+                                }
+                                Err(resp) => return (job, resp),
+                            }
+                        }
+                        let resp = match session.decide(&model, &prices) {
                             Ok(r) => r,
                             Err(e) => e,
                         };
@@ -300,6 +392,11 @@ pub(crate) fn process_batch(state: &ServerState, mut batch: Vec<Job>) {
                     .collect();
                 state.store.put_back(session);
                 for (job, resp) in replies {
+                    slot.requests.inc();
+                    slot.requests_window.inc();
+                    if matches!(resp, Response::Error { .. }) {
+                        slot.errors.inc();
+                    }
                     job.respond(resp);
                 }
             }

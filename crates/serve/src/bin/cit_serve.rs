@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cit-serve [--addr HOST:PORT] [--admin HOST:PORT] [--checkpoint PATH | --untrained]
+//!           [--model NAME=PATH]... [--router-seed S]
 //!           [--assets N] [--seed S] [--full-config] [--debug-ops]
 //!           [--queue-cap N] [--addr-file PATH]
 //!           [--spill-dir DIR] [--session-ttl-ms N] [--tick-ms N]
@@ -13,6 +14,12 @@
 //! so scripts can pick an ephemeral port with `--addr 127.0.0.1:0`),
 //! then blocks until a client sends the `shutdown` op.
 //!
+//! `--checkpoint`/`--untrained` populate the **default** model slot;
+//! each repeated `--model NAME=PATH` hosts an additional named slot
+//! (same architecture, addressed by the optional `model` field on the
+//! wire — see `PROTOCOL.md`). `--router-seed` seeds the deterministic
+//! regime router behind `open {"model":"auto"}`.
+//!
 //! `--request-deadline-ms` sheds queued requests that waited longer than
 //! the budget with a typed `deadline_exceeded` reject. Setting the
 //! `CIT_FAULT_PLAN` environment variable to a `cit-faults` plan path
@@ -20,17 +27,19 @@
 //! chaos testing — see `crates/faults/plans/serve_chaos.plan`.
 
 use cit_core::{CitConfig, DecisionModel};
-use cit_serve::{ServeConfig, Server};
+use cit_serve::{NamedModel, ServeConfig, Server, AUTO_MODEL, DEFAULT_MODEL};
 use std::io::Write;
 use std::process::exit;
 use std::time::Duration;
 
-const USAGE: &str = "usage: cit-serve [--addr HOST:PORT] [--admin HOST:PORT]\n                 [--checkpoint PATH | --untrained] [--assets N] [--seed S]\n                 [--full-config] [--debug-ops] [--queue-cap N] [--addr-file PATH]\n                 [--spill-dir DIR] [--session-ttl-ms N] [--tick-ms N]\n                 [--request-deadline-ms N]   (env: CIT_FAULT_PLAN=<plan>)";
+const USAGE: &str = "usage: cit-serve [--addr HOST:PORT] [--admin HOST:PORT]\n                 [--checkpoint PATH | --untrained] [--model NAME=PATH]...\n                 [--router-seed S] [--assets N] [--seed S]\n                 [--full-config] [--debug-ops] [--queue-cap N] [--addr-file PATH]\n                 [--spill-dir DIR] [--session-ttl-ms N] [--tick-ms N]\n                 [--request-deadline-ms N]   (env: CIT_FAULT_PLAN=<plan>)";
 
 struct Args {
     addr: String,
     admin: Option<String>,
     checkpoint: Option<String>,
+    extra_models: Vec<(String, String)>,
+    router_seed: u64,
     assets: usize,
     seed: u64,
     full_config: bool,
@@ -49,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:0".to_string(),
         admin: None,
         checkpoint: None,
+        extra_models: Vec::new(),
+        router_seed: 0,
         assets: 4,
         seed: 7,
         full_config: false,
@@ -73,6 +84,27 @@ fn parse_args() -> Result<Args, String> {
             "--admin" => args.admin = Some(value(&mut i)?),
             "--checkpoint" => args.checkpoint = Some(value(&mut i)?),
             "--untrained" => args.checkpoint = None,
+            "--model" => {
+                let spec = value(&mut i)?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--model expects NAME=PATH, got {spec:?}"))?;
+                if name.is_empty() || path.is_empty() {
+                    return Err(format!("--model expects NAME=PATH, got {spec:?}"));
+                }
+                if name == DEFAULT_MODEL || name == AUTO_MODEL {
+                    return Err(format!(
+                        "--model name {name:?} is reserved ({DEFAULT_MODEL:?} is the \
+                         --checkpoint slot, {AUTO_MODEL:?} invokes the router)"
+                    ));
+                }
+                args.extra_models.push((name.to_string(), path.to_string()));
+            }
+            "--router-seed" => {
+                args.router_seed = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--router-seed: {e}"))?
+            }
             "--assets" => {
                 args.assets = value(&mut i)?
                     .parse()
@@ -158,12 +190,33 @@ fn main() {
             }
         },
     };
+    // Slot 0 is the default; each --model NAME=PATH loads into an extra
+    // named slot sharing the same architecture config.
+    let mut models = vec![NamedModel {
+        name: DEFAULT_MODEL.to_string(),
+        model,
+        checkpoint_label: label,
+    }];
+    for (name, path) in &args.extra_models {
+        match DecisionModel::from_checkpoint(path, cfg, args.assets) {
+            Ok(m) => models.push(NamedModel {
+                name: name.clone(),
+                model: m,
+                checkpoint_label: path.clone(),
+            }),
+            Err(e) => {
+                eprintln!("cit-serve: cannot load model {name:?} from {path:?}: {e}");
+                exit(1);
+            }
+        }
+    }
 
     let mut serve_cfg = ServeConfig {
         addr: args.addr,
         admin_addr: args.admin,
-        checkpoint_label: label,
+        checkpoint_label: models[0].checkpoint_label.clone(),
         debug_ops: args.debug_ops,
+        router_seed: args.router_seed,
         ..ServeConfig::default()
     };
     if let Some(cap) = args.queue_cap {
@@ -203,7 +256,8 @@ fn main() {
         }
     }
 
-    let server = match Server::start(model, serve_cfg) {
+    let server = match Server::start_multi(models, serve_cfg, cit_telemetry::Telemetry::disabled())
+    {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cit-serve: cannot start server: {e}");

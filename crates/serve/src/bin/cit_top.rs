@@ -9,7 +9,10 @@
 //! plain-ANSI dashboard. `--once` polls a single time and exits;
 //! `--json` prints the raw stats response line instead of the dashboard
 //! (after round-tripping it through the typed [`ServerStats`] parser),
-//! which makes `cit-top --once --json` usable from CI and scripts.
+//! which makes `cit-top --once --json` usable from CI and scripts (the
+//! payload includes the per-model `models` breakdown). When the server
+//! hosts more than one model slot the dashboard adds a per-model table
+//! (req/s, totals, sessions, reloads, checkpoint identity).
 //! `--metrics` instead fetches `GET /metrics` from the admin listener
 //! and prints the text exposition verbatim.
 
@@ -143,6 +146,19 @@ fn render(stats: &ServerStats) -> String {
             fmt_us(w.p95_us),
             fmt_us(w.p99_us)
         ));
+    }
+    // One row per hosted model slot — interesting once the server runs
+    // more than the single default slot.
+    if stats.models.len() > 1 {
+        out.push_str(
+            "\n  model         req/s   requests    errors  sessions  reloads  checkpoint\n",
+        );
+        for m in &stats.models {
+            out.push_str(&format!(
+                "  {:<12} {:>6.1} {:>10} {:>9} {:>9} {:>8}  {}\n",
+                m.model, m.req_per_s, m.requests, m.errors, m.sessions, m.reloads, m.checkpoint
+            ));
+        }
     }
     out.push_str("\n  op        requests    errors        p50        p99\n");
     for op in &stats.ops {

@@ -117,7 +117,7 @@ fn transient_io(e: &io::Error) -> bool {
 /// mutate nothing, so at-least-once delivery is indistinguishable from
 /// exactly-once.
 fn idempotent(req: &Request) -> bool {
-    matches!(req, Request::Info | Request::Stats)
+    matches!(req, Request::Info | Request::InfoAs { .. } | Request::Stats)
 }
 
 /// A client-side view of a response line: the raw JSON plus accessors
@@ -154,6 +154,13 @@ impl Reply {
     /// The decision's per-horizon pre-decisions.
     pub fn pre_actions(&self) -> Option<Vec<Vec<f64>>> {
         self.json.get("pre_actions").and_then(Json::as_f64_matrix)
+    }
+
+    /// The model-slot echo of an `open`/`decide`/`info`/`reload`
+    /// response — `None` on responses to model-oblivious requests (the
+    /// server omits the field for byte-compatibility).
+    pub fn model(&self) -> Option<&str> {
+        self.json.get("model").and_then(Json::as_str)
     }
 
     /// Any numeric field (e.g. `day`, `days`, `num_params`).
@@ -309,6 +316,9 @@ mod tests {
     #[test]
     fn only_control_plane_requests_are_idempotent() {
         assert!(idempotent(&Request::Info));
+        assert!(idempotent(&Request::InfoAs {
+            model: "alt".into()
+        }));
         assert!(idempotent(&Request::Stats));
         assert!(!idempotent(&Request::Decide {
             session: "s".into(),

@@ -4,18 +4,24 @@
 //! checkpoints: the online half the paper's backtest loop implies — a
 //! trained policy asked for "today's" portfolio as new prices arrive.
 //!
-//! A [`Server`] loads a cit-params checkpoint into an immutable
-//! [`cit_core::DecisionModel`] (shared `Arc`, hot-swappable on a `reload`
-//! admin command) and speaks a newline-delimited JSON protocol over
-//! blocking TCP (see [`protocol`]). Each accepted connection gets a
-//! thread that parses requests into a **bounded queue**; a single batcher
-//! drains up to [`ServeConfig::max_batch`] requests (waiting at most
-//! [`ServeConfig::max_wait_us`] after the first) and fans the batch out
-//! over the `cit-compute` thread pool — per-session order is preserved,
-//! distinct sessions run in parallel. A full queue is answered with a
-//! typed `overloaded` reject instead of blocking: backpressure is part of
-//! the protocol. Per-request latency, batch size, throughput counters and
-//! reload/session gauges go through `cit-telemetry`.
+//! A [`Server`] hosts one or more cit-params checkpoints as named
+//! **model slots** (see [`NamedModel`] and [`Server::start_multi`]),
+//! each an immutable [`cit_core::DecisionModel`] behind a shared `Arc`,
+//! hot-swappable per slot on a `reload` admin command. It speaks a
+//! newline-delimited JSON protocol over TCP (see [`protocol`] and
+//! `PROTOCOL.md`): a single readiness-polled **reactor** thread owns
+//! every connection and parses requests into a **bounded queue**; a
+//! single batcher drains up to [`ServeConfig::max_batch`] requests
+//! (waiting at most [`ServeConfig::max_wait_us`] after the first) and
+//! fans the batch out over the `cit-compute` thread pool — per-session
+//! order is preserved, distinct sessions run in parallel. A full queue
+//! is answered with a typed `overloaded` reject instead of blocking:
+//! backpressure is part of the protocol. Sessions are pinned to their
+//! slot for life (including across disk spill/restore); opening with
+//! `model: "auto"` lets the deterministic [`RegimeRouter`] pick the slot
+//! from the open history's market regime. Per-request latency, batch
+//! size, throughput counters, per-model breakdowns and reload/session
+//! gauges go through `cit-telemetry`.
 //!
 //! Served decisions are **bitwise identical** to offline evaluation of
 //! the same checkpoint: the deterministic inference path has no RNG, and
@@ -58,11 +64,15 @@ mod admin;
 mod batch;
 mod client;
 mod reactor;
+mod registry;
+mod router;
 mod server;
 mod session;
 mod spill;
 
 pub use client::{Client, Reply, RetryPolicy};
-pub use protocol::{ErrorKind, OpStats, Request, Response, ServerStats, WindowStats};
+pub use protocol::{ErrorKind, ModelStats, OpStats, Request, Response, ServerStats, WindowStats};
+pub use registry::{NamedModel, AUTO_MODEL, DEFAULT_MODEL};
+pub use router::{RegimeRouter, RouterPolicy};
 pub use server::{ServeConfig, Server};
 pub use session::{Session, SessionStore};

@@ -9,14 +9,30 @@
 //!
 //! | op | request fields | success fields |
 //! |----|----------------|----------------|
-//! | `open` | `session`, `prices` | `days` |
-//! | `decide` | `session`, optional `prices` | `day`, `final_action`, `pre_actions` |
+//! | `open` | `session`, `prices`, optional `model` | `days` |
+//! | `decide` | `session`, optional `prices`, optional `model` | `day`, `final_action`, `pre_actions` |
 //! | `close` | `session` | — |
-//! | `info` | — | `sessions`, `num_assets`, `num_params`, `window`, `policies` |
+//! | `info` | optional `model` | `sessions`, `num_assets`, `num_params`, `window`, `policies` |
 //! | `stats` | — | live operational metrics (see [`ServerStats`]) |
-//! | `reload` | `checkpoint` | `num_params` |
+//! | `reload` | `checkpoint`, optional `model` | `num_params` |
 //! | `shutdown` | — | — |
 //! | `sleep` | `ms` (debug builds of the server only) | `ms` |
+//!
+//! The optional `model` field selects one of the server's named model
+//! slots; requests without it address the **default** slot, byte for
+//! byte as before multi-model serving existed. `open {"model":"auto"}`
+//! asks the server's deterministic meta-router to pick the slot from the
+//! open history's market regime. A request naming an unknown slot is
+//! rejected with a typed `model_not_found`. In the typed [`Request`]
+//! enum the model-addressed forms are separate `*As` variants
+//! ([`Request::OpenAs`], [`Request::DecideAs`], [`Request::InfoAs`],
+//! [`Request::ReloadAs`]) so that model-oblivious clients keep compiling
+//! and keep emitting the exact pre-multi-model wire bytes.
+//!
+//! The complete versioned wire reference — every op's request/response
+//! shape, every error kind's retryability, backpressure and deadline
+//! semantics, worked `nc` examples — lives in `PROTOCOL.md` at the repo
+//! root.
 //!
 //! Failures: `{"ok":false,"kind":"<kind>","error":"<message>"}` with
 //! [`ErrorKind`] naming the reject class. `overloaded` is the
@@ -31,12 +47,25 @@ use crate::json::Json;
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Create a session seeded with at least `window` days of history.
+    /// Create a session seeded with at least `window` days of history,
+    /// pinned to the **default** model slot.
     Open {
         /// Client-chosen session id.
         session: String,
         /// Price history, one `[m·4]` OHLC row per day.
         prices: Vec<Vec<f64>>,
+    },
+    /// `open` addressed at a named model slot (`"auto"` asks the
+    /// meta-router to pick one from the history's market regime). The
+    /// session is pinned to the resolved slot for its whole life,
+    /// including across spill/restore.
+    OpenAs {
+        /// Client-chosen session id.
+        session: String,
+        /// Price history, one `[m·4]` OHLC row per day.
+        prices: Vec<Vec<f64>>,
+        /// Model slot name, or `"auto"` for router selection.
+        model: String,
     },
     /// Append zero or more days, then decide on the latest day.
     Decide {
@@ -45,19 +74,47 @@ pub enum Request {
         /// New days to append before deciding (may be empty).
         prices: Vec<Vec<f64>>,
     },
+    /// `decide` carrying an explicit model slot name: the server verifies
+    /// the slot exists (`model_not_found` otherwise) and matches the
+    /// session's pin (`bad_request` otherwise) — a guard for clients that
+    /// track which model their session runs on.
+    DecideAs {
+        /// Session id from a prior `open`.
+        session: String,
+        /// New days to append before deciding (may be empty).
+        prices: Vec<Vec<f64>>,
+        /// Model slot the session is expected to be pinned to.
+        model: String,
+    },
     /// Drop a session.
     Close {
         /// Session id to drop.
         session: String,
     },
-    /// Server/model introspection.
+    /// Server/model introspection (default model slot).
     Info,
+    /// `info` for one named model slot: model-specific fields
+    /// (`num_params`, `checkpoint`) and the count of sessions pinned to
+    /// that slot.
+    InfoAs {
+        /// Model slot to introspect.
+        model: String,
+    },
     /// Live operational metrics (req/s, latency windows, queue depth).
     Stats,
-    /// Atomically swap in a new checkpoint (same architecture).
+    /// Atomically swap a new checkpoint into the default model slot
+    /// (same architecture).
     Reload {
         /// Path to a cit-params checkpoint on the server's filesystem.
         checkpoint: String,
+    },
+    /// `reload` addressed at a named model slot; other slots (and every
+    /// in-flight session pinned to them) are untouched.
+    ReloadAs {
+        /// Path to a cit-params checkpoint on the server's filesystem.
+        checkpoint: String,
+        /// Model slot to swap.
+        model: String,
     },
     /// Begin graceful drain: stop accepting, finish queued work.
     Shutdown,
@@ -95,12 +152,16 @@ pub enum ErrorKind {
     /// [`crate::ServeConfig::request_deadline`] and was shed instead of
     /// being answered stale — retry, like `overloaded`.
     DeadlineExceeded,
+    /// The request named a model slot the server does not host (or used
+    /// `"auto"` outside `open`). The set of slots is fixed at startup;
+    /// ask `stats` for the live list.
+    ModelNotFound,
 }
 
 impl ErrorKind {
     /// Number of reject classes — the length every per-kind stats table
     /// must have.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// The kind's position in [`ErrorKind::ALL`] (and in the server's
     /// per-kind error counters). The match is exhaustive on purpose:
@@ -117,6 +178,7 @@ impl ErrorKind {
             ErrorKind::BadData => 6,
             ErrorKind::SessionLost => 7,
             ErrorKind::DeadlineExceeded => 8,
+            ErrorKind::ModelNotFound => 9,
         }
     }
 
@@ -132,6 +194,7 @@ impl ErrorKind {
         ErrorKind::BadData,
         ErrorKind::SessionLost,
         ErrorKind::DeadlineExceeded,
+        ErrorKind::ModelNotFound,
     ];
 
     /// The wire tag.
@@ -146,6 +209,7 @@ impl ErrorKind {
             ErrorKind::BadData => "bad_data",
             ErrorKind::SessionLost => "session_lost",
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::ModelNotFound => "model_not_found",
         }
     }
 
@@ -161,6 +225,7 @@ impl ErrorKind {
             "bad_data" => ErrorKind::BadData,
             "session_lost" => ErrorKind::SessionLost,
             "deadline_exceeded" => ErrorKind::DeadlineExceeded,
+            "model_not_found" => ErrorKind::ModelNotFound,
             _ => return None,
         })
     }
@@ -222,6 +287,28 @@ pub struct OpStats {
     pub p99_us: f64,
 }
 
+/// One model slot's breakdown inside [`ServerStats`]: which checkpoint
+/// it runs, how much traffic it carries and how many sessions are
+/// pinned to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStats {
+    /// Slot name (`default` for the unnamed slot).
+    pub model: String,
+    /// Identity of the slot's loaded checkpoint (path of the last
+    /// successful reload into this slot, or its startup label).
+    pub checkpoint: String,
+    /// Successful reloads into this slot since start.
+    pub reloads: u64,
+    /// Resident sessions currently pinned to this slot.
+    pub sessions: usize,
+    /// `open`/`decide` requests answered by this slot since start.
+    pub requests: u64,
+    /// Error responses attributed to this slot since start.
+    pub errors: u64,
+    /// This slot's request rate over the trailing 10 s window.
+    pub req_per_s: f64,
+}
+
 /// The payload of a successful `stats` op: everything an operator (or
 /// `cit-top`) needs to judge a live server at a glance.
 #[derive(Debug, Clone, PartialEq)]
@@ -263,6 +350,8 @@ pub struct ServerStats {
     /// Error counts by reject class (kinds seen at least once), as
     /// `(kind tag, count)` pairs.
     pub errors: Vec<(String, u64)>,
+    /// Per-model-slot breakdown, default slot first.
+    pub models: Vec<ModelStats>,
 }
 
 impl ServerStats {
@@ -313,6 +402,22 @@ impl ServerStats {
                 ))
             })
             .collect::<Option<Vec<_>>>()?;
+        let models = v
+            .get("models")?
+            .as_array()?
+            .iter()
+            .map(|m| {
+                Some(ModelStats {
+                    model: m.get("model")?.as_str()?.to_string(),
+                    checkpoint: m.get("checkpoint")?.as_str()?.to_string(),
+                    reloads: m.get("reloads")?.as_usize()? as u64,
+                    sessions: m.get("sessions")?.as_usize()?,
+                    requests: m.get("requests")?.as_usize()? as u64,
+                    errors: m.get("errors")?.as_usize()? as u64,
+                    req_per_s: m.get("req_per_s")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
         Some(ServerStats {
             uptime_s: v.get("uptime_s")?.as_f64()?,
             sessions: v.get("sessions")?.as_usize()?,
@@ -330,6 +435,7 @@ impl ServerStats {
             windows,
             ops,
             errors,
+            models,
         })
     }
 
@@ -405,6 +511,25 @@ impl ServerStats {
                         .collect(),
                 ),
             ),
+            (
+                "models",
+                Json::Arr(
+                    self.models
+                        .iter()
+                        .map(|m| {
+                            Json::obj(vec![
+                                ("model", m.model.clone().into()),
+                                ("checkpoint", m.checkpoint.clone().into()),
+                                ("reloads", (m.reloads as usize).into()),
+                                ("sessions", m.sessions.into()),
+                                ("requests", (m.requests as usize).into()),
+                                ("errors", (m.errors as usize).into()),
+                                ("req_per_s", m.req_per_s.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -418,6 +543,11 @@ pub enum Response {
         session: String,
         /// Days of history the session now holds.
         days: usize,
+        /// Resolved model slot the session is pinned to — under
+        /// `"auto"` this is where the router's pick is reported. Empty
+        /// (omitted on the wire) for sessions opened without a `model`
+        /// field, so default-slot traffic stays byte-identical.
+        model: String,
     },
     /// A portfolio decision.
     Decision {
@@ -430,6 +560,10 @@ pub enum Response {
         /// Per-horizon pre-decisions (fed back as the policies' previous
         /// actions on the next decide).
         pre_actions: Vec<Vec<f64>>,
+        /// Model slot that produced the decision: the session's pin,
+        /// empty (omitted on the wire) for sessions opened without a
+        /// `model` field.
+        model: String,
     },
     /// Session dropped.
     Closed {
@@ -438,7 +572,8 @@ pub enum Response {
     },
     /// Introspection payload.
     Info {
-        /// Live session count.
+        /// Live session count (whole server for plain `info`; pinned to
+        /// the named slot for `info {"model":...}`).
         sessions: usize,
         /// Assets `m` the model allocates over.
         num_assets: usize,
@@ -448,6 +583,9 @@ pub enum Response {
         window: usize,
         /// Horizon policy count `n`.
         policies: usize,
+        /// Introspected model slot. Rendered only when the request
+        /// carried a `model` field (empty = omitted).
+        model: String,
     },
     /// Live operational metrics.
     Stats(Box<ServerStats>),
@@ -455,6 +593,9 @@ pub enum Response {
     Reloaded {
         /// Parameters in the new model.
         num_params: usize,
+        /// Slot the checkpoint was swapped into. Rendered only when the
+        /// request carried a `model` field (empty = omitted).
+        model: String,
     },
     /// Drain started.
     ShuttingDown,
@@ -481,31 +622,51 @@ impl Response {
         }
     }
 
-    /// Renders one response line (no trailing newline).
+    /// Renders one response line (no trailing newline). The `model` echo
+    /// fields are emitted only when non-empty, so responses to
+    /// model-oblivious requests are byte-identical to the single-model
+    /// protocol.
     pub fn render(&self) -> String {
         let json = match self {
-            Response::Opened { session, days } => Json::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("op", "open".into()),
-                ("session", session.clone().into()),
-                ("days", (*days).into()),
-            ]),
+            Response::Opened {
+                session,
+                days,
+                model,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", "open".into()),
+                    ("session", session.clone().into()),
+                    ("days", (*days).into()),
+                ];
+                if !model.is_empty() {
+                    pairs.push(("model", model.clone().into()));
+                }
+                Json::obj(pairs)
+            }
             Response::Decision {
                 session,
                 day,
                 final_action,
                 pre_actions,
-            } => Json::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("op", "decide".into()),
-                ("session", session.clone().into()),
-                ("day", (*day).into()),
-                ("final_action", final_action.clone().into()),
-                (
-                    "pre_actions",
-                    Json::Arr(pre_actions.iter().map(|a| a.clone().into()).collect()),
-                ),
-            ]),
+                model,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", "decide".into()),
+                    ("session", session.clone().into()),
+                    ("day", (*day).into()),
+                    ("final_action", final_action.clone().into()),
+                    (
+                        "pre_actions",
+                        Json::Arr(pre_actions.iter().map(|a| a.clone().into()).collect()),
+                    ),
+                ];
+                if !model.is_empty() {
+                    pairs.push(("model", model.clone().into()));
+                }
+                Json::obj(pairs)
+            }
             Response::Closed { session } => Json::obj(vec![
                 ("ok", Json::Bool(true)),
                 ("op", "close".into()),
@@ -517,21 +678,34 @@ impl Response {
                 num_params,
                 window,
                 policies,
-            } => Json::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("op", "info".into()),
-                ("sessions", (*sessions).into()),
-                ("num_assets", (*num_assets).into()),
-                ("num_params", (*num_params).into()),
-                ("window", (*window).into()),
-                ("policies", (*policies).into()),
-            ]),
+                model,
+            } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", "info".into()),
+                    ("sessions", (*sessions).into()),
+                    ("num_assets", (*num_assets).into()),
+                    ("num_params", (*num_params).into()),
+                    ("window", (*window).into()),
+                    ("policies", (*policies).into()),
+                ];
+                if !model.is_empty() {
+                    pairs.push(("model", model.clone().into()));
+                }
+                Json::obj(pairs)
+            }
             Response::Stats(stats) => stats.to_json(),
-            Response::Reloaded { num_params } => Json::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("op", "reload".into()),
-                ("num_params", (*num_params).into()),
-            ]),
+            Response::Reloaded { num_params, model } => {
+                let mut pairs = vec![
+                    ("ok", Json::Bool(true)),
+                    ("op", "reload".into()),
+                    ("num_params", (*num_params).into()),
+                ];
+                if !model.is_empty() {
+                    pairs.push(("model", model.clone().into()));
+                }
+                Json::obj(pairs)
+            }
             Response::ShuttingDown => {
                 Json::obj(vec![("ok", Json::Bool(true)), ("op", "shutdown".into())])
             }
@@ -563,6 +737,16 @@ impl Request {
                 ("session", session.clone().into()),
                 ("prices", matrix(prices)),
             ]),
+            Request::OpenAs {
+                session,
+                prices,
+                model,
+            } => Json::obj(vec![
+                ("op", "open".into()),
+                ("session", session.clone().into()),
+                ("prices", matrix(prices)),
+                ("model", model.clone().into()),
+            ]),
             Request::Decide { session, prices } => {
                 let mut pairs = vec![
                     ("op", Json::from("decide")),
@@ -573,15 +757,38 @@ impl Request {
                 }
                 Json::obj(pairs)
             }
+            Request::DecideAs {
+                session,
+                prices,
+                model,
+            } => {
+                let mut pairs = vec![
+                    ("op", Json::from("decide")),
+                    ("session", session.clone().into()),
+                ];
+                if !prices.is_empty() {
+                    pairs.push(("prices", matrix(prices)));
+                }
+                pairs.push(("model", model.clone().into()));
+                Json::obj(pairs)
+            }
             Request::Close { session } => Json::obj(vec![
                 ("op", "close".into()),
                 ("session", session.clone().into()),
             ]),
             Request::Info => Json::obj(vec![("op", "info".into())]),
+            Request::InfoAs { model } => {
+                Json::obj(vec![("op", "info".into()), ("model", model.clone().into())])
+            }
             Request::Stats => Json::obj(vec![("op", "stats".into())]),
             Request::Reload { checkpoint } => Json::obj(vec![
                 ("op", "reload".into()),
                 ("checkpoint", checkpoint.clone().into()),
+            ]),
+            Request::ReloadAs { checkpoint, model } => Json::obj(vec![
+                ("op", "reload".into()),
+                ("checkpoint", checkpoint.clone().into()),
+                ("model", model.clone().into()),
             ]),
             Request::Shutdown => Json::obj(vec![("op", "shutdown".into())]),
             Request::Sleep { ms } => {
@@ -614,27 +821,59 @@ impl Request {
                 None => Err("missing field \"prices\"".into()),
             }
         };
+        // A present `model` must be a non-empty string; absent selects
+        // the default slot (the plain, non-`*As` variant).
+        let model = || -> Result<Option<String>, String> {
+            match v.get("model") {
+                None => Ok(None),
+                Some(m) => match m.as_str() {
+                    Some(s) if !s.is_empty() => Ok(Some(s.to_string())),
+                    _ => Err("\"model\" must be a non-empty string".into()),
+                },
+            }
+        };
         match op {
-            "open" => Ok(Request::Open {
-                session: session(true)?,
-                prices: prices(true)?,
-            }),
-            "decide" => Ok(Request::Decide {
-                session: session(true)?,
-                prices: prices(false)?,
-            }),
+            "open" => {
+                let (session, prices) = (session(true)?, prices(true)?);
+                Ok(match model()? {
+                    Some(model) => Request::OpenAs {
+                        session,
+                        prices,
+                        model,
+                    },
+                    None => Request::Open { session, prices },
+                })
+            }
+            "decide" => {
+                let (session, prices) = (session(true)?, prices(false)?);
+                Ok(match model()? {
+                    Some(model) => Request::DecideAs {
+                        session,
+                        prices,
+                        model,
+                    },
+                    None => Request::Decide { session, prices },
+                })
+            }
             "close" => Ok(Request::Close {
                 session: session(true)?,
             }),
-            "info" => Ok(Request::Info),
+            "info" => Ok(match model()? {
+                Some(model) => Request::InfoAs { model },
+                None => Request::Info,
+            }),
             "stats" => Ok(Request::Stats),
-            "reload" => Ok(Request::Reload {
-                checkpoint: v
+            "reload" => {
+                let checkpoint = v
                     .get("checkpoint")
                     .and_then(Json::as_str)
                     .ok_or("missing string field \"checkpoint\"")?
-                    .to_string(),
-            }),
+                    .to_string();
+                Ok(match model()? {
+                    Some(model) => Request::ReloadAs { checkpoint, model },
+                    None => Request::Reload { checkpoint },
+                })
+            }
             "shutdown" => Ok(Request::Shutdown),
             "sleep" => Ok(Request::Sleep {
                 ms: v
@@ -681,6 +920,49 @@ mod tests {
     }
 
     #[test]
+    fn parses_model_addressed_ops() {
+        assert_eq!(
+            Request::parse(r#"{"op":"open","session":"s","prices":[[1,2,3,4]],"model":"auto"}"#)
+                .unwrap(),
+            Request::OpenAs {
+                session: "s".into(),
+                prices: vec![vec![1.0, 2.0, 3.0, 4.0]],
+                model: "auto".into(),
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"decide","session":"s","model":"alt"}"#).unwrap(),
+            Request::DecideAs {
+                session: "s".into(),
+                prices: vec![],
+                model: "alt".into(),
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"info","model":"alt"}"#).unwrap(),
+            Request::InfoAs {
+                model: "alt".into()
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"reload","checkpoint":"/tmp/x.cit","model":"alt"}"#).unwrap(),
+            Request::ReloadAs {
+                checkpoint: "/tmp/x.cit".into(),
+                model: "alt".into(),
+            }
+        );
+        // A present-but-invalid model field is a parse error, never a
+        // silent fall-through to the default slot.
+        for bad in [
+            r#"{"op":"info","model":""}"#,
+            r#"{"op":"info","model":7}"#,
+            r#"{"op":"open","session":"s","prices":[[1,2,3,4]],"model":[]}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
     fn rejects_malformed_requests() {
         for bad in [
             "not json",
@@ -719,6 +1001,23 @@ mod tests {
             },
             Request::Shutdown,
             Request::Sleep { ms: 10 },
+            Request::OpenAs {
+                session: "s".into(),
+                prices: vec![vec![1.0, 2.0, 3.0, 4.0]],
+                model: "auto".into(),
+            },
+            Request::DecideAs {
+                session: "s".into(),
+                prices: vec![],
+                model: "alt".into(),
+            },
+            Request::InfoAs {
+                model: "alt".into(),
+            },
+            Request::ReloadAs {
+                checkpoint: "a b/c.cit".into(),
+                model: "alt".into(),
+            },
         ];
         for req in reqs {
             assert_eq!(Request::parse(&req.render()).unwrap(), req);
@@ -734,6 +1033,7 @@ mod tests {
         assert!(ErrorKind::Overloaded.is_retryable());
         assert!(ErrorKind::DeadlineExceeded.is_retryable());
         assert!(!ErrorKind::SessionLost.is_retryable());
+        assert!(!ErrorKind::ModelNotFound.is_retryable());
     }
 
     #[test]
@@ -768,6 +1068,26 @@ mod tests {
                 p99_us: 4100.0,
             }],
             errors: vec![("overloaded".into(), 5), ("unknown_session".into(), 2)],
+            models: vec![
+                ModelStats {
+                    model: "default".into(),
+                    checkpoint: "/tmp/model.cit".into(),
+                    reloads: 2,
+                    sessions: 2,
+                    requests: 700,
+                    errors: 1,
+                    req_per_s: 18.5,
+                },
+                ModelStats {
+                    model: "alt".into(),
+                    checkpoint: "/tmp/alt.cit".into(),
+                    reloads: 0,
+                    sessions: 1,
+                    requests: 200,
+                    errors: 0,
+                    req_per_s: 6.5,
+                },
+            ],
         };
         let line = Response::Stats(Box::new(stats.clone())).render();
         let v = Json::parse(&line).unwrap();
@@ -784,11 +1104,50 @@ mod tests {
             day: 41,
             final_action: w.clone(),
             pre_actions: vec![w.clone()],
+            model: String::new(),
         };
         let line = r.render();
         let v = crate::json::Json::parse(&line).unwrap();
         let back = v.get("final_action").unwrap().as_f64_array().unwrap();
         assert_eq!(back[0].to_bits(), w[0].to_bits());
         assert_eq!(back[1].to_bits(), w[1].to_bits());
+    }
+
+    #[test]
+    fn model_echo_is_omitted_for_default_slot_traffic() {
+        // Byte-compat guarantee: an empty model echo renders exactly the
+        // pre-multi-model line; a non-empty one appends the field.
+        let plain = Response::Opened {
+            session: "s".into(),
+            days: 31,
+            model: String::new(),
+        };
+        assert_eq!(
+            plain.render(),
+            r#"{"ok":true,"op":"open","session":"s","days":31}"#
+        );
+        let routed = Response::Opened {
+            session: "s".into(),
+            days: 31,
+            model: "alt".into(),
+        };
+        assert!(routed.render().contains(r#""model":"alt""#));
+        let info = Response::Info {
+            sessions: 0,
+            num_assets: 4,
+            num_params: 10,
+            window: 30,
+            policies: 3,
+            model: String::new(),
+        };
+        assert!(!info.render().contains("model"));
+        let reloaded = Response::Reloaded {
+            num_params: 10,
+            model: String::new(),
+        };
+        assert_eq!(
+            reloaded.render(),
+            r#"{"ok":true,"op":"reload","num_params":10}"#
+        );
     }
 }

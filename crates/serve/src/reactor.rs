@@ -463,13 +463,38 @@ fn handle_line(
     let op_idx = op_index(&req);
     match req {
         Request::Info => {
-            let model = state.model.read().expect("model lock poisoned").clone();
+            let model = state.registry.default_slot().current();
             let resp = Response::Info {
                 sessions: state.store.len(),
                 num_assets: state.num_assets,
                 num_params: model.num_params(),
                 window: model.min_history(),
                 policies: model.config().num_policies,
+                model: String::new(),
+            };
+            complete_inline(conn, seq, op_idx, started, resp, state);
+        }
+        Request::InfoAs { model } => {
+            // Slot-addressed info: model-specific numbers plus the count
+            // of sessions pinned to that slot.
+            let resp = match state.resolve_slot(&model) {
+                Ok(slot) => {
+                    let by_model = state.store.count_by_model();
+                    let mut sessions = by_model.get(slot.name.as_str()).copied().unwrap_or(0);
+                    if Arc::ptr_eq(state.registry.default_slot(), slot) {
+                        sessions += by_model.get("").copied().unwrap_or(0);
+                    }
+                    let m = slot.current();
+                    Response::Info {
+                        sessions,
+                        num_assets: state.num_assets,
+                        num_params: m.num_params(),
+                        window: m.min_history(),
+                        policies: m.config().num_policies,
+                        model: slot.name.clone(),
+                    }
+                }
+                Err(resp) => resp,
             };
             complete_inline(conn, seq, op_idx, started, resp, state);
         }
@@ -481,7 +506,11 @@ fn handle_line(
             // Loading a checkpoint blocks the reactor briefly; reloads
             // are rare operator actions and the swap must be atomic with
             // respect to request dispatch anyway.
-            let resp = state.reload(&checkpoint);
+            let resp = state.reload(&checkpoint, "");
+            complete_inline(conn, seq, op_idx, started, resp, state);
+        }
+        Request::ReloadAs { checkpoint, model } => {
+            let resp = state.reload(&checkpoint, &model);
             complete_inline(conn, seq, op_idx, started, resp, state);
         }
         Request::Shutdown => {
@@ -494,7 +523,9 @@ fn handle_line(
             complete_inline(conn, seq, op_idx, started, resp, state);
         }
         queued @ (Request::Open { .. }
+        | Request::OpenAs { .. }
         | Request::Decide { .. }
+        | Request::DecideAs { .. }
         | Request::Close { .. }
         | Request::Sleep { .. }) => {
             if state.shutdown.load(Ordering::Relaxed) {

@@ -1,0 +1,222 @@
+//! Named model slots: the multi-model half of the serving plane.
+//!
+//! A [`ModelRegistry`] holds a fixed set of slots, each a name bound to a
+//! hot-swappable `Arc<DecisionModel>` plus that slot's own telemetry
+//! instruments. Slot zero is the **default** slot — the one addressed by
+//! every request that carries no `model` field, which keeps single-model
+//! deployments byte-identical to the pre-registry protocol. The slot
+//! *set* is fixed at startup (no dynamic add/remove — a reload swaps a
+//! slot's checkpoint, never the roster), so lookups are a linear scan
+//! over a short immutable vector and never take a registry-wide lock.
+//!
+//! Every slot must share one architecture (asset count, window, policy
+//! count): sessions live in one store, prices share one wire validation
+//! path, and the meta-router must be free to send a given open history
+//! to any slot.
+
+use cit_core::DecisionModel;
+use cit_telemetry::{Counter, Telemetry, WindowedCounter};
+use std::io;
+use std::sync::{Arc, RwLock};
+
+/// The reserved `model` value that asks the meta-router to pick a slot
+/// on `open` (and is therefore forbidden as a slot name).
+pub const AUTO_MODEL: &str = "auto";
+
+/// The conventional name of the default slot (slot zero). Requests
+/// without a `model` field land here; the name exists so stats and logs
+/// can refer to the slot explicitly.
+pub const DEFAULT_MODEL: &str = "default";
+
+/// One model to host: the input to [`crate::Server::start_multi`].
+pub struct NamedModel {
+    /// Slot name clients address via the wire `model` field.
+    pub name: String,
+    /// The model to serve in this slot.
+    pub model: DecisionModel,
+    /// Identity label reported by `stats` until a reload replaces it.
+    pub checkpoint_label: String,
+}
+
+/// One named slot: a hot-swappable model plus per-slot accounting.
+pub(crate) struct ModelSlot {
+    pub(crate) name: String,
+    model: RwLock<Arc<DecisionModel>>,
+    checkpoint: RwLock<String>,
+    /// Successful reloads into this slot.
+    pub(crate) reloads: Counter,
+    /// `open`/`decide` requests answered by this slot.
+    pub(crate) requests: Counter,
+    /// Error responses attributed to this slot.
+    pub(crate) errors: Counter,
+    /// Per-slot request rate (the `req_per_s` column of `stats`).
+    pub(crate) requests_window: WindowedCounter,
+}
+
+impl ModelSlot {
+    /// The slot's current model, cloned out of the swap lock. Callers
+    /// hold the `Arc` for the whole request, so a concurrent reload
+    /// never changes a decision mid-flight.
+    pub(crate) fn current(&self) -> Arc<DecisionModel> {
+        self.model.read().expect("model lock poisoned").clone()
+    }
+
+    /// Atomically swaps in a new model and records the checkpoint
+    /// identity (the slot half of the `reload` op).
+    pub(crate) fn swap(&self, model: DecisionModel, checkpoint: &str) {
+        *self.model.write().expect("model lock poisoned") = Arc::new(model);
+        *self.checkpoint.write().expect("checkpoint lock poisoned") = checkpoint.to_string();
+        self.reloads.inc();
+    }
+
+    /// Identity of the slot's loaded checkpoint.
+    pub(crate) fn checkpoint(&self) -> String {
+        self.checkpoint
+            .read()
+            .expect("checkpoint lock poisoned")
+            .clone()
+    }
+}
+
+/// The fixed roster of named slots a server hosts.
+pub(crate) struct ModelRegistry {
+    slots: Vec<Arc<ModelSlot>>,
+}
+
+impl ModelRegistry {
+    /// Builds a registry from `models` (slot zero becomes the default).
+    /// Rejects an empty roster, duplicate or reserved names (`""`,
+    /// `"auto"`), and architecture mismatches across slots — every slot
+    /// must agree on asset count, window and policy count so sessions
+    /// and the router can move freely between them.
+    pub(crate) fn new(models: Vec<NamedModel>, telemetry: &Telemetry) -> io::Result<ModelRegistry> {
+        let bad = |m: String| io::Error::new(io::ErrorKind::InvalidInput, m);
+        if models.is_empty() {
+            return Err(bad("model registry needs at least one model".into()));
+        }
+        let mut slots: Vec<Arc<ModelSlot>> = Vec::with_capacity(models.len());
+        let first = (
+            models[0].model.num_assets(),
+            models[0].model.min_history(),
+            models[0].model.config().num_policies,
+        );
+        for nm in models {
+            if nm.name.is_empty() || nm.name == AUTO_MODEL {
+                return Err(bad(format!("{:?} is a reserved model slot name", nm.name)));
+            }
+            if slots.iter().any(|s| s.name == nm.name) {
+                return Err(bad(format!("duplicate model slot name {:?}", nm.name)));
+            }
+            let shape = (
+                nm.model.num_assets(),
+                nm.model.min_history(),
+                nm.model.config().num_policies,
+            );
+            if shape != first {
+                return Err(bad(format!(
+                    "model slot {:?} has shape (assets, window, policies) = {:?}, \
+                     but the default slot has {:?} — all slots must share one architecture",
+                    nm.name, shape, first
+                )));
+            }
+            let name = &nm.name;
+            slots.push(Arc::new(ModelSlot {
+                model: RwLock::new(Arc::new(nm.model)),
+                checkpoint: RwLock::new(nm.checkpoint_label),
+                reloads: telemetry.counter(&format!("serve.model.{name}.reloads")),
+                requests: telemetry.counter(&format!("serve.model.{name}.requests")),
+                errors: telemetry.counter(&format!("serve.model.{name}.errors")),
+                requests_window: telemetry
+                    .windowed_counter(&format!("serve.model.{name}.requests_window")),
+                name: nm.name,
+            }));
+        }
+        Ok(ModelRegistry { slots })
+    }
+
+    /// The default slot (slot zero) — where model-oblivious traffic goes.
+    pub(crate) fn default_slot(&self) -> &Arc<ModelSlot> {
+        &self.slots[0]
+    }
+
+    /// Resolves a wire `model` value to a slot: empty addresses the
+    /// default slot, anything else must match a slot name exactly.
+    /// `None` is the caller's cue for a typed `model_not_found`.
+    pub(crate) fn get(&self, name: &str) -> Option<&Arc<ModelSlot>> {
+        if name.is_empty() {
+            return Some(self.default_slot());
+        }
+        self.slots.iter().find(|s| s.name == name)
+    }
+
+    /// Resolves a router pick (an index into the roster) to its slot.
+    pub(crate) fn by_index(&self, i: usize) -> &Arc<ModelSlot> {
+        &self.slots[i.min(self.slots.len() - 1)]
+    }
+
+    /// Every slot, default first — the iteration basis for per-model
+    /// stats and the recovery scan's name resolver.
+    pub(crate) fn slots(&self) -> &[Arc<ModelSlot>] {
+        &self.slots
+    }
+
+    /// Number of hosted slots.
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cit_core::CitConfig;
+
+    fn named(name: &str, seed: u64, assets: usize) -> NamedModel {
+        NamedModel {
+            name: name.into(),
+            model: DecisionModel::untrained(CitConfig::smoke(seed), assets).expect("valid"),
+            checkpoint_label: format!("label-{name}"),
+        }
+    }
+
+    #[test]
+    fn resolves_default_named_and_unknown() {
+        let t = Telemetry::disabled();
+        let reg = ModelRegistry::new(vec![named("default", 1, 2), named("alt", 2, 2)], &t).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get("").unwrap().name, "default");
+        assert_eq!(reg.get("default").unwrap().name, "default");
+        assert_eq!(reg.get("alt").unwrap().name, "alt");
+        assert!(reg.get("nope").is_none());
+        assert!(reg.get(AUTO_MODEL).is_none());
+        assert_eq!(reg.by_index(1).name, "alt");
+    }
+
+    #[test]
+    fn rejects_bad_rosters() {
+        let t = Telemetry::disabled();
+        assert!(ModelRegistry::new(vec![], &t).is_err());
+        assert!(ModelRegistry::new(vec![named("auto", 1, 2)], &t).is_err());
+        assert!(ModelRegistry::new(vec![named("", 1, 2)], &t).is_err());
+        assert!(ModelRegistry::new(vec![named("a", 1, 2), named("a", 2, 2)], &t).is_err());
+        // Mismatched asset counts are an architecture mismatch.
+        assert!(ModelRegistry::new(vec![named("a", 1, 2), named("b", 2, 3)], &t).is_err());
+    }
+
+    #[test]
+    fn swap_changes_only_its_slot() {
+        // A live (NoopSink) handle so the per-slot counters are real.
+        let t = Telemetry::new(std::sync::Arc::new(cit_telemetry::NoopSink));
+        let reg = ModelRegistry::new(vec![named("default", 1, 2), named("alt", 2, 2)], &t).unwrap();
+        let before_default = Arc::as_ptr(&reg.get("default").unwrap().current());
+        let new = DecisionModel::untrained(CitConfig::smoke(9), 2).expect("valid");
+        reg.get("alt").unwrap().swap(new, "/tmp/new.cit");
+        assert_eq!(reg.get("alt").unwrap().checkpoint(), "/tmp/new.cit");
+        assert_eq!(reg.get("alt").unwrap().reloads.get(), 1);
+        assert_eq!(
+            Arc::as_ptr(&reg.get("default").unwrap().current()),
+            before_default,
+            "swapping alt must not touch the default slot"
+        );
+    }
+}

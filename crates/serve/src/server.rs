@@ -1,13 +1,18 @@
-//! Server assembly: configuration, shared state, the hot-swappable
-//! model, session-lifecycle wiring (idle-TTL eviction + disk spill), and
-//! the live metrics plane (`stats` op + optional admin exposition
-//! listener). The connection layer itself is the readiness-polled
-//! reactor in [`crate::reactor`]; decision compute is the micro-batcher
-//! in [`crate::batch`].
+//! Server assembly: configuration, shared state, the registry of
+//! hot-swappable model slots, session-lifecycle wiring (idle-TTL
+//! eviction + disk spill), and the live metrics plane (`stats` op +
+//! optional admin exposition listener). The connection layer itself is
+//! the readiness-polled reactor in [`crate::reactor`]; decision compute
+//! is the micro-batcher in [`crate::batch`]; slot selection for `"auto"`
+//! opens is the [`crate::router`] policy.
 
 use crate::batch::{run_batcher, Job};
-use crate::protocol::{ErrorKind, OpStats, Request, Response, ServerStats, WindowStats};
+use crate::protocol::{
+    ErrorKind, ModelStats, OpStats, Request, Response, ServerStats, WindowStats,
+};
 use crate::reactor::{run_reactor, Completions};
+use crate::registry::{ModelRegistry, NamedModel, AUTO_MODEL, DEFAULT_MODEL};
+use crate::router::{RegimeRouter, RouterPolicy};
 use crate::session::SessionStore;
 use crate::spill::SpillDir;
 use cit_core::{CitConfig, DecisionModel};
@@ -22,7 +27,7 @@ use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -82,6 +87,10 @@ pub struct ServeConfig {
     /// the reactor declares it a slow reader and disconnects it (a stalled
     /// client must not grow server memory without bound).
     pub max_wbuf: usize,
+    /// Seed of the deterministic meta-router behind `open
+    /// {"model":"auto"}` — same seed + same open history ⇒ same slot,
+    /// across restarts and platforms.
+    pub router_seed: u64,
     /// Fault-injection handle for chaos testing (see `cit-faults`). The
     /// default disabled handle costs one `Option` check per site.
     pub faults: FaultInjector,
@@ -105,6 +114,7 @@ impl Default for ServeConfig {
             spill_dir: None,
             request_deadline: None,
             max_wbuf: 4 << 20,
+            router_seed: 0,
             faults: FaultInjector::disabled(),
         }
     }
@@ -127,15 +137,17 @@ const _: () = assert!(
     "OP_OTHER must be the last OP_NAMES slot"
 );
 
-/// Index into [`OP_NAMES`] / [`ServerState::ops`] for a request.
+/// Index into [`OP_NAMES`] / [`ServerState::ops`] for a request. The
+/// model-addressed `*As` forms share their base op's row: on the wire
+/// they *are* the same op, just carrying an extra field.
 pub(crate) fn op_index(req: &Request) -> usize {
     match req {
-        Request::Open { .. } => 0,
-        Request::Decide { .. } => 1,
+        Request::Open { .. } | Request::OpenAs { .. } => 0,
+        Request::Decide { .. } | Request::DecideAs { .. } => 1,
         Request::Close { .. } => 2,
-        Request::Info => 3,
+        Request::Info | Request::InfoAs { .. } => 3,
         Request::Stats => 4,
-        Request::Reload { .. } => 5,
+        Request::Reload { .. } | Request::ReloadAs { .. } => 5,
         Request::Sleep { .. } => 6,
         // Shutdown shares the `other` slot: it answers at most once per
         // server lifetime, a dedicated breakdown row would be noise.
@@ -150,10 +162,13 @@ pub(crate) struct OpInstruments {
     pub(crate) latency: Histogram,
 }
 
-/// Shared server state: the hot-swappable model, the session store, the
-/// drain flag and the telemetry instruments.
+/// Shared server state: the model-slot registry, the meta-router, the
+/// session store, the drain flag and the telemetry instruments.
 pub(crate) struct ServerState {
-    pub(crate) model: RwLock<Arc<DecisionModel>>,
+    /// The named model slots (slot zero = default).
+    pub(crate) registry: ModelRegistry,
+    /// The policy behind `open {"model":"auto"}`.
+    pub(crate) router: Box<dyn RouterPolicy>,
     pub(crate) model_cfg: CitConfig,
     pub(crate) num_assets: usize,
     pub(crate) cfg: ServeConfig,
@@ -191,8 +206,6 @@ pub(crate) struct ServerState {
     /// back; the client saw a typed `session_lost`.
     pub(crate) quarantined: AtomicU64,
     pub(crate) quarantined_counter: Counter,
-    /// Identity of the loaded checkpoint (updated by `reload`).
-    pub(crate) checkpoint: RwLock<String>,
     /// Every request (any op) for live req/s.
     pub(crate) requests_window: WindowedCounter,
     /// Every request's wall latency for live p50/p95/p99.
@@ -244,10 +257,41 @@ impl ServerState {
         self.quarantined_counter.add(n);
     }
 
-    /// Atomically swaps in a new checkpoint (the `reload` op). A failed
-    /// load (including an injected `serve.reload` disk fault) leaves the
-    /// running model untouched and answers a typed `reload_failed`.
-    pub(crate) fn reload(&self, checkpoint: &str) -> Response {
+    /// Resolves a wire `model` value against the registry, mapping the
+    /// `"auto"` sentinel and unknown names to a typed `model_not_found`
+    /// (the sentinel is only meaningful on `open`, which handles it
+    /// before calling this).
+    pub(crate) fn resolve_slot(
+        &self,
+        name: &str,
+    ) -> Result<&Arc<crate::registry::ModelSlot>, Response> {
+        self.registry.get(name).ok_or_else(|| {
+            Response::error(
+                ErrorKind::ModelNotFound,
+                if name == AUTO_MODEL {
+                    format!("{AUTO_MODEL:?} is only valid on open")
+                } else {
+                    format!("no model slot {name:?}")
+                },
+            )
+        })
+    }
+
+    /// The spill-restore model resolver: maps a spill file's model pin
+    /// to the slot's current model (empty pin = default slot).
+    pub(crate) fn spill_resolver(&self) -> impl Fn(&str) -> Option<Arc<DecisionModel>> + '_ {
+        move |name: &str| self.registry.get(name).map(|slot| slot.current())
+    }
+
+    /// Atomically swaps a new checkpoint into slot `slot_name` (empty =
+    /// default) — the `reload` op. A failed load (including an injected
+    /// `serve.reload` disk fault) leaves the running model untouched and
+    /// answers a typed `reload_failed`; other slots are never touched.
+    pub(crate) fn reload(&self, checkpoint: &str, slot_name: &str) -> Response {
+        let slot = match self.resolve_slot(slot_name) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
         if let Some(e) = self.cfg.faults.io_error("serve.reload") {
             return Response::error(
                 ErrorKind::ReloadFailed,
@@ -257,13 +301,22 @@ impl ServerState {
         match DecisionModel::from_checkpoint(checkpoint, self.model_cfg, self.num_assets) {
             Ok(new_model) => {
                 let num_params = new_model.num_params();
-                *self.model.write().expect("model lock poisoned") = Arc::new(new_model);
+                slot.swap(new_model, checkpoint);
                 self.reloads.inc();
-                *self.checkpoint.write().expect("checkpoint lock poisoned") =
-                    checkpoint.to_string();
-                self.telemetry
-                    .emit(cit_telemetry::Record::new("serve.reload").with("path", checkpoint));
-                Response::Reloaded { num_params }
+                self.telemetry.emit(
+                    cit_telemetry::Record::new("serve.reload")
+                        .with("path", checkpoint)
+                        .with("model", slot.name.as_str()),
+                );
+                Response::Reloaded {
+                    num_params,
+                    // Echo the slot only for model-addressed reloads.
+                    model: if slot_name.is_empty() {
+                        String::new()
+                    } else {
+                        slot.name.clone()
+                    },
+                }
             }
             Err(e) => Response::error(
                 ErrorKind::ReloadFailed,
@@ -306,6 +359,30 @@ impl ServerState {
             .filter(|(_, c)| c.get() > 0)
             .map(|(kind, c)| (kind.tag().to_string(), c.get()))
             .collect();
+        let by_model = self.store.count_by_model();
+        let models = self
+            .registry
+            .slots()
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                // Sessions opened without a `model` field carry an empty
+                // pin; they belong to the default slot (slot zero).
+                let mut sessions = by_model.get(slot.name.as_str()).copied().unwrap_or(0);
+                if i == 0 {
+                    sessions += by_model.get("").copied().unwrap_or(0);
+                }
+                ModelStats {
+                    model: slot.name.clone(),
+                    checkpoint: slot.checkpoint(),
+                    reloads: slot.reloads.get(),
+                    sessions,
+                    requests: slot.requests.get(),
+                    errors: slot.errors.get(),
+                    req_per_s: slot.requests_window.rate(DEFAULT_WINDOWS[0]),
+                }
+            })
+            .collect();
         ServerStats {
             uptime_s: self.started.elapsed().as_secs_f64(),
             sessions: self.store.len(),
@@ -315,11 +392,7 @@ impl ServerState {
             sessions_quarantined: self.quarantined.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as usize,
             queue_cap: self.cfg.queue_cap,
-            checkpoint: self
-                .checkpoint
-                .read()
-                .expect("checkpoint lock poisoned")
-                .clone(),
+            checkpoint: self.registry.default_slot().checkpoint(),
             reloads: self.reloads.get(),
             requests_total: self.requests_window.total(),
             errors_total: errors.iter().map(|(_, c)| c).sum(),
@@ -327,6 +400,7 @@ impl ServerState {
             windows,
             ops,
             errors,
+            models,
         }
     }
 }
@@ -357,17 +431,43 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts serving `model` with telemetry disabled.
+    /// Starts serving `model` as the sole (default) slot with telemetry
+    /// disabled.
     pub fn start(model: DecisionModel, cfg: ServeConfig) -> io::Result<Server> {
         Self::start_with(model, cfg, Telemetry::disabled())
     }
 
-    /// Starts serving `model`, recording request metrics into `telemetry`:
-    /// `serve.latency` / `serve.batch_size` histograms, `serve.requests` /
-    /// `serve.rejected` / `serve.reloads` counters and `serve.sessions` /
-    /// `serve.connections` / `serve.sessions_evicted` gauges.
+    /// Starts serving `model` as the sole (default) slot, recording
+    /// request metrics into `telemetry`: `serve.latency` /
+    /// `serve.batch_size` histograms, `serve.requests` /
+    /// `serve.rejected` / `serve.reloads` counters, `serve.sessions` /
+    /// `serve.connections` / `serve.sessions_evicted` gauges and the
+    /// per-slot `serve.model.<name>.*` family.
     pub fn start_with(
         model: DecisionModel,
+        cfg: ServeConfig,
+        telemetry: Telemetry,
+    ) -> io::Result<Server> {
+        let checkpoint_label = cfg.checkpoint_label.clone();
+        Self::start_multi(
+            vec![NamedModel {
+                name: DEFAULT_MODEL.to_string(),
+                model,
+                checkpoint_label,
+            }],
+            cfg,
+            telemetry,
+        )
+    }
+
+    /// Starts serving several models as named slots — the first entry
+    /// becomes the **default** slot addressed by requests without a
+    /// `model` field. Every slot must share one architecture (asset
+    /// count, window, policy count); `open {"model":"auto"}` routes new
+    /// sessions across the roster via the seeded [`RegimeRouter`]
+    /// (see [`ServeConfig::router_seed`]).
+    pub fn start_multi(
+        models: Vec<NamedModel>,
         cfg: ServeConfig,
         telemetry: Telemetry,
     ) -> io::Result<Server> {
@@ -380,6 +480,8 @@ impl Server {
         } else {
             Telemetry::new(Arc::new(NoopSink))
         };
+        let registry = ModelRegistry::new(models, &telemetry)?;
+        let default_model = registry.default_slot().current();
         let listener = TcpListener::bind(&cfg.addr)?;
         // Survive four-digit-client connect storms (see `deepen_backlog`).
         crate::reactor::deepen_backlog(&listener, 4096);
@@ -398,8 +500,11 @@ impl Server {
         };
         // Recovery scan before serving: a torn or corrupted spill left by
         // a crashed predecessor is quarantined now, so it can never wedge
-        // a restore mid-traffic. Bad files are renamed, never deleted.
-        let recovered = spill.as_ref().map(|s| s.recover_scan(&model));
+        // a restore mid-traffic. Bad files are renamed, never deleted;
+        // files pinned to slots this server does not host are skipped.
+        let recovered = spill
+            .as_ref()
+            .map(|s| s.recover_scan(&|name| registry.get(name).map(|slot| slot.current())));
         let threads = cit_compute::resolve_threads(cfg.threads);
         let ops = OP_NAMES
             .iter()
@@ -415,9 +520,10 @@ impl Server {
             .map(|kind| telemetry.counter(&format!("serve.errors.{}", kind.tag())))
             .collect();
         let state = Arc::new(ServerState {
-            model_cfg: *model.config(),
-            num_assets: model.num_assets(),
-            model: RwLock::new(Arc::new(model)),
+            model_cfg: *default_model.config(),
+            num_assets: default_model.num_assets(),
+            router: Box::new(RegimeRouter::new(cfg.router_seed)),
+            registry,
             store: SessionStore::new(cfg.shards),
             spill,
             threads,
@@ -442,7 +548,6 @@ impl Server {
             restored_counter: telemetry.counter("serve.sessions_restored"),
             quarantined: AtomicU64::new(0),
             quarantined_counter: telemetry.counter("serve.sessions_quarantined"),
-            checkpoint: RwLock::new(cfg.checkpoint_label.clone()),
             requests_window: telemetry.windowed_counter("serve.requests_window"),
             latency_window: telemetry.rolling_histogram("serve.latency_window", &duration_bounds()),
             ops,

@@ -20,6 +20,11 @@ use std::time::{Duration, Instant};
 /// per-policy actions).
 pub struct Session {
     name: String,
+    /// The model slot this session is pinned to for life — carried
+    /// through disk spill so a restart restores the session against the
+    /// same model (empty = default slot, for sessions opened without a
+    /// `model` field).
+    model: String,
     num_assets: usize,
     /// Day-major `[days, m, 4]` history, trimmed to `max_history` days.
     hist: Vec<f64>,
@@ -37,11 +42,13 @@ pub struct Session {
 }
 
 impl Session {
-    /// Creates a session seeded with `prices` (one `[m·4]` row per day).
-    /// Needs at least `model.min_history()` days.
+    /// Creates a session seeded with `prices` (one `[m·4]` row per day),
+    /// pinned to model slot `slot` (empty = default). Needs at least
+    /// `model.min_history()` days.
     pub fn open(
         model: &DecisionModel,
         name: &str,
+        slot: &str,
         prices: &[Vec<f64>],
         max_history: usize,
     ) -> Result<Session, Response> {
@@ -58,6 +65,7 @@ impl Session {
         }
         let mut session = Session {
             name: name.to_string(),
+            model: slot.to_string(),
             num_assets: model.num_assets(),
             hist: Vec::new(),
             days: 0,
@@ -74,6 +82,11 @@ impl Session {
     /// The session id.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The model slot the session is pinned to (empty = default slot).
+    pub fn model_name(&self) -> &str {
+        &self.model
     }
 
     /// Days of history currently held (after trimming).
@@ -172,6 +185,7 @@ impl Session {
             day: self.current_day(),
             final_action: out.final_action,
             pre_actions: out.pre_actions,
+            model: self.model.clone(),
         })
     }
 
@@ -181,12 +195,17 @@ impl Session {
     /// which the `SlidingDwt` contract guarantees is decision-invariant.
     /// The payload ends in a [`checksum64`] trailer over everything
     /// before it, so truncation and bit-flips are detected on restore.
+    /// The format (`CITSESS3`) carries the model-slot pin right after
+    /// the session name, so a restart restores every session against the
+    /// model it was opened on.
     pub(crate) fn spill_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(80 + self.hist.len() * 8);
+        let mut out = Vec::with_capacity(96 + self.hist.len() * 8);
         out.extend_from_slice(SPILL_MAGIC);
         let push_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
         push_u64(&mut out, self.name.len() as u64);
         out.extend_from_slice(self.name.as_bytes());
+        push_u64(&mut out, self.model.len() as u64);
+        out.extend_from_slice(self.model.as_bytes());
         push_u64(&mut out, self.num_assets as u64);
         push_u64(&mut out, self.days as u64);
         push_u64(&mut out, self.total_days as u64);
@@ -252,6 +271,12 @@ impl Session {
         }
         let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
             .map_err(|_| corrupt("session name is not UTF-8"))?;
+        let model_len = take_u64(&mut pos)? as usize;
+        if model_len > 4096 {
+            return Err(corrupt("implausible model slot name length"));
+        }
+        let model_name = String::from_utf8(take(&mut pos, model_len)?.to_vec())
+            .map_err(|_| corrupt("model slot name is not UTF-8"))?;
         let num_assets = take_u64(&mut pos)? as usize;
         let days = take_u64(&mut pos)? as usize;
         let total_days = take_u64(&mut pos)? as usize;
@@ -303,6 +328,7 @@ impl Session {
         }
         Ok(Session {
             name,
+            model: model_name,
             num_assets,
             hist,
             days,
@@ -313,6 +339,54 @@ impl Session {
             last_used: Instant::now(),
         })
     }
+}
+
+/// The identity header of a spill file: who it is and which model slot
+/// it is pinned to — enough for the restore path to resolve the right
+/// model *before* the full shape-validating parse.
+pub(crate) struct SpillHeader {
+    pub(crate) name: String,
+    pub(crate) model: String,
+}
+
+/// Reads just the identity header of [`Session::spill_bytes`] output,
+/// after verifying magic and the checksum trailer (so a header from a
+/// damaged file is never trusted).
+pub(crate) fn spill_peek(bytes: &[u8]) -> Result<SpillHeader, SpillError> {
+    let corrupt = |m: &str| SpillError::Corrupt(m.to_string());
+    if bytes.len() < SPILL_MAGIC.len() || &bytes[..SPILL_MAGIC.len()] != SPILL_MAGIC {
+        return Err(corrupt("not a cit-serve spill file (bad magic)"));
+    }
+    if bytes.len() < SPILL_MAGIC.len() + 8 {
+        return Err(corrupt("truncated spill file (no checksum trailer)"));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    if checksum64(payload) != stored {
+        return Err(corrupt(
+            "spill checksum mismatch (truncated or corrupted on disk)",
+        ));
+    }
+    let mut pos = SPILL_MAGIC.len();
+    let mut take_str = |label: &str| -> Result<String, SpillError> {
+        let len_bytes = payload
+            .get(pos..pos + 8)
+            .ok_or_else(|| corrupt("truncated spill file"))?;
+        pos += 8;
+        let len = u64::from_le_bytes(len_bytes.try_into().expect("8 bytes")) as usize;
+        if len > 4096 {
+            return Err(corrupt(&format!("implausible {label} length")));
+        }
+        let s = payload
+            .get(pos..pos + len)
+            .ok_or_else(|| corrupt("truncated spill file"))?;
+        pos += len;
+        String::from_utf8(s.to_vec()).map_err(|_| corrupt(&format!("{label} is not UTF-8")))
+    };
+    Ok(SpillHeader {
+        name: take_str("session name")?,
+        model: take_str("model slot name")?,
+    })
 }
 
 /// A sharded session map: sessions hash to one of `shards` independent
@@ -420,6 +494,20 @@ impl SessionStore {
         written
     }
 
+    /// Resident session counts keyed by model pin (sessions opened
+    /// without a `model` field count under the empty key). A full-store
+    /// scan — fine for the `stats` op, not for hot paths.
+    pub(crate) fn count_by_model(&self) -> HashMap<String, usize> {
+        let mut counts = HashMap::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("session shard poisoned");
+            for session in shard.values() {
+                *counts.entry(session.model.clone()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
     /// Live session count across all shards.
     pub fn len(&self) -> usize {
         self.shards
@@ -474,16 +562,16 @@ mod tests {
         let m = model();
         let p = synth();
         let too_short = rows(&p, 0, m.min_history() - 1);
-        assert!(Session::open(&m, "s", &too_short, 256).is_err());
+        assert!(Session::open(&m, "s", "", &too_short, 256).is_err());
         let enough = rows(&p, 0, m.min_history());
-        assert!(Session::open(&m, "s", &enough, 256).is_ok());
+        assert!(Session::open(&m, "s", "", &enough, 256).is_ok());
     }
 
     #[test]
     fn decide_carries_prev_actions_and_day_counter() {
         let m = model();
         let p = synth();
-        let mut s = Session::open(&m, "s", &rows(&p, 0, 30), 256).unwrap();
+        let mut s = Session::open(&m, "s", "", &rows(&p, 0, 30), 256).unwrap();
         let r1 = s.decide(&m, &[]).unwrap();
         let Response::Decision { day, .. } = &r1 else {
             panic!("expected decision")
@@ -501,8 +589,8 @@ mod tests {
         let m = model();
         let p = synth();
         // Session A trims aggressively; session B keeps everything.
-        let mut a = Session::open(&m, "a", &rows(&p, 0, 30), 40).unwrap();
-        let mut b = Session::open(&m, "b", &rows(&p, 0, 30), 100_000).unwrap();
+        let mut a = Session::open(&m, "a", "", &rows(&p, 0, 30), 40).unwrap();
+        let mut b = Session::open(&m, "b", "", &rows(&p, 0, 30), 100_000).unwrap();
         for t in 30..100 {
             let day = rows(&p, t, t + 1);
             let ra = a.decide(&m, &day).unwrap();
@@ -529,10 +617,10 @@ mod tests {
         let p = synth();
         let store = SessionStore::new(4);
         store
-            .insert(Session::open(&m, "x", &rows(&p, 0, 30), 256).unwrap())
+            .insert(Session::open(&m, "x", "", &rows(&p, 0, 30), 256).unwrap())
             .unwrap();
         assert!(store
-            .insert(Session::open(&m, "x", &rows(&p, 0, 30), 256).unwrap())
+            .insert(Session::open(&m, "x", "", &rows(&p, 0, 30), 256).unwrap())
             .is_err());
         assert_eq!(store.len(), 1);
         let s = store.take("x").unwrap();
@@ -547,8 +635,8 @@ mod tests {
         let p = synth();
         // Control session decides straight through; the probe session is
         // serialized and restored mid-stream.
-        let mut control = Session::open(&m, "s", &rows(&p, 0, 40), 256).unwrap();
-        let mut probe = Session::open(&m, "s", &rows(&p, 0, 40), 256).unwrap();
+        let mut control = Session::open(&m, "s", "", &rows(&p, 0, 40), 256).unwrap();
+        let mut probe = Session::open(&m, "s", "", &rows(&p, 0, 40), 256).unwrap();
         for t in 40..60 {
             let day = rows(&p, t, t + 1);
             let rc = control.decide(&m, &day).unwrap();
@@ -583,7 +671,7 @@ mod tests {
     fn spill_rejects_corrupt_and_mismatched_payloads() {
         let m = model();
         let p = synth();
-        let s = Session::open(&m, "s", &rows(&p, 0, 40), 256).unwrap();
+        let s = Session::open(&m, "s", "", &rows(&p, 0, 40), 256).unwrap();
         let good = s.spill_bytes();
         assert!(Session::from_spill_bytes(&good[..good.len() - 3], &m).is_err());
         let mut bad_magic = good.clone();
@@ -606,7 +694,7 @@ mod tests {
     fn spill_detects_every_truncation_and_bitflip() {
         let m = model();
         let p = synth();
-        let s = Session::open(&m, "trunc", &rows(&p, 0, 40), 256).unwrap();
+        let s = Session::open(&m, "trunc", "", &rows(&p, 0, 40), 256).unwrap();
         let good = s.spill_bytes();
         assert!(Session::from_spill_bytes(&good, &m).is_ok());
         for cut in 0..good.len() {
@@ -634,10 +722,33 @@ mod tests {
     }
 
     #[test]
+    fn spill_carries_the_model_pin() {
+        let m = model();
+        let p = synth();
+        let s = Session::open(&m, "pin", "alt", &rows(&p, 0, 40), 256).unwrap();
+        assert_eq!(s.model_name(), "alt");
+        let bytes = s.spill_bytes();
+        // The cheap header peek and the full parse agree on identity.
+        let header = spill_peek(&bytes).unwrap();
+        assert_eq!(header.name, "pin");
+        assert_eq!(header.model, "alt");
+        let restored = Session::from_spill_bytes(&bytes, &m).unwrap();
+        assert_eq!(restored.model_name(), "alt");
+        // A damaged header is never trusted.
+        let mut bad = bytes.clone();
+        bad[9] ^= 0xff;
+        assert!(matches!(spill_peek(&bad), Err(SpillError::Corrupt(_))));
+        assert!(matches!(
+            spill_peek(&bytes[..20]),
+            Err(SpillError::Corrupt(_))
+        ));
+    }
+
+    #[test]
     fn rejects_bad_rows() {
         let m = model();
         let p = synth();
-        let mut s = Session::open(&m, "s", &rows(&p, 0, 30), 256).unwrap();
+        let mut s = Session::open(&m, "s", "", &rows(&p, 0, 30), 256).unwrap();
         assert!(s.decide(&m, &[vec![1.0; 3]]).is_err()); // wrong width
         assert!(s.decide(&m, &[vec![-1.0; 8]]).is_err()); // negative price
                                                           // Session still usable after rejects.

@@ -17,16 +17,24 @@
 //! `serve.spill.truncate` short writes, `serve.spill.corrupt` bit-flips)
 //! are injectable through the `cit-faults` plan machinery.
 
-use crate::session::Session;
+use crate::session::{spill_peek, Session};
 use cit_core::DecisionModel;
 use cit_faults::FaultInjector;
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// Magic prefix of a spill file (format version 2: checksum trailer).
-/// Version-1 files (no checksum) are treated as corrupt and quarantined.
-pub(crate) const SPILL_MAGIC: &[u8; 8] = b"CITSESS2";
+/// Magic prefix of a spill file (format version 3: checksum trailer +
+/// model-slot pin). Files from earlier versions (`CITSESS1` without a
+/// checksum, `CITSESS2` without the model pin) are treated as corrupt
+/// and quarantined — a deliberate one-way migration, since a session
+/// without a pin cannot be safely assigned to a slot.
+pub(crate) const SPILL_MAGIC: &[u8; 8] = b"CITSESS3";
+
+/// Resolves a model-slot name from a spill header to the model to
+/// restore against — `None` when the server does not host that slot.
+pub(crate) type ModelResolver<'a> = &'a dyn Fn(&str) -> Option<Arc<DecisionModel>>;
 
 /// FNV-1a 64-bit over `bytes` — the spill trailer. Not cryptographic;
 /// it exists to catch truncation, torn writes and bit rot, which it does
@@ -136,14 +144,18 @@ impl SpillDir {
     }
 
     /// Reads and **removes** the spilled copy of `name`, rebuilding the
-    /// live session against `model`. `Ok(None)` when nothing is spilled;
-    /// `Err` describes a corrupt, unreadable or model-incompatible file.
-    /// Corrupt files are already quarantined when this returns (see
+    /// live session against the model `resolve` returns for the file's
+    /// model-slot pin. `Ok(None)` when nothing is spilled; `Err`
+    /// describes a corrupt, unreadable or model-incompatible file — a
+    /// pin naming a slot the server no longer hosts is *not* corruption:
+    /// the file stays in place (a server hosting that slot can still
+    /// restore it) and the client gets a typed `session_lost`. Corrupt
+    /// files are already quarantined when this returns (see
     /// [`SpillDir::quarantine`]). Fault site: `serve.spill.read`.
     pub(crate) fn take(
         &self,
         name: &str,
-        model: &DecisionModel,
+        resolve: ModelResolver,
     ) -> Result<Option<Session>, RestoreFailure> {
         let path = self.path_for(name);
         let bytes = match self
@@ -166,7 +178,46 @@ impl SpillDir {
                 });
             }
         };
-        let session = match Session::from_spill_bytes(&bytes, model) {
+        let header = match spill_peek(&bytes) {
+            Ok(h) => h,
+            Err(SpillError::Corrupt(m)) => {
+                let q = self.quarantine(&path);
+                return Err(RestoreFailure {
+                    message: format!("spill {path:?} is damaged ({m})"),
+                    quarantined: q,
+                });
+            }
+            Err(e) => {
+                return Err(RestoreFailure {
+                    message: format!("spill {path:?} cannot be restored: {e}"),
+                    quarantined: false,
+                })
+            }
+        };
+        if header.name != name {
+            let q = self.quarantine(&path);
+            return Err(RestoreFailure {
+                message: format!(
+                    "spill {path:?} holds session {:?}, expected {name:?}",
+                    header.name
+                ),
+                quarantined: q,
+            });
+        }
+        let model = match resolve(&header.model) {
+            Some(m) => m,
+            None => {
+                return Err(RestoreFailure {
+                    message: format!(
+                        "spill {path:?} is pinned to model slot {:?}, which this \
+                         server does not host",
+                        header.model
+                    ),
+                    quarantined: false,
+                })
+            }
+        };
+        let session = match Session::from_spill_bytes(&bytes, &model) {
             Ok(s) => s,
             Err(SpillError::Corrupt(m)) => {
                 let q = self.quarantine(&path);
@@ -182,16 +233,6 @@ impl SpillDir {
                 })
             }
         };
-        if session.name() != name {
-            let q = self.quarantine(&path);
-            return Err(RestoreFailure {
-                message: format!(
-                    "spill {path:?} holds session {:?}, expected {name:?}",
-                    session.name()
-                ),
-                quarantined: q,
-            });
-        }
         if let Err(e) = fs::remove_file(&path) {
             return Err(RestoreFailure {
                 message: format!("cannot remove restored spill {path:?}: {e}"),
@@ -217,12 +258,14 @@ impl SpillDir {
     }
 
     /// Startup recovery scan: validates every `*.spill` file in the
-    /// directory against `model`, quarantining damaged ones so a torn
-    /// file left by a crashed process can never wedge a later restore.
+    /// directory against the model its pin resolves to, quarantining
+    /// damaged ones so a torn file left by a crashed process can never
+    /// wedge a later restore. Files pinned to a slot this server does
+    /// not host are left untouched (neither intact nor quarantined).
     /// Stale `.spill.tmp` files (a crash mid-write) are also quarantined.
     /// Returns `(intact, quarantined)` counts; unreadable directories
     /// count as zero of each (the server still starts).
-    pub(crate) fn recover_scan(&self, model: &DecisionModel) -> (usize, usize) {
+    pub(crate) fn recover_scan(&self, resolve: ModelResolver) -> (usize, usize) {
         let entries = match fs::read_dir(&self.dir) {
             Ok(e) => e,
             Err(_) => return (0, 0),
@@ -241,11 +284,18 @@ impl SpillDir {
             if !name.ends_with(".spill") {
                 continue; // `.corrupt` files and strangers are left alone
             }
-            let verdict = fs::read(&path)
-                .map_err(SpillError::Io)
-                .and_then(|bytes| Session::from_spill_bytes(&bytes, model));
+            let verdict = fs::read(&path).map_err(SpillError::Io).and_then(|bytes| {
+                let header = spill_peek(&bytes)?;
+                match resolve(&header.model) {
+                    // A pin to a slot we don't host is a foreign file,
+                    // not a broken one — skip without judging it.
+                    None => Ok(None),
+                    Some(model) => Session::from_spill_bytes(&bytes, &model).map(Some),
+                }
+            });
             match verdict {
-                Ok(_) => intact += 1,
+                Ok(Some(_)) => intact += 1,
+                Ok(None) => {}
                 Err(SpillError::Corrupt(_)) => {
                     if self.quarantine(&path) {
                         quarantined += 1;

@@ -1,0 +1,442 @@
+//! Multi-model serving tests: slot isolation under hot reload, model
+//! pinning across spill/restart, typed `model_not_found` rejects, router
+//! determinism under concurrent traffic, and the per-model stats
+//! breakdown.
+
+use cit_core::{CitConfig, CrossInsightTrader, DecisionModel};
+use cit_market::{AssetPanel, Feature, SynthConfig};
+use cit_serve::{
+    Client, ErrorKind, NamedModel, Request, ServeConfig, Server, AUTO_MODEL, DEFAULT_MODEL,
+};
+use cit_telemetry::Telemetry;
+
+fn synth(num_assets: usize, seed: u64) -> AssetPanel {
+    SynthConfig {
+        num_assets,
+        num_days: 220,
+        test_start: 160,
+        seed,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// The `[m·4]` OHLC wire rows for panel days `[from, to)`.
+fn rows(panel: &AssetPanel, from: usize, to: usize) -> Vec<Vec<f64>> {
+    (from..to)
+        .map(|t| {
+            (0..panel.num_assets())
+                .flat_map(|i| {
+                    [Feature::Open, Feature::High, Feature::Low, Feature::Close]
+                        .into_iter()
+                        .map(move |f| panel.price(t, i, f))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cit_multimodel_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!("{tag}.cit"))
+}
+
+fn spill_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cit_mm_spill_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Trains a tiny model, saves a checkpoint and returns it with the config.
+fn trained_checkpoint(tag: &str, panel: &AssetPanel, seed: u64) -> (std::path::PathBuf, CitConfig) {
+    let cfg = CitConfig::smoke(seed);
+    let mut trader = CrossInsightTrader::new(panel, cfg);
+    trader.train(panel);
+    let path = tmp_path(tag);
+    trader.save(&path).expect("save checkpoint");
+    (path, cfg)
+}
+
+fn load(ckpt: &std::path::Path, cfg: CitConfig, assets: usize) -> DecisionModel {
+    DecisionModel::from_checkpoint(ckpt, cfg, assets).expect("load checkpoint")
+}
+
+/// A two-slot roster: `default` from `ckpt_a`, `alt` from `ckpt_b`.
+fn roster(
+    ckpt_a: &std::path::Path,
+    ckpt_b: &std::path::Path,
+    cfg: CitConfig,
+    assets: usize,
+) -> Vec<NamedModel> {
+    vec![
+        NamedModel {
+            name: DEFAULT_MODEL.into(),
+            model: load(ckpt_a, cfg, assets),
+            checkpoint_label: ckpt_a.display().to_string(),
+        },
+        NamedModel {
+            name: "alt".into(),
+            model: load(ckpt_b, cfg, assets),
+            checkpoint_label: ckpt_b.display().to_string(),
+        },
+    ]
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The offline decision chain of a checkpoint over `[start, start+n)` —
+/// the bitwise ground truth a pinned session must reproduce.
+fn offline_chain(
+    ckpt: &std::path::Path,
+    cfg: CitConfig,
+    panel: &AssetPanel,
+    start: usize,
+    n: usize,
+) -> Vec<Vec<f64>> {
+    let model = load(ckpt, cfg, panel.num_assets());
+    let mut cache = model.new_cache();
+    let mut prev = model.uniform_prev_actions();
+    (start..start + n)
+        .map(|t| {
+            let out = model.decide(panel, t, &prev, &mut cache);
+            prev = out.pre_actions.clone();
+            out.final_action
+        })
+        .collect()
+}
+
+/// Reloading slot A must not perturb a session pinned to slot B: its
+/// in-flight decision stream stays bitwise identical to the offline
+/// evaluation of slot B's checkpoint.
+#[test]
+fn reload_of_one_slot_leaves_other_slots_bitwise_unchanged() {
+    let panel = synth(2, 71);
+    let (ckpt_a, cfg) = trained_checkpoint("iso_a", &panel, 71);
+    let (ckpt_b, _) = trained_checkpoint("iso_b", &panel, 72);
+    let (ckpt_c, _) = trained_checkpoint("iso_c", &panel, 73);
+    let expected = offline_chain(&ckpt_b, cfg, &panel, 160, 10);
+
+    let server = Server::start_multi(
+        roster(&ckpt_a, &ckpt_b, cfg, 2),
+        ServeConfig::default(),
+        Telemetry::disabled(),
+    )
+    .expect("start server");
+    let mut client = Client::connect(server.addr()).unwrap();
+    let opened = client
+        .call(&Request::OpenAs {
+            session: "pinned".into(),
+            prices: rows(&panel, 0, 160),
+            model: "alt".into(),
+        })
+        .unwrap();
+    assert!(opened.ok(), "{:?}", opened.error_message());
+    assert_eq!(opened.model(), Some("alt"));
+
+    for (i, t) in (160..170).enumerate() {
+        if i == 5 {
+            // Mid-stream: swap the *default* slot to a third checkpoint.
+            let reloaded = client
+                .call(&Request::ReloadAs {
+                    checkpoint: ckpt_c.display().to_string(),
+                    model: DEFAULT_MODEL.into(),
+                })
+                .unwrap();
+            assert!(reloaded.ok(), "{:?}", reloaded.error_message());
+            assert_eq!(reloaded.model(), Some(DEFAULT_MODEL));
+        }
+        let r = client
+            .call(&Request::Decide {
+                session: "pinned".into(),
+                prices: rows(&panel, t, t + 1),
+            })
+            .unwrap();
+        assert!(r.ok(), "{:?}", r.error_message());
+        assert_eq!(r.model(), Some("alt"), "decide echoes the pin");
+        assert_eq!(
+            bits(&r.final_action().unwrap()),
+            bits(&expected[i]),
+            "alt-pinned stream diverged at t={t} (default-slot reload leaked)"
+        );
+    }
+    server.shutdown();
+    for p in [&ckpt_a, &ckpt_b, &ckpt_c] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// A spilled session restores pinned to its original slot after a
+/// restart (bitwise-unbroken stream); restarting *without* that slot
+/// answers `session_lost` and leaves the spill file on disk.
+#[test]
+fn spill_restore_preserves_model_pinning() {
+    let panel = synth(2, 81);
+    let (ckpt_a, cfg) = trained_checkpoint("pin_a", &panel, 81);
+    let (ckpt_b, _) = trained_checkpoint("pin_b", &panel, 82);
+    let dir = spill_dir("pin");
+    let expected = offline_chain(&ckpt_b, cfg, &panel, 160, 10);
+    let serve_cfg = ServeConfig {
+        spill_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+
+    // First server: open pinned to "alt", decide half the stream, spill
+    // everything on shutdown.
+    let first = Server::start_multi(
+        roster(&ckpt_a, &ckpt_b, cfg, 2),
+        serve_cfg.clone(),
+        Telemetry::disabled(),
+    )
+    .unwrap();
+    let mut fc = Client::connect(first.addr()).unwrap();
+    assert!(fc
+        .call(&Request::OpenAs {
+            session: "pinned".into(),
+            prices: rows(&panel, 0, 160),
+            model: "alt".into(),
+        })
+        .unwrap()
+        .ok());
+    for (i, t) in (160..165).enumerate() {
+        let r = fc
+            .call(&Request::Decide {
+                session: "pinned".into(),
+                prices: rows(&panel, t, t + 1),
+            })
+            .unwrap();
+        assert!(r.ok());
+        assert_eq!(bits(&r.final_action().unwrap()), bits(&expected[i]));
+    }
+    first.shutdown();
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+
+    // Second server, same roster: the restored session still decides
+    // with the "alt" parameters and still echoes its pin.
+    let second = Server::start_multi(
+        roster(&ckpt_a, &ckpt_b, cfg, 2),
+        serve_cfg.clone(),
+        Telemetry::disabled(),
+    )
+    .unwrap();
+    let mut sc = Client::connect(second.addr()).unwrap();
+    for (i, t) in (165..170).enumerate() {
+        let r = sc
+            .call(&Request::Decide {
+                session: "pinned".into(),
+                prices: rows(&panel, t, t + 1),
+            })
+            .unwrap();
+        assert!(r.ok(), "{:?}", r.error_message());
+        assert_eq!(r.model(), Some("alt"));
+        assert_eq!(
+            bits(&r.final_action().unwrap()),
+            bits(&expected[5 + i]),
+            "pinned stream diverged across restart at t={t}"
+        );
+    }
+    second.shutdown();
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+
+    // Third server hosts only the default slot: the "alt"-pinned spill
+    // cannot be restored — typed session_lost, file left in place (an
+    // operator can bring the slot back).
+    let third = Server::start_multi(
+        vec![NamedModel {
+            name: DEFAULT_MODEL.into(),
+            model: load(&ckpt_a, cfg, 2),
+            checkpoint_label: ckpt_a.display().to_string(),
+        }],
+        serve_cfg,
+        Telemetry::disabled(),
+    )
+    .unwrap();
+    let mut tc = Client::connect(third.addr()).unwrap();
+    let lost = tc
+        .call(&Request::Decide {
+            session: "pinned".into(),
+            prices: rows(&panel, 170, 171),
+        })
+        .unwrap();
+    assert!(!lost.ok());
+    assert_eq!(lost.error_kind(), Some(ErrorKind::SessionLost));
+    assert_eq!(
+        std::fs::read_dir(&dir).unwrap().count(),
+        1,
+        "a foreign-slot spill must not be quarantined"
+    );
+    third.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    for p in [&ckpt_a, &ckpt_b] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// Unknown slot names answer typed `model_not_found` on every
+/// model-addressed op; a decide against the wrong (but existing) slot is
+/// a `bad_request`; `auto` is only valid on open.
+#[test]
+fn unknown_models_are_typed_rejects() {
+    let panel = synth(2, 91);
+    let (ckpt_a, cfg) = trained_checkpoint("nf_a", &panel, 91);
+    let (ckpt_b, _) = trained_checkpoint("nf_b", &panel, 92);
+    let server = Server::start_multi(
+        roster(&ckpt_a, &ckpt_b, cfg, 2),
+        ServeConfig::default(),
+        Telemetry::disabled(),
+    )
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    let open = c
+        .call(&Request::OpenAs {
+            session: "x".into(),
+            prices: rows(&panel, 0, 160),
+            model: "nope".into(),
+        })
+        .unwrap();
+    assert_eq!(open.error_kind(), Some(ErrorKind::ModelNotFound));
+    let info = c
+        .call(&Request::InfoAs {
+            model: "nope".into(),
+        })
+        .unwrap();
+    assert_eq!(info.error_kind(), Some(ErrorKind::ModelNotFound));
+    let reload = c
+        .call(&Request::ReloadAs {
+            checkpoint: ckpt_a.display().to_string(),
+            model: "nope".into(),
+        })
+        .unwrap();
+    assert_eq!(reload.error_kind(), Some(ErrorKind::ModelNotFound));
+
+    // A real session pinned to the default slot:
+    assert!(c
+        .call(&Request::Open {
+            session: "x".into(),
+            prices: rows(&panel, 0, 160),
+        })
+        .unwrap()
+        .ok());
+    let decide = c
+        .call(&Request::DecideAs {
+            session: "x".into(),
+            prices: rows(&panel, 160, 161),
+            model: "nope".into(),
+        })
+        .unwrap();
+    assert_eq!(decide.error_kind(), Some(ErrorKind::ModelNotFound));
+    // Addressing the wrong *hosted* slot is a bad request, not not-found.
+    let mismatch = c
+        .call(&Request::DecideAs {
+            session: "x".into(),
+            prices: rows(&panel, 160, 161),
+            model: "alt".into(),
+        })
+        .unwrap();
+    assert_eq!(mismatch.error_kind(), Some(ErrorKind::BadRequest));
+    // "auto" names the router, not a slot — rejected outside open.
+    let auto_decide = c
+        .call(&Request::DecideAs {
+            session: "x".into(),
+            prices: rows(&panel, 160, 161),
+            model: AUTO_MODEL.into(),
+        })
+        .unwrap();
+    assert_eq!(auto_decide.error_kind(), Some(ErrorKind::ModelNotFound));
+    // ModelNotFound is terminal, not retryable backpressure.
+    assert!(!ErrorKind::ModelNotFound.is_retryable());
+    server.shutdown();
+    for p in [&ckpt_a, &ckpt_b] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// `open {"model":"auto"}` is deterministic: under concurrent traffic,
+/// every session opened with the same seed and the same price history
+/// lands on the same slot — across threads and across a server restart.
+#[test]
+fn router_is_deterministic_under_concurrent_traffic() {
+    let panel = synth(2, 101);
+    let (ckpt_a, cfg) = trained_checkpoint("rt_a", &panel, 101);
+    let (ckpt_b, _) = trained_checkpoint("rt_b", &panel, 102);
+    let serve_cfg = ServeConfig {
+        router_seed: 7,
+        ..Default::default()
+    };
+
+    let picks_of = |addr: std::net::SocketAddr, round: usize| -> Vec<String> {
+        let panel = panel.clone();
+        let handles: Vec<_> = (0..8)
+            .map(|w| {
+                let panel = panel.clone();
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let r = c
+                        .call(&Request::OpenAs {
+                            session: format!("auto_{round}_{w}"),
+                            prices: rows(&panel, 0, 160),
+                            model: AUTO_MODEL.into(),
+                        })
+                        .expect("open auto");
+                    assert!(r.ok(), "{:?}", r.error_message());
+                    r.model()
+                        .expect("auto open echoes the routed slot")
+                        .to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    };
+
+    let server = Server::start_multi(
+        roster(&ckpt_a, &ckpt_b, cfg, 2),
+        serve_cfg.clone(),
+        Telemetry::disabled(),
+    )
+    .unwrap();
+    let picks = picks_of(server.addr(), 0);
+    let first = picks[0].clone();
+    assert!(
+        picks.iter().all(|p| *p == first),
+        "same history + seed must route every concurrent open to one slot: {picks:?}"
+    );
+    assert!(
+        first == DEFAULT_MODEL || first == "alt",
+        "routed to a hosted slot"
+    );
+
+    // Per-model stats reconcile: the routed slot carries the sessions.
+    let mut c = Client::connect(server.addr()).unwrap();
+    let stats = c.call(&Request::Stats).unwrap().stats().unwrap();
+    let names: Vec<_> = stats.models.iter().map(|m| m.model.clone()).collect();
+    assert_eq!(names, vec![DEFAULT_MODEL.to_string(), "alt".to_string()]);
+    let routed = stats.models.iter().find(|m| m.model == first).unwrap();
+    assert_eq!(routed.sessions, 8, "all auto sessions pinned to one slot");
+    assert!(routed.requests >= 8);
+    assert_eq!(
+        stats.models.iter().map(|m| m.sessions).sum::<usize>(),
+        stats.sessions,
+        "per-model session counts must sum to the store total"
+    );
+    server.shutdown();
+
+    // A fresh server with the same seed routes the same way.
+    let again = Server::start_multi(
+        roster(&ckpt_a, &ckpt_b, cfg, 2),
+        serve_cfg,
+        Telemetry::disabled(),
+    )
+    .unwrap();
+    let repeat = picks_of(again.addr(), 1);
+    assert!(
+        repeat.iter().all(|p| *p == first),
+        "restart changed the route"
+    );
+    again.shutdown();
+    for p in [&ckpt_a, &ckpt_b] {
+        std::fs::remove_file(p).ok();
+    }
+}
